@@ -1,0 +1,20 @@
+/**
+ * @file
+ * The full Appendix C tabular benchmark: every query id of the paper's
+ * result table (A1..Wir, including the OpenFood and extra Crossref /
+ * Twitter-small queries), each over descend / jsonski (where supported) /
+ * jsurfer. S0-S4 live in bench_scalability. This is the comprehensive run
+ * backing EXPERIMENTS.md.
+ */
+#include "bench/harness.h"
+
+int main(int argc, char** argv)
+{
+    for (const descend::bench::QuerySpec& spec : descend::bench::catalog()) {
+        descend::bench::register_spec(spec);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

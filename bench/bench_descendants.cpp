@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Experiment B (paper Section 5.5, Table 5 / Figure 5): the benefit of
+ * rewriting descendant-free queries with descendants. Each pair runs the
+ * original (descend + jsonski + jsurfer) and the rewriting (descend +
+ * jsurfer; JSONSki cannot express descendants).
+ *
+ * Expected shape: rewritings dominate their originals — dramatically where
+ * the leading label is selective (B2r, B3r, G2r, Wir, W1r) and modestly
+ * where match counts are huge (B1r, W2r); jsurfer is indifferent to the
+ * rewriting.
+ */
+#include "bench/harness.h"
+
+int main(int argc, char** argv)
+{
+    descend::bench::register_ids({"B1", "B1r", "B2", "B2r", "B3", "B3r", "G2",
+                                  "G2r", "W1", "W1r", "W2", "W2r", "Wi", "Wir"});
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Renders the paper's evaluation figures as ASCII bar charts:
+ *
+ *   Figure 4 — throughput for descendant-free queries (Experiment A)
+ *   Figure 5 — originals vs descendant rewritings (Experiment B)
+ *   Figure 6 — additional queries and their rewritings (Experiment C)
+ *
+ * Unlike the google-benchmark binaries (which produce the tables), this
+ * tool takes quick best-of-N measurements and draws the grouped bars the
+ * paper plots, so the figure shapes can be eyeballed directly. Counts are
+ * verified across engines before timing, as everywhere else.
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace {
+
+using namespace descend;
+
+double measure_gbps(const JsonPathEngine& engine, const PaddedString& doc,
+                    std::size_t expected)
+{
+    double best_seconds = 1e100;
+    for (int run = 0; run < 3; ++run) {
+        auto start = std::chrono::steady_clock::now();
+        std::size_t count = engine.count(doc);
+        double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
+        if (count != expected) {
+            std::fprintf(stderr, "count mismatch!\n");
+            std::abort();
+        }
+        best_seconds = std::min(best_seconds, seconds);
+    }
+    return static_cast<double>(doc.size()) / best_seconds / 1e9;
+}
+
+void bar(const char* name, double gbps, double scale_max)
+{
+    int width = static_cast<int>(gbps / scale_max * 50.0);
+    std::printf("  %-10s %6.2f GB/s |%.*s\n", name, gbps, width,
+                "##################################################");
+}
+
+void figure_row(const std::string& id)
+{
+    auto specs = bench::catalog_subset({id});
+    if (specs.empty()) {
+        return;
+    }
+    const bench::QuerySpec& spec = specs.front();
+    const PaddedString& doc = bench::dataset(spec.dataset);
+    std::size_t expected = bench::verified_count(spec.dataset, spec.query);
+
+    std::printf("%-4s %s  [%zu matches]\n", spec.id.c_str(), spec.query.c_str(),
+                expected);
+    constexpr double kScaleMax = 6.0;
+    DescendEngine ours = DescendEngine::for_query(spec.query);
+    bar("descend", measure_gbps(ours, doc, expected), kScaleMax);
+    if (spec.ski_supported) {
+        SkiEngine ski = SkiEngine::for_query(spec.query);
+        if (ski.count(doc) == expected) {
+            bar("jsonski", measure_gbps(ski, doc, expected), kScaleMax);
+        }
+    }
+    SurferEngine surfer = SurferEngine::for_query(spec.query);
+    bar("jsurfer", measure_gbps(surfer, doc, expected), kScaleMax);
+}
+
+void figure(const char* title, const std::vector<std::string>& ids)
+{
+    std::printf("\n==== %s ====\n\n", title);
+    for (const std::string& id : ids) {
+        figure_row(id);
+    }
+}
+
+}  // namespace
+
+int main()
+{
+    figure("Figure 4: descendant-free queries (Experiment A)",
+           {"B1", "B2", "B3", "G1", "G2", "N1", "N2", "T1", "T2", "W1", "W2",
+            "Wi"});
+    figure("Figure 5: originals vs descendant rewritings (Experiment B)",
+           {"B1", "B1r", "B2", "B2r", "B3", "B3r", "G2", "G2r", "W1", "W1r",
+            "W2", "W2r", "Wi", "Wir"});
+    figure("Figure 6: additional queries (Experiment C)",
+           {"A1", "A2", "C1", "C2", "C2r", "C3", "C3r", "Ts", "Tsp", "Tsr"});
+    return 0;
+}

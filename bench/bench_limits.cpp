@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Experiment C (paper Section 5.6, Table 6 / Figure 6): limitations and
+ * opportunities.
+ *
+ *  - A1: highly selective pure-descendant query — head-skipping at full
+ *    speed.
+ *  - A2: nested, ambiguous labels — the depth-stack grows; the paper's
+ *    hardest case (barely faster than the scalar baseline).
+ *  - C1: very low selectivity — memmem degenerates to short hops.
+ *  - C2 vs C2r: a rewriting that does NOT pay (authors nested in
+ *    references); C3 vs C3r: one that pays hugely (editors are rare).
+ *  - Ts vs Tsp vs Tsr: the less specified the path, the faster.
+ */
+#include "bench/harness.h"
+
+int main(int argc, char** argv)
+{
+    descend::bench::register_ids({"A1", "A2", "C1", "C2", "C2r", "C3", "C3r", "Ts",
+                                  "Tsp", "Tsr"});
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

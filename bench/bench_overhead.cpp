@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Experiment A (paper Section 5.4, Table 4 / Figure 4): the overhead of
+ * supporting descendants and idiomatic wildcards, measured on
+ * descendant-free queries.
+ *
+ * Engines: descend (this work, stands in for rsonpath), the JSONSki-like
+ * baseline (SIMD fast-forwarding, array-only wildcard), and the
+ * jsurfer-like baseline (scalar streaming). Expected shape: descend at or
+ * above jsonski (the paper reports a 10-20% boost), jsurfer an order of
+ * magnitude below both; B3 far slower than B2 for the SIMD engines.
+ */
+#include "bench/harness.h"
+
+int main(int argc, char** argv)
+{
+    descend::bench::register_ids({"B1", "B2", "B3", "G1", "G2", "N1", "N2", "T1",
+                                  "T2", "W1", "W2", "Wi"});
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

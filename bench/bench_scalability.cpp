@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Experiment D (paper Section 5.7, Table 7): scalability. The query
+ * $..affiliation..name runs over Crossref fragments of growing size
+ * (S0..S4 in Appendix C); streaming throughput must stay flat.
+ */
+#include "bench/harness.h"
+
+namespace {
+
+void register_scale(const char* id, double scale)
+{
+    benchmark::RegisterBenchmark(
+        (std::string(id) + "/descend").c_str(), [scale](benchmark::State& state) {
+            using namespace descend;
+            const PaddedString& doc = bench::dataset("crossref", scale);
+            std::size_t expected =
+                bench::verified_count("crossref", "$..affiliation..name", scale);
+            DescendEngine engine = DescendEngine::for_query("$..affiliation..name");
+            bench::run_engine_benchmark(state, engine, doc, expected);
+            state.counters["MB"] = static_cast<double>(doc.size()) / 1e6;
+        });
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    register_scale("S0", 0.25);
+    register_scale("S1", 0.5);
+    register_scale("S2", 1.0);
+    register_scale("S4", 2.0);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

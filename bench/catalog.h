@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The benchmark catalog: every query of the paper's evaluation (Tables 4,
+ * 5, 6 and the Appendix C tabular format), keyed by the paper's ids, over
+ * the synthetic stand-in datasets.
+ *
+ * Match counts differ from the paper's (our datasets are generated, not
+ * the original dumps); what is reproduced is each query's *selectivity
+ * class* and the relative performance shapes (see EXPERIMENTS.md).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace descend::bench {
+
+struct QuerySpec {
+    std::string id;        ///< paper id (B1, B1r, ...)
+    std::string dataset;   ///< generator name
+    std::string query;     ///< JSONPath text
+    bool ski_supported;    ///< within the JSONSki fragment (no descendants)
+    std::string rewrite_of;  ///< for rewritten queries: the original's id
+};
+
+inline const std::vector<QuerySpec>& catalog()
+{
+    static const std::vector<QuerySpec> specs = {
+        // --- AST (Experiment C / Appendix C) ---
+        {"A1", "ast", "$..decl.name", false, ""},
+        {"A2", "ast", "$..inner..inner..type.qualType", false, ""},
+        {"A3", "ast", "$..loc.includedFrom.file", false, ""},
+        // --- BestBuy (Experiment A Table 4, rewrites Table 5) ---
+        {"B1", "bestbuy", "$.products.*.categoryPath.*.id", true, ""},
+        {"B1r", "bestbuy", "$..categoryPath..id", false, "B1"},
+        {"B2", "bestbuy", "$.products.*.videoChapters.*.chapter", true, ""},
+        {"B2r", "bestbuy", "$..videoChapters..chapter", false, "B2"},
+        {"B3", "bestbuy", "$.products.*.videoChapters", true, ""},
+        {"B3r", "bestbuy", "$..videoChapters", false, "B3"},
+        // --- Crossref (Experiment C) ---
+        {"C1", "crossref", "$..DOI", false, ""},
+        {"C2", "crossref", "$.items.*.author.*.affiliation.*.name", true, ""},
+        {"C2r", "crossref", "$..author..affiliation..name", false, "C2"},
+        {"C3", "crossref", "$.items.*.editor.*.affiliation.*.name", true, ""},
+        {"C3r", "crossref", "$..editor..affiliation..name", false, "C3"},
+        {"C4", "crossref", "$.items.*.title", true, ""},
+        {"C4r", "crossref", "$..title", false, "C4"},
+        {"C5", "crossref", "$.items.*.author.*.ORCID", true, ""},
+        {"C5r", "crossref", "$..author..ORCID", false, "C5"},
+        // --- GoogleMap ---
+        {"G1", "googlemap", "$.*.routes.*.legs.*.steps.*.distance.text", true, ""},
+        {"G2", "googlemap", "$.*.available_travel_modes", true, ""},
+        {"G2r", "googlemap", "$..available_travel_modes", false, "G2"},
+        // --- NSPL ---
+        {"N1", "nspl", "$.meta.view.columns.*.name", true, ""},
+        {"N2", "nspl", "$.data.*.*.*", true, ""},
+        // --- OpenFood (Appendix C) ---
+        {"O1", "openfood", "$.products.*.vitamins_tags", true, ""},
+        {"O1r", "openfood", "$..vitamins_tags", false, "O1"},
+        {"O2", "openfood", "$.products.*.added_countries_tags", true, ""},
+        {"O2r", "openfood", "$..added_countries_tags", false, "O2"},
+        {"O3", "openfood", "$.products.*.specific_ingredients.*.ingredient", true,
+         ""},
+        {"O3r", "openfood", "$..specific_ingredients..ingredient", false, "O3"},
+        // --- Twitter (large) ---
+        {"T1", "twitter", "$.*.entities.urls.*.url", true, ""},
+        {"T2", "twitter", "$.*.text", true, ""},
+        // --- Twitter (small) ---
+        {"Ts", "twitter_small", "$.search_metadata.count", true, ""},
+        {"Tsp", "twitter_small", "$..search_metadata.count", false, "Ts"},
+        {"Tsr", "twitter_small", "$..count", false, "Ts"},
+        {"Ts4", "twitter_small", "$..hashtags..text", false, ""},
+        {"Ts5", "twitter_small", "$..retweeted_status..hashtags..text", false, ""},
+        // --- Walmart ---
+        {"W1", "walmart", "$.items.*.bestMarketplacePrice.price", true, ""},
+        {"W1r", "walmart", "$..bestMarketplacePrice.price", false, "W1"},
+        {"W2", "walmart", "$.items.*.name", true, ""},
+        {"W2r", "walmart", "$..name", false, "W2"},
+        // --- Wikimedia ---
+        {"Wi", "wikimedia", "$.*.claims.P150.*.mainsnak.property", true, ""},
+        {"Wir", "wikimedia", "$..P150..mainsnak.property", false, "Wi"},
+    };
+    return specs;
+}
+
+/** Catalog entries with the given ids, in the given order. */
+inline std::vector<QuerySpec> catalog_subset(const std::vector<std::string>& ids)
+{
+    std::vector<QuerySpec> subset;
+    for (const std::string& id : ids) {
+        for (const QuerySpec& spec : catalog()) {
+            if (spec.id == id) {
+                subset.push_back(spec);
+                break;
+            }
+        }
+    }
+    return subset;
+}
+
+}  // namespace descend::bench

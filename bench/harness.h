@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Shared benchmark infrastructure.
+ *
+ * - Datasets are generated once per process and cached; size is controlled
+ *   by DESCEND_BENCH_MB (default 8 MB per dataset — scaled down from the
+ *   paper's ~1 GB dumps to laptop/CI scale; Experiment D shows throughput
+ *   is size-invariant).
+ * - Before timing, every (dataset, query) pair is verified: the main
+ *   engine and the scalar surfer baseline must report the same match
+ *   count. A mismatch aborts the benchmark binary — numbers are only ever
+ *   produced for agreeing engines.
+ * - Throughput is reported via bytes_per_second, matching the paper's
+ *   GB/s axis; the match count is attached as a counter.
+ */
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench/catalog.h"
+#include "descend/baselines/dom_engine.h"
+#include "descend/baselines/ski_engine.h"
+#include "descend/baselines/surfer_engine.h"
+#include "descend/descend.h"
+#include "descend/workloads/datasets.h"
+
+namespace descend::bench {
+
+inline std::size_t dataset_target_bytes()
+{
+    static const std::size_t target = [] {
+        const char* env = std::getenv("DESCEND_BENCH_MB");
+        long mb = env != nullptr ? std::strtol(env, nullptr, 10) : 0;
+        return static_cast<std::size_t>(mb > 0 ? mb : 8) << 20;
+    }();
+    return target;
+}
+
+/** Cached generated dataset (optionally scaled, for Experiment D). */
+inline const PaddedString& dataset(const std::string& name, double scale = 1.0)
+{
+    static std::map<std::string, std::unique_ptr<PaddedString>> cache;
+    std::string key = name + "@" + std::to_string(scale);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        auto target =
+            static_cast<std::size_t>(static_cast<double>(dataset_target_bytes()) * scale);
+        std::string text = workloads::generate(name, target);
+        it = cache.emplace(key, std::make_unique<PaddedString>(text)).first;
+        std::fprintf(stderr, "[harness] generated %s: %.1f MB\n", key.c_str(),
+                     static_cast<double>(text.size()) / 1e6);
+    }
+    return *it->second;
+}
+
+/**
+ * Cross-engine verified match count for a (dataset, query) pair. The
+ * first call runs both the main engine and the surfer baseline; any
+ * disagreement aborts the process.
+ */
+inline std::size_t verified_count(const std::string& dataset_name,
+                                  const std::string& query, double scale = 1.0)
+{
+    static std::map<std::string, std::size_t> cache;
+    std::string key = dataset_name + "@" + std::to_string(scale) + "|" + query;
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+        return it->second;
+    }
+    const PaddedString& doc = dataset(dataset_name, scale);
+    std::size_t fast = DescendEngine::for_query(query).count(doc);
+    std::size_t slow = SurferEngine::for_query(query).count(doc);
+    if (fast != slow) {
+        std::fprintf(stderr,
+                     "[harness] VERIFICATION FAILED: %s on %s: descend=%zu "
+                     "surfer=%zu\n",
+                     query.c_str(), dataset_name.c_str(), fast, slow);
+        std::abort();
+    }
+    cache[key] = fast;
+    return fast;
+}
+
+/** One timed engine run per iteration; reports GB/s and the match count. */
+template <typename Engine>
+void run_engine_benchmark(benchmark::State& state, const Engine& engine,
+                          const PaddedString& doc, std::size_t expected_count)
+{
+    for (auto _ : state) {
+        std::size_t count = engine.count(doc);
+        benchmark::DoNotOptimize(count);
+        if (count != expected_count) {
+            state.SkipWithError("match count changed between runs");
+            return;
+        }
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(doc.size()));
+    state.counters["matches"] = static_cast<double>(expected_count);
+}
+
+/**
+ * Registers up to three benchmarks for a catalog entry:
+ *   <id>/descend, <id>/jsonski (when supported), <id>/jsurfer.
+ */
+inline void register_spec(const QuerySpec& spec, bool include_surfer = true)
+{
+    benchmark::RegisterBenchmark(
+        (spec.id + "/descend").c_str(),
+        [spec](benchmark::State& state) {
+            const PaddedString& doc = dataset(spec.dataset);
+            std::size_t expected = verified_count(spec.dataset, spec.query);
+            DescendEngine engine = DescendEngine::for_query(spec.query);
+            run_engine_benchmark(state, engine, doc, expected);
+        });
+    if (spec.ski_supported) {
+        benchmark::RegisterBenchmark(
+            (spec.id + "/jsonski").c_str(),
+            [spec](benchmark::State& state) {
+                const PaddedString& doc = dataset(spec.dataset);
+                std::size_t expected = verified_count(spec.dataset, spec.query);
+                SkiEngine engine = SkiEngine::for_query(spec.query);
+                std::size_t ski_count = engine.count(doc);
+                if (ski_count != expected) {
+                    // JSONSki's wildcard is array-only; if the counts differ
+                    // the comparison would be meaningless, so refuse.
+                    state.SkipWithError("jsonski count differs (semantics)");
+                    return;
+                }
+                run_engine_benchmark(state, engine, doc, expected);
+            });
+    }
+    if (include_surfer) {
+        benchmark::RegisterBenchmark(
+            (spec.id + "/jsurfer").c_str(),
+            [spec](benchmark::State& state) {
+                const PaddedString& doc = dataset(spec.dataset);
+                std::size_t expected = verified_count(spec.dataset, spec.query);
+                SurferEngine engine = SurferEngine::for_query(spec.query);
+                run_engine_benchmark(state, engine, doc, expected);
+            });
+    }
+}
+
+inline void register_ids(const std::vector<std::string>& ids,
+                         bool include_surfer = true)
+{
+    for (const QuerySpec& spec : catalog_subset(ids)) {
+        register_spec(spec, include_surfer);
+    }
+}
+
+}  // namespace descend::bench

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * CompiledQuery: the minimal DFA plus the per-state structural properties
+ * that drive the engine's runtime decisions (paper Section 3.3):
+ *
+ *  - rejecting: the trash state — no accepting state reachable; entering it
+ *    for a child triggers *skipping children*.
+ *  - internal:  no single transition reaches an accepting state; while in
+ *    such a state the engine keeps commas/colons toggled off, which is
+ *    *skipping leaves*.
+ *  - unitary:   exactly one live transition, over a concrete label, with
+ *    the fallback going to trash; after the unique label matched, the
+ *    engine *skips siblings*.
+ *  - waiting:   exactly one non-looping transition over a concrete label,
+ *    fallback looping; when the initial state is waiting the engine
+ *    *skips to the label* with memmem head-skipping.
+ *
+ * Plus the toggling predicates of Section 3.4: whether a state can accept
+ * in one step via an object member (colons) or an array entry (commas).
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "descend/automaton/dfa.h"
+#include "descend/query/query.h"
+
+namespace descend::automaton {
+
+struct StateFlags {
+    bool accepting = false;
+    bool rejecting = false;
+    bool internal = false;
+    bool unitary = false;
+    bool waiting = false;
+    /** A label transition (concrete or fallback) can accept in one step. */
+    bool colon_toggle = false;
+    /** An array-entry transition can accept in one step. */
+    bool comma_toggle = false;
+};
+
+class CompiledQuery {
+public:
+    /** Compiles a parsed query: NFA -> DFA -> minimal DFA -> properties. */
+    static CompiledQuery compile(const query::Query& query);
+
+    /** Convenience: parse + compile. */
+    static CompiledQuery compile(std::string_view query_text)
+    {
+        return compile(query::Query::parse(query_text));
+    }
+
+    const Dfa& dfa() const noexcept { return dfa_; }
+    const Alphabet& alphabet() const noexcept { return dfa_.alphabet(); }
+    const query::Query& source() const noexcept { return query_; }
+
+    int initial_state() const noexcept { return dfa_.initial_state(); }
+    int transition(int state, int symbol) const noexcept
+    {
+        return dfa_.transition(state, symbol);
+    }
+    int fallback(int state) const noexcept { return dfa_.fallback(state); }
+
+    const StateFlags& flags(int state) const noexcept
+    {
+        return flags_[static_cast<std::size_t>(state)];
+    }
+
+    /**
+     * Behavioural class of a state: states share a class iff their whole
+     * transition rows coincide (they can then differ only in acceptance,
+     * which matters solely at transition time). The engine pushes a
+     * depth-stack frame only when a transition crosses classes — this is
+     * what realizes the paper's Section 3.2 bound of O(n) frames for
+     * child-free queries (the frames correspond to the depth registers),
+     * even on documents that alternate the query's labels forever.
+     */
+    int row_class(int state) const noexcept
+    {
+        return row_class_[static_cast<std::size_t>(state)];
+    }
+
+    /**
+     * For waiting states: the unique live label symbol the state waits
+     * for; -1 otherwise. Drives the within-element label skip (the
+     * Section 4.5 "more refined classifier" extension).
+     */
+    int waiting_symbol(int state) const noexcept
+    {
+        return waiting_symbol_[static_cast<std::size_t>(state)];
+    }
+
+    /** True when the query uses index selectors (extension); the engine
+     *  then tracks array-entry counters. */
+    bool has_indices() const noexcept { return has_indices_; }
+
+    /** Whole-document match: the query is exactly `$`. */
+    bool root_accepting() const noexcept { return flags(initial_state()).accepting; }
+
+    /**
+     * The label to memmem for when head-skipping applies: set iff the
+     * initial state is waiting on a concrete label (query begins with a
+     * `..label` selector). Escaped comparison form.
+     */
+    const std::optional<std::string>& head_skip_label() const noexcept
+    {
+        return head_skip_label_;
+    }
+
+private:
+    CompiledQuery() = default;
+
+    query::Query query_;
+    Dfa dfa_;
+    std::vector<StateFlags> flags_;
+    std::vector<int> row_class_;
+    std::vector<int> waiting_symbol_;
+    bool has_indices_ = false;
+    std::optional<std::string> head_skip_label_;
+};
+
+}  // namespace descend::automaton

@@ -1,0 +1,70 @@
+#include "descend/automaton/dfa.h"
+
+#include <cstdint>
+#include <map>
+
+#include "descend/util/errors.h"
+
+namespace descend::automaton {
+
+Dfa Dfa::determinize(const Nfa& nfa, int max_states)
+{
+    const Alphabet& alphabet = nfa.alphabet();
+    const int symbols = alphabet.total_symbols();
+    const int accept = nfa.accepting_state();
+
+    // Subsets of the <= 64 NFA states are single machine words.
+    auto successor = [&](std::uint64_t subset, int symbol) {
+        std::uint64_t next = 0;
+        for (int i = 0; i < nfa.num_states(); ++i) {
+            if (!(subset & (1ULL << i))) {
+                continue;
+            }
+            if (nfa.state(i).recursive) {
+                next |= 1ULL << i;
+            }
+            if (nfa.advances_on(i, symbol)) {
+                next |= 1ULL << (i + 1);
+            }
+        }
+        return next;
+    };
+
+    Dfa dfa;
+    dfa.alphabet_ = alphabet;
+    dfa.total_symbols_ = symbols;
+
+    std::map<std::uint64_t, int> ids;
+    std::vector<std::uint64_t> worklist;
+    auto intern = [&](std::uint64_t subset) {
+        auto [it, inserted] = ids.emplace(subset, static_cast<int>(ids.size()));
+        if (inserted) {
+            if (static_cast<int>(ids.size()) > max_states) {
+                throw LimitError("query automaton exceeds the state limit");
+            }
+            worklist.push_back(subset);
+            dfa.transitions_.resize(ids.size() * static_cast<std::size_t>(symbols), 0);
+            dfa.accepting_.push_back((subset >> accept) & 1);
+        }
+        return it->second;
+    };
+
+    dfa.initial_ = intern(1ULL << 0);
+    // Materialize the trash state eagerly so it always exists.
+    intern(0);
+
+    for (std::size_t processed = 0; processed < worklist.size(); ++processed) {
+        std::uint64_t subset = worklist[processed];
+        int from = ids.at(subset);
+        for (int symbol = 0; symbol < symbols; ++symbol) {
+            int to = intern(successor(subset, symbol));
+            dfa.transitions_[static_cast<std::size_t>(from) *
+                                 static_cast<std::size_t>(symbols) +
+                             static_cast<std::size_t>(symbol)] = to;
+        }
+    }
+    dfa.num_states_ = static_cast<int>(ids.size());
+    return dfa;
+}
+
+}  // namespace descend::automaton

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic query automaton: subset construction over the query NFA
+ * and Moore partition-refinement minimization (paper Section 3.1).
+ *
+ * The DFA is stored as a dense transition matrix over the interned symbols
+ * plus OTHER (the fallback). There is always exactly one all-rejecting
+ * trash state after minimization.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "descend/automaton/nfa.h"
+
+namespace descend::automaton {
+
+class Dfa {
+public:
+    /** An empty automaton; meaningful instances come from determinize(). */
+    Dfa() = default;
+
+    /**
+     * Subset construction. @p max_states guards against the exponential
+     * blowup that descendant-plus-wildcard queries can exhibit (Section
+     * 3.1); LimitError is raised beyond it.
+     */
+    static Dfa determinize(const Nfa& nfa, int max_states = 1 << 14);
+
+    /** Language-preserving minimization (Moore partition refinement —
+     *  query automata are tiny, so O(n^2 |Sigma|) is immaterial). */
+    Dfa minimized() const;
+
+    const Alphabet& alphabet() const noexcept { return alphabet_; }
+    int num_states() const noexcept { return num_states_; }
+    int initial_state() const noexcept { return initial_; }
+
+    int transition(int state, int symbol) const noexcept
+    {
+        return transitions_[static_cast<std::size_t>(state) *
+                                static_cast<std::size_t>(total_symbols_) +
+                            static_cast<std::size_t>(symbol)];
+    }
+
+    /** The fallback transition (over the OTHER symbol). */
+    int fallback(int state) const noexcept
+    {
+        return transition(state, alphabet_.other_symbol());
+    }
+
+    bool accepting(int state) const noexcept
+    {
+        return accepting_[static_cast<std::size_t>(state)];
+    }
+
+    int total_symbols() const noexcept { return total_symbols_; }
+
+private:
+    Alphabet alphabet_;
+    int num_states_ = 0;
+    int initial_ = 0;
+    int total_symbols_ = 0;
+    std::vector<int> transitions_;   ///< num_states x total_symbols
+    std::vector<bool> accepting_;
+};
+
+}  // namespace descend::automaton

@@ -1,0 +1,66 @@
+#include "descend/automaton/dfa.h"
+
+#include <map>
+#include <vector>
+
+namespace descend::automaton {
+
+Dfa Dfa::minimized() const
+{
+    // Moore partition refinement. Initial partition: accepting vs not.
+    std::vector<int> block(static_cast<std::size_t>(num_states_));
+    for (int s = 0; s < num_states_; ++s) {
+        block[static_cast<std::size_t>(s)] = accepting_[static_cast<std::size_t>(s)] ? 1 : 0;
+    }
+
+    int num_blocks = 2;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Signature: own block plus blocks of all successors.
+        std::map<std::vector<int>, int> signature_ids;
+        std::vector<int> next_block(static_cast<std::size_t>(num_states_));
+        for (int s = 0; s < num_states_; ++s) {
+            std::vector<int> signature;
+            signature.reserve(static_cast<std::size_t>(total_symbols_) + 1);
+            signature.push_back(block[static_cast<std::size_t>(s)]);
+            for (int symbol = 0; symbol < total_symbols_; ++symbol) {
+                signature.push_back(block[static_cast<std::size_t>(transition(s, symbol))]);
+            }
+            auto [it, inserted] =
+                signature_ids.emplace(std::move(signature),
+                                      static_cast<int>(signature_ids.size()));
+            next_block[static_cast<std::size_t>(s)] = it->second;
+        }
+        if (static_cast<int>(signature_ids.size()) != num_blocks) {
+            num_blocks = static_cast<int>(signature_ids.size());
+            changed = true;
+        }
+        block = std::move(next_block);
+    }
+
+    Dfa result;
+    result.alphabet_ = alphabet_;
+    result.total_symbols_ = total_symbols_;
+    result.num_states_ = num_blocks;
+    result.initial_ = block[static_cast<std::size_t>(initial_)];
+    result.transitions_.assign(
+        static_cast<std::size_t>(num_blocks) * static_cast<std::size_t>(total_symbols_),
+        0);
+    result.accepting_.assign(static_cast<std::size_t>(num_blocks), false);
+    for (int s = 0; s < num_states_; ++s) {
+        int b = block[static_cast<std::size_t>(s)];
+        for (int symbol = 0; symbol < total_symbols_; ++symbol) {
+            result.transitions_[static_cast<std::size_t>(b) *
+                                    static_cast<std::size_t>(total_symbols_) +
+                                static_cast<std::size_t>(symbol)] =
+                block[static_cast<std::size_t>(transition(s, symbol))];
+        }
+        if (accepting_[static_cast<std::size_t>(s)]) {
+            result.accepting_[static_cast<std::size_t>(b)] = true;
+        }
+    }
+    return result;
+}
+
+}  // namespace descend::automaton

@@ -1,0 +1,107 @@
+#include "descend/automaton/nfa.h"
+
+#include <algorithm>
+
+#include "descend/util/errors.h"
+
+namespace descend::automaton {
+
+Alphabet Alphabet::from_query(const query::Query& query)
+{
+    Alphabet alphabet;
+    for (const query::Selector& selector : query.selectors()) {
+        switch (selector.kind) {
+            case query::SelectorKind::kChild:
+            case query::SelectorKind::kDescendant:
+                if (std::find(alphabet.labels_.begin(), alphabet.labels_.end(),
+                              selector.label_escaped) == alphabet.labels_.end()) {
+                    alphabet.labels_.push_back(selector.label_escaped);
+                }
+                break;
+            case query::SelectorKind::kChildIndex:
+                if (std::find(alphabet.indices_.begin(), alphabet.indices_.end(),
+                              selector.index) == alphabet.indices_.end()) {
+                    alphabet.indices_.push_back(selector.index);
+                }
+                break;
+            default:
+                break;
+        }
+    }
+    return alphabet;
+}
+
+int Alphabet::label_symbol(std::string_view escaped_label) const noexcept
+{
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+        if (labels_[i] == escaped_label) {
+            return static_cast<int>(i);
+        }
+    }
+    return other_symbol();
+}
+
+int Alphabet::index_symbol(std::uint64_t index) const noexcept
+{
+    for (std::size_t i = 0; i < indices_.size(); ++i) {
+        if (indices_[i] == index) {
+            return num_labels() + static_cast<int>(i);
+        }
+    }
+    return other_symbol();
+}
+
+Nfa Nfa::from_query(const query::Query& query)
+{
+    if (query.size() > 63) {
+        throw LimitError("queries are limited to 63 selectors");
+    }
+    Nfa nfa;
+    nfa.alphabet_ = Alphabet::from_query(query);
+    nfa.states_.resize(query.size() + 1);
+    const auto& selectors = query.selectors();
+    // Selector k (1-based among non-root selectors) configures the advance
+    // arc out of state k-1.
+    for (std::size_t k = 1; k < selectors.size(); ++k) {
+        const query::Selector& selector = selectors[k];
+        NfaState& state = nfa.states_[k - 1];
+        switch (selector.kind) {
+            case query::SelectorKind::kChild:
+                state.advance_symbol =
+                    nfa.alphabet_.label_symbol(selector.label_escaped);
+                break;
+            case query::SelectorKind::kChildWildcard:
+                state.wildcard_advance = true;
+                break;
+            case query::SelectorKind::kChildIndex:
+                state.advance_symbol = nfa.alphabet_.index_symbol(selector.index);
+                break;
+            case query::SelectorKind::kDescendant:
+                state.recursive = true;
+                state.advance_symbol =
+                    nfa.alphabet_.label_symbol(selector.label_escaped);
+                break;
+            case query::SelectorKind::kDescendantWildcard:
+                state.recursive = true;
+                state.wildcard_advance = true;
+                break;
+            case query::SelectorKind::kRoot:
+                break;
+        }
+    }
+    return nfa;
+}
+
+bool Nfa::advances_on(int i, int symbol) const
+{
+    const NfaState& state = states_[static_cast<std::size_t>(i)];
+    if (i == accepting_state()) {
+        return false;
+    }
+    if (state.wildcard_advance) {
+        return true;
+    }
+    return state.advance_symbol == symbol;
+}
+
+}  // namespace descend::automaton

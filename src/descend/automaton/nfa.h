@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Query NFA construction (paper Section 3.1).
+ *
+ * A query with n selectors yields an NFA with n+1 states; state i means
+ * "the first i selectors have matched on the current path". Descendant
+ * selectors make their source state *recursive* (a self-loop over every
+ * label). The automaton runs over the sequence of labels on a root-to-node
+ * path; array entries carry an artificial label that matches only wildcard
+ * and recursive arcs (and, with the index-selector extension, index arcs).
+ *
+ * Input symbols are interned per query by Alphabet: the concrete labels
+ * (in their escaped comparison form), then the concrete array indices,
+ * plus one implicit OTHER symbol standing for every remaining label and
+ * for unmatched array positions.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "descend/query/query.h"
+
+namespace descend::automaton {
+
+/** Interned input symbols of a query automaton. */
+class Alphabet {
+public:
+    static Alphabet from_query(const query::Query& query);
+
+    int num_labels() const noexcept { return static_cast<int>(labels_.size()); }
+    int num_indices() const noexcept { return static_cast<int>(indices_.size()); }
+
+    /** Concrete symbols (labels then indices), excluding OTHER. */
+    int num_concrete() const noexcept { return num_labels() + num_indices(); }
+
+    /** The OTHER symbol: any label/index not occurring in the query. */
+    int other_symbol() const noexcept { return num_concrete(); }
+
+    /** Total number of symbols including OTHER. */
+    int total_symbols() const noexcept { return num_concrete() + 1; }
+
+    bool symbol_is_label(int symbol) const noexcept { return symbol < num_labels(); }
+    bool symbol_is_index(int symbol) const noexcept
+    {
+        return symbol >= num_labels() && symbol < num_concrete();
+    }
+
+    /** Symbol for an escaped label, or other_symbol() when absent. */
+    int label_symbol(std::string_view escaped_label) const noexcept;
+
+    /** Symbol for an array index, or other_symbol() when absent. */
+    int index_symbol(std::uint64_t index) const noexcept;
+
+    const std::string& label(int symbol) const { return labels_[symbol]; }
+    std::uint64_t index(int symbol) const
+    {
+        return indices_[static_cast<std::size_t>(symbol - num_labels())];
+    }
+
+    const std::vector<std::string>& labels() const noexcept { return labels_; }
+    const std::vector<std::uint64_t>& indices() const noexcept { return indices_; }
+
+private:
+    std::vector<std::string> labels_;        ///< escaped comparison forms
+    std::vector<std::uint64_t> indices_;
+};
+
+/** One NFA state and its outgoing arcs. */
+struct NfaState {
+    /** Self-loop over every symbol (descendant selectors). */
+    bool recursive = false;
+    /** Advance arc fires on every symbol (wildcard selectors). */
+    bool wildcard_advance = false;
+    /** Advance arc symbol (label or index), or -1 when wildcard_advance. */
+    int advance_symbol = -1;
+};
+
+/**
+ * The query NFA. State count is capped at 64 so that DFA subset
+ * construction can use one machine word per subset; queries with more than
+ * 63 selectors raise LimitError (far beyond any practical query).
+ */
+class Nfa {
+public:
+    static Nfa from_query(const query::Query& query);
+
+    const Alphabet& alphabet() const noexcept { return alphabet_; }
+    int num_states() const noexcept { return static_cast<int>(states_.size()); }
+    int accepting_state() const noexcept { return num_states() - 1; }
+    const NfaState& state(int i) const { return states_[static_cast<std::size_t>(i)]; }
+
+    /** True if the advance arc of state i fires on the given symbol. */
+    bool advances_on(int i, int symbol) const;
+
+private:
+    Alphabet alphabet_;
+    std::vector<NfaState> states_;
+};
+
+}  // namespace descend::automaton

@@ -1,0 +1,160 @@
+#include <vector>
+
+#include "descend/automaton/compiled.h"
+
+namespace descend::automaton {
+namespace {
+
+/** States from which some accepting state is reachable. */
+std::vector<bool> productive_states(const Dfa& dfa)
+{
+    int n = dfa.num_states();
+    std::vector<bool> productive(static_cast<std::size_t>(n), false);
+    // Fixpoint iteration; query automata are tiny.
+    bool changed = true;
+    for (int s = 0; s < n; ++s) {
+        productive[static_cast<std::size_t>(s)] = dfa.accepting(s);
+    }
+    while (changed) {
+        changed = false;
+        for (int s = 0; s < n; ++s) {
+            if (productive[static_cast<std::size_t>(s)]) {
+                continue;
+            }
+            for (int symbol = 0; symbol < dfa.total_symbols(); ++symbol) {
+                if (productive[static_cast<std::size_t>(dfa.transition(s, symbol))]) {
+                    productive[static_cast<std::size_t>(s)] = true;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    return productive;
+}
+
+}  // namespace
+
+CompiledQuery CompiledQuery::compile(const query::Query& query)
+{
+    CompiledQuery compiled;
+    compiled.query_ = query;
+    compiled.has_indices_ = query.has_indices();
+    compiled.dfa_ = Dfa::determinize(Nfa::from_query(query)).minimized();
+
+    const Dfa& dfa = compiled.dfa_;
+    const Alphabet& alphabet = dfa.alphabet();
+    std::vector<bool> productive = productive_states(dfa);
+
+    compiled.flags_.resize(static_cast<std::size_t>(dfa.num_states()));
+    for (int s = 0; s < dfa.num_states(); ++s) {
+        StateFlags& flags = compiled.flags_[static_cast<std::size_t>(s)];
+        flags.accepting = dfa.accepting(s);
+        flags.rejecting = !productive[static_cast<std::size_t>(s)];
+
+        int fallback = dfa.fallback(s);
+        bool fallback_rejecting = !productive[static_cast<std::size_t>(fallback)];
+
+        // internal: no single transition reaches an accepting state.
+        flags.internal = true;
+        for (int symbol = 0; symbol < dfa.total_symbols(); ++symbol) {
+            if (dfa.accepting(dfa.transition(s, symbol))) {
+                flags.internal = false;
+                break;
+            }
+        }
+
+        // Live concrete transitions: those differing from the fallback in a
+        // way that matters (target differs from fallback target).
+        int live_labels = 0;
+        int live_indices = 0;
+        int unique_live_label = -1;
+        for (int symbol = 0; symbol < alphabet.num_concrete(); ++symbol) {
+            if (dfa.transition(s, symbol) != fallback) {
+                if (alphabet.symbol_is_label(symbol)) {
+                    ++live_labels;
+                    unique_live_label = symbol;
+                } else {
+                    ++live_indices;
+                }
+            }
+        }
+
+        // unitary: one live concrete label, fallback to trash, nothing else.
+        flags.unitary = !flags.rejecting && fallback_rejecting && live_labels == 1 &&
+                        live_indices == 0 &&
+                        productive[static_cast<std::size_t>(
+                            dfa.transition(s, unique_live_label))];
+
+        // waiting: fallback self-loops, exactly one concrete label leaves.
+        flags.waiting = fallback == s && live_labels == 1 && live_indices == 0;
+
+        // Toggling predicates: can a one-step transition accept?
+        flags.colon_toggle = false;
+        for (int symbol = 0; symbol < alphabet.num_labels(); ++symbol) {
+            if (dfa.accepting(dfa.transition(s, symbol))) {
+                flags.colon_toggle = true;
+                break;
+            }
+        }
+        if (dfa.accepting(fallback)) {
+            flags.colon_toggle = true;
+            flags.comma_toggle = true;
+        }
+        for (int symbol = alphabet.num_labels(); symbol < alphabet.num_concrete();
+             ++symbol) {
+            if (dfa.accepting(dfa.transition(s, symbol))) {
+                flags.comma_toggle = true;
+                break;
+            }
+        }
+    }
+
+    // Waiting symbols: the unique live label of each waiting state.
+    compiled.waiting_symbol_.assign(static_cast<std::size_t>(dfa.num_states()), -1);
+    for (int s = 0; s < dfa.num_states(); ++s) {
+        if (!compiled.flags_[static_cast<std::size_t>(s)].waiting) {
+            continue;
+        }
+        for (int symbol = 0; symbol < alphabet.num_labels(); ++symbol) {
+            if (dfa.transition(s, symbol) != s) {
+                compiled.waiting_symbol_[static_cast<std::size_t>(s)] = symbol;
+                break;
+            }
+        }
+    }
+
+    // Row classes: states with identical transition rows are behaviourally
+    // interchangeable after a restore (see CompiledQuery::row_class).
+    compiled.row_class_.resize(static_cast<std::size_t>(dfa.num_states()));
+    {
+        std::vector<std::vector<int>> seen_rows;
+        for (int s = 0; s < dfa.num_states(); ++s) {
+            std::vector<int> row(static_cast<std::size_t>(dfa.total_symbols()));
+            for (int symbol = 0; symbol < dfa.total_symbols(); ++symbol) {
+                row[static_cast<std::size_t>(symbol)] = dfa.transition(s, symbol);
+            }
+            std::size_t id = 0;
+            while (id < seen_rows.size() && seen_rows[id] != row) {
+                ++id;
+            }
+            if (id == seen_rows.size()) {
+                seen_rows.push_back(std::move(row));
+            }
+            compiled.row_class_[static_cast<std::size_t>(s)] = static_cast<int>(id);
+        }
+    }
+
+    const StateFlags& initial_flags = compiled.flags(dfa.initial_state());
+    if (initial_flags.waiting) {
+        for (int symbol = 0; symbol < alphabet.num_labels(); ++symbol) {
+            if (dfa.transition(dfa.initial_state(), symbol) != dfa.initial_state()) {
+                compiled.head_skip_label_ = alphabet.label(symbol);
+                break;
+            }
+        }
+    }
+    return compiled;
+}
+
+}  // namespace descend::automaton

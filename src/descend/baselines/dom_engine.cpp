@@ -1,0 +1,169 @@
+#include "descend/baselines/dom_engine.h"
+
+#include <string_view>
+
+namespace descend {
+namespace {
+
+using query::Selector;
+using query::SelectorKind;
+
+/**
+ * Whether selector @p s lets a child reached by @p key / @p index advance
+ * the match. Object members pass a key; array entries pass an index.
+ */
+bool selector_admits(const Selector& s, const std::string* key, std::uint64_t index)
+{
+    switch (s.kind) {
+        case SelectorKind::kChild:
+        case SelectorKind::kDescendant:
+            return key != nullptr && *key == s.label_escaped;
+        case SelectorKind::kChildWildcard:
+        case SelectorKind::kDescendantWildcard:
+            return true;
+        case SelectorKind::kChildIndex:
+            return key == nullptr && index == s.index;
+        case SelectorKind::kRoot:
+            return false;
+    }
+    return false;
+}
+
+/** Node-semantics evaluator: a bitset of query positions per node. */
+class NodeEval {
+public:
+    NodeEval(const std::vector<Selector>& selectors, MatchSink& sink)
+        : selectors_(selectors), final_(selectors.size() - 1), sink_(sink)
+    {
+    }
+
+    void visit(const json::Value& node, std::uint64_t states)
+    {
+        if (states == 0) {
+            return;
+        }
+        if (states >> final_ & 1) {
+            sink_.on_match(node.source_offset());
+        }
+        for (std::size_t m = 0; m < node.members().size(); ++m) {
+            const json::Member& member = node.members()[m];
+            visit(*member.value, successors(states, &member.key, 0));
+        }
+        for (std::size_t e = 0; e < node.elements().size(); ++e) {
+            visit(*node.elements()[e], successors(states, nullptr, e));
+        }
+    }
+
+private:
+    std::uint64_t successors(std::uint64_t states, const std::string* key,
+                             std::uint64_t index) const
+    {
+        std::uint64_t next = 0;
+        for (std::size_t i = 0; i < final_; ++i) {
+            if (!(states >> i & 1)) {
+                continue;
+            }
+            // Position i has matched i selectors; selectors_[i + 1] guards
+            // the advance. A descendant selector also keeps position i
+            // alive for arbitrarily deeper matches.
+            const Selector& s = selectors_[i + 1];
+            if (s.is_descendant()) {
+                next |= 1ULL << i;
+            }
+            if (selector_admits(s, key, index)) {
+                next |= 1ULL << (i + 1);
+            }
+        }
+        return next;
+    }
+
+    const std::vector<Selector>& selectors_;
+    std::size_t final_;
+    MatchSink& sink_;
+};
+
+/** Path-semantics evaluator: multiplicities instead of a bitset. */
+class PathEval {
+public:
+    PathEval(const std::vector<Selector>& selectors, std::vector<std::size_t>& out)
+        : selectors_(selectors), final_(selectors.size() - 1), out_(out)
+    {
+    }
+
+    void visit(const json::Value& node, const std::vector<std::uint64_t>& counts)
+    {
+        std::uint64_t total = 0;
+        for (std::uint64_t c : counts) {
+            total += c;
+        }
+        if (total == 0) {
+            return;
+        }
+        for (std::uint64_t k = 0; k < counts[final_]; ++k) {
+            out_.push_back(node.source_offset());
+        }
+        for (std::size_t m = 0; m < node.members().size(); ++m) {
+            const json::Member& member = node.members()[m];
+            visit(*member.value, successors(counts, &member.key, 0));
+        }
+        for (std::size_t e = 0; e < node.elements().size(); ++e) {
+            visit(*node.elements()[e], successors(counts, nullptr, e));
+        }
+    }
+
+    std::vector<std::uint64_t> initial() const
+    {
+        std::vector<std::uint64_t> counts(final_ + 1, 0);
+        counts[0] = 1;
+        return counts;
+    }
+
+private:
+    std::vector<std::uint64_t> successors(const std::vector<std::uint64_t>& counts,
+                                          const std::string* key,
+                                          std::uint64_t index) const
+    {
+        std::vector<std::uint64_t> next(counts.size(), 0);
+        for (std::size_t i = 0; i < final_; ++i) {
+            if (counts[i] == 0) {
+                continue;
+            }
+            const Selector& s = selectors_[i + 1];
+            if (s.is_descendant()) {
+                next[i] += counts[i];
+            }
+            if (selector_admits(s, key, index)) {
+                next[i + 1] += counts[i];
+            }
+        }
+        return next;
+    }
+
+    const std::vector<Selector>& selectors_;
+    std::size_t final_;
+    std::vector<std::size_t>& out_;
+};
+
+}  // namespace
+
+void DomEngine::run(const PaddedString& document, MatchSink& sink) const
+{
+    json::Document dom = json::parse(document.view());
+    evaluate(dom.root(), sink);
+}
+
+void DomEngine::evaluate(const json::Value& root, MatchSink& sink) const
+{
+    NodeEval eval(query_.selectors(), sink);
+    eval.visit(root, 1);
+}
+
+std::vector<std::size_t> DomEngine::evaluate_path_semantics(const json::Value& root) const
+{
+    std::vector<std::size_t> offsets;
+    PathEval eval(query_.selectors(), offsets);
+    eval.visit(root, eval.initial());
+    return offsets;
+}
+
+}  // namespace descend

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The DOM reference engine — the correctness oracle.
+ *
+ * Parses the document into a DOM and evaluates the query AST directly by
+ * carrying a set of query positions down the tree (node semantics). This
+ * implementation is deliberately independent of the automaton module (no
+ * determinization, no minimization, no SIMD, no streaming), so that the
+ * differential tests compare two genuinely different evaluators.
+ *
+ * Also provides the *path semantics* evaluation (multiplicities instead of
+ * sets), used to reproduce the paper's Appendix D node-vs-path comparison.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "descend/engine/api.h"
+#include "descend/json/dom.h"
+#include "descend/query/query.h"
+
+namespace descend {
+
+class DomEngine final : public JsonPathEngine {
+public:
+    explicit DomEngine(query::Query query) : query_(std::move(query)) {}
+
+    std::string name() const override { return "dom"; }
+
+    /** Parses (strictly) and evaluates with node semantics. */
+    void run(const PaddedString& document, MatchSink& sink) const override;
+
+    /** Node-semantics evaluation over a pre-parsed document. */
+    void evaluate(const json::Value& root, MatchSink& sink) const;
+
+    /**
+     * Path-semantics evaluation (paper Section 2): every distinct way of
+     * matching the query contributes one result, so the same node can be
+     * reported multiple times. Returns offsets with multiplicity, in
+     * document order.
+     */
+    std::vector<std::size_t> evaluate_path_semantics(const json::Value& root) const;
+
+private:
+    query::Query query_;
+};
+
+}  // namespace descend

@@ -1,0 +1,193 @@
+#include "descend/baselines/ski_engine.h"
+
+#include "descend/util/errors.h"
+
+namespace descend {
+
+using Kind = StructuralIterator::Kind;
+
+SkiEngine::SkiEngine(const query::Query& query, simd::Level level)
+    : kernels_(&simd::kernels_for(level))
+{
+    for (const query::Selector& selector : query.selectors()) {
+        switch (selector.kind) {
+            case query::SelectorKind::kRoot:
+                break;
+            case query::SelectorKind::kChild:
+                levels_.push_back({LevelKind::kKey, selector.label_escaped, 0});
+                break;
+            case query::SelectorKind::kChildWildcard:
+                levels_.push_back({LevelKind::kWildcard, "", 0});
+                break;
+            case query::SelectorKind::kChildIndex:
+                levels_.push_back({LevelKind::kIndex, "", selector.index});
+                break;
+            case query::SelectorKind::kDescendant:
+            case query::SelectorKind::kDescendantWildcard:
+                throw QueryError(
+                    "the JSONSki baseline does not support descendant selectors", 0);
+        }
+    }
+}
+
+void SkiEngine::run(const PaddedString& document, MatchSink& sink) const
+{
+    StructuralIterator iter(document, *kernels_);
+    if (levels_.empty()) {
+        // `$`: the whole document.
+        std::size_t start = iter.first_non_ws(0);
+        if (start < document.size()) {
+            sink.on_match(start);
+        }
+        return;
+    }
+    StructuralIterator::Event root = iter.next();
+    if (root.kind != Kind::kOpening) {
+        return;  // atomic root cannot match a non-empty path
+    }
+    match_container(iter, sink, 0, root.byte);
+}
+
+void SkiEngine::match_container(StructuralIterator& iter, MatchSink& sink,
+                                std::size_t level, std::uint8_t opening_byte) const
+{
+    bool is_object = opening_byte == classify::kOpenBrace;
+    // JSONSki's type assumption: a level acts on exactly one container
+    // type; a mismatching container is fast-forwarded over entirely.
+    if (level_wants_object(level) != is_object) {
+        iter.skip_element(opening_byte);
+        return;
+    }
+    if (is_object) {
+        match_object(iter, sink, level);
+    } else {
+        match_array(iter, sink, level);
+    }
+}
+
+void SkiEngine::match_object(StructuralIterator& iter, MatchSink& sink,
+                             std::size_t level) const
+{
+    const Level& spec = levels_[level];
+    bool is_last = level + 1 == levels_.size();
+    iter.set_colons(true);
+    iter.set_commas(false);
+    while (true) {
+        StructuralIterator::Event event = iter.next();
+        if (event.kind == Kind::kNone) {
+            return;
+        }
+        if (event.kind == Kind::kClosing) {
+            return;  // end of this object
+        }
+        if (event.kind == Kind::kOpening) {
+            // A member value container that was not consumed at its colon
+            // (cannot happen: colons precede values). Defensive skip.
+            iter.skip_element(event.byte);
+            continue;
+        }
+        if (event.kind != Kind::kColon) {
+            continue;
+        }
+        auto label = iter.label_before(event.pos);
+        bool matches = label.has_value() && *label == spec.label;
+        StructuralIterator::Event value = iter.peek();
+        if (!matches) {
+            if (value.kind == Kind::kOpening) {
+                iter.next();
+                iter.skip_element(value.byte);
+            }
+            continue;
+        }
+        // The unique matching member of this object.
+        if (is_last) {
+            sink.on_match(iter.first_non_ws(event.pos + 1));
+            if (value.kind == Kind::kOpening) {
+                iter.next();
+                iter.skip_element(value.byte);
+            }
+        } else if (value.kind == Kind::kOpening) {
+            iter.next();
+            match_container(iter, sink, level + 1, value.byte);
+        }
+        // Keys are unique among siblings: fast-forward to this object's end.
+        iter.set_colons(false);
+        iter.set_commas(false);
+        iter.skip_element(classify::kOpenBrace);
+        return;
+    }
+}
+
+void SkiEngine::handle_array_entry(StructuralIterator& iter, MatchSink& sink,
+                                   std::size_t level, bool entry_matches,
+                                   std::size_t value_scan_from) const
+{
+    bool is_last = level + 1 == levels_.size();
+    StructuralIterator::Event value = iter.peek();
+    if (value.kind == Kind::kOpening) {
+        iter.next();
+        if (entry_matches && is_last) {
+            sink.on_match(value.pos);
+            iter.skip_element(value.byte);
+        } else if (entry_matches) {
+            match_container(iter, sink, level + 1, value.byte);
+        } else {
+            iter.skip_element(value.byte);
+        }
+        // Restore this array's toggles after the recursion/fast-forward.
+        iter.set_commas(true);
+        iter.set_colons(false);
+        return;
+    }
+    // Atomic entry: nothing to consume (it produces no events).
+    if (entry_matches && is_last) {
+        std::size_t item = iter.first_non_ws(value_scan_from);
+        if (item < value.pos) {
+            sink.on_match(item);
+        }
+    }
+}
+
+void SkiEngine::match_array(StructuralIterator& iter, MatchSink& sink,
+                            std::size_t level) const
+{
+    const Level& spec = levels_[level];
+    iter.set_commas(true);
+    iter.set_colons(false);
+    std::uint64_t entry = 0;
+    auto entry_matches = [&](std::uint64_t index) {
+        return spec.kind == LevelKind::kWildcard || index == spec.index;
+    };
+
+    // First entry: not preceded by a comma. Capture the scan start before
+    // peeking (peek may advance past blocks holding only atom content).
+    std::size_t first_entry_scan = iter.position();
+    StructuralIterator::Event first = iter.peek();
+    if (first.kind == Kind::kClosing) {
+        iter.next();
+        return;  // empty array
+    }
+    handle_array_entry(iter, sink, level, entry_matches(0), first_entry_scan);
+
+    while (true) {
+        StructuralIterator::Event event = iter.next();
+        if (event.kind == Kind::kNone) {
+            return;
+        }
+        if (event.kind == Kind::kClosing) {
+            return;
+        }
+        if (event.kind != Kind::kComma) {
+            continue;
+        }
+        ++entry;
+        if (spec.kind == LevelKind::kIndex && entry > spec.index) {
+            // Past the target index: fast-forward to the array's end.
+            iter.skip_element(classify::kOpenBracket);
+            return;
+        }
+        handle_array_entry(iter, sink, level, entry_matches(entry), event.pos + 1);
+    }
+}
+
+}  // namespace descend

@@ -1,0 +1,110 @@
+#include "descend/baselines/surfer_engine.h"
+
+#include <optional>
+#include <vector>
+
+#include "descend/json/sax.h"
+
+namespace descend {
+namespace {
+
+class SurferHandler final : public json::SaxHandler {
+public:
+    SurferHandler(const automaton::CompiledQuery& query, MatchSink& sink)
+        : query_(query),
+          alphabet_(query.alphabet()),
+          counting_(query.has_indices()),
+          sink_(sink)
+    {
+        state_ = query_.initial_state();
+    }
+
+    void on_object_start(std::size_t offset) override { enter(offset, false); }
+    void on_array_start(std::size_t offset) override { enter(offset, true); }
+
+    void on_object_end(std::size_t) override { leave(); }
+    void on_array_end(std::size_t) override { leave(); }
+
+    void on_key(std::string_view raw_key, std::size_t) override
+    {
+        pending_key_ = raw_key;
+    }
+
+    void on_atom(std::string_view, std::size_t offset) override
+    {
+        if (stack_.empty()) {
+            return;  // atomic root: only `$` matches, handled as preflight
+        }
+        int target = query_.transition(state_, take_symbol());
+        if (query_.flags(target).accepting) {
+            sink_.on_match(offset);
+        }
+    }
+
+private:
+    struct Frame {
+        int state;
+        bool is_array;
+        std::uint64_t entries;
+    };
+
+    int take_symbol()
+    {
+        if (pending_key_.has_value()) {
+            int symbol = alphabet_.label_symbol(*pending_key_);
+            pending_key_.reset();
+            return symbol;
+        }
+        if (!stack_.empty() && stack_.back().is_array) {
+            std::uint64_t index = stack_.back().entries++;
+            return counting_ ? alphabet_.index_symbol(index)
+                             : alphabet_.other_symbol();
+        }
+        return alphabet_.other_symbol();
+    }
+
+    void enter(std::size_t offset, bool is_array)
+    {
+        int target = stack_.empty() ? state_ : query_.transition(state_, take_symbol());
+        if (query_.flags(target).accepting) {
+            sink_.on_match(offset);
+        }
+        stack_.push_back({state_, is_array, 0});
+        state_ = target;
+    }
+
+    void leave()
+    {
+        if (stack_.empty()) {
+            return;  // malformed input: stray closer
+        }
+        state_ = stack_.back().state;
+        stack_.pop_back();
+    }
+
+    const automaton::CompiledQuery& query_;
+    const automaton::Alphabet& alphabet_;
+    bool counting_;
+    MatchSink& sink_;
+    int state_ = 0;
+    std::optional<std::string_view> pending_key_;
+    std::vector<Frame> stack_;
+};
+
+}  // namespace
+
+void SurferEngine::run(const PaddedString& document, MatchSink& sink) const
+{
+    if (query_.root_accepting()) {
+        std::string_view text = document.view();
+        std::size_t start = text.find_first_not_of(" \t\n\r");
+        if (start != std::string_view::npos) {
+            sink.on_match(start);
+        }
+        return;
+    }
+    SurferHandler handler(query_, sink);
+    json::sax_parse(document.view(), handler);
+}
+
+}  // namespace descend

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The JsonSurfer-like baseline: streaming evaluation in the same
+ * computational model as the paper's slow competitor — a scalar
+ * byte-at-a-time SAX tokenizer, a classic full stack (one frame per open
+ * container, paper Section 3.2's non-sparse alternative), and no SIMD or
+ * skipping of any kind. Supports the full query fragment, including
+ * descendants.
+ */
+#pragma once
+
+#include "descend/automaton/compiled.h"
+#include "descend/engine/api.h"
+
+namespace descend {
+
+class SurferEngine final : public JsonPathEngine {
+public:
+    explicit SurferEngine(automaton::CompiledQuery query) : query_(std::move(query)) {}
+
+    static SurferEngine for_query(std::string_view query_text)
+    {
+        return SurferEngine(automaton::CompiledQuery::compile(query_text));
+    }
+
+    std::string name() const override { return "jsurfer"; }
+
+    void run(const PaddedString& document, MatchSink& sink) const override;
+
+private:
+    automaton::CompiledQuery query_;
+};
+
+}  // namespace descend

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The depth classifier (paper Section 4.4): fast-forwards through an entire
+ * subdocument by tracking only one opening/closing character pair.
+ *
+ * Per block it computes two cmpeq masks (openers, closers) — cheaper than
+ * the full structural classification — and advances the relative depth.
+ * The block-skip heuristic from the paper is applied: when the number of
+ * closers in the (rest of the) block is smaller than the current relative
+ * depth, the depth cannot reach zero here, so the whole block is consumed
+ * with two popcounts instead of per-closer iteration.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "descend/simd/dispatch.h"
+
+namespace descend::classify {
+
+/** Which bracket pair the depth classifier tracks. */
+enum class BracketKind : std::uint8_t {
+    kObject,  ///< '{' and '}'
+    kArray,   ///< '[' and ']'
+};
+
+/** Opening/closing masks of one block for a bracket kind. */
+struct DepthMasks {
+    std::uint64_t openers = 0;
+    std::uint64_t closers = 0;
+};
+
+/** Computes the opener/closer masks of one 64-byte block. The caller is
+ *  responsible for ANDing out in-string positions. */
+DepthMasks depth_masks(const simd::Kernels& kernels, const std::uint8_t* block,
+                       BracketKind kind) noexcept;
+
+/**
+ * Advances the relative depth through one block (whose masks must already
+ * exclude in-string positions and already-consumed bits).
+ *
+ * On entry @p relative_depth is the number of unmatched openers so far
+ * (>= 1). If some closer in the block brings it to zero, returns that
+ * closer's bit index and leaves @p relative_depth at zero; otherwise
+ * consumes the whole block, updates @p relative_depth, and returns -1.
+ */
+int find_depth_zero(DepthMasks masks, int& relative_depth) noexcept;
+
+}  // namespace descend::classify

@@ -1,0 +1,26 @@
+#include "descend/classify/quote_classifier.h"
+
+#include "descend/util/bits.h"
+
+namespace descend::classify {
+
+QuoteMasks QuoteClassifier::classify(const std::uint8_t* block) noexcept
+{
+    const simd::Kernels& k = *kernels_;
+    std::uint64_t backslashes = k.eq_mask(block, '\\');
+    std::uint64_t quotes = k.eq_mask(block, '"');
+
+    bool carry_out = false;
+    std::uint64_t escaped = bits::find_escaped(backslashes, state_.escape_carry, carry_out);
+    state_.escape_carry = carry_out;
+
+    QuoteMasks masks;
+    masks.unescaped_quotes = quotes & ~escaped;
+    masks.in_string = k.prefix_xor(masks.unescaped_quotes) ^ state_.in_string_carry;
+    // Sign-extend the top bit: all-ones iff this block ends inside a string.
+    state_.in_string_carry =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(masks.in_string) >> 63);
+    return masks;
+}
+
+}  // namespace descend::classify

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The quote classifier (paper Section 4.2): marks characters located inside
+ * JSON strings so that the structural and depth classifiers can ignore
+ * structural-looking bytes within string data, handling backslash escapes.
+ *
+ * Per 64-byte block it computes
+ *  - the mask of unescaped double quotes, via add-carry propagation over
+ *    backslash runs, and
+ *  - the "in string" mask, via prefix-XOR of the quote mask (a single CLMUL
+ *    on the SIMD path). Bits are set from each opening quote (inclusive)
+ *    up to its closing quote (exclusive).
+ *
+ * Two bits of state cross block boundaries: whether the previous block
+ * ended with an active escape, and whether it ended inside a string. The
+ * whole state is copyable, which is what the stop/resume protocol of the
+ * multi-classifier pipeline (Section 4.5) hands between the structural and
+ * depth classifiers.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "descend/simd/dispatch.h"
+
+namespace descend::classify {
+
+/** Block-boundary state of the quote classifier. */
+struct QuoteState {
+    /** The previous block ended with an odd backslash run (next char escaped). */
+    bool escape_carry = false;
+    /** All-ones if the previous block ended inside a string, else zero. */
+    std::uint64_t in_string_carry = 0;
+};
+
+/** Per-block result of quote classification. */
+struct QuoteMasks {
+    /** Positions of double quotes that are not escaped. */
+    std::uint64_t unescaped_quotes = 0;
+    /** Positions inside strings (opening quote inclusive, closing exclusive). */
+    std::uint64_t in_string = 0;
+};
+
+/**
+ * Streams quote classification across consecutive blocks. The caller must
+ * feed blocks strictly in order; state() can be saved and restored to
+ * re-classify from a known boundary.
+ */
+class QuoteClassifier {
+public:
+    explicit QuoteClassifier(const simd::Kernels& kernels) noexcept
+        : kernels_(&kernels)
+    {
+    }
+
+    /** Classifies the next 64-byte block, advancing the boundary state. */
+    QuoteMasks classify(const std::uint8_t* block) noexcept;
+
+    const QuoteState& state() const noexcept { return state_; }
+    void set_state(const QuoteState& state) noexcept { state_ = state; }
+    void reset() noexcept { state_ = QuoteState{}; }
+
+    const simd::Kernels& kernels() const noexcept { return *kernels_; }
+
+private:
+    const simd::Kernels* kernels_;
+    QuoteState state_;
+};
+
+}  // namespace descend::classify

@@ -1,0 +1,297 @@
+#include "descend/classify/raw_tables.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "descend/util/bits.h"
+
+namespace descend::classify {
+namespace {
+
+/** ltab slots outside every group (unique vs any group id and utab filler). */
+constexpr std::uint8_t kLtabFiller = 0xff;
+/** utab slots outside every group. */
+constexpr std::uint8_t kUtabFiller = 0xfe;
+
+/**
+ * Reference evaluation of the lookup classifiers on a single byte.
+ * Unmasked variants reproduce the x86 shuffle MSB rule (index bytes with
+ * the top bit set look up 0); masked variants zero the upper nibbles of
+ * the index first (the paper's footnote 2, one extra SIMD op).
+ */
+bool eval_eq(const NibbleTables& tables, std::uint8_t byte, bool masked)
+{
+    std::uint8_t lower =
+        (!masked && (byte & 0x80)) ? 0 : tables.ltab[byte & 0x0f];
+    return lower == tables.utab[byte >> 4];
+}
+
+bool eval_or(const NibbleTables& tables, std::uint8_t byte, bool masked)
+{
+    std::uint8_t lower =
+        (!masked && (byte & 0x80)) ? 0 : tables.ltab[byte & 0x0f];
+    return (lower | tables.utab[byte >> 4]) == 0xff;
+}
+
+/** Exhaustive validation of a classifier against its spec. */
+template <typename Eval>
+bool validate(const ByteSet& accept, Eval&& eval)
+{
+    for (int byte = 0; byte < 256; ++byte) {
+        if (eval(static_cast<std::uint8_t>(byte)) != accept[byte]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<std::uint8_t> accepted_values(const ByteSet& accept)
+{
+    std::vector<std::uint8_t> values;
+    for (int byte = 0; byte < 256; ++byte) {
+        if (accept[byte]) {
+            values.push_back(static_cast<std::uint8_t>(byte));
+        }
+    }
+    return values;
+}
+
+}  // namespace
+
+ByteSet byte_set(std::initializer_list<std::uint8_t> values)
+{
+    ByteSet set{};
+    for (std::uint8_t value : values) {
+        set[value] = true;
+    }
+    return set;
+}
+
+std::vector<AcceptanceGroup> acceptance_groups(const ByteSet& accept)
+{
+    // low(u) for each upper nibble (Definition 1).
+    std::array<std::uint16_t, 16> low{};
+    for (int byte = 0; byte < 256; ++byte) {
+        if (accept[byte]) {
+            low[byte >> 4] |= static_cast<std::uint16_t>(1u << (byte & 0x0f));
+        }
+    }
+    // Merge uppers with equal acceptance sets (Definition 2), dropping the
+    // group with the empty acceptance set: it never accepts anything.
+    std::vector<AcceptanceGroup> groups;
+    for (int upper = 0; upper < 16; ++upper) {
+        if (low[upper] == 0) {
+            continue;
+        }
+        auto it = std::find_if(groups.begin(), groups.end(), [&](const AcceptanceGroup& g) {
+            return g.lowers == low[upper];
+        });
+        if (it == groups.end()) {
+            groups.push_back({static_cast<std::uint16_t>(1u << upper), low[upper]});
+        } else {
+            it->uppers |= static_cast<std::uint16_t>(1u << upper);
+        }
+    }
+    // Deterministic order reproducing the paper's enumeration for the JSON
+    // structural table: larger upper sets first, then by smallest upper.
+    std::sort(groups.begin(), groups.end(),
+              [](const AcceptanceGroup& a, const AcceptanceGroup& b) {
+                  int size_a = bits::popcount(a.uppers);
+                  int size_b = bits::popcount(b.uppers);
+                  if (size_a != size_b) {
+                      return size_a > size_b;
+                  }
+                  return bits::trailing_zeros(a.uppers) < bits::trailing_zeros(b.uppers);
+              });
+    return groups;
+}
+
+bool has_overlapping_groups(const std::vector<AcceptanceGroup>& groups)
+{
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        for (std::size_t j = i + 1; j < groups.size(); ++j) {
+            if ((groups[i].lowers & groups[j].lowers) != 0) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::optional<NibbleTables> build_eq_tables(const ByteSet& accept)
+{
+    std::vector<AcceptanceGroup> groups = acceptance_groups(accept);
+    if (has_overlapping_groups(groups) || groups.size() > 253) {
+        return std::nullopt;
+    }
+    NibbleTables tables;
+    tables.ltab.fill(kLtabFiller);
+    tables.utab.fill(kUtabFiller);
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        // Group ids start at 1: a zeroed utab row (a toggled-off symbol,
+        // Section 4.1) must never equal a live ltab entry.
+        std::uint8_t id = static_cast<std::uint8_t>(i + 1);
+        for (int nibble = 0; nibble < 16; ++nibble) {
+            if (groups[i].uppers & (1u << nibble)) {
+                tables.utab[nibble] = id;
+            }
+            if (groups[i].lowers & (1u << nibble)) {
+                tables.ltab[nibble] = id;
+            }
+        }
+    }
+    // Structural validity only; method applicability (masked vs unmasked)
+    // is decided by RawClassifier::build_with_method.
+    if (!validate(accept,
+                  [&](std::uint8_t b) { return eval_eq(tables, b, /*masked=*/true); })) {
+        return std::nullopt;
+    }
+    return tables;
+}
+
+std::optional<NibbleTables> build_or_tables(const std::vector<AcceptanceGroup>& groups)
+{
+    if (groups.size() > 8) {
+        return std::nullopt;
+    }
+    NibbleTables tables;
+    tables.ltab.fill(0);
+    tables.utab.fill(0);
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        std::uint8_t bit = static_cast<std::uint8_t>(1u << i);
+        for (int nibble = 0; nibble < 16; ++nibble) {
+            if (groups[i].uppers & (1u << nibble)) {
+                tables.utab[nibble] = static_cast<std::uint8_t>(0xff - bit);
+            }
+            if (groups[i].lowers & (1u << nibble)) {
+                tables.ltab[nibble] |= bit;
+            }
+        }
+    }
+    return tables;
+}
+
+const char* method_name(Method method)
+{
+    switch (method) {
+        case Method::kEq: return "eq";
+        case Method::kOr8: return "or8";
+        case Method::kGeneral: return "general";
+        case Method::kNaive: return "naive";
+    }
+    return "?";
+}
+
+RawClassifier RawClassifier::build(const ByteSet& accept)
+{
+    for (Method method : {Method::kEq, Method::kOr8, Method::kGeneral}) {
+        if (auto classifier = build_with_method(accept, method)) {
+            return *std::move(classifier);
+        }
+    }
+    auto naive = build_with_method(accept, Method::kNaive);
+    assert(naive.has_value());
+    return *std::move(naive);
+}
+
+std::optional<RawClassifier> RawClassifier::build_with_method(const ByteSet& accept,
+                                                              Method method)
+{
+    RawClassifier classifier;
+    classifier.method_ = method;
+    switch (method) {
+        case Method::kEq: {
+            auto tables = build_eq_tables(accept);
+            if (!tables) {
+                return std::nullopt;
+            }
+            classifier.tables_[0] = *tables;
+            // Prefer the 5-op unmasked form (the structural hot path) and
+            // fall back to the masked form for high-byte predicates.
+            for (bool masked : {false, true}) {
+                if (validate(accept, [&](std::uint8_t b) {
+                        return eval_eq(*tables, b, masked);
+                    })) {
+                    classifier.masked_ = masked;
+                    return classifier;
+                }
+            }
+            return std::nullopt;
+        }
+        case Method::kOr8: {
+            auto tables = build_or_tables(acceptance_groups(accept));
+            if (!tables) {
+                return std::nullopt;
+            }
+            classifier.tables_[0] = *tables;
+            for (bool masked : {false, true}) {
+                if (validate(accept, [&](std::uint8_t b) {
+                        return eval_or(*tables, b, masked);
+                    })) {
+                    classifier.masked_ = masked;
+                    return classifier;
+                }
+            }
+            return std::nullopt;
+        }
+        case Method::kGeneral: {
+            std::vector<AcceptanceGroup> groups = acceptance_groups(accept);
+            if (groups.size() > 16) {
+                return std::nullopt;  // cannot happen: at most 16 upper nibbles
+            }
+            std::size_t half = (groups.size() + 1) / 2;
+            std::vector<AcceptanceGroup> first(groups.begin(), groups.begin() + half);
+            std::vector<AcceptanceGroup> second(groups.begin() + half, groups.end());
+            auto tables1 = build_or_tables(first);
+            auto tables2 = build_or_tables(second);
+            if (!tables1 || !tables2) {
+                return std::nullopt;
+            }
+            classifier.tables_[0] = *tables1;
+            classifier.tables_[1] = *tables2;
+            for (bool masked : {false, true}) {
+                auto eval = [&](std::uint8_t b) {
+                    return eval_or(*tables1, b, masked) || eval_or(*tables2, b, masked);
+                };
+                if (validate(accept, eval)) {
+                    classifier.masked_ = masked;
+                    return classifier;
+                }
+            }
+            return std::nullopt;
+        }
+        case Method::kNaive:
+            classifier.values_ = accepted_values(accept);
+            return classifier;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t RawClassifier::run(const simd::Kernels& kernels,
+                                 const std::uint8_t* block) const
+{
+    switch (method_) {
+        case Method::kEq:
+            return (masked_ ? kernels.classify_eq_masked : kernels.classify_eq)(
+                block, tables_[0].ltab.data(), tables_[0].utab.data());
+        case Method::kOr8:
+            return (masked_ ? kernels.classify_or_masked : kernels.classify_or)(
+                block, tables_[0].ltab.data(), tables_[0].utab.data());
+        case Method::kGeneral: {
+            auto classify = masked_ ? kernels.classify_or_masked : kernels.classify_or;
+            return classify(block, tables_[0].ltab.data(), tables_[0].utab.data()) |
+                   classify(block, tables_[1].ltab.data(), tables_[1].utab.data());
+        }
+        case Method::kNaive: {
+            std::uint64_t mask = 0;
+            for (std::uint8_t value : values_) {
+                mask |= kernels.eq_mask(block, value);
+            }
+            return mask;
+        }
+    }
+    return 0;
+}
+
+}  // namespace descend::classify

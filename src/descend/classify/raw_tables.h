@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Generic byte classification via nibble-decomposed shuffle lookups —
+ * Problem 1 of the paper (Section 4.1).
+ *
+ * Given an arbitrary predicate over bytes, this module derives *acceptance
+ * groups* (Definitions 1-3) and constructs lookup tables for the cheapest
+ * applicable SIMD method:
+ *
+ *  - kEq:      non-overlapping groups; accept iff ltab[low] == utab[high]
+ *              (5 SIMD ops / block).
+ *  - kOr8:     at most 8 groups; accept iff (ltab[low] | utab[high]) == 0xff
+ *              (6 SIMD ops / block).
+ *  - kGeneral: 9..16 groups; two kOr8 classifications ORed together.
+ *  - kNaive:   one cmpeq per accepted value, ORed; always applicable and
+ *              the baseline of Table 2. Also the fallback for accepted
+ *              bytes >= 0x80, where the shuffle MSB rule makes the
+ *              nibble-lookup methods inexpressible.
+ *
+ * Every constructed classifier is validated exhaustively against the
+ * requested predicate over all 256 byte values before being returned, so a
+ * construction bug can never silently misclassify.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "descend/simd/dispatch.h"
+
+namespace descend::classify {
+
+/** Predicate over bytes: accept[b] is true iff byte b maps to bucket 1. */
+using ByteSet = std::array<bool, 256>;
+
+/** Convenience constructor of a ByteSet from a list of accepted bytes. */
+ByteSet byte_set(std::initializer_list<std::uint8_t> values);
+
+/**
+ * An acceptance group (Definition 2): the set of upper nibbles sharing one
+ * acceptance set, stored as 16-bit nibble bitsets.
+ */
+struct AcceptanceGroup {
+    std::uint16_t uppers = 0;
+    std::uint16_t lowers = 0;
+
+    bool operator==(const AcceptanceGroup&) const = default;
+};
+
+/**
+ * All acceptance groups with non-empty acceptance sets, ordered by
+ * descending |uppers| and then by smallest upper nibble. (This ordering
+ * reproduces the table constants printed in the paper for the JSON
+ * structural characters.)
+ */
+std::vector<AcceptanceGroup> acceptance_groups(const ByteSet& accept);
+
+/** Definition 3: groups sharing a lower nibble while differing in uppers. */
+bool has_overlapping_groups(const std::vector<AcceptanceGroup>& groups);
+
+/** A pair of 16-entry nibble lookup tables. */
+struct NibbleTables {
+    std::array<std::uint8_t, 16> ltab{};
+    std::array<std::uint8_t, 16> utab{};
+};
+
+enum class Method {
+    kEq,
+    kOr8,
+    kGeneral,
+    kNaive,
+};
+
+const char* method_name(Method method);
+
+/**
+ * A compiled binary byte classifier. Produces, for each 64-byte block, the
+ * bitmask of accepted positions, using whichever method was selected at
+ * construction time.
+ */
+class RawClassifier {
+public:
+    /** Builds the cheapest valid classifier for the predicate. */
+    static RawClassifier build(const ByteSet& accept);
+
+    /** Builds with a forced method; returns nullopt if not applicable. */
+    static std::optional<RawClassifier> build_with_method(const ByteSet& accept,
+                                                          Method method);
+
+    Method method() const noexcept { return method_; }
+
+    /** True when the lower-nibble index must be masked (predicate involves
+     *  bytes >= 0x80; one extra SIMD op — the paper's footnote 2). */
+    bool masked() const noexcept { return masked_; }
+
+    const NibbleTables& primary_tables() const noexcept { return tables_[0]; }
+    const NibbleTables& secondary_tables() const noexcept { return tables_[1]; }
+    const std::vector<std::uint8_t>& naive_values() const noexcept { return values_; }
+
+    /** Classifies one 64-byte block with the given kernel set. */
+    std::uint64_t run(const simd::Kernels& kernels, const std::uint8_t* block) const;
+
+private:
+    RawClassifier() = default;
+
+    Method method_ = Method::kNaive;
+    bool masked_ = false;
+    std::array<NibbleTables, 2> tables_{};
+    std::vector<std::uint8_t> values_;
+};
+
+/**
+ * Builds non-overlapping-groups tables, or nullopt when the method does not
+ * apply (overlapping groups or accepted bytes >= 0x80). Group i (1-based in
+ * the returned enumeration order) is encoded as value i; unused ltab slots
+ * hold 255 and unused utab slots hold 254, exactly as in the paper.
+ */
+std::optional<NibbleTables> build_eq_tables(const ByteSet& accept);
+
+/** Builds few-groups tables for the given groups; nullopt if > 8 groups. */
+std::optional<NibbleTables> build_or_tables(const std::vector<AcceptanceGroup>& groups);
+
+}  // namespace descend::classify

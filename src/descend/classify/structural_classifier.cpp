@@ -1,0 +1,84 @@
+#include "descend/classify/structural_classifier.h"
+
+#include <cassert>
+
+#include "descend/classify/raw_tables.h"
+
+namespace descend::classify {
+namespace {
+
+/** Upper-nibble rows owned exclusively by comma (0x2c) and colon (0x3a). */
+constexpr int kCommaRow = kComma >> 4;
+constexpr int kColonRow = kColon >> 4;
+
+struct StructuralTables {
+    NibbleTables tables;
+    std::uint8_t comma_toggle;
+    std::uint8_t colon_toggle;
+};
+
+/**
+ * Derives the paper's structural tables through the generic acceptance-group
+ * machinery of Section 4.1, rather than hard-coding them. A unit test pins
+ * the derived constants to the values printed in the paper.
+ */
+const StructuralTables& structural_tables()
+{
+    static const StructuralTables tables = [] {
+        ByteSet accept = byte_set(
+            {kOpenBrace, kCloseBrace, kOpenBracket, kCloseBracket, kColon, kComma});
+        auto built = build_eq_tables(accept);
+        assert(built.has_value());
+        StructuralTables result;
+        result.tables = *built;
+        result.comma_toggle = built->utab[kCommaRow];
+        result.colon_toggle = built->utab[kColonRow];
+        return result;
+    }();
+    return tables;
+}
+
+}  // namespace
+
+StructuralClassifier::StructuralClassifier(const simd::Kernels& kernels) noexcept
+    : kernels_(&kernels),
+      ltab_(structural_tables().tables.ltab),
+      utab_(structural_tables().tables.utab)
+{
+    // Default per Section 3.4: commas and colons start disabled, which is
+    // exactly the leaf-skipping mode.
+    utab_[kCommaRow] ^= structural_tables().comma_toggle;
+    utab_[kColonRow] ^= structural_tables().colon_toggle;
+}
+
+bool StructuralClassifier::set_commas(bool enabled) noexcept
+{
+    if (enabled == commas_enabled_) {
+        return false;
+    }
+    commas_enabled_ = enabled;
+    utab_[kCommaRow] ^= structural_tables().comma_toggle;
+    return true;
+}
+
+bool StructuralClassifier::set_colons(bool enabled) noexcept
+{
+    if (enabled == colons_enabled_) {
+        return false;
+    }
+    colons_enabled_ = enabled;
+    utab_[kColonRow] ^= structural_tables().colon_toggle;
+    return true;
+}
+
+const std::array<std::uint8_t, 16>& StructuralClassifier::reference_ltab() noexcept
+{
+    return structural_tables().tables.ltab;
+}
+
+const std::array<std::uint8_t, 16>& StructuralClassifier::reference_utab() noexcept
+{
+    return structural_tables().tables.utab;
+}
+
+}  // namespace descend::classify

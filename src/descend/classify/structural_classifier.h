@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The structural classifier (paper Sections 4.1 and 4.3): per 64-byte block,
+ * the bitmask of JSON structural characters — always '{' '}' '[' ']', plus
+ * ',' and ':' when toggled on.
+ *
+ * Toggling works exactly as in the paper: commas and colons each own an
+ * upper-nibble row of the utab lookup table that no other structural
+ * character shares (rows 2 and 3), so XORing the row with the group id
+ * zeroes it — and a zeroed row can never match, because all live ltab
+ * entries are non-zero. Re-enabling XORs the id back in.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "descend/simd/dispatch.h"
+
+namespace descend::classify {
+
+/** Structural character constants (paper Table 1). */
+inline constexpr std::uint8_t kOpenBrace = 0x7b;
+inline constexpr std::uint8_t kCloseBrace = 0x7d;
+inline constexpr std::uint8_t kOpenBracket = 0x5b;
+inline constexpr std::uint8_t kCloseBracket = 0x5d;
+inline constexpr std::uint8_t kColon = 0x3a;
+inline constexpr std::uint8_t kComma = 0x2c;
+
+class StructuralClassifier {
+public:
+    explicit StructuralClassifier(const simd::Kernels& kernels) noexcept;
+
+    /**
+     * Classifies one block; the result respects the current comma/colon
+     * toggles. The caller masks out in-string positions itself (the quote
+     * classifier is a separate pipeline stage).
+     */
+    std::uint64_t classify(const std::uint8_t* block) const noexcept
+    {
+        return kernels_->classify_eq(block, ltab_.data(), utab_.data());
+    }
+
+    bool commas_enabled() const noexcept { return commas_enabled_; }
+    bool colons_enabled() const noexcept { return colons_enabled_; }
+
+    /** Returns true if the toggle state actually changed. */
+    bool set_commas(bool enabled) noexcept;
+    bool set_colons(bool enabled) noexcept;
+
+    const simd::Kernels& kernels() const noexcept { return *kernels_; }
+
+    /** The lookup tables as printed in the paper (for tests / inspection). */
+    static const std::array<std::uint8_t, 16>& reference_ltab() noexcept;
+    static const std::array<std::uint8_t, 16>& reference_utab() noexcept;
+
+private:
+    const simd::Kernels* kernels_;
+    std::array<std::uint8_t, 16> ltab_;
+    std::array<std::uint8_t, 16> utab_;
+    bool commas_enabled_ = false;
+    bool colons_enabled_ = false;
+};
+
+}  // namespace descend::classify

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Umbrella header for the descend library.
+ *
+ * Quick start:
+ *
+ *     #include "descend/descend.h"
+ *
+ *     descend::PaddedString doc("{\"a\": {\"b\": 42}}");
+ *     auto engine = descend::DescendEngine::for_query("$..b");
+ *     std::size_t n = engine.count(doc);                       // 1
+ *     auto offsets = engine.offsets(doc);                      // byte offsets
+ *     auto values = descend::extract_values(doc, offsets);     // "42"
+ *
+ * See README.md for the full tour and DESIGN.md for the architecture.
+ */
+#pragma once
+
+#include "descend/automaton/compiled.h"
+#include "descend/engine/api.h"
+#include "descend/engine/extract.h"
+#include "descend/engine/main_engine.h"
+#include "descend/engine/padded_string.h"
+#include "descend/query/query.h"
+#include "descend/util/errors.h"

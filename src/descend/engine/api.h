@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The engine-facing public API: match sinks, engine options, run
+ * statistics, and the common interface implemented by the main engine and
+ * all three baselines, so that tests and benchmarks are engine-generic.
+ *
+ * A match is reported as the byte offset of the first character of the
+ * matched value (the opening brace/bracket for containers, the first
+ * non-whitespace character for atoms). All engines in this repository
+ * agree on this convention, which is how the differential tests compare
+ * full result sets — not just counts.
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "descend/engine/padded_string.h"
+#include "descend/simd/dispatch.h"
+
+namespace descend {
+
+/** Receiver of query matches, invoked in document order. */
+class MatchSink {
+public:
+    virtual ~MatchSink() = default;
+    /** @param offset byte offset of the matched value's first character. */
+    virtual void on_match(std::size_t offset) = 0;
+};
+
+/** Counts matches — the benchmark sink (as in the paper's JSONSki tweak). */
+class CountSink final : public MatchSink {
+public:
+    void on_match(std::size_t) override { ++count_; }
+    std::size_t count() const noexcept { return count_; }
+
+private:
+    std::size_t count_ = 0;
+};
+
+/** Collects match offsets for verification and extraction. */
+class OffsetSink final : public MatchSink {
+public:
+    void on_match(std::size_t offset) override { offsets_.push_back(offset); }
+    const std::vector<std::size_t>& offsets() const noexcept { return offsets_; }
+
+private:
+    std::vector<std::size_t> offsets_;
+};
+
+/** Adapts a callable to a sink. */
+class CallbackSink final : public MatchSink {
+public:
+    explicit CallbackSink(std::function<void(std::size_t)> callback)
+        : callback_(std::move(callback))
+    {
+    }
+    void on_match(std::size_t offset) override { callback_(offset); }
+
+private:
+    std::function<void(std::size_t)> callback_;
+};
+
+/**
+ * Main-engine knobs. Defaults reproduce the paper's engine; the individual
+ * switches exist for the ablation benchmarks and for differential testing
+ * (every combination must produce identical matches).
+ */
+struct EngineOptions {
+    /** SIMD level for the classifier pipeline. */
+    simd::Level simd = simd::Level::avx2;
+    /** Toggle commas/colons off in internal states (skipping leaves). */
+    bool leaf_skipping = true;
+    /** Depth-classifier fast-forward over rejected subtrees (children). */
+    bool child_skipping = true;
+    /** Fast-forward after a unitary state's unique label matched (siblings). */
+    bool sibling_skipping = true;
+    /** memmem-based skipping to the label for `$..label`-style queries. */
+    bool head_skipping = true;
+    /**
+     * The Section 4.5 "more refined classifier" extension (not part of the
+     * paper's engine, hence off by default): in waiting, non-accepting
+     * states, fast-forward to the next occurrence of the awaited label
+     * within the current element instead of stepping through every
+     * subtree. The paper names this as the improvement opportunity for
+     * C2r-style queries; see bench_ablation.
+     */
+    bool label_within_skipping = false;
+};
+
+/** Counters describing what one run did (for tests and ablation reports). */
+struct RunStats {
+    std::size_t events = 0;            ///< structural events processed
+    std::size_t child_skips = 0;       ///< skip-children fast-forwards
+    std::size_t sibling_skips = 0;     ///< skip-siblings fast-forwards
+    std::size_t head_skip_jumps = 0;   ///< memmem occurrences processed
+    std::size_t within_skips = 0;      ///< within-element label fast-forwards
+    /** High-water mark of the sparse depth-stack. The paper's Section 3.2
+     *  claim: bounded by the query's selector count for child-free
+     *  queries, by document depth only in adversarial nestings. */
+    std::size_t max_stack = 0;
+};
+
+/** Common interface of the main engine and the baseline engines. */
+class JsonPathEngine {
+public:
+    virtual ~JsonPathEngine() = default;
+
+    /** Engine name for benchmark tables (e.g. "descend", "jsonski"). */
+    virtual std::string name() const = 0;
+
+    /** Runs the compiled query over the document, reporting all matches. */
+    virtual void run(const PaddedString& document, MatchSink& sink) const = 0;
+
+    /**
+     * Runs with a counting sink. Virtual so engines can provide a
+     * devirtualized counting path (rsonpath monomorphizes its recorder the
+     * same way via Rust generics).
+     */
+    virtual std::size_t count(const PaddedString& document) const
+    {
+        CountSink sink;
+        run(document, sink);
+        return sink.count();
+    }
+
+    /** Convenience: run and collect match offsets. */
+    std::vector<std::size_t> offsets(const PaddedString& document) const
+    {
+        OffsetSink sink;
+        run(document, sink);
+        return sink.offsets();
+    }
+};
+
+}  // namespace descend

@@ -1,0 +1,81 @@
+#include "descend/engine/extract.h"
+
+namespace descend {
+namespace {
+
+bool is_ws_byte(std::uint8_t byte)
+{
+    return byte == ' ' || byte == '\t' || byte == '\n' || byte == '\r';
+}
+
+/** Position one past the closing quote of the string opening at pos. */
+std::size_t scan_string(const std::uint8_t* data, std::size_t size, std::size_t pos)
+{
+    ++pos;
+    while (pos < size) {
+        if (data[pos] == '\\') {
+            pos += 2;
+        } else if (data[pos] == '"') {
+            return pos + 1;
+        } else {
+            ++pos;
+        }
+    }
+    return size;
+}
+
+}  // namespace
+
+std::string_view extract_value(const PaddedString& document, std::size_t offset)
+{
+    const std::uint8_t* data = document.data();
+    std::size_t size = document.size();
+    if (offset >= size) {
+        return {};
+    }
+    std::uint8_t first = data[offset];
+    std::size_t end = offset;
+    if (first == '{' || first == '[') {
+        std::uint8_t open = first;
+        std::uint8_t close = first == '{' ? '}' : ']';
+        int depth = 0;
+        while (end < size) {
+            std::uint8_t byte = data[end];
+            if (byte == '"') {
+                end = scan_string(data, size, end);
+                continue;
+            }
+            if (byte == open) {
+                ++depth;
+            } else if (byte == close) {
+                --depth;
+                if (depth == 0) {
+                    ++end;
+                    break;
+                }
+            }
+            ++end;
+        }
+    } else if (first == '"') {
+        end = scan_string(data, size, offset);
+    } else {
+        while (end < size && !is_ws_byte(data[end]) && data[end] != ',' &&
+               data[end] != '}' && data[end] != ']') {
+            ++end;
+        }
+    }
+    return {reinterpret_cast<const char*>(data + offset), end - offset};
+}
+
+std::vector<std::string_view> extract_values(const PaddedString& document,
+                                             const std::vector<std::size_t>& offsets)
+{
+    std::vector<std::string_view> values;
+    values.reserve(offsets.size());
+    for (std::size_t offset : offsets) {
+        values.push_back(extract_value(document, offset));
+    }
+    return values;
+}
+
+}  // namespace descend

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Helpers turning reported match offsets into value slices. The engine
+ * reports only where a match begins (that is all the streaming algorithm
+ * knows); these helpers scan forward to delimit the complete value, so
+ * examples and applications can materialize results.
+ */
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "descend/engine/padded_string.h"
+
+namespace descend {
+
+/**
+ * The complete JSON value starting at @p offset: for containers the
+ * balanced {...}/[...] slice, for strings the quoted literal, for other
+ * atoms the literal up to the next delimiter. String-aware.
+ */
+std::string_view extract_value(const PaddedString& document, std::size_t offset);
+
+/** Extracts every match in one pass. */
+std::vector<std::string_view> extract_values(const PaddedString& document,
+                                             const std::vector<std::size_t>& offsets);
+
+}  // namespace descend

@@ -1,0 +1,126 @@
+#include "descend/engine/label_search.h"
+
+#include <cstring>
+
+#include "descend/util/bits.h"
+
+namespace descend {
+namespace {
+
+bool is_ws_byte(std::uint8_t byte)
+{
+    return byte == ' ' || byte == '\t' || byte == '\n' || byte == '\r';
+}
+
+}  // namespace
+
+LabelSearch::LabelSearch(const PaddedString& input, const simd::Kernels& kernels,
+                         std::string_view escaped_label)
+    : data_(input.data()),
+      size_(input.size()),
+      end_((input.size() + simd::kBlockSize - 1) / simd::kBlockSize * simd::kBlockSize),
+      quotes_(kernels),
+      label_(escaped_label)
+{
+    if (end_ > 0) {
+        classify_block();
+    }
+}
+
+void LabelSearch::classify_block()
+{
+    block_entry_quote_state_ = quotes_.state();
+    classify::QuoteMasks masks = quotes_.classify(data_ + block_start_);
+    // String-opening quotes: unescaped quotes whose in-string bit is set
+    // (the opening quote is inside its own string under our convention).
+    candidates_ = masks.unescaped_quotes & masks.in_string;
+    if (!label_.empty()) {
+        // First-byte prefilter: the byte after the opening quote must be the
+        // label's first byte. Bit 63's successor lives in the next block, so
+        // it is kept unconditionally and left to bytewise verification.
+        std::uint64_t first = quotes_.kernels().eq_mask(
+            data_ + block_start_, static_cast<std::uint8_t>(label_[0]));
+        candidates_ &= (first >> 1) | (1ULL << 63);
+    }
+}
+
+bool LabelSearch::advance_block()
+{
+    block_start_ += simd::kBlockSize;
+    if (block_start_ >= end_) {
+        block_start_ = end_;
+        candidates_ = 0;
+        return false;
+    }
+    classify_block();
+    return true;
+}
+
+bool LabelSearch::verify(std::size_t quote_pos, std::size_t& colon_pos) const
+{
+    std::size_t content = quote_pos + 1;
+    if (content + label_.size() + 1 > size_) {
+        return false;
+    }
+    if (std::memcmp(data_ + content, label_.data(), label_.size()) != 0) {
+        return false;
+    }
+    if (data_[content + label_.size()] != '"') {
+        return false;
+    }
+    std::size_t after = content + label_.size() + 1;
+    while (after < size_ && is_ws_byte(data_[after])) {
+        ++after;
+    }
+    if (after >= size_ || data_[after] != ':') {
+        return false;
+    }
+    colon_pos = after;
+    return true;
+}
+
+std::optional<LabelSearch::Occurrence> LabelSearch::next()
+{
+    while (block_start_ < end_) {
+        while (candidates_ != 0) {
+            int bit = bits::trailing_zeros(candidates_);
+            candidates_ = bits::clear_lowest_bit(candidates_);
+            std::size_t quote_pos = block_start_ + static_cast<std::size_t>(bit);
+            std::size_t colon_pos = 0;
+            if (verify(quote_pos, colon_pos)) {
+                return Occurrence{quote_pos, colon_pos};
+            }
+        }
+        if (!advance_block()) {
+            break;
+        }
+    }
+    return std::nullopt;
+}
+
+ResumePoint LabelSearch::resume_point_at(std::size_t pos)
+{
+    std::size_t target_block = pos / simd::kBlockSize * simd::kBlockSize;
+    while (block_start_ < target_block && advance_block()) {
+    }
+    ResumePoint point;
+    point.block_start = block_start_;
+    point.quote_state = block_entry_quote_state_;
+    point.floor = static_cast<int>(pos - block_start_);
+    return point;
+}
+
+void LabelSearch::resume(const ResumePoint& point)
+{
+    block_start_ = point.block_start;
+    if (block_start_ >= end_) {
+        block_start_ = end_;
+        candidates_ = 0;
+        return;
+    }
+    quotes_.set_state(point.quote_state);
+    classify_block();
+    candidates_ &= bits::mask_from(point.floor);
+}
+
+}  // namespace descend

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Skipping to a label (paper Sections 3.3 and 3.4): when a query begins
+ * with a descendant selector `..label`, the initial DFA state is *waiting*
+ * and the engine jumps straight from one occurrence of the label to the
+ * next, running the main algorithm only on the associated subdocuments.
+ *
+ * rsonpath uses memchr's memmem for this. Here the search is built from
+ * the same block kernels as the rest of the pipeline: each block yields
+ * the mask of *string-opening* quote positions (unescaped quotes that are
+ * outside strings — the quote classifier keeps running, so occurrences of
+ * the pattern inside string values are rejected for free), pre-filtered by
+ * the label's first byte; the surviving candidates are verified bytewise
+ * and must be followed by a colon to count as a member label.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "descend/classify/quote_classifier.h"
+#include "descend/engine/structural_iterator.h"
+
+namespace descend {
+
+class LabelSearch {
+public:
+    /** @param escaped_label the label's comparison form (raw bytes between
+     *  quotes in a minimally-escaped document). */
+    LabelSearch(const PaddedString& input, const simd::Kernels& kernels,
+                std::string_view escaped_label);
+
+    struct Occurrence {
+        std::size_t quote_pos;  ///< the label's opening quote
+        std::size_t colon_pos;  ///< the colon following the label
+    };
+
+    /** Finds the next genuine label occurrence, or nullopt at end. */
+    std::optional<Occurrence> next();
+
+    /**
+     * Rolls the quote pipeline forward to @p pos (which must be at or
+     * beyond the current position) and returns a ResumePoint there, for a
+     * StructuralIterator to take over.
+     */
+    ResumePoint resume_point_at(std::size_t pos);
+
+    /** Takes the pipeline back over from an iterator's ResumePoint. */
+    void resume(const ResumePoint& point);
+
+private:
+    bool advance_block();
+    void classify_block();
+    bool verify(std::size_t quote_pos, std::size_t& colon_pos) const;
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t end_;
+    classify::QuoteClassifier quotes_;
+    std::string label_;
+
+    std::size_t block_start_ = 0;
+    std::uint64_t candidates_ = 0;
+    classify::QuoteState block_entry_quote_state_;
+};
+
+}  // namespace descend

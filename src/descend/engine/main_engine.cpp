@@ -1,0 +1,404 @@
+#include "descend/engine/main_engine.h"
+
+#include "descend/engine/label_search.h"
+#include "descend/util/bit_stack.h"
+#include "descend/util/inline_vector.h"
+
+namespace descend {
+namespace {
+
+/** A sparse depth-stack frame: the state to restore and the depth at which
+ *  to restore it (paper Section 3.2). */
+struct Frame {
+    int state;
+    int depth;
+};
+
+/** Inline frame capacity mirrors the paper's SmallVec bound: the stack
+ *  lives on the thread's stack up to 128 frames. */
+using DepthStack = InlineVector<Frame, 128>;
+
+/**
+ * The paper's main algorithm (Section 3.4), templated over the sink so the
+ * counting path is fully monomorphized (as rsonpath's generic recorder is).
+ */
+template <typename Sink>
+class Simulation {
+public:
+    Simulation(const automaton::CompiledQuery& query, const EngineOptions& options,
+               Sink& sink, RunStats& stats)
+        : cq_(query),
+          options_(options),
+          sink_(sink),
+          stats_(stats),
+          other_(query.alphabet().other_symbol()),
+          counting_(query.has_indices())
+    {
+    }
+
+    /**
+     * Simulates the automaton from the iterator's current position until
+     * the enclosing element closes (depth returns to zero) or input ends.
+     * @param at_document_root the first opening character is the document
+     *        root, which triggers no automaton transition (the initial
+     *        state *is* the root's state); head-skip subruns pass false so
+     *        the value's label transition fires normally.
+     */
+    void run_main_loop(StructuralIterator& iter, bool at_document_root)
+    {
+        using Kind = StructuralIterator::Kind;
+        const automaton::CompiledQuery& cq = cq_;
+        const automaton::Alphabet& alphabet = cq.alphabet();
+
+        int state = cq.initial_state();
+        int depth = 0;
+        DepthStack stack;
+        BitStack kinds;
+        InlineVector<std::uint64_t, 64> counts;
+
+        if (!options_.leaf_skipping) {
+            // Leaf-skipping ablation: iterate every structural character.
+            iter.set_commas(true);
+            iter.set_colons(true);
+        }
+        // Toggling (Section 3.4): enable colons when an object member's
+        // label can take the automaton to an accepting state in one step;
+        // enable commas when an array entry can (or when entry counting is
+        // required by the index-selector extension). Disables are lazy
+        // (stale events are stepped over; Section 4.3) except for commas
+        // under counting, where a stale comma would corrupt the counters.
+        auto toggle = [&](int current_state, bool is_object) {
+            if (!options_.leaf_skipping) {
+                return;
+            }
+            const automaton::StateFlags& flags = cq.flags(current_state);
+            iter.set_colons(is_object && flags.colon_toggle);
+            iter.set_commas(!is_object && (flags.comma_toggle || counting_),
+                            /*eager_disable=*/counting_);
+        };
+
+        // The symbol of the current array entry: a concrete index symbol
+        // when the query uses index selectors, the artificial label else.
+        auto array_entry_symbol = [&](std::uint64_t entry_index) {
+            return counting_ ? alphabet.index_symbol(entry_index) : other_;
+        };
+
+        // The Section 4.5 extension: in a waiting, non-accepting state,
+        // fast-forward straight to the awaited label anywhere within the
+        // current element (or to the element's closer). Sound because every
+        // skipped event would leave the state unchanged and cannot match;
+        // atoms carrying the label are reported in-line. Returns with the
+        // iterator positioned either at a matching member's container value
+        // (depth/kinds extended to the containers opened on the way) or at
+        // the element's pending closer.
+        auto within_skip = [&](int current_state, int& current_depth,
+                               BitStack& current_kinds) {
+            int symbol = cq.waiting_symbol(current_state);
+            if (symbol < 0 || cq.flags(current_state).accepting || counting_) {
+                return;
+            }
+            const std::string& label = alphabet.label(symbol);
+            bool leaf_accepting =
+                cq.flags(cq.transition(current_state, symbol)).accepting;
+            BitStack opened;
+            int relative_depth = 1;
+            while (true) {
+                StructuralIterator::WithinResult found =
+                    iter.skip_to_label_within(label, opened, relative_depth);
+                ++stats_.within_skips;
+                if (found.outcome != StructuralIterator::WithinResult::Outcome::
+                                         kFoundLabel) {
+                    return;  // element closer pending (or malformed input)
+                }
+                std::uint8_t first = found.value_pos < iter.size()
+                                         ? iter.data()[found.value_pos]
+                                         : 0;
+                if (first == classify::kOpenBrace ||
+                    first == classify::kOpenBracket) {
+                    // The main loop takes over at the value's opening; its
+                    // label transition fires there. Account for the
+                    // containers the scan entered on the way.
+                    for (std::size_t i = 0; i < opened.size(); ++i) {
+                        current_kinds.push(opened.bit_at(i));
+                    }
+                    current_depth += static_cast<int>(opened.size());
+                    return;
+                }
+                if (leaf_accepting) {
+                    sink_.on_match(found.value_pos);
+                }
+                // Atomic value: keep scanning from just past it.
+            }
+        };
+
+        // First item of an array (Section 3.4, try_match_first_item): it is
+        // not preceded by a comma, so atoms are matched here.
+        auto try_match_first_item = [&](std::size_t open_pos, int current_state) {
+            int target = cq.transition(current_state, array_entry_symbol(0));
+            if (!cq.flags(target).accepting) {
+                return;
+            }
+            StructuralIterator::Event following = iter.peek();
+            if (following.kind == Kind::kOpening) {
+                return;  // handled by the Opening case
+            }
+            std::size_t item = iter.first_non_ws(open_pos + 1);
+            if (item >= following.pos) {
+                return;  // empty array
+            }
+            sink_.on_match(item);
+        };
+
+        while (true) {
+            StructuralIterator::Event event = iter.next();
+            if (event.kind == Kind::kNone) {
+                return;
+            }
+            ++stats_.events;
+            switch (event.kind) {
+                case Kind::kOpening: {
+                    bool is_object = event.byte == classify::kOpenBrace;
+                    if (depth > 0 || !at_document_root) {
+                        int symbol;
+                        if (auto label = iter.label_before(event.pos)) {
+                            symbol = alphabet.label_symbol(*label);
+                        } else {
+                            symbol = array_entry_symbol(
+                                counting_ && !counts.empty() ? counts.back() : 0);
+                        }
+                        int target = cq.transition(state, symbol);
+                        if (cq.flags(target).rejecting && options_.child_skipping) {
+                            // Skipping children: nothing below can match.
+                            ++stats_.child_skips;
+                            iter.skip_element(event.byte);
+                            continue;
+                        }
+                        if (target != state) {
+                            // A frame is needed only when the transition
+                            // changes behaviour; row-equivalent targets
+                            // (differing in acceptance alone) restore to
+                            // themselves, keeping the stack at O(n) for
+                            // child-free queries (Section 3.2).
+                            if (cq.row_class(target) != cq.row_class(state)) {
+                                stack.push_back({state, depth});
+                                if (stack.size() > stats_.max_stack) {
+                                    stats_.max_stack = stack.size();
+                                }
+                            }
+                            state = target;
+                        }
+                    }
+                    ++depth;
+                    kinds.push(is_object);
+                    if (counting_ && !is_object) {
+                        counts.push_back(0);
+                    }
+                    if (cq.flags(state).accepting) {
+                        sink_.on_match(event.pos);
+                    }
+                    toggle(state, is_object);
+                    if (!is_object) {
+                        try_match_first_item(event.pos, state);
+                    }
+                    if (options_.label_within_skipping) {
+                        within_skip(state, depth, kinds);
+                    }
+                    break;
+                }
+                case Kind::kClosing: {
+                    if (depth == 0) {
+                        // Malformed input: a closer with nothing open.
+                        // The engine only promises safe behaviour here.
+                        return;
+                    }
+                    --depth;
+                    bool closed_is_object = kinds.top();
+                    kinds.pop();
+                    if (counting_ && !closed_is_object) {
+                        counts.pop_back();
+                    }
+                    if (depth == 0) {
+                        return;  // the (sub)document root closed
+                    }
+                    if (!stack.empty() && stack.back().depth == depth) {
+                        // Sibling skipping is sound only when the closed
+                        // child advanced the automaton (its label was the
+                        // unitary state's unique live label). With child
+                        // skipping disabled the engine also descends into
+                        // rejected subtrees, whose frames must not trigger
+                        // the skip.
+                        bool child_advanced = !cq.flags(state).rejecting;
+                        state = stack.back().state;
+                        stack.pop_back();
+                        if (child_advanced && cq.flags(state).unitary &&
+                            options_.sibling_skipping) {
+                            // Labels do not repeat among siblings: the
+                            // parent holds no further matches.
+                            ++stats_.sibling_skips;
+                            iter.skip_to_parent_close(kinds.top());
+                            continue;
+                        }
+                    }
+                    toggle(state, kinds.top());
+                    if (options_.label_within_skipping) {
+                        within_skip(state, depth, kinds);
+                    }
+                    break;
+                }
+                case Kind::kColon: {
+                    // An object member; only act if its value is an atom
+                    // (the Opening case owns container values).
+                    if (kinds.empty() || iter.peek().kind == Kind::kOpening) {
+                        break;
+                    }
+                    int symbol = other_;
+                    if (auto label = iter.label_before(event.pos)) {
+                        symbol = alphabet.label_symbol(*label);
+                    }
+                    int target = cq.transition(state, symbol);
+                    if (cq.flags(target).accepting) {
+                        sink_.on_match(iter.first_non_ws(event.pos + 1));
+                        if (cq.flags(state).unitary && options_.sibling_skipping) {
+                            // The unitary state's unique label just matched
+                            // an atomic member: skip the remaining siblings.
+                            ++stats_.sibling_skips;
+                            iter.skip_to_parent_close(kinds.top());
+                        }
+                    }
+                    break;
+                }
+                case Kind::kComma: {
+                    if (kinds.empty() || kinds.top()) {
+                        break;  // object member separator (or malformed input)
+                    }
+                    if (counting_) {
+                        ++counts.back();
+                    }
+                    StructuralIterator::Event following = iter.peek();
+                    if (following.kind == Kind::kOpening ||
+                        following.kind == Kind::kNone) {
+                        break;
+                    }
+                    int target = cq.transition(
+                        state, array_entry_symbol(counting_ ? counts.back() : 0));
+                    if (cq.flags(target).accepting) {
+                        sink_.on_match(iter.first_non_ws(event.pos + 1));
+                    }
+                    break;
+                }
+                case Kind::kNone:
+                    return;
+            }
+        }
+    }
+
+    /** Skipping to a label (Sections 3.3-3.4): jump between occurrences of
+     *  the head label, running the main loop on each subdocument only. */
+    void run_head_skip(const PaddedString& document, const simd::Kernels& kernels)
+    {
+        const automaton::CompiledQuery& cq = cq_;
+        const std::string& label = *cq.head_skip_label();
+        int label_symbol = cq.alphabet().label_symbol(label);
+        int target_of_label = cq.transition(cq.initial_state(), label_symbol);
+        bool leaf_accepting = cq.flags(target_of_label).accepting;
+
+        LabelSearch search(document, kernels, label);
+        StructuralIterator iter(document, kernels);
+
+        while (auto occurrence = search.next()) {
+            ++stats_.head_skip_jumps;
+            std::size_t value = iter.first_non_ws(occurrence->colon_pos + 1);
+            if (value >= document.size()) {
+                break;
+            }
+            std::uint8_t first = document.data()[value];
+            if (first == classify::kOpenBrace || first == classify::kOpenBracket) {
+                // Container value: hand the pipeline to the structural
+                // iterator, run the main algorithm on the subdocument,
+                // then hand it back.
+                iter.resume(search.resume_point_at(value));
+                run_main_loop(iter, /*at_document_root=*/false);
+                search.resume(iter.resume_point());
+            } else if (leaf_accepting) {
+                // Atomic value: report directly; the search continues and
+                // the quote classifier keeps string contents excluded.
+                sink_.on_match(value);
+            }
+        }
+    }
+
+private:
+    const automaton::CompiledQuery& cq_;
+    const EngineOptions& options_;
+    Sink& sink_;
+    RunStats& stats_;
+    const int other_;
+    const bool counting_;
+};
+
+}  // namespace
+
+DescendEngine::DescendEngine(automaton::CompiledQuery query, EngineOptions options)
+    : query_(std::move(query)),
+      options_(options),
+      kernels_(&simd::kernels_for(options.simd))
+{
+}
+
+std::string DescendEngine::name() const
+{
+    return std::string("descend-") + kernels_->name;
+}
+
+template <typename Sink>
+RunStats DescendEngine::dispatch(const PaddedString& document, Sink& sink) const
+{
+    RunStats stats;
+    if (query_.root_accepting()) {
+        // The query is exactly `$`: it selects the whole document.
+        StructuralIterator iter(document, *kernels_);
+        std::size_t start = iter.first_non_ws(0);
+        if (start < document.size()) {
+            sink.on_match(start);
+        }
+        return stats;
+    }
+    Simulation<Sink> simulation(query_, options_, sink, stats);
+    if (query_.head_skip_label().has_value() && options_.head_skipping) {
+        simulation.run_head_skip(document, *kernels_);
+        return stats;
+    }
+    StructuralIterator iter(document, *kernels_);
+    simulation.run_main_loop(iter, /*at_document_root=*/true);
+    return stats;
+}
+
+void DescendEngine::run(const PaddedString& document, MatchSink& sink) const
+{
+    dispatch(document, sink);
+}
+
+RunStats DescendEngine::run_with_stats(const PaddedString& document,
+                                       MatchSink& sink) const
+{
+    return dispatch(document, sink);
+}
+
+namespace {
+
+/** Concrete counting sink: no virtual dispatch inside the hot loop. */
+struct DirectCounter {
+    std::size_t count = 0;
+    void on_match(std::size_t) { ++count; }
+};
+
+}  // namespace
+
+std::size_t DescendEngine::count(const PaddedString& document) const
+{
+    DirectCounter counter;
+    dispatch(document, counter);
+    return counter.count;
+}
+
+}  // namespace descend

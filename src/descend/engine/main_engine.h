@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The descend engine: the paper's main algorithm (Section 3.4).
+ *
+ * A compiled query automaton is simulated over the structural-event stream
+ * with a *depth-stack* (Section 3.2): one depth counter, a kind bit-stack
+ * (object vs array per open element), and a sparse stack of
+ * (state, depth) frames pushed only when a label transition changes the
+ * DFA state. All four skipping techniques of Section 3.3 are employed:
+ * leaves (comma/colon toggling), children (depth-classifier fast-forward
+ * on transitions into the trash state), siblings (fast-forward after a
+ * unitary state's unique label matched), and skipping to a label
+ * (memmem-style head-skipping for queries that begin with `..label`).
+ */
+#pragma once
+
+#include "descend/automaton/compiled.h"
+#include "descend/engine/api.h"
+#include "descend/engine/structural_iterator.h"
+
+namespace descend {
+
+class DescendEngine final : public JsonPathEngine {
+public:
+    DescendEngine(automaton::CompiledQuery query, EngineOptions options = {});
+
+    /** Convenience: parse, compile and wrap a query. */
+    static DescendEngine for_query(std::string_view query_text,
+                                   EngineOptions options = {})
+    {
+        return DescendEngine(automaton::CompiledQuery::compile(query_text), options);
+    }
+
+    std::string name() const override;
+    void run(const PaddedString& document, MatchSink& sink) const override;
+
+    /** Devirtualized counting path (the sink is monomorphized away). */
+    std::size_t count(const PaddedString& document) const override;
+
+    /** Like run(), additionally reporting what the engine did. */
+    RunStats run_with_stats(const PaddedString& document, MatchSink& sink) const;
+
+    const automaton::CompiledQuery& compiled_query() const noexcept { return query_; }
+    const EngineOptions& options() const noexcept { return options_; }
+
+private:
+    /**
+     * The simulation itself lives in main_engine.cpp as a template over
+     * the sink type: the generic entry points instantiate it with the
+     * abstract MatchSink, the counting path with a concrete counter.
+     */
+    template <typename Sink>
+    RunStats dispatch(const PaddedString& document, Sink& sink) const;
+
+    automaton::CompiledQuery query_;
+    EngineOptions options_;
+    const simd::Kernels* kernels_;
+};
+
+}  // namespace descend

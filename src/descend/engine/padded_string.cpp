@@ -1,0 +1,81 @@
+#include "descend/engine/padded_string.h"
+
+#include <cstring>
+#include <fstream>
+#include <new>
+
+#include "descend/util/errors.h"
+
+namespace descend {
+namespace {
+
+constexpr std::size_t kAlignment = 64;
+
+std::uint8_t* allocate_padded(std::size_t logical_size)
+{
+    std::size_t total = logical_size + PaddedString::kPadding;
+    auto* buffer = static_cast<std::uint8_t*>(
+        ::operator new(total, std::align_val_t(kAlignment)));
+    // Space padding keeps every classifier inert past the logical end.
+    std::memset(buffer + logical_size, ' ', PaddedString::kPadding);
+    return buffer;
+}
+
+}  // namespace
+
+PaddedString::PaddedString(std::string_view contents) : size_(contents.size())
+{
+    data_ = allocate_padded(size_);
+    std::memcpy(data_, contents.data(), size_);
+}
+
+PaddedString PaddedString::from_file(const std::string& path)
+{
+    std::ifstream file(path, std::ios::binary | std::ios::ate);
+    if (!file) {
+        throw Error("cannot open file: " + path);
+    }
+    std::streamsize size = file.tellg();
+    file.seekg(0);
+    PaddedString result;
+    result.size_ = static_cast<std::size_t>(size);
+    result.data_ = allocate_padded(result.size_);
+    if (!file.read(reinterpret_cast<char*>(result.data_), size)) {
+        throw Error("cannot read file: " + path);
+    }
+    return result;
+}
+
+PaddedString::PaddedString(PaddedString&& other) noexcept
+    : data_(other.data_), size_(other.size_)
+{
+    other.data_ = nullptr;
+    other.size_ = 0;
+}
+
+PaddedString& PaddedString::operator=(PaddedString&& other) noexcept
+{
+    if (this != &other) {
+        release();
+        data_ = other.data_;
+        size_ = other.size_;
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+PaddedString::~PaddedString()
+{
+    release();
+}
+
+void PaddedString::release() noexcept
+{
+    if (data_ != nullptr) {
+        ::operator delete(data_, std::align_val_t(kAlignment));
+        data_ = nullptr;
+    }
+}
+
+}  // namespace descend

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Input buffer for the streaming engines.
+ *
+ * All SIMD kernels read whole 64-byte blocks, so engine input must be
+ * over-allocated: PaddedString owns a 64-byte-aligned buffer whose logical
+ * contents are followed by at least one full block of spaces (whitespace is
+ * inert for every classifier). This mirrors simdjson's padded_string.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace descend {
+
+class PaddedString {
+public:
+    /** Padding guaranteed past size(): one full SIMD block plus slack. */
+    static constexpr std::size_t kPadding = 128;
+
+    PaddedString() = default;
+
+    /** Copies the contents into a fresh padded buffer. */
+    explicit PaddedString(std::string_view contents);
+
+    /** Reads a whole file into a padded buffer. Throws Error on failure. */
+    static PaddedString from_file(const std::string& path);
+
+    PaddedString(PaddedString&& other) noexcept;
+    PaddedString& operator=(PaddedString&& other) noexcept;
+    PaddedString(const PaddedString&) = delete;
+    PaddedString& operator=(const PaddedString&) = delete;
+    ~PaddedString();
+
+    const std::uint8_t* data() const noexcept { return data_; }
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+
+    std::string_view view() const noexcept
+    {
+        return {reinterpret_cast<const char*>(data_), size_};
+    }
+
+private:
+    void release() noexcept;
+
+    std::uint8_t* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+}  // namespace descend

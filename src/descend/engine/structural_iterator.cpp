@@ -1,0 +1,315 @@
+#include "descend/engine/structural_iterator.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "descend/util/bits.h"
+
+namespace descend {
+namespace {
+
+bool is_ws_byte(std::uint8_t byte)
+{
+    return byte == ' ' || byte == '\t' || byte == '\n' || byte == '\r';
+}
+
+}  // namespace
+
+StructuralIterator::StructuralIterator(const PaddedString& input,
+                                       const simd::Kernels& kernels)
+    : data_(input.data()),
+      size_(input.size()),
+      end_((input.size() + simd::kBlockSize - 1) / simd::kBlockSize * simd::kBlockSize),
+      quotes_(kernels),
+      structural_(kernels)
+{
+    if (end_ > 0) {
+        classify_block(/*with_structural=*/true);
+    }
+}
+
+void StructuralIterator::classify_block(bool with_structural)
+{
+    block_entry_quote_state_ = quotes_.state();
+    classify::QuoteMasks masks = quotes_.classify(data_ + block_start_);
+    in_string_ = masks.in_string;
+    unescaped_quotes_ = masks.unescaped_quotes;
+    struct_mask_ =
+        with_structural ? (structural_.classify(data_ + block_start_) & ~in_string_) : 0;
+}
+
+bool StructuralIterator::advance_block(bool with_structural)
+{
+    block_start_ += simd::kBlockSize;
+    floor_ = 0;
+    if (block_start_ >= end_) {
+        block_start_ = end_;
+        struct_mask_ = 0;
+        in_string_ = 0;
+        return false;
+    }
+    classify_block(with_structural);
+    return true;
+}
+
+StructuralIterator::Event StructuralIterator::event_at(int bit) const
+{
+    std::size_t pos = block_start_ + static_cast<std::size_t>(bit);
+    std::uint8_t byte = data_[pos];
+    Kind kind;
+    switch (byte) {
+        case classify::kOpenBrace:
+        case classify::kOpenBracket: kind = Kind::kOpening; break;
+        case classify::kCloseBrace:
+        case classify::kCloseBracket: kind = Kind::kClosing; break;
+        case classify::kColon: kind = Kind::kColon; break;
+        default: kind = Kind::kComma; break;
+    }
+    return {kind, byte, pos};
+}
+
+StructuralIterator::Event StructuralIterator::next()
+{
+    while (struct_mask_ == 0) {
+        if (block_start_ >= end_ || !advance_block(/*with_structural=*/true)) {
+            return {Kind::kNone, 0, size_};
+        }
+    }
+    int bit = bits::trailing_zeros(struct_mask_);
+    struct_mask_ = bits::clear_lowest_bit(struct_mask_);
+    floor_ = bit + 1;
+    return event_at(bit);
+}
+
+StructuralIterator::Event StructuralIterator::peek()
+{
+    while (struct_mask_ == 0) {
+        if (block_start_ >= end_ || !advance_block(/*with_structural=*/true)) {
+            return {Kind::kNone, 0, size_};
+        }
+    }
+    return event_at(bits::trailing_zeros(struct_mask_));
+}
+
+void StructuralIterator::set_commas(bool enabled, bool eager_disable)
+{
+    if (structural_.set_commas(enabled) && (enabled || eager_disable) &&
+        block_start_ < end_) {
+        struct_mask_ = structural_.classify(data_ + block_start_) & ~in_string_ &
+                       bits::mask_from(floor_);
+    }
+}
+
+void StructuralIterator::set_colons(bool enabled, bool eager_disable)
+{
+    if (structural_.set_colons(enabled) && (enabled || eager_disable) &&
+        block_start_ < end_) {
+        struct_mask_ = structural_.classify(data_ + block_start_) & ~in_string_ &
+                       bits::mask_from(floor_);
+    }
+}
+
+std::optional<std::string_view> StructuralIterator::label_before(std::size_t pos) const
+{
+    // Backtrack over whitespace (and the colon, when called for an opening
+    // character) to the closing quote of the label.
+    std::size_t i = pos;
+    while (i > 0 && is_ws_byte(data_[i - 1])) {
+        --i;
+    }
+    if (i == 0) {
+        return std::nullopt;
+    }
+    if (data_[i - 1] == classify::kColon) {
+        --i;
+        while (i > 0 && is_ws_byte(data_[i - 1])) {
+            --i;
+        }
+        if (i == 0) {
+            return std::nullopt;
+        }
+    }
+    if (data_[i - 1] != '"') {
+        // A comma, an opening bracket, or the start of the document: the
+        // element is an array entry (or the root) and carries the
+        // artificial label.
+        return std::nullopt;
+    }
+    std::size_t close = i - 1;
+    // Find the matching opening quote, skipping escaped quotes: a quote is
+    // escaped iff preceded by an odd-length backslash run.
+    std::size_t j = close;
+    while (j > 0) {
+        --j;
+        if (data_[j] != '"') {
+            continue;
+        }
+        std::size_t backslashes = 0;
+        while (j > backslashes && data_[j - 1 - backslashes] == '\\') {
+            ++backslashes;
+        }
+        if (backslashes % 2 == 0) {
+            // Unescaped quote: the label starts after it.
+            return std::string_view(reinterpret_cast<const char*>(data_ + j + 1),
+                                    close - j - 1);
+        }
+        j -= backslashes;
+    }
+    return std::nullopt;
+}
+
+void StructuralIterator::skip_until_depth_zero(classify::BracketKind kind,
+                                               bool consume_closer)
+{
+    const simd::Kernels& kernels = quotes_.kernels();
+    int relative_depth = 1;
+    std::uint64_t live = bits::mask_from(floor_);
+    while (block_start_ < end_) {
+        classify::DepthMasks masks =
+            classify::depth_masks(kernels, data_ + block_start_, kind);
+        masks.openers &= ~in_string_ & live;
+        masks.closers &= ~in_string_ & live;
+        int index = classify::find_depth_zero(masks, relative_depth);
+        if (index >= 0) {
+            floor_ = consume_closer ? index + 1 : index;
+            struct_mask_ = structural_.classify(data_ + block_start_) & ~in_string_ &
+                           bits::mask_from(floor_);
+            return;
+        }
+        if (!advance_block(/*with_structural=*/false)) {
+            return;  // malformed input: ran off the end
+        }
+        live = ~0ULL;
+    }
+}
+
+void StructuralIterator::skip_element(std::uint8_t opening_byte)
+{
+    skip_until_depth_zero(opening_byte == classify::kOpenBrace
+                              ? classify::BracketKind::kObject
+                              : classify::BracketKind::kArray,
+                          /*consume_closer=*/true);
+}
+
+void StructuralIterator::skip_to_parent_close(bool parent_is_object)
+{
+    skip_until_depth_zero(parent_is_object ? classify::BracketKind::kObject
+                                           : classify::BracketKind::kArray,
+                          /*consume_closer=*/false);
+}
+
+void StructuralIterator::seek(std::size_t pos)
+{
+    std::size_t target_block = pos / simd::kBlockSize * simd::kBlockSize;
+    while (block_start_ < target_block) {
+        if (!advance_block(/*with_structural=*/false)) {
+            return;
+        }
+    }
+    floor_ = static_cast<int>(pos - block_start_);
+    struct_mask_ = structural_.classify(data_ + block_start_) & ~in_string_ &
+                   bits::mask_from(floor_);
+}
+
+StructuralIterator::WithinResult StructuralIterator::skip_to_label_within(
+    std::string_view escaped_label, BitStack& opened, int& relative_depth)
+{
+    const simd::Kernels& kernels = quotes_.kernels();
+    WithinResult result;
+    std::uint64_t live = bits::mask_from(floor_);
+    while (block_start_ < end_) {
+        const std::uint8_t* block = data_ + block_start_;
+        std::uint64_t not_string = ~in_string_;
+        std::uint64_t openers =
+            (kernels.eq_mask(block, classify::kOpenBrace) |
+             kernels.eq_mask(block, classify::kOpenBracket)) &
+            not_string & live;
+        std::uint64_t closers =
+            (kernels.eq_mask(block, classify::kCloseBrace) |
+             kernels.eq_mask(block, classify::kCloseBracket)) &
+            not_string & live;
+        // Candidate labels: string-opening quotes, prefiltered by the
+        // label's first byte (bit 63's successor lives in the next block,
+        // so it is kept and left to bytewise verification).
+        std::uint64_t candidates = unescaped_quotes_ & in_string_ & live;
+        if (!escaped_label.empty()) {
+            std::uint64_t first = kernels.eq_mask(
+                block, static_cast<std::uint8_t>(escaped_label[0]));
+            candidates &= (first >> 1) | (1ULL << 63);
+        }
+        std::uint64_t combined = openers | closers | candidates;
+        for (bits::BitIter it(combined); !it.done(); it.advance()) {
+            int bit = it.index();
+            std::uint64_t bit_mask = 1ULL << bit;
+            std::size_t pos = block_start_ + static_cast<std::size_t>(bit);
+            if (openers & bit_mask) {
+                ++relative_depth;
+                opened.push(data_[pos] == classify::kOpenBrace);
+                continue;
+            }
+            if (closers & bit_mask) {
+                if (--relative_depth == 0) {
+                    // The element closed: leave the closer pending.
+                    seek(pos);
+                    result.outcome = WithinResult::Outcome::kElementEnd;
+                    return result;
+                }
+                opened.pop();
+                continue;
+            }
+            // Candidate: verify "<label>" followed by a colon.
+            std::size_t content = pos + 1;
+            if (content + escaped_label.size() + 1 > size_ ||
+                std::memcmp(data_ + content, escaped_label.data(),
+                            escaped_label.size()) != 0 ||
+                data_[content + escaped_label.size()] != '"') {
+                continue;
+            }
+            std::size_t after = first_non_ws(content + escaped_label.size() + 1);
+            if (after >= size_ || data_[after] != classify::kColon) {
+                continue;
+            }
+            result.outcome = WithinResult::Outcome::kFoundLabel;
+            result.colon_pos = after;
+            result.value_pos = first_non_ws(after + 1);
+            seek(result.value_pos);
+            return result;
+        }
+        if (!advance_block(/*with_structural=*/false)) {
+            break;
+        }
+        live = ~0ULL;
+    }
+    result.outcome = WithinResult::Outcome::kInputEnd;
+    return result;
+}
+
+ResumePoint StructuralIterator::resume_point() const
+{
+    return {block_start_, block_entry_quote_state_, floor_};
+}
+
+void StructuralIterator::resume(const ResumePoint& point)
+{
+    block_start_ = point.block_start;
+    floor_ = point.floor;
+    if (block_start_ >= end_) {
+        block_start_ = end_;
+        struct_mask_ = 0;
+        in_string_ = 0;
+        return;
+    }
+    quotes_.set_state(point.quote_state);
+    classify_block(/*with_structural=*/true);
+    struct_mask_ &= bits::mask_from(floor_);
+}
+
+std::size_t StructuralIterator::first_non_ws(std::size_t pos) const noexcept
+{
+    while (pos < size_ && is_ws_byte(data_[pos])) {
+        ++pos;
+    }
+    return pos;
+}
+
+}  // namespace descend

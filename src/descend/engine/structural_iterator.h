@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The structural iterator (paper Sections 3.4 and 4.3): the abstraction the
+ * main algorithm uses for all access to the stream. It runs the
+ * multi-classifier pipeline (Section 4.5):
+ *
+ *  - the quote classifier always runs, block by block;
+ *  - on top of it, either the structural classifier (normal iteration,
+ *    with commas/colons toggled on demand) or the depth classifier
+ *    (during skip fast-forwards) consumes the quote masks.
+ *
+ * Switching between the two is the stop/resume protocol: the quote
+ * classifier's boundary state plus the current block position form a
+ * ResumePoint that both this iterator and the label search (head-skipping)
+ * can save and restore, so classification is never repeated or lost.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "descend/classify/depth_classifier.h"
+#include "descend/classify/quote_classifier.h"
+#include "descend/classify/structural_classifier.h"
+#include "descend/engine/padded_string.h"
+#include "descend/simd/dispatch.h"
+#include "descend/util/bit_stack.h"
+
+namespace descend {
+
+/** A saved pipeline position: block start, quote state on entry to that
+ *  block, and the first unconsumed bit within it. */
+struct ResumePoint {
+    std::size_t block_start = 0;
+    classify::QuoteState quote_state;
+    int floor = 0;
+};
+
+class StructuralIterator {
+public:
+    enum class Kind : std::uint8_t {
+        kNone,     ///< end of input
+        kOpening,  ///< '{' or '['
+        kClosing,  ///< '}' or ']'
+        kColon,
+        kComma,
+    };
+
+    struct Event {
+        Kind kind = Kind::kNone;
+        std::uint8_t byte = 0;
+        std::size_t pos = 0;
+    };
+
+    StructuralIterator(const PaddedString& input, const simd::Kernels& kernels);
+
+    /** Consumes and returns the next enabled structural character. */
+    Event next();
+
+    /** Returns the next enabled structural character without consuming. */
+    Event peek();
+
+    /**
+     * Enables/disables comma and colon events. Enabling reclassifies the
+     * remainder of the current block so the new events surface
+     * immediately. Disabling reclassifies only when @p eager_disable is
+     * set; otherwise, per Section 4.3 of the paper, already-classified
+     * occurrences in the current block are simply stepped over by the
+     * consumer (the engine's event handlers verify transitions explicitly,
+     * so stale events are harmless — except to the index-counting
+     * extension, which passes eager_disable).
+     */
+    void set_commas(bool enabled, bool eager_disable = false);
+    void set_colons(bool enabled, bool eager_disable = false);
+    bool commas_enabled() const noexcept { return structural_.commas_enabled(); }
+    bool colons_enabled() const noexcept { return structural_.colons_enabled(); }
+
+    /**
+     * The label preceding the structural character at @p pos, obtained by
+     * backtracking through whitespace (and a colon, for opening characters)
+     * as described in Section 3.4. Returns the raw bytes between the label
+     * quotes, or nullopt for the artificial label of array entries and the
+     * document root.
+     */
+    std::optional<std::string_view> label_before(std::size_t pos) const;
+
+    /**
+     * Skipping children (Section 3.3): fast-forwards from just after an
+     * opening character of the given kind to just after its matching
+     * closer, using the depth classifier.
+     */
+    void skip_element(std::uint8_t opening_byte);
+
+    /**
+     * Skipping siblings (Section 3.3): fast-forwards to the closing
+     * character of the element we are currently inside, leaving that
+     * closer as the next event (it still drives the depth-stack).
+     */
+    void skip_to_parent_close(bool parent_is_object);
+
+    /** Outcome of skip_to_label_within (the Section 4.5 extension). */
+    struct WithinResult {
+        enum class Outcome : std::uint8_t {
+            kFoundLabel,   ///< a member with the label found inside the element
+            kElementEnd,   ///< the element closed first (closer left pending)
+            kInputEnd,     ///< ran off the end (malformed input)
+        };
+        Outcome outcome = Outcome::kInputEnd;
+        std::size_t colon_pos = 0;  ///< kFoundLabel: the member's colon
+        std::size_t value_pos = 0;  ///< kFoundLabel: first byte of the value
+    };
+
+    /**
+     * The "more refined classifier" the paper's Section 4.5 envisions:
+     * fast-forwards to the next occurrence of @p escaped_label as a member
+     * label anywhere inside the element the iterator is currently in,
+     * or to the element's closing character, whichever comes first.
+     *
+     * Tracks only bracket characters and candidate string-openings instead
+     * of full structural classification — no label backtracking, no
+     * automaton transitions for the skipped subtrees. The containers that
+     * are still open when the label is found are appended to @p opened
+     * (their kinds, outermost first), so the caller can extend its own
+     * bookkeeping; @p relative_depth carries the scan depth across calls
+     * (start it at 1 when just inside the element).
+     *
+     * Only sound for *waiting*, non-accepting automaton states (nothing in
+     * the skipped stream can change the state or produce a match); the
+     * engine checks that.
+     */
+    WithinResult skip_to_label_within(std::string_view escaped_label,
+                                      BitStack& opened, int& relative_depth);
+
+    /** Absolute offset of the next unconsumed byte. */
+    std::size_t position() const noexcept
+    {
+        return block_start_ + static_cast<std::size_t>(floor_);
+    }
+
+    /** Saves the pipeline position for another component to resume from. */
+    ResumePoint resume_point() const;
+
+    /** Restores the pipeline to a saved position. */
+    void resume(const ResumePoint& point);
+
+    /** First non-whitespace byte at or after @p pos (clamped to size). */
+    std::size_t first_non_ws(std::size_t pos) const noexcept;
+
+    const std::uint8_t* data() const noexcept { return data_; }
+    std::size_t size() const noexcept { return size_; }
+
+private:
+    /** Classifies the block at block_start_ (quotes always; structural
+     *  unless we are about to run the depth classifier instead). */
+    void classify_block(bool with_structural);
+
+    /** Advances to the next block; returns false at end of input. */
+    bool advance_block(bool with_structural);
+
+    /** Shared fast-forward core for both skip flavours. */
+    void skip_until_depth_zero(classify::BracketKind kind, bool consume_closer);
+
+    Event event_at(int bit) const;
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t end_;  ///< block-aligned end of classified input
+
+    classify::QuoteClassifier quotes_;
+    classify::StructuralClassifier structural_;
+
+    /** Repositions to @p pos (>= current position), rolling the quote
+     *  pipeline forward and reclassifying the target block from there. */
+    void seek(std::size_t pos);
+
+    std::size_t block_start_ = 0;
+    int floor_ = 0;
+    std::uint64_t in_string_ = 0;
+    std::uint64_t unescaped_quotes_ = 0;
+    std::uint64_t struct_mask_ = 0;
+    classify::QuoteState block_entry_quote_state_;
+};
+
+}  // namespace descend

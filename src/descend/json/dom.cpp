@@ -1,0 +1,47 @@
+#include "descend/json/dom.h"
+
+#include <algorithm>
+
+namespace descend::json {
+
+const Value* Value::find(std::string_view raw_key) const noexcept
+{
+    for (const Member& member : members_) {
+        if (member.key == raw_key) {
+            return member.value;
+        }
+    }
+    return nullptr;
+}
+
+std::size_t Value::subtree_size() const noexcept
+{
+    std::size_t total = 1;
+    for (const Member& member : members_) {
+        total += member.value->subtree_size();
+    }
+    for (const Value* element : elements_) {
+        total += element->subtree_size();
+    }
+    return total;
+}
+
+std::size_t Value::subtree_depth() const noexcept
+{
+    std::size_t deepest = 0;
+    for (const Member& member : members_) {
+        deepest = std::max(deepest, member.value->subtree_depth());
+    }
+    for (const Value* element : elements_) {
+        deepest = std::max(deepest, element->subtree_depth());
+    }
+    return deepest + 1;
+}
+
+Value* Document::allocate()
+{
+    arena_.push_back(std::make_unique<Value>());
+    return arena_.back().get();
+}
+
+}  // namespace descend::json

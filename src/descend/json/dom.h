@@ -1,0 +1,139 @@
+/**
+ * @file
+ * A straightforward JSON Document Object Model.
+ *
+ * This is the substrate for the correctness oracle (baselines/dom_engine),
+ * for validating generated workloads, and for the examples. It is *not* on
+ * the streaming engine's hot path — the whole point of the paper is that
+ * the engine never materializes a DOM.
+ *
+ * Object member keys are stored in their raw form (the bytes between the
+ * quotes, escapes untouched), because that is what the streaming engine
+ * compares labels against; string *values* are stored unescaped for
+ * convenience. Duplicate keys are preserved in document order.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace descend::json {
+
+enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kObject,
+    kArray,
+};
+
+class Value;
+
+/** An object member: raw key plus value, in document order. */
+struct Member {
+    std::string key;  ///< raw bytes between the key's quotes
+    Value* value;     ///< owned by the enclosing Document arena
+};
+
+/**
+ * One JSON value. Values are arena-allocated by Document and referenced by
+ * raw pointer internally; users normally interact through Document::root().
+ */
+class Value {
+public:
+    Type type() const noexcept { return type_; }
+    bool is_object() const noexcept { return type_ == Type::kObject; }
+    bool is_array() const noexcept { return type_ == Type::kArray; }
+    bool is_container() const noexcept { return is_object() || is_array(); }
+    bool is_string() const noexcept { return type_ == Type::kString; }
+    bool is_number() const noexcept { return type_ == Type::kNumber; }
+    bool is_bool() const noexcept { return type_ == Type::kBool; }
+    bool is_null() const noexcept { return type_ == Type::kNull; }
+
+    /** Byte offset of this value's first character in the source text. */
+    std::size_t source_offset() const noexcept { return offset_; }
+
+    bool as_bool() const noexcept { return bool_; }
+    double as_number() const noexcept { return number_; }
+    /** Unescaped string contents. */
+    const std::string& as_string() const noexcept { return string_; }
+
+    const std::vector<Member>& members() const noexcept { return members_; }
+    const std::vector<Value*>& elements() const noexcept { return elements_; }
+
+    /** First member with the given raw key, or nullptr. */
+    const Value* find(std::string_view raw_key) const noexcept;
+
+    /** Number of nodes in the subtree rooted here (including this node). */
+    std::size_t subtree_size() const noexcept;
+
+    /** Maximum nesting depth of the subtree (a leaf has depth 1). */
+    std::size_t subtree_depth() const noexcept;
+
+private:
+    friend class Document;
+    friend class Parser;
+
+    Type type_ = Type::kNull;
+    std::size_t offset_ = 0;
+    bool bool_ = false;
+    double number_ = 0;
+    std::string string_;
+    std::vector<Member> members_;
+    std::vector<Value*> elements_;
+};
+
+/**
+ * An owning parsed document: an arena of values plus the root. Movable,
+ * non-copyable.
+ */
+class Document {
+public:
+    Document() = default;
+    Document(Document&&) noexcept = default;
+    Document& operator=(Document&&) noexcept = default;
+    Document(const Document&) = delete;
+    Document& operator=(const Document&) = delete;
+
+    const Value& root() const noexcept { return *root_; }
+    bool empty() const noexcept { return root_ == nullptr; }
+
+private:
+    friend class Parser;
+
+    Value* allocate();
+
+    std::vector<std::unique_ptr<Value>> arena_;
+    Value* root_ = nullptr;
+};
+
+/** Options for the strict parser. */
+struct ParseOptions {
+    /** Maximum container nesting; protects the recursive parser's stack. */
+    std::size_t max_depth = 4096;
+};
+
+/**
+ * Strictly parses a JSON document. Throws ParseError (with byte offset) on
+ * malformed input. Validates structure, literals, numbers and escape
+ * sequences; does not validate raw UTF-8 byte sequences inside strings.
+ */
+Document parse(std::string_view text, const ParseOptions& options = {});
+
+/** True iff the text parses cleanly. */
+bool is_valid(std::string_view text);
+
+/** Unescapes the raw contents of a JSON string (no surrounding quotes).
+ *  Throws ParseError on invalid escapes. */
+std::string unescape(std::string_view raw);
+
+/** Escapes a raw byte string into minimal JSON string contents. */
+std::string escape(std::string_view text);
+
+}  // namespace descend::json

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Strict recursive-descent JSON parser for the DOM.
+ */
+#include <cctype>
+#include <charconv>
+#include <cstring>
+
+#include "descend/json/dom.h"
+#include "descend/util/errors.h"
+
+namespace descend::json {
+namespace {
+
+bool is_ws(char c)
+{
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool is_hex(char c)
+{
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+}  // namespace
+
+class Parser {
+public:
+    Parser(std::string_view text, const ParseOptions& options)
+        : text_(text), options_(options)
+    {
+    }
+
+    Document parse()
+    {
+        Document document;
+        document_ = &document;
+        skip_ws();
+        document.root_ = parse_value(0);
+        skip_ws();
+        if (pos_ != text_.size()) {
+            fail("trailing content after document");
+        }
+        return document;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& message) const
+    {
+        throw ParseError(message, pos_);
+    }
+
+    bool at_end() const { return pos_ >= text_.size(); }
+
+    char peek() const
+    {
+        if (at_end()) {
+            throw ParseError("unexpected end of input", pos_);
+        }
+        return text_[pos_];
+    }
+
+    char advance()
+    {
+        char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    void skip_ws()
+    {
+        while (pos_ < text_.size() && is_ws(text_[pos_])) {
+            ++pos_;
+        }
+    }
+
+    Value* parse_value(std::size_t depth)
+    {
+        if (depth > options_.max_depth) {
+            fail("maximum nesting depth exceeded");
+        }
+        Value* value = document_->allocate();
+        value->offset_ = pos_;
+        switch (peek()) {
+            case '{': parse_object(value, depth); break;
+            case '[': parse_array(value, depth); break;
+            case '"':
+                value->type_ = Type::kString;
+                value->string_ = unescape(parse_raw_string());
+                break;
+            case 't': parse_literal("true"); value->type_ = Type::kBool;
+                      value->bool_ = true; break;
+            case 'f': parse_literal("false"); value->type_ = Type::kBool;
+                      value->bool_ = false; break;
+            case 'n': parse_literal("null"); value->type_ = Type::kNull; break;
+            default: parse_number(value); break;
+        }
+        return value;
+    }
+
+    void parse_literal(const char* literal)
+    {
+        std::size_t length = std::strlen(literal);
+        if (text_.size() - pos_ < length ||
+            text_.compare(pos_, length, literal) != 0) {
+            fail(std::string("invalid literal, expected '") + literal + "'");
+        }
+        pos_ += length;
+    }
+
+    void parse_object(Value* value, std::size_t depth)
+    {
+        value->type_ = Type::kObject;
+        expect('{');
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            skip_ws();
+            if (peek() != '"') {
+                fail("expected object key");
+            }
+            std::string key(parse_raw_string());
+            // Validate the key's escapes eagerly; the raw form is stored.
+            unescape(key);
+            skip_ws();
+            expect(':');
+            skip_ws();
+            Value* member = parse_value(depth + 1);
+            value->members_.push_back({std::move(key), member});
+            skip_ws();
+            char c = advance();
+            if (c == '}') {
+                return;
+            }
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or '}' in object");
+            }
+        }
+    }
+
+    void parse_array(Value* value, std::size_t depth)
+    {
+        value->type_ = Type::kArray;
+        expect('[');
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            skip_ws();
+            value->elements_.push_back(parse_value(depth + 1));
+            skip_ws();
+            char c = advance();
+            if (c == ']') {
+                return;
+            }
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or ']' in array");
+            }
+        }
+    }
+
+    /** Parses a quoted string, returning the raw bytes between the quotes. */
+    std::string_view parse_raw_string()
+    {
+        expect('"');
+        std::size_t start = pos_;
+        while (true) {
+            char c = advance();
+            if (c == '"') {
+                return text_.substr(start, pos_ - 1 - start);
+            }
+            if (c == '\\') {
+                char escaped = advance();
+                if (escaped == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        if (!is_hex(advance())) {
+                            --pos_;
+                            fail("invalid \\u escape");
+                        }
+                    }
+                } else if (std::strchr("\"\\/bfnrt", escaped) == nullptr) {
+                    --pos_;
+                    fail("invalid escape character");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                --pos_;
+                fail("unescaped control character in string");
+            }
+        }
+    }
+
+    void parse_number(Value* value)
+    {
+        std::size_t start = pos_;
+        if (peek() == '-') {
+            ++pos_;
+        }
+        if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+            fail("invalid number");
+        }
+        if (peek() == '0') {
+            ++pos_;
+        } else {
+            while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (!at_end() && text_[pos_] == '.') {
+            ++pos_;
+            if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+                fail("digit expected after decimal point");
+            }
+            while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (!at_end() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (!at_end() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+                fail("digit expected in exponent");
+            }
+            while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        value->type_ = Type::kNumber;
+        std::string_view digits = text_.substr(start, pos_ - start);
+        double parsed = 0;
+        auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(),
+                                         parsed);
+        if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+            fail("number out of range");
+        }
+        value->number_ = parsed;
+    }
+
+    std::string_view text_;
+    ParseOptions options_;
+    std::size_t pos_ = 0;
+    Document* document_ = nullptr;
+};
+
+Document parse(std::string_view text, const ParseOptions& options)
+{
+    return Parser(text, options).parse();
+}
+
+bool is_valid(std::string_view text)
+{
+    try {
+        parse(text);
+        return true;
+    } catch (const ParseError&) {
+        return false;
+    }
+}
+
+std::string unescape(std::string_view raw)
+{
+    std::string result;
+    result.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        char c = raw[i];
+        if (c != '\\') {
+            result.push_back(c);
+            continue;
+        }
+        if (i + 1 >= raw.size()) {
+            throw ParseError("dangling backslash", i);
+        }
+        char escaped = raw[++i];
+        switch (escaped) {
+            case '"': result.push_back('"'); break;
+            case '\\': result.push_back('\\'); break;
+            case '/': result.push_back('/'); break;
+            case 'b': result.push_back('\b'); break;
+            case 'f': result.push_back('\f'); break;
+            case 'n': result.push_back('\n'); break;
+            case 'r': result.push_back('\r'); break;
+            case 't': result.push_back('\t'); break;
+            case 'u': {
+                if (i + 4 >= raw.size()) {
+                    throw ParseError("truncated \\u escape", i);
+                }
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    char h = raw[++i];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        code |= static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    } else if (h >= 'A' && h <= 'F') {
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    } else {
+                        throw ParseError("invalid \\u escape", i);
+                    }
+                }
+                // Encode as UTF-8. Surrogate pairs are passed through as two
+                // separate code units encoded independently (lossy but
+                // round-trippable for our purposes).
+                if (code < 0x80) {
+                    result.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    result.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                    result.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                } else {
+                    result.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                    result.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                    result.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                break;
+            }
+            default:
+                throw ParseError("invalid escape character", i);
+        }
+    }
+    return result;
+}
+
+std::string escape(std::string_view text)
+{
+    static const char* hex = "0123456789abcdef";
+    std::string result;
+    result.reserve(text.size());
+    for (char c : text) {
+        unsigned char byte = static_cast<unsigned char>(c);
+        switch (c) {
+            case '"': result += "\\\""; break;
+            case '\\': result += "\\\\"; break;
+            case '\b': result += "\\b"; break;
+            case '\f': result += "\\f"; break;
+            case '\n': result += "\\n"; break;
+            case '\r': result += "\\r"; break;
+            case '\t': result += "\\t"; break;
+            default:
+                if (byte < 0x20) {
+                    result += "\\u00";
+                    result.push_back(hex[byte >> 4]);
+                    result.push_back(hex[byte & 0x0f]);
+                } else {
+                    result.push_back(c);
+                }
+        }
+    }
+    return result;
+}
+
+}  // namespace descend::json

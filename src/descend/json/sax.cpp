@@ -1,0 +1,85 @@
+#include "descend/json/sax.h"
+
+namespace descend::json {
+namespace {
+
+bool is_ws(char c)
+{
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/** Scans a raw string starting at the opening quote; returns the position
+ *  one past the closing quote. */
+std::size_t scan_string(std::string_view text, std::size_t pos)
+{
+    ++pos;  // opening quote
+    while (pos < text.size()) {
+        char c = text[pos];
+        if (c == '\\') {
+            pos += 2;
+        } else if (c == '"') {
+            return pos + 1;
+        } else {
+            ++pos;
+        }
+    }
+    return pos;
+}
+
+/** Scans a non-string atom (number / true / false / null). */
+std::size_t scan_atom(std::string_view text, std::size_t pos)
+{
+    while (pos < text.size()) {
+        char c = text[pos];
+        if (is_ws(c) || c == ',' || c == '}' || c == ']') {
+            return pos;
+        }
+        ++pos;
+    }
+    return pos;
+}
+
+}  // namespace
+
+void sax_parse(std::string_view text, SaxHandler& handler)
+{
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        char c = text[pos];
+        if (is_ws(c) || c == ',' || c == ':') {
+            ++pos;
+            continue;
+        }
+        switch (c) {
+            case '{': handler.on_object_start(pos); ++pos; break;
+            case '}': handler.on_object_end(pos); ++pos; break;
+            case '[': handler.on_array_start(pos); ++pos; break;
+            case ']': handler.on_array_end(pos); ++pos; break;
+            case '"': {
+                std::size_t end = scan_string(text, pos);
+                std::string_view raw = text.substr(pos + 1, end - pos - 2);
+                // A string followed (after whitespace) by a colon is a key.
+                std::size_t after = end;
+                while (after < text.size() && is_ws(text[after])) {
+                    ++after;
+                }
+                if (after < text.size() && text[after] == ':') {
+                    handler.on_key(raw, pos);
+                    pos = after + 1;
+                } else {
+                    handler.on_atom(raw, pos);
+                    pos = end;
+                }
+                break;
+            }
+            default: {
+                std::size_t end = scan_atom(text, pos);
+                handler.on_atom(text.substr(pos, end - pos), pos);
+                pos = end;
+                break;
+            }
+        }
+    }
+}
+
+}  // namespace descend::json

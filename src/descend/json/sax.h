@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A scalar, byte-at-a-time SAX tokenizer.
+ *
+ * This is the substrate of the JsonSurfer-like baseline engine: the same
+ * streaming computational model as the paper's slow competitor — every
+ * byte inspected sequentially, events delivered through a handler, a full
+ * stack maintained by the consumer, and no SIMD anywhere.
+ *
+ * The tokenizer is permissive (it assumes well-formed input, like the
+ * streaming engines) but handles strings/escapes exactly.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace descend::json {
+
+/**
+ * Receiver of SAX events. Offsets are byte positions into the document.
+ * Keys and atoms are passed in raw form (string contents still escaped,
+ * numbers as text).
+ */
+class SaxHandler {
+public:
+    virtual ~SaxHandler() = default;
+
+    virtual void on_object_start(std::size_t offset) = 0;
+    virtual void on_object_end(std::size_t offset) = 0;
+    virtual void on_array_start(std::size_t offset) = 0;
+    virtual void on_array_end(std::size_t offset) = 0;
+    /** An object member key (raw bytes between the quotes). */
+    virtual void on_key(std::string_view raw_key, std::size_t offset) = 0;
+    /** Any atomic value: string (raw, without quotes), number, bool, null. */
+    virtual void on_atom(std::string_view raw_atom, std::size_t offset) = 0;
+};
+
+/** Streams the document through the handler. */
+void sax_parse(std::string_view text, SaxHandler& handler);
+
+}  // namespace descend::json

@@ -1,0 +1,109 @@
+#include "descend/json/serializer.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace descend::json {
+namespace {
+
+void append_number(std::string& out, double number)
+{
+    // Integral values within the exact double range print without a decimal
+    // point, which keeps generated datasets compact and readable.
+    if (number == std::floor(number) && std::abs(number) < 1e15) {
+        char buffer[32];
+        auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer),
+                                       static_cast<long long>(number));
+        out.append(buffer, ptr);
+        return;
+    }
+    char buffer[40];
+    auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), number);
+    out.append(buffer, ptr);
+}
+
+class Serializer {
+public:
+    explicit Serializer(const SerializeOptions& options) : options_(options) {}
+
+    std::string run(const Value& value)
+    {
+        write(value, 0);
+        return std::move(out_);
+    }
+
+private:
+    void newline(int depth)
+    {
+        if (options_.indent >= 0) {
+            out_.push_back('\n');
+            out_.append(static_cast<std::size_t>(options_.indent * depth), ' ');
+        }
+    }
+
+    void write(const Value& value, int depth)
+    {
+        switch (value.type()) {
+            case Type::kNull: out_ += "null"; break;
+            case Type::kBool: out_ += value.as_bool() ? "true" : "false"; break;
+            case Type::kNumber: append_number(out_, value.as_number()); break;
+            case Type::kString:
+                out_.push_back('"');
+                out_ += escape(value.as_string());
+                out_.push_back('"');
+                break;
+            case Type::kObject: {
+                out_.push_back('{');
+                bool first = true;
+                for (const Member& member : value.members()) {
+                    if (!first) {
+                        out_.push_back(',');
+                    }
+                    first = false;
+                    newline(depth + 1);
+                    out_.push_back('"');
+                    out_ += member.key;  // keys are stored raw (pre-escaped)
+                    out_ += "\":";
+                    if (options_.indent >= 0) {
+                        out_.push_back(' ');
+                    }
+                    write(*member.value, depth + 1);
+                }
+                if (!value.members().empty()) {
+                    newline(depth);
+                }
+                out_.push_back('}');
+                break;
+            }
+            case Type::kArray: {
+                out_.push_back('[');
+                bool first = true;
+                for (const Value* element : value.elements()) {
+                    if (!first) {
+                        out_.push_back(',');
+                    }
+                    first = false;
+                    newline(depth + 1);
+                    write(*element, depth + 1);
+                }
+                if (!value.elements().empty()) {
+                    newline(depth);
+                }
+                out_.push_back(']');
+                break;
+            }
+        }
+    }
+
+    SerializeOptions options_;
+    std::string out_;
+};
+
+}  // namespace
+
+std::string serialize(const Value& value, const SerializeOptions& options)
+{
+    return Serializer(options).run(value);
+}
+
+}  // namespace descend::json

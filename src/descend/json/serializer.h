@@ -1,0 +1,21 @@
+/**
+ * @file
+ * JSON serialization of DOM values.
+ */
+#pragma once
+
+#include <string>
+
+#include "descend/json/dom.h"
+
+namespace descend::json {
+
+struct SerializeOptions {
+    /** Spaces per indent level; negative means compact single-line output. */
+    int indent = -1;
+};
+
+/** Serializes a value (and its subtree) back to JSON text. */
+std::string serialize(const Value& value, const SerializeOptions& options = {});
+
+}  // namespace descend::json

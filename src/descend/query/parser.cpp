@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Recursive-descent parser for the JSONPath fragment.
+ *
+ * Accepted syntax:
+ *
+ *   query        := '$' segment*
+ *   segment      := '.' name | '.' '*' | '..' name | '..' '*'
+ *                 | bracket | '..' bracket
+ *   bracket      := '[' "'" qlabel "'" ']' | '[' '"' qlabel '"' ']'
+ *                 | '[' '*' ']' | '[' digits ']'
+ *   name         := bare member-name characters (alnum, '_', '-', '$',
+ *                   and any non-ASCII byte)
+ *
+ * Quoted labels support the escapes \' \" \\ \/ \b \f \n \r \t \uXXXX.
+ */
+#include <cctype>
+#include <string>
+
+#include "descend/json/dom.h"
+#include "descend/query/query.h"
+#include "descend/util/errors.h"
+
+namespace descend::query {
+namespace {
+
+bool is_bare_label_char(char c)
+{
+    unsigned char byte = static_cast<unsigned char>(c);
+    return std::isalnum(byte) || c == '_' || c == '-' || c == '$' || byte >= 0x80;
+}
+
+}  // namespace
+
+class QueryParser {
+public:
+    explicit QueryParser(std::string_view text) : text_(text) {}
+
+    Query run()
+    {
+        Query result;
+        result.text_ = std::string(text_);
+        if (text_.empty() || text_[0] != '$') {
+            fail("query must start with '$'");
+        }
+        ++pos_;
+        result.selectors_.push_back({SelectorKind::kRoot, "", "", 0});
+        while (pos_ < text_.size()) {
+            result.selectors_.push_back(parse_segment());
+        }
+        return result;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& message) const
+    {
+        throw QueryError(message, pos_);
+    }
+
+    char peek() const
+    {
+        if (pos_ >= text_.size()) {
+            throw QueryError("unexpected end of query", pos_);
+        }
+        return text_[pos_];
+    }
+
+    Selector parse_segment()
+    {
+        if (peek() == '[') {
+            return parse_bracket(/*descendant=*/false);
+        }
+        if (peek() != '.') {
+            fail("expected '.' or '['");
+        }
+        ++pos_;
+        bool descendant = false;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            descendant = true;
+            ++pos_;
+        }
+        if (pos_ >= text_.size()) {
+            fail("selector expected after dot");
+        }
+        if (text_[pos_] == '[') {
+            if (!descendant) {
+                fail("'.[' is not valid; use '[' directly or '..['");
+            }
+            return parse_bracket(/*descendant=*/true);
+        }
+        if (text_[pos_] == '*') {
+            ++pos_;
+            return make_wildcard(descendant);
+        }
+        std::string label = parse_bare_label();
+        return make_label(descendant, std::move(label));
+    }
+
+    std::string parse_bare_label()
+    {
+        std::size_t start = pos_;
+        while (pos_ < text_.size() && is_bare_label_char(text_[pos_])) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            fail("member name expected");
+        }
+        return std::string(text_.substr(start, pos_ - start));
+    }
+
+    Selector parse_bracket(bool descendant)
+    {
+        ++pos_;  // '['
+        char c = peek();
+        if (c == '*') {
+            ++pos_;
+            expect(']');
+            return make_wildcard(descendant);
+        }
+        if (c == '\'' || c == '"') {
+            std::string label = parse_quoted_label(c);
+            expect(']');
+            return make_label(descendant, std::move(label));
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            if (descendant) {
+                fail("descendant index selectors are not supported");
+            }
+            std::uint64_t index = 0;
+            std::size_t digits = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                index = index * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+                ++pos_;
+                if (++digits > 18) {
+                    fail("array index too large");
+                }
+            }
+            expect(']');
+            return Selector{SelectorKind::kChildIndex, "", "", index};
+        }
+        fail("expected label, '*' or index in brackets");
+    }
+
+    std::string parse_quoted_label(char quote)
+    {
+        ++pos_;  // opening quote
+        std::string label;
+        while (true) {
+            char c = peek();
+            ++pos_;
+            if (c == quote) {
+                return label;
+            }
+            if (c != '\\') {
+                label.push_back(c);
+                continue;
+            }
+            char escaped = peek();
+            ++pos_;
+            switch (escaped) {
+                case '\'': label.push_back('\''); break;
+                case '"': label.push_back('"'); break;
+                case '\\': label.push_back('\\'); break;
+                case '/': label.push_back('/'); break;
+                case 'b': label.push_back('\b'); break;
+                case 'f': label.push_back('\f'); break;
+                case 'n': label.push_back('\n'); break;
+                case 'r': label.push_back('\r'); break;
+                case 't': label.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail("truncated \\u escape");
+                    }
+                    // Reuse the JSON unescaper for the \uXXXX encoding.
+                    std::string raw = "\\u" + std::string(text_.substr(pos_, 4));
+                    label += json::unescape(raw);
+                    pos_ += 4;
+                    break;
+                }
+                default: fail("invalid escape in label");
+            }
+        }
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    static Selector make_wildcard(bool descendant)
+    {
+        return Selector{descendant ? SelectorKind::kDescendantWildcard
+                                   : SelectorKind::kChildWildcard,
+                        "", "", 0};
+    }
+
+    static Selector make_label(bool descendant, std::string label)
+    {
+        Selector selector;
+        selector.kind =
+            descendant ? SelectorKind::kDescendant : SelectorKind::kChild;
+        selector.label_escaped = json::escape(label);
+        selector.label = std::move(label);
+        return selector;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+Query Query::parse(std::string_view text)
+{
+    return QueryParser(text).run();
+}
+
+}  // namespace descend::query

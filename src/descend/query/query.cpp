@@ -1,0 +1,44 @@
+#include "descend/query/query.h"
+
+#include <algorithm>
+
+namespace descend::query {
+
+bool Query::has_descendants() const noexcept
+{
+    return std::any_of(selectors_.begin(), selectors_.end(),
+                       [](const Selector& s) { return s.is_descendant(); });
+}
+
+bool Query::has_indices() const noexcept
+{
+    return std::any_of(selectors_.begin(), selectors_.end(), [](const Selector& s) {
+        return s.kind == SelectorKind::kChildIndex;
+    });
+}
+
+std::string Query::to_string() const
+{
+    std::string out;
+    for (const Selector& selector : selectors_) {
+        switch (selector.kind) {
+            case SelectorKind::kRoot: out += "$"; break;
+            case SelectorKind::kChild:
+                out += ".";
+                out += selector.label;
+                break;
+            case SelectorKind::kChildWildcard: out += ".*"; break;
+            case SelectorKind::kChildIndex:
+                out += "[" + std::to_string(selector.index) + "]";
+                break;
+            case SelectorKind::kDescendant:
+                out += "..";
+                out += selector.label;
+                break;
+            case SelectorKind::kDescendantWildcard: out += "..*"; break;
+        }
+    }
+    return out;
+}
+
+}  // namespace descend::query

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * JSONPath query AST for the fragment studied in the paper,
+ *
+ *     e ::= $ | e.label | e.* | e..label
+ *
+ * plus two flagged extensions: descendant wildcard `..*` (supported by
+ * rsonpath) and array index selectors `[n]` (the paper's Section 6
+ * "near future" feature). Bracket notation ['label'], ["label"], [*] and
+ * [n] parses to the same selectors as the dot forms.
+ *
+ * Labels are stored in two forms: the unescaped text, and the *comparison
+ * form* — the minimally-JSON-escaped bytes, which is what appears between
+ * quotes in a document that uses minimal escaping. Like rsonpath, the
+ * streaming engine compares labels byte-for-byte in their raw form, so
+ * documents using non-minimal escapes (e.g. a for 'a') will not match;
+ * see README "Limitations".
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace descend::query {
+
+enum class SelectorKind : std::uint8_t {
+    kRoot,                ///< $
+    kChild,               ///< .label
+    kChildWildcard,       ///< .*
+    kChildIndex,          ///< [n]           (extension)
+    kDescendant,          ///< ..label
+    kDescendantWildcard,  ///< ..*           (extension)
+};
+
+struct Selector {
+    SelectorKind kind;
+    /** Unescaped label text (kChild / kDescendant only). */
+    std::string label;
+    /** Minimally-escaped label bytes, as compared against documents. */
+    std::string label_escaped;
+    /** Array index (kChildIndex only). */
+    std::uint64_t index = 0;
+
+    bool is_descendant() const noexcept
+    {
+        return kind == SelectorKind::kDescendant ||
+               kind == SelectorKind::kDescendantWildcard;
+    }
+};
+
+/** A parsed JSONPath query: a root selector followed by path selectors. */
+class Query {
+public:
+    /** Parses a query; throws QueryError on malformed input. */
+    static Query parse(std::string_view text);
+
+    /** The selector list. selectors()[0] is always kRoot. */
+    const std::vector<Selector>& selectors() const noexcept { return selectors_; }
+
+    /** Number of non-root selectors. */
+    std::size_t size() const noexcept { return selectors_.size() - 1; }
+
+    /** True if any selector is a descendant selector. */
+    bool has_descendants() const noexcept;
+
+    /** True if any selector is an index selector (extension). */
+    bool has_indices() const noexcept;
+
+    /** The original query text. */
+    const std::string& text() const noexcept { return text_; }
+
+    /** Canonical dot/bracket rendering of the parsed query. */
+    std::string to_string() const;
+
+private:
+    friend class QueryParser;
+
+    std::vector<Selector> selectors_;
+    std::string text_;
+};
+
+}  // namespace descend::query

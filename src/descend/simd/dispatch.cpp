@@ -1,0 +1,44 @@
+#include "descend/simd/dispatch.h"
+
+namespace descend::simd {
+
+#if DESCEND_HAVE_AVX2_KERNELS
+// Implemented in kernels_avx2.cpp (compiled with -mavx2 -mpclmul).
+const Kernels& avx2_kernel_table() noexcept;
+#endif
+
+bool avx2_available() noexcept
+{
+#if DESCEND_HAVE_AVX2_KERNELS
+    static const bool available =
+        __builtin_cpu_supports("avx2") && __builtin_cpu_supports("pclmul");
+    return available;
+#else
+    return false;
+#endif
+}
+
+const Kernels& avx2_kernels() noexcept
+{
+#if DESCEND_HAVE_AVX2_KERNELS
+    if (avx2_available()) {
+        return avx2_kernel_table();
+    }
+#endif
+    return scalar_kernels();
+}
+
+const Kernels& kernels_for(Level level) noexcept
+{
+    if (level == Level::avx2) {
+        return avx2_kernels();
+    }
+    return scalar_kernels();
+}
+
+const Kernels& best_kernels() noexcept
+{
+    return avx2_kernels();
+}
+
+}  // namespace descend::simd

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel table.
+ *
+ * Every classifier in the pipeline (Section 4 of the paper) is expressed in
+ * terms of a handful of 64-byte-block kernels. Two implementations exist:
+ *
+ *  - scalar: portable per-byte/SWAR code, always compiled. It doubles as
+ *    the differential-testing reference and as the ablation baseline for
+ *    the "SIMD vs scalar pipeline" experiment.
+ *  - avx2: AVX2 + PCLMUL intrinsics, compiled in a separate translation
+ *    unit with the matching ISA flags and selected only after a CPUID
+ *    check, mirroring rsonpath's target-feature gating.
+ *
+ * All block kernels operate on exactly 64 input bytes (one bitmask word).
+ * Blocks need not be aligned; engine input buffers come from PaddedString,
+ * which guarantees at least 64 readable bytes past the logical end.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace descend::simd {
+
+/** Size in bytes of the unit block all kernels operate on. */
+inline constexpr std::size_t kBlockSize = 64;
+
+enum class Level {
+    scalar,
+    avx2,
+};
+
+/**
+ * The kernel function table.
+ *
+ * classify_eq implements the non-overlapping-groups method of Section 4.1:
+ * a byte is accepted iff ltab[lower nibble] == utab[upper nibble], with the
+ * x86 shuffle semantics that a set MSB forces the lower-nibble lookup to 0.
+ *
+ * classify_or implements the few-groups (<= 8) method: a byte is accepted
+ * iff (ltab[lower] | utab[upper]) == 0xff, same MSB rule.
+ */
+struct Kernels {
+    Level level;
+    const char* name;
+
+    /** Bitmask of positions where block[i] == value. */
+    std::uint64_t (*eq_mask)(const std::uint8_t* block, std::uint8_t value);
+
+    /** Non-overlapping-groups classification (Section 4.1, 5 SIMD ops). */
+    std::uint64_t (*classify_eq)(const std::uint8_t* block, const std::uint8_t* ltab,
+                                 const std::uint8_t* utab);
+
+    /** Few-groups classification (Section 4.1, 6 SIMD ops). */
+    std::uint64_t (*classify_or)(const std::uint8_t* block, const std::uint8_t* ltab,
+                                 const std::uint8_t* utab);
+
+    /**
+     * Variants that zero the upper nibbles of the lower-lookup index (the
+     * paper's footnote 2), one extra SIMD op each. Required whenever the
+     * predicate involves bytes >= 0x80, where the unmasked shuffle would
+     * force the lower lookup to zero.
+     */
+    std::uint64_t (*classify_eq_masked)(const std::uint8_t* block,
+                                        const std::uint8_t* ltab,
+                                        const std::uint8_t* utab);
+    std::uint64_t (*classify_or_masked)(const std::uint8_t* block,
+                                        const std::uint8_t* ltab,
+                                        const std::uint8_t* utab);
+
+    /** Prefix XOR over mask bits (CLMUL by all-ones on the AVX2 path). */
+    std::uint64_t (*prefix_xor)(std::uint64_t mask);
+};
+
+/** The portable reference kernels. */
+const Kernels& scalar_kernels() noexcept;
+
+/**
+ * The AVX2 kernels if compiled in and supported by this CPU; otherwise the
+ * scalar kernels.
+ */
+const Kernels& avx2_kernels() noexcept;
+
+/** True when AVX2+PCLMUL kernels are compiled in and the CPU supports them. */
+bool avx2_available() noexcept;
+
+/** Kernels for the requested level (falls back to scalar if unavailable). */
+const Kernels& kernels_for(Level level) noexcept;
+
+/** The best kernels available on this machine. */
+const Kernels& best_kernels() noexcept;
+
+}  // namespace descend::simd

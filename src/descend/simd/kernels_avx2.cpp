@@ -1,0 +1,150 @@
+/**
+ * @file
+ * AVX2 + PCLMUL implementations of the block kernels.
+ *
+ * This translation unit is compiled with -mavx2 -mpclmul and must only be
+ * entered after simd::avx2_available() confirmed hardware support; the
+ * dispatcher guarantees that. Each 64-byte block is processed as two
+ * 32-byte lanes whose movemasks are concatenated into one u64.
+ *
+ * classify_eq is the 5-instruction non-overlapping-groups classifier from
+ * Section 4.1 of the paper (shift, two shuffles, cmpeq, movemask);
+ * classify_or adds one OR for the few-groups case. prefix_xor is a single
+ * carry-less multiplication by an all-ones vector (Section 4.2).
+ */
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "descend/simd/dispatch.h"
+
+namespace descend::simd {
+namespace {
+
+inline __m256i load_half(const std::uint8_t* ptr)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ptr));
+}
+
+inline std::uint64_t movemask_pair(__m256i lo, __m256i hi)
+{
+    std::uint32_t low = static_cast<std::uint32_t>(_mm256_movemask_epi8(lo));
+    std::uint32_t high = static_cast<std::uint32_t>(_mm256_movemask_epi8(hi));
+    return static_cast<std::uint64_t>(high) << 32 | low;
+}
+
+std::uint64_t eq_mask_avx2(const std::uint8_t* block, std::uint8_t value)
+{
+    __m256i needle = _mm256_set1_epi8(static_cast<char>(value));
+    __m256i lo = _mm256_cmpeq_epi8(load_half(block), needle);
+    __m256i hi = _mm256_cmpeq_epi8(load_half(block + 32), needle);
+    return movemask_pair(lo, hi);
+}
+
+inline __m256i broadcast_table(const std::uint8_t* table)
+{
+    __m128i t = _mm_loadu_si128(reinterpret_cast<const __m128i*>(table));
+    return _mm256_broadcastsi128_si256(t);
+}
+
+/** shiftright_epi8 simulated by a 16-bit shift plus nibble mask (Sec. 4.1). */
+inline __m256i upper_nibbles(__m256i src)
+{
+    return _mm256_and_si256(_mm256_srli_epi16(src, 4), _mm256_set1_epi8(0x0f));
+}
+
+std::uint64_t classify_eq_avx2(const std::uint8_t* block, const std::uint8_t* ltab,
+                               const std::uint8_t* utab)
+{
+    __m256i lt = broadcast_table(ltab);
+    __m256i ut = broadcast_table(utab);
+    __m256i lo = load_half(block);
+    __m256i hi = load_half(block + 32);
+    __m256i lo_match = _mm256_cmpeq_epi8(_mm256_shuffle_epi8(lt, lo),
+                                         _mm256_shuffle_epi8(ut, upper_nibbles(lo)));
+    __m256i hi_match = _mm256_cmpeq_epi8(_mm256_shuffle_epi8(lt, hi),
+                                         _mm256_shuffle_epi8(ut, upper_nibbles(hi)));
+    return movemask_pair(lo_match, hi_match);
+}
+
+std::uint64_t classify_or_avx2(const std::uint8_t* block, const std::uint8_t* ltab,
+                               const std::uint8_t* utab)
+{
+    __m256i lt = broadcast_table(ltab);
+    __m256i ut = broadcast_table(utab);
+    __m256i ones = _mm256_set1_epi8(static_cast<char>(0xff));
+    __m256i lo = load_half(block);
+    __m256i hi = load_half(block + 32);
+    __m256i lo_or = _mm256_or_si256(_mm256_shuffle_epi8(lt, lo),
+                                    _mm256_shuffle_epi8(ut, upper_nibbles(lo)));
+    __m256i hi_or = _mm256_or_si256(_mm256_shuffle_epi8(lt, hi),
+                                    _mm256_shuffle_epi8(ut, upper_nibbles(hi)));
+    return movemask_pair(_mm256_cmpeq_epi8(lo_or, ones), _mm256_cmpeq_epi8(hi_or, ones));
+}
+
+inline __m256i lower_nibbles(__m256i src)
+{
+    return _mm256_and_si256(src, _mm256_set1_epi8(0x0f));
+}
+
+std::uint64_t classify_eq_masked_avx2(const std::uint8_t* block,
+                                      const std::uint8_t* ltab,
+                                      const std::uint8_t* utab)
+{
+    __m256i lt = broadcast_table(ltab);
+    __m256i ut = broadcast_table(utab);
+    __m256i lo = load_half(block);
+    __m256i hi = load_half(block + 32);
+    __m256i lo_match =
+        _mm256_cmpeq_epi8(_mm256_shuffle_epi8(lt, lower_nibbles(lo)),
+                          _mm256_shuffle_epi8(ut, upper_nibbles(lo)));
+    __m256i hi_match =
+        _mm256_cmpeq_epi8(_mm256_shuffle_epi8(lt, lower_nibbles(hi)),
+                          _mm256_shuffle_epi8(ut, upper_nibbles(hi)));
+    return movemask_pair(lo_match, hi_match);
+}
+
+std::uint64_t classify_or_masked_avx2(const std::uint8_t* block,
+                                      const std::uint8_t* ltab,
+                                      const std::uint8_t* utab)
+{
+    __m256i lt = broadcast_table(ltab);
+    __m256i ut = broadcast_table(utab);
+    __m256i ones = _mm256_set1_epi8(static_cast<char>(0xff));
+    __m256i lo = load_half(block);
+    __m256i hi = load_half(block + 32);
+    __m256i lo_or = _mm256_or_si256(_mm256_shuffle_epi8(lt, lower_nibbles(lo)),
+                                    _mm256_shuffle_epi8(ut, upper_nibbles(lo)));
+    __m256i hi_or = _mm256_or_si256(_mm256_shuffle_epi8(lt, lower_nibbles(hi)),
+                                    _mm256_shuffle_epi8(ut, upper_nibbles(hi)));
+    return movemask_pair(_mm256_cmpeq_epi8(lo_or, ones), _mm256_cmpeq_epi8(hi_or, ones));
+}
+
+std::uint64_t prefix_xor_clmul(std::uint64_t mask)
+{
+    __m128i value = _mm_set_epi64x(0, static_cast<long long>(mask));
+    __m128i all_ones = _mm_set1_epi8(static_cast<char>(0xff));
+    __m128i product = _mm_clmulepi64_si128(value, all_ones, 0);
+    return static_cast<std::uint64_t>(_mm_cvtsi128_si64(product));
+}
+
+}  // namespace
+
+/** Defined here (not in dispatch.cpp) so only this ISA-flagged TU names the
+ *  intrinsics; dispatch.cpp picks the table up via this accessor. */
+const Kernels& avx2_kernel_table() noexcept
+{
+    static const Kernels kernels = {
+        Level::avx2,
+        "avx2",
+        eq_mask_avx2,
+        classify_eq_avx2,
+        classify_or_avx2,
+        classify_eq_masked_avx2,
+        classify_or_masked_avx2,
+        prefix_xor_clmul,
+    };
+    return kernels;
+}
+
+}  // namespace descend::simd

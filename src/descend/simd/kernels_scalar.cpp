@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Portable reference implementations of the block kernels.
+ *
+ * These are written as straightforward per-byte loops so that they are
+ * obviously equivalent to the definitions in Section 4.1 of the paper; the
+ * differential tests pin the AVX2 kernels against them. GCC auto-vectorizes
+ * the loops with baseline SSE2, so even the "scalar" pipeline is usable.
+ *
+ * The lookup classifications deliberately emulate the x86 shuffle rule that
+ * an index byte with its most significant bit set yields 0, so that scalar
+ * and AVX2 classification are bit-identical on arbitrary (non-ASCII) input.
+ */
+#include <cstdint>
+
+#include "descend/simd/dispatch.h"
+#include "descend/util/bits.h"
+
+namespace descend::simd {
+namespace {
+
+std::uint64_t eq_mask_scalar(const std::uint8_t* block, std::uint8_t value)
+{
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+        mask |= static_cast<std::uint64_t>(block[i] == value) << i;
+    }
+    return mask;
+}
+
+std::uint64_t classify_eq_scalar(const std::uint8_t* block, const std::uint8_t* ltab,
+                                 const std::uint8_t* utab)
+{
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+        std::uint8_t byte = block[i];
+        std::uint8_t lower = (byte & 0x80) ? 0 : ltab[byte & 0x0f];
+        std::uint8_t upper = utab[byte >> 4];
+        mask |= static_cast<std::uint64_t>(lower == upper) << i;
+    }
+    return mask;
+}
+
+std::uint64_t classify_or_scalar(const std::uint8_t* block, const std::uint8_t* ltab,
+                                 const std::uint8_t* utab)
+{
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+        std::uint8_t byte = block[i];
+        std::uint8_t lower = (byte & 0x80) ? 0 : ltab[byte & 0x0f];
+        std::uint8_t upper = utab[byte >> 4];
+        mask |= static_cast<std::uint64_t>((lower | upper) == 0xff) << i;
+    }
+    return mask;
+}
+
+std::uint64_t classify_eq_masked_scalar(const std::uint8_t* block,
+                                        const std::uint8_t* ltab,
+                                        const std::uint8_t* utab)
+{
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+        std::uint8_t byte = block[i];
+        mask |= static_cast<std::uint64_t>(ltab[byte & 0x0f] == utab[byte >> 4]) << i;
+    }
+    return mask;
+}
+
+std::uint64_t classify_or_masked_scalar(const std::uint8_t* block,
+                                        const std::uint8_t* ltab,
+                                        const std::uint8_t* utab)
+{
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+        std::uint8_t byte = block[i];
+        mask |= static_cast<std::uint64_t>((ltab[byte & 0x0f] | utab[byte >> 4]) ==
+                                           0xff)
+                << i;
+    }
+    return mask;
+}
+
+std::uint64_t prefix_xor_scalar(std::uint64_t mask)
+{
+    return bits::prefix_xor(mask);
+}
+
+}  // namespace
+
+const Kernels& scalar_kernels() noexcept
+{
+    static const Kernels kernels = {
+        Level::scalar,
+        "scalar",
+        eq_mask_scalar,
+        classify_eq_scalar,
+        classify_or_scalar,
+        classify_eq_masked_scalar,
+        classify_or_masked_scalar,
+        prefix_xor_scalar,
+    };
+    return kernels;
+}
+
+}  // namespace descend::simd

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A stack of single bits, one per currently open JSON element, packed 64 to
+ * a word with inline storage for the first 64 * kInlineWords levels.
+ *
+ * The engine uses it to remember whether each open element is an object or
+ * an array, which the comma/colon toggling of Section 3.4 needs after any
+ * closing character — including closings that pop no depth-stack frame,
+ * where the sparse depth-stack alone cannot answer the question (see the
+ * "Deviations" section of DESIGN.md). Memory stays linear in document depth
+ * at one bit per level, preserving the sparse-stack design goal.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "descend/util/inline_vector.h"
+
+namespace descend {
+
+class BitStack {
+public:
+    /** Inline capacity: 4 words = 256 nesting levels before heap spill. */
+    static constexpr std::size_t kInlineWords = 4;
+
+    BitStack() { words_.push_back(0); }
+
+    bool empty() const noexcept { return size_ == 0; }
+    std::size_t size() const noexcept { return size_; }
+
+    void push(bool bit)
+    {
+        std::size_t word = size_ / 64;
+        std::size_t offset = size_ % 64;
+        if (word == words_.size()) {
+            words_.push_back(0);
+        }
+        std::uint64_t mask = 1ULL << offset;
+        if (bit) {
+            words_[word] |= mask;
+        } else {
+            words_[word] &= ~mask;
+        }
+        ++size_;
+    }
+
+    void pop() noexcept
+    {
+        assert(size_ > 0);
+        --size_;
+    }
+
+    /** The most recently pushed bit. */
+    bool top() const noexcept
+    {
+        assert(size_ > 0);
+        return bit_at(size_ - 1);
+    }
+
+    /** The bit at @p index, counted from the bottom of the stack. */
+    bool bit_at(std::size_t index) const noexcept
+    {
+        assert(index < size_);
+        return (words_[index / 64] >> (index % 64)) & 1;
+    }
+
+    void clear() noexcept { size_ = 0; }
+
+private:
+    InlineVector<std::uint64_t, kInlineWords> words_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace descend

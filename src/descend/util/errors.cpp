@@ -1,0 +1,23 @@
+#include "descend/util/errors.h"
+
+namespace descend {
+namespace {
+
+std::string with_position(const std::string& message, std::size_t position)
+{
+    return message + " (at byte " + std::to_string(position) + ")";
+}
+
+}  // namespace
+
+QueryError::QueryError(const std::string& message, std::size_t position)
+    : Error(with_position(message, position)), position_(position)
+{
+}
+
+ParseError::ParseError(const std::string& message, std::size_t position)
+    : Error(with_position(message, position)), position_(position)
+{
+}
+
+}  // namespace descend

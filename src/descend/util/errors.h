@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Exception hierarchy shared across the descend library.
+ *
+ * Policy (see DESIGN.md): user-facing inputs that can be malformed — the
+ * JSONPath query text and JSON documents fed to the strict DOM parser —
+ * report problems via exceptions carrying a byte offset. The streaming
+ * engine itself assumes well-formed JSON (as rsonpath does) and never
+ * throws on document content.
+ */
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace descend {
+
+/** Base class of all descend exceptions. */
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Raised when a JSONPath expression cannot be parsed or compiled. */
+class QueryError : public Error {
+public:
+    QueryError(const std::string& message, std::size_t position);
+
+    /** Byte offset into the query string where the problem was detected. */
+    std::size_t position() const noexcept { return position_; }
+
+private:
+    std::size_t position_;
+};
+
+/** Raised by the strict DOM parser on malformed JSON. */
+class ParseError : public Error {
+public:
+    ParseError(const std::string& message, std::size_t position);
+
+    /** Byte offset into the document where the problem was detected. */
+    std::size_t position() const noexcept { return position_; }
+
+private:
+    std::size_t position_;
+};
+
+/** Raised when a query exceeds implementation limits (e.g. DFA blowup). */
+class LimitError : public Error {
+public:
+    explicit LimitError(const std::string& message) : Error(message) {}
+};
+
+}  // namespace descend

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * A vector with inline storage for its first N elements, equivalent to the
+ * Rust SmallVec the paper relies on (Section 3.2): the depth-stack lives on
+ * the machine stack as long as it stays shallow (the paper bounds this at
+ * 128 frames / 512 bytes) and spills to the heap only in the rare deeply
+ * nested cases.
+ *
+ * Restricted to trivially copyable element types, which is all the engine
+ * needs (stack frames are PODs) and keeps growth a memcpy.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+namespace descend {
+
+template <typename T, std::size_t N>
+class InlineVector {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "InlineVector is restricted to trivially copyable types");
+    static_assert(N > 0, "inline capacity must be positive");
+
+public:
+    InlineVector() noexcept = default;
+
+    InlineVector(const InlineVector& other) { copy_from(other); }
+
+    InlineVector& operator=(const InlineVector& other)
+    {
+        if (this != &other) {
+            release();
+            copy_from(other);
+        }
+        return *this;
+    }
+
+    InlineVector(InlineVector&& other) noexcept { move_from(std::move(other)); }
+
+    InlineVector& operator=(InlineVector&& other) noexcept
+    {
+        if (this != &other) {
+            release();
+            move_from(std::move(other));
+        }
+        return *this;
+    }
+
+    ~InlineVector() { release(); }
+
+    bool empty() const noexcept { return size_ == 0; }
+    std::size_t size() const noexcept { return size_; }
+    std::size_t capacity() const noexcept { return capacity_; }
+
+    /** True while the elements still live in the inline buffer. */
+    bool is_inline() const noexcept { return data_ == inline_data(); }
+
+    void push_back(const T& value)
+    {
+        if (size_ == capacity_) {
+            grow();
+        }
+        data_[size_++] = value;
+    }
+
+    void pop_back() noexcept
+    {
+        assert(size_ > 0);
+        --size_;
+    }
+
+    void clear() noexcept { size_ = 0; }
+
+    T& back() noexcept
+    {
+        assert(size_ > 0);
+        return data_[size_ - 1];
+    }
+
+    const T& back() const noexcept
+    {
+        assert(size_ > 0);
+        return data_[size_ - 1];
+    }
+
+    T& operator[](std::size_t index) noexcept
+    {
+        assert(index < size_);
+        return data_[index];
+    }
+
+    const T& operator[](std::size_t index) const noexcept
+    {
+        assert(index < size_);
+        return data_[index];
+    }
+
+    const T* data() const noexcept { return data_; }
+
+private:
+    T* inline_data() noexcept { return reinterpret_cast<T*>(inline_storage_); }
+    const T* inline_data() const noexcept
+    {
+        return reinterpret_cast<const T*>(inline_storage_);
+    }
+
+    void grow()
+    {
+        std::size_t new_capacity = capacity_ * 2;
+        T* new_data = new T[new_capacity];
+        std::memcpy(new_data, data_, size_ * sizeof(T));
+        if (!is_inline()) {
+            delete[] data_;
+        }
+        data_ = new_data;
+        capacity_ = new_capacity;
+    }
+
+    void release() noexcept
+    {
+        if (!is_inline()) {
+            delete[] data_;
+        }
+        data_ = inline_data();
+        capacity_ = N;
+        size_ = 0;
+    }
+
+    void copy_from(const InlineVector& other)
+    {
+        if (other.size_ > N) {
+            data_ = new T[other.capacity_];
+            capacity_ = other.capacity_;
+        }
+        size_ = other.size_;
+        std::memcpy(data_, other.data_, size_ * sizeof(T));
+    }
+
+    void move_from(InlineVector&& other) noexcept
+    {
+        if (other.is_inline()) {
+            size_ = other.size_;
+            std::memcpy(data_, other.data_, size_ * sizeof(T));
+        } else {
+            data_ = other.data_;
+            capacity_ = other.capacity_;
+            size_ = other.size_;
+            other.data_ = other.inline_data();
+            other.capacity_ = N;
+        }
+        other.size_ = 0;
+    }
+
+    alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+    T* data_ = inline_data();
+    std::size_t capacity_ = N;
+    std::size_t size_ = 0;
+};
+
+}  // namespace descend

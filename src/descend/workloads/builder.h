@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Shared utilities for the synthetic dataset generators: a deterministic
+ * RNG (SplitMix64) and a direct-to-string JSON builder.
+ *
+ * The generators substitute for the paper's real datasets (see DESIGN.md):
+ * they reproduce each dataset's *structural* profile — nesting depth,
+ * verbosity, label vocabulary and per-query selectivity — which is what
+ * drives streaming-engine performance.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace descend::workloads {
+
+/** SplitMix64: tiny, deterministic, good-enough distribution. */
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be positive. */
+    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** True with probability @p percent / 100. */
+    bool chance(unsigned percent) { return below(100) < percent; }
+
+    /** True with probability @p numerator / @p denominator. */
+    bool chance(std::uint64_t numerator, std::uint64_t denominator)
+    {
+        return below(denominator) < numerator;
+    }
+
+    double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+private:
+    std::uint64_t state_;
+};
+
+/**
+ * Append-only JSON writer. Tracks separators so call sites stay terse:
+ *
+ *     JsonBuilder b;
+ *     b.begin_object();
+ *     b.key("name"); b.string_value("x");
+ *     b.key("tags"); b.begin_array(); b.number(1); b.number(2); b.end_array();
+ *     b.end_object();
+ */
+class JsonBuilder {
+public:
+    explicit JsonBuilder(std::size_t reserve = 1 << 20) { out_.reserve(reserve); }
+
+    void begin_object()
+    {
+        separator();
+        out_.push_back('{');
+        fresh_ = true;
+    }
+
+    void end_object()
+    {
+        out_.push_back('}');
+        fresh_ = false;
+    }
+
+    void begin_array()
+    {
+        separator();
+        out_.push_back('[');
+        fresh_ = true;
+    }
+
+    void end_array()
+    {
+        out_.push_back(']');
+        fresh_ = false;
+    }
+
+    /** Object key; the value call must follow. @p key must need no escaping. */
+    void key(std::string_view key)
+    {
+        separator();
+        out_.push_back('"');
+        out_.append(key);
+        out_.append("\":");
+        fresh_ = true;
+    }
+
+    /** String value; @p text must need no escaping (generator-controlled). */
+    void string_value(std::string_view text)
+    {
+        separator();
+        out_.push_back('"');
+        out_.append(text);
+        out_.push_back('"');
+        fresh_ = false;
+    }
+
+    void raw_value(std::string_view json)
+    {
+        separator();
+        out_.append(json);
+        fresh_ = false;
+    }
+
+    void number(std::uint64_t value)
+    {
+        separator();
+        out_.append(std::to_string(value));
+        fresh_ = false;
+    }
+
+    void number(double value)
+    {
+        separator();
+        out_.append(std::to_string(value));
+        fresh_ = false;
+    }
+
+    void boolean(bool value)
+    {
+        separator();
+        out_.append(value ? "true" : "false");
+        fresh_ = false;
+    }
+
+    void null()
+    {
+        separator();
+        out_.append("null");
+        fresh_ = false;
+    }
+
+    std::size_t size() const noexcept { return out_.size(); }
+    std::string take() { return std::move(out_); }
+
+private:
+    void separator()
+    {
+        if (!fresh_ && !out_.empty()) {
+            char last = out_.back();
+            if (last != '{' && last != '[' && last != ':') {
+                out_.push_back(',');
+            }
+        }
+        fresh_ = false;
+    }
+
+    std::string out_;
+    bool fresh_ = true;
+};
+
+/** A pseudo-random lowercase word of the given length. */
+inline std::string random_word(Rng& rng, std::size_t length)
+{
+    std::string word;
+    word.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+        word.push_back(static_cast<char>('a' + rng.below(26)));
+    }
+    return word;
+}
+
+/** A pseudo-random sentence of @p words space-separated words. */
+inline std::string random_sentence(Rng& rng, std::size_t words)
+{
+    std::string sentence;
+    for (std::size_t i = 0; i < words; ++i) {
+        if (i > 0) {
+            sentence.push_back(' ');
+        }
+        sentence += random_word(rng, 3 + rng.below(8));
+    }
+    return sentence;
+}
+
+}  // namespace descend::workloads

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * clang `-ast-dump=json` style generator (queries A1, A2, A3).
+ *
+ * The code-as-data scenario from the paper's introduction: deep (~100
+ * levels of `inner` nesting), highly irregular, dense (verbosity ~14
+ * bytes/node). Reproduced features:
+ *  - recursive `inner` arrays nest nodes within nodes, so the descendant
+ *    query A2 ($..inner..inner..type.qualType) is highly ambiguous and
+ *    grows the depth-stack — the paper's hardest case;
+ *  - rare `decl` member objects carrying a `name` (A1, 35-ish matches);
+ *  - occasional loc.includedFrom.file chains (A3).
+ */
+#include "descend/workloads/builder.h"
+#include "descend/workloads/datasets.h"
+
+namespace descend::workloads {
+namespace {
+
+const char* const kKinds[] = {
+    "FunctionDecl",   "CompoundStmt",   "DeclStmt",     "VarDecl",
+    "BinaryOperator", "ImplicitCastExpr", "DeclRefExpr", "CallExpr",
+    "IfStmt",         "ReturnStmt",     "ForStmt",      "UnaryOperator",
+    "ParenExpr",      "IntegerLiteral", "ParmVarDecl",  "TypedefDecl",
+};
+
+const char* const kTypes[] = {
+    "int", "char *", "unsigned long", "void", "double", "const char *",
+    "size_t", "struct node *", "int (*)(void *, void *)", "unsigned char",
+};
+
+class AstGenerator {
+public:
+    AstGenerator(Rng& rng, JsonBuilder& b, std::size_t target)
+        : rng_(rng), b_(b), target_(target)
+    {
+    }
+
+    void emit_node(int depth)
+    {
+        b_.begin_object();
+        b_.key("id");
+        b_.string_value("0x" + std::to_string(rng_.next() % 0xffffffffULL));
+        b_.key("kind");
+        b_.string_value(kKinds[rng_.below(std::size(kKinds))]);
+        if (rng_.chance(60)) {
+            b_.key("range");
+            emit_range();
+        }
+        if (rng_.chance(40)) {
+            b_.key("loc");
+            b_.begin_object();
+            b_.key("offset");
+            b_.number(rng_.below(800000));
+            b_.key("line");
+            b_.number(rng_.below(23000));
+            b_.key("col");
+            b_.number(rng_.between(1, 120));
+            if (rng_.chance(1, 110)) {
+                b_.key("includedFrom");
+                b_.begin_object();
+                b_.key("file");
+                b_.string_value("/usr/include/" + random_word(rng_, 6) + ".h");
+                b_.end_object();
+            }
+            b_.end_object();
+        }
+        if (rng_.chance(55)) {
+            b_.key("type");
+            b_.begin_object();
+            b_.key("qualType");
+            b_.string_value(kTypes[rng_.below(std::size(kTypes))]);
+            b_.end_object();
+        }
+        if (rng_.chance(30)) {
+            b_.key("valueCategory");
+            b_.string_value(rng_.chance(50) ? "prvalue" : "lvalue");
+        }
+        if (rng_.chance(25)) {
+            b_.key("name");
+            b_.string_value(random_word(rng_, 4 + rng_.below(10)));
+        }
+        if (rng_.chance(1, 2500)) {
+            // Rare referenced-declaration stubs: A1's $..decl.name target.
+            b_.key("decl");
+            b_.begin_object();
+            b_.key("name");
+            b_.string_value(random_word(rng_, 5 + rng_.below(8)));
+            b_.key("id");
+            b_.string_value("0x" + std::to_string(rng_.next() % 0xffffffffULL));
+            b_.end_object();
+        }
+        // Recursive inner nodes: deep chains are common (expressions). Each
+        // AST level is two JSON levels (object + inner array), so the cap
+        // of 48 yields document depth ~100 as in the paper's Table 3.
+        bool want_children = depth < 4 || (b_.size() < target_ && depth < 48);
+        if (want_children && rng_.chance(depth < 8 ? 95 : 78)) {
+            b_.key("inner");
+            b_.begin_array();
+            std::uint64_t children =
+                depth < 6 ? rng_.between(2, 5) : rng_.between(1, 3);
+            for (std::uint64_t c = 0; c < children; ++c) {
+                emit_node(depth + 1);
+            }
+            b_.end_array();
+        }
+        b_.end_object();
+    }
+
+private:
+    void emit_range()
+    {
+        b_.begin_object();
+        b_.key("begin");
+        b_.begin_object();
+        b_.key("offset");
+        b_.number(rng_.below(800000));
+        b_.key("col");
+        b_.number(rng_.between(1, 120));
+        b_.end_object();
+        b_.key("end");
+        b_.begin_object();
+        b_.key("offset");
+        b_.number(rng_.below(800000));
+        b_.key("col");
+        b_.number(rng_.between(1, 120));
+        b_.end_object();
+        b_.end_object();
+    }
+
+    Rng& rng_;
+    JsonBuilder& b_;
+    std::size_t target_;
+};
+
+}  // namespace
+
+std::string generate_ast(std::size_t target_bytes)
+{
+    Rng rng(0xa57d0cULL);
+    JsonBuilder b(target_bytes + (target_bytes >> 3));
+    // Root translation unit with top-level declarations appended until the
+    // target size is reached.
+    b.begin_object();
+    b.key("id");
+    b.string_value("0x7f0000000000");
+    b.key("kind");
+    b.string_value("TranslationUnitDecl");
+    b.key("inner");
+    b.begin_array();
+    AstGenerator generator(rng, b, target_bytes);
+    while (b.size() < target_bytes) {
+        generator.emit_node(1);
+    }
+    b.end_array();
+    b.end_object();
+    return b.take();
+}
+
+}  // namespace descend::workloads

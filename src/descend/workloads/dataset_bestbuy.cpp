@@ -1,0 +1,89 @@
+/**
+ * @file
+ * BestBuy-style product dump generator (queries B1, B2, B3).
+ *
+ * Profile reproduced from the paper: shallow (depth ~8), verbosity ~25
+ * bytes/node; every product has a categoryPath array (B1 matches many);
+ * about 1 in 90 products has videoChapters (B2 matches ~11x B3's count,
+ * B3 counts the arrays themselves); products otherwise carry wide flat
+ * string/number fields, so leaf-skipping pays off.
+ */
+#include "descend/workloads/builder.h"
+#include "descend/workloads/datasets.h"
+
+namespace descend::workloads {
+
+std::string generate_bestbuy(std::size_t target_bytes)
+{
+    Rng rng(0xbe57b0ULL);
+    JsonBuilder b(target_bytes + (target_bytes >> 3));
+    b.begin_object();
+    b.key("products");
+    b.begin_array();
+    std::uint64_t sku = 1000000;
+    while (b.size() < target_bytes) {
+        b.begin_object();
+        b.key("sku");
+        b.number(sku++);
+        b.key("productId");
+        b.number(rng.next() % 100000000);
+        b.key("name");
+        b.string_value(random_sentence(rng, 4 + rng.below(5)));
+        b.key("type");
+        b.string_value("HardGood");
+        b.key("regularPrice");
+        b.number(static_cast<double>(rng.between(5, 2000)) + 0.99);
+        b.key("salePrice");
+        b.number(static_cast<double>(rng.between(5, 1900)) + 0.99);
+        b.key("onSale");
+        b.boolean(rng.chance(30));
+        b.key("url");
+        b.string_value("https://api.bestbuy.test/v1/products/" +
+                       std::to_string(sku) + ".json");
+        b.key("categoryPath");
+        b.begin_array();
+        std::uint64_t path_length = rng.between(3, 6);
+        for (std::uint64_t i = 0; i < path_length; ++i) {
+            b.begin_object();
+            b.key("id");
+            b.string_value("cat" + std::to_string(rng.next() % 100000));
+            b.key("name");
+            b.string_value(random_sentence(rng, 2));
+            b.end_object();
+        }
+        b.end_array();
+        if (rng.chance(1, 90)) {
+            // Rare videoChapters: B3 counts these arrays, B2 their chapters.
+            b.key("videoChapters");
+            b.begin_array();
+            std::uint64_t chapters = rng.between(4, 18);
+            for (std::uint64_t i = 0; i < chapters; ++i) {
+                b.begin_object();
+                b.key("chapter");
+                b.string_value(random_sentence(rng, 3));
+                b.key("start");
+                b.number(i * 30);
+                b.end_object();
+            }
+            b.end_array();
+        }
+        b.key("customerReviewCount");
+        b.number(rng.below(5000));
+        b.key("customerReviewAverage");
+        b.number(static_cast<double>(rng.between(10, 50)) / 10.0);
+        b.key("longDescription");
+        b.string_value(random_sentence(rng, 12 + rng.below(20)));
+        b.key("manufacturer");
+        b.string_value(random_word(rng, 6 + rng.below(6)));
+        b.key("modelNumber");
+        b.string_value(random_word(rng, 8));
+        b.key("shippingCost");
+        b.number(static_cast<double>(rng.below(20)));
+        b.end_object();
+    }
+    b.end_array();
+    b.end_object();
+    return b.take();
+}
+
+}  // namespace descend::workloads

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Crossref metadata dump generator (queries C1-C5, S0-S4, scalability).
+ *
+ * Highly regular: {"items": [...]} of similar-shaped publication records.
+ * Reproduced selectivity features from the paper's Experiment C:
+ *  - DOIs appear everywhere, including inside reference lists, so $..DOI
+ *    (C1) has very low selectivity — memmem head-skipping degenerates to
+ *    many short fast-forwards;
+ *  - "author" occurs both as item-level arrays of author objects (with
+ *    affiliations) and ~12x more often as plain string fields inside
+ *    references, so the C2 rewriting $..author..affiliation..name forces
+ *    the engine through many useless author nodes;
+ *  - editors are rare (C3's rewriting is a big win);
+ *  - affiliations are arrays of {"name": ...} objects.
+ */
+#include "descend/workloads/builder.h"
+#include "descend/workloads/datasets.h"
+
+namespace descend::workloads {
+namespace {
+
+std::string random_doi(Rng& rng)
+{
+    return "10." + std::to_string(rng.between(1000, 9999)) + "/" +
+           random_word(rng, 8) + "." + std::to_string(rng.below(100000));
+}
+
+void emit_person(JsonBuilder& b, Rng& rng, bool with_affiliation_bias)
+{
+    b.begin_object();
+    b.key("given");
+    b.string_value(random_word(rng, 5 + rng.below(5)));
+    b.key("family");
+    b.string_value(random_word(rng, 6 + rng.below(6)));
+    b.key("sequence");
+    b.string_value(rng.chance(30) ? "first" : "additional");
+    if (rng.chance(20)) {
+        b.key("ORCID");
+        b.string_value("http://orcid.test/0000-000" + std::to_string(rng.below(10)) +
+                       "-" + std::to_string(rng.between(1000, 9999)) + "-" +
+                       std::to_string(rng.between(1000, 9999)));
+    }
+    b.key("affiliation");
+    b.begin_array();
+    std::uint64_t affiliations =
+        with_affiliation_bias && rng.chance(55) ? rng.between(1, 2) : 0;
+    for (std::uint64_t a = 0; a < affiliations; ++a) {
+        b.begin_object();
+        b.key("name");
+        b.string_value(random_sentence(rng, 4 + rng.below(4)));
+        b.end_object();
+    }
+    b.end_array();
+    b.end_object();
+}
+
+}  // namespace
+
+std::string generate_crossref(std::size_t target_bytes)
+{
+    Rng rng(0xc2055ef5ULL);
+    JsonBuilder b(target_bytes + (target_bytes >> 3));
+    b.begin_object();
+    b.key("items");
+    b.begin_array();
+    while (b.size() < target_bytes) {
+        b.begin_object();
+        b.key("DOI");
+        b.string_value(random_doi(rng));
+        b.key("type");
+        b.string_value("journal-article");
+        b.key("title");
+        b.begin_array();
+        b.string_value(random_sentence(rng, 8 + rng.below(8)));
+        b.end_array();
+        b.key("publisher");
+        b.string_value(random_sentence(rng, 3));
+        b.key("author");
+        b.begin_array();
+        std::uint64_t authors = rng.between(1, 5);
+        for (std::uint64_t a = 0; a < authors; ++a) {
+            emit_person(b, rng, /*with_affiliation_bias=*/true);
+        }
+        b.end_array();
+        if (rng.chance(1, 600)) {
+            // Rare editors (C3): a handful in the whole dump.
+            b.key("editor");
+            b.begin_array();
+            emit_person(b, rng, /*with_affiliation_bias=*/true);
+            b.end_array();
+        }
+        b.key("issued");
+        b.begin_object();
+        b.key("date-parts");
+        b.begin_array();
+        b.begin_array();
+        b.number(rng.between(1990, 2026));
+        b.number(rng.between(1, 12));
+        b.end_array();
+        b.end_array();
+        b.end_object();
+        b.key("member");
+        b.string_value(std::to_string(rng.between(10, 20000)));
+        b.key("reference-count");
+        std::uint64_t references = rng.between(8, 20);
+        b.number(references);
+        b.key("reference");
+        b.begin_array();
+        for (std::uint64_t r = 0; r < references; ++r) {
+            b.begin_object();
+            b.key("key");
+            b.string_value("ref" + std::to_string(r));
+            if (rng.chance(60)) {
+                // References cite by DOI too: C1's low selectivity.
+                b.key("DOI");
+                b.string_value(random_doi(rng));
+            }
+            if (rng.chance(70)) {
+                // Plain-string author fields: the extra "author" nodes that
+                // make the C2 rewriting hard for descendant engines.
+                b.key("author");
+                b.string_value(random_word(rng, 7));
+            }
+            b.key("year");
+            b.string_value(std::to_string(rng.between(1970, 2025)));
+            b.key("unstructured");
+            b.string_value(random_sentence(rng, 10 + rng.below(10)));
+            b.end_object();
+        }
+        b.end_array();
+        b.key("URL");
+        b.string_value("https://doi.test/" + random_doi(rng));
+        b.key("ISSN");
+        b.begin_array();
+        b.string_value(std::to_string(rng.between(1000, 9999)) + "-" +
+                       std::to_string(rng.between(1000, 9999)));
+        b.end_array();
+        b.end_object();
+    }
+    b.end_array();
+    b.end_object();
+    return b.take();
+}
+
+}  // namespace descend::workloads

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Google Maps directions dump generator (queries G1, G2).
+ *
+ * Top-level array of direction responses; each carries routes -> legs ->
+ * steps chains with distance/duration objects and long instruction
+ * strings. available_travel_modes appears in roughly 1 in 300 responses,
+ * making G2 highly selective (and its descendant rewriting G2r a prime
+ * head-skipping beneficiary) while still yielding matches at the scaled-down
+ * default dataset size.
+ */
+#include "descend/workloads/builder.h"
+#include "descend/workloads/datasets.h"
+
+namespace descend::workloads {
+namespace {
+
+void emit_text_value(JsonBuilder& b, Rng& rng, const char* unit, std::uint64_t scale)
+{
+    b.begin_object();
+    std::uint64_t value = rng.between(50, 50000);
+    b.key("text");
+    b.string_value(std::to_string(value / scale) + " " + unit);
+    b.key("value");
+    b.number(value);
+    b.end_object();
+}
+
+void emit_location(JsonBuilder& b, Rng& rng)
+{
+    b.begin_object();
+    b.key("lat");
+    b.number(rng.unit() * 180.0 - 90.0);
+    b.key("lng");
+    b.number(rng.unit() * 360.0 - 180.0);
+    b.end_object();
+}
+
+}  // namespace
+
+std::string generate_googlemap(std::size_t target_bytes)
+{
+    Rng rng(0x600613ULL);
+    JsonBuilder b(target_bytes + (target_bytes >> 3));
+    b.begin_array();
+    while (b.size() < target_bytes) {
+        b.begin_object();
+        b.key("geocoded_waypoints");
+        b.begin_array();
+        for (int w = 0; w < 2; ++w) {
+            b.begin_object();
+            b.key("geocoder_status");
+            b.string_value("OK");
+            b.key("place_id");
+            b.string_value(random_word(rng, 27));
+            b.end_object();
+        }
+        b.end_array();
+        b.key("routes");
+        b.begin_array();
+        std::uint64_t routes = rng.between(1, 3);
+        for (std::uint64_t r = 0; r < routes; ++r) {
+            b.begin_object();
+            b.key("summary");
+            b.string_value(random_sentence(rng, 2));
+            b.key("legs");
+            b.begin_array();
+            std::uint64_t legs = rng.between(1, 2);
+            for (std::uint64_t l = 0; l < legs; ++l) {
+                b.begin_object();
+                b.key("distance");
+                emit_text_value(b, rng, "km", 1000);
+                b.key("duration");
+                emit_text_value(b, rng, "mins", 60);
+                b.key("start_address");
+                b.string_value(random_sentence(rng, 5));
+                b.key("end_address");
+                b.string_value(random_sentence(rng, 5));
+                b.key("steps");
+                b.begin_array();
+                std::uint64_t steps = rng.between(4, 14);
+                for (std::uint64_t s = 0; s < steps; ++s) {
+                    b.begin_object();
+                    b.key("distance");
+                    emit_text_value(b, rng, "m", 1);
+                    b.key("duration");
+                    emit_text_value(b, rng, "mins", 60);
+                    b.key("start_location");
+                    emit_location(b, rng);
+                    b.key("end_location");
+                    emit_location(b, rng);
+                    b.key("html_instructions");
+                    b.string_value(random_sentence(rng, 8 + rng.below(10)));
+                    b.key("travel_mode");
+                    b.string_value("DRIVING");
+                    b.end_object();
+                }
+                b.end_array();
+                b.end_object();
+            }
+            b.end_array();
+            b.key("overview_polyline");
+            b.begin_object();
+            b.key("points");
+            b.string_value(random_word(rng, 120 + rng.below(200)));
+            b.end_object();
+            b.end_object();
+        }
+        b.end_array();
+        if (rng.chance(1, 300)) {
+            b.key("available_travel_modes");
+            b.begin_array();
+            b.string_value("DRIVING");
+            b.string_value("WALKING");
+            b.string_value("TRANSIT");
+            b.end_array();
+        }
+        b.key("status");
+        b.string_value("OK");
+        b.end_object();
+    }
+    b.end_array();
+    return b.take();
+}
+
+}  // namespace descend::workloads

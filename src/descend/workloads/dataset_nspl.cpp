@@ -1,0 +1,82 @@
+/**
+ * @file
+ * NSPL (National Statistics Postcode Lookup) generator (queries N1, N2).
+ *
+ * A Socrata-style export: a meta.view header describing 44 columns (N1),
+ * followed by a huge data array of row arrays whose cells are themselves
+ * small arrays — so `$.data.*.*.*` (N2) touches millions of atoms and is
+ * dominated by raw event throughput, with verbosity ~14 bytes/node (the
+ * densest dataset in Table 3, matching the paper).
+ */
+#include "descend/workloads/builder.h"
+#include "descend/workloads/datasets.h"
+
+namespace descend::workloads {
+
+std::string generate_nspl(std::size_t target_bytes)
+{
+    Rng rng(0x4e5e1ULL);
+    JsonBuilder b(target_bytes + (target_bytes >> 3));
+    b.begin_object();
+    b.key("meta");
+    b.begin_object();
+    b.key("view");
+    b.begin_object();
+    b.key("id");
+    b.string_value(random_word(rng, 9));
+    b.key("name");
+    b.string_value("National Statistics Postcode Lookup");
+    b.key("averageRating");
+    b.number(std::uint64_t{0});
+    b.key("columns");
+    b.begin_array();
+    for (int c = 0; c < 44; ++c) {
+        b.begin_object();
+        b.key("id");
+        b.number(static_cast<std::uint64_t>(c + 1));
+        b.key("name");
+        b.string_value("col_" + random_word(rng, 6));
+        b.key("dataTypeName");
+        b.string_value(c % 3 == 0 ? "number" : "text");
+        b.key("fieldName");
+        b.string_value(random_word(rng, 8));
+        b.key("position");
+        b.number(static_cast<std::uint64_t>(c));
+        b.end_object();
+    }
+    b.end_array();
+    b.key("rights");
+    b.begin_array();
+    b.string_value("read");
+    b.end_array();
+    b.end_object();
+    b.end_object();
+    b.key("data");
+    b.begin_array();
+    while (b.size() < target_bytes) {
+        // One row: an array of cell arrays, as in the paper's N2 query
+        // $.data[*][*][*] which steps three levels below data.
+        b.begin_array();
+        std::uint64_t cells = rng.between(6, 10);
+        for (std::uint64_t c = 0; c < cells; ++c) {
+            b.begin_array();
+            std::uint64_t entries = rng.between(2, 4);
+            for (std::uint64_t e = 0; e < entries; ++e) {
+                if (rng.chance(40)) {
+                    b.number(rng.below(1000000));
+                } else if (rng.chance(10)) {
+                    b.null();
+                } else {
+                    b.string_value(random_word(rng, 2 + rng.below(9)));
+                }
+            }
+            b.end_array();
+        }
+        b.end_array();
+    }
+    b.end_array();
+    b.end_object();
+    return b.take();
+}
+
+}  // namespace descend::workloads

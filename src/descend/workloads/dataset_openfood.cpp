@@ -1,0 +1,105 @@
+/**
+ * @file
+ * OpenFoodFacts products dump generator (queries O1, O2, O3).
+ *
+ * Products are wide objects dominated by *_tags string arrays and a
+ * nutriments object. The three queried members are all rare:
+ * vitamins_tags and added_countries_tags in ~1 in 2000 products,
+ * specific_ingredients (objects with an "ingredient") in ~1 in 4000 —
+ * making their descendant rewritings the paper's biggest head-skipping
+ * wins (20-35 GB/s in Appendix C).
+ */
+#include "descend/workloads/builder.h"
+#include "descend/workloads/datasets.h"
+
+namespace descend::workloads {
+namespace {
+
+void emit_tags(JsonBuilder& b, Rng& rng, const char* prefix, std::uint64_t count)
+{
+    b.begin_array();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        b.string_value(std::string(prefix) + ":" + random_word(rng, 4 + rng.below(8)));
+    }
+    b.end_array();
+}
+
+}  // namespace
+
+std::string generate_openfood(std::size_t target_bytes)
+{
+    Rng rng(0x0f00dULL);
+    JsonBuilder b(target_bytes + (target_bytes >> 3));
+    b.begin_object();
+    b.key("count");
+    b.number(std::uint64_t{0});
+    b.key("products");
+    b.begin_array();
+    std::uint64_t code = 3000000000000ULL;
+    while (b.size() < target_bytes) {
+        b.begin_object();
+        b.key("code");
+        b.string_value(std::to_string(code++));
+        b.key("product_name");
+        b.string_value(random_sentence(rng, 3 + rng.below(4)));
+        b.key("brands");
+        b.string_value(random_word(rng, 5 + rng.below(7)));
+        b.key("categories_tags");
+        emit_tags(b, rng, "en", rng.between(3, 9));
+        b.key("labels_tags");
+        emit_tags(b, rng, "en", rng.between(0, 5));
+        b.key("countries_tags");
+        emit_tags(b, rng, "en", rng.between(1, 4));
+        b.key("ingredients_tags");
+        emit_tags(b, rng, "en", rng.between(4, 20));
+        b.key("additives_tags");
+        emit_tags(b, rng, "en", rng.between(0, 6));
+        b.key("allergens_tags");
+        emit_tags(b, rng, "en", rng.between(0, 3));
+        if (rng.chance(1, 2000)) {
+            b.key("vitamins_tags");
+            emit_tags(b, rng, "en", rng.between(1, 4));
+        }
+        if (rng.chance(1, 2000)) {
+            b.key("added_countries_tags");
+            emit_tags(b, rng, "en", rng.between(1, 2));
+        }
+        if (rng.chance(1, 4000)) {
+            b.key("specific_ingredients");
+            b.begin_array();
+            std::uint64_t entries = rng.between(1, 3);
+            for (std::uint64_t i = 0; i < entries; ++i) {
+                b.begin_object();
+                b.key("id");
+                b.string_value("en:" + random_word(rng, 6));
+                b.key("ingredient");
+                b.string_value(random_word(rng, 6 + rng.below(8)));
+                b.key("text");
+                b.string_value(random_sentence(rng, 4));
+                b.end_object();
+            }
+            b.end_array();
+        }
+        b.key("nutriments");
+        b.begin_object();
+        for (const char* nutrient :
+             {"energy", "fat", "saturated-fat", "carbohydrates", "sugars",
+              "proteins", "salt", "sodium"}) {
+            b.key(nutrient);
+            b.number(static_cast<double>(rng.below(10000)) / 100.0);
+            b.key((std::string(nutrient) + "_unit").c_str());
+            b.string_value("g");
+        }
+        b.end_object();
+        b.key("nutriscore_grade");
+        b.string_value(std::string(1, static_cast<char>('a' + rng.below(5))));
+        b.key("last_modified_t");
+        b.number(1600000000 + rng.below(120000000));
+        b.end_object();
+    }
+    b.end_array();
+    b.end_object();
+    return b.take();
+}
+
+}  // namespace descend::workloads

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Twitter dataset generators.
+ *
+ * generate_twitter_large: the JSONSki benchmark dump — a top-level array
+ * of tweets (queries T1, T2). About 60% of tweets carry one or two urls
+ * in entities.urls; every tweet has a text field; some tweets embed a
+ * retweeted_status (one level of tweet nesting), giving depth ~12.
+ *
+ * generate_twitter_small: the twitter.json from simdjson's quickstart —
+ * one API response object with a statuses array first and search_metadata
+ * *last* (crucial: Ts must stream past all statuses to find it, which is
+ * exactly what makes the Ts / Ts^p / Ts^r comparison interesting).
+ */
+#include "descend/workloads/builder.h"
+#include "descend/workloads/datasets.h"
+
+namespace descend::workloads {
+namespace {
+
+void emit_user(JsonBuilder& b, Rng& rng)
+{
+    b.begin_object();
+    b.key("id");
+    b.number(std::uint64_t(rng.next() % 4000000000ULL));
+    b.key("name");
+    b.string_value(random_sentence(rng, 2));
+    b.key("screen_name");
+    b.string_value(random_word(rng, 8 + rng.below(6)));
+    b.key("location");
+    b.string_value(rng.chance(50) ? random_sentence(rng, 2) : "");
+    b.key("description");
+    b.string_value(random_sentence(rng, 6 + rng.below(10)));
+    b.key("followers_count");
+    b.number(rng.below(100000));
+    b.key("friends_count");
+    b.number(rng.below(5000));
+    b.key("statuses_count");
+    b.number(rng.below(200000));
+    b.key("profile_image_url");
+    b.string_value("https://pbs.twimg.test/profile_images/" +
+                   std::to_string(rng.next() % 1000000000) + "/photo.jpg");
+    b.key("verified");
+    b.boolean(rng.chance(3));
+    b.end_object();
+}
+
+void emit_entities(JsonBuilder& b, Rng& rng)
+{
+    b.begin_object();
+    b.key("hashtags");
+    b.begin_array();
+    std::uint64_t hashtags = rng.chance(40) ? rng.between(1, 3) : 0;
+    for (std::uint64_t h = 0; h < hashtags; ++h) {
+        b.begin_object();
+        b.key("text");
+        b.string_value(random_word(rng, 5 + rng.below(8)));
+        b.key("indices");
+        b.begin_array();
+        b.number(rng.below(100));
+        b.number(rng.below(140));
+        b.end_array();
+        b.end_object();
+    }
+    b.end_array();
+    b.key("urls");
+    b.begin_array();
+    std::uint64_t urls = rng.chance(60) ? rng.between(1, 2) : 0;
+    for (std::uint64_t u = 0; u < urls; ++u) {
+        b.begin_object();
+        b.key("url");
+        b.string_value("https://t.test/" + random_word(rng, 10));
+        b.key("expanded_url");
+        b.string_value("https://" + random_word(rng, 8) + ".test/" +
+                       random_word(rng, 12));
+        b.key("display_url");
+        b.string_value(random_word(rng, 14));
+        b.end_object();
+    }
+    b.end_array();
+    b.key("user_mentions");
+    b.begin_array();
+    b.end_array();
+    b.end_object();
+}
+
+void emit_tweet(JsonBuilder& b, Rng& rng, bool allow_retweet)
+{
+    b.begin_object();
+    b.key("created_at");
+    b.string_value("Sun Jul 05 12:00:00 +0000 2026");
+    b.key("id");
+    b.number(std::uint64_t(rng.next() % 1000000000000ULL));
+    b.key("text");
+    b.string_value(random_sentence(rng, 8 + rng.below(12)));
+    b.key("truncated");
+    b.boolean(false);
+    b.key("entities");
+    emit_entities(b, rng);
+    b.key("source");
+    b.string_value("<a href=\\\"https://twitter.test\\\">Twitter Web App</a>");
+    b.key("user");
+    emit_user(b, rng);
+    if (allow_retweet && rng.chance(25)) {
+        b.key("retweeted_status");
+        emit_tweet(b, rng, /*allow_retweet=*/false);
+    }
+    b.key("retweet_count");
+    b.number(rng.below(10000));
+    b.key("favorite_count");
+    b.number(rng.below(50000));
+    b.key("lang");
+    b.string_value(rng.chance(70) ? "en" : "ja");
+    b.end_object();
+}
+
+}  // namespace
+
+std::string generate_twitter_large(std::size_t target_bytes)
+{
+    Rng rng(0x7217eb16ULL);
+    JsonBuilder b(target_bytes + (target_bytes >> 3));
+    b.begin_array();
+    while (b.size() < target_bytes) {
+        emit_tweet(b, rng, /*allow_retweet=*/true);
+    }
+    b.end_array();
+    return b.take();
+}
+
+std::string generate_twitter_small(std::size_t target_bytes)
+{
+    Rng rng(0x7217e25ULL);
+    JsonBuilder b(target_bytes + (target_bytes >> 3));
+    b.begin_object();
+    b.key("statuses");
+    b.begin_array();
+    std::uint64_t statuses = 0;
+    // search_metadata must come after the statuses; leave room for it.
+    while (b.size() + 256 < target_bytes) {
+        emit_tweet(b, rng, /*allow_retweet=*/true);
+        ++statuses;
+    }
+    b.end_array();
+    b.key("search_metadata");
+    b.begin_object();
+    b.key("completed_in");
+    b.number(0.087);
+    b.key("max_id");
+    b.number(std::uint64_t(rng.next() % 1000000000000ULL));
+    b.key("query");
+    b.string_value(random_word(rng, 6));
+    b.key("count");
+    b.number(statuses);
+    b.end_object();
+    b.end_object();
+    return b.take();
+}
+
+}  // namespace descend::workloads

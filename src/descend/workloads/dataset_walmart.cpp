@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Walmart items dump generator (queries W1, W2).
+ *
+ * The flattest, most verbose dataset (depth 5, ~97 bytes/node in the
+ * paper): wide item objects full of long strings. Every item has a name
+ * (W2 matches all items); about 6% carry a bestMarketplacePrice object
+ * (W1 selective).
+ */
+#include "descend/workloads/builder.h"
+#include "descend/workloads/datasets.h"
+
+namespace descend::workloads {
+
+std::string generate_walmart(std::size_t target_bytes)
+{
+    Rng rng(0x3a13a27ULL);
+    JsonBuilder b(target_bytes + (target_bytes >> 3));
+    b.begin_object();
+    b.key("items");
+    b.begin_array();
+    std::uint64_t item_id = 500000;
+    while (b.size() < target_bytes) {
+        b.begin_object();
+        b.key("itemId");
+        b.number(item_id++);
+        b.key("parentItemId");
+        b.number(item_id - 1);
+        b.key("name");
+        b.string_value(random_sentence(rng, 5 + rng.below(7)));
+        b.key("msrp");
+        b.number(static_cast<double>(rng.between(10, 900)) + 0.99);
+        b.key("salePrice");
+        b.number(static_cast<double>(rng.between(8, 850)) + 0.49);
+        b.key("upc");
+        b.string_value(std::to_string(rng.next() % 1000000000000ULL));
+        b.key("categoryPath");
+        b.string_value(random_sentence(rng, 3) + "/" + random_sentence(rng, 2));
+        b.key("shortDescription");
+        b.string_value(random_sentence(rng, 25 + rng.below(20)));
+        b.key("longDescription");
+        b.string_value(random_sentence(rng, 60 + rng.below(60)));
+        b.key("brandName");
+        b.string_value(random_word(rng, 5 + rng.below(8)));
+        b.key("thumbnailImage");
+        b.string_value("https://i5.walmartimages.test/asr/" + random_word(rng, 32) +
+                       ".jpeg");
+        b.key("productTrackingUrl");
+        b.string_value("https://goto.walmart.test/c/" + random_word(rng, 40));
+        if (rng.chance(6)) {
+            b.key("bestMarketplacePrice");
+            b.begin_object();
+            b.key("price");
+            b.number(static_cast<double>(rng.between(5, 800)) + 0.95);
+            b.key("sellerInfo");
+            b.string_value(random_sentence(rng, 3));
+            b.key("standardShipRate");
+            b.number(static_cast<double>(rng.below(15)));
+            b.key("availableOnline");
+            b.boolean(true);
+            b.end_object();
+        }
+        b.key("stock");
+        b.string_value(rng.chance(80) ? "Available" : "Limited");
+        b.key("customerRating");
+        b.string_value(std::to_string(rng.between(20, 50) / 10.0).substr(0, 3));
+        b.key("availableOnline");
+        b.boolean(rng.chance(90));
+        b.end_object();
+    }
+    b.end_array();
+    b.end_object();
+    return b.take();
+}
+
+}  // namespace descend::workloads

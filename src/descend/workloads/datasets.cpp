@@ -1,0 +1,28 @@
+#include "descend/workloads/datasets.h"
+
+#include "descend/util/errors.h"
+
+namespace descend::workloads {
+
+std::vector<std::string> dataset_names()
+{
+    return {"ast",      "bestbuy", "crossref",      "googlemap", "nspl",
+            "openfood", "twitter", "twitter_small", "walmart",   "wikimedia"};
+}
+
+std::string generate(const std::string& name, std::size_t target_bytes)
+{
+    if (name == "ast") return generate_ast(target_bytes);
+    if (name == "bestbuy") return generate_bestbuy(target_bytes);
+    if (name == "crossref") return generate_crossref(target_bytes);
+    if (name == "googlemap") return generate_googlemap(target_bytes);
+    if (name == "nspl") return generate_nspl(target_bytes);
+    if (name == "openfood") return generate_openfood(target_bytes);
+    if (name == "twitter") return generate_twitter_large(target_bytes);
+    if (name == "twitter_small") return generate_twitter_small(target_bytes);
+    if (name == "walmart") return generate_walmart(target_bytes);
+    if (name == "wikimedia") return generate_wikimedia(target_bytes);
+    throw Error("unknown dataset: " + name);
+}
+
+}  // namespace descend::workloads

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Synthetic dataset generators standing in for the paper's benchmark data
+ * (Table 3). Each generator is deterministic and reproduces the structural
+ * profile of its namesake — nesting depth, verbosity, label vocabulary,
+ * and the selectivity of the benchmark queries that run against it. See
+ * DESIGN.md ("Substitutions") for the per-dataset rationale.
+ *
+ * @p target_bytes controls the output size: record-oriented generators
+ * append records until the target is reached, so actual size lands within
+ * one record of the target.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace descend::workloads {
+
+/** clang -ast-dump=json style AST: deep (~100 levels), highly irregular. */
+std::string generate_ast(std::size_t target_bytes);
+
+/** BestBuy product dump: {"products": [...]} with categoryPath arrays and
+ *  rare videoChapters (queries B1-B3). */
+std::string generate_bestbuy(std::size_t target_bytes);
+
+/** Crossref metadata: {"items": [...]} with authors/affiliations, rare
+ *  editors, DOIs everywhere incl. references (queries C1-C5, S0-S4). */
+std::string generate_crossref(std::size_t target_bytes);
+
+/** Google Maps directions: top-level array of route responses with
+ *  routes/legs/steps chains and rare available_travel_modes (G1-G2). */
+std::string generate_googlemap(std::size_t target_bytes);
+
+/** NSPL open-data export: {"meta": {"view": ...}, "data": [[...], ...]}
+ *  with row arrays of cell arrays (N1-N2). */
+std::string generate_nspl(std::size_t target_bytes);
+
+/** OpenFoodFacts products: tag-array-heavy objects with rare vitamins_tags
+ *  / added_countries_tags / specific_ingredients (O1-O3). */
+std::string generate_openfood(std::size_t target_bytes);
+
+/** Twitter API dump: top-level array of tweets with entities.urls and
+ *  occasional retweeted_status nesting (T1-T2). */
+std::string generate_twitter_large(std::size_t target_bytes);
+
+/** The small twitter.json from simdjson's quickstart: statuses first,
+ *  search_metadata (with count) at the end (Ts, Ts^r, Ts^p, Ts4, Ts5). */
+std::string generate_twitter_small(std::size_t target_bytes);
+
+/** Walmart items: {"items": [...]} with rare bestMarketplacePrice
+ *  sub-objects (W1-W2). */
+std::string generate_walmart(std::size_t target_bytes);
+
+/** Wikidata entities: top-level array with claims objects keyed by
+ *  property ids, rare P150 (Wi). */
+std::string generate_wikimedia(std::size_t target_bytes);
+
+/** All generator names usable with generate(). */
+std::vector<std::string> dataset_names();
+
+/** Dispatches by name ("ast", "bestbuy", "crossref", "googlemap", "nspl",
+ *  "openfood", "twitter", "twitter_small", "walmart", "wikimedia").
+ *  Throws Error for unknown names. */
+std::string generate(const std::string& name, std::size_t target_bytes);
+
+}  // namespace descend::workloads

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Random document and query generation for the differential property
+ * tests: every engine (main engine in every skipping configuration and at
+ * every SIMD level, the surfer baseline, and the DOM oracle) must agree
+ * on the full match set for any (document, query) pair drawn here.
+ *
+ * Shape profiles stress different engine paths: deep nesting (depth-stack
+ * growth), wide containers (sibling iteration), escape-heavy strings
+ * (quote classifier), whitespace padding (block-boundary straddles), and
+ * atom-only arrays (leaf matching via commas).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace descend::workloads {
+
+struct RandomJsonOptions {
+    std::uint64_t seed = 1;
+    /** Maximum container nesting. */
+    int max_depth = 8;
+    /** Maximum members/elements per container. */
+    int max_width = 6;
+    /** Percent chance that a value is a container (halved per level). */
+    unsigned container_chance = 70;
+    /** Percent chance of extra whitespace around tokens. */
+    unsigned whitespace_chance = 20;
+    /** Percent chance that a string contains escapes/quotes/braces. */
+    unsigned nasty_string_chance = 25;
+    /** Size of the label vocabulary (labels "a", "b", ...). */
+    int label_pool = 5;
+};
+
+/** Generates a random valid JSON document. Keys are unique per object
+ *  (the engines' sibling skipping assumes non-repeated labels; see
+ *  README "Limitations"). */
+std::string random_json(const RandomJsonOptions& options);
+
+/** Generates a random query over the same label vocabulary, mixing child,
+ *  descendant, wildcard and (when @p allow_indices) index selectors. */
+std::string random_query(std::uint64_t seed, int label_pool, int max_selectors,
+                         bool allow_indices);
+
+}  // namespace descend::workloads

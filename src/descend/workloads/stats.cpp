@@ -1,0 +1,32 @@
+#include "descend/workloads/stats.h"
+
+#include <cstdio>
+
+#include "descend/json/dom.h"
+
+namespace descend::workloads {
+
+DatasetStats compute_stats(std::string_view json_text)
+{
+    json::Document document = json::parse(json_text);
+    DatasetStats stats;
+    stats.size_bytes = json_text.size();
+    stats.nodes = document.root().subtree_size();
+    stats.depth = document.root().subtree_depth();
+    stats.verbosity = stats.nodes == 0
+                          ? 0.0
+                          : static_cast<double>(stats.size_bytes) /
+                                static_cast<double>(stats.nodes);
+    return stats;
+}
+
+std::string format_stats_row(const std::string& name, const DatasetStats& stats)
+{
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer), "%-15s %9.1f MB   depth %3zu   verbosity %5.1f",
+                  name.c_str(), static_cast<double>(stats.size_bytes) / 1e6,
+                  stats.depth, stats.verbosity);
+    return buffer;
+}
+
+}  // namespace descend::workloads

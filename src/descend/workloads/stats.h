@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Dataset characteristics as reported in the paper's Table 3: size,
+ * maximum depth, and verbosity (bytes per tree node — lower verbosity
+ * means denser structure and harder-to-achieve throughput).
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace descend::workloads {
+
+struct DatasetStats {
+    std::size_t size_bytes = 0;
+    std::size_t nodes = 0;
+    std::size_t depth = 0;
+    /** size_bytes / nodes. */
+    double verbosity = 0.0;
+};
+
+/** Parses the document (strictly) and computes its Table 3 row. */
+DatasetStats compute_stats(std::string_view json_text);
+
+/** Formats one row: name, size [MB], depth, verbosity. */
+std::string format_stats_row(const std::string& name, const DatasetStats& stats);
+
+}  // namespace descend::workloads

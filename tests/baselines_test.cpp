@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Baseline engine tests: the surfer engine against the DOM oracle, and the
+ * JSONSki-like engine on its supported fragment (including its documented
+ * non-idiomatic wildcard and type-assumption behaviour).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "descend/baselines/dom_engine.h"
+#include "descend/baselines/ski_engine.h"
+#include "descend/baselines/surfer_engine.h"
+#include "descend/descend.h"
+#include "descend/util/errors.h"
+
+namespace descend {
+namespace {
+
+std::vector<std::size_t> dom_offsets(const std::string& query,
+                                     const std::string& document)
+{
+    DomEngine oracle(query::Query::parse(query));
+    PaddedString padded(document);
+    return oracle.offsets(padded);
+}
+
+TEST(SurferEngine, AgreesWithOracle)
+{
+    const char* documents[] = {
+        R"({"a": {"b": [1, 2, {"a": 3}]}, "c": "x"})",
+        R"([[1], {"a": [2, {"b": 3}]}, "s"])",
+        R"({"deep": {"deep": {"deep": {"a": 1}}}})",
+    };
+    const char* queries[] = {"$", "$.a", "$..a", "$.a.b.*", "$..b", "$.*.*",
+                             "$..a..b", "$[1].a[1].b", "$..*"};
+    for (const char* document : documents) {
+        PaddedString padded(document);
+        for (const char* query : queries) {
+            SurferEngine surfer(automaton::CompiledQuery::compile(query));
+            EXPECT_EQ(surfer.offsets(padded), dom_offsets(query, document))
+                << query << " on " << document;
+        }
+    }
+}
+
+TEST(SkiEngine, RejectsDescendants)
+{
+    EXPECT_THROW(SkiEngine::for_query("$..a"), QueryError);
+    EXPECT_THROW(SkiEngine::for_query("$.a..b"), QueryError);
+    EXPECT_NO_THROW(SkiEngine::for_query("$.a.*.b[3]"));
+}
+
+TEST(SkiEngine, ChildPathsAgreeWithOracle)
+{
+    std::string document =
+        R"({"products": [{"id": 1, "price": {"v": 9}}, {"id": 2}], "x": 0})";
+    PaddedString padded(document);
+    for (const char* query : {"$.products", "$.x"}) {
+        SkiEngine ski = SkiEngine::for_query(query);
+        EXPECT_EQ(ski.offsets(padded), dom_offsets(query, document)) << query;
+    }
+}
+
+TEST(SkiEngine, ArrayWildcardChains)
+{
+    std::string document = R"({"items": [{"name": "a"}, {"name": "b"},)"
+                           R"( {"nope": 1}, {"name": "c"}]})";
+    PaddedString padded(document);
+    SkiEngine ski = SkiEngine::for_query("$.items.*.name");
+    EXPECT_EQ(ski.offsets(padded), dom_offsets("$.items[*].name", document));
+    EXPECT_EQ(ski.count(padded), 3u);
+}
+
+TEST(SkiEngine, WildcardIsArrayOnly)
+{
+    // JSONSki's wildcard does NOT step into object members: on an object it
+    // matches nothing (the paper's motivating limitation).
+    std::string document = R"({"a": {"x": 1, "y": 2}})";
+    PaddedString padded(document);
+    SkiEngine ski = SkiEngine::for_query("$.a.*");
+    EXPECT_EQ(ski.count(padded), 0u);
+    // The idiomatic engine disagrees by design.
+    auto full = DescendEngine::for_query("$.a.*");
+    EXPECT_EQ(full.count(padded), 2u);
+}
+
+TEST(SkiEngine, TypeAssumptionSkipsMismatchedValues)
+{
+    // .b with a following wildcard means b must hold an array; an object b
+    // is skipped wholesale (no descent).
+    std::string document = R"({"b": {"0": {"c": 5}}, "z": 1})";
+    PaddedString padded(document);
+    SkiEngine ski = SkiEngine::for_query("$.b.*.c");
+    EXPECT_EQ(ski.count(padded), 0u);
+}
+
+TEST(SkiEngine, IndexSelectors)
+{
+    std::string document = R"({"a": [[10, 20], [30, 40], [50]]})";
+    PaddedString padded(document);
+    EXPECT_EQ(SkiEngine::for_query("$.a[1][0]").count(padded), 1u);
+    EXPECT_EQ(SkiEngine::for_query("$.a[1][0]").offsets(padded),
+              dom_offsets("$.a[1][0]", document));
+    EXPECT_EQ(SkiEngine::for_query("$.a[2][1]").count(padded), 0u);
+    EXPECT_EQ(SkiEngine::for_query("$.a[0].*").count(padded), 2u);
+}
+
+TEST(SkiEngine, DeepRealisticShape)
+{
+    std::string document = R"({"routes": [)"
+                           R"({"legs": [{"steps": [{"distance": {"text": "1 km"}},)"
+                           R"( {"distance": {"text": "2 km"}}]}]},)"
+                           R"({"legs": [{"steps": [{"distance": {"text": "3 km"}}]}]})"
+                           R"(]})";
+    PaddedString padded(document);
+    SkiEngine ski = SkiEngine::for_query("$.routes.*.legs.*.steps.*.distance.text");
+    EXPECT_EQ(ski.count(padded), 3u);
+    EXPECT_EQ(
+        ski.offsets(padded),
+        dom_offsets("$.routes[*].legs[*].steps[*].distance.text", document));
+}
+
+TEST(SkiEngine, LastLevelReportsAnyValueType)
+{
+    // B3-style query: the final selector has no type assumption.
+    std::string document =
+        R"({"products": [{"videoChapters": [1]}, {"videoChapters": {"x": 2}},)"
+        R"( {"videoChapters": 7}, {"other": 0}]})";
+    PaddedString padded(document);
+    SkiEngine ski = SkiEngine::for_query("$.products.*.videoChapters");
+    EXPECT_EQ(ski.count(padded), 3u);
+}
+
+TEST(DomEngine, OffsetsMatchMainEngineConvention)
+{
+    std::string document = R"({"a": [ {"b": 1}, 2 ]})";
+    PaddedString padded(document);
+    auto main_offsets = DescendEngine::for_query("$.a.*").offsets(padded);
+    EXPECT_EQ(main_offsets, dom_offsets("$.a.*", document));
+    ASSERT_EQ(main_offsets.size(), 2u);
+    EXPECT_EQ(document[main_offsets[0]], '{');
+    EXPECT_EQ(document[main_offsets[1]], '2');
+}
+
+}  // namespace
+}  // namespace descend

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sanity checks over the benchmark catalog: ids are unique, every query
+ * parses and compiles, dataset names are valid, the ski_supported flag
+ * matches the JSONSki fragment, and rewritings reference existing
+ * originals and agree with them on small-scale generated data.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bench/catalog.h"
+#include "descend/baselines/ski_engine.h"
+#include "descend/descend.h"
+#include "descend/workloads/datasets.h"
+
+namespace descend {
+namespace {
+
+TEST(Catalog, IdsAreUnique)
+{
+    std::set<std::string> ids;
+    for (const bench::QuerySpec& spec : bench::catalog()) {
+        EXPECT_TRUE(ids.insert(spec.id).second) << "duplicate id " << spec.id;
+    }
+}
+
+TEST(Catalog, QueriesCompile)
+{
+    for (const bench::QuerySpec& spec : bench::catalog()) {
+        EXPECT_NO_THROW(automaton::CompiledQuery::compile(spec.query)) << spec.id;
+    }
+}
+
+TEST(Catalog, DatasetNamesExist)
+{
+    auto names = workloads::dataset_names();
+    std::set<std::string> valid(names.begin(), names.end());
+    for (const bench::QuerySpec& spec : bench::catalog()) {
+        EXPECT_TRUE(valid.count(spec.dataset)) << spec.id << ": " << spec.dataset;
+    }
+}
+
+TEST(Catalog, SkiSupportMatchesFragment)
+{
+    for (const bench::QuerySpec& spec : bench::catalog()) {
+        bool has_descendants = query::Query::parse(spec.query).has_descendants();
+        EXPECT_EQ(spec.ski_supported, !has_descendants) << spec.id;
+        if (spec.ski_supported) {
+            EXPECT_NO_THROW(SkiEngine::for_query(spec.query)) << spec.id;
+        }
+    }
+}
+
+TEST(Catalog, RewritesReferenceOriginalsAndAgree)
+{
+    for (const bench::QuerySpec& spec : bench::catalog()) {
+        if (spec.rewrite_of.empty()) {
+            continue;
+        }
+        auto originals = bench::catalog_subset({spec.rewrite_of});
+        ASSERT_EQ(originals.size(), 1u) << spec.id << " references "
+                                        << spec.rewrite_of;
+        const bench::QuerySpec& original = originals.front();
+        EXPECT_EQ(original.dataset, spec.dataset) << spec.id;
+        // Semantic equivalence on this dataset: the rewriting must select
+        // the same number of nodes (small scale keeps the test fast).
+        PaddedString doc(workloads::generate(spec.dataset, 96 * 1024));
+        std::size_t original_count =
+            DescendEngine::for_query(original.query).count(doc);
+        std::size_t rewrite_count =
+            DescendEngine::for_query(spec.query).count(doc);
+        EXPECT_EQ(original_count, rewrite_count)
+            << spec.id << " vs " << original.id;
+    }
+}
+
+TEST(Catalog, SubsetPreservesOrder)
+{
+    auto subset = bench::catalog_subset({"W1", "B1", "missing", "A1"});
+    ASSERT_EQ(subset.size(), 3u);
+    EXPECT_EQ(subset[0].id, "W1");
+    EXPECT_EQ(subset[1].id, "B1");
+    EXPECT_EQ(subset[2].id, "A1");
+}
+
+}  // namespace
+}  // namespace descend

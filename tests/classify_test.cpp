@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Tests for the classification layer: the generic acceptance-group table
+ * construction of Section 4.1 (including the exact table constants printed
+ * in the paper), the quote classifier against a naive reference, comma /
+ * colon toggling, and the depth classifier with its block-skip heuristic.
+ */
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string>
+
+#include "descend/classify/depth_classifier.h"
+#include "descend/classify/quote_classifier.h"
+#include "descend/classify/raw_tables.h"
+#include "descend/classify/structural_classifier.h"
+#include "descend/workloads/builder.h"
+
+namespace descend::classify {
+namespace {
+
+using Block = std::array<std::uint8_t, simd::kBlockSize>;
+
+Block block_from(const std::string& text)
+{
+    Block block;
+    std::memset(block.data(), ' ', block.size());
+    std::memcpy(block.data(), text.data(), std::min(text.size(), block.size()));
+    return block;
+}
+
+std::uint64_t naive_classify(const ByteSet& accept, const Block& block)
+{
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        mask |= static_cast<std::uint64_t>(accept[block[i]]) << i;
+    }
+    return mask;
+}
+
+// ---------------------------------------------------------------- Section 4.1
+
+TEST(RawTables, PaperExampleGroups)
+{
+    // The worked example from Section 4.1: bytes a1,a2,b1,b2,c2 accepted.
+    ByteSet accept = byte_set({0xa1, 0xa2, 0xb1, 0xb2, 0xc2});
+    auto groups = acceptance_groups(accept);
+    ASSERT_EQ(groups.size(), 2u);
+    // <{a,b}, {1,2}> and <{c}, {2}> — overlapping (share lower nibble 2).
+    EXPECT_EQ(groups[0].uppers, (1u << 0xa) | (1u << 0xb));
+    EXPECT_EQ(groups[0].lowers, (1u << 1) | (1u << 2));
+    EXPECT_EQ(groups[1].uppers, 1u << 0xc);
+    EXPECT_EQ(groups[1].lowers, 1u << 2);
+    EXPECT_TRUE(has_overlapping_groups(groups));
+    // Overlap means the eq method is inapplicable...
+    EXPECT_FALSE(build_eq_tables(accept).has_value());
+    // ...but the few-groups method handles it, with the lower-nibble mask
+    // required by the high bytes (footnote 2).
+    auto classifier = RawClassifier::build(accept);
+    EXPECT_EQ(classifier.method(), Method::kOr8);
+    EXPECT_TRUE(classifier.masked());
+    workloads::Rng rng(5);
+    for (int trial = 0; trial < 100; ++trial) {
+        Block block;
+        for (auto& c : block) {
+            c = static_cast<std::uint8_t>(rng.next() & 0xff);
+        }
+        ASSERT_EQ(classifier.run(simd::best_kernels(), block.data()),
+                  naive_classify(accept, block));
+    }
+}
+
+TEST(RawTables, JsonStructuralGroupsMatchPaper)
+{
+    ByteSet accept =
+        byte_set({kOpenBrace, kCloseBrace, kOpenBracket, kCloseBracket, kColon,
+                  kComma});
+    auto groups = acceptance_groups(accept);
+    ASSERT_EQ(groups.size(), 3u);
+    // {<{5,7},{b,d}>, <{2},{c}>, <{3},{a}>} in the paper's order.
+    EXPECT_EQ(groups[0].uppers, (1u << 5) | (1u << 7));
+    EXPECT_EQ(groups[0].lowers, (1u << 0xb) | (1u << 0xd));
+    EXPECT_EQ(groups[1].uppers, 1u << 2);
+    EXPECT_EQ(groups[1].lowers, 1u << 0xc);
+    EXPECT_EQ(groups[2].uppers, 1u << 3);
+    EXPECT_EQ(groups[2].lowers, 1u << 0xa);
+    EXPECT_FALSE(has_overlapping_groups(groups));
+}
+
+TEST(RawTables, JsonStructuralTablesMatchPaperConstants)
+{
+    // The exact utab / ltab printed in Section 4.1.
+    const auto& utab = StructuralClassifier::reference_utab();
+    const auto& ltab = StructuralClassifier::reference_ltab();
+    std::array<std::uint8_t, 16> expected_utab = {
+        0xfe, 0xfe, 0x02, 0x03, 0xfe, 0x01, 0xfe, 0x01,
+        0xfe, 0xfe, 0xfe, 0xfe, 0xfe, 0xfe, 0xfe, 0xfe};
+    std::array<std::uint8_t, 16> expected_ltab = {
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        0xff, 0xff, 0x03, 0x01, 0x02, 0x01, 0xff, 0xff};
+    EXPECT_EQ(utab, expected_utab);
+    EXPECT_EQ(ltab, expected_ltab);
+}
+
+TEST(RawTables, EveryMethodClassifiesCorrectly)
+{
+    workloads::Rng rng(21);
+    const simd::Kernels& kernels = simd::best_kernels();
+    for (int trial = 0; trial < 200; ++trial) {
+        // Random predicate over ASCII with varying density.
+        ByteSet accept{};
+        std::uint64_t density = rng.between(1, 60);
+        for (int byte = 0; byte < 0x80; ++byte) {
+            accept[byte] = rng.chance(static_cast<unsigned>(density));
+        }
+        auto classifier = RawClassifier::build(accept);
+        for (int b = 0; b < 20; ++b) {
+            Block block;
+            for (auto& c : block) {
+                c = static_cast<std::uint8_t>(rng.next() & 0xff);
+            }
+            ASSERT_EQ(classifier.run(kernels, block.data()),
+                      naive_classify(accept, block))
+                << "method " << method_name(classifier.method()) << " trial "
+                << trial;
+        }
+    }
+}
+
+TEST(RawTables, ForcedMethodsAgree)
+{
+    workloads::Rng rng(23);
+    const simd::Kernels& kernels = simd::best_kernels();
+    // A non-overlapping predicate: eq, or8 and naive must all work.
+    ByteSet accept =
+        byte_set({kOpenBrace, kCloseBrace, kOpenBracket, kCloseBracket, kColon,
+                  kComma});
+    for (Method method : {Method::kEq, Method::kOr8, Method::kGeneral,
+                          Method::kNaive}) {
+        auto classifier = RawClassifier::build_with_method(accept, method);
+        ASSERT_TRUE(classifier.has_value()) << method_name(method);
+        for (int trial = 0; trial < 50; ++trial) {
+            Block block;
+            for (auto& c : block) {
+                c = static_cast<std::uint8_t>(rng.next() & 0xff);
+            }
+            ASSERT_EQ(classifier->run(kernels, block.data()),
+                      naive_classify(accept, block))
+                << method_name(method);
+        }
+    }
+}
+
+TEST(RawTables, HighBytePredicatesUseMaskedLookups)
+{
+    ByteSet accept = byte_set({0x85, 0x30});
+    auto classifier = RawClassifier::build(accept);
+    EXPECT_EQ(classifier.method(), Method::kEq);
+    EXPECT_TRUE(classifier.masked());
+    Block block = block_from("0");
+    block[5] = 0x85;
+    block[9] = 0x35;  // same nibbles crossed: must not match
+    block[10] = 0x80;
+    EXPECT_EQ(classifier.run(simd::best_kernels(), block.data()),
+              (1ULL << 0) | (1ULL << 5));
+    EXPECT_EQ(classifier.run(simd::scalar_kernels(), block.data()),
+              (1ULL << 0) | (1ULL << 5));
+}
+
+TEST(RawTables, ManyGroupsUseGeneralMethod)
+{
+    // A predicate engineered to produce > 8 distinct acceptance groups:
+    // upper nibble u accepts lower nibbles {0..u}, over the full byte
+    // range (Section 4.1's general case, 8 < |G| <= 16).
+    ByteSet accept{};
+    for (int upper = 0; upper < 12; ++upper) {
+        for (int lower = 0; lower <= upper; ++lower) {
+            accept[(upper << 4) | lower] = true;
+        }
+    }
+    auto groups = acceptance_groups(accept);
+    EXPECT_GT(groups.size(), 8u);
+    auto classifier = RawClassifier::build(accept);
+    EXPECT_EQ(classifier.method(), Method::kGeneral);
+    workloads::Rng rng(29);
+    for (int trial = 0; trial < 100; ++trial) {
+        Block block;
+        for (auto& c : block) {
+            c = static_cast<std::uint8_t>(rng.next() & 0xff);
+        }
+        ASSERT_EQ(classifier.run(simd::best_kernels(), block.data()),
+                  naive_classify(accept, block));
+        ASSERT_EQ(classifier.run(simd::scalar_kernels(), block.data()),
+                  naive_classify(accept, block));
+    }
+}
+
+// ---------------------------------------------------------------- Section 4.2
+
+struct NaiveQuoteState {
+    bool in_string = false;
+    bool escaped = false;
+};
+
+/** Byte-by-byte reference for in-string classification. */
+QuoteMasks naive_quotes(const Block& block, NaiveQuoteState& state)
+{
+    QuoteMasks masks;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        char c = static_cast<char>(block[i]);
+        bool was_escaped = state.escaped;
+        state.escaped = false;
+        if (was_escaped) {
+            if (state.in_string) {
+                masks.in_string |= 1ULL << i;
+            }
+            continue;
+        }
+        if (c == '\\') {
+            state.escaped = true;
+            if (state.in_string) {
+                masks.in_string |= 1ULL << i;
+            }
+            continue;
+        }
+        if (c == '"') {
+            masks.unescaped_quotes |= 1ULL << i;
+            if (!state.in_string) {
+                state.in_string = true;
+                masks.in_string |= 1ULL << i;  // opening quote is "inside"
+            } else {
+                state.in_string = false;  // closing quote is "outside"
+            }
+            continue;
+        }
+        if (state.in_string) {
+            masks.in_string |= 1ULL << i;
+        }
+    }
+    return masks;
+}
+
+TEST(QuoteClassifier, MatchesNaiveOnRandomStreams)
+{
+    workloads::Rng rng(31);
+    for (simd::Level level : {simd::Level::scalar, simd::Level::avx2}) {
+        QuoteClassifier classifier(simd::kernels_for(level));
+        NaiveQuoteState naive_state;
+        for (int blocks = 0; blocks < 800; ++blocks) {
+            Block block;
+            static const char kChars[] = "\"\\x, {}";
+            for (auto& c : block) {
+                c = static_cast<std::uint8_t>(kChars[rng.below(sizeof(kChars) - 1)]);
+            }
+            QuoteMasks fast = classifier.classify(block.data());
+            QuoteMasks naive = naive_quotes(block, naive_state);
+            ASSERT_EQ(fast.unescaped_quotes, naive.unescaped_quotes)
+                << "block " << blocks;
+            ASSERT_EQ(fast.in_string, naive.in_string) << "block " << blocks;
+        }
+    }
+}
+
+TEST(QuoteClassifier, SimpleStringMask)
+{
+    QuoteClassifier classifier(simd::best_kernels());
+    Block block = block_from(R"({"a": "b,c"})");
+    QuoteMasks masks = classifier.classify(block.data());
+    // Quotes at 1,3 (label a) and 6,10 (value b,c).
+    EXPECT_EQ(masks.unescaped_quotes,
+              (1ULL << 1) | (1ULL << 3) | (1ULL << 6) | (1ULL << 10));
+    // The comma inside the string (position 8) is in-string.
+    EXPECT_TRUE(masks.in_string & (1ULL << 8));
+    // The colon (position 4) is not.
+    EXPECT_FALSE(masks.in_string & (1ULL << 4));
+}
+
+TEST(QuoteClassifier, EscapedQuoteDoesNotClose)
+{
+    QuoteClassifier classifier(simd::best_kernels());
+    Block block = block_from(R"(["a\"b", 1])");
+    QuoteMasks masks = classifier.classify(block.data());
+    // The escaped quote at position 4 is not an unescaped quote.
+    EXPECT_FALSE(masks.unescaped_quotes & (1ULL << 4));
+    // The comma at position 7 is outside the string.
+    EXPECT_FALSE(masks.in_string & (1ULL << 7));
+    // The 'b' at position 5 is inside.
+    EXPECT_TRUE(masks.in_string & (1ULL << 5));
+}
+
+TEST(QuoteClassifier, StateCrossesBlocks)
+{
+    QuoteClassifier classifier(simd::best_kernels());
+    // Block 1 ends inside a string; block 2 continues it.
+    std::string text(simd::kBlockSize - 3, ' ');
+    text += "\"ab";  // string opens near the end of block 1
+    Block first = block_from(text);
+    classifier.classify(first.data());
+    EXPECT_NE(classifier.state().in_string_carry, 0u);
+
+    Block second = block_from(R"(cd", 1)");
+    QuoteMasks masks = classifier.classify(second.data());
+    EXPECT_TRUE(masks.in_string & 1ULL);               // 'c' continues string
+    EXPECT_FALSE(masks.in_string & (1ULL << 4));       // ',' after close
+    EXPECT_EQ(classifier.state().in_string_carry, 0u);
+}
+
+TEST(QuoteClassifier, EscapeCarryCrossesBlocks)
+{
+    QuoteClassifier classifier(simd::best_kernels());
+    std::string text = "\"";
+    text += std::string(simd::kBlockSize - 2, 'x');
+    text += "\\";  // block ends with a lone backslash inside a string
+    Block first = block_from(text);
+    classifier.classify(first.data());
+    EXPECT_TRUE(classifier.state().escape_carry);
+
+    Block second = block_from(R"(" still in string")");
+    QuoteMasks masks = classifier.classify(second.data());
+    // The first quote is escaped by the carried backslash.
+    EXPECT_FALSE(masks.unescaped_quotes & 1ULL);
+    EXPECT_TRUE(masks.in_string & (1ULL << 2));
+}
+
+// ------------------------------------------------------- Sections 4.1 + 4.3
+
+TEST(StructuralClassifier, DefaultSkipsCommasAndColons)
+{
+    StructuralClassifier classifier(simd::best_kernels());
+    Block block = block_from(R"({"a": [1, 2], "b": {}})");
+    std::uint64_t mask = classifier.classify(block.data());
+    // Only braces/brackets: positions 0 '{', 6 '[', 11 ']', 19 '{', 20 '}',
+    // 21 '}'. Quote masking is the caller's job; none of these are quoted.
+    EXPECT_EQ(mask, (1ULL << 0) | (1ULL << 6) | (1ULL << 11) | (1ULL << 19) |
+                        (1ULL << 20) | (1ULL << 21));
+}
+
+TEST(StructuralClassifier, TogglingCommasAndColons)
+{
+    StructuralClassifier classifier(simd::best_kernels());
+    Block block = block_from(R"({"a": [1, 2]})");
+    std::uint64_t braces = (1ULL << 0) | (1ULL << 6) | (1ULL << 11) | (1ULL << 12);
+    EXPECT_EQ(classifier.classify(block.data()), braces);
+
+    EXPECT_TRUE(classifier.set_commas(true));
+    EXPECT_FALSE(classifier.set_commas(true));  // idempotent
+    EXPECT_EQ(classifier.classify(block.data()), braces | (1ULL << 8));
+
+    EXPECT_TRUE(classifier.set_colons(true));
+    EXPECT_EQ(classifier.classify(block.data()),
+              braces | (1ULL << 8) | (1ULL << 4));
+
+    EXPECT_TRUE(classifier.set_commas(false));
+    EXPECT_EQ(classifier.classify(block.data()), braces | (1ULL << 4));
+    EXPECT_TRUE(classifier.set_colons(false));
+    EXPECT_EQ(classifier.classify(block.data()), braces);
+}
+
+TEST(StructuralClassifier, NoFalsePositivesOnLookalikes)
+{
+    StructuralClassifier classifier(simd::best_kernels());
+    classifier.set_commas(true);
+    classifier.set_colons(true);
+    // Bytes sharing a nibble with structural characters: ; + K k z < etc.
+    Block block = block_from(R"(;+Kkz<=>?@ABZ|~-.)");
+    EXPECT_EQ(classifier.classify(block.data()), 0u);
+}
+
+// ---------------------------------------------------------------- Section 4.4
+
+TEST(DepthClassifier, MasksSelectKind)
+{
+    Block block = block_from(R"({[}]{})");
+    DepthMasks object_masks =
+        depth_masks(simd::best_kernels(), block.data(), BracketKind::kObject);
+    EXPECT_EQ(object_masks.openers, (1ULL << 0) | (1ULL << 4));
+    EXPECT_EQ(object_masks.closers, (1ULL << 2) | (1ULL << 5));
+    DepthMasks array_masks =
+        depth_masks(simd::best_kernels(), block.data(), BracketKind::kArray);
+    EXPECT_EQ(array_masks.openers, 1ULL << 1);
+    EXPECT_EQ(array_masks.closers, 1ULL << 3);
+}
+
+TEST(DepthClassifier, FindsMatchingCloser)
+{
+    Block block = block_from(R"({{}{}}x)");
+    DepthMasks masks =
+        depth_masks(simd::best_kernels(), block.data(), BracketKind::kObject);
+    // Entered after the first '{': relative depth 1; ignore bit 0.
+    masks.openers &= ~1ULL;
+    int depth = 1;
+    int index = find_depth_zero(masks, depth);
+    EXPECT_EQ(index, 5);
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(DepthClassifier, BlockSkipHeuristic)
+{
+    // Fewer closers in the block than the current depth: the block must be
+    // consumed wholesale with only a depth adjustment.
+    Block block = block_from(R"({{{}{{)");
+    DepthMasks masks =
+        depth_masks(simd::best_kernels(), block.data(), BracketKind::kObject);
+    int depth = 3;
+    int index = find_depth_zero(masks, depth);
+    EXPECT_EQ(index, -1);
+    EXPECT_EQ(depth, 3 + 5 - 1);
+}
+
+TEST(DepthClassifier, DepthNeverFallsOnOpeners)
+{
+    Block block = block_from(R"(}})");
+    DepthMasks masks =
+        depth_masks(simd::best_kernels(), block.data(), BracketKind::kObject);
+    int depth = 2;
+    int index = find_depth_zero(masks, depth);
+    EXPECT_EQ(index, 1);
+    EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace descend::classify

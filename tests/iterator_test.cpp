@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Direct tests of the structural iterator (the multi-classifier pipeline's
+ * stream abstraction): event sequences, peeking, toggling mid-block,
+ * label backtracking, both skip flavours, stop/resume, and padded-string
+ * plumbing — at both SIMD levels.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "descend/engine/extract.h"
+#include "descend/engine/structural_iterator.h"
+
+namespace descend {
+namespace {
+
+using Kind = StructuralIterator::Kind;
+
+std::string drain(StructuralIterator& iter)
+{
+    std::string events;
+    while (true) {
+        auto event = iter.next();
+        if (event.kind == Kind::kNone) {
+            return events;
+        }
+        events.push_back(static_cast<char>(event.byte));
+    }
+}
+
+class IteratorTest : public ::testing::TestWithParam<simd::Level> {
+protected:
+    const simd::Kernels& kernels() const { return simd::kernels_for(GetParam()); }
+};
+
+TEST_P(IteratorTest, DefaultModeSkipsLeaves)
+{
+    PaddedString doc(R"({"a": [1, 2], "b": {"c": 3}})");
+    StructuralIterator iter(doc, kernels());
+    // Only braces/brackets by default: leaves are invisible.
+    EXPECT_EQ(drain(iter), "{[]{}}");
+}
+
+TEST_P(IteratorTest, TogglesExtendTheEventSet)
+{
+    PaddedString doc(R"({"a": [1, 2]})");
+    StructuralIterator iter(doc, kernels());
+    iter.set_colons(true);
+    iter.set_commas(true);
+    EXPECT_EQ(drain(iter), "{:[,]}");
+}
+
+TEST_P(IteratorTest, InStringStructuralsAreInvisible)
+{
+    PaddedString doc(R"({"k": "a {[,:]} b", "x": []})");
+    StructuralIterator iter(doc, kernels());
+    iter.set_commas(true);
+    iter.set_colons(true);
+    EXPECT_EQ(drain(iter), "{:,:[]}");
+}
+
+TEST_P(IteratorTest, PeekDoesNotConsume)
+{
+    PaddedString doc(R"([{}])");
+    StructuralIterator iter(doc, kernels());
+    EXPECT_EQ(iter.peek().byte, '[');
+    EXPECT_EQ(iter.peek().byte, '[');
+    EXPECT_EQ(iter.next().byte, '[');
+    EXPECT_EQ(iter.peek().byte, '{');
+    EXPECT_EQ(iter.next().byte, '{');
+}
+
+TEST_P(IteratorTest, PeekAcrossBlockBoundary)
+{
+    std::string text = "[" + std::string(100, ' ') + "{}]";
+    PaddedString doc(text);
+    StructuralIterator iter(doc, kernels());
+    EXPECT_EQ(iter.next().byte, '[');
+    EXPECT_EQ(iter.peek().byte, '{');
+    EXPECT_EQ(iter.next().pos, 101u);
+}
+
+TEST_P(IteratorTest, EventPositionsAreAbsolute)
+{
+    PaddedString doc(R"(  {"a": 1})");
+    StructuralIterator iter(doc, kernels());
+    iter.set_colons(true);
+    EXPECT_EQ(iter.next().pos, 2u);
+    EXPECT_EQ(iter.next().pos, 6u);
+    EXPECT_EQ(iter.next().pos, 9u);
+}
+
+TEST_P(IteratorTest, LabelBacktracking)
+{
+    std::string text = R"({"alpha": {"beta" : [ {"x":1} ]}})";
+    PaddedString doc(text);
+    StructuralIterator iter(doc, kernels());
+    ASSERT_EQ(iter.next().byte, '{');  // root: no label
+    EXPECT_FALSE(iter.label_before(0).has_value());
+    auto open_alpha = iter.next();
+    ASSERT_EQ(open_alpha.byte, '{');
+    EXPECT_EQ(iter.label_before(open_alpha.pos), "alpha");
+    auto open_beta = iter.next();
+    ASSERT_EQ(open_beta.byte, '[');
+    EXPECT_EQ(iter.label_before(open_beta.pos), "beta");
+    auto open_x = iter.next();
+    ASSERT_EQ(open_x.byte, '{');
+    // Array entry: artificial label.
+    EXPECT_FALSE(iter.label_before(open_x.pos).has_value());
+}
+
+TEST_P(IteratorTest, LabelBacktrackingWithEscapes)
+{
+    std::string text = R"({"we \"said\"": {}})";
+    PaddedString doc(text);
+    StructuralIterator iter(doc, kernels());
+    ASSERT_EQ(iter.next().byte, '{');
+    auto open = iter.next();
+    EXPECT_EQ(iter.label_before(open.pos), R"(we \"said\")");
+}
+
+TEST_P(IteratorTest, SkipElementConsumesWholeSubtree)
+{
+    PaddedString doc(R"({"a": {"deep": [{}, [], "}}"]}, "b": 1})");
+    StructuralIterator iter(doc, kernels());
+    ASSERT_EQ(iter.next().byte, '{');   // root
+    auto open_a = iter.next();
+    ASSERT_EQ(open_a.byte, '{');        // value of a
+    iter.skip_element(open_a.byte);
+    // Next event is the root's closing brace.
+    auto next = iter.next();
+    EXPECT_EQ(next.byte, '}');
+    EXPECT_EQ(next.pos, doc.size() - 1);
+}
+
+TEST_P(IteratorTest, SkipToParentCloseLeavesCloserPending)
+{
+    PaddedString doc(R"({"a": 1, "b": {"c": [2]}, "d": 3})");
+    StructuralIterator iter(doc, kernels());
+    ASSERT_EQ(iter.next().byte, '{');
+    iter.skip_to_parent_close(/*parent_is_object=*/true);
+    auto closer = iter.next();
+    EXPECT_EQ(closer.kind, Kind::kClosing);
+    EXPECT_EQ(closer.pos, doc.size() - 1);
+    EXPECT_EQ(iter.next().kind, Kind::kNone);
+}
+
+TEST_P(IteratorTest, SkipsWorkAcrossManyBlocks)
+{
+    std::string text = R"({"skip": [)";
+    for (int i = 0; i < 100; ++i) {
+        text += R"({"filler": "some padding text here"},)";
+    }
+    text += R"(0], "target": 7})";
+    PaddedString doc(text);
+    StructuralIterator iter(doc, kernels());
+    ASSERT_EQ(iter.next().byte, '{');
+    auto open = iter.next();
+    ASSERT_EQ(open.byte, '[');
+    iter.skip_element(open.byte);
+    iter.set_colons(true);
+    auto colon = iter.next();
+    EXPECT_EQ(colon.kind, Kind::kColon);
+    EXPECT_EQ(iter.label_before(colon.pos), "target");
+}
+
+TEST_P(IteratorTest, StopResumeRoundTrip)
+{
+    PaddedString doc(R"({"a": [1, {"b": 2}], "c": 3})");
+    StructuralIterator iter(doc, kernels());
+    ASSERT_EQ(iter.next().byte, '{');
+    ASSERT_EQ(iter.next().byte, '[');
+    ResumePoint point = iter.resume_point();
+
+    // Drain to the end, then resume: the event stream must replay.
+    std::string rest_once = drain(iter);
+    iter.resume(point);
+    std::string rest_twice = drain(iter);
+    EXPECT_EQ(rest_once, rest_twice);
+    EXPECT_EQ(rest_once, "{}]}");
+}
+
+TEST_P(IteratorTest, FirstNonWs)
+{
+    PaddedString doc("  \t\n7 ");
+    StructuralIterator iter(doc, kernels());
+    EXPECT_EQ(iter.first_non_ws(0), 4u);
+    EXPECT_EQ(iter.first_non_ws(4), 4u);
+    EXPECT_EQ(iter.first_non_ws(5), doc.size());
+}
+
+TEST_P(IteratorTest, EmptyInput)
+{
+    PaddedString doc("");
+    StructuralIterator iter(doc, kernels());
+    EXPECT_EQ(iter.next().kind, Kind::kNone);
+    EXPECT_EQ(iter.peek().kind, Kind::kNone);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, IteratorTest,
+                         ::testing::Values(simd::Level::avx2, simd::Level::scalar),
+                         [](const ::testing::TestParamInfo<simd::Level>& info) {
+                             return info.param == simd::Level::avx2 ? "avx2"
+                                                                    : "scalar";
+                         });
+
+TEST(PaddedString, CopiesAndPads)
+{
+    PaddedString doc("abc");
+    EXPECT_EQ(doc.size(), 3u);
+    EXPECT_EQ(doc.view(), "abc");
+    // Padding must be whitespace for at least kPadding bytes.
+    for (std::size_t i = 0; i < PaddedString::kPadding; ++i) {
+        EXPECT_EQ(doc.data()[3 + i], ' ');
+    }
+}
+
+TEST(PaddedString, MoveTransfersOwnership)
+{
+    PaddedString source("hello");
+    PaddedString moved(std::move(source));
+    EXPECT_EQ(moved.view(), "hello");
+    EXPECT_TRUE(source.empty());  // NOLINT(bugprone-use-after-move)
+    PaddedString assigned;
+    assigned = std::move(moved);
+    EXPECT_EQ(assigned.view(), "hello");
+}
+
+TEST(Extract, DelimitsEveryValueKind)
+{
+    PaddedString doc(R"({"o": {"x": [1, "]"]}, "a": [ {"y":2} ], "s": "a,b",
+                        "n": -1.5e3, "t": true, "z": null})");
+    auto value_at = [&](std::size_t offset) {
+        return std::string(extract_value(doc, offset));
+    };
+    EXPECT_EQ(value_at(doc.view().find("{\"x\"")), R"({"x": [1, "]"]})");
+    EXPECT_EQ(value_at(doc.view().find("[ {")), R"([ {"y":2} ])");
+    EXPECT_EQ(value_at(doc.view().find("\"a,b\"")), R"("a,b")");
+    EXPECT_EQ(value_at(doc.view().find("-1.5e3")), "-1.5e3");
+    EXPECT_EQ(value_at(doc.view().find("true")), "true");
+    EXPECT_EQ(value_at(doc.view().find("null")), "null");
+}
+
+}  // namespace
+}  // namespace descend

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the JSON substrate: strict DOM parsing (valid and invalid
+ * inputs), escape handling, source offsets, serializer round-trips, and
+ * the SAX tokenizer.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "descend/json/dom.h"
+#include "descend/json/sax.h"
+#include "descend/json/serializer.h"
+#include "descend/util/errors.h"
+#include "descend/workloads/random_json.h"
+
+namespace descend::json {
+namespace {
+
+TEST(JsonParser, Atoms)
+{
+    EXPECT_EQ(parse("42").root().as_number(), 42);
+    EXPECT_EQ(parse("-17.5").root().as_number(), -17.5);
+    EXPECT_EQ(parse("2e3").root().as_number(), 2000);
+    EXPECT_EQ(parse("1.25E-2").root().as_number(), 0.0125);
+    EXPECT_TRUE(parse("true").root().as_bool());
+    EXPECT_FALSE(parse("false").root().as_bool());
+    EXPECT_TRUE(parse("null").root().is_null());
+    EXPECT_EQ(parse(R"("hi")").root().as_string(), "hi");
+    EXPECT_EQ(parse("  42  ").root().as_number(), 42);
+}
+
+TEST(JsonParser, Containers)
+{
+    Document doc = parse(R"({"a": [1, {"b": null}], "c": "x"})");
+    const Value& root = doc.root();
+    ASSERT_TRUE(root.is_object());
+    ASSERT_EQ(root.members().size(), 2u);
+    const Value* a = root.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->is_array());
+    ASSERT_EQ(a->elements().size(), 2u);
+    EXPECT_EQ(a->elements()[0]->as_number(), 1);
+    EXPECT_NE(a->elements()[1]->find("b"), nullptr);
+    EXPECT_EQ(root.find("c")->as_string(), "x");
+    EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(JsonParser, SourceOffsets)
+{
+    std::string text = R"({"a":  [10, {"b": 3}]})";
+    Document doc = parse(text);
+    EXPECT_EQ(doc.root().source_offset(), 0u);
+    const Value* a = doc.root().find("a");
+    EXPECT_EQ(text[a->source_offset()], '[');
+    EXPECT_EQ(text[a->elements()[0]->source_offset()], '1');
+    EXPECT_EQ(text[a->elements()[1]->source_offset()], '{');
+}
+
+TEST(JsonParser, RawKeysPreserveEscapes)
+{
+    Document doc = parse(R"({"a\"b": 1})");
+    ASSERT_EQ(doc.root().members().size(), 1u);
+    EXPECT_EQ(doc.root().members()[0].key, R"(a\"b)");
+}
+
+TEST(JsonParser, DuplicateKeysPreserved)
+{
+    Document doc = parse(R"({"k": 1, "k": 2})");
+    EXPECT_EQ(doc.root().members().size(), 2u);
+}
+
+TEST(JsonParser, TreeMetrics)
+{
+    Document doc = parse(R"({"a": [1, 2], "b": {"c": {}}})");
+    // Nodes: root, a-array, 1, 2, b-object, c-object = 6.
+    EXPECT_EQ(doc.root().subtree_size(), 6u);
+    // Depth: root -> b -> c = 3.
+    EXPECT_EQ(doc.root().subtree_depth(), 3u);
+}
+
+TEST(JsonParser, RejectsMalformedInput)
+{
+    for (const char* bad :
+         {"", "{", "}", "[1,", "[1 2]", "{\"a\" 1}", "{\"a\":}", "{a:1}",
+          "01", "1.", "1e", "+1", "tru", "nul", "\"unterminated", "[1,]",
+          "{\"a\":1,}", "\"bad \\q escape\"", "\"bad \\u12 escape\"", "1 2",
+          "{\"a\":1}}", "[\x01]", "\"raw\nnewline\""}) {
+        EXPECT_THROW(parse(bad), ParseError) << "input: " << bad;
+        EXPECT_FALSE(is_valid(bad)) << "input: " << bad;
+    }
+}
+
+TEST(JsonParser, DepthLimit)
+{
+    std::string deep(5000, '[');
+    deep += "1";
+    deep.append(5000, ']');
+    EXPECT_THROW(parse(deep), ParseError);
+    ParseOptions relaxed;
+    relaxed.max_depth = 6000;
+    EXPECT_NO_THROW(parse(deep, relaxed));
+}
+
+TEST(JsonParser, ErrorsCarryPositions)
+{
+    try {
+        parse("[1, 2, x]");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& error) {
+        EXPECT_EQ(error.position(), 7u);
+    }
+}
+
+TEST(JsonEscapes, Unescape)
+{
+    EXPECT_EQ(unescape(R"(plain)"), "plain");
+    EXPECT_EQ(unescape(R"(a\"b)"), "a\"b");
+    EXPECT_EQ(unescape(R"(a\\b)"), "a\\b");
+    EXPECT_EQ(unescape(R"(\n\t\r\b\f\/)"), "\n\t\r\b\f/");
+    EXPECT_EQ(unescape(R"(\u0041)"), "A");
+    EXPECT_EQ(unescape(R"(\u00e9)"), "\xc3\xa9");      // e-acute in UTF-8
+    EXPECT_EQ(unescape(R"(\u20ac)"), "\xe2\x82\xac");  // euro sign
+    EXPECT_THROW(unescape("\\"), ParseError);
+    EXPECT_THROW(unescape("\\q"), ParseError);
+    EXPECT_THROW(unescape("\\u12"), ParseError);
+    EXPECT_THROW(unescape("\\uzzzz"), ParseError);
+}
+
+TEST(JsonEscapes, EscapeRoundTrip)
+{
+    for (const char* text : {"plain", "with \"quotes\"", "back\\slash",
+                             "ctl\x01\x1f", "tab\tnewline\n"}) {
+        EXPECT_EQ(unescape(escape(text)), text);
+    }
+}
+
+TEST(JsonSerializer, CompactRoundTrip)
+{
+    const char* text = R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null}})";
+    Document doc = parse(text);
+    EXPECT_EQ(serialize(doc.root()), text);
+}
+
+TEST(JsonSerializer, PrettyOutputReparses)
+{
+    Document doc = parse(R"({"a": [1, {"b": "x"}], "c": []})");
+    SerializeOptions pretty;
+    pretty.indent = 2;
+    std::string out = serialize(doc.root(), pretty);
+    EXPECT_NE(out.find('\n'), std::string::npos);
+    Document again = parse(out);
+    EXPECT_EQ(serialize(again.root()), serialize(doc.root()));
+}
+
+TEST(JsonSerializer, EscapesStrings)
+{
+    Document doc = parse(R"(["say \"hi\"", "a\\b"])");
+    EXPECT_EQ(serialize(doc.root()), R"(["say \"hi\"","a\\b"])");
+}
+
+TEST(JsonSerializer, RandomDocumentRoundTrips)
+{
+    // parse -> serialize -> parse -> serialize must be a fixpoint, for
+    // random documents of every shape.
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+        workloads::RandomJsonOptions options;
+        options.seed = seed;
+        options.max_depth = 7;
+        options.nasty_string_chance = 40;
+        std::string text = workloads::random_json(options);
+        Document first = parse(text);
+        std::string once = serialize(first.root());
+        Document second = parse(once);
+        std::string twice = serialize(second.root());
+        ASSERT_EQ(once, twice) << "seed " << seed;
+        // Structure is preserved exactly.
+        ASSERT_EQ(first.root().subtree_size(), second.root().subtree_size());
+        ASSERT_EQ(first.root().subtree_depth(), second.root().subtree_depth());
+    }
+}
+
+TEST(JsonParser, NumberRoundTrips)
+{
+    for (const char* literal : {"0", "-0", "7", "-13", "3.5", "-0.125",
+                                "1e3", "2.5e-2", "123456789", "1.5E+2"}) {
+        Document doc = parse(literal);
+        double value = doc.root().as_number();
+        Document again = parse(serialize(doc.root()));
+        EXPECT_EQ(again.root().as_number(), value) << literal;
+    }
+}
+
+
+class RecordingHandler : public SaxHandler {
+public:
+    std::vector<std::string> events;
+
+    void on_object_start(std::size_t) override { events.push_back("{"); }
+    void on_object_end(std::size_t) override { events.push_back("}"); }
+    void on_array_start(std::size_t) override { events.push_back("["); }
+    void on_array_end(std::size_t) override { events.push_back("]"); }
+    void on_key(std::string_view key, std::size_t) override
+    {
+        events.push_back("key:" + std::string(key));
+    }
+    void on_atom(std::string_view atom, std::size_t) override
+    {
+        events.push_back("atom:" + std::string(atom));
+    }
+};
+
+TEST(JsonSax, EventStream)
+{
+    RecordingHandler handler;
+    sax_parse(R"({"a": [1, "x"], "b": {"c": null}})", handler);
+    std::vector<std::string> expected = {
+        "{",      "key:a",  "[", "atom:1", "atom:x", "]",
+        "key:b",  "{",      "key:c", "atom:null", "}", "}",
+    };
+    EXPECT_EQ(handler.events, expected);
+}
+
+TEST(JsonSax, StringValuesVsKeys)
+{
+    RecordingHandler handler;
+    // A string value that is NOT followed by a colon stays an atom, even
+    // when it looks like a key.
+    sax_parse(R"(["k", {"k": "v"}])", handler);
+    std::vector<std::string> expected = {"[", "atom:k", "{", "key:k",
+                                         "atom:v", "}", "]"};
+    EXPECT_EQ(handler.events, expected);
+}
+
+TEST(JsonSax, EscapedQuotesInStrings)
+{
+    RecordingHandler handler;
+    sax_parse(R"({"a": "x\"y"})", handler);
+    std::vector<std::string> expected = {"{", "key:a", R"(atom:x\"y)", "}"};
+    EXPECT_EQ(handler.events, expected);
+}
+
+}  // namespace
+}  // namespace descend::json

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the memmem-style label search underlying head-skipping: only
+ * genuine member labels are reported — never string values, never
+ * occurrences inside strings — across block boundaries.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "descend/engine/label_search.h"
+
+namespace descend {
+namespace {
+
+std::vector<std::size_t> find_all(const std::string& document,
+                                  const std::string& label,
+                                  simd::Level level = simd::Level::avx2)
+{
+    PaddedString padded(document);
+    LabelSearch search(padded, simd::kernels_for(level), label);
+    std::vector<std::size_t> quotes;
+    while (auto occurrence = search.next()) {
+        quotes.push_back(occurrence->quote_pos);
+    }
+    return quotes;
+}
+
+TEST(LabelSearch, FindsMemberLabels)
+{
+    std::string doc = R"({"a": 1, "b": {"a": 2}})";
+    auto hits = find_all(doc, "a");
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0], 1u);
+    EXPECT_EQ(hits[1], 15u);
+}
+
+TEST(LabelSearch, IgnoresStringValues)
+{
+    // "a" as a value, and "a": inside a string, must not count.
+    EXPECT_TRUE(find_all(R"(["a", "a"])", "a").empty());
+    EXPECT_TRUE(find_all(R"({"x": "\"a\": 1"})", "a").empty());
+    EXPECT_TRUE(find_all(R"({"x": "a"})", "a").empty());
+    EXPECT_EQ(find_all(R"({"x": "\"a\": 1", "a": 2})", "a").size(), 1u);
+}
+
+TEST(LabelSearch, RequiresExactLabel)
+{
+    EXPECT_TRUE(find_all(R"({"ab": 1, "xa": 2})", "a").empty());
+    EXPECT_EQ(find_all(R"({"ab": 1})", "ab").size(), 1u);
+}
+
+TEST(LabelSearch, ColonMayBeSeparatedByWhitespace)
+{
+    EXPECT_EQ(find_all("{\"a\"  \n\t: 1}", "a").size(), 1u);
+}
+
+TEST(LabelSearch, WorksAcrossBlockBoundaries)
+{
+    for (std::size_t pad = 50; pad <= 75; ++pad) {
+        std::string doc = "{" + std::string(pad, ' ') + R"("needle": 1})";
+        auto hits = find_all(doc, "needle");
+        ASSERT_EQ(hits.size(), 1u) << "pad " << pad;
+        EXPECT_EQ(hits[0], pad + 1) << "pad " << pad;
+        // Scalar kernels must agree.
+        EXPECT_EQ(find_all(doc, "needle", simd::Level::scalar), hits);
+    }
+}
+
+TEST(LabelSearch, EscapedLabelForms)
+{
+    std::string doc = R"({"he said \"hi\"": 1})";
+    EXPECT_EQ(find_all(doc, R"(he said \"hi\")").size(), 1u);
+    EXPECT_TRUE(find_all(doc, "he said ").empty());
+}
+
+TEST(LabelSearch, StopAndResume)
+{
+    std::string doc = R"({"a": {"x": 1}, "a": {"y": 2}, "a": 3})";
+    PaddedString padded(doc);
+    LabelSearch search(padded, simd::best_kernels(), "a");
+    auto first = search.next();
+    ASSERT_TRUE(first.has_value());
+    // Hand the pipeline over at the value, then take it back; the next
+    // occurrence must still be found.
+    StructuralIterator iter(padded, simd::best_kernels());
+    iter.resume(search.resume_point_at(first->colon_pos + 2));
+    search.resume(iter.resume_point());
+    auto second = search.next();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_GT(second->quote_pos, first->quote_pos);
+}
+
+}  // namespace
+}  // namespace descend

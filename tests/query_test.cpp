@@ -1,0 +1,123 @@
+/**
+ * @file
+ * JSONPath parser tests: the paper's grammar, bracket notation, escapes,
+ * extensions, and error reporting.
+ */
+#include <gtest/gtest.h>
+
+#include "descend/query/query.h"
+#include "descend/util/errors.h"
+
+namespace descend::query {
+namespace {
+
+TEST(QueryParser, RootOnly)
+{
+    Query q = Query::parse("$");
+    EXPECT_EQ(q.size(), 0u);
+    ASSERT_EQ(q.selectors().size(), 1u);
+    EXPECT_EQ(q.selectors()[0].kind, SelectorKind::kRoot);
+    EXPECT_FALSE(q.has_descendants());
+    EXPECT_EQ(q.to_string(), "$");
+}
+
+TEST(QueryParser, DotChildren)
+{
+    Query q = Query::parse("$.a.bc.d_e-f");
+    ASSERT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.selectors()[1].kind, SelectorKind::kChild);
+    EXPECT_EQ(q.selectors()[1].label, "a");
+    EXPECT_EQ(q.selectors()[2].label, "bc");
+    EXPECT_EQ(q.selectors()[3].label, "d_e-f");
+    EXPECT_EQ(q.to_string(), "$.a.bc.d_e-f");
+}
+
+TEST(QueryParser, WildcardsAndDescendants)
+{
+    Query q = Query::parse("$.a..b.*..*");
+    ASSERT_EQ(q.size(), 4u);
+    EXPECT_EQ(q.selectors()[1].kind, SelectorKind::kChild);
+    EXPECT_EQ(q.selectors()[2].kind, SelectorKind::kDescendant);
+    EXPECT_EQ(q.selectors()[2].label, "b");
+    EXPECT_EQ(q.selectors()[3].kind, SelectorKind::kChildWildcard);
+    EXPECT_EQ(q.selectors()[4].kind, SelectorKind::kDescendantWildcard);
+    EXPECT_TRUE(q.has_descendants());
+    EXPECT_EQ(q.to_string(), "$.a..b.*..*");
+}
+
+TEST(QueryParser, BracketNotation)
+{
+    Query q = Query::parse(R"($['a']["b c"][*][3]..['d'])");
+    ASSERT_EQ(q.size(), 5u);
+    EXPECT_EQ(q.selectors()[1].kind, SelectorKind::kChild);
+    EXPECT_EQ(q.selectors()[1].label, "a");
+    EXPECT_EQ(q.selectors()[2].label, "b c");
+    EXPECT_EQ(q.selectors()[3].kind, SelectorKind::kChildWildcard);
+    EXPECT_EQ(q.selectors()[4].kind, SelectorKind::kChildIndex);
+    EXPECT_EQ(q.selectors()[4].index, 3u);
+    EXPECT_EQ(q.selectors()[5].kind, SelectorKind::kDescendant);
+    EXPECT_EQ(q.selectors()[5].label, "d");
+    EXPECT_TRUE(q.has_indices());
+}
+
+TEST(QueryParser, PaperTableQueries)
+{
+    // Queries from the paper's Table 4/5/6 must all parse.
+    for (const char* text :
+         {"$.products.*.categoryPath.*.id", "$.products.*.videoChapters",
+          "$.*.routes.*.legs.*.steps.*.distance.text", "$.meta.view.columns.*.name",
+          "$.data.*.*.*", "$..categoryPath..id", "$..videoChapters..chapter",
+          "$..available_travel_modes", "$..bestMarketplacePrice.price",
+          "$..decl.name", "$..inner..inner..type.qualType", "$..DOI",
+          "$.items.*.author.*.affiliation.*.name", "$..P150..mainsnak.property",
+          "$.search_metadata.count", "$..count",
+          "$.products[*].categoryPath[*].id", "$[*].claims.P150[*].mainsnak.property"}) {
+        EXPECT_NO_THROW(Query::parse(text)) << text;
+    }
+}
+
+TEST(QueryParser, EscapedLabels)
+{
+    Query q = Query::parse(R"($['he said \"hi\"'])");
+    EXPECT_EQ(q.selectors()[1].label, R"(he said "hi")");
+    EXPECT_EQ(q.selectors()[1].label_escaped, R"(he said \"hi\")");
+
+    Query backslash = Query::parse(R"($['a\\b'])");
+    EXPECT_EQ(backslash.selectors()[1].label, R"(a\b)");
+    EXPECT_EQ(backslash.selectors()[1].label_escaped, R"(a\\b)");
+
+    Query unicode = Query::parse(R"($['A'])");
+    EXPECT_EQ(unicode.selectors()[1].label, "A");
+
+    Query control = Query::parse(R"($['tab\there'])");
+    EXPECT_EQ(control.selectors()[1].label, "tab\there");
+    EXPECT_EQ(control.selectors()[1].label_escaped, R"(tab\there)");
+}
+
+TEST(QueryParser, RejectsMalformedQueries)
+{
+    for (const char* bad :
+         {"", "a", ".a", "$.", "$..", "$a", "$.a.", "$[", "$[]", "$['a'",
+          "$['a]", "$[a]", "$[-1]", "$[1.5]", "$.a..", "$...a", "$ .a",
+          "$.['a']", "$..[", "$[99999999999999999999]", "$[*", "$.*x"}) {
+        EXPECT_THROW(Query::parse(bad), QueryError) << "query: " << bad;
+    }
+}
+
+TEST(QueryParser, DescendantIndexUnsupported)
+{
+    EXPECT_THROW(Query::parse("$..[3]"), QueryError);
+}
+
+TEST(QueryParser, ErrorsCarryPositions)
+{
+    try {
+        Query::parse("$.a.[b]");
+        FAIL() << "expected QueryError";
+    } catch (const QueryError& error) {
+        EXPECT_GE(error.position(), 3u);
+    }
+}
+
+}  // namespace
+}  // namespace descend::query

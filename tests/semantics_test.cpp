@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Node vs path semantics (paper Section 2 and Appendix D): reproduces the
+ * comparison experiment on the paper's example document with the query
+ * $..person..name — node semantics yields ["A","B","C","D"], path
+ * semantics duplicates C and D.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "descend/baselines/dom_engine.h"
+#include "descend/descend.h"
+#include "descend/json/dom.h"
+
+namespace descend {
+namespace {
+
+/** The Appendix D document (values shortened as in the paper). */
+const char* kAppendixDocument = R"({
+  "person": {
+    "name": "A",
+    "spouse": {
+      "name": "B"
+    },
+    "children": [
+      {
+        "person": {
+          "name": "C"
+        }
+      },
+      {
+        "person": {
+          "name": "D"
+        }
+      }
+    ]
+  }
+})";
+
+std::vector<std::string> values_at(const PaddedString& document,
+                                   const std::vector<std::size_t>& offsets)
+{
+    std::vector<std::string> values;
+    for (std::string_view value : extract_values(document, offsets)) {
+        values.emplace_back(value);
+    }
+    return values;
+}
+
+TEST(Semantics, NodeSemanticsReturnsFourNames)
+{
+    PaddedString document(kAppendixDocument);
+    auto engine = DescendEngine::for_query("$..person..name");
+    auto values = values_at(document, engine.offsets(document));
+    EXPECT_EQ(values, (std::vector<std::string>{"\"A\"", "\"B\"", "\"C\"", "\"D\""}));
+}
+
+TEST(Semantics, PathSemanticsDuplicatesNestedMatches)
+{
+    json::Document dom = json::parse(kAppendixDocument);
+    DomEngine oracle(query::Query::parse("$..person..name"));
+    PaddedString document(kAppendixDocument);
+    auto path_offsets = oracle.evaluate_path_semantics(dom.root());
+    auto values = values_at(document, path_offsets);
+    // C and D are reachable through two ..person matches each: 6 results.
+    ASSERT_EQ(values.size(), 6u);
+    std::vector<std::string> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<std::string>{"\"A\"", "\"B\"", "\"C\"", "\"C\"",
+                                                "\"D\"", "\"D\""}));
+}
+
+TEST(Semantics, ExponentialPathMultiplicity)
+{
+    // Section 2: in {a:{a:{a:{b:"Yay!"}}}} the query $..a..b selects Yay!
+    // once under node semantics, three times under path semantics.
+    const char* document = R"({"a":{"a":{"a":{"b":"Yay!"}}}})";
+    PaddedString padded(document);
+    auto engine = DescendEngine::for_query("$..a..b");
+    EXPECT_EQ(engine.count(padded), 1u);
+
+    json::Document dom = json::parse(document);
+    DomEngine oracle(query::Query::parse("$..a..b"));
+    EXPECT_EQ(oracle.evaluate_path_semantics(dom.root()).size(), 3u);
+}
+
+TEST(Semantics, PathAndNodeAgreeWithoutDescendants)
+{
+    const char* document = R"({"a": {"b": [1, 2]}, "c": {"b": 3}})";
+    json::Document dom = json::parse(document);
+    for (const char* query : {"$.a.b", "$.*.b", "$.a.b.*"}) {
+        DomEngine oracle(query::Query::parse(query));
+        PaddedString padded(document);
+        EXPECT_EQ(oracle.evaluate_path_semantics(dom.root()).size(),
+                  oracle.offsets(padded).size())
+            << query;
+    }
+}
+
+}  // namespace
+}  // namespace descend

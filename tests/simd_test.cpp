@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Differential tests pinning the AVX2 kernels to the scalar reference on
+ * random and adversarial 64-byte blocks, plus dispatch sanity.
+ */
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "descend/simd/dispatch.h"
+#include "descend/workloads/builder.h"
+
+namespace descend::simd {
+namespace {
+
+using Block = std::array<std::uint8_t, kBlockSize>;
+
+Block random_block(workloads::Rng& rng, bool json_biased)
+{
+    Block block;
+    static const char kJsonChars[] = "{}[]:,\"\\ \tabc123";
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+        if (json_biased) {
+            block[i] = static_cast<std::uint8_t>(
+                kJsonChars[rng.below(sizeof(kJsonChars) - 1)]);
+        } else {
+            block[i] = static_cast<std::uint8_t>(rng.next() & 0xff);
+        }
+    }
+    return block;
+}
+
+TEST(SimdDispatch, LevelsAreConsistent)
+{
+    EXPECT_STREQ(scalar_kernels().name, "scalar");
+    EXPECT_EQ(scalar_kernels().level, Level::scalar);
+    if (avx2_available()) {
+        EXPECT_EQ(avx2_kernels().level, Level::avx2);
+        EXPECT_STREQ(avx2_kernels().name, "avx2");
+    } else {
+        EXPECT_EQ(avx2_kernels().level, Level::scalar);
+    }
+    EXPECT_EQ(&kernels_for(Level::scalar), &scalar_kernels());
+    EXPECT_EQ(&best_kernels(), &avx2_kernels());
+}
+
+TEST(SimdKernels, EqMaskAgainstScalar)
+{
+    if (!avx2_available()) {
+        GTEST_SKIP() << "AVX2 unavailable";
+    }
+    workloads::Rng rng(11);
+    const Kernels& scalar = scalar_kernels();
+    const Kernels& avx2 = avx2_kernels();
+    for (int trial = 0; trial < 1000; ++trial) {
+        Block block = random_block(rng, trial % 2 == 0);
+        for (std::uint8_t value : std::initializer_list<std::uint8_t>{
+                 '"', '\\', '{', '}', '[', ']', ':', ',', 0x00, 0xff, 0x80}) {
+            ASSERT_EQ(scalar.eq_mask(block.data(), value),
+                      avx2.eq_mask(block.data(), value))
+                << "value " << int(value) << " trial " << trial;
+        }
+    }
+}
+
+TEST(SimdKernels, ClassifyAgainstScalar)
+{
+    if (!avx2_available()) {
+        GTEST_SKIP() << "AVX2 unavailable";
+    }
+    workloads::Rng rng(13);
+    const Kernels& scalar = scalar_kernels();
+    const Kernels& avx2 = avx2_kernels();
+    for (int trial = 0; trial < 1000; ++trial) {
+        Block block = random_block(rng, trial % 2 == 0);
+        std::array<std::uint8_t, 16> ltab;
+        std::array<std::uint8_t, 16> utab;
+        for (auto& entry : ltab) {
+            entry = static_cast<std::uint8_t>(rng.next() & 0xff);
+        }
+        for (auto& entry : utab) {
+            entry = static_cast<std::uint8_t>(rng.next() & 0xff);
+        }
+        ASSERT_EQ(scalar.classify_eq(block.data(), ltab.data(), utab.data()),
+                  avx2.classify_eq(block.data(), ltab.data(), utab.data()))
+            << trial;
+        ASSERT_EQ(scalar.classify_or(block.data(), ltab.data(), utab.data()),
+                  avx2.classify_or(block.data(), ltab.data(), utab.data()))
+            << trial;
+        ASSERT_EQ(scalar.classify_eq_masked(block.data(), ltab.data(), utab.data()),
+                  avx2.classify_eq_masked(block.data(), ltab.data(), utab.data()))
+            << trial;
+        ASSERT_EQ(scalar.classify_or_masked(block.data(), ltab.data(), utab.data()),
+                  avx2.classify_or_masked(block.data(), ltab.data(), utab.data()))
+            << trial;
+    }
+}
+
+TEST(SimdKernels, PrefixXorAgainstScalar)
+{
+    if (!avx2_available()) {
+        GTEST_SKIP() << "AVX2 unavailable";
+    }
+    workloads::Rng rng(17);
+    for (int trial = 0; trial < 5000; ++trial) {
+        std::uint64_t mask = rng.next();
+        ASSERT_EQ(scalar_kernels().prefix_xor(mask), avx2_kernels().prefix_xor(mask));
+    }
+    EXPECT_EQ(avx2_kernels().prefix_xor(0), 0u);
+    EXPECT_EQ(avx2_kernels().prefix_xor(1), ~0ULL);
+}
+
+TEST(SimdKernels, EqMaskFindsExactPositions)
+{
+    Block block{};
+    std::memset(block.data(), 'x', kBlockSize);
+    block[0] = '{';
+    block[63] = '{';
+    block[31] = '{';
+    std::uint64_t mask = best_kernels().eq_mask(block.data(), '{');
+    EXPECT_EQ(mask, (1ULL << 0) | (1ULL << 31) | (1ULL << 63));
+}
+
+TEST(SimdKernels, HighBitBytesNeverMatchShuffleLookups)
+{
+    // The shuffle MSB rule: bytes >= 0x80 must classify via utab only, with
+    // the lower-nibble lookup forced to zero, identically on both paths.
+    Block block;
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+        block[i] = static_cast<std::uint8_t>(0x80 + i);
+    }
+    std::array<std::uint8_t, 16> ltab;
+    ltab.fill(0x01);
+    std::array<std::uint8_t, 16> utab;
+    utab.fill(0x01);
+    // lower==upper would match everywhere, but MSB forces lower to 0.
+    EXPECT_EQ(scalar_kernels().classify_eq(block.data(), ltab.data(), utab.data()), 0u);
+    if (avx2_available()) {
+        EXPECT_EQ(avx2_kernels().classify_eq(block.data(), ltab.data(), utab.data()),
+                  0u);
+    }
+}
+
+}  // namespace
+}  // namespace descend::simd

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Shared test helpers: run a query through every engine configuration and
+ * demand byte-identical match sets.
+ */
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "descend/baselines/dom_engine.h"
+#include "descend/baselines/surfer_engine.h"
+#include "descend/descend.h"
+
+namespace descend::testing {
+
+/** Match offsets from the DOM oracle. */
+inline std::vector<std::size_t> oracle_offsets(const std::string& query,
+                                               const std::string& document)
+{
+    DomEngine oracle(query::Query::parse(query));
+    PaddedString padded(document);
+    return oracle.offsets(padded);
+}
+
+/** Match offsets from the main engine with the given options. */
+inline std::vector<std::size_t> engine_offsets(const std::string& query,
+                                               const std::string& document,
+                                               EngineOptions options = {})
+{
+    DescendEngine engine(automaton::CompiledQuery::compile(query), options);
+    PaddedString padded(document);
+    return engine.offsets(padded);
+}
+
+/** Every interesting engine configuration to cross-check. */
+inline std::vector<EngineOptions> engine_configurations()
+{
+    std::vector<EngineOptions> configurations;
+    for (simd::Level level : {simd::Level::avx2, simd::Level::scalar}) {
+        // Full paper configuration.
+        EngineOptions all;
+        all.simd = level;
+        configurations.push_back(all);
+        // Each skip disabled in isolation.
+        for (int which = 0; which < 4; ++which) {
+            EngineOptions opts;
+            opts.simd = level;
+            opts.leaf_skipping = which != 0;
+            opts.child_skipping = which != 1;
+            opts.sibling_skipping = which != 2;
+            opts.head_skipping = which != 3;
+            configurations.push_back(opts);
+        }
+        // Everything off: the plain depth-stack simulation.
+        EngineOptions none;
+        none.simd = level;
+        none.leaf_skipping = false;
+        none.child_skipping = false;
+        none.sibling_skipping = false;
+        none.head_skipping = false;
+        configurations.push_back(none);
+        // The Section 4.5 within-element label skip extension, alone and
+        // combined with head-skipping disabled (its heaviest use).
+        EngineOptions within;
+        within.simd = level;
+        within.label_within_skipping = true;
+        configurations.push_back(within);
+        EngineOptions within_no_head = within;
+        within_no_head.head_skipping = false;
+        configurations.push_back(within_no_head);
+    }
+    return configurations;
+}
+
+inline std::string describe(const EngineOptions& options)
+{
+    std::string description = options.simd == simd::Level::avx2 ? "avx2" : "scalar";
+    description += options.leaf_skipping ? "+leaf" : "-leaf";
+    description += options.child_skipping ? "+child" : "-child";
+    description += options.sibling_skipping ? "+sibling" : "-sibling";
+    description += options.head_skipping ? "+head" : "-head";
+    description += options.label_within_skipping ? "+within" : "";
+    return description;
+}
+
+/**
+ * Asserts that the DOM oracle, the surfer baseline, and the main engine in
+ * every configuration agree on the complete match set.
+ */
+inline void expect_all_engines_agree(const std::string& query,
+                                     const std::string& document)
+{
+    SCOPED_TRACE("query: " + query);
+    SCOPED_TRACE("document: " +
+                 (document.size() <= 300 ? document
+                                         : document.substr(0, 300) + "..."));
+    std::vector<std::size_t> expected = oracle_offsets(query, document);
+
+    PaddedString padded(document);
+    SurferEngine surfer(automaton::CompiledQuery::compile(query));
+    EXPECT_EQ(surfer.offsets(padded), expected) << "engine: surfer";
+
+    for (const EngineOptions& options : engine_configurations()) {
+        DescendEngine engine(automaton::CompiledQuery::compile(query), options);
+        EXPECT_EQ(engine.offsets(padded), expected)
+            << "engine: descend [" << describe(options) << "]";
+    }
+}
+
+/** Shorthand: assert the match count from the oracle and all engines. */
+inline void expect_count(const std::string& query, const std::string& document,
+                         std::size_t expected_count)
+{
+    ASSERT_EQ(oracle_offsets(query, document).size(), expected_count)
+        << "oracle disagrees with the test's expectation for " << query;
+    expect_all_engines_agree(query, document);
+}
+
+}  // namespace descend::testing

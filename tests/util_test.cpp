@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for the util substrate: bit primitives (against naive
+ * references), the inline-storage vector, and the kind bit-stack.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "descend/util/bit_stack.h"
+#include "descend/util/bits.h"
+#include "descend/util/inline_vector.h"
+#include "descend/workloads/builder.h"
+
+namespace descend {
+namespace {
+
+TEST(Bits, MaskHelpers)
+{
+    EXPECT_EQ(bits::mask_below(0), 0u);
+    EXPECT_EQ(bits::mask_below(1), 1u);
+    EXPECT_EQ(bits::mask_below(64), ~0ULL);
+    EXPECT_EQ(bits::mask_from(0), ~0ULL);
+    EXPECT_EQ(bits::mask_from(63), 1ULL << 63);
+    EXPECT_EQ(bits::mask_from(64), 0u);
+    for (int i = 0; i <= 64; ++i) {
+        EXPECT_EQ(bits::mask_below(i) ^ bits::mask_from(i), ~0ULL);
+    }
+}
+
+TEST(Bits, TrailingZerosAndClear)
+{
+    EXPECT_EQ(bits::trailing_zeros(0), 64);
+    EXPECT_EQ(bits::trailing_zeros(1), 0);
+    EXPECT_EQ(bits::trailing_zeros(0b1010000), 4);
+    EXPECT_EQ(bits::clear_lowest_bit(0b1010000), 0b1000000u);
+}
+
+std::uint64_t naive_prefix_xor(std::uint64_t mask)
+{
+    std::uint64_t result = 0;
+    bool parity = false;
+    for (int i = 0; i < 64; ++i) {
+        parity ^= (mask >> i) & 1;
+        result |= static_cast<std::uint64_t>(parity) << i;
+    }
+    return result;
+}
+
+TEST(Bits, PrefixXorMatchesNaive)
+{
+    workloads::Rng rng(42);
+    EXPECT_EQ(bits::prefix_xor(0), 0u);
+    EXPECT_EQ(bits::prefix_xor(1), ~0ULL);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::uint64_t mask = rng.next();
+        EXPECT_EQ(bits::prefix_xor(mask), naive_prefix_xor(mask)) << mask;
+    }
+}
+
+/** Naive escape analysis: walk bytes, track backslash run parity. */
+std::uint64_t naive_find_escaped(std::uint64_t backslashes, bool carry_in,
+                                 bool& carry_out)
+{
+    std::uint64_t escaped = 0;
+    bool escape_next = carry_in;
+    for (int i = 0; i < 64; ++i) {
+        if (escape_next) {
+            escaped |= 1ULL << i;
+            escape_next = false;
+            continue;
+        }
+        if ((backslashes >> i) & 1) {
+            escape_next = true;
+        }
+    }
+    carry_out = escape_next;
+    return escaped;
+}
+
+TEST(Bits, FindEscapedMatchesNaive)
+{
+    workloads::Rng rng(7);
+    for (int trial = 0; trial < 5000; ++trial) {
+        // Dense backslash masks exercise long runs and carries.
+        std::uint64_t mask = rng.next() | (rng.chance(50) ? rng.next() : 0);
+        if (rng.chance(20)) {
+            mask = ~0ULL << rng.below(64);  // run to the end of the block
+        }
+        for (bool carry_in : {false, true}) {
+            bool fast_carry = false;
+            bool naive_carry = false;
+            std::uint64_t fast = bits::find_escaped(mask, carry_in, fast_carry);
+            std::uint64_t naive = naive_find_escaped(mask, carry_in, naive_carry);
+            ASSERT_EQ(fast, naive) << "mask=" << mask << " carry=" << carry_in;
+            ASSERT_EQ(fast_carry, naive_carry) << "mask=" << mask;
+        }
+    }
+}
+
+TEST(Bits, FindEscapedKnownCases)
+{
+    bool carry = false;
+    // \" : the quote (bit 1) is escaped.
+    EXPECT_EQ(bits::find_escaped(0b01, false, carry), 0b10u);
+    EXPECT_FALSE(carry);
+    // \\" : the second backslash is escaped, the quote is not.
+    EXPECT_EQ(bits::find_escaped(0b011, false, carry), 0b010u);
+    // \\\" : quote escaped (odd run).
+    EXPECT_EQ(bits::find_escaped(0b0111, false, carry), 0b1010u);
+    // Odd run reaching the end carries into the next block.
+    bits::find_escaped(~0ULL << 1, false, carry);
+    EXPECT_TRUE(carry);
+    bits::find_escaped(~0ULL, false, carry);
+    EXPECT_FALSE(carry);
+}
+
+TEST(Bits, BitIterVisitsAscending)
+{
+    std::uint64_t mask = (1ULL << 3) | (1ULL << 17) | (1ULL << 63);
+    std::vector<int> seen;
+    for (bits::BitIter it(mask); !it.done(); it.advance()) {
+        seen.push_back(it.index());
+    }
+    EXPECT_EQ(seen, (std::vector<int>{3, 17, 63}));
+}
+
+TEST(InlineVector, StaysInlineThenSpills)
+{
+    InlineVector<int, 4> vec;
+    EXPECT_TRUE(vec.is_inline());
+    for (int i = 0; i < 4; ++i) {
+        vec.push_back(i);
+    }
+    EXPECT_TRUE(vec.is_inline());
+    vec.push_back(4);
+    EXPECT_FALSE(vec.is_inline());
+    EXPECT_EQ(vec.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(vec[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(InlineVector, PushPopBack)
+{
+    InlineVector<int, 2> vec;
+    vec.push_back(10);
+    vec.push_back(20);
+    EXPECT_EQ(vec.back(), 20);
+    vec.pop_back();
+    EXPECT_EQ(vec.back(), 10);
+    vec.pop_back();
+    EXPECT_TRUE(vec.empty());
+}
+
+TEST(InlineVector, GrowthPreservesContents)
+{
+    InlineVector<std::uint64_t, 8> vec;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        vec.push_back(i * i);
+    }
+    EXPECT_EQ(vec.size(), 1000u);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        ASSERT_EQ(vec[i], i * i);
+    }
+}
+
+TEST(InlineVector, CopyAndMove)
+{
+    InlineVector<int, 2> small;
+    small.push_back(1);
+    InlineVector<int, 2> small_copy(small);
+    small_copy.push_back(2);
+    EXPECT_EQ(small.size(), 1u);
+    EXPECT_EQ(small_copy.size(), 2u);
+
+    InlineVector<int, 2> big;
+    for (int i = 0; i < 100; ++i) {
+        big.push_back(i);
+    }
+    InlineVector<int, 2> big_copy(big);
+    EXPECT_EQ(big_copy.size(), 100u);
+    EXPECT_EQ(big_copy[99], 99);
+
+    InlineVector<int, 2> moved(std::move(big));
+    EXPECT_EQ(moved.size(), 100u);
+    EXPECT_EQ(moved[42], 42);
+    EXPECT_TRUE(big.empty());  // NOLINT(bugprone-use-after-move)
+
+    InlineVector<int, 2> assigned;
+    assigned = std::move(moved);
+    EXPECT_EQ(assigned.size(), 100u);
+    assigned.clear();
+    EXPECT_TRUE(assigned.empty());
+}
+
+TEST(BitStack, PushPopTop)
+{
+    BitStack stack;
+    EXPECT_TRUE(stack.empty());
+    stack.push(true);
+    stack.push(false);
+    stack.push(true);
+    EXPECT_EQ(stack.size(), 3u);
+    EXPECT_TRUE(stack.top());
+    stack.pop();
+    EXPECT_FALSE(stack.top());
+    stack.pop();
+    EXPECT_TRUE(stack.top());
+}
+
+TEST(BitStack, CrossesWordBoundaries)
+{
+    BitStack stack;
+    std::vector<bool> reference;
+    workloads::Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+        bool bit = rng.chance(50);
+        stack.push(bit);
+        reference.push_back(bit);
+    }
+    for (int i = 499; i >= 0; --i) {
+        ASSERT_EQ(stack.top(), reference[static_cast<std::size_t>(i)]) << i;
+        stack.pop();
+    }
+    EXPECT_TRUE(stack.empty());
+}
+
+TEST(BitStack, ReusableAfterClear)
+{
+    BitStack stack;
+    for (int i = 0; i < 100; ++i) {
+        stack.push(i % 2 == 0);
+    }
+    stack.clear();
+    EXPECT_TRUE(stack.empty());
+    stack.push(true);
+    EXPECT_TRUE(stack.top());
+}
+
+}  // namespace
+}  // namespace descend

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Workload generator tests: every dataset parses as valid JSON, hits its
+ * size target, reproduces its structural profile (Table 3 shape), and
+ * gives its benchmark queries sensible selectivity. Engine counts on the
+ * generated data are cross-checked against the DOM oracle — a small-scale
+ * rehearsal of the benchmark preflight.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "descend/baselines/dom_engine.h"
+#include "descend/descend.h"
+#include "descend/json/dom.h"
+#include "descend/workloads/datasets.h"
+#include "descend/workloads/stats.h"
+
+namespace descend {
+namespace {
+
+constexpr std::size_t kTestTarget = 200 * 1024;
+
+class DatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetTest, GeneratesValidJsonOfRequestedSize)
+{
+    std::string text = workloads::generate(GetParam(), kTestTarget);
+    EXPECT_GE(text.size(), kTestTarget / 2);
+    EXPECT_LT(text.size(), kTestTarget * 4);
+    json::ParseOptions options;
+    options.max_depth = 8192;
+    EXPECT_NO_THROW(json::parse(text, options));
+}
+
+TEST_P(DatasetTest, Deterministic)
+{
+    std::string first = workloads::generate(GetParam(), 16 * 1024);
+    std::string second = workloads::generate(GetParam(), 16 * 1024);
+    EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetTest,
+                         ::testing::ValuesIn(workloads::dataset_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                             return info.param;
+                         });
+
+TEST(DatasetProfiles, AstIsDeepAndDense)
+{
+    std::string text = workloads::generate_ast(512 * 1024);
+    auto stats = workloads::compute_stats(text);
+    EXPECT_GE(stats.depth, 40u);
+    EXPECT_LT(stats.verbosity, 25.0);
+}
+
+TEST(DatasetProfiles, WalmartIsShallowAndVerbose)
+{
+    auto stats = workloads::compute_stats(workloads::generate_walmart(256 * 1024));
+    EXPECT_LE(stats.depth, 6u);
+    EXPECT_GT(stats.verbosity, 45.0);
+}
+
+TEST(DatasetProfiles, RelativeVerbosityOrdering)
+{
+    // Table 3's ordering: NSPL and AST dense, Walmart verbose.
+    auto nspl = workloads::compute_stats(workloads::generate_nspl(256 * 1024));
+    auto walmart = workloads::compute_stats(workloads::generate_walmart(256 * 1024));
+    auto bestbuy = workloads::compute_stats(workloads::generate_bestbuy(256 * 1024));
+    EXPECT_LT(nspl.verbosity, bestbuy.verbosity);
+    EXPECT_LT(bestbuy.verbosity, walmart.verbosity);
+}
+
+struct QueryExpectation {
+    const char* dataset;
+    const char* query;
+    bool expect_matches;
+};
+
+TEST(DatasetQueries, BenchmarkQueriesHaveExpectedSelectivity)
+{
+    const QueryExpectation expectations[] = {
+        {"bestbuy", "$.products.*.categoryPath.*.id", true},
+        {"bestbuy", "$.products.*.videoChapters.*.chapter", true},
+        {"bestbuy", "$..categoryPath..id", true},
+        {"googlemap", "$.*.routes.*.legs.*.steps.*.distance.text", true},
+        {"nspl", "$.meta.view.columns.*.name", true},
+        {"nspl", "$.data.*.*.*", true},
+        {"twitter", "$.*.text", true},
+        {"twitter", "$.*.entities.urls.*.url", true},
+        {"walmart", "$.items.*.name", true},
+        {"walmart", "$..bestMarketplacePrice.price", true},
+        {"crossref", "$..DOI", true},
+        {"crossref", "$.items.*.author.*.affiliation.*.name", true},
+        {"ast", "$..inner..inner..type.qualType", true},
+        {"twitter_small", "$.search_metadata.count", true},
+        {"twitter_small", "$..count", true},
+    };
+    for (const auto& expectation : expectations) {
+        SCOPED_TRACE(std::string(expectation.dataset) + " " + expectation.query);
+        std::string text = workloads::generate(expectation.dataset, kTestTarget);
+        PaddedString padded(text);
+        auto engine = DescendEngine::for_query(expectation.query);
+        std::size_t count = engine.count(padded);
+        if (expectation.expect_matches) {
+            EXPECT_GT(count, 0u);
+        }
+        // Cross-check against the oracle (benchmark preflight rehearsal).
+        json::ParseOptions options;
+        options.max_depth = 8192;
+        json::Document dom = json::parse(text, options);
+        DomEngine oracle(query::Query::parse(expectation.query));
+        CountSink oracle_count;
+        oracle.evaluate(dom.root(), oracle_count);
+        EXPECT_EQ(count, oracle_count.count());
+    }
+}
+
+TEST(DatasetQueries, RareFeaturesNeedLargerScale)
+{
+    // Rare members (editor, videoChapters, vitamins_tags...) appear at
+    // realistic rates: on multi-MB generations they must show up.
+    std::string bestbuy = workloads::generate_bestbuy(4 * 1024 * 1024);
+    PaddedString padded(bestbuy);
+    EXPECT_GT(DescendEngine::for_query("$..videoChapters").count(padded), 0u);
+
+    std::string crossref = workloads::generate_crossref(6 * 1024 * 1024);
+    PaddedString crossref_padded(crossref);
+    EXPECT_GT(DescendEngine::for_query("$..editor").count(crossref_padded), 0u);
+    // References carry many more author nodes than items (C2's hazard).
+    auto authors = DescendEngine::for_query("$..author").count(crossref_padded);
+    auto item_authors =
+        DescendEngine::for_query("$.items.*.author").count(crossref_padded);
+    EXPECT_GT(authors, item_authors * 5);
+}
+
+TEST(DatasetQueries, TwitterSmallMetadataIsTrailing)
+{
+    std::string text = workloads::generate_twitter_small(128 * 1024);
+    std::size_t statuses = text.find("\"statuses\"");
+    std::size_t metadata = text.find("\"search_metadata\"");
+    ASSERT_NE(statuses, std::string::npos);
+    ASSERT_NE(metadata, std::string::npos);
+    EXPECT_LT(statuses, metadata);
+}
+
+TEST(DatasetStats, FormattingIsStable)
+{
+    workloads::DatasetStats stats;
+    stats.size_bytes = 25600000;
+    stats.nodes = 1790000;
+    stats.depth = 102;
+    stats.verbosity = 14.3;
+    std::string row = workloads::format_stats_row("ast", stats);
+    EXPECT_NE(row.find("ast"), std::string::npos);
+    EXPECT_NE(row.find("102"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace descend

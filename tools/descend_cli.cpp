@@ -1,0 +1,244 @@
+/**
+ * @file
+ * descend-cli: run JSONPath queries over JSON files from the command line.
+ *
+ *   descend-cli [options] '<query>' [file...]
+ *
+ * Reads from stdin when no file is given. Options:
+ *
+ *   --count            print only the number of matches
+ *   --offsets          print byte offsets instead of values
+ *   --limit N          print at most N results (default: all)
+ *   --engine NAME      descend (default) | surfer | ski | dom
+ *   --scalar           use the portable SWAR pipeline instead of AVX2
+ *   --no-head-skip     disable memmem head-skipping
+ *   --within-skip      enable the within-element label skip extension
+ *   --stats            print run statistics (events, skips, stack depth)
+ *   --validate         strictly validate the input first (DOM parse)
+ *   --ndjson           treat input as newline-delimited JSON (one
+ *                      document per line; the query runs on each)
+ *   --help             this text
+ */
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "descend/baselines/dom_engine.h"
+#include "descend/baselines/ski_engine.h"
+#include "descend/baselines/surfer_engine.h"
+#include "descend/descend.h"
+#include "descend/json/dom.h"
+
+namespace {
+
+using namespace descend;
+
+struct CliOptions {
+    std::string query;
+    std::vector<std::string> files;
+    std::string engine = "descend";
+    bool count_only = false;
+    bool offsets_only = false;
+    bool stats = false;
+    bool validate = false;
+    bool ndjson = false;
+    std::size_t limit = 0;  // 0 = unlimited
+    EngineOptions engine_options;
+};
+
+void usage()
+{
+    std::fputs(
+        "usage: descend-cli [options] '<query>' [file...]\n"
+        "  --count | --offsets | --limit N\n"
+        "  --engine descend|surfer|ski|dom   --scalar\n"
+        "  --no-head-skip | --within-skip | --stats | --validate\n",
+        stderr);
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options)
+{
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--count") {
+            options.count_only = true;
+        } else if (arg == "--offsets") {
+            options.offsets_only = true;
+        } else if (arg == "--stats") {
+            options.stats = true;
+        } else if (arg == "--validate") {
+            options.validate = true;
+        } else if (arg == "--ndjson") {
+            options.ndjson = true;
+        } else if (arg == "--scalar") {
+            options.engine_options.simd = simd::Level::scalar;
+        } else if (arg == "--no-head-skip") {
+            options.engine_options.head_skipping = false;
+        } else if (arg == "--within-skip") {
+            options.engine_options.label_within_skipping = true;
+        } else if (arg == "--limit") {
+            if (++i >= argc) {
+                return false;
+            }
+            options.limit = static_cast<std::size_t>(std::strtoull(argv[i], nullptr, 10));
+        } else if (arg == "--engine") {
+            if (++i >= argc) {
+                return false;
+            }
+            options.engine = argv[i];
+        } else if (arg == "--help" || arg == "-h") {
+            return false;
+        } else {
+            positional.push_back(std::move(arg));
+        }
+    }
+    if (positional.empty()) {
+        return false;
+    }
+    options.query = positional.front();
+    options.files.assign(positional.begin() + 1, positional.end());
+    return true;
+}
+
+std::unique_ptr<JsonPathEngine> make_engine(const CliOptions& options)
+{
+    if (options.engine == "descend") {
+        return std::make_unique<DescendEngine>(
+            automaton::CompiledQuery::compile(options.query),
+            options.engine_options);
+    }
+    if (options.engine == "surfer") {
+        return std::make_unique<SurferEngine>(
+            automaton::CompiledQuery::compile(options.query));
+    }
+    if (options.engine == "ski") {
+        return std::make_unique<SkiEngine>(query::Query::parse(options.query));
+    }
+    if (options.engine == "dom") {
+        return std::make_unique<DomEngine>(query::Query::parse(options.query));
+    }
+    throw Error("unknown engine: " + options.engine);
+}
+
+PaddedString read_stdin()
+{
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return PaddedString(buffer.str());
+}
+
+int run_on(const CliOptions& options, const JsonPathEngine& engine,
+           const std::string& source_name, const PaddedString& document)
+{
+    if (options.validate) {
+        json::ParseOptions parse_options;
+        parse_options.max_depth = 1 << 16;
+        json::parse(document.view(), parse_options);  // throws on bad input
+    }
+    const char* prefix = options.files.size() > 1 ? source_name.c_str() : "";
+    const char* separator = options.files.size() > 1 ? ": " : "";
+
+    if (options.count_only && !options.stats) {
+        std::printf("%s%s%zu\n", prefix, separator, engine.count(document));
+        return 0;
+    }
+    OffsetSink sink;
+    RunStats stats;
+    if (const auto* descend_engine = dynamic_cast<const DescendEngine*>(&engine)) {
+        stats = descend_engine->run_with_stats(document, sink);
+    } else {
+        engine.run(document, sink);
+    }
+    if (options.count_only) {
+        std::printf("%s%s%zu\n", prefix, separator, sink.offsets().size());
+    } else {
+        std::size_t shown = 0;
+        for (std::size_t offset : sink.offsets()) {
+            if (options.limit != 0 && ++shown > options.limit) {
+                std::printf("%s%s... (%zu more)\n", prefix, separator,
+                            sink.offsets().size() - options.limit);
+                break;
+            }
+            if (options.offsets_only) {
+                std::printf("%s%s%zu\n", prefix, separator, offset);
+            } else {
+                std::string_view value = extract_value(document, offset);
+                std::printf("%s%s%.*s\n", prefix, separator,
+                            static_cast<int>(value.size()), value.data());
+            }
+        }
+    }
+    if (options.stats) {
+        std::fprintf(stderr,
+                     "[stats] %zu matches, %zu events, %zu child skips, "
+                     "%zu sibling skips, %zu head jumps, %zu within skips, "
+                     "max stack %zu\n",
+                     sink.offsets().size(), stats.events, stats.child_skips,
+                     stats.sibling_skips, stats.head_skip_jumps,
+                     stats.within_skips, stats.max_stack);
+    }
+    return 0;
+}
+
+/** NDJSON: the query runs over every non-empty line independently. */
+int run_ndjson(const CliOptions& options, const JsonPathEngine& engine,
+               const PaddedString& input)
+{
+    std::string_view text = input.view();
+    std::size_t line_number = 0;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string_view::npos) {
+            end = text.size();
+        }
+        std::string_view line = text.substr(start, end - start);
+        ++line_number;
+        if (!line.empty()) {
+            PaddedString document(line);
+            std::printf("line %zu: ", line_number);
+            run_on(options, engine, "", document);
+        }
+        if (end == text.size()) {
+            break;
+        }
+        start = end + 1;
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    CliOptions options;
+    if (!parse_args(argc, argv, options)) {
+        usage();
+        return 2;
+    }
+    try {
+        std::unique_ptr<JsonPathEngine> engine = make_engine(options);
+        auto dispatch = [&](const std::string& name, const PaddedString& doc) {
+            return options.ndjson ? run_ndjson(options, *engine, doc)
+                                  : run_on(options, *engine, name, doc);
+        };
+        if (options.files.empty()) {
+            return dispatch("<stdin>", read_stdin());
+        }
+        for (const std::string& file : options.files) {
+            int status = dispatch(file, PaddedString::from_file(file));
+            if (status != 0) {
+                return status;
+            }
+        }
+        return 0;
+    } catch (const Error& error) {
+        std::fprintf(stderr, "descend-cli: %s\n", error.what());
+        return 1;
+    }
+}

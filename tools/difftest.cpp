@@ -1,0 +1,131 @@
+/**
+ * @file
+ * difftest: standalone differential fuzzing harness.
+ *
+ * Generates random (document, query) pairs and checks that the DOM oracle,
+ * the surfer baseline, and the main engine in every configuration report
+ * identical match sets — the same invariant as the gtest property suite,
+ * but runnable open-endedly:
+ *
+ *   difftest [iterations] [start-seed]
+ *
+ * On a mismatch it prints a self-contained reproducer (document, query,
+ * configuration, both offset lists) and exits non-zero, so long fuzzing
+ * runs can feed the regression corpus in tests/property_test.cpp.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "descend/baselines/dom_engine.h"
+#include "descend/baselines/surfer_engine.h"
+#include "descend/descend.h"
+#include "descend/workloads/random_json.h"
+
+namespace {
+
+using namespace descend;
+
+std::vector<EngineOptions> configurations()
+{
+    std::vector<EngineOptions> configs;
+    for (simd::Level level : {simd::Level::avx2, simd::Level::scalar}) {
+        for (int bits = 0; bits < 32; ++bits) {
+            EngineOptions options;
+            options.simd = level;
+            options.leaf_skipping = bits & 1;
+            options.child_skipping = bits & 2;
+            options.sibling_skipping = bits & 4;
+            options.head_skipping = bits & 8;
+            options.label_within_skipping = bits & 16;
+            configs.push_back(options);
+        }
+    }
+    return configs;
+}
+
+std::string describe(const EngineOptions& o)
+{
+    std::string s = o.simd == simd::Level::avx2 ? "avx2" : "scalar";
+    s += o.leaf_skipping ? "+leaf" : "";
+    s += o.child_skipping ? "+child" : "";
+    s += o.sibling_skipping ? "+sibling" : "";
+    s += o.head_skipping ? "+head" : "";
+    s += o.label_within_skipping ? "+within" : "";
+    return s;
+}
+
+void print_offsets(const char* name, const std::vector<std::size_t>& offsets)
+{
+    std::printf("  %s (%zu):", name, offsets.size());
+    for (std::size_t offset : offsets) {
+        std::printf(" %zu", offset);
+    }
+    std::printf("\n");
+}
+
+int report_mismatch(const std::string& document, const std::string& query,
+                    const std::string& engine_name,
+                    const std::vector<std::size_t>& expected,
+                    const std::vector<std::size_t>& actual)
+{
+    std::printf("MISMATCH\nquery: %s\nengine: %s\ndocument:\n%s\n",
+                query.c_str(), engine_name.c_str(), document.c_str());
+    print_offsets("oracle", expected);
+    print_offsets("engine", actual);
+    return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    long iterations = argc >= 2 ? std::strtol(argv[1], nullptr, 10) : 2000;
+    std::uint64_t seed0 = argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 1;
+    std::vector<EngineOptions> configs = configurations();
+
+    for (long i = 0; i < iterations; ++i) {
+        std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
+        workloads::RandomJsonOptions options;
+        options.seed = seed;
+        options.max_depth = 4 + static_cast<int>(seed % 14);
+        options.max_width = 3 + static_cast<int>(seed % 9);
+        options.whitespace_chance = static_cast<unsigned>(seed * 7 % 60);
+        options.nasty_string_chance = static_cast<unsigned>(seed * 13 % 70);
+        std::string document = workloads::random_json(options);
+        PaddedString padded(document);
+
+        for (int q = 0; q < 4; ++q) {
+            std::string query_text = workloads::random_query(
+                seed * 977 + static_cast<std::uint64_t>(q), options.label_pool, 6,
+                /*allow_indices=*/true);
+            auto compiled = automaton::CompiledQuery::compile(query_text);
+            DomEngine oracle(query::Query::parse(query_text));
+            std::vector<std::size_t> expected = oracle.offsets(padded);
+
+            SurferEngine surfer(compiled);
+            std::vector<std::size_t> surfer_offsets = surfer.offsets(padded);
+            if (surfer_offsets != expected) {
+                return report_mismatch(document, query_text, "surfer", expected,
+                                       surfer_offsets);
+            }
+            for (const EngineOptions& config : configs) {
+                DescendEngine engine(compiled, config);
+                std::vector<std::size_t> actual = engine.offsets(padded);
+                if (actual != expected) {
+                    return report_mismatch(document, query_text,
+                                           "descend[" + describe(config) + "]",
+                                           expected, actual);
+                }
+            }
+        }
+        if ((i + 1) % 200 == 0) {
+            std::printf("... %ld/%ld ok (seed %llu)\n", i + 1, iterations,
+                        static_cast<unsigned long long>(seed));
+        }
+    }
+    std::printf("difftest: %ld iterations x 4 queries x %zu configurations OK\n",
+                iterations, configs.size() + 1);
+    return 0;
+}
