@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_descendants.dir/bench_descendants.cpp.o"
+  "CMakeFiles/bench_descendants.dir/bench_descendants.cpp.o.d"
+  "bench_descendants"
+  "bench_descendants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_descendants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

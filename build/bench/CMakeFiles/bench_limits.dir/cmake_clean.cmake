@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_limits.dir/bench_limits.cpp.o"
+  "CMakeFiles/bench_limits.dir/bench_limits.cpp.o.d"
+  "bench_limits"
+  "bench_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

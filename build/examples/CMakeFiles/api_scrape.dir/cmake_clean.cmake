@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_scrape.dir/api_scrape.cpp.o"
+  "CMakeFiles/api_scrape.dir/api_scrape.cpp.o.d"
+  "api_scrape"
+  "api_scrape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_scrape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_demo.dir/classify_demo.cpp.o"
+  "CMakeFiles/classify_demo.dir/classify_demo.cpp.o.d"
+  "classify_demo"
+  "classify_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_as_data.dir/code_as_data.cpp.o"
+  "CMakeFiles/code_as_data.dir/code_as_data.cpp.o.d"
+  "code_as_data"
+  "code_as_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_as_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/descend/automaton/dfa.cpp" "src/CMakeFiles/descend.dir/descend/automaton/dfa.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/automaton/dfa.cpp.o.d"
+  "/root/repo/src/descend/automaton/minimize.cpp" "src/CMakeFiles/descend.dir/descend/automaton/minimize.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/automaton/minimize.cpp.o.d"
+  "/root/repo/src/descend/automaton/nfa.cpp" "src/CMakeFiles/descend.dir/descend/automaton/nfa.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/automaton/nfa.cpp.o.d"
+  "/root/repo/src/descend/automaton/properties.cpp" "src/CMakeFiles/descend.dir/descend/automaton/properties.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/automaton/properties.cpp.o.d"
+  "/root/repo/src/descend/baselines/dom_engine.cpp" "src/CMakeFiles/descend.dir/descend/baselines/dom_engine.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/baselines/dom_engine.cpp.o.d"
+  "/root/repo/src/descend/baselines/ski_engine.cpp" "src/CMakeFiles/descend.dir/descend/baselines/ski_engine.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/baselines/ski_engine.cpp.o.d"
+  "/root/repo/src/descend/baselines/surfer_engine.cpp" "src/CMakeFiles/descend.dir/descend/baselines/surfer_engine.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/baselines/surfer_engine.cpp.o.d"
+  "/root/repo/src/descend/classify/depth_classifier.cpp" "src/CMakeFiles/descend.dir/descend/classify/depth_classifier.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/classify/depth_classifier.cpp.o.d"
+  "/root/repo/src/descend/classify/quote_classifier.cpp" "src/CMakeFiles/descend.dir/descend/classify/quote_classifier.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/classify/quote_classifier.cpp.o.d"
+  "/root/repo/src/descend/classify/raw_tables.cpp" "src/CMakeFiles/descend.dir/descend/classify/raw_tables.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/classify/raw_tables.cpp.o.d"
+  "/root/repo/src/descend/classify/structural_classifier.cpp" "src/CMakeFiles/descend.dir/descend/classify/structural_classifier.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/classify/structural_classifier.cpp.o.d"
+  "/root/repo/src/descend/engine/extract.cpp" "src/CMakeFiles/descend.dir/descend/engine/extract.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/engine/extract.cpp.o.d"
+  "/root/repo/src/descend/engine/label_search.cpp" "src/CMakeFiles/descend.dir/descend/engine/label_search.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/engine/label_search.cpp.o.d"
+  "/root/repo/src/descend/engine/main_engine.cpp" "src/CMakeFiles/descend.dir/descend/engine/main_engine.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/engine/main_engine.cpp.o.d"
+  "/root/repo/src/descend/engine/padded_string.cpp" "src/CMakeFiles/descend.dir/descend/engine/padded_string.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/engine/padded_string.cpp.o.d"
+  "/root/repo/src/descend/engine/structural_iterator.cpp" "src/CMakeFiles/descend.dir/descend/engine/structural_iterator.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/engine/structural_iterator.cpp.o.d"
+  "/root/repo/src/descend/json/dom.cpp" "src/CMakeFiles/descend.dir/descend/json/dom.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/json/dom.cpp.o.d"
+  "/root/repo/src/descend/json/parser.cpp" "src/CMakeFiles/descend.dir/descend/json/parser.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/json/parser.cpp.o.d"
+  "/root/repo/src/descend/json/sax.cpp" "src/CMakeFiles/descend.dir/descend/json/sax.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/json/sax.cpp.o.d"
+  "/root/repo/src/descend/json/serializer.cpp" "src/CMakeFiles/descend.dir/descend/json/serializer.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/json/serializer.cpp.o.d"
+  "/root/repo/src/descend/query/parser.cpp" "src/CMakeFiles/descend.dir/descend/query/parser.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/query/parser.cpp.o.d"
+  "/root/repo/src/descend/query/query.cpp" "src/CMakeFiles/descend.dir/descend/query/query.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/query/query.cpp.o.d"
+  "/root/repo/src/descend/simd/dispatch.cpp" "src/CMakeFiles/descend.dir/descend/simd/dispatch.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/simd/dispatch.cpp.o.d"
+  "/root/repo/src/descend/simd/kernels_scalar.cpp" "src/CMakeFiles/descend.dir/descend/simd/kernels_scalar.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/simd/kernels_scalar.cpp.o.d"
+  "/root/repo/src/descend/util/errors.cpp" "src/CMakeFiles/descend.dir/descend/util/errors.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/util/errors.cpp.o.d"
+  "/root/repo/src/descend/workloads/dataset_ast.cpp" "src/CMakeFiles/descend.dir/descend/workloads/dataset_ast.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/workloads/dataset_ast.cpp.o.d"
+  "/root/repo/src/descend/workloads/dataset_bestbuy.cpp" "src/CMakeFiles/descend.dir/descend/workloads/dataset_bestbuy.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/workloads/dataset_bestbuy.cpp.o.d"
+  "/root/repo/src/descend/workloads/dataset_crossref.cpp" "src/CMakeFiles/descend.dir/descend/workloads/dataset_crossref.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/workloads/dataset_crossref.cpp.o.d"
+  "/root/repo/src/descend/workloads/dataset_googlemap.cpp" "src/CMakeFiles/descend.dir/descend/workloads/dataset_googlemap.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/workloads/dataset_googlemap.cpp.o.d"
+  "/root/repo/src/descend/workloads/dataset_nspl.cpp" "src/CMakeFiles/descend.dir/descend/workloads/dataset_nspl.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/workloads/dataset_nspl.cpp.o.d"
+  "/root/repo/src/descend/workloads/dataset_openfood.cpp" "src/CMakeFiles/descend.dir/descend/workloads/dataset_openfood.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/workloads/dataset_openfood.cpp.o.d"
+  "/root/repo/src/descend/workloads/dataset_twitter.cpp" "src/CMakeFiles/descend.dir/descend/workloads/dataset_twitter.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/workloads/dataset_twitter.cpp.o.d"
+  "/root/repo/src/descend/workloads/dataset_walmart.cpp" "src/CMakeFiles/descend.dir/descend/workloads/dataset_walmart.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/workloads/dataset_walmart.cpp.o.d"
+  "/root/repo/src/descend/workloads/dataset_wikimedia.cpp" "src/CMakeFiles/descend.dir/descend/workloads/dataset_wikimedia.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/workloads/dataset_wikimedia.cpp.o.d"
+  "/root/repo/src/descend/workloads/datasets.cpp" "src/CMakeFiles/descend.dir/descend/workloads/datasets.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/workloads/datasets.cpp.o.d"
+  "/root/repo/src/descend/workloads/random_json.cpp" "src/CMakeFiles/descend.dir/descend/workloads/random_json.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/workloads/random_json.cpp.o.d"
+  "/root/repo/src/descend/workloads/stats.cpp" "src/CMakeFiles/descend.dir/descend/workloads/stats.cpp.o" "gcc" "src/CMakeFiles/descend.dir/descend/workloads/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/descend_avx2.dir/descend/simd/kernels_avx2.cpp.o"
+  "CMakeFiles/descend_avx2.dir/descend/simd/kernels_avx2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/descend_avx2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_search_test.dir/label_search_test.cpp.o"
+  "CMakeFiles/label_search_test.dir/label_search_test.cpp.o.d"
+  "label_search_test"
+  "label_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/descend-cli.dir/descend_cli.cpp.o"
+  "CMakeFiles/descend-cli.dir/descend_cli.cpp.o.d"
+  "descend-cli"
+  "descend-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/descend-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftest.dir/difftest.cpp.o"
+  "CMakeFiles/difftest.dir/difftest.cpp.o.d"
+  "difftest"
+  "difftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
