@@ -2,8 +2,40 @@
 
 #include <string_view>
 
+#include "descend/engine/validation.h"
+#include "descend/util/errors.h"
+
 namespace descend {
 namespace {
+
+/** Pass-through sink enforcing EngineLimits::max_match_count. */
+class LimitingSink final : public MatchSink {
+public:
+    LimitingSink(MatchSink& inner, std::size_t max_matches)
+        : inner_(inner), max_matches_(max_matches)
+    {
+    }
+
+    void on_match(std::size_t offset) override
+    {
+        if (!status_.ok()) {
+            return;
+        }
+        if (++matches_ > max_matches_) {
+            status_ = {StatusCode::kMatchLimit, offset};
+            return;
+        }
+        inner_.on_match(offset);
+    }
+
+    const EngineStatus& status() const noexcept { return status_; }
+
+private:
+    MatchSink& inner_;
+    std::size_t max_matches_;
+    std::size_t matches_ = 0;
+    EngineStatus status_;
+};
 
 using query::Selector;
 using query::SelectorKind;
@@ -146,10 +178,22 @@ private:
 
 }  // namespace
 
-void DomEngine::run(const PaddedString& document, MatchSink& sink) const
+EngineStatus DomEngine::run(const PaddedString& document, MatchSink& sink) const
 {
-    json::Document dom = json::parse(document.view());
-    evaluate(dom.root(), sink);
+    EngineStatus status = preflight_document(document, limits_);
+    if (!status.ok()) {
+        return status;
+    }
+    json::ParseOptions parse_options;
+    parse_options.max_depth = limits_.max_depth;
+    try {
+        json::Document dom = json::parse(document.view(), parse_options);
+        LimitingSink limited(sink, limits_.max_match_count);
+        evaluate(dom.root(), limited);
+        return limited.status();
+    } catch (const ParseError& error) {
+        return {error.code(), error.position()};
+    }
 }
 
 void DomEngine::evaluate(const json::Value& root, MatchSink& sink) const

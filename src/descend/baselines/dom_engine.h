@@ -24,12 +24,19 @@ namespace descend {
 
 class DomEngine final : public JsonPathEngine {
 public:
-    explicit DomEngine(query::Query query) : query_(std::move(query)) {}
+    explicit DomEngine(query::Query query, EngineLimits limits = {})
+        : query_(std::move(query)), limits_(limits)
+    {
+    }
 
     std::string name() const override { return "dom"; }
 
-    /** Parses (strictly) and evaluates with node semantics. */
-    void run(const PaddedString& document, MatchSink& sink) const override;
+    /**
+     * Parses (strictly) and evaluates with node semantics. The strict
+     * parser's classified ParseError is converted to the corresponding
+     * EngineStatus — this engine never throws on document content either.
+     */
+    EngineStatus run(const PaddedString& document, MatchSink& sink) const override;
 
     /** Node-semantics evaluation over a pre-parsed document. */
     void evaluate(const json::Value& root, MatchSink& sink) const;
@@ -44,6 +51,7 @@ public:
 
 private:
     query::Query query_;
+    EngineLimits limits_;
 };
 
 }  // namespace descend

@@ -1,13 +1,16 @@
 #include "descend/baselines/ski_engine.h"
 
+#include "descend/engine/validation.h"
 #include "descend/util/errors.h"
+#include "descend/util/utf8.h"
 
 namespace descend {
 
 using Kind = StructuralIterator::Kind;
 
-SkiEngine::SkiEngine(const query::Query& query, simd::Level level)
-    : kernels_(&simd::kernels_for(level))
+SkiEngine::SkiEngine(const query::Query& query, simd::Level level,
+                     EngineLimits limits)
+    : kernels_(&simd::kernels_for(level)), limits_(limits)
 {
     for (const query::Selector& selector : query.selectors()) {
         switch (selector.kind) {
@@ -30,25 +33,56 @@ SkiEngine::SkiEngine(const query::Query& query, simd::Level level)
     }
 }
 
-void SkiEngine::run(const PaddedString& document, MatchSink& sink) const
+EngineStatus SkiEngine::run(const PaddedString& document, MatchSink& sink) const
 {
-    StructuralIterator iter(document, *kernels_);
+    EngineStatus status = preflight_document(document, limits_);
+    if (!status.ok()) {
+        return status;
+    }
     if (levels_.empty()) {
-        // `$`: the whole document.
+        // `$`: the whole document, without scanning it (see DESIGN.md).
+        StructuralIterator iter(document, *kernels_);
         std::size_t start = iter.first_non_ws(0);
         if (start < document.size()) {
             sink.on_match(start);
         }
-        return;
+        return {};
     }
+    // The kind-filtered fast-forwards can step across damage that is
+    // locally invisible to them; the shared validator's whole-document
+    // balances catch it at the end-of-run verdict.
+    StructuralValidator validator;
+    StructuralIterator iter(document, *kernels_, &validator, limits_.max_depth);
     StructuralIterator::Event root = iter.next();
-    if (root.kind != Kind::kOpening) {
-        return;  // atomic root cannot match a non-empty path
+    if (root.kind == Kind::kClosing) {
+        return {StatusCode::kUnbalancedStructure, root.pos};
     }
-    match_container(iter, sink, 0, root.byte);
+    if (root.kind != Kind::kOpening) {
+        // Atomic root (possibly malformed): next() scanned to end of
+        // input, so the iterator status and the verdict are conclusive.
+        if (!iter.status().ok()) {
+            return iter.status();
+        }
+        return validator.verdict(document.size());
+    }
+    RunState run{sink, limits_, {}, 0};
+    match_container(iter, run, 0, root.byte);
+    if (!run.status.ok()) {
+        return run.status;
+    }
+    if (!iter.status().ok()) {
+        return iter.status();
+    }
+    std::size_t after = iter.first_non_ws(iter.position());
+    if (after < document.size()) {
+        return {StatusCode::kTrailingContent, after};
+    }
+    // Sound on a partial scan: everything past the root's closer is
+    // whitespace (the check above), which cannot move a balance.
+    return validator.verdict(document.size());
 }
 
-void SkiEngine::match_container(StructuralIterator& iter, MatchSink& sink,
+void SkiEngine::match_container(StructuralIterator& iter, RunState& run,
                                 std::size_t level, std::uint8_t opening_byte) const
 {
     bool is_object = opening_byte == classify::kOpenBrace;
@@ -59,25 +93,29 @@ void SkiEngine::match_container(StructuralIterator& iter, MatchSink& sink,
         return;
     }
     if (is_object) {
-        match_object(iter, sink, level);
+        match_object(iter, run, level);
     } else {
-        match_array(iter, sink, level);
+        match_array(iter, run, level);
     }
 }
 
-void SkiEngine::match_object(StructuralIterator& iter, MatchSink& sink,
+void SkiEngine::match_object(StructuralIterator& iter, RunState& run,
                              std::size_t level) const
 {
     const Level& spec = levels_[level];
     bool is_last = level + 1 == levels_.size();
     iter.set_colons(true);
     iter.set_commas(false);
-    while (true) {
+    while (run.status.ok()) {
         StructuralIterator::Event event = iter.next();
         if (event.kind == Kind::kNone) {
             return;
         }
         if (event.kind == Kind::kClosing) {
+            if (event.byte != classify::kCloseBrace) {
+                // ']' closing the object we are in.
+                run.fail(StatusCode::kUnbalancedStructure, event.pos);
+            }
             return;  // end of this object
         }
         if (event.kind == Kind::kOpening) {
@@ -90,6 +128,13 @@ void SkiEngine::match_object(StructuralIterator& iter, MatchSink& sink,
             continue;
         }
         auto label = iter.label_before(event.pos);
+        if (label.has_value() && !util::is_valid_utf8(*label)) {
+            run.fail(StatusCode::kInvalidUtf8InLabel,
+                     static_cast<std::size_t>(
+                         reinterpret_cast<const std::uint8_t*>(label->data()) -
+                         iter.data()));
+            return;
+        }
         bool matches = label.has_value() && *label == spec.label;
         StructuralIterator::Event value = iter.peek();
         if (!matches) {
@@ -101,14 +146,14 @@ void SkiEngine::match_object(StructuralIterator& iter, MatchSink& sink,
         }
         // The unique matching member of this object.
         if (is_last) {
-            sink.on_match(iter.first_non_ws(event.pos + 1));
+            run.report(iter.first_non_ws(event.pos + 1));
             if (value.kind == Kind::kOpening) {
                 iter.next();
                 iter.skip_element(value.byte);
             }
         } else if (value.kind == Kind::kOpening) {
             iter.next();
-            match_container(iter, sink, level + 1, value.byte);
+            match_container(iter, run, level + 1, value.byte);
         }
         // Keys are unique among siblings: fast-forward to this object's end.
         iter.set_colons(false);
@@ -118,7 +163,7 @@ void SkiEngine::match_object(StructuralIterator& iter, MatchSink& sink,
     }
 }
 
-void SkiEngine::handle_array_entry(StructuralIterator& iter, MatchSink& sink,
+void SkiEngine::handle_array_entry(StructuralIterator& iter, RunState& run,
                                    std::size_t level, bool entry_matches,
                                    std::size_t value_scan_from) const
 {
@@ -127,10 +172,10 @@ void SkiEngine::handle_array_entry(StructuralIterator& iter, MatchSink& sink,
     if (value.kind == Kind::kOpening) {
         iter.next();
         if (entry_matches && is_last) {
-            sink.on_match(value.pos);
+            run.report(value.pos);
             iter.skip_element(value.byte);
         } else if (entry_matches) {
-            match_container(iter, sink, level + 1, value.byte);
+            match_container(iter, run, level + 1, value.byte);
         } else {
             iter.skip_element(value.byte);
         }
@@ -143,12 +188,12 @@ void SkiEngine::handle_array_entry(StructuralIterator& iter, MatchSink& sink,
     if (entry_matches && is_last) {
         std::size_t item = iter.first_non_ws(value_scan_from);
         if (item < value.pos) {
-            sink.on_match(item);
+            run.report(item);
         }
     }
 }
 
-void SkiEngine::match_array(StructuralIterator& iter, MatchSink& sink,
+void SkiEngine::match_array(StructuralIterator& iter, RunState& run,
                             std::size_t level) const
 {
     const Level& spec = levels_[level];
@@ -165,16 +210,23 @@ void SkiEngine::match_array(StructuralIterator& iter, MatchSink& sink,
     StructuralIterator::Event first = iter.peek();
     if (first.kind == Kind::kClosing) {
         iter.next();
+        if (first.byte != classify::kCloseBracket) {
+            run.fail(StatusCode::kUnbalancedStructure, first.pos);
+        }
         return;  // empty array
     }
-    handle_array_entry(iter, sink, level, entry_matches(0), first_entry_scan);
+    handle_array_entry(iter, run, level, entry_matches(0), first_entry_scan);
 
-    while (true) {
+    while (run.status.ok()) {
         StructuralIterator::Event event = iter.next();
         if (event.kind == Kind::kNone) {
             return;
         }
         if (event.kind == Kind::kClosing) {
+            if (event.byte != classify::kCloseBracket) {
+                // '}' closing the array we are in.
+                run.fail(StatusCode::kUnbalancedStructure, event.pos);
+            }
             return;
         }
         if (event.kind != Kind::kComma) {
@@ -186,7 +238,7 @@ void SkiEngine::match_array(StructuralIterator& iter, MatchSink& sink,
             iter.skip_element(classify::kOpenBracket);
             return;
         }
-        handle_array_entry(iter, sink, level, entry_matches(entry), event.pos + 1);
+        handle_array_entry(iter, run, level, entry_matches(entry), event.pos + 1);
     }
 }
 

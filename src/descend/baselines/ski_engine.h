@@ -32,7 +32,8 @@ class SkiEngine final : public JsonPathEngine {
 public:
     /** @throws QueryError if the query uses descendant selectors. */
     explicit SkiEngine(const query::Query& query,
-                       simd::Level level = simd::Level::avx2);
+                       simd::Level level = simd::Level::avx2,
+                       EngineLimits limits = {});
 
     static SkiEngine for_query(std::string_view query_text)
     {
@@ -41,9 +42,33 @@ public:
 
     std::string name() const override { return "jsonski"; }
 
-    void run(const PaddedString& document, MatchSink& sink) const override;
+    EngineStatus run(const PaddedString& document, MatchSink& sink) const override;
 
 private:
+    /** Mutable per-run state threaded through the match methods. */
+    struct RunState {
+        MatchSink& sink;
+        const EngineLimits& limits;
+        EngineStatus status;
+        std::size_t matches = 0;
+
+        void fail(StatusCode code, std::size_t offset)
+        {
+            if (status.ok()) {
+                status = {code, offset};
+            }
+        }
+
+        void report(std::size_t offset)
+        {
+            if (++matches > limits.max_match_count) {
+                fail(StatusCode::kMatchLimit, offset);
+                return;
+            }
+            sink.on_match(offset);
+        }
+    };
+
     enum class LevelKind : std::uint8_t {
         kKey,       ///< object member by label
         kWildcard,  ///< every array element (JSONSki semantics)
@@ -56,14 +81,14 @@ private:
         std::uint64_t index = 0;
     };
 
-    void match_container(StructuralIterator& iter, MatchSink& sink,
+    void match_container(StructuralIterator& iter, RunState& run,
                          std::size_t level, std::uint8_t opening_byte) const;
-    void match_object(StructuralIterator& iter, MatchSink& sink,
+    void match_object(StructuralIterator& iter, RunState& run,
                       std::size_t level) const;
-    void match_array(StructuralIterator& iter, MatchSink& sink,
+    void match_array(StructuralIterator& iter, RunState& run,
                      std::size_t level) const;
     /** Handles one array entry; consumes it if it is a container. */
-    void handle_array_entry(StructuralIterator& iter, MatchSink& sink,
+    void handle_array_entry(StructuralIterator& iter, RunState& run,
                             std::size_t level, bool entry_matches,
                             std::size_t value_scan_from) const;
 
@@ -75,6 +100,7 @@ private:
 
     std::vector<Level> levels_;
     const simd::Kernels* kernels_;
+    EngineLimits limits_;
 };
 
 }  // namespace descend

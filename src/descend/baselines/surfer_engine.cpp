@@ -3,41 +3,68 @@
 #include <optional>
 #include <vector>
 
+#include "descend/engine/validation.h"
 #include "descend/json/sax.h"
+#include "descend/util/utf8.h"
 
 namespace descend {
 namespace {
 
 class SurferHandler final : public json::SaxHandler {
 public:
-    SurferHandler(const automaton::CompiledQuery& query, MatchSink& sink)
+    SurferHandler(const automaton::CompiledQuery& query, const EngineLimits& limits,
+                  MatchSink& sink)
         : query_(query),
           alphabet_(query.alphabet()),
           counting_(query.has_indices()),
+          limits_(limits),
           sink_(sink)
     {
         state_ = query_.initial_state();
     }
 
+    /** First problem this handler observed (the tokenizer keeps feeding
+     *  events after a failure; they are ignored). */
+    const EngineStatus& status() const noexcept { return status_; }
+
+    bool root_open() const noexcept { return !stack_.empty(); }
+
     void on_object_start(std::size_t offset) override { enter(offset, false); }
     void on_array_start(std::size_t offset) override { enter(offset, true); }
 
-    void on_object_end(std::size_t) override { leave(); }
-    void on_array_end(std::size_t) override { leave(); }
+    void on_object_end(std::size_t offset) override { leave(offset, false); }
+    void on_array_end(std::size_t offset) override { leave(offset, true); }
 
-    void on_key(std::string_view raw_key, std::size_t) override
+    void on_key(std::string_view raw_key, std::size_t offset) override
     {
+        if (!status_.ok()) {
+            return;
+        }
+        if (!util::is_valid_utf8(raw_key)) {
+            // offset is the key's opening quote; its bytes start after it.
+            fail(StatusCode::kInvalidUtf8InLabel, offset + 1);
+            return;
+        }
         pending_key_ = raw_key;
     }
 
     void on_atom(std::string_view, std::size_t offset) override
     {
+        if (!status_.ok()) {
+            return;
+        }
         if (stack_.empty()) {
-            return;  // atomic root: only `$` matches, handled as preflight
+            // Atomic root: only `$` matches it (handled as a preflight in
+            // run()). A second top-level value is trailing content.
+            if (root_done_) {
+                fail(StatusCode::kTrailingContent, offset);
+            }
+            root_done_ = true;
+            return;
         }
         int target = query_.transition(state_, take_symbol());
         if (query_.flags(target).accepting) {
-            sink_.on_match(offset);
+            report(offset);
         }
     }
 
@@ -47,6 +74,22 @@ private:
         bool is_array;
         std::uint64_t entries;
     };
+
+    void fail(StatusCode code, std::size_t offset)
+    {
+        if (status_.ok()) {
+            status_ = {code, offset};
+        }
+    }
+
+    void report(std::size_t offset)
+    {
+        if (++matches_ > limits_.max_match_count) {
+            fail(StatusCode::kMatchLimit, offset);
+            return;
+        }
+        sink_.on_match(offset);
+    }
 
     int take_symbol()
     {
@@ -65,46 +108,91 @@ private:
 
     void enter(std::size_t offset, bool is_array)
     {
+        if (!status_.ok()) {
+            return;
+        }
+        if (stack_.empty() && root_done_) {
+            fail(StatusCode::kTrailingContent, offset);
+            return;
+        }
+        if (stack_.size() >= limits_.max_depth) {
+            fail(StatusCode::kDepthLimit, offset);
+            return;
+        }
         int target = stack_.empty() ? state_ : query_.transition(state_, take_symbol());
         if (query_.flags(target).accepting) {
-            sink_.on_match(offset);
+            report(offset);
         }
         stack_.push_back({state_, is_array, 0});
         state_ = target;
     }
 
-    void leave()
+    void leave(std::size_t offset, bool is_array)
     {
+        if (!status_.ok()) {
+            return;
+        }
         if (stack_.empty()) {
-            return;  // malformed input: stray closer
+            // A closer with nothing open: previously a silent early-out,
+            // now a reported stray-closer position.
+            fail(StatusCode::kUnbalancedStructure, offset);
+            return;
+        }
+        if (stack_.back().is_array != is_array) {
+            fail(StatusCode::kUnbalancedStructure, offset);
+            return;
         }
         state_ = stack_.back().state;
         stack_.pop_back();
+        if (stack_.empty()) {
+            root_done_ = true;
+        }
     }
 
     const automaton::CompiledQuery& query_;
     const automaton::Alphabet& alphabet_;
     bool counting_;
+    const EngineLimits& limits_;
     MatchSink& sink_;
     int state_ = 0;
     std::optional<std::string_view> pending_key_;
     std::vector<Frame> stack_;
+    EngineStatus status_;
+    std::size_t matches_ = 0;
+    bool root_done_ = false;
 };
 
 }  // namespace
 
-void SurferEngine::run(const PaddedString& document, MatchSink& sink) const
+EngineStatus SurferEngine::run(const PaddedString& document, MatchSink& sink) const
 {
+    EngineStatus status = preflight_document(document, limits_);
+    if (!status.ok()) {
+        return status;
+    }
     if (query_.root_accepting()) {
+        // `$` selects the whole document without scanning it (matching the
+        // main engine's O(1) path; see DESIGN.md).
         std::string_view text = document.view();
         std::size_t start = text.find_first_not_of(" \t\n\r");
         if (start != std::string_view::npos) {
             sink.on_match(start);
         }
-        return;
+        return {};
     }
-    SurferHandler handler(query_, sink);
-    json::sax_parse(document.view(), handler);
+    SurferHandler handler(query_, limits_, sink);
+    EngineStatus sax_status = json::sax_parse(document.view(), handler);
+    if (!handler.status().ok()) {
+        return handler.status();
+    }
+    if (!sax_status.ok()) {
+        return sax_status;
+    }
+    if (handler.root_open()) {
+        // Input ended with containers still open.
+        return {StatusCode::kUnbalancedStructure, document.size()};
+    }
+    return {};
 }
 
 }  // namespace descend

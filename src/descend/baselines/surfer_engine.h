@@ -16,19 +16,24 @@ namespace descend {
 
 class SurferEngine final : public JsonPathEngine {
 public:
-    explicit SurferEngine(automaton::CompiledQuery query) : query_(std::move(query)) {}
-
-    static SurferEngine for_query(std::string_view query_text)
+    explicit SurferEngine(automaton::CompiledQuery query, EngineLimits limits = {})
+        : query_(std::move(query)), limits_(limits)
     {
-        return SurferEngine(automaton::CompiledQuery::compile(query_text));
+    }
+
+    static SurferEngine for_query(std::string_view query_text,
+                                  EngineLimits limits = {})
+    {
+        return SurferEngine(automaton::CompiledQuery::compile(query_text), limits);
     }
 
     std::string name() const override { return "jsurfer"; }
 
-    void run(const PaddedString& document, MatchSink& sink) const override;
+    EngineStatus run(const PaddedString& document, MatchSink& sink) const override;
 
 private:
     automaton::CompiledQuery query_;
+    EngineLimits limits_;
 };
 
 }  // namespace descend

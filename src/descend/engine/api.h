@@ -19,6 +19,7 @@
 
 #include "descend/engine/padded_string.h"
 #include "descend/simd/dispatch.h"
+#include "descend/util/status.h"
 
 namespace descend {
 
@@ -88,6 +89,17 @@ struct EngineOptions {
      * C2r-style queries; see bench_ablation.
      */
     bool label_within_skipping = false;
+    /**
+     * Whole-document structural validation (per-kind bracket balances and
+     * end-of-input string state, accounted during block classification —
+     * see engine/validation.h). On by default: garbage-in must produce a
+     * diagnosable EngineStatus, never a silently truncated match set. The
+     * ablation benchmarks may switch it off to measure the paper's
+     * original trust-the-input pipeline.
+     */
+    bool validate_structure = true;
+    /** Resource limits enforced during the run (see util/status.h). */
+    EngineLimits limits;
 };
 
 /** Counters describing what one run did (for tests and ablation reports). */
@@ -101,6 +113,8 @@ struct RunStats {
      *  claim: bounded by the query's selector count for child-free
      *  queries, by document depth only in adversarial nestings. */
     std::size_t max_stack = 0;
+    /** Structured outcome of the run (also returned by run() itself). */
+    EngineStatus status;
 };
 
 /** Common interface of the main engine and the baseline engines. */
@@ -111,8 +125,18 @@ public:
     /** Engine name for benchmark tables (e.g. "descend", "jsonski"). */
     virtual std::string name() const = 0;
 
-    /** Runs the compiled query over the document, reporting all matches. */
-    virtual void run(const PaddedString& document, MatchSink& sink) const = 0;
+    /**
+     * Runs the compiled query over the document, reporting all matches.
+     *
+     * Result-style API: the returned EngineStatus is ok() for a complete
+     * run over well-formed input, and otherwise carries the malformed-
+     * input or resource-limit classification plus the byte offset where
+     * the problem was detected. Matches reported before the problem was
+     * discovered remain in the sink; a non-ok status means the match set
+     * must be treated as incomplete. Never throws on document content;
+     * use raise_status() (util/errors.h) to convert to exceptions.
+     */
+    virtual EngineStatus run(const PaddedString& document, MatchSink& sink) const = 0;
 
     /**
      * Runs with a counting sink. Virtual so engines can provide a

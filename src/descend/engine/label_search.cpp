@@ -15,12 +15,14 @@ bool is_ws_byte(std::uint8_t byte)
 }  // namespace
 
 LabelSearch::LabelSearch(const PaddedString& input, const simd::Kernels& kernels,
-                         std::string_view escaped_label)
+                         std::string_view escaped_label,
+                         StructuralValidator* validator)
     : data_(input.data()),
       size_(input.size()),
       end_((input.size() + simd::kBlockSize - 1) / simd::kBlockSize * simd::kBlockSize),
       quotes_(kernels),
-      label_(escaped_label)
+      label_(escaped_label),
+      validator_(validator)
 {
     if (end_ > 0) {
         classify_block();
@@ -31,6 +33,10 @@ void LabelSearch::classify_block()
 {
     block_entry_quote_state_ = quotes_.state();
     classify::QuoteMasks masks = quotes_.classify(data_ + block_start_);
+    if (validator_ != nullptr) {
+        validator_->account(quotes_.kernels(), data_ + block_start_, block_start_,
+                            masks.in_string);
+    }
     // String-opening quotes: unescaped quotes whose in-string bit is set
     // (the opening quote is inside its own string under our convention).
     candidates_ = masks.unescaped_quotes & masks.in_string;

@@ -28,9 +28,14 @@ namespace descend {
 class LabelSearch {
 public:
     /** @param escaped_label the label's comparison form (raw bytes between
-     *  quotes in a minimally-escaped document). */
+     *  quotes in a minimally-escaped document).
+     *  @param validator optional whole-document validator shared with the
+     *  structural iterator; blocks this search classifies are accounted
+     *  there (the resume protocol guarantees each block is accounted by
+     *  exactly one of the two pipelines). */
     LabelSearch(const PaddedString& input, const simd::Kernels& kernels,
-                std::string_view escaped_label);
+                std::string_view escaped_label,
+                StructuralValidator* validator = nullptr);
 
     struct Occurrence {
         std::size_t quote_pos;  ///< the label's opening quote
@@ -60,6 +65,7 @@ private:
     std::size_t end_;
     classify::QuoteClassifier quotes_;
     std::string label_;
+    StructuralValidator* validator_ = nullptr;
 
     std::size_t block_start_ = 0;
     std::uint64_t candidates_ = 0;

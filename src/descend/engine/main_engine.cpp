@@ -1,8 +1,10 @@
 #include "descend/engine/main_engine.h"
 
 #include "descend/engine/label_search.h"
+#include "descend/engine/validation.h"
 #include "descend/util/bit_stack.h"
 #include "descend/util/inline_vector.h"
+#include "descend/util/utf8.h"
 
 namespace descend {
 namespace {
@@ -35,6 +37,9 @@ public:
           counting_(query.has_indices())
     {
     }
+
+    /** First problem encountered during the run (ok when none was). */
+    const EngineStatus& status() const noexcept { return status_; }
 
     /**
      * Simulates the automaton from the iterator's current position until
@@ -122,10 +127,17 @@ public:
                         current_kinds.push(opened.bit_at(i));
                     }
                     current_depth += static_cast<int>(opened.size());
+                    if (static_cast<std::size_t>(current_depth) >
+                        options_.limits.max_depth) {
+                        fail(StatusCode::kDepthLimit, found.value_pos);
+                    }
                     return;
                 }
                 if (leaf_accepting) {
-                    sink_.on_match(found.value_pos);
+                    report(found.value_pos);
+                    if (!status_.ok()) {
+                        return;
+                    }
                 }
                 // Atomic value: keep scanning from just past it.
             }
@@ -146,12 +158,37 @@ public:
             if (item >= following.pos) {
                 return;  // empty array
             }
-            sink_.on_match(item);
+            report(item);
         };
 
-        while (true) {
+        // Resolves the symbol of the label before @p pos, validating the
+        // label's bytes; nullopt for the array-entry/artificial label.
+        auto label_symbol_before = [&](std::size_t pos) -> std::optional<int> {
+            auto label = iter.label_before(pos);
+            if (!label.has_value()) {
+                return std::nullopt;
+            }
+            if (!util::is_valid_utf8(*label)) {
+                fail(StatusCode::kInvalidUtf8InLabel,
+                     static_cast<std::size_t>(
+                         reinterpret_cast<const std::uint8_t*>(label->data()) -
+                         iter.data()));
+            }
+            return alphabet.label_symbol(*label);
+        };
+
+        while (status_.ok()) {
             StructuralIterator::Event event = iter.next();
             if (event.kind == Kind::kNone) {
+                // End of input. Any problem the iterator hit (truncated
+                // string, a fast-forward running off the end, skip depth)
+                // surfaces here; a still-open container means the document
+                // itself ended early.
+                if (!iter.status().ok()) {
+                    fail(iter.status().code, iter.status().offset);
+                } else if (depth > 0) {
+                    fail(StatusCode::kUnbalancedStructure, iter.size());
+                }
                 return;
             }
             ++stats_.events;
@@ -160,11 +197,14 @@ public:
                     bool is_object = event.byte == classify::kOpenBrace;
                     if (depth > 0 || !at_document_root) {
                         int symbol;
-                        if (auto label = iter.label_before(event.pos)) {
-                            symbol = alphabet.label_symbol(*label);
+                        if (auto label = label_symbol_before(event.pos)) {
+                            symbol = *label;
                         } else {
                             symbol = array_entry_symbol(
                                 counting_ && !counts.empty() ? counts.back() : 0);
+                        }
+                        if (!status_.ok()) {
+                            return;
                         }
                         int target = cq.transition(state, symbol);
                         if (cq.flags(target).rejecting && options_.child_skipping) {
@@ -188,13 +228,17 @@ public:
                             state = target;
                         }
                     }
+                    if (static_cast<std::size_t>(depth) >= options_.limits.max_depth) {
+                        fail(StatusCode::kDepthLimit, event.pos);
+                        return;
+                    }
                     ++depth;
                     kinds.push(is_object);
                     if (counting_ && !is_object) {
                         counts.push_back(0);
                     }
                     if (cq.flags(state).accepting) {
-                        sink_.on_match(event.pos);
+                        report(event.pos);
                     }
                     toggle(state, is_object);
                     if (!is_object) {
@@ -207,12 +251,18 @@ public:
                 }
                 case Kind::kClosing: {
                     if (depth == 0) {
-                        // Malformed input: a closer with nothing open.
-                        // The engine only promises safe behaviour here.
+                        // A closer with nothing open: report the stray
+                        // byte instead of silently truncating the run.
+                        fail(StatusCode::kUnbalancedStructure, event.pos);
+                        return;
+                    }
+                    bool closed_is_object = kinds.top();
+                    if (closed_is_object != (event.byte == classify::kCloseBrace)) {
+                        // '}' closing an array or ']' closing an object.
+                        fail(StatusCode::kUnbalancedStructure, event.pos);
                         return;
                     }
                     --depth;
-                    bool closed_is_object = kinds.top();
                     kinds.pop();
                     if (counting_ && !closed_is_object) {
                         counts.pop_back();
@@ -252,12 +302,15 @@ public:
                         break;
                     }
                     int symbol = other_;
-                    if (auto label = iter.label_before(event.pos)) {
-                        symbol = alphabet.label_symbol(*label);
+                    if (auto label = label_symbol_before(event.pos)) {
+                        symbol = *label;
+                    }
+                    if (!status_.ok()) {
+                        return;
                     }
                     int target = cq.transition(state, symbol);
                     if (cq.flags(target).accepting) {
-                        sink_.on_match(iter.first_non_ws(event.pos + 1));
+                        report(iter.first_non_ws(event.pos + 1));
                         if (cq.flags(state).unitary && options_.sibling_skipping) {
                             // The unitary state's unique label just matched
                             // an atomic member: skip the remaining siblings.
@@ -282,7 +335,7 @@ public:
                     int target = cq.transition(
                         state, array_entry_symbol(counting_ ? counts.back() : 0));
                     if (cq.flags(target).accepting) {
-                        sink_.on_match(iter.first_non_ws(event.pos + 1));
+                        report(iter.first_non_ws(event.pos + 1));
                     }
                     break;
                 }
@@ -293,8 +346,12 @@ public:
     }
 
     /** Skipping to a label (Sections 3.3-3.4): jump between occurrences of
-     *  the head label, running the main loop on each subdocument only. */
-    void run_head_skip(const PaddedString& document, const simd::Kernels& kernels)
+     *  the head label, running the main loop on each subdocument only.
+     *  The validator is shared by the search and the iterator: the
+     *  stop/resume protocol hands blocks between the two pipelines
+     *  monotonically, so each block is accounted exactly once. */
+    void run_head_skip(const PaddedString& document, const simd::Kernels& kernels,
+                       StructuralValidator* validator)
     {
         const automaton::CompiledQuery& cq = cq_;
         const std::string& label = *cq.head_skip_label();
@@ -302,8 +359,9 @@ public:
         int target_of_label = cq.transition(cq.initial_state(), label_symbol);
         bool leaf_accepting = cq.flags(target_of_label).accepting;
 
-        LabelSearch search(document, kernels, label);
-        StructuralIterator iter(document, kernels);
+        LabelSearch search(document, kernels, label, validator);
+        StructuralIterator iter(document, kernels, validator,
+                                options_.limits.max_depth);
 
         while (auto occurrence = search.next()) {
             ++stats_.head_skip_jumps;
@@ -318,22 +376,48 @@ public:
                 // then hand it back.
                 iter.resume(search.resume_point_at(value));
                 run_main_loop(iter, /*at_document_root=*/false);
+                if (!status_.ok()) {
+                    return;
+                }
                 search.resume(iter.resume_point());
             } else if (leaf_accepting) {
                 // Atomic value: report directly; the search continues and
                 // the quote classifier keeps string contents excluded.
-                sink_.on_match(value);
+                report(value);
+                if (!status_.ok()) {
+                    return;
+                }
             }
         }
     }
 
 private:
+    /** Records the first problem; later reports keep the original. */
+    void fail(StatusCode code, std::size_t offset)
+    {
+        if (status_.ok()) {
+            status_ = {code, offset};
+        }
+    }
+
+    /** Reports a match, enforcing EngineLimits::max_match_count. */
+    void report(std::size_t offset)
+    {
+        if (++matches_ > options_.limits.max_match_count) {
+            fail(StatusCode::kMatchLimit, offset);
+            return;
+        }
+        sink_.on_match(offset);
+    }
+
     const automaton::CompiledQuery& cq_;
     const EngineOptions& options_;
     Sink& sink_;
     RunStats& stats_;
     const int other_;
     const bool counting_;
+    EngineStatus status_;
+    std::size_t matches_ = 0;
 };
 
 }  // namespace
@@ -354,8 +438,15 @@ template <typename Sink>
 RunStats DescendEngine::dispatch(const PaddedString& document, Sink& sink) const
 {
     RunStats stats;
+    stats.status = preflight_document(document, options_.limits);
+    if (!stats.status.ok()) {
+        return stats;
+    }
     if (query_.root_accepting()) {
-        // The query is exactly `$`: it selects the whole document.
+        // The query is exactly `$`: it selects the whole document. This
+        // path deliberately stays O(1) and unvalidated — the document is
+        // never scanned, so no structural verdict is possible (see
+        // DESIGN.md, "Error handling & limits").
         StructuralIterator iter(document, *kernels_);
         std::size_t start = iter.first_non_ws(0);
         if (start < document.size()) {
@@ -363,19 +454,45 @@ RunStats DescendEngine::dispatch(const PaddedString& document, Sink& sink) const
         }
         return stats;
     }
+    // Whole-document validation rides along with block classification:
+    // per-kind bracket balances plus the end-of-input string state. The
+    // event-driven checks in the simulation catch most damage early with
+    // an exact offset; the verdict below catches what kind-filtered
+    // fast-forwards can step across.
+    StructuralValidator validator;
+    StructuralValidator* vptr = options_.validate_structure ? &validator : nullptr;
     Simulation<Sink> simulation(query_, options_, sink, stats);
     if (query_.head_skip_label().has_value() && options_.head_skipping) {
-        simulation.run_head_skip(document, *kernels_);
+        simulation.run_head_skip(document, *kernels_, vptr);
+        stats.status = simulation.status();
+        // No trailing-content check here: head-skipping never tracks the
+        // root element, so "after the root closed" is undefined for it.
+        if (stats.status.ok() && vptr != nullptr) {
+            stats.status = validator.verdict(document.size());
+        }
         return stats;
     }
-    StructuralIterator iter(document, *kernels_);
+    StructuralIterator iter(document, *kernels_, vptr, options_.limits.max_depth);
     simulation.run_main_loop(iter, /*at_document_root=*/true);
+    stats.status = simulation.status();
+    if (stats.status.ok()) {
+        std::size_t after = iter.first_non_ws(iter.position());
+        if (after < document.size()) {
+            stats.status = {StatusCode::kTrailingContent, after};
+        }
+    }
+    if (stats.status.ok() && vptr != nullptr) {
+        // Sound even though blocks past the root's closer were never
+        // accounted: the trailing check above guarantees they hold only
+        // whitespace, which cannot move a balance.
+        stats.status = validator.verdict(document.size());
+    }
     return stats;
 }
 
-void DescendEngine::run(const PaddedString& document, MatchSink& sink) const
+EngineStatus DescendEngine::run(const PaddedString& document, MatchSink& sink) const
 {
-    dispatch(document, sink);
+    return dispatch(document, sink).status;
 }
 
 RunStats DescendEngine::run_with_stats(const PaddedString& document,

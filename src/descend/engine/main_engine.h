@@ -32,7 +32,7 @@ public:
     }
 
     std::string name() const override;
-    void run(const PaddedString& document, MatchSink& sink) const override;
+    EngineStatus run(const PaddedString& document, MatchSink& sink) const override;
 
     /** Devirtualized counting path (the sink is monomorphized away). */
     std::size_t count(const PaddedString& document) const override;

@@ -1,15 +1,39 @@
 #include "descend/engine/padded_string.h"
 
+#include <cassert>
 #include <cstring>
 #include <fstream>
 #include <new>
 
+#include "descend/simd/dispatch.h"
 #include "descend/util/errors.h"
 
 namespace descend {
 namespace {
 
 constexpr std::size_t kAlignment = 64;
+
+// The classifiers read whole blocks: the final block may extend up to
+// kBlockSize - 1 bytes past size(), and the quote classifier's
+// escape-carry looks one byte further. Demand a full extra block of slack
+// on top so no kernel read can ever leave the allocation.
+static_assert(PaddedString::kPadding >= 2 * simd::kBlockSize,
+              "padding must cover at least two SIMD blocks past the contents");
+
+/** Debug guard for the classifiers' core assumption: everything between
+ *  size() and size() + kPadding is inert whitespace. */
+void assert_padding(const std::uint8_t* data, std::size_t logical_size)
+{
+#ifndef NDEBUG
+    for (std::size_t i = 0; i < PaddedString::kPadding; ++i) {
+        assert(data[logical_size + i] == ' ' &&
+               "padded buffer tail must be spaces");
+    }
+#else
+    (void)data;
+    (void)logical_size;
+#endif
+}
 
 std::uint8_t* allocate_padded(std::size_t logical_size)
 {
@@ -27,6 +51,7 @@ PaddedString::PaddedString(std::string_view contents) : size_(contents.size())
 {
     data_ = allocate_padded(size_);
     std::memcpy(data_, contents.data(), size_);
+    assert_padding(data_, size_);
 }
 
 PaddedString PaddedString::from_file(const std::string& path)
@@ -43,6 +68,7 @@ PaddedString PaddedString::from_file(const std::string& path)
     if (!file.read(reinterpret_cast<char*>(result.data_), size)) {
         throw Error("cannot read file: " + path);
     }
+    assert_padding(result.data_, result.size_);
     return result;
 }
 

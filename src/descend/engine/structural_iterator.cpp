@@ -16,22 +16,42 @@ bool is_ws_byte(std::uint8_t byte)
 }  // namespace
 
 StructuralIterator::StructuralIterator(const PaddedString& input,
-                                       const simd::Kernels& kernels)
+                                       const simd::Kernels& kernels,
+                                       StructuralValidator* validator,
+                                       std::size_t max_skip_depth)
     : data_(input.data()),
       size_(input.size()),
       end_((input.size() + simd::kBlockSize - 1) / simd::kBlockSize * simd::kBlockSize),
       quotes_(kernels),
-      structural_(kernels)
+      structural_(kernels),
+      validator_(validator),
+      max_skip_depth_(max_skip_depth)
 {
     if (end_ > 0) {
         classify_block(/*with_structural=*/true);
     }
 }
 
+void StructuralIterator::fail(StatusCode code, std::size_t offset)
+{
+    if (status_.ok()) {
+        status_ = {code, offset};
+    }
+    // Park at end of input: struct_mask_ stays empty, next() reports
+    // kNone, and the engine observes status() in its end-of-input path.
+    block_start_ = end_;
+    struct_mask_ = 0;
+    in_string_ = 0;
+}
+
 void StructuralIterator::classify_block(bool with_structural)
 {
     block_entry_quote_state_ = quotes_.state();
     classify::QuoteMasks masks = quotes_.classify(data_ + block_start_);
+    if (validator_ != nullptr) {
+        validator_->account(quotes_.kernels(), data_ + block_start_, block_start_,
+                            masks.in_string);
+    }
     in_string_ = masks.in_string;
     unescaped_quotes_ = masks.unescaped_quotes;
     struct_mask_ =
@@ -46,6 +66,11 @@ bool StructuralIterator::advance_block(bool with_structural)
         block_start_ = end_;
         struct_mask_ = 0;
         in_string_ = 0;
+        if (quotes_.state().in_string_carry != 0) {
+            // End of input inside a string: the space padding cannot close
+            // it, so the document's final string is unterminated.
+            fail(StatusCode::kTruncatedString, size_);
+        }
         return false;
     }
     classify_block(with_structural);
@@ -169,15 +194,49 @@ void StructuralIterator::skip_until_depth_zero(classify::BracketKind kind,
             classify::depth_masks(kernels, data_ + block_start_, kind);
         masks.openers &= ~in_string_ & live;
         masks.closers &= ~in_string_ & live;
-        int index = classify::find_depth_zero(masks, relative_depth);
+        int index;
+        if (static_cast<std::size_t>(relative_depth) +
+                static_cast<std::size_t>(bits::popcount(masks.openers)) >
+            max_skip_depth_) {
+            // The bit-parallel step would hide an intra-block depth
+            // excursion past the limit: enforce it with an exact scan of
+            // this block (the guard almost never fires at sane limits).
+            index = -1;
+            for (bits::BitIter it(masks.openers | masks.closers); !it.done();
+                 it.advance()) {
+                int bit = it.index();
+                if (masks.openers & (1ULL << bit)) {
+                    if (static_cast<std::size_t>(relative_depth) >=
+                        max_skip_depth_) {
+                        fail(StatusCode::kDepthLimit,
+                             block_start_ + static_cast<std::size_t>(bit));
+                        return;
+                    }
+                    ++relative_depth;
+                } else if (--relative_depth == 0) {
+                    index = bit;
+                    break;
+                }
+            }
+        } else {
+            index = classify::find_depth_zero(masks, relative_depth);
+        }
         if (index >= 0) {
             floor_ = consume_closer ? index + 1 : index;
             struct_mask_ = structural_.classify(data_ + block_start_) & ~in_string_ &
                            bits::mask_from(floor_);
             return;
         }
+        if (static_cast<std::size_t>(relative_depth) > max_skip_depth_) {
+            fail(StatusCode::kDepthLimit, block_start_ + simd::kBlockSize);
+            return;
+        }
         if (!advance_block(/*with_structural=*/false)) {
-            return;  // malformed input: ran off the end
+            // Malformed input: the element never closed. advance_block
+            // already flagged a truncated string if one swallowed the
+            // closer; otherwise the structure is unbalanced.
+            fail(StatusCode::kUnbalancedStructure, size_);
+            return;
         }
         live = ~0ULL;
     }
@@ -244,6 +303,11 @@ StructuralIterator::WithinResult StructuralIterator::skip_to_label_within(
             std::size_t pos = block_start_ + static_cast<std::size_t>(bit);
             if (openers & bit_mask) {
                 ++relative_depth;
+                if (static_cast<std::size_t>(relative_depth) > max_skip_depth_) {
+                    fail(StatusCode::kDepthLimit, pos);
+                    result.outcome = WithinResult::Outcome::kInputEnd;
+                    return result;
+                }
                 opened.push(data_[pos] == classify::kOpenBrace);
                 continue;
             }
@@ -276,6 +340,9 @@ StructuralIterator::WithinResult StructuralIterator::skip_to_label_within(
             return result;
         }
         if (!advance_block(/*with_structural=*/false)) {
+            // The element never closed (or its closer sits beyond the
+            // in-string flag advance_block raised): unbalanced structure.
+            fail(StatusCode::kUnbalancedStructure, size_);
             break;
         }
         live = ~0ULL;

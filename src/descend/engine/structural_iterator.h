@@ -24,8 +24,10 @@
 #include "descend/classify/quote_classifier.h"
 #include "descend/classify/structural_classifier.h"
 #include "descend/engine/padded_string.h"
+#include "descend/engine/validation.h"
 #include "descend/simd/dispatch.h"
 #include "descend/util/bit_stack.h"
+#include "descend/util/status.h"
 
 namespace descend {
 
@@ -53,7 +55,25 @@ public:
         std::size_t pos = 0;
     };
 
-    StructuralIterator(const PaddedString& input, const simd::Kernels& kernels);
+    /**
+     * @param validator optional shared whole-document validator; every
+     *        block this iterator classifies is accounted there once.
+     * @param max_skip_depth relative-nesting bound enforced inside the
+     *        depth-classifier fast-forwards (the engine bounds the depth
+     *        it tracks itself; this guards the depth the skips traverse).
+     */
+    StructuralIterator(const PaddedString& input, const simd::Kernels& kernels,
+                       StructuralValidator* validator = nullptr,
+                       std::size_t max_skip_depth = EngineLimits::kUnlimited);
+
+    /**
+     * Malformed-input flag raised while iterating: truncated string at
+     * end of input, a fast-forward running off the end (unbalanced
+     * structure), or the skip-depth limit. Once set, the iterator parks
+     * at end of input and next() reports kNone, so engines observe the
+     * status at their end-of-input handling.
+     */
+    const EngineStatus& status() const noexcept { return status_; }
 
     /** Consumes and returns the next enabled structural character. */
     Event next();
@@ -163,12 +183,18 @@ private:
 
     Event event_at(int bit) const;
 
+    /** Records the first malformed-input condition and parks at end. */
+    void fail(StatusCode code, std::size_t offset);
+
     const std::uint8_t* data_;
     std::size_t size_;
     std::size_t end_;  ///< block-aligned end of classified input
 
     classify::QuoteClassifier quotes_;
     classify::StructuralClassifier structural_;
+    StructuralValidator* validator_ = nullptr;
+    std::size_t max_skip_depth_;
+    EngineStatus status_;
 
     /** Repositions to @p pos (>= current position), rolling the quote
      *  pipeline forward and reclassifying the target block from there. */

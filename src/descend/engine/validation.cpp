@@ -1,0 +1,35 @@
+#include "descend/engine/validation.h"
+
+namespace descend {
+namespace {
+
+bool is_ws_byte(std::uint8_t byte)
+{
+    return byte == ' ' || byte == '\t' || byte == '\n' || byte == '\r';
+}
+
+}  // namespace
+
+EngineStatus preflight_document(const PaddedString& document,
+                                const EngineLimits& limits)
+{
+    if (document.size() > limits.max_document_size) {
+        return {StatusCode::kSizeLimit, limits.max_document_size};
+    }
+    const std::uint8_t* data = document.data();
+    std::size_t size = document.size();
+    if (size >= 3 && data[0] == 0xef && data[1] == 0xbb && data[2] == 0xbf) {
+        // A UTF-8 byte-order mark is not valid JSON (RFC 8259 §8.1).
+        return {StatusCode::kInvalidDocument, 0};
+    }
+    std::size_t first = 0;
+    while (first < size && is_ws_byte(data[first])) {
+        ++first;
+    }
+    if (first == size) {
+        return {StatusCode::kEmptyDocument, size};
+    }
+    return {};
+}
+
+}  // namespace descend

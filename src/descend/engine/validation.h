@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Malformed-input detection shared by the streaming engines.
+ *
+ * Two pieces:
+ *
+ *  - preflight_document(): O(1)-ish checks every engine performs before
+ *    touching the classifier pipeline — size limit, UTF-8 BOM, and
+ *    empty/whitespace-only input.
+ *
+ *  - StructuralValidator: a whole-document structural check that rides
+ *    along with block classification instead of re-scanning. Every 64-byte
+ *    block flows through exactly one quote-classification site (the
+ *    structural iterator or the label search; the stop/resume protocol
+ *    guarantees in-order, no-gap coverage), and each site reports its
+ *    block here once. The validator accumulates per-kind bracket balances
+ *    ('{'/'}' and '['/']' counted separately, in-string positions masked
+ *    out) and remembers whether the final block ended inside a string.
+ *
+ *    The per-kind balances catch what the skipping engines structurally
+ *    cannot see locally: any single byte-level corruption of a bracket
+ *    (delete / insert / kind-flip) leaves at least one balance nonzero,
+ *    even when a kind-filtered fast-forward would happily jump across the
+ *    damage. The end-of-input string state catches unterminated strings,
+ *    including a lone '\\' swallowing the padding. Cost: four eq_mask +
+ *    four popcount per block, only in paths that already classify blocks.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "descend/classify/structural_classifier.h"
+#include "descend/engine/padded_string.h"
+#include "descend/simd/dispatch.h"
+#include "descend/util/bits.h"
+#include "descend/util/status.h"
+
+namespace descend {
+
+/** Size / BOM / emptiness checks shared by all four engines. */
+EngineStatus preflight_document(const PaddedString& document,
+                                const EngineLimits& limits);
+
+class StructuralValidator {
+public:
+    /**
+     * Accounts one classified block. Call with the block's start offset,
+     * its in-string mask, and the kernels that classified it; blocks must
+     * arrive in order and are counted exactly once (re-classification of
+     * an already-counted block, as the resume protocol performs, is
+     * ignored via the monotone counter).
+     */
+    void account(const simd::Kernels& kernels, const std::uint8_t* block,
+                 std::size_t block_start, std::uint64_t in_string) noexcept
+    {
+        if (block_start != counted_until_) {
+            return;
+        }
+        counted_until_ += simd::kBlockSize;
+        std::uint64_t not_string = ~in_string;
+        obj_balance_ += static_cast<std::int64_t>(bits::popcount(
+            kernels.eq_mask(block, classify::kOpenBrace) & not_string));
+        obj_balance_ -= static_cast<std::int64_t>(bits::popcount(
+            kernels.eq_mask(block, classify::kCloseBrace) & not_string));
+        arr_balance_ += static_cast<std::int64_t>(bits::popcount(
+            kernels.eq_mask(block, classify::kOpenBracket) & not_string));
+        arr_balance_ -= static_cast<std::int64_t>(bits::popcount(
+            kernels.eq_mask(block, classify::kCloseBracket) & not_string));
+        ends_in_string_ = (in_string >> 63) & 1;
+    }
+
+    /** Number of bytes covered by accounted blocks so far. */
+    std::size_t counted_until() const noexcept { return counted_until_; }
+
+    /**
+     * Final verdict once the engine has either classified the whole
+     * document or verified that the unclassified tail is whitespace-only
+     * (whitespace holds no brackets and cannot keep a string open, so the
+     * accounted prefix is the whole structural story either way).
+     */
+    EngineStatus verdict(std::size_t document_size) const noexcept
+    {
+        if (ends_in_string_) {
+            return {StatusCode::kTruncatedString, document_size};
+        }
+        if (obj_balance_ != 0 || arr_balance_ != 0) {
+            return {StatusCode::kUnbalancedStructure, document_size};
+        }
+        return {};
+    }
+
+private:
+    std::size_t counted_until_ = 0;
+    std::int64_t obj_balance_ = 0;
+    std::int64_t arr_balance_ = 0;
+    bool ends_in_string_ = false;
+};
+
+}  // namespace descend

@@ -115,8 +115,9 @@ private:
 
 /** Options for the strict parser. */
 struct ParseOptions {
-    /** Maximum container nesting; protects the recursive parser's stack. */
-    std::size_t max_depth = 4096;
+    /** Maximum container nesting; protects the recursive parser's stack
+     *  (matches EngineLimits::max_depth and simdjson's default). */
+    std::size_t max_depth = 1024;
 };
 
 /**

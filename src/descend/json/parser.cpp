@@ -8,6 +8,7 @@
 
 #include "descend/json/dom.h"
 #include "descend/util/errors.h"
+#include "descend/util/utf8.h"
 
 namespace descend::json {
 namespace {
@@ -39,15 +40,16 @@ public:
         document.root_ = parse_value(0);
         skip_ws();
         if (pos_ != text_.size()) {
-            fail("trailing content after document");
+            fail("trailing content after document", StatusCode::kTrailingContent);
         }
         return document;
     }
 
 private:
-    [[noreturn]] void fail(const std::string& message) const
+    [[noreturn]] void fail(const std::string& message,
+                           StatusCode code = StatusCode::kInvalidDocument) const
     {
-        throw ParseError(message, pos_);
+        throw ParseError(message, pos_, code);
     }
 
     bool at_end() const { return pos_ >= text_.size(); }
@@ -55,7 +57,9 @@ private:
     char peek() const
     {
         if (at_end()) {
-            throw ParseError("unexpected end of input", pos_);
+            // A value or separator was expected: the structure is open.
+            throw ParseError("unexpected end of input", pos_,
+                             StatusCode::kUnbalancedStructure);
         }
         return text_[pos_];
     }
@@ -84,9 +88,6 @@ private:
 
     Value* parse_value(std::size_t depth)
     {
-        if (depth > options_.max_depth) {
-            fail("maximum nesting depth exceeded");
-        }
         Value* value = document_->allocate();
         value->offset_ = pos_;
         switch (peek()) {
@@ -118,6 +119,12 @@ private:
 
     void parse_object(Value* value, std::size_t depth)
     {
+        // @p depth containers enclose this one; opening it makes depth + 1,
+        // which must stay within the limit (matching the streaming engines'
+        // open-container count exactly).
+        if (depth >= options_.max_depth) {
+            fail("maximum nesting depth exceeded", StatusCode::kDepthLimit);
+        }
         value->type_ = Type::kObject;
         expect('{');
         skip_ws();
@@ -130,9 +137,14 @@ private:
             if (peek() != '"') {
                 fail("expected object key");
             }
+            std::size_t key_offset = pos_ + 1;  // first byte after the quote
             std::string key(parse_raw_string());
             // Validate the key's escapes eagerly; the raw form is stored.
             unescape(key);
+            if (!util::is_valid_utf8(key)) {
+                throw ParseError("invalid UTF-8 in object key", key_offset,
+                                 StatusCode::kInvalidUtf8InLabel);
+            }
             skip_ws();
             expect(':');
             skip_ws();
@@ -145,13 +157,17 @@ private:
             }
             if (c != ',') {
                 --pos_;
-                fail("expected ',' or '}' in object");
+                fail("expected ',' or '}' in object",
+                     StatusCode::kUnbalancedStructure);
             }
         }
     }
 
     void parse_array(Value* value, std::size_t depth)
     {
+        if (depth >= options_.max_depth) {
+            fail("maximum nesting depth exceeded", StatusCode::kDepthLimit);
+        }
         value->type_ = Type::kArray;
         expect('[');
         skip_ws();
@@ -169,7 +185,8 @@ private:
             }
             if (c != ',') {
                 --pos_;
-                fail("expected ',' or ']' in array");
+                fail("expected ',' or ']' in array",
+                     StatusCode::kUnbalancedStructure);
             }
         }
     }
@@ -178,20 +195,31 @@ private:
     std::string_view parse_raw_string()
     {
         expect('"');
+        std::size_t open = pos_ - 1;
         std::size_t start = pos_;
         while (true) {
-            char c = advance();
+            if (at_end()) {
+                throw ParseError("unterminated string", open,
+                                 StatusCode::kTruncatedString);
+            }
+            char c = text_[pos_++];
             if (c == '"') {
                 return text_.substr(start, pos_ - 1 - start);
             }
             if (c == '\\') {
-                char escaped = advance();
+                if (at_end()) {
+                    // A lone backslash as the final byte truncates both the
+                    // escape and the string.
+                    throw ParseError("unterminated string", open,
+                                     StatusCode::kTruncatedString);
+                }
+                char escaped = text_[pos_++];
                 if (escaped == 'u') {
                     for (int i = 0; i < 4; ++i) {
-                        if (!is_hex(advance())) {
-                            --pos_;
+                        if (at_end() || !is_hex(text_[pos_])) {
                             fail("invalid \\u escape");
                         }
+                        ++pos_;
                     }
                 } else if (std::strchr("\"\\/bfnrt", escaped) == nullptr) {
                     --pos_;

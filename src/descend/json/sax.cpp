@@ -8,30 +8,44 @@ bool is_ws(char c)
     return c == ' ' || c == '\t' || c == '\n' || c == '\r';
 }
 
-/** Scans a raw string starting at the opening quote; returns the position
- *  one past the closing quote. */
-std::size_t scan_string(std::string_view text, std::size_t pos)
+struct StringScan {
+    std::size_t end;  ///< one past the closing quote (input size if unclosed)
+    bool closed;
+};
+
+/** Scans a raw string starting at the opening quote. */
+StringScan scan_string(std::string_view text, std::size_t pos)
 {
     ++pos;  // opening quote
     while (pos < text.size()) {
         char c = text[pos];
         if (c == '\\') {
+            if (pos + 1 >= text.size()) {
+                // A lone backslash as the final byte: the escape — and the
+                // string — are truncated.
+                return {text.size(), false};
+            }
             pos += 2;
         } else if (c == '"') {
-            return pos + 1;
+            return {pos + 1, true};
         } else {
             ++pos;
         }
     }
-    return pos;
+    return {text.size(), false};
 }
 
-/** Scans a non-string atom (number / true / false / null). */
+/** Scans a non-string atom (number / true / false / null). Every
+ *  structural byte ends the atom — including openers and quotes, which are
+ *  grammatically impossible inside an atom but must surface as events so
+ *  damaged input (e.g. `12{3`) is seen the same way the SIMD engines'
+ *  classifiers see it: brackets outside strings are always structural. */
 std::size_t scan_atom(std::string_view text, std::size_t pos)
 {
     while (pos < text.size()) {
         char c = text[pos];
-        if (is_ws(c) || c == ',' || c == '}' || c == ']') {
+        if (is_ws(c) || c == ',' || c == ':' || c == '}' || c == ']' ||
+            c == '{' || c == '[' || c == '"') {
             return pos;
         }
         ++pos;
@@ -41,7 +55,7 @@ std::size_t scan_atom(std::string_view text, std::size_t pos)
 
 }  // namespace
 
-void sax_parse(std::string_view text, SaxHandler& handler)
+EngineStatus sax_parse(std::string_view text, SaxHandler& handler)
 {
     std::size_t pos = 0;
     while (pos < text.size()) {
@@ -56,10 +70,13 @@ void sax_parse(std::string_view text, SaxHandler& handler)
             case '[': handler.on_array_start(pos); ++pos; break;
             case ']': handler.on_array_end(pos); ++pos; break;
             case '"': {
-                std::size_t end = scan_string(text, pos);
-                std::string_view raw = text.substr(pos + 1, end - pos - 2);
+                StringScan scan = scan_string(text, pos);
+                if (!scan.closed) {
+                    return {StatusCode::kTruncatedString, pos};
+                }
+                std::string_view raw = text.substr(pos + 1, scan.end - pos - 2);
                 // A string followed (after whitespace) by a colon is a key.
-                std::size_t after = end;
+                std::size_t after = scan.end;
                 while (after < text.size() && is_ws(text[after])) {
                     ++after;
                 }
@@ -68,7 +85,7 @@ void sax_parse(std::string_view text, SaxHandler& handler)
                     pos = after + 1;
                 } else {
                     handler.on_atom(raw, pos);
-                    pos = end;
+                    pos = scan.end;
                 }
                 break;
             }
@@ -80,6 +97,7 @@ void sax_parse(std::string_view text, SaxHandler& handler)
             }
         }
     }
+    return {};
 }
 
 }  // namespace descend::json

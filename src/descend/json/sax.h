@@ -7,13 +7,16 @@
  * byte inspected sequentially, events delivered through a handler, a full
  * stack maintained by the consumer, and no SIMD anywhere.
  *
- * The tokenizer is permissive (it assumes well-formed input, like the
- * streaming engines) but handles strings/escapes exactly.
+ * The tokenizer is permissive about token grammar (like the streaming
+ * engines) but handles strings/escapes exactly, and reports a structured
+ * status for input that ends inside a string.
  */
 #pragma once
 
 #include <cstddef>
 #include <string_view>
+
+#include "descend/util/status.h"
 
 namespace descend::json {
 
@@ -36,7 +39,12 @@ public:
     virtual void on_atom(std::string_view raw_atom, std::size_t offset) = 0;
 };
 
-/** Streams the document through the handler. */
-void sax_parse(std::string_view text, SaxHandler& handler);
+/**
+ * Streams the document through the handler. Returns kTruncatedString
+ * (offset of the opening quote) when the input ends inside a string —
+ * including a lone '\\' as the final byte; structural balance is the
+ * consumer's job (the handler sees every bracket event).
+ */
+EngineStatus sax_parse(std::string_view text, SaxHandler& handler);
 
 }  // namespace descend::json

@@ -15,9 +15,31 @@ QueryError::QueryError(const std::string& message, std::size_t position)
 {
 }
 
-ParseError::ParseError(const std::string& message, std::size_t position)
-    : Error(with_position(message, position)), position_(position)
+ParseError::ParseError(const std::string& message, std::size_t position,
+                       StatusCode code)
+    : Error(with_position(message, position)), position_(position), code_(code)
 {
+}
+
+ResourceLimitError::ResourceLimitError(const EngineStatus& status)
+    : LimitError(to_string(status)), status_(status)
+{
+}
+
+DocumentError::DocumentError(const EngineStatus& status)
+    : Error(to_string(status)), status_(status)
+{
+}
+
+void raise_status(const EngineStatus& status)
+{
+    if (status.ok()) {
+        return;
+    }
+    if (status.is_limit()) {
+        throw ResourceLimitError(status);
+    }
+    throw DocumentError(status);
 }
 
 }  // namespace descend

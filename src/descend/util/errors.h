@@ -2,17 +2,29 @@
  * @file
  * Exception hierarchy shared across the descend library.
  *
- * Policy (see DESIGN.md): user-facing inputs that can be malformed — the
- * JSONPath query text and JSON documents fed to the strict DOM parser —
- * report problems via exceptions carrying a byte offset. The streaming
- * engine itself assumes well-formed JSON (as rsonpath does) and never
- * throws on document content.
+ * Policy (see DESIGN.md, "Error handling & limits"): user-facing inputs
+ * that can be malformed report problems in two ways.
+ *
+ *  - The JSONPath query text and the strict DOM parser throw exceptions
+ *    carrying a byte offset (QueryError, ParseError) — these are
+ *    construction-time errors the caller must handle once.
+ *  - Engine runs never throw on document content: run() returns a
+ *    structured EngineStatus (code + byte offset), so the streaming hot
+ *    path stays exception-free and differential tests can compare error
+ *    classifications across engines. Callers that prefer exceptions wrap
+ *    the status with raise_status().
+ *
+ * Resource limits (nesting depth, document size, match count) surface as
+ * limit-class EngineStatus codes; raise_status() maps them onto the
+ * LimitError family.
  */
 #pragma once
 
 #include <cstddef>
 #include <stdexcept>
 #include <string>
+
+#include "descend/util/status.h"
 
 namespace descend {
 
@@ -37,13 +49,18 @@ private:
 /** Raised by the strict DOM parser on malformed JSON. */
 class ParseError : public Error {
 public:
-    ParseError(const std::string& message, std::size_t position);
+    ParseError(const std::string& message, std::size_t position,
+               StatusCode code = StatusCode::kInvalidDocument);
 
     /** Byte offset into the document where the problem was detected. */
     std::size_t position() const noexcept { return position_; }
 
+    /** The status-taxonomy classification of this parse failure. */
+    StatusCode code() const noexcept { return code_; }
+
 private:
     std::size_t position_;
+    StatusCode code_;
 };
 
 /** Raised when a query exceeds implementation limits (e.g. DFA blowup). */
@@ -51,5 +68,34 @@ class LimitError : public Error {
 public:
     explicit LimitError(const std::string& message) : Error(message) {}
 };
+
+/** Raised by raise_status() for limit-class run outcomes. */
+class ResourceLimitError : public LimitError {
+public:
+    explicit ResourceLimitError(const EngineStatus& status);
+
+    const EngineStatus& status() const noexcept { return status_; }
+
+private:
+    EngineStatus status_;
+};
+
+/** Raised by raise_status() for malformed-document run outcomes. */
+class DocumentError : public Error {
+public:
+    explicit DocumentError(const EngineStatus& status);
+
+    const EngineStatus& status() const noexcept { return status_; }
+
+private:
+    EngineStatus status_;
+};
+
+/**
+ * Exception bridge for the Result-style engine API: no-op for ok
+ * statuses, throws ResourceLimitError for limit-class outcomes and
+ * DocumentError for malformed-document outcomes.
+ */
+void raise_status(const EngineStatus& status);
 
 }  // namespace descend

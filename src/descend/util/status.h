@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Structured run outcomes and resource limits shared by every engine.
+ *
+ * The streaming engines historically assumed well-formed JSON and bailed
+ * silently on malformed input, returning a truncated match set with no
+ * signal to the caller. EngineStatus replaces that: every engine's run()
+ * reports a status code plus the byte offset at which the problem was
+ * detected, so garbage-in produces a diagnosable error instead of a
+ * silently-wrong answer. EngineLimits bounds the resources a single run
+ * may consume (nesting depth, document size, match count), turning
+ * adversarial inputs into clean limit errors instead of overflows.
+ *
+ * See DESIGN.md ("Error handling & limits") for the taxonomy, the
+ * detection guarantees of each engine, and the defaults' rationale.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace descend {
+
+/** Classification of a single engine run's outcome. */
+enum class StatusCode : std::uint8_t {
+    kOk = 0,
+    /** The document holds no non-whitespace content at all. */
+    kEmptyDocument,
+    /** Grammar-level problem: BOM prefix, bad literal/number/escape
+     *  (reported by the strict DOM parser; streaming engines are
+     *  deliberately permissive about token grammar). */
+    kInvalidDocument,
+    /** Stray closer, mismatched closer kind, or input ended while
+     *  containers were still open. */
+    kUnbalancedStructure,
+    /** Input ended inside a string (includes a lone '\\' at EOF). */
+    kTruncatedString,
+    /** Non-whitespace content after the root value closed. */
+    kTrailingContent,
+    /** An object member label is not valid UTF-8. */
+    kInvalidUtf8InLabel,
+    /** EngineLimits::max_depth exceeded. */
+    kDepthLimit,
+    /** EngineLimits::max_document_size exceeded. */
+    kSizeLimit,
+    /** EngineLimits::max_match_count exceeded. */
+    kMatchLimit,
+};
+
+/** Human-readable name of a status code. */
+constexpr const char* status_name(StatusCode code) noexcept
+{
+    switch (code) {
+        case StatusCode::kOk: return "ok";
+        case StatusCode::kEmptyDocument: return "empty document";
+        case StatusCode::kInvalidDocument: return "invalid document";
+        case StatusCode::kUnbalancedStructure: return "unbalanced structure";
+        case StatusCode::kTruncatedString: return "truncated string";
+        case StatusCode::kTrailingContent: return "trailing content";
+        case StatusCode::kInvalidUtf8InLabel: return "invalid UTF-8 in label";
+        case StatusCode::kDepthLimit: return "depth limit exceeded";
+        case StatusCode::kSizeLimit: return "document size limit exceeded";
+        case StatusCode::kMatchLimit: return "match count limit exceeded";
+    }
+    return "unknown";
+}
+
+/**
+ * The Result-style outcome of one engine run: a code plus the byte offset
+ * into the document at which the problem was detected (the document size
+ * for end-of-input conditions). Default-constructed means success.
+ */
+struct EngineStatus {
+    StatusCode code = StatusCode::kOk;
+    std::size_t offset = 0;
+
+    constexpr bool ok() const noexcept { return code == StatusCode::kOk; }
+
+    /** True for resource-limit outcomes (vs. malformed-input outcomes). */
+    constexpr bool is_limit() const noexcept
+    {
+        return code == StatusCode::kDepthLimit || code == StatusCode::kSizeLimit ||
+               code == StatusCode::kMatchLimit;
+    }
+
+    friend constexpr bool operator==(const EngineStatus& a,
+                                     const EngineStatus& b) noexcept
+    {
+        return a.code == b.code && a.offset == b.offset;
+    }
+    friend constexpr bool operator!=(const EngineStatus& a,
+                                     const EngineStatus& b) noexcept
+    {
+        return !(a == b);
+    }
+};
+
+/** "<name> at byte <offset>", for logs and error messages. */
+inline std::string to_string(const EngineStatus& status)
+{
+    std::string text = status_name(status.code);
+    if (!status.ok()) {
+        text += " at byte " + std::to_string(status.offset);
+    }
+    return text;
+}
+
+inline std::ostream& operator<<(std::ostream& out, const EngineStatus& status)
+{
+    return out << to_string(status);
+}
+
+/**
+ * Resource limits enforced by every engine. Defaults are generous enough
+ * for all benchmark workloads while keeping adversarial inputs (10k-deep
+ * nesting, unbounded match floods) from exhausting stack or memory.
+ */
+struct EngineLimits {
+    static constexpr std::size_t kUnlimited =
+        std::numeric_limits<std::size_t>::max();
+
+    /** Maximum container nesting depth (matches json::ParseOptions and
+     *  simdjson's default). Kept low enough that the recursive DOM parser
+     *  can reach the limit without exhausting the thread stack, even with
+     *  sanitizer-inflated frames. */
+    std::size_t max_depth = 1024;
+    /** Maximum document size in bytes accepted by run(). */
+    std::size_t max_document_size = kUnlimited;
+    /** Maximum number of matches reported to the sink. */
+    std::size_t max_match_count = kUnlimited;
+};
+
+}  // namespace descend

@@ -101,11 +101,18 @@ inline void expect_all_engines_agree(const std::string& query,
 
     PaddedString padded(document);
     SurferEngine surfer(automaton::CompiledQuery::compile(query));
-    EXPECT_EQ(surfer.offsets(padded), expected) << "engine: surfer";
+    OffsetSink surfer_sink;
+    EXPECT_EQ(surfer.run(padded, surfer_sink), EngineStatus{})
+        << "engine: surfer reported a non-ok status on well-formed input";
+    EXPECT_EQ(surfer_sink.offsets(), expected) << "engine: surfer";
 
     for (const EngineOptions& options : engine_configurations()) {
         DescendEngine engine(automaton::CompiledQuery::compile(query), options);
-        EXPECT_EQ(engine.offsets(padded), expected)
+        OffsetSink sink;
+        EXPECT_EQ(engine.run(padded, sink), EngineStatus{})
+            << "engine: descend [" << describe(options)
+            << "] reported a non-ok status on well-formed input";
+        EXPECT_EQ(sink.offsets(), expected)
             << "engine: descend [" << describe(options) << "]";
     }
 }

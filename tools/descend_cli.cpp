@@ -114,13 +114,17 @@ std::unique_ptr<JsonPathEngine> make_engine(const CliOptions& options)
     }
     if (options.engine == "surfer") {
         return std::make_unique<SurferEngine>(
-            automaton::CompiledQuery::compile(options.query));
+            automaton::CompiledQuery::compile(options.query),
+            options.engine_options.limits);
     }
     if (options.engine == "ski") {
-        return std::make_unique<SkiEngine>(query::Query::parse(options.query));
+        return std::make_unique<SkiEngine>(query::Query::parse(options.query),
+                                           options.engine_options.simd,
+                                           options.engine_options.limits);
     }
     if (options.engine == "dom") {
-        return std::make_unique<DomEngine>(query::Query::parse(options.query));
+        return std::make_unique<DomEngine>(query::Query::parse(options.query),
+                                           options.engine_options.limits);
     }
     throw Error("unknown engine: " + options.engine);
 }
@@ -144,7 +148,14 @@ int run_on(const CliOptions& options, const JsonPathEngine& engine,
     const char* separator = options.files.size() > 1 ? ": " : "";
 
     if (options.count_only && !options.stats) {
-        std::printf("%s%s%zu\n", prefix, separator, engine.count(document));
+        CountSink count_sink;
+        EngineStatus count_status = engine.run(document, count_sink);
+        if (!count_status.ok()) {
+            std::fprintf(stderr, "descend-cli: %s%s%s\n", prefix, separator,
+                         to_string(count_status).c_str());
+            return 1;
+        }
+        std::printf("%s%s%zu\n", prefix, separator, count_sink.count());
         return 0;
     }
     OffsetSink sink;
@@ -152,7 +163,12 @@ int run_on(const CliOptions& options, const JsonPathEngine& engine,
     if (const auto* descend_engine = dynamic_cast<const DescendEngine*>(&engine)) {
         stats = descend_engine->run_with_stats(document, sink);
     } else {
-        engine.run(document, sink);
+        stats.status = engine.run(document, sink);
+    }
+    if (!stats.status.ok()) {
+        std::fprintf(stderr, "descend-cli: %s%s%s\n", prefix, separator,
+                     to_string(stats.status).c_str());
+        return 1;
     }
     if (options.count_only) {
         std::printf("%s%s%zu\n", prefix, separator, sink.offsets().size());
@@ -192,6 +208,7 @@ int run_ndjson(const CliOptions& options, const JsonPathEngine& engine,
     std::string_view text = input.view();
     std::size_t line_number = 0;
     std::size_t start = 0;
+    int worst = 0;
     while (start <= text.size()) {
         std::size_t end = text.find('\n', start);
         if (end == std::string_view::npos) {
@@ -202,14 +219,17 @@ int run_ndjson(const CliOptions& options, const JsonPathEngine& engine,
         if (!line.empty()) {
             PaddedString document(line);
             std::printf("line %zu: ", line_number);
-            run_on(options, engine, "", document);
+            int status = run_on(options, engine, "", document);
+            if (status > worst) {
+                worst = status;
+            }
         }
         if (end == text.size()) {
             break;
         }
         start = end + 1;
     }
-    return 0;
+    return worst;
 }
 
 }  // namespace

@@ -77,6 +77,17 @@ int report_mismatch(const std::string& document, const std::string& query,
     return 1;
 }
 
+int report_status(const std::string& document, const std::string& query,
+                  const std::string& engine_name, const EngineStatus& status)
+{
+    std::printf(
+        "FALSE POSITIVE (non-ok status on well-formed input)\n"
+        "query: %s\nengine: %s\nstatus: %s\ndocument:\n%s\n",
+        query.c_str(), engine_name.c_str(), to_string(status).c_str(),
+        document.c_str());
+    return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -102,21 +113,39 @@ int main(int argc, char** argv)
                 /*allow_indices=*/true);
             auto compiled = automaton::CompiledQuery::compile(query_text);
             DomEngine oracle(query::Query::parse(query_text));
-            std::vector<std::size_t> expected = oracle.offsets(padded);
+            OffsetSink oracle_sink;
+            EngineStatus oracle_status = oracle.run(padded, oracle_sink);
+            if (!oracle_status.ok()) {
+                return report_status(document, query_text, "dom", oracle_status);
+            }
+            const std::vector<std::size_t>& expected = oracle_sink.offsets();
 
             SurferEngine surfer(compiled);
-            std::vector<std::size_t> surfer_offsets = surfer.offsets(padded);
-            if (surfer_offsets != expected) {
+            OffsetSink surfer_sink;
+            EngineStatus surfer_status = surfer.run(padded, surfer_sink);
+            if (!surfer_status.ok()) {
+                // Generated documents are well-formed: any non-ok status is
+                // a validator false positive.
+                return report_status(document, query_text, "surfer",
+                                     surfer_status);
+            }
+            if (surfer_sink.offsets() != expected) {
                 return report_mismatch(document, query_text, "surfer", expected,
-                                       surfer_offsets);
+                                       surfer_sink.offsets());
             }
             for (const EngineOptions& config : configs) {
                 DescendEngine engine(compiled, config);
-                std::vector<std::size_t> actual = engine.offsets(padded);
-                if (actual != expected) {
+                OffsetSink sink;
+                EngineStatus status = engine.run(padded, sink);
+                if (!status.ok()) {
+                    return report_status(document, query_text,
+                                         "descend[" + describe(config) + "]",
+                                         status);
+                }
+                if (sink.offsets() != expected) {
                     return report_mismatch(document, query_text,
                                            "descend[" + describe(config) + "]",
-                                           expected, actual);
+                                           expected, sink.offsets());
                 }
             }
         }

@@ -1,0 +1,614 @@
+/**
+ * @file
+ * fuzz_engine: mutation-based differential fuzzing of all four engines on
+ * malformed and adversarial inputs.
+ *
+ * difftest fuzzes *well-formed* documents; this harness attacks the other
+ * half of the robustness contract. It takes the deterministic workload
+ * generators as seed documents, applies single-byte structural mutations
+ * (delete/insert/flip brackets and quotes, escape damage, truncation at
+ * every 64-byte block boundary), and checks every engine against an
+ * independent scalar structural oracle:
+ *
+ *  - if the mutant is still structurally well-formed and the strict DOM
+ *    parser accepts it, every engine must return an ok status and the
+ *    exact DOM match set (no skip may be confused by near-miss damage);
+ *  - if the oracle says the mutant is damaged, every engine must return a
+ *    non-ok, non-limit EngineStatus — never a silently truncated match
+ *    set, never a crash (run under the asan preset for full effect).
+ *
+ * Documented detection limitations are encoded here, in one place:
+ * head-skip mode and the JSONSki baseline cannot flag trailing content
+ * after an atomic root (see DESIGN.md, "Error handling & limits").
+ *
+ *   fuzz_engine [--iterations N] [--seed S] [--verbose]
+ *
+ * Exits non-zero on the first disagreement, printing a self-contained
+ * reproducer (seed dataset, mutation, document, statuses).
+ */
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "descend/baselines/dom_engine.h"
+#include "descend/baselines/ski_engine.h"
+#include "descend/baselines/surfer_engine.h"
+#include "descend/descend.h"
+#include "descend/json/dom.h"
+#include "descend/workloads/datasets.h"
+
+namespace {
+
+using namespace descend;
+
+// ---------------------------------------------------------------------------
+// Independent structural oracle.
+//
+// A deliberately naive scalar scan sharing no code with the engines: string
+// and escape tracking, a bracket stack with kinds, root/trailing tracking.
+// It models exactly the *structural* layer the streaming engines promise to
+// validate; token grammar (bad literals, missing commas) is out of scope —
+// the strict DOM parser covers that side.
+// ---------------------------------------------------------------------------
+
+enum class OracleClass {
+    kOk,        ///< structurally well-formed
+    kEmpty,     ///< nothing but whitespace
+    kMalformed, ///< unbalanced / mismatched / truncated string / BOM
+    kTrailing,  ///< non-whitespace after the completed root value
+    kDepth,     ///< nesting beyond EngineLimits::max_depth
+};
+
+const char* oracle_class_name(OracleClass cls)
+{
+    switch (cls) {
+        case OracleClass::kOk: return "ok";
+        case OracleClass::kEmpty: return "empty";
+        case OracleClass::kMalformed: return "malformed";
+        case OracleClass::kTrailing: return "trailing";
+        case OracleClass::kDepth: return "depth";
+    }
+    return "?";
+}
+
+bool oracle_is_ws(char c)
+{
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+OracleClass classify_structure(const std::string& doc, std::size_t max_depth)
+{
+    if (doc.size() >= 3 && std::memcmp(doc.data(), "\xEF\xBB\xBF", 3) == 0) {
+        return OracleClass::kMalformed;
+    }
+    std::vector<char> stack;
+    bool in_string = false;
+    bool escaped = false;
+    bool root_done = false;
+    bool in_root_atom = false;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+        char c = doc[i];
+        if (in_string) {
+            if (escaped) {
+                escaped = false;
+            } else if (c == '\\') {
+                escaped = true;
+            } else if (c == '"') {
+                in_string = false;
+                if (stack.empty() && !in_root_atom) {
+                    root_done = true;
+                }
+            }
+            continue;
+        }
+        bool structural = c == '{' || c == '}' || c == '[' || c == ']' ||
+                          c == '"' || c == ',' || c == ':';
+        if (in_root_atom && (oracle_is_ws(c) || structural)) {
+            in_root_atom = false;
+            root_done = true;
+        }
+        if (oracle_is_ws(c)) {
+            continue;
+        }
+        if (stack.empty() && root_done && c != '}' && c != ']') {
+            return OracleClass::kTrailing;
+        }
+        switch (c) {
+            case '{':
+            case '[':
+                if (stack.size() >= max_depth) {
+                    return OracleClass::kDepth;
+                }
+                stack.push_back(c);
+                break;
+            case '}':
+            case ']':
+                if (stack.empty()) {
+                    return OracleClass::kMalformed;  // stray closer
+                }
+                if ((c == '}') != (stack.back() == '{')) {
+                    return OracleClass::kMalformed;  // kind mismatch
+                }
+                stack.pop_back();
+                if (stack.empty()) {
+                    root_done = true;
+                }
+                break;
+            case '"':
+                in_string = true;
+                break;
+            case ',':
+            case ':':
+                break;  // grammar, not structure
+            default:
+                if (stack.empty()) {
+                    in_root_atom = true;  // root atom byte
+                }
+                break;
+        }
+    }
+    if (in_string) {
+        return OracleClass::kMalformed;  // truncated string (incl. lone '\')
+    }
+    if (!stack.empty()) {
+        return OracleClass::kMalformed;  // input ended inside containers
+    }
+    if (!root_done && !in_root_atom) {
+        return OracleClass::kEmpty;
+    }
+    return OracleClass::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic byte mutations.
+// ---------------------------------------------------------------------------
+
+struct Mutation {
+    std::string description;
+    std::string document;
+};
+
+std::vector<std::size_t> positions_of(const std::string& doc, const char* set)
+{
+    std::vector<std::size_t> positions;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+        if (std::strchr(set, doc[i]) != nullptr) {
+            positions.push_back(i);
+        }
+    }
+    return positions;
+}
+
+template <typename Rng>
+std::size_t pick(Rng& rng, std::size_t bound)
+{
+    return static_cast<std::size_t>(rng() % bound);
+}
+
+/** Applies one structural mutation chosen by @p rng; nullopt if the chosen
+ *  kind has no applicable site in this document. */
+template <typename Rng>
+std::optional<Mutation> mutate(const std::string& seed, Rng& rng)
+{
+    std::string doc = seed;
+    switch (rng() % 8) {
+        case 0: {  // delete a bracket
+            std::vector<std::size_t> sites = positions_of(doc, "{}[]");
+            if (sites.empty()) return std::nullopt;
+            std::size_t at = sites[pick(rng, sites.size())];
+            char victim = doc[at];
+            doc.erase(at, 1);
+            return Mutation{"delete '" + std::string(1, victim) + "' at " +
+                                std::to_string(at),
+                            doc};
+        }
+        case 1: {  // insert a bracket anywhere
+            const char brackets[] = {'{', '}', '[', ']'};
+            char inserted = brackets[pick(rng, 4)];
+            std::size_t at = pick(rng, doc.size() + 1);
+            doc.insert(at, 1, inserted);
+            return Mutation{"insert '" + std::string(1, inserted) + "' at " +
+                                std::to_string(at),
+                            doc};
+        }
+        case 2: {  // flip a bracket's kind ({<->[ or }<->])
+            std::vector<std::size_t> sites = positions_of(doc, "{}[]");
+            if (sites.empty()) return std::nullopt;
+            std::size_t at = sites[pick(rng, sites.size())];
+            char from = doc[at];
+            char to = from == '{' ? '[' : from == '[' ? '{' : from == '}' ? ']' : '}';
+            doc[at] = to;
+            return Mutation{std::string("flip '") + from + "' -> '" + to +
+                                "' at " + std::to_string(at),
+                            doc};
+        }
+        case 3: {  // flip a bracket's side ({<->} or [<->])
+            std::vector<std::size_t> sites = positions_of(doc, "{}[]");
+            if (sites.empty()) return std::nullopt;
+            std::size_t at = sites[pick(rng, sites.size())];
+            char from = doc[at];
+            char to = from == '{' ? '}' : from == '}' ? '{' : from == '[' ? ']' : '[';
+            doc[at] = to;
+            return Mutation{std::string("flip '") + from + "' -> '" + to +
+                                "' at " + std::to_string(at),
+                            doc};
+        }
+        case 4: {  // delete a quote
+            std::vector<std::size_t> sites = positions_of(doc, "\"");
+            if (sites.empty()) return std::nullopt;
+            std::size_t at = sites[pick(rng, sites.size())];
+            doc.erase(at, 1);
+            return Mutation{"delete '\"' at " + std::to_string(at), doc};
+        }
+        case 5: {  // insert a quote anywhere
+            std::size_t at = pick(rng, doc.size() + 1);
+            doc.insert(at, 1, '"');
+            return Mutation{"insert '\"' at " + std::to_string(at), doc};
+        }
+        case 6: {  // escape damage: insert '\' before a quote, or delete one
+            std::vector<std::size_t> slashes = positions_of(doc, "\\");
+            if (!slashes.empty() && rng() % 2 == 0) {
+                std::size_t at = slashes[pick(rng, slashes.size())];
+                doc.erase(at, 1);
+                return Mutation{"delete '\\' at " + std::to_string(at), doc};
+            }
+            std::vector<std::size_t> quotes = positions_of(doc, "\"");
+            if (quotes.empty()) return std::nullopt;
+            std::size_t at = quotes[pick(rng, quotes.size())];
+            doc.insert(at, 1, '\\');
+            return Mutation{"insert '\\' before quote at " + std::to_string(at),
+                            doc};
+        }
+        case 7: {  // truncate at an arbitrary position
+            if (doc.size() < 2) return std::nullopt;
+            std::size_t at = 1 + pick(rng, doc.size() - 1);
+            doc.resize(at);
+            return Mutation{"truncate to " + std::to_string(at) + " bytes", doc};
+        }
+    }
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Engine harness.
+// ---------------------------------------------------------------------------
+
+/** The main-engine configurations with distinct detection paths. */
+std::vector<EngineOptions> descend_configurations()
+{
+    std::vector<EngineOptions> configs;
+    for (simd::Level level : {simd::Level::avx2, simd::Level::scalar}) {
+        EngineOptions defaults;
+        defaults.simd = level;
+        configs.push_back(defaults);
+        EngineOptions no_skips;
+        no_skips.simd = level;
+        no_skips.leaf_skipping = false;
+        no_skips.child_skipping = false;
+        no_skips.sibling_skipping = false;
+        no_skips.head_skipping = false;
+        configs.push_back(no_skips);
+        EngineOptions within;
+        within.simd = level;
+        within.label_within_skipping = true;
+        configs.push_back(within);
+    }
+    return configs;
+}
+
+std::string describe(const EngineOptions& o)
+{
+    std::string s = o.simd == simd::Level::avx2 ? "avx2" : "scalar";
+    s += o.head_skipping ? "+head" : "-head";
+    s += o.child_skipping ? "+skips" : "-skips";
+    s += o.label_within_skipping ? "+within" : "";
+    return s;
+}
+
+/** One seed document plus the queries derived from its label vocabulary. */
+struct Corpus {
+    std::string name;
+    std::string document;
+    std::vector<std::string> queries;    ///< for descend / surfer / dom
+    std::string ski_query;               ///< child-only, for the jsonski baseline
+};
+
+void collect_labels(const json::Value& value, std::vector<std::string>& labels,
+                    std::size_t limit)
+{
+    if (labels.size() >= limit) {
+        return;
+    }
+    for (const json::Member& member : value.members()) {
+        bool known = false;
+        for (const std::string& existing : labels) {
+            known = known || existing == member.key;
+        }
+        if (!known && !member.key.empty()) {
+            labels.push_back(member.key);
+        }
+        collect_labels(*member.value, labels, limit);
+    }
+    for (const json::Value* element : value.elements()) {
+        collect_labels(*element, labels, limit);
+    }
+}
+
+Corpus build_corpus(const std::string& name, std::size_t target_bytes)
+{
+    Corpus corpus;
+    corpus.name = name;
+    corpus.document = workloads::generate(name, target_bytes);
+    json::Document dom = json::parse(corpus.document);
+    std::vector<std::string> labels;
+    collect_labels(dom.root(), labels, 4);
+
+    corpus.queries.push_back("$.*");
+    for (std::size_t i = 0; i < labels.size() && i < 2; ++i) {
+        corpus.queries.push_back("$.." + labels[i]);
+    }
+    if (labels.size() >= 2) {
+        corpus.queries.push_back("$.." + labels[0] + ".." + labels[1]);
+    }
+    if (dom.root().is_object() && !dom.root().members().empty()) {
+        corpus.ski_query = "$." + dom.root().members().front().key;
+    } else {
+        corpus.ski_query = "$[0]";
+    }
+    return corpus;
+}
+
+struct Stats {
+    long mutants = 0;
+    long still_valid = 0;
+    long rejected = 0;
+    long per_class[5] = {0, 0, 0, 0, 0};
+};
+
+int report(const Corpus& corpus, const Mutation& mutation, OracleClass oracle,
+           const std::string& engine, const std::string& query,
+           const std::string& detail, const std::string& document)
+{
+    std::printf(
+        "DISAGREEMENT\nseed: %s\nmutation: %s\noracle: %s\nengine: %s\n"
+        "query: %s\nproblem: %s\ndocument (%zu bytes):\n%.*s\n",
+        corpus.name.c_str(), mutation.description.c_str(),
+        oracle_class_name(oracle), engine.c_str(), query.c_str(),
+        detail.c_str(), document.size(),
+        static_cast<int>(document.size() > 2000 ? 2000 : document.size()),
+        document.c_str());
+    return 1;
+}
+
+std::string offsets_text(const std::vector<std::size_t>& offsets)
+{
+    std::string text = "[";
+    for (std::size_t i = 0; i < offsets.size() && i < 16; ++i) {
+        text += (i ? " " : "") + std::to_string(offsets[i]);
+    }
+    if (offsets.size() > 16) {
+        text += " ...";
+    }
+    return text + "] (" + std::to_string(offsets.size()) + ")";
+}
+
+/**
+ * Runs every engine over one (possibly mutated) document and checks the
+ * cross-engine contract. Returns 0 when consistent.
+ */
+int check_document(const Corpus& corpus, const Mutation& mutation, Stats& stats)
+{
+    const std::string& document = mutation.document;
+    EngineLimits limits;
+    OracleClass oracle = classify_structure(document, limits.max_depth);
+    stats.per_class[static_cast<int>(oracle)] += 1;
+    PaddedString padded(document);
+
+    for (const std::string& query_text : corpus.queries) {
+        auto compiled = automaton::CompiledQuery::compile(query_text);
+        DomEngine dom(query::Query::parse(query_text));
+        OffsetSink dom_sink;
+        EngineStatus dom_status = dom.run(padded, dom_sink);
+        // The DOM parser is strictly more demanding than the structural
+        // oracle: anything the oracle rejects, it must reject too.
+        if (oracle != OracleClass::kOk && dom_status.ok()) {
+            return report(corpus, mutation, oracle, "dom", query_text,
+                          "accepted a structurally damaged document", document);
+        }
+        bool compare_matches = oracle == OracleClass::kOk && dom_status.ok();
+        if (compare_matches) {
+            stats.still_valid += 1;
+        }
+
+        SurferEngine surfer(compiled);
+        OffsetSink surfer_sink;
+        EngineStatus surfer_status = surfer.run(padded, surfer_sink);
+        if (compare_matches) {
+            if (!surfer_status.ok()) {
+                return report(corpus, mutation, oracle, "surfer", query_text,
+                              "false positive: " + to_string(surfer_status),
+                              document);
+            }
+            if (surfer_sink.offsets() != dom_sink.offsets()) {
+                return report(corpus, mutation, oracle, "surfer", query_text,
+                              "matches diverge: dom " +
+                                  offsets_text(dom_sink.offsets()) + " vs " +
+                                  offsets_text(surfer_sink.offsets()),
+                              document);
+            }
+        } else if (oracle != OracleClass::kOk) {
+            // The surfer tracks the root element scalar-ly: full detection.
+            if (surfer_status.ok()) {
+                return report(corpus, mutation, oracle, "surfer", query_text,
+                              "accepted a damaged document", document);
+            }
+            if (surfer_status.is_limit() && oracle != OracleClass::kDepth) {
+                return report(corpus, mutation, oracle, "surfer", query_text,
+                              "misclassified damage as a resource limit: " +
+                                  to_string(surfer_status),
+                              document);
+            }
+        }
+
+        for (const EngineOptions& options : descend_configurations()) {
+            DescendEngine engine(compiled, options);
+            OffsetSink sink;
+            EngineStatus status = engine.run(padded, sink);
+            std::string name = "descend[" + describe(options) + "]";
+            if (compare_matches) {
+                if (!status.ok()) {
+                    return report(corpus, mutation, oracle, name, query_text,
+                                  "false positive: " + to_string(status),
+                                  document);
+                }
+                if (sink.offsets() != dom_sink.offsets()) {
+                    return report(corpus, mutation, oracle, name, query_text,
+                                  "matches diverge: dom " +
+                                      offsets_text(dom_sink.offsets()) + " vs " +
+                                      offsets_text(sink.offsets()),
+                                  document);
+                }
+                continue;
+            }
+            if (oracle == OracleClass::kOk) {
+                continue;  // grammar-level damage: streaming engines may pass
+            }
+            // Documented limitation: head-skip mode never observes the root
+            // element, so balanced trailing content is invisible to it.
+            bool head_skip_active = options.head_skipping &&
+                                    compiled.head_skip_label().has_value();
+            if (oracle == OracleClass::kTrailing && head_skip_active) {
+                continue;
+            }
+            if (status.ok()) {
+                return report(corpus, mutation, oracle, name, query_text,
+                              "accepted a damaged document", document);
+            }
+            if (status.is_limit() && oracle != OracleClass::kDepth) {
+                return report(corpus, mutation, oracle, name, query_text,
+                              "misclassified damage as a resource limit: " +
+                                  to_string(status),
+                              document);
+            }
+        }
+    }
+
+    // The JSONSki baseline: child-only query, status classification only
+    // (its wildcard semantics differ by design, and it cannot see trailing
+    // content after an atomic root).
+    SkiEngine ski(query::Query::parse(corpus.ski_query));
+    CountSink ski_sink;
+    EngineStatus ski_status = ski.run(padded, ski_sink);
+    if ((oracle == OracleClass::kMalformed || oracle == OracleClass::kEmpty ||
+         oracle == OracleClass::kDepth) &&
+        ski_status.ok()) {
+        return report(corpus, mutation, oracle, "jsonski", corpus.ski_query,
+                      "accepted a damaged document", document);
+    }
+    if (oracle != OracleClass::kOk) {
+        stats.rejected += 1;
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    long iterations = 10000;
+    std::uint64_t seed0 = 1;
+    bool verbose = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
+            char* end = nullptr;
+            iterations = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || iterations < 0) {
+                std::fprintf(stderr, "fuzz_engine: bad --iterations '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            char* end = nullptr;
+            seed0 = std::strtoull(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr, "fuzz_engine: bad --seed '%s'\n", argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--verbose") == 0) {
+            verbose = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fuzz_engine [--iterations N] [--seed S] "
+                         "[--verbose]\n");
+            return 2;
+        }
+    }
+
+    std::vector<Corpus> corpora;
+    std::size_t target = 2048;
+    for (const std::string& name : workloads::dataset_names()) {
+        corpora.push_back(build_corpus(name, target));
+        target = target >= 8192 ? 2048 : target + 700;
+    }
+
+    Stats stats;
+    // Phase 1: pristine seeds must pass everything (sanity for the harness
+    // itself), and truncation at *every* 64-byte block boundary — the
+    // classifiers' resume points — must be flagged.
+    for (const Corpus& corpus : corpora) {
+        Mutation pristine{"none (pristine seed)", corpus.document};
+        if (int rc = check_document(corpus, pristine, stats)) {
+            return rc;
+        }
+        for (std::size_t cut = 64; cut < corpus.document.size(); cut += 64) {
+            Mutation truncated{"truncate to " + std::to_string(cut) +
+                                   " bytes (block boundary)",
+                               corpus.document.substr(0, cut)};
+            stats.mutants += 1;
+            if (int rc = check_document(corpus, truncated, stats)) {
+                return rc;
+            }
+        }
+        if (verbose) {
+            std::printf("seed %-14s %6zu bytes, %zu queries, ski: %s\n",
+                        corpus.name.c_str(), corpus.document.size(),
+                        corpus.queries.size(), corpus.ski_query.c_str());
+        }
+    }
+
+    // Phase 2: random structural mutations, deterministic per iteration.
+    for (long i = 0; i < iterations; ++i) {
+        const Corpus& corpus = corpora[static_cast<std::size_t>(i) % corpora.size()];
+        std::mt19937_64 rng(seed0 * 0x9E3779B97F4A7C15ull +
+                            static_cast<std::uint64_t>(i));
+        std::optional<Mutation> mutation = mutate(corpus.document, rng);
+        if (!mutation.has_value()) {
+            continue;
+        }
+        stats.mutants += 1;
+        if (int rc = check_document(corpus, *mutation, stats)) {
+            std::printf("iteration: %ld (reproduce with --seed %llu and this "
+                        "iteration)\n",
+                        i, static_cast<unsigned long long>(seed0));
+            return rc;
+        }
+        if (verbose && (i + 1) % 1000 == 0) {
+            std::printf("... %ld/%ld\n", i + 1, iterations);
+        }
+    }
+
+    std::printf(
+        "fuzz_engine: %ld mutants over %zu seeds OK\n"
+        "  oracle classes: ok %ld, empty %ld, malformed %ld, trailing %ld, "
+        "depth %ld\n"
+        "  still-valid (full match comparison): %ld, rejected by contract: %ld\n",
+        stats.mutants, corpora.size(), stats.per_class[0], stats.per_class[1],
+        stats.per_class[2], stats.per_class[3], stats.per_class[4],
+        stats.still_valid, stats.rejected);
+    return 0;
+}
