@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Record-stream throughput: SIMD NDJSON splitting + parallel sharded
+ * execution (src/descend/stream). Not part of the google-benchmark suite —
+ * a hand-rolled harness, because the quantity of interest is the *scaling*
+ * of one big run (GB/s and records/s at 1..N threads over a multi-hundred-
+ * megabyte stream), not statistics over many small iterations.
+ *
+ *   bench_stream [--mb N] [--threads N] [--query Q] [--record-kb N]
+ *   bench_stream --smoke
+ *
+ * The stream is built by concatenating compact single-line documents from
+ * every workload generator round-robin until the target size. Default
+ * 256 MB — the acceptance scale for the >= 2.5x speedup criterion at 4+
+ * threads (a 1-core container can only show ~1x; the harness prints the
+ * core count so such runs are self-explaining). Every thread count must
+ * produce the identical match count; the harness verifies this and fails
+ * otherwise.
+ *
+ * --smoke: small input, full verification — matches at every thread count
+ * and under both error policies are compared element-wise against a
+ * sequential oracle that copies each record into its own PaddedString.
+ * Exits non-zero on any mismatch; wired into CI under asan/tsan.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "descend/descend.h"
+#include "descend/workloads/datasets.h"
+
+namespace {
+
+using namespace descend;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Round-robins generator output into an NDJSON stream of ~target bytes. */
+PaddedString build_stream(std::size_t target_bytes, std::size_t record_bytes)
+{
+    std::vector<std::string> names = workloads::dataset_names();
+    // Each generator call emits one compact document == one record. Cache a
+    // handful per dataset and cycle them: generation is the expensive part,
+    // not concatenation.
+    std::vector<std::string> pool;
+    for (const std::string& name : names) {
+        for (std::size_t variant = 1; variant <= 3; ++variant) {
+            pool.push_back(
+                workloads::generate(name, record_bytes / 2 * (variant + 1)));
+        }
+    }
+    std::string stream;
+    stream.reserve(target_bytes + record_bytes);
+    std::size_t next = 0;
+    while (stream.size() < target_bytes) {
+        stream += pool[next];
+        stream += '\n';
+        next = (next + 1) % pool.size();
+    }
+    return PaddedString(std::move(stream));
+}
+
+struct Measurement {
+    double seconds = 0;
+    std::size_t matches = 0;
+    std::size_t records = 0;
+    std::size_t failed = 0;
+};
+
+Measurement measure(const stream::StreamExecutor& executor, PaddedView input,
+                    const std::vector<stream::RecordSpan>& records)
+{
+    stream::CountingStreamSink sink;
+    Clock::time_point start = Clock::now();
+    stream::StreamResult result = executor.run_records(input, records, sink);
+    Measurement m;
+    m.seconds = seconds_since(start);
+    m.matches = result.matches;
+    m.records = result.records;
+    m.failed = result.failed_records;
+    return m;
+}
+
+int run_throughput(std::size_t target_bytes, std::size_t max_threads,
+                   std::size_t record_bytes, const std::string& query)
+{
+    std::size_t cores = std::thread::hardware_concurrency();
+    if (max_threads == 0) {
+        max_threads = cores != 0 ? cores : 1;
+    }
+    std::printf("building ~%zu MB NDJSON stream (...this takes a while)\n",
+                target_bytes >> 20);
+    PaddedString input = build_stream(target_bytes, record_bytes);
+    const simd::Kernels& kernels = simd::best_kernels();
+
+    Clock::time_point split_start = Clock::now();
+    std::vector<stream::RecordSpan> records =
+        stream::split_records(input, kernels);
+    double split_seconds = seconds_since(split_start);
+    double gib = static_cast<double>(input.size()) / (1024.0 * 1024.0 * 1024.0);
+    std::printf("stream: %.2f GiB, %zu records, query %s, %zu cores\n", gib,
+                records.size(), query.c_str(), cores);
+    std::printf("split:  %.3f s (%.2f GB/s)\n", split_seconds,
+                gib / split_seconds);
+
+    std::printf("%8s %10s %12s %14s %9s\n", "threads", "seconds", "GB/s",
+                "records/s", "speedup");
+    double base_seconds = 0;
+    std::size_t base_matches = 0;
+    for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+        stream::StreamOptions options;
+        options.threads = threads;
+        stream::StreamExecutor executor(
+            automaton::CompiledQuery::compile(query), options);
+        Measurement m = measure(executor, input, records);
+        if (threads == 1) {
+            base_seconds = m.seconds;
+            base_matches = m.matches;
+        } else if (m.matches != base_matches) {
+            std::fprintf(stderr,
+                         "FAIL: %zu threads found %zu matches, 1 thread %zu\n",
+                         threads, m.matches, base_matches);
+            return 1;
+        }
+        std::printf("%8zu %10.3f %12.2f %14.0f %8.2fx\n", threads, m.seconds,
+                    gib / m.seconds,
+                    static_cast<double>(m.records) / m.seconds,
+                    base_seconds / m.seconds);
+    }
+    std::printf("matches: %zu (identical across thread counts)\n",
+                base_matches);
+    return 0;
+}
+
+/** Sequential oracle: each record copied into its own PaddedString. */
+std::vector<stream::CollectingStreamSink::Match> oracle_matches(
+    const DescendEngine& engine, PaddedView input,
+    const std::vector<stream::RecordSpan>& records)
+{
+    std::vector<stream::CollectingStreamSink::Match> matches;
+    for (std::size_t r = 0; r < records.size(); ++r) {
+        const stream::RecordSpan& span = records[r];
+        PaddedString copy(std::string_view(
+            reinterpret_cast<const char*>(input.data()) + span.begin,
+            span.size()));
+        OffsetsResult result = engine.offsets_checked(copy);
+        if (!result.ok()) {
+            continue;  // skip-policy oracle: failed records contribute nothing
+        }
+        for (std::size_t offset : result.offsets) {
+            matches.push_back({r, offset});
+        }
+    }
+    return matches;
+}
+
+int run_smoke()
+{
+    const char* query = "$..id";
+    PaddedString input = build_stream(std::size_t{4} << 20, std::size_t{8} << 10);
+    const simd::Kernels& kernels = simd::best_kernels();
+    std::vector<stream::RecordSpan> records =
+        stream::split_records(input, kernels);
+
+    DescendEngine oracle_engine =
+        DescendEngine::for_query(query);
+    std::vector<stream::CollectingStreamSink::Match> expected =
+        oracle_matches(oracle_engine, input, records);
+
+    int failures = 0;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                std::size_t{8}}) {
+        for (stream::ErrorPolicy policy : {stream::ErrorPolicy::kSkipRecord,
+                                           stream::ErrorPolicy::kFailFast}) {
+            stream::StreamOptions options;
+            options.threads = threads;
+            options.policy = policy;
+            stream::StreamExecutor executor(
+                automaton::CompiledQuery::compile(query), options);
+            stream::CollectingStreamSink sink;
+            stream::StreamResult result =
+                executor.run_records(input, records, sink);
+            bool ok = result.ok() && sink.matches() == expected &&
+                      result.matches == expected.size();
+            std::printf("smoke: threads=%zu policy=%s: %zu records, "
+                        "%zu matches ... %s\n",
+                        threads,
+                        policy == stream::ErrorPolicy::kFailFast ? "fail-fast"
+                                                                 : "skip",
+                        result.records, result.matches, ok ? "ok" : "MISMATCH");
+            if (!ok) {
+                ++failures;
+            }
+        }
+    }
+    if (failures == 0) {
+        std::printf("smoke: all configurations match the sequential oracle "
+                    "(%zu matches over %zu records)\n",
+                    expected.size(), records.size());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    std::size_t target_mb = 256;
+    std::size_t max_threads = 0;
+    std::size_t record_kb = 64;
+    std::string query = "$..id";
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--mb" && i + 1 < argc) {
+            target_mb = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--threads" && i + 1 < argc) {
+            max_threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--record-kb" && i + 1 < argc) {
+            record_kb = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--query" && i + 1 < argc) {
+            query = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_stream [--mb N] [--threads N] "
+                         "[--record-kb N] [--query Q] | --smoke\n");
+            return 2;
+        }
+    }
+    if (smoke) {
+        return run_smoke();
+    }
+    return run_throughput(target_mb << 20, max_threads, record_kb << 10, query);
+}

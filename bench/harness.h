@@ -74,8 +74,19 @@ inline std::size_t verified_count(const std::string& dataset_name,
         return it->second;
     }
     const PaddedString& doc = dataset(dataset_name, scale);
-    std::size_t fast = DescendEngine::for_query(query).count(doc);
-    std::size_t slow = SurferEngine::for_query(query).count(doc);
+    CountResult fast_result = DescendEngine::for_query(query).count_checked(doc);
+    CountResult slow_result = SurferEngine::for_query(query).count_checked(doc);
+    if (!fast_result.ok() || !slow_result.ok()) {
+        std::fprintf(stderr,
+                     "[harness] VERIFICATION FAILED: %s on %s: descend=%s "
+                     "surfer=%s\n",
+                     query.c_str(), dataset_name.c_str(),
+                     to_string(fast_result.status).c_str(),
+                     to_string(slow_result.status).c_str());
+        std::abort();
+    }
+    std::size_t fast = fast_result.count;
+    std::size_t slow = slow_result.count;
     if (fast != slow) {
         std::fprintf(stderr,
                      "[harness] VERIFICATION FAILED: %s on %s: descend=%zu "

@@ -9,6 +9,7 @@
  */
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -22,7 +23,13 @@ double time_count(const descend::PaddedString& document, const char* query,
 {
     auto engine = descend::DescendEngine::for_query(query);
     auto start = std::chrono::steady_clock::now();
-    count = engine.count(document);
+    auto result = engine.count_checked(document);
+    if (!result.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     descend::to_string(result.status).c_str());
+        std::exit(1);
+    }
+    count = result.count;
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
         .count();
 }

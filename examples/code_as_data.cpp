@@ -23,10 +23,16 @@ void explore(const descend::PaddedString& document, const char* description,
 {
     auto engine = descend::DescendEngine::for_query(query);
     auto start = std::chrono::steady_clock::now();
-    auto offsets = engine.offsets(document);
+    auto result = engine.offsets_checked(document);
     auto elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+    if (!result.ok()) {
+        std::printf("%-42s %-38s %s\n", description, query,
+                    descend::to_string(result.status).c_str());
+        return;
+    }
+    const auto& offsets = result.offsets;
     double gbps = static_cast<double>(document.size()) / elapsed / 1e9;
     std::printf("%-42s %-38s %8zu matches  %6.2f GB/s\n", description, query,
                 offsets.size(), gbps);

@@ -38,7 +38,7 @@ int semantics_demo()
     auto query = descend::query::Query::parse("$..person..name");
 
     auto engine = descend::DescendEngine::for_query("$..person..name");
-    auto node_offsets = engine.offsets(padded);
+    auto node_offsets = engine.offsets_checked(padded).offsets;
     std::printf("query $..person..name\n");
     std::printf("node semantics (%zu results): ", node_offsets.size());
     for (auto value : descend::extract_values(padded, node_offsets)) {
@@ -73,7 +73,15 @@ int main(int argc, char** argv)
                       : descend::PaddedString(kSampleDocument);
 
         auto engine = descend::DescendEngine::for_query(query_text);
-        auto offsets = engine.offsets(document);
+        // The checked API surfaces malformed input as a status instead of a
+        // silently truncated match set.
+        auto result = engine.offsets_checked(document);
+        if (!result.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         descend::to_string(result.status).c_str());
+            return 1;
+        }
+        const auto& offsets = result.offsets;
         std::printf("%zu match(es) for %s\n", offsets.size(), query_text.c_str());
         std::size_t shown = 0;
         for (auto value : descend::extract_values(document, offsets)) {

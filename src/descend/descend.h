@@ -22,4 +22,7 @@
 #include "descend/engine/main_engine.h"
 #include "descend/engine/padded_string.h"
 #include "descend/query/query.h"
+#include "descend/stream/record_splitter.h"
+#include "descend/stream/stream_executor.h"
+#include "descend/stream/stream_sink.h"
 #include "descend/util/errors.h"

@@ -47,6 +47,9 @@ public:
     void on_match(std::size_t offset) override { offsets_.push_back(offset); }
     const std::vector<std::size_t>& offsets() const noexcept { return offsets_; }
 
+    /** Moves the collected offsets out (for the checked convenience API). */
+    std::vector<std::size_t> take_offsets() noexcept { return std::move(offsets_); }
+
 private:
     std::vector<std::size_t> offsets_;
 };
@@ -117,6 +120,26 @@ struct RunStats {
     EngineStatus status;
 };
 
+/** Status-carrying outcome of a counting convenience run. */
+struct CountResult {
+    EngineStatus status;
+    /** Matches counted before the run completed or failed; meaningful as a
+     *  complete answer only when status.ok(). */
+    std::size_t count = 0;
+
+    bool ok() const noexcept { return status.ok(); }
+};
+
+/** Status-carrying outcome of an offset-collecting convenience run. */
+struct OffsetsResult {
+    EngineStatus status;
+    /** Offsets reported before the run completed or failed; a complete
+     *  match set only when status.ok(). */
+    std::vector<std::size_t> offsets;
+
+    bool ok() const noexcept { return status.ok(); }
+};
+
 /** Common interface of the main engine and the baseline engines. */
 class JsonPathEngine {
 public:
@@ -139,23 +162,49 @@ public:
     virtual EngineStatus run(const PaddedString& document, MatchSink& sink) const = 0;
 
     /**
-     * Runs with a counting sink. Virtual so engines can provide a
-     * devirtualized counting path (rsonpath monomorphizes its recorder the
-     * same way via Rust generics).
+     * Runs with a counting sink and reports the status alongside the
+     * count, so a truncated run cannot be mistaken for a small or empty
+     * match set. Virtual so engines can provide a devirtualized counting
+     * path (rsonpath monomorphizes its recorder the same way via Rust
+     * generics).
      */
-    virtual std::size_t count(const PaddedString& document) const
+    virtual CountResult count_checked(const PaddedString& document) const
     {
         CountSink sink;
-        run(document, sink);
-        return sink.count();
+        CountResult result;
+        result.status = run(document, sink);
+        result.count = sink.count();
+        return result;
     }
 
-    /** Convenience: run and collect match offsets. */
-    std::vector<std::size_t> offsets(const PaddedString& document) const
+    /** Runs, collecting match offsets together with the run's status. */
+    OffsetsResult offsets_checked(const PaddedString& document) const
     {
         OffsetSink sink;
-        run(document, sink);
-        return sink.offsets();
+        OffsetsResult result;
+        result.status = run(document, sink);
+        result.offsets = sink.take_offsets();
+        return result;
+    }
+
+    /**
+     * Convenience counting run that DISCARDS the EngineStatus: a failed
+     * run is indistinguishable from a genuinely small match set. Only for
+     * inputs already known to be well-formed (e.g. generated workloads);
+     * prefer count_checked() everywhere else.
+     */
+    std::size_t count(const PaddedString& document) const
+    {
+        return count_checked(document).count;
+    }
+
+    /**
+     * Convenience offset collection that DISCARDS the EngineStatus; same
+     * caveat as count() — prefer offsets_checked().
+     */
+    std::vector<std::size_t> offsets(const PaddedString& document) const
+    {
+        return offsets_checked(document).offsets;
     }
 };
 

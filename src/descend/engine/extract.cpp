@@ -26,7 +26,7 @@ std::size_t scan_string(const std::uint8_t* data, std::size_t size, std::size_t 
 
 }  // namespace
 
-std::string_view extract_value(const PaddedString& document, std::size_t offset)
+std::string_view extract_value(PaddedView document, std::size_t offset)
 {
     const std::uint8_t* data = document.data();
     std::size_t size = document.size();
@@ -67,7 +67,7 @@ std::string_view extract_value(const PaddedString& document, std::size_t offset)
     return {reinterpret_cast<const char*>(data + offset), end - offset};
 }
 
-std::vector<std::string_view> extract_values(const PaddedString& document,
+std::vector<std::string_view> extract_values(PaddedView document,
                                              const std::vector<std::size_t>& offsets)
 {
     std::vector<std::string_view> values;

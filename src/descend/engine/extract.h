@@ -19,10 +19,10 @@ namespace descend {
  * balanced {...}/[...] slice, for strings the quoted literal, for other
  * atoms the literal up to the next delimiter. String-aware.
  */
-std::string_view extract_value(const PaddedString& document, std::size_t offset);
+std::string_view extract_value(PaddedView document, std::size_t offset);
 
 /** Extracts every match in one pass. */
-std::vector<std::string_view> extract_values(const PaddedString& document,
+std::vector<std::string_view> extract_values(PaddedView document,
                                              const std::vector<std::size_t>& offsets);
 
 }  // namespace descend

@@ -14,7 +14,7 @@ bool is_ws_byte(std::uint8_t byte)
 
 }  // namespace
 
-LabelSearch::LabelSearch(const PaddedString& input, const simd::Kernels& kernels,
+LabelSearch::LabelSearch(PaddedView input, const simd::Kernels& kernels,
                          std::string_view escaped_label,
                          StructuralValidator* validator)
     : data_(input.data()),
@@ -33,9 +33,16 @@ void LabelSearch::classify_block()
 {
     block_entry_quote_state_ = quotes_.state();
     classify::QuoteMasks masks = quotes_.classify(data_ + block_start_);
+    // Slice end bound: clip the final partial block so candidates (and the
+    // validator's balances) never come from past-the-end bytes.
+    std::uint64_t valid = size_ - block_start_ >= simd::kBlockSize
+                              ? ~std::uint64_t{0}
+                              : bits::mask_below(static_cast<int>(size_ - block_start_));
+    masks.in_string &= valid;
+    masks.unescaped_quotes &= valid;
     if (validator_ != nullptr) {
         validator_->account(quotes_.kernels(), data_ + block_start_, block_start_,
-                            masks.in_string);
+                            masks.in_string, valid);
     }
     // String-opening quotes: unescaped quotes whose in-string bit is set
     // (the opening quote is inside its own string under our convention).

@@ -27,13 +27,16 @@ namespace descend {
 
 class LabelSearch {
 public:
-    /** @param escaped_label the label's comparison form (raw bytes between
+    /** @param input the document or record slice to search; size() is a
+     *  hard end bound (candidates in the final partial block are masked to
+     *  it, matching StructuralIterator's slice contract).
+     *  @param escaped_label the label's comparison form (raw bytes between
      *  quotes in a minimally-escaped document).
      *  @param validator optional whole-document validator shared with the
      *  structural iterator; blocks this search classifies are accounted
      *  there (the resume protocol guarantees each block is accounted by
      *  exactly one of the two pipelines). */
-    LabelSearch(const PaddedString& input, const simd::Kernels& kernels,
+    LabelSearch(PaddedView input, const simd::Kernels& kernels,
                 std::string_view escaped_label,
                 StructuralValidator* validator = nullptr);
 

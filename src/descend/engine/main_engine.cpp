@@ -350,7 +350,7 @@ public:
      *  The validator is shared by the search and the iterator: the
      *  stop/resume protocol hands blocks between the two pipelines
      *  monotonically, so each block is accounted exactly once. */
-    void run_head_skip(const PaddedString& document, const simd::Kernels& kernels,
+    void run_head_skip(PaddedView document, const simd::Kernels& kernels,
                        StructuralValidator* validator)
     {
         const automaton::CompiledQuery& cq = cq_;
@@ -435,7 +435,7 @@ std::string DescendEngine::name() const
 }
 
 template <typename Sink>
-RunStats DescendEngine::dispatch(const PaddedString& document, Sink& sink) const
+RunStats DescendEngine::dispatch(PaddedView document, Sink& sink) const
 {
     RunStats stats;
     stats.status = preflight_document(document, options_.limits);
@@ -490,13 +490,12 @@ RunStats DescendEngine::dispatch(const PaddedString& document, Sink& sink) const
     return stats;
 }
 
-EngineStatus DescendEngine::run(const PaddedString& document, MatchSink& sink) const
+EngineStatus DescendEngine::run(PaddedView document, MatchSink& sink) const
 {
     return dispatch(document, sink).status;
 }
 
-RunStats DescendEngine::run_with_stats(const PaddedString& document,
-                                       MatchSink& sink) const
+RunStats DescendEngine::run_with_stats(PaddedView document, MatchSink& sink) const
 {
     return dispatch(document, sink);
 }
@@ -511,11 +510,13 @@ struct DirectCounter {
 
 }  // namespace
 
-std::size_t DescendEngine::count(const PaddedString& document) const
+CountResult DescendEngine::count_checked(PaddedView document) const
 {
     DirectCounter counter;
-    dispatch(document, counter);
-    return counter.count;
+    CountResult result;
+    result.status = dispatch(document, counter).status;
+    result.count = counter.count;
+    return result;
 }
 
 }  // namespace descend

@@ -20,6 +20,12 @@
 
 namespace descend {
 
+/**
+ * All run entry points are const and touch no mutable engine state: one
+ * engine instance (and the compiled automaton it owns) can safely serve
+ * concurrent runs from many threads, which is how the record-stream shard
+ * scheduler (src/descend/stream) shares a single compiled query.
+ */
 class DescendEngine final : public JsonPathEngine {
 public:
     DescendEngine(automaton::CompiledQuery query, EngineOptions options = {});
@@ -32,13 +38,31 @@ public:
     }
 
     std::string name() const override;
-    EngineStatus run(const PaddedString& document, MatchSink& sink) const override;
+
+    EngineStatus run(const PaddedString& document, MatchSink& sink) const override
+    {
+        return run(PaddedView(document), sink);
+    }
+
+    /**
+     * Zero-copy slice run: @p document may be a window of a larger padded
+     * buffer (a record of an NDJSON stream). Its size() is a hard end
+     * bound — the classifiers mask the final partial block, so the bytes
+     * beyond (the following records) are never interpreted. Reported
+     * offsets and status offsets are relative to the slice start.
+     */
+    EngineStatus run(PaddedView document, MatchSink& sink) const;
 
     /** Devirtualized counting path (the sink is monomorphized away). */
-    std::size_t count(const PaddedString& document) const override;
+    CountResult count_checked(const PaddedString& document) const override
+    {
+        return count_checked(PaddedView(document));
+    }
+
+    CountResult count_checked(PaddedView document) const;
 
     /** Like run(), additionally reporting what the engine did. */
-    RunStats run_with_stats(const PaddedString& document, MatchSink& sink) const;
+    RunStats run_with_stats(PaddedView document, MatchSink& sink) const;
 
     const automaton::CompiledQuery& compiled_query() const noexcept { return query_; }
     const EngineOptions& options() const noexcept { return options_; }
@@ -50,7 +74,7 @@ private:
      * abstract MatchSink, the counting path with a concrete counter.
      */
     template <typename Sink>
-    RunStats dispatch(const PaddedString& document, Sink& sink) const;
+    RunStats dispatch(PaddedView document, Sink& sink) const;
 
     automaton::CompiledQuery query_;
     EngineOptions options_;

@@ -8,6 +8,14 @@
 #include "descend/simd/dispatch.h"
 #include "descend/util/errors.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define DESCEND_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace descend {
 namespace {
 
@@ -56,6 +64,54 @@ PaddedString::PaddedString(std::string_view contents) : size_(contents.size())
 
 PaddedString PaddedString::from_file(const std::string& path)
 {
+#ifdef DESCEND_HAVE_MMAP
+    // mmap fast path for large regular files: map the file copy-on-write
+    // inside an anonymous reservation that supplies readable padding pages,
+    // then write the space padding. The memset dirties only the file's
+    // final partial page (copy-on-write) plus the first anonymous page, so
+    // resident memory stays one file's worth instead of two.
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        struct stat st{};
+        bool fits = ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) &&
+                    st.st_size >= 0 &&
+                    static_cast<std::size_t>(st.st_size) >= kMmapThreshold;
+        if (fits) {
+            auto size = static_cast<std::size_t>(st.st_size);
+            auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+            std::size_t file_span = (size + page - 1) / page * page;
+            // One extra page guarantees >= kPadding readable bytes past the
+            // logical end even when the file is page-aligned.
+            std::size_t total = file_span + page;
+            void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                                MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+            if (base != MAP_FAILED) {
+                void* mapped = ::mmap(base, file_span, PROT_READ | PROT_WRITE,
+                                      MAP_PRIVATE | MAP_FIXED, fd, 0);
+                if (mapped != MAP_FAILED) {
+                    ::close(fd);
+                    auto* bytes = static_cast<std::uint8_t*>(base);
+                    std::memset(bytes + size, ' ', kPadding);
+                    // Re-seal everything below the padding; the tail page(s)
+                    // stay writable, which is harmless (they are private).
+                    std::size_t sealed = size / page * page;
+                    if (sealed > 0) {
+                        ::mprotect(base, sealed, PROT_READ);
+                    }
+                    PaddedString result;
+                    result.data_ = bytes;
+                    result.size_ = size;
+                    result.mapped_bytes_ = total;
+                    assert_padding(result.data_, result.size_);
+                    return result;
+                }
+                ::munmap(base, total);
+            }
+            // Fall through to the portable path on any mmap failure.
+        }
+        ::close(fd);
+    }
+#endif
     std::ifstream file(path, std::ios::binary | std::ios::ate);
     if (!file) {
         throw Error("cannot open file: " + path);
@@ -73,10 +129,11 @@ PaddedString PaddedString::from_file(const std::string& path)
 }
 
 PaddedString::PaddedString(PaddedString&& other) noexcept
-    : data_(other.data_), size_(other.size_)
+    : data_(other.data_), size_(other.size_), mapped_bytes_(other.mapped_bytes_)
 {
     other.data_ = nullptr;
     other.size_ = 0;
+    other.mapped_bytes_ = 0;
 }
 
 PaddedString& PaddedString::operator=(PaddedString&& other) noexcept
@@ -85,8 +142,10 @@ PaddedString& PaddedString::operator=(PaddedString&& other) noexcept
         release();
         data_ = other.data_;
         size_ = other.size_;
+        mapped_bytes_ = other.mapped_bytes_;
         other.data_ = nullptr;
         other.size_ = 0;
+        other.mapped_bytes_ = 0;
     }
     return *this;
 }
@@ -98,10 +157,19 @@ PaddedString::~PaddedString()
 
 void PaddedString::release() noexcept
 {
-    if (data_ != nullptr) {
-        ::operator delete(data_, std::align_val_t(kAlignment));
-        data_ = nullptr;
+    if (data_ == nullptr) {
+        return;
     }
+#ifdef DESCEND_HAVE_MMAP
+    if (mapped_bytes_ != 0) {
+        ::munmap(data_, mapped_bytes_);
+        data_ = nullptr;
+        mapped_bytes_ = 0;
+        return;
+    }
+#endif
+    ::operator delete(data_, std::align_val_t(kAlignment));
+    data_ = nullptr;
 }
 
 }  // namespace descend

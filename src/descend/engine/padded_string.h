@@ -6,9 +6,18 @@
  * over-allocated: PaddedString owns a 64-byte-aligned buffer whose logical
  * contents are followed by at least one full block of spaces (whitespace is
  * inert for every classifier). This mirrors simdjson's padded_string.
+ *
+ * PaddedView is the non-owning counterpart used for zero-copy record
+ * streams: a window into a larger padded buffer. Its contract is weaker —
+ * the kPadding bytes past the logical end must merely be *readable* (for a
+ * mid-stream record they are the following records, not spaces), so every
+ * classifier masks the final partial block to the logical end instead of
+ * relying on inert padding. See DESIGN.md ("Record streams & parallel
+ * sharding") for the slice-run contract.
  */
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -26,8 +35,19 @@ public:
     /** Copies the contents into a fresh padded buffer. */
     explicit PaddedString(std::string_view contents);
 
-    /** Reads a whole file into a padded buffer. Throws Error on failure. */
+    /**
+     * Reads a whole file into a padded buffer. Throws Error on failure.
+     *
+     * Large regular files take an mmap fast path on POSIX systems: the file
+     * is mapped copy-on-write and only the final partial page is touched to
+     * install the space padding, so multi-GB stream inputs do not double
+     * resident memory. Small files, pipes, and non-POSIX builds use the
+     * portable read-into-buffer fallback.
+     */
     static PaddedString from_file(const std::string& path);
+
+    /** Files at or above this size are mmapped by from_file (POSIX only). */
+    static constexpr std::size_t kMmapThreshold = std::size_t{1} << 22;
 
     PaddedString(PaddedString&& other) noexcept;
     PaddedString& operator=(PaddedString&& other) noexcept;
@@ -48,6 +68,59 @@ private:
     void release() noexcept;
 
     std::uint8_t* data_ = nullptr;
+    std::size_t size_ = 0;
+    /** Nonzero when data_ is an mmap region of this many bytes (munmap on
+     *  release) rather than a heap allocation. */
+    std::size_t mapped_bytes_ = 0;
+};
+
+/**
+ * A non-owning read-only window into padded input.
+ *
+ * Contract: at least PaddedString::kPadding bytes past data() + size() are
+ * readable. Unlike a PaddedString they need NOT be whitespace — a record
+ * slice of a stream buffer is followed by the remaining records. The
+ * classifier pipeline therefore treats size() as a hard end bound and
+ * masks the final partial block; no event, quote, or validator accounting
+ * ever leaks in from past-the-end bytes.
+ *
+ * Any in-bounds subview of a conforming view conforms as well: shrinking
+ * the window only grows the readable tail.
+ */
+class PaddedView {
+public:
+    PaddedView() = default;
+
+    PaddedView(const std::uint8_t* data, std::size_t size) noexcept
+        : data_(data), size_(size)
+    {
+    }
+
+    /** A PaddedString is trivially a conforming view of itself. */
+    PaddedView(const PaddedString& owner) noexcept
+        : data_(owner.data()), size_(owner.size())
+    {
+    }
+
+    const std::uint8_t* data() const noexcept { return data_; }
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+
+    std::string_view view() const noexcept
+    {
+        return {reinterpret_cast<const char*>(data_), size_};
+    }
+
+    /** The in-bounds window [offset, offset + length); conforming. */
+    PaddedView subview(std::size_t offset, std::size_t length) const noexcept
+    {
+        assert(offset <= size_ && length <= size_ - offset &&
+               "subview must stay within the parent view");
+        return {data_ + offset, length};
+    }
+
+private:
+    const std::uint8_t* data_ = nullptr;
     std::size_t size_ = 0;
 };
 

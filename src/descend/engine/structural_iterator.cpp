@@ -15,7 +15,7 @@ bool is_ws_byte(std::uint8_t byte)
 
 }  // namespace
 
-StructuralIterator::StructuralIterator(const PaddedString& input,
+StructuralIterator::StructuralIterator(PaddedView input,
                                        const simd::Kernels& kernels,
                                        StructuralValidator* validator,
                                        std::size_t max_skip_depth)
@@ -44,18 +44,33 @@ void StructuralIterator::fail(StatusCode code, std::size_t offset)
     in_string_ = 0;
 }
 
+std::uint64_t StructuralIterator::block_valid_mask() const noexcept
+{
+    // Quote and escape analysis are strictly left-to-right within a block,
+    // so bits below the end bound are correct no matter what the tail
+    // bytes hold; clipping the masks is all slice support needs.
+    std::size_t remaining = size_ - block_start_;
+    return remaining >= simd::kBlockSize
+               ? ~std::uint64_t{0}
+               : bits::mask_below(static_cast<int>(remaining));
+}
+
 void StructuralIterator::classify_block(bool with_structural)
 {
     block_entry_quote_state_ = quotes_.state();
     classify::QuoteMasks masks = quotes_.classify(data_ + block_start_);
+    std::uint64_t valid = block_valid_mask();
+    masks.in_string &= valid;
+    masks.unescaped_quotes &= valid;
     if (validator_ != nullptr) {
         validator_->account(quotes_.kernels(), data_ + block_start_, block_start_,
-                            masks.in_string);
+                            masks.in_string, valid);
     }
     in_string_ = masks.in_string;
     unescaped_quotes_ = masks.unescaped_quotes;
-    struct_mask_ =
-        with_structural ? (structural_.classify(data_ + block_start_) & ~in_string_) : 0;
+    struct_mask_ = with_structural ? (structural_.classify(data_ + block_start_) &
+                                      ~in_string_ & valid)
+                                   : 0;
 }
 
 bool StructuralIterator::advance_block(bool with_structural)
@@ -65,10 +80,18 @@ bool StructuralIterator::advance_block(bool with_structural)
     if (block_start_ >= end_) {
         block_start_ = end_;
         struct_mask_ = 0;
+        // End of input inside a string: nothing within the bound can close
+        // it, so the final string is unterminated. For block-aligned input
+        // the quote carry holds the verdict; for a partial final block the
+        // carry saw past-the-end bytes, so consult the last in-bound
+        // in-string bit instead (opening quotes are in-string inclusive,
+        // closing quotes exclusive, so the bit is exactly "still open").
+        std::size_t tail = size_ % simd::kBlockSize;
+        bool open_at_end = tail == 0
+                               ? quotes_.state().in_string_carry != 0
+                               : ((in_string_ >> (tail - 1)) & 1) != 0;
         in_string_ = 0;
-        if (quotes_.state().in_string_carry != 0) {
-            // End of input inside a string: the space padding cannot close
-            // it, so the document's final string is unterminated.
+        if (open_at_end) {
             fail(StatusCode::kTruncatedString, size_);
         }
         return false;
@@ -121,7 +144,7 @@ void StructuralIterator::set_commas(bool enabled, bool eager_disable)
     if (structural_.set_commas(enabled) && (enabled || eager_disable) &&
         block_start_ < end_) {
         struct_mask_ = structural_.classify(data_ + block_start_) & ~in_string_ &
-                       bits::mask_from(floor_);
+                       bits::mask_from(floor_) & block_valid_mask();
     }
 }
 
@@ -130,7 +153,7 @@ void StructuralIterator::set_colons(bool enabled, bool eager_disable)
     if (structural_.set_colons(enabled) && (enabled || eager_disable) &&
         block_start_ < end_) {
         struct_mask_ = structural_.classify(data_ + block_start_) & ~in_string_ &
-                       bits::mask_from(floor_);
+                       bits::mask_from(floor_) & block_valid_mask();
     }
 }
 
@@ -192,8 +215,9 @@ void StructuralIterator::skip_until_depth_zero(classify::BracketKind kind,
     while (block_start_ < end_) {
         classify::DepthMasks masks =
             classify::depth_masks(kernels, data_ + block_start_, kind);
-        masks.openers &= ~in_string_ & live;
-        masks.closers &= ~in_string_ & live;
+        std::uint64_t in_bound = ~in_string_ & live & block_valid_mask();
+        masks.openers &= in_bound;
+        masks.closers &= in_bound;
         int index;
         if (static_cast<std::size_t>(relative_depth) +
                 static_cast<std::size_t>(bits::popcount(masks.openers)) >
@@ -224,7 +248,7 @@ void StructuralIterator::skip_until_depth_zero(classify::BracketKind kind,
         if (index >= 0) {
             floor_ = consume_closer ? index + 1 : index;
             struct_mask_ = structural_.classify(data_ + block_start_) & ~in_string_ &
-                           bits::mask_from(floor_);
+                           bits::mask_from(floor_) & block_valid_mask();
             return;
         }
         if (static_cast<std::size_t>(relative_depth) > max_skip_depth_) {
@@ -267,7 +291,7 @@ void StructuralIterator::seek(std::size_t pos)
     }
     floor_ = static_cast<int>(pos - block_start_);
     struct_mask_ = structural_.classify(data_ + block_start_) & ~in_string_ &
-                   bits::mask_from(floor_);
+                   bits::mask_from(floor_) & block_valid_mask();
 }
 
 StructuralIterator::WithinResult StructuralIterator::skip_to_label_within(
@@ -278,15 +302,15 @@ StructuralIterator::WithinResult StructuralIterator::skip_to_label_within(
     std::uint64_t live = bits::mask_from(floor_);
     while (block_start_ < end_) {
         const std::uint8_t* block = data_ + block_start_;
-        std::uint64_t not_string = ~in_string_;
+        std::uint64_t not_string = ~in_string_ & live & block_valid_mask();
         std::uint64_t openers =
             (kernels.eq_mask(block, classify::kOpenBrace) |
              kernels.eq_mask(block, classify::kOpenBracket)) &
-            not_string & live;
+            not_string;
         std::uint64_t closers =
             (kernels.eq_mask(block, classify::kCloseBrace) |
              kernels.eq_mask(block, classify::kCloseBracket)) &
-            not_string & live;
+            not_string;
         // Candidate labels: string-opening quotes, prefiltered by the
         // label's first byte (bit 63's successor lives in the next block,
         // so it is kept and left to bytewise verification).

@@ -56,13 +56,19 @@ public:
     };
 
     /**
+     * @param input the document or slice to iterate. size() is a hard end
+     *        bound: when @p input is a mid-stream record slice, the bytes
+     *        past it belong to the following records, so the final partial
+     *        block's classification is masked to the bound — no event,
+     *        quote state, or validator accounting ever leaks in from
+     *        past-the-end bytes.
      * @param validator optional shared whole-document validator; every
      *        block this iterator classifies is accounted there once.
      * @param max_skip_depth relative-nesting bound enforced inside the
      *        depth-classifier fast-forwards (the engine bounds the depth
      *        it tracks itself; this guards the depth the skips traverse).
      */
-    StructuralIterator(const PaddedString& input, const simd::Kernels& kernels,
+    StructuralIterator(PaddedView input, const simd::Kernels& kernels,
                        StructuralValidator* validator = nullptr,
                        std::size_t max_skip_depth = EngineLimits::kUnlimited);
 
@@ -171,6 +177,12 @@ public:
     std::size_t size() const noexcept { return size_; }
 
 private:
+    /** Mask of positions within the end bound for the current block: all
+     *  ones except in the final partial block of a slice, where only bits
+     *  below size() - block_start_ are live. Callable only while
+     *  block_start_ < end_. */
+    std::uint64_t block_valid_mask() const noexcept;
+
     /** Classifies the block at block_start_ (quotes always; structural
      *  unless we are about to run the depth classifier instead). */
     void classify_block(bool with_structural);

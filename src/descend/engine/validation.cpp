@@ -10,8 +10,7 @@ bool is_ws_byte(std::uint8_t byte)
 
 }  // namespace
 
-EngineStatus preflight_document(const PaddedString& document,
-                                const EngineLimits& limits)
+EngineStatus preflight_document(PaddedView document, const EngineLimits& limits)
 {
     if (document.size() > limits.max_document_size) {
         return {StatusCode::kSizeLimit, limits.max_document_size};

@@ -39,8 +39,7 @@
 namespace descend {
 
 /** Size / BOM / emptiness checks shared by all four engines. */
-EngineStatus preflight_document(const PaddedString& document,
-                                const EngineLimits& limits);
+EngineStatus preflight_document(PaddedView document, const EngineLimits& limits);
 
 class StructuralValidator {
 public:
@@ -50,15 +49,22 @@ public:
      * arrive in order and are counted exactly once (re-classification of
      * an already-counted block, as the resume protocol performs, is
      * ignored via the monotone counter).
+     *
+     * @param valid mask of positions within the input's end bound. All
+     *        ones for full blocks; a low-bits mask for the final partial
+     *        block of a PaddedView slice, whose tail bytes belong to the
+     *        surrounding buffer and must not move any balance. The
+     *        in-string mask must already be clipped to @p valid.
      */
     void account(const simd::Kernels& kernels, const std::uint8_t* block,
-                 std::size_t block_start, std::uint64_t in_string) noexcept
+                 std::size_t block_start, std::uint64_t in_string,
+                 std::uint64_t valid = ~std::uint64_t{0}) noexcept
     {
         if (block_start != counted_until_) {
             return;
         }
         counted_until_ += simd::kBlockSize;
-        std::uint64_t not_string = ~in_string;
+        std::uint64_t not_string = ~in_string & valid;
         obj_balance_ += static_cast<std::int64_t>(bits::popcount(
             kernels.eq_mask(block, classify::kOpenBrace) & not_string));
         obj_balance_ -= static_cast<std::int64_t>(bits::popcount(
@@ -67,7 +73,11 @@ public:
             kernels.eq_mask(block, classify::kOpenBracket) & not_string));
         arr_balance_ -= static_cast<std::int64_t>(bits::popcount(
             kernels.eq_mask(block, classify::kCloseBracket) & not_string));
-        ends_in_string_ = (in_string >> 63) & 1;
+        // The string state at the end bound: the highest valid position's
+        // in-string bit (valid is a contiguous low mask, so its popcount
+        // is the index one past the top bit).
+        int top = bits::popcount(valid) - 1;
+        ends_in_string_ = top >= 0 && ((in_string >> top) & 1) != 0;
     }
 
     /** Number of bytes covered by accounted blocks so far. */

@@ -1,0 +1,59 @@
+#include "descend/stream/record_splitter.h"
+
+#include "descend/classify/quote_classifier.h"
+#include "descend/util/bits.h"
+
+namespace descend::stream {
+namespace {
+
+bool is_ws_byte(std::uint8_t byte)
+{
+    return byte == ' ' || byte == '\t' || byte == '\n' || byte == '\r';
+}
+
+/** Trims [begin, end) and appends it when non-blank. */
+void append_record(const std::uint8_t* data, std::size_t begin, std::size_t end,
+                   std::vector<RecordSpan>& records)
+{
+    while (begin < end && is_ws_byte(data[begin])) {
+        ++begin;
+    }
+    while (end > begin && is_ws_byte(data[end - 1])) {
+        --end;
+    }
+    if (begin < end) {
+        records.push_back({begin, end});
+    }
+}
+
+}  // namespace
+
+std::vector<RecordSpan> split_records(PaddedView input,
+                                      const simd::Kernels& kernels)
+{
+    std::vector<RecordSpan> records;
+    const std::uint8_t* data = input.data();
+    std::size_t size = input.size();
+    classify::QuoteClassifier quotes(kernels);
+    std::size_t start = 0;
+    for (std::size_t block = 0; block < size; block += simd::kBlockSize) {
+        classify::QuoteMasks masks = quotes.classify(data + block);
+        std::uint64_t valid =
+            size - block >= simd::kBlockSize
+                ? ~std::uint64_t{0}
+                : bits::mask_below(static_cast<int>(size - block));
+        std::uint64_t newlines =
+            kernels.eq_mask(data + block, '\n') & ~masks.in_string & valid;
+        for (bits::BitIter it(newlines); !it.done(); it.advance()) {
+            std::size_t pos = block + static_cast<std::size_t>(it.index());
+            append_record(data, start, pos, records);
+            start = pos + 1;
+        }
+    }
+    // Final record without a trailing newline (or with the stream's last
+    // string left open — then this is the fused damaged tail).
+    append_record(data, start, size, records);
+    return records;
+}
+
+}  // namespace descend::stream

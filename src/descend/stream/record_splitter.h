@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SIMD record splitter for NDJSON / JSON Lines streams.
+ *
+ * Finds record boundaries in a multi-record buffer: one pass of the quote
+ * classifier per 64-byte block yields the in-string mask, and an eq_mask
+ * for '\n' clipped by it gives exactly the newlines that terminate records
+ * — a newline inside a string value never splits a record. Tolerated
+ * deviations from strict JSON Lines: CRLF line endings, blank (whitespace-
+ * only) lines, and a final record without a trailing newline. Each emitted
+ * span is trimmed of surrounding whitespace, so span.begin is the record's
+ * first content byte and intra-record match offsets are relative to it.
+ *
+ * Caveat shared with simdjson's parse_many: a record with an unterminated
+ * string keeps the in-string mask set, so the splitter fuses it with the
+ * following records into one span. The fused span then fails engine
+ * validation (truncated string / trailing content) and is reported as a
+ * single damaged record — corrupted input degrades to a diagnosable error,
+ * never to silently misattributed matches.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "descend/engine/padded_string.h"
+#include "descend/simd/dispatch.h"
+
+namespace descend::stream {
+
+/** Half-open byte range [begin, end) of one record within the stream
+ *  buffer, whitespace-trimmed on both sides (never empty). */
+struct RecordSpan {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const noexcept { return end - begin; }
+
+    friend bool operator==(const RecordSpan& a, const RecordSpan& b) noexcept
+    {
+        return a.begin == b.begin && a.end == b.end;
+    }
+};
+
+/**
+ * Splits @p input into records. Record index == position in the returned
+ * vector; blank lines are skipped and consume no index. Runs at classifier
+ * speed (one quote classification + one eq_mask per block).
+ */
+std::vector<RecordSpan> split_records(PaddedView input,
+                                      const simd::Kernels& kernels);
+
+}  // namespace descend::stream

@@ -1,0 +1,154 @@
+#include "descend/stream/stream_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+namespace descend::stream {
+namespace {
+
+constexpr std::size_t kNoError = StreamResult::kNone;
+
+/** One record's buffered run outcome, produced by a worker. */
+struct RecordOutcome {
+    std::size_t record = 0;
+    EngineStatus status;
+    /** Intra-record match offsets; populated only when status.ok(), so a
+     *  failed record's partial matches can never leak into the sink. */
+    std::vector<std::size_t> offsets;
+};
+
+/**
+ * Atomic fetch-min. The floor only ever decreases, which is what makes
+ * fail-fast deterministic: a worker skips record r only while r > floor,
+ * so every record below the *final* floor is guaranteed to have been
+ * processed by someone.
+ */
+void lower_floor(std::atomic<std::size_t>& floor, std::size_t candidate)
+{
+    std::size_t current = floor.load(std::memory_order_relaxed);
+    while (candidate < current &&
+           !floor.compare_exchange_weak(current, candidate,
+                                        std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+StreamResult StreamExecutor::run(PaddedView input, StreamSink& sink) const
+{
+    const simd::Kernels& kernels = simd::kernels_for(options_.engine.simd);
+    std::vector<RecordSpan> records = split_records(input, kernels);
+    return run_records(input, records, sink);
+}
+
+StreamResult StreamExecutor::run_records(PaddedView input,
+                                         const std::vector<RecordSpan>& records,
+                                         StreamSink& sink) const
+{
+    StreamResult result;
+    result.records = records.size();
+    if (records.empty()) {
+        return result;
+    }
+
+    const std::size_t batch_size =
+        options_.records_per_batch > 0 ? options_.records_per_batch : 1;
+    const std::size_t num_batches =
+        (records.size() + batch_size - 1) / batch_size;
+    std::size_t workers = options_.threads != 0
+                              ? options_.threads
+                              : std::thread::hardware_concurrency();
+    workers = std::min(std::max<std::size_t>(workers, 1), num_batches);
+
+    const bool fail_fast = options_.policy == ErrorPolicy::kFailFast;
+    std::vector<std::vector<RecordOutcome>> outcomes(num_batches);
+    std::atomic<std::size_t> next_batch{0};
+    std::atomic<std::size_t> error_floor{kNoError};
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t batch = next_batch.fetch_add(1, std::memory_order_relaxed);
+            if (batch >= num_batches) {
+                break;
+            }
+            std::size_t first = batch * batch_size;
+            std::size_t last = std::min(first + batch_size, records.size());
+            if (fail_fast && first > error_floor.load(std::memory_order_relaxed)) {
+                continue;
+            }
+            std::vector<RecordOutcome>& out = outcomes[batch];
+            out.reserve(last - first);
+            for (std::size_t r = first; r < last; ++r) {
+                if (fail_fast && r > error_floor.load(std::memory_order_relaxed)) {
+                    break;
+                }
+                const RecordSpan& span = records[r];
+                OffsetSink collector;
+                RecordOutcome outcome;
+                outcome.record = r;
+                outcome.status =
+                    engine_.run(input.subview(span.begin, span.size()), collector);
+                if (outcome.status.ok()) {
+                    outcome.offsets = collector.take_offsets();
+                } else if (fail_fast) {
+                    lower_floor(error_floor, r);
+                }
+                bool failed = !outcome.status.ok();
+                out.push_back(std::move(outcome));
+                if (fail_fast && failed) {
+                    break;
+                }
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t i = 0; i < workers; ++i) {
+            pool.emplace_back(worker);
+        }
+        for (std::thread& thread : pool) {
+            thread.join();
+        }
+    }
+
+    // Ordered replay: batches ascend and records ascend within each batch,
+    // so a single pass delivers document order to the (single-threaded)
+    // sink. Under fail-fast, everything past the floor is discarded — the
+    // floor record itself is the stream's one reported error.
+    const std::size_t floor = error_floor.load(std::memory_order_relaxed);
+    bool stopped = false;
+    for (std::size_t batch = 0; batch < num_batches && !stopped; ++batch) {
+        for (const RecordOutcome& outcome : outcomes[batch]) {
+            if (fail_fast && outcome.record > floor) {
+                stopped = true;
+                break;
+            }
+            if (outcome.status.ok()) {
+                for (std::size_t offset : outcome.offsets) {
+                    sink.on_match(outcome.record, offset);
+                }
+                result.matches += outcome.offsets.size();
+            } else {
+                sink.on_record_error(outcome.record, outcome.status);
+                ++result.failed_records;
+                if (result.first_error_record == StreamResult::kNone) {
+                    result.first_error_record = outcome.record;
+                    result.first_error = outcome.status;
+                }
+                if (fail_fast) {
+                    stopped = true;
+                    break;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace descend::stream

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Parallel sharded execution of one compiled query over a record stream.
+ *
+ * The executor owns a single DescendEngine — the query is compiled once and
+ * its automaton shared read-only by every worker (DescendEngine's const run
+ * paths are stateless). Workers claim contiguous batches of records from an
+ * atomic cursor and run the engine zero-copy over each record's PaddedView
+ * subview of the one stream buffer; per-record results are buffered per
+ * batch and replayed in document order through the StreamSink after the
+ * workers join, so the sink observes exactly the sequential order and never
+ * needs to be thread-safe.
+ *
+ * Failure semantics are deterministic for every thread count:
+ *  - ErrorPolicy::kSkipRecord — every failed record is reported through
+ *    on_record_error() and its matches withheld; all other records are
+ *    processed normally.
+ *  - ErrorPolicy::kFailFast — the stream stops at the *first* failing
+ *    record in document order: workers maintain a monotonically decreasing
+ *    shared error floor (the smallest failing record index seen) and stop
+ *    claiming work beyond it, and the merge emits all matches before that
+ *    record, then exactly one on_record_error() for it. Records after the
+ *    floor are never reported, even if a worker already ran them.
+ */
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "descend/automaton/compiled.h"
+#include "descend/engine/main_engine.h"
+#include "descend/engine/padded_string.h"
+#include "descend/stream/record_splitter.h"
+#include "descend/stream/stream_sink.h"
+#include "descend/util/status.h"
+
+namespace descend::stream {
+
+/** What to do when a record's engine run reports a non-ok status. */
+enum class ErrorPolicy : std::uint8_t {
+    /** Report the record via on_record_error() and keep going. */
+    kSkipRecord,
+    /** Stop at the first failing record in document order. */
+    kFailFast,
+};
+
+/** Knobs of the stream executor. */
+struct StreamOptions {
+    /** Worker thread count; 0 means std::thread::hardware_concurrency().
+     *  With one worker the executor runs inline, spawning no threads. */
+    std::size_t threads = 0;
+    /** Records per scheduling batch. Batches amortize the atomic claim and
+     *  keep each worker's results contiguous in document order. */
+    std::size_t records_per_batch = 64;
+    ErrorPolicy policy = ErrorPolicy::kSkipRecord;
+    /** Per-record engine configuration (SIMD level, skipping, limits). */
+    EngineOptions engine;
+};
+
+/** Aggregate outcome of one stream run. */
+struct StreamResult {
+    static constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+    /** Records found by the splitter (blank lines excluded). Under
+     *  kFailFast, records after the failing one are counted here but were
+     *  neither fully processed nor reported. */
+    std::size_t records = 0;
+    /** Matches delivered to the sink. */
+    std::size_t matches = 0;
+    /** Records reported through on_record_error() (at most 1 under
+     *  kFailFast). */
+    std::size_t failed_records = 0;
+    /** Index of the first failing record in document order, kNone if all
+     *  records succeeded. */
+    std::size_t first_error_record = kNone;
+    /** Status of that record (offset is intra-record). */
+    EngineStatus first_error;
+
+    bool ok() const noexcept { return failed_records == 0; }
+};
+
+/** Runs a compiled query over NDJSON streams; reusable across streams. */
+class StreamExecutor {
+public:
+    explicit StreamExecutor(automaton::CompiledQuery query,
+                            StreamOptions options = {})
+        : engine_(std::move(query), options.engine), options_(options)
+    {
+    }
+
+    /** Convenience: parse, compile and wrap a query. */
+    static StreamExecutor for_query(std::string_view query_text,
+                                    StreamOptions options = {})
+    {
+        return StreamExecutor(automaton::CompiledQuery::compile(query_text),
+                              options);
+    }
+
+    /** Splits @p input into records and runs the query over each. */
+    StreamResult run(PaddedView input, StreamSink& sink) const;
+
+    /** Runs over records already split from @p input (spans index into it). */
+    StreamResult run_records(PaddedView input,
+                             const std::vector<RecordSpan>& records,
+                             StreamSink& sink) const;
+
+    const DescendEngine& engine() const noexcept { return engine_; }
+    const StreamOptions& options() const noexcept { return options_; }
+
+private:
+    DescendEngine engine_;
+    StreamOptions options_;
+};
+
+}  // namespace descend::stream

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Receivers for record-stream query results.
+ *
+ * The stream executor reports matches as (record_index, offset) pairs in
+ * document order — record indices ascending, offsets ascending within a
+ * record — regardless of how many worker threads produced them. Offsets
+ * are relative to the record's span begin (the record's first content
+ * byte); add RecordSpan::begin for an absolute stream offset.
+ *
+ * A record whose engine run fails contributes no matches: its (possibly
+ * partial) match set is withheld and on_record_error() is called instead,
+ * at the record's position in document order, with the per-record
+ * EngineStatus (whose offset is likewise intra-record). This keeps the
+ * delivered match stream byte-identical to a sequential per-record run.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "descend/util/status.h"
+
+namespace descend::stream {
+
+/** Receiver of stream matches and per-record failures, in document order. */
+class StreamSink {
+public:
+    virtual ~StreamSink() = default;
+
+    /** @param offset byte offset of the match relative to the record's
+     *  span begin. */
+    virtual void on_match(std::size_t record_index, std::size_t offset) = 0;
+
+    /** A record whose run failed; @p status.offset is intra-record. The
+     *  default ignores the error (the aggregate StreamResult still counts
+     *  it). */
+    virtual void on_record_error(std::size_t record_index,
+                                 const EngineStatus& status)
+    {
+        (void)record_index;
+        (void)status;
+    }
+};
+
+/** Counts matches and failed records — the benchmark sink. */
+class CountingStreamSink final : public StreamSink {
+public:
+    void on_match(std::size_t, std::size_t) override { ++matches_; }
+    void on_record_error(std::size_t, const EngineStatus&) override
+    {
+        ++failed_records_;
+    }
+
+    std::size_t matches() const noexcept { return matches_; }
+    std::size_t failed_records() const noexcept { return failed_records_; }
+
+private:
+    std::size_t matches_ = 0;
+    std::size_t failed_records_ = 0;
+};
+
+/** Collects matches and errors for verification and extraction. */
+class CollectingStreamSink final : public StreamSink {
+public:
+    struct Match {
+        std::size_t record = 0;
+        std::size_t offset = 0;
+
+        friend bool operator==(const Match& a, const Match& b) noexcept
+        {
+            return a.record == b.record && a.offset == b.offset;
+        }
+    };
+
+    struct RecordError {
+        std::size_t record = 0;
+        EngineStatus status;
+
+        friend bool operator==(const RecordError& a, const RecordError& b) noexcept
+        {
+            return a.record == b.record && a.status == b.status;
+        }
+    };
+
+    void on_match(std::size_t record_index, std::size_t offset) override
+    {
+        matches_.push_back({record_index, offset});
+    }
+
+    void on_record_error(std::size_t record_index,
+                         const EngineStatus& status) override
+    {
+        errors_.push_back({record_index, status});
+    }
+
+    const std::vector<Match>& matches() const noexcept { return matches_; }
+    const std::vector<RecordError>& errors() const noexcept { return errors_; }
+
+private:
+    std::vector<Match> matches_;
+    std::vector<RecordError> errors_;
+};
+
+}  // namespace descend::stream

@@ -22,7 +22,10 @@ std::vector<std::size_t> dom_offsets(const std::string& query,
 {
     DomEngine oracle(query::Query::parse(query));
     PaddedString padded(document);
-    return oracle.offsets(padded);
+    OffsetsResult result = oracle.offsets_checked(padded);
+    EXPECT_TRUE(result.ok()) << "oracle rejected the document: "
+                             << to_string(result.status);
+    return result.offsets;
 }
 
 TEST(SurferEngine, AgreesWithOracle)

@@ -411,5 +411,59 @@ TEST(EngineMisc, DepthStackStaysSparseForChildFreeQueries)
     EXPECT_GT(mixed_stats.max_stack, 100u);
 }
 
+TEST(CheckedApi, CountCheckedPropagatesStatus)
+{
+    DescendEngine engine = DescendEngine::for_query("$.a");
+    CountResult good = engine.count_checked(PaddedString(R"({"a": 1})"));
+    EXPECT_TRUE(good.ok());
+    EXPECT_EQ(good.count, 1u);
+
+    // A truncated document: the unchecked count() would report this as a
+    // plausible-looking number, the checked variant flags it.
+    CountResult bad = engine.count_checked(PaddedString(R"({"a": 1, "b":)"));
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status.code, StatusCode::kUnbalancedStructure);
+
+    CountResult truncated =
+        engine.count_checked(PaddedString(R"({"a": "unclosed)"));
+    EXPECT_FALSE(truncated.ok());
+    EXPECT_EQ(truncated.status.code, StatusCode::kTruncatedString);
+}
+
+TEST(CheckedApi, OffsetsCheckedPropagatesStatus)
+{
+    DescendEngine engine = DescendEngine::for_query("$..b");
+    OffsetsResult good =
+        engine.offsets_checked(PaddedString(R"({"a": {"b": 2}})"));
+    EXPECT_TRUE(good.ok());
+    EXPECT_EQ(good.offsets, (std::vector<std::size_t>{12}));
+
+    // Unbalanced input (head-skip mode cannot flag *trailing* content, but
+    // balance accounting runs during block classification on every path).
+    OffsetsResult bad =
+        engine.offsets_checked(PaddedString(R"({"b": [1, 2})"));
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status.code, StatusCode::kUnbalancedStructure);
+
+    // The unchecked conveniences agree with the checked results on the
+    // payload, they just drop the status.
+    EXPECT_EQ(engine.count(PaddedString(R"({"a": {"b": 2}})")), 1u);
+    EXPECT_EQ(engine.offsets(PaddedString(R"({"a": {"b": 2}})")),
+              good.offsets);
+}
+
+TEST(CheckedApi, StatusSurvivesTheVirtualInterface)
+{
+    // Through the base-class pointer the devirtualized overrides must still
+    // be reached and still report status.
+    DescendEngine engine = DescendEngine::for_query("$.a");
+    const JsonPathEngine& generic = engine;
+    CountResult bad = generic.count_checked(PaddedString("{\"a\":"));
+    EXPECT_FALSE(bad.ok());
+    OffsetsResult ok = generic.offsets_checked(PaddedString("{\"a\": 5}"));
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.offsets.size(), 1u);
+}
+
 }  // namespace
 }  // namespace descend

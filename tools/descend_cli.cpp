@@ -15,8 +15,12 @@
  *   --within-skip      enable the within-element label skip extension
  *   --stats            print run statistics (events, skips, stack depth)
  *   --validate         strictly validate the input first (DOM parse)
- *   --ndjson           treat input as newline-delimited JSON (one
- *                      document per line; the query runs on each)
+ *   --ndjson           treat input as newline-delimited JSON: SIMD record
+ *                      splitting + parallel sharded execution (descend
+ *                      engine only); matches print as "record R: value"
+ *   --threads N        worker threads for --ndjson (default: all cores)
+ *   --fail-fast        with --ndjson, stop at the first malformed record
+ *                      instead of skipping it and continuing
  *   --help             this text
  */
 #include <cstdio>
@@ -46,7 +50,9 @@ struct CliOptions {
     bool stats = false;
     bool validate = false;
     bool ndjson = false;
-    std::size_t limit = 0;  // 0 = unlimited
+    bool fail_fast = false;
+    std::size_t threads = 0;  // 0 = hardware concurrency
+    std::size_t limit = 0;    // 0 = unlimited
     EngineOptions engine_options;
 };
 
@@ -56,7 +62,8 @@ void usage()
         "usage: descend-cli [options] '<query>' [file...]\n"
         "  --count | --offsets | --limit N\n"
         "  --engine descend|surfer|ski|dom   --scalar\n"
-        "  --no-head-skip | --within-skip | --stats | --validate\n",
+        "  --no-head-skip | --within-skip | --stats | --validate\n"
+        "  --ndjson [--threads N] [--fail-fast]\n",
         stderr);
 }
 
@@ -75,6 +82,13 @@ bool parse_args(int argc, char** argv, CliOptions& options)
             options.validate = true;
         } else if (arg == "--ndjson") {
             options.ndjson = true;
+        } else if (arg == "--fail-fast") {
+            options.fail_fast = true;
+        } else if (arg == "--threads") {
+            if (++i >= argc) {
+                return false;
+            }
+            options.threads = static_cast<std::size_t>(std::strtoull(argv[i], nullptr, 10));
         } else if (arg == "--scalar") {
             options.engine_options.simd = simd::Level::scalar;
         } else if (arg == "--no-head-skip") {
@@ -201,35 +215,83 @@ int run_on(const CliOptions& options, const JsonPathEngine& engine,
     return 0;
 }
 
-/** NDJSON: the query runs over every non-empty line independently. */
-int run_ndjson(const CliOptions& options, const JsonPathEngine& engine,
-               const PaddedString& input)
+/**
+ * NDJSON: SIMD record splitting + parallel sharded execution over the one
+ * padded input buffer (see src/descend/stream). Matches arrive through the
+ * stream sink in document order regardless of the thread count.
+ */
+int run_ndjson(const CliOptions& options, const PaddedString& input)
 {
-    std::string_view text = input.view();
-    std::size_t line_number = 0;
-    std::size_t start = 0;
-    int worst = 0;
-    while (start <= text.size()) {
-        std::size_t end = text.find('\n', start);
-        if (end == std::string_view::npos) {
-            end = text.size();
+    stream::StreamOptions stream_options;
+    stream_options.threads = options.threads;
+    stream_options.policy = options.fail_fast ? stream::ErrorPolicy::kFailFast
+                                              : stream::ErrorPolicy::kSkipRecord;
+    stream_options.engine = options.engine_options;
+    stream::StreamExecutor executor(
+        automaton::CompiledQuery::compile(options.query), stream_options);
+
+    const simd::Kernels& kernels =
+        simd::kernels_for(options.engine_options.simd);
+    std::vector<stream::RecordSpan> records =
+        stream::split_records(input, kernels);
+
+    /** Prints each match as it is replayed; record offsets are
+     *  intra-record, so extraction adds the record's span begin. */
+    struct PrintingSink final : stream::StreamSink {
+        const CliOptions& options;
+        const PaddedString& input;
+        const std::vector<stream::RecordSpan>& records;
+        std::size_t shown = 0;
+        std::size_t suppressed = 0;
+
+        PrintingSink(const CliOptions& options, const PaddedString& input,
+                     const std::vector<stream::RecordSpan>& records)
+            : options(options), input(input), records(records)
+        {
         }
-        std::string_view line = text.substr(start, end - start);
-        ++line_number;
-        if (!line.empty()) {
-            PaddedString document(line);
-            std::printf("line %zu: ", line_number);
-            int status = run_on(options, engine, "", document);
-            if (status > worst) {
-                worst = status;
+
+        void on_match(std::size_t record, std::size_t offset) override
+        {
+            if (options.count_only) {
+                return;
+            }
+            if (options.limit != 0 && shown >= options.limit) {
+                ++suppressed;
+                return;
+            }
+            ++shown;
+            if (options.offsets_only) {
+                std::printf("record %zu: %zu\n", record, offset);
+            } else {
+                std::string_view value =
+                    extract_value(input, records[record].begin + offset);
+                std::printf("record %zu: %.*s\n", record,
+                            static_cast<int>(value.size()), value.data());
             }
         }
-        if (end == text.size()) {
-            break;
+
+        void on_record_error(std::size_t record,
+                             const EngineStatus& status) override
+        {
+            std::fprintf(stderr, "descend-cli: record %zu: %s\n", record,
+                         to_string(status).c_str());
         }
-        start = end + 1;
+    };
+
+    PrintingSink sink(options, input, records);
+    stream::StreamResult result = executor.run_records(input, records, sink);
+    if (sink.suppressed != 0) {
+        std::printf("... (%zu more)\n", sink.suppressed);
     }
-    return worst;
+    if (options.count_only) {
+        std::printf("%zu\n", result.matches);
+    }
+    if (options.stats) {
+        std::fprintf(stderr,
+                     "[stats] %zu records, %zu matches, %zu failed records\n",
+                     result.records, result.matches, result.failed_records);
+    }
+    return result.ok() ? 0 : 1;
 }
 
 }  // namespace
@@ -241,10 +303,16 @@ int main(int argc, char** argv)
         usage();
         return 2;
     }
+    if (options.ndjson && options.engine != "descend") {
+        std::fputs("descend-cli: --ndjson supports only the descend engine\n",
+                   stderr);
+        return 2;
+    }
     try {
-        std::unique_ptr<JsonPathEngine> engine = make_engine(options);
+        std::unique_ptr<JsonPathEngine> engine =
+            options.ndjson ? nullptr : make_engine(options);
         auto dispatch = [&](const std::string& name, const PaddedString& doc) {
-            return options.ndjson ? run_ndjson(options, *engine, doc)
+            return options.ndjson ? run_ndjson(options, doc)
                                   : run_on(options, *engine, name, doc);
         };
         if (options.files.empty()) {

@@ -22,6 +22,15 @@
  * after an atomic root (see DESIGN.md, "Error handling & limits").
  *
  *   fuzz_engine [--iterations N] [--seed S] [--verbose]
+ *   fuzz_engine --ndjson N [--seed S]
+ *
+ * --ndjson N: NDJSON mutation mode for the record-stream subsystem. Small
+ * workload documents are concatenated into NDJSON streams, the *whole
+ * stream* is mutated (including newline insertion/deletion, so record
+ * boundaries themselves get attacked), and the sharded StreamExecutor — at
+ * several thread counts, under both error policies — is checked against a
+ * scalar reference splitter plus sequential per-record engine runs over
+ * isolated PaddedString copies.
  *
  * Exits non-zero on the first disagreement, printing a self-contained
  * reproducer (seed dataset, mutation, document, statuses).
@@ -516,15 +525,277 @@ int check_document(const Corpus& corpus, const Mutation& mutation, Stats& stats)
     return 0;
 }
 
+// ---------------------------------------------------------------------------
+// NDJSON mutation mode: differential fuzzing of the record-stream subsystem.
+// ---------------------------------------------------------------------------
+
+/**
+ * Scalar reference splitter sharing no code with stream::split_records:
+ * naive per-byte string/escape tracking, newline splits, whitespace
+ * trimming — the independent oracle for record boundaries. Escape
+ * semantics follow the quote classifier's (simdjson's) convention: a quote
+ * preceded by an odd run of backslashes is never a string delimiter,
+ * regardless of whether the run sits inside a string — on damaged streams
+ * the two conventions genuinely differ and the classifier's is the
+ * subsystem's contract.
+ */
+std::vector<stream::RecordSpan> reference_split(const std::string& text)
+{
+    std::vector<stream::RecordSpan> spans;
+    auto emit = [&](std::size_t begin, std::size_t end) {
+        while (begin < end && oracle_is_ws(text[begin])) {
+            ++begin;
+        }
+        while (end > begin && oracle_is_ws(text[end - 1])) {
+            --end;
+        }
+        if (begin < end) {
+            spans.push_back({begin, end});
+        }
+    };
+    bool in_string = false;
+    bool escaped = false;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (c == '\\') {
+            escaped = !escaped;
+            continue;
+        }
+        if (c == '"' && !escaped) {
+            in_string = !in_string;
+        } else if (c == '\n' && !in_string) {
+            emit(start, i);
+            start = i + 1;
+        }
+        escaped = false;
+    }
+    emit(start, text.size());
+    return spans;
+}
+
+/** Mutates a stream: the single-document mutations plus newline attacks. */
+template <typename Rng>
+std::optional<Mutation> mutate_stream(const std::string& seed, Rng& rng)
+{
+    switch (rng() % 4) {
+        case 0: {  // insert a newline anywhere (splits a record, or lands
+                   // inside a string where it must NOT split)
+            std::string doc = seed;
+            std::size_t at = pick(rng, doc.size() + 1);
+            doc.insert(at, 1, '\n');
+            return Mutation{"insert '\\n' at " + std::to_string(at), doc};
+        }
+        case 1: {  // delete a newline (fuses two records into one)
+            std::vector<std::size_t> sites = positions_of(seed, "\n");
+            if (sites.empty()) return std::nullopt;
+            std::string doc = seed;
+            std::size_t at = sites[pick(rng, sites.size())];
+            doc.erase(at, 1);
+            return Mutation{"delete '\\n' at " + std::to_string(at), doc};
+        }
+        default:
+            return mutate(seed, rng);
+    }
+}
+
+int report_stream(const std::string& name, const Mutation& mutation,
+                  const std::string& configuration, const std::string& detail,
+                  const std::string& document)
+{
+    std::printf(
+        "STREAM DISAGREEMENT\nseed: %s\nmutation: %s\nconfiguration: %s\n"
+        "problem: %s\ndocument (%zu bytes):\n%.*s\n",
+        name.c_str(), mutation.description.c_str(), configuration.c_str(),
+        detail.c_str(), document.size(),
+        static_cast<int>(document.size() > 2000 ? 2000 : document.size()),
+        document.c_str());
+    return 1;
+}
+
+/**
+ * Checks one (possibly mutated) NDJSON stream: splitter vs the scalar
+ * reference, then the sharded executor at several thread counts and under
+ * both policies vs sequential per-record runs over isolated copies.
+ */
+int check_stream(const std::string& name, const Mutation& mutation,
+                 const std::string& query_text, Stats& stats)
+{
+    const std::string& text = mutation.document;
+    PaddedString padded(text);
+    std::vector<stream::RecordSpan> expected_spans = reference_split(text);
+    for (simd::Level level : {simd::Level::avx2, simd::Level::scalar}) {
+        std::vector<stream::RecordSpan> spans =
+            stream::split_records(padded, simd::kernels_for(level));
+        if (spans != expected_spans) {
+            return report_stream(
+                name, mutation,
+                level == simd::Level::avx2 ? "split[avx2]" : "split[scalar]",
+                "record spans diverge from the scalar reference splitter "
+                "(counts " +
+                    std::to_string(spans.size()) + " vs " +
+                    std::to_string(expected_spans.size()) + ")",
+                text);
+        }
+    }
+
+    // Sequential per-record oracle over isolated copies.
+    DescendEngine engine = DescendEngine::for_query(query_text);
+    std::vector<stream::CollectingStreamSink::Match> skip_matches;
+    std::vector<stream::CollectingStreamSink::RecordError> skip_errors;
+    for (std::size_t r = 0; r < expected_spans.size(); ++r) {
+        const stream::RecordSpan& span = expected_spans[r];
+        PaddedString copy(
+            std::string_view(text).substr(span.begin, span.size()));
+        OffsetsResult result = engine.offsets_checked(copy);
+        if (result.ok()) {
+            for (std::size_t offset : result.offsets) {
+                skip_matches.push_back({r, offset});
+            }
+        } else {
+            skip_errors.push_back({r, result.status});
+        }
+    }
+    // Fail-fast expectation: cut the skip-policy result at the first error.
+    std::vector<stream::CollectingStreamSink::Match> fast_matches;
+    std::vector<stream::CollectingStreamSink::RecordError> fast_errors;
+    std::size_t first_failed = skip_errors.empty()
+                                   ? stream::StreamResult::kNone
+                                   : skip_errors.front().record;
+    for (const auto& match : skip_matches) {
+        if (match.record < first_failed) {
+            fast_matches.push_back(match);
+        }
+    }
+    if (!skip_errors.empty()) {
+        fast_errors.push_back(skip_errors.front());
+    }
+
+    for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+        for (stream::ErrorPolicy policy : {stream::ErrorPolicy::kSkipRecord,
+                                           stream::ErrorPolicy::kFailFast}) {
+            bool fail_fast = policy == stream::ErrorPolicy::kFailFast;
+            stream::StreamOptions options;
+            options.threads = threads;
+            options.policy = policy;
+            options.records_per_batch = 3;  // small batches: more shuffling
+            stream::StreamExecutor executor(
+                automaton::CompiledQuery::compile(query_text), options);
+            stream::CollectingStreamSink sink;
+            stream::StreamResult result = executor.run(padded, sink);
+            std::string configuration =
+                "executor[threads=" + std::to_string(threads) +
+                (fail_fast ? ",fail-fast]" : ",skip]");
+            const auto& want_matches = fail_fast ? fast_matches : skip_matches;
+            const auto& want_errors = fail_fast ? fast_errors : skip_errors;
+            if (sink.matches() != want_matches) {
+                return report_stream(name, mutation, configuration,
+                                     "matches diverge from the sequential "
+                                     "oracle (" +
+                                         std::to_string(sink.matches().size()) +
+                                         " vs " +
+                                         std::to_string(want_matches.size()) +
+                                         ")",
+                                     text);
+            }
+            if (sink.errors() != want_errors) {
+                return report_stream(
+                    name, mutation, configuration,
+                    "record errors diverge from the sequential oracle",
+                    text);
+            }
+            if (result.records != expected_spans.size() ||
+                result.matches != want_matches.size() ||
+                result.failed_records != want_errors.size()) {
+                return report_stream(name, mutation, configuration,
+                                     "aggregate StreamResult counters are "
+                                     "inconsistent with the delivered stream",
+                                     text);
+            }
+        }
+    }
+    if (!skip_errors.empty()) {
+        stats.rejected += 1;
+    } else {
+        stats.still_valid += 1;
+    }
+    return 0;
+}
+
+int run_ndjson_mode(long iterations, std::uint64_t seed0, bool verbose)
+{
+    // Streams of small records from every generator; one stream per
+    // dataset, queried with a descendant and a wildcard query.
+    struct StreamCorpus {
+        std::string name;
+        std::string text;
+    };
+    std::vector<StreamCorpus> corpora;
+    for (const std::string& name : workloads::dataset_names()) {
+        std::string text;
+        for (std::size_t i = 0; i < 5; ++i) {
+            text += workloads::generate(name, 400 + i * 230);
+            text += '\n';
+        }
+        corpora.push_back({name, text});
+    }
+    const char* queries[] = {"$.*", "$..id"};
+
+    Stats stats;
+    // Pristine streams must already agree everywhere.
+    for (const StreamCorpus& corpus : corpora) {
+        Mutation pristine{"none (pristine stream)", corpus.text};
+        for (const char* query : queries) {
+            if (int rc = check_stream(corpus.name, pristine, query, stats)) {
+                return rc;
+            }
+        }
+    }
+    for (long i = 0; i < iterations; ++i) {
+        const StreamCorpus& corpus =
+            corpora[static_cast<std::size_t>(i) % corpora.size()];
+        std::mt19937_64 rng(seed0 * 0x9E3779B97F4A7C15ull +
+                            static_cast<std::uint64_t>(i) + 0x51ED0A3Bull);
+        std::optional<Mutation> mutation = mutate_stream(corpus.text, rng);
+        if (!mutation.has_value()) {
+            continue;
+        }
+        stats.mutants += 1;
+        const char* query = queries[rng() % 2];
+        if (int rc = check_stream(corpus.name, *mutation, query, stats)) {
+            std::printf("iteration: %ld (reproduce with --seed %llu)\n", i,
+                        static_cast<unsigned long long>(seed0));
+            return rc;
+        }
+        if (verbose && (i + 1) % 500 == 0) {
+            std::printf("... %ld/%ld\n", i + 1, iterations);
+        }
+    }
+    std::printf("fuzz_engine --ndjson: %ld stream mutants over %zu seeds OK\n"
+                "  clean streams: %ld, streams with failed records: %ld\n",
+                stats.mutants, corpora.size(), stats.still_valid,
+                stats.rejected);
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
 {
     long iterations = 10000;
+    long ndjson_iterations = -1;
     std::uint64_t seed0 = 1;
     bool verbose = false;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
+        if (std::strcmp(argv[i], "--ndjson") == 0 && i + 1 < argc) {
+            char* end = nullptr;
+            ndjson_iterations = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || ndjson_iterations < 0) {
+                std::fprintf(stderr, "fuzz_engine: bad --ndjson '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
             char* end = nullptr;
             iterations = std::strtol(argv[++i], &end, 10);
             if (end == argv[i] || *end != '\0' || iterations < 0) {
@@ -544,9 +815,12 @@ int main(int argc, char** argv)
         } else {
             std::fprintf(stderr,
                          "usage: fuzz_engine [--iterations N] [--seed S] "
-                         "[--verbose]\n");
+                         "[--verbose] | --ndjson N [--seed S]\n");
             return 2;
         }
+    }
+    if (ndjson_iterations >= 0) {
+        return run_ndjson_mode(ndjson_iterations, seed0, verbose);
     }
 
     std::vector<Corpus> corpora;
