@@ -16,11 +16,21 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/harness.h"
 
 namespace {
 
 using namespace descend;
+
+/** Rows accumulated for BENCH_pipeline.json (section "figures"). */
+std::vector<bench::BenchRow> json_rows;
+
+void record(const std::string& id, const char* engine, double gbps)
+{
+    json_rows.push_back({"figures", id + "/" + engine,
+                         simd::level_name(simd::default_level()), gbps});
+}
 
 double measure_gbps(const JsonPathEngine& engine, const PaddedString& doc,
                     std::size_t expected)
@@ -62,15 +72,21 @@ void figure_row(const std::string& id)
                 expected);
     constexpr double kScaleMax = 6.0;
     DescendEngine ours = DescendEngine::for_query(spec.query);
-    bar("descend", measure_gbps(ours, doc, expected), kScaleMax);
+    double descend_gbps = measure_gbps(ours, doc, expected);
+    bar("descend", descend_gbps, kScaleMax);
+    record(spec.id, "descend", descend_gbps);
     if (spec.ski_supported) {
         SkiEngine ski = SkiEngine::for_query(spec.query);
         if (ski.count(doc) == expected) {
-            bar("jsonski", measure_gbps(ski, doc, expected), kScaleMax);
+            double ski_gbps = measure_gbps(ski, doc, expected);
+            bar("jsonski", ski_gbps, kScaleMax);
+            record(spec.id, "jsonski", ski_gbps);
         }
     }
     SurferEngine surfer = SurferEngine::for_query(spec.query);
-    bar("jsurfer", measure_gbps(surfer, doc, expected), kScaleMax);
+    double surfer_gbps = measure_gbps(surfer, doc, expected);
+    bar("jsurfer", surfer_gbps, kScaleMax);
+    record(spec.id, "jsurfer", surfer_gbps);
 }
 
 void figure(const char* title, const std::vector<std::string>& ids)
@@ -83,8 +99,9 @@ void figure(const char* title, const std::vector<std::string>& ids)
 
 }  // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    descend::bench::apply_simd_flag(argc, argv);
     figure("Figure 4: descendant-free queries (Experiment A)",
            {"B1", "B2", "B3", "G1", "G2", "N1", "N2", "T1", "T2", "W1", "W2",
             "Wi"});
@@ -93,5 +110,6 @@ int main()
             "W2", "W2r", "Wi", "Wir"});
     figure("Figure 6: additional queries (Experiment C)",
            {"A1", "A2", "C1", "C2", "C2r", "C3", "C3r", "Ts", "Tsp", "Tsr"});
+    descend::bench::merge_bench_json("figures", json_rows);
     return 0;
 }

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Machine-readable benchmark output: BENCH_pipeline.json.
+ *
+ * Several bench binaries contribute rows (GB/s per stage, per kernel
+ * tier) to one flat JSON file so CI and plotting scripts never have to
+ * scrape console tables. Each binary owns one or more *sections*; writing
+ * a section replaces its previous rows and leaves every other section
+ * untouched, so the file accumulates across binaries:
+ *
+ *   { "entries": [
+ *       {"section": "pipeline", "name": "batched", "tier": "avx2",
+ *        "gbps": 12.34},
+ *       ... ] }
+ *
+ * Also home of the shared --simd= flag handling for bench harnesses: the
+ * flag is exported as DESCEND_SIMD_LEVEL (the dispatcher's tier cap) so a
+ * single mechanism serves flags, env overrides, and child processes alike.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "descend/json/dom.h"
+#include "descend/simd/dispatch.h"
+#include "descend/util/errors.h"
+
+namespace descend::bench {
+
+/** One measurement destined for BENCH_pipeline.json. */
+struct BenchRow {
+    std::string section;
+    std::string name;
+    std::string tier;
+    double gbps = 0;
+};
+
+/** Output path; override with DESCEND_BENCH_JSON. */
+inline std::string bench_json_path()
+{
+    const char* env = std::getenv("DESCEND_BENCH_JSON");
+    return env != nullptr && *env != '\0' ? env : "BENCH_pipeline.json";
+}
+
+/** Prints the tier the dispatcher actually selected, once per process. */
+inline void announce_simd_level()
+{
+    static const bool printed = [] {
+        std::fprintf(stderr, "[harness] active SIMD level: %s\n",
+                     simd::level_name(simd::default_level()));
+        return true;
+    }();
+    (void)printed;
+}
+
+/**
+ * Consumes a `--simd=LEVEL` argument (if present) by exporting it as
+ * DESCEND_SIMD_LEVEL, then prints the tier the dispatcher actually
+ * selected. Call at the very top of main, before anything fetches
+ * kernels: the dispatcher reads the env var once. Exits on a bad level.
+ */
+inline void apply_simd_flag(int& argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--simd=", 7) != 0) {
+            continue;
+        }
+        const char* value = argv[i] + 7;
+        simd::Level level;
+        if (!simd::parse_level(value, level)) {
+            std::fprintf(stderr, "unknown SIMD level '%s' (scalar|avx2|avx512)\n",
+                         value);
+            std::exit(2);
+        }
+        setenv("DESCEND_SIMD_LEVEL", value, 1);
+        for (int j = i; j + 1 < argc; ++j) {
+            argv[j] = argv[j + 1];
+        }
+        --argc;
+        --i;
+    }
+    announce_simd_level();
+}
+
+namespace detail {
+
+inline void append_json_string(std::string& out, const std::string& text)
+{
+    out += '"';
+    out += json::escape(text);
+    out += '"';
+}
+
+}  // namespace detail
+
+/**
+ * Rewrites @p section of the bench JSON file with @p rows, preserving all
+ * other sections. An unreadable or malformed existing file is treated as
+ * empty (benchmarks must never die on a stale artifact).
+ */
+inline void merge_bench_json(const std::string& section,
+                             const std::vector<BenchRow>& rows,
+                             const std::string& path = bench_json_path())
+{
+    std::vector<BenchRow> all;
+    std::ifstream in(path);
+    if (in) {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        try {
+            json::Document doc = json::parse(buffer.str());
+            const json::Value* entries = doc.root().find("entries");
+            if (entries != nullptr && entries->is_array()) {
+                for (const json::Value* entry : entries->elements()) {
+                    if (!entry->is_object()) {
+                        continue;
+                    }
+                    const json::Value* entry_section = entry->find("section");
+                    const json::Value* name = entry->find("name");
+                    const json::Value* tier = entry->find("tier");
+                    const json::Value* gbps = entry->find("gbps");
+                    if (entry_section == nullptr || !entry_section->is_string() ||
+                        entry_section->as_string() == section) {
+                        continue;  // dropped: being rewritten (or junk)
+                    }
+                    BenchRow row;
+                    row.section = entry_section->as_string();
+                    row.name = name != nullptr && name->is_string()
+                                   ? name->as_string()
+                                   : "";
+                    row.tier = tier != nullptr && tier->is_string()
+                                   ? tier->as_string()
+                                   : "";
+                    row.gbps = gbps != nullptr && gbps->is_number()
+                                   ? gbps->as_number()
+                                   : 0.0;
+                    all.push_back(std::move(row));
+                }
+            }
+        } catch (const Error&) {
+            // Malformed artifact: start fresh.
+        }
+    }
+    all.insert(all.end(), rows.begin(), rows.end());
+
+    // The DOM is read-only, so serialize by hand (flat, stable layout).
+    std::string out = "{\n  \"entries\": [";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        char gbps[64];
+        std::snprintf(gbps, sizeof(gbps), "%.4f", all[i].gbps);
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"section\": ";
+        detail::append_json_string(out, all[i].section);
+        out += ", \"name\": ";
+        detail::append_json_string(out, all[i].name);
+        out += ", \"tier\": ";
+        detail::append_json_string(out, all[i].tier);
+        out += ", \"gbps\": ";
+        out += gbps;
+        out += "}";
+    }
+    out += "\n  ]\n}\n";
+
+    std::ofstream file(path, std::ios::trunc);
+    file << out;
+    std::fprintf(stderr, "[harness] wrote section '%s' (%zu rows) to %s\n",
+                 section.c_str(), rows.size(), path.c_str());
+}
+
+}  // namespace descend::bench

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "descend/descend.h"
 #include "descend/workloads/datasets.h"
 
@@ -212,6 +213,7 @@ int run_smoke()
 
 int main(int argc, char** argv)
 {
+    descend::bench::apply_simd_flag(argc, argv);
     std::size_t target_mb = 256;
     std::size_t max_threads = 0;
     std::size_t record_kb = 64;
@@ -232,7 +234,8 @@ int main(int argc, char** argv)
         } else {
             std::fprintf(stderr,
                          "usage: bench_stream [--mb N] [--threads N] "
-                         "[--record-kb N] [--query Q] | --smoke\n");
+                         "[--record-kb N] [--query Q] [--simd=LEVEL] "
+                         "| --smoke\n");
             return 2;
         }
     }

@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "bench/catalog.h"
 #include "descend/baselines/dom_engine.h"
 #include "descend/baselines/ski_engine.h"
@@ -45,6 +46,7 @@ inline std::size_t dataset_target_bytes()
 /** Cached generated dataset (optionally scaled, for Experiment D). */
 inline const PaddedString& dataset(const std::string& name, double scale = 1.0)
 {
+    announce_simd_level();
     static std::map<std::string, std::unique_ptr<PaddedString>> cache;
     std::string key = name + "@" + std::to_string(scale);
     auto it = cache.find(key);

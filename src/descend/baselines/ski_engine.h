@@ -32,7 +32,7 @@ class SkiEngine final : public JsonPathEngine {
 public:
     /** @throws QueryError if the query uses descendant selectors. */
     explicit SkiEngine(const query::Query& query,
-                       simd::Level level = simd::Level::avx2,
+                       simd::Level level = simd::default_level(),
                        EngineLimits limits = {});
 
     static SkiEngine for_query(std::string_view query_text)

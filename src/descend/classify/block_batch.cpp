@@ -1,0 +1,18 @@
+#include "descend/classify/block_batch.h"
+
+namespace descend::classify {
+
+const simd::BlockMasks& BatchedBlockStream::refill(std::size_t block_start) noexcept
+{
+    // Refills are contiguous-only: either the ring was just invalidated by
+    // restart() (the carry is seeded for exactly this boundary), or the
+    // request continues the previous batch (the carry was threaded there by
+    // the last classify_batch call). Anything else would classify with a
+    // stale carry.
+    assert(ring_start_ == kInvalid || block_start == ring_start_ + simd::kBatchSize);
+    kernels_->classify_batch(data_ + block_start, carry_, ring_);
+    ring_start_ = block_start;
+    return ring_[0];
+}
+
+}  // namespace descend::classify

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The batched block stream: a small ring of pre-classified blocks feeding
+ * the pipeline consumers (structural iterator, label search).
+ *
+ * Instead of paying one indirect kernel call per primitive per block (quote
+ * eq, backslash eq, structural shuffle, depth cmpeq all re-loading the same
+ * bytes), consumers ask this ring for the block's BlockMasks; a cache miss
+ * classifies the next kBatchBlocks blocks with one classify_batch kernel
+ * call that loads each byte exactly once. Derived views — the structural
+ * mask with commas/colons toggled, depth masks for one bracket kind — are
+ * cheap recompositions of the cached masks, so toggling never invalidates
+ * the ring.
+ *
+ * The stop/resume protocol is preserved exactly: each cached block records
+ * the quote-carry state at its entry (a classify::QuoteState on a block
+ * boundary), and restart() re-seeds the carry for out-of-band jumps.
+ *
+ * Access pattern contract: requests must be block-aligned and either hit
+ * the ring, continue it contiguously (block_start == ring end), or follow
+ * a restart(). All pipeline consumers walk blocks monotonically, so this
+ * holds by construction.
+ *
+ * Padding contract: a refill at block_start reads kBatchSize bytes from
+ * there. The last possible refill starts at the final (possibly partial)
+ * block of the input, so the buffer must keep PaddedString::kPadding >=
+ * kBatchSize readable bytes past the logical end — see padded_string.h.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "descend/classify/quote_classifier.h"
+#include "descend/simd/dispatch.h"
+
+namespace descend::classify {
+
+class BatchedBlockStream {
+public:
+    BatchedBlockStream(const std::uint8_t* data, const simd::Kernels& kernels) noexcept
+        : data_(data), kernels_(&kernels)
+    {
+    }
+
+    /**
+     * Masks for the block starting at @p block_start (must be a multiple
+     * of simd::kBlockSize). Refills the ring on a miss; see the access
+     * pattern contract above.
+     */
+    const simd::BlockMasks& masks(std::size_t block_start) noexcept
+    {
+        assert(block_start % simd::kBlockSize == 0);
+        if (ring_start_ != kInvalid && block_start - ring_start_ < simd::kBatchSize) {
+            return ring_[(block_start - ring_start_) / simd::kBlockSize];
+        }
+        return refill(block_start);
+    }
+
+    /**
+     * Re-seeds the quote/escape carry at an arbitrary block boundary and
+     * invalidates the ring; the next masks() call classifies from exactly
+     * that boundary. This is the resume() half of the stop/resume protocol.
+     */
+    void restart(const QuoteState& state) noexcept
+    {
+        carry_.escape = state.escape_carry;
+        carry_.in_string = state.in_string_carry;
+        ring_start_ = kInvalid;
+    }
+
+    /** The quote state at the entry of a block's cached masks. */
+    static QuoteState entry_state(const simd::BlockMasks& masks) noexcept
+    {
+        return {masks.entry_escaped, masks.entry_in_string};
+    }
+
+    const simd::Kernels& kernels() const noexcept { return *kernels_; }
+
+private:
+    static constexpr std::size_t kInvalid = ~std::size_t{0};
+
+    /** Ring miss: classify the next batch starting at @p block_start. */
+    const simd::BlockMasks& refill(std::size_t block_start) noexcept;
+
+    const std::uint8_t* data_;
+    const simd::Kernels* kernels_;
+    simd::BatchCarry carry_;
+    std::size_t ring_start_ = kInvalid;
+    simd::BlockMasks ring_[simd::kBatchBlocks];
+};
+
+}  // namespace descend::classify

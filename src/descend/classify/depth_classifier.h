@@ -35,6 +35,10 @@ struct DepthMasks {
 DepthMasks depth_masks(const simd::Kernels& kernels, const std::uint8_t* block,
                        BracketKind kind) noexcept;
 
+/** Same view over a pre-classified block's masks — a free recomposition,
+ *  no kernel call. The caller still ANDs out in-string positions. */
+DepthMasks depth_masks(const simd::BlockMasks& masks, BracketKind kind) noexcept;
+
 /**
  * Advances the relative depth through one block (whose masks must already
  * exclude in-string positions and already-consumed bits).

@@ -73,8 +73,9 @@ private:
  * (every combination must produce identical matches).
  */
 struct EngineOptions {
-    /** SIMD level for the classifier pipeline. */
-    simd::Level simd = simd::Level::avx2;
+    /** SIMD level for the classifier pipeline (best available, capped by
+     *  the DESCEND_SIMD_LEVEL env var). */
+    simd::Level simd = simd::default_level();
     /** Toggle commas/colons off in internal states (skipping leaves). */
     bool leaf_skipping = true;
     /** Depth-classifier fast-forward over rejected subtrees (children). */

@@ -1,12 +1,11 @@
 #include "descend/engine/extract.h"
 
+#include "descend/util/chars.h"
+
 namespace descend {
 namespace {
 
-bool is_ws_byte(std::uint8_t byte)
-{
-    return byte == ' ' || byte == '\t' || byte == '\n' || byte == '\r';
-}
+using chars::is_ws_byte;
 
 /** Position one past the closing quote of the string opening at pos. */
 std::size_t scan_string(const std::uint8_t* data, std::size_t size, std::size_t pos)

@@ -3,16 +3,11 @@
 #include <cstring>
 
 #include "descend/util/bits.h"
+#include "descend/util/chars.h"
 
 namespace descend {
-namespace {
 
-bool is_ws_byte(std::uint8_t byte)
-{
-    return byte == ' ' || byte == '\t' || byte == '\n' || byte == '\r';
-}
-
-}  // namespace
+using chars::is_ws_byte;
 
 LabelSearch::LabelSearch(PaddedView input, const simd::Kernels& kernels,
                          std::string_view escaped_label,
@@ -20,7 +15,7 @@ LabelSearch::LabelSearch(PaddedView input, const simd::Kernels& kernels,
     : data_(input.data()),
       size_(input.size()),
       end_((input.size() + simd::kBlockSize - 1) / simd::kBlockSize * simd::kBlockSize),
-      quotes_(kernels),
+      blocks_(input.data(), kernels),
       label_(escaped_label),
       validator_(validator)
 {
@@ -31,27 +26,26 @@ LabelSearch::LabelSearch(PaddedView input, const simd::Kernels& kernels,
 
 void LabelSearch::classify_block()
 {
-    block_entry_quote_state_ = quotes_.state();
-    classify::QuoteMasks masks = quotes_.classify(data_ + block_start_);
+    const simd::BlockMasks& masks = blocks_.masks(block_start_);
+    block_entry_quote_state_ = classify::BatchedBlockStream::entry_state(masks);
     // Slice end bound: clip the final partial block so candidates (and the
     // validator's balances) never come from past-the-end bytes.
     std::uint64_t valid = size_ - block_start_ >= simd::kBlockSize
                               ? ~std::uint64_t{0}
                               : bits::mask_below(static_cast<int>(size_ - block_start_));
-    masks.in_string &= valid;
-    masks.unescaped_quotes &= valid;
+    std::uint64_t in_string = masks.in_string & valid;
+    std::uint64_t unescaped_quotes = masks.unescaped_quotes & valid;
     if (validator_ != nullptr) {
-        validator_->account(quotes_.kernels(), data_ + block_start_, block_start_,
-                            masks.in_string, valid);
+        validator_->account(masks, block_start_, in_string, valid);
     }
     // String-opening quotes: unescaped quotes whose in-string bit is set
     // (the opening quote is inside its own string under our convention).
-    candidates_ = masks.unescaped_quotes & masks.in_string;
+    candidates_ = unescaped_quotes & in_string;
     if (!label_.empty()) {
         // First-byte prefilter: the byte after the opening quote must be the
         // label's first byte. Bit 63's successor lives in the next block, so
         // it is kept unconditionally and left to bytewise verification.
-        std::uint64_t first = quotes_.kernels().eq_mask(
+        std::uint64_t first = blocks_.kernels().eq_mask(
             data_ + block_start_, static_cast<std::uint8_t>(label_[0]));
         candidates_ &= (first >> 1) | (1ULL << 63);
     }
@@ -131,7 +125,7 @@ void LabelSearch::resume(const ResumePoint& point)
         candidates_ = 0;
         return;
     }
-    quotes_.set_state(point.quote_state);
+    blocks_.restart(point.quote_state);
     classify_block();
     candidates_ &= bits::mask_from(point.floor);
 }

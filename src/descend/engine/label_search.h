@@ -20,6 +20,7 @@
 #include <string>
 #include <string_view>
 
+#include "descend/classify/block_batch.h"
 #include "descend/classify/quote_classifier.h"
 #include "descend/engine/structural_iterator.h"
 
@@ -66,7 +67,7 @@ private:
     const std::uint8_t* data_;
     std::size_t size_;
     std::size_t end_;
-    classify::QuoteClassifier quotes_;
+    classify::BatchedBlockStream blocks_;
     std::string label_;
     StructuralValidator* validator_ = nullptr;
 

@@ -21,12 +21,13 @@ namespace {
 
 constexpr std::size_t kAlignment = 64;
 
-// The classifiers read whole blocks: the final block may extend up to
-// kBlockSize - 1 bytes past size(), and the quote classifier's
-// escape-carry looks one byte further. Demand a full extra block of slack
-// on top so no kernel read can ever leave the allocation.
-static_assert(PaddedString::kPadding >= 2 * simd::kBlockSize,
-              "padding must cover at least two SIMD blocks past the contents");
+// The batched classifier reads whole kBatchSize batches: the last refill
+// starts at the final (possibly partial) block, whose start offset is at
+// most size() - 1, so the furthest read ends strictly below
+// size() + kBatchSize. Demand a full batch of padding so no kernel read
+// can ever leave the allocation.
+static_assert(PaddedString::kPadding >= simd::kBatchSize,
+              "padding must cover one classification batch past the contents");
 
 /** Debug guard for the classifiers' core assumption: everything between
  *  size() and size() + kPadding is inert whitespace. */
@@ -80,8 +81,9 @@ PaddedString PaddedString::from_file(const std::string& path)
             auto size = static_cast<std::size_t>(st.st_size);
             auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
             std::size_t file_span = (size + page - 1) / page * page;
-            // One extra page guarantees >= kPadding readable bytes past the
-            // logical end even when the file is page-aligned.
+            // One extra page guarantees >= kPadding (one batch, 512 B; a
+            // POSIX page is at least 4 KiB) readable bytes past the logical
+            // end even when the file is page-aligned.
             std::size_t total = file_span + page;
             void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
                                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);

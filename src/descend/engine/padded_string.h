@@ -2,10 +2,11 @@
  * @file
  * Input buffer for the streaming engines.
  *
- * All SIMD kernels read whole 64-byte blocks, so engine input must be
- * over-allocated: PaddedString owns a 64-byte-aligned buffer whose logical
- * contents are followed by at least one full block of spaces (whitespace is
- * inert for every classifier). This mirrors simdjson's padded_string.
+ * The batched classifier reads whole 512-byte batches (simd::kBatchSize),
+ * so engine input must be over-allocated: PaddedString owns a 64-byte-
+ * aligned buffer whose logical contents are followed by at least one full
+ * batch of spaces (whitespace is inert for every classifier). This mirrors
+ * simdjson's padded_string, widened to the batch unit.
  *
  * PaddedView is the non-owning counterpart used for zero-copy record
  * streams: a window into a larger padded buffer. Its contract is weaker —
@@ -27,8 +28,15 @@ namespace descend {
 
 class PaddedString {
 public:
-    /** Padding guaranteed past size(): one full SIMD block plus slack. */
-    static constexpr std::size_t kPadding = 128;
+    /**
+     * Padding guaranteed past size(): one full classification batch.
+     *
+     * This is the worst case a batch refill can read: the last refill
+     * starts at the final (possibly partial) block, whose start is at most
+     * size() - 1, and reads kBatchSize bytes from there — so the read end
+     * stays strictly below size() + kBatchSize.
+     */
+    static constexpr std::size_t kPadding = 512;
 
     PaddedString() = default;
 

@@ -4,16 +4,11 @@
 #include <cstring>
 
 #include "descend/util/bits.h"
+#include "descend/util/chars.h"
 
 namespace descend {
-namespace {
 
-bool is_ws_byte(std::uint8_t byte)
-{
-    return byte == ' ' || byte == '\t' || byte == '\n' || byte == '\r';
-}
-
-}  // namespace
+using chars::is_ws_byte;
 
 StructuralIterator::StructuralIterator(PaddedView input,
                                        const simd::Kernels& kernels,
@@ -22,8 +17,7 @@ StructuralIterator::StructuralIterator(PaddedView input,
     : data_(input.data()),
       size_(input.size()),
       end_((input.size() + simd::kBlockSize - 1) / simd::kBlockSize * simd::kBlockSize),
-      quotes_(kernels),
-      structural_(kernels),
+      blocks_(input.data(), kernels),
       validator_(validator),
       max_skip_depth_(max_skip_depth)
 {
@@ -55,22 +49,32 @@ std::uint64_t StructuralIterator::block_valid_mask() const noexcept
                : bits::mask_below(static_cast<int>(remaining));
 }
 
+std::uint64_t StructuralIterator::compose_structural(
+    const simd::BlockMasks& masks) const noexcept
+{
+    std::uint64_t composed = masks.open_braces | masks.close_braces |
+                             masks.open_brackets | masks.close_brackets;
+    if (commas_on_) {
+        composed |= masks.commas;
+    }
+    if (colons_on_) {
+        composed |= masks.colons;
+    }
+    return composed;
+}
+
 void StructuralIterator::classify_block(bool with_structural)
 {
-    block_entry_quote_state_ = quotes_.state();
-    classify::QuoteMasks masks = quotes_.classify(data_ + block_start_);
+    const simd::BlockMasks& masks = blocks_.masks(block_start_);
+    block_entry_quote_state_ = classify::BatchedBlockStream::entry_state(masks);
     std::uint64_t valid = block_valid_mask();
-    masks.in_string &= valid;
-    masks.unescaped_quotes &= valid;
+    in_string_ = masks.in_string & valid;
+    unescaped_quotes_ = masks.unescaped_quotes & valid;
     if (validator_ != nullptr) {
-        validator_->account(quotes_.kernels(), data_ + block_start_, block_start_,
-                            masks.in_string, valid);
+        validator_->account(masks, block_start_, in_string_, valid);
     }
-    in_string_ = masks.in_string;
-    unescaped_quotes_ = masks.unescaped_quotes;
-    struct_mask_ = with_structural ? (structural_.classify(data_ + block_start_) &
-                                      ~in_string_ & valid)
-                                   : 0;
+    struct_mask_ =
+        with_structural ? (compose_structural(masks) & ~in_string_ & valid) : 0;
 }
 
 bool StructuralIterator::advance_block(bool with_structural)
@@ -81,15 +85,14 @@ bool StructuralIterator::advance_block(bool with_structural)
         block_start_ = end_;
         struct_mask_ = 0;
         // End of input inside a string: nothing within the bound can close
-        // it, so the final string is unterminated. For block-aligned input
-        // the quote carry holds the verdict; for a partial final block the
-        // carry saw past-the-end bytes, so consult the last in-bound
-        // in-string bit instead (opening quotes are in-string inclusive,
-        // closing quotes exclusive, so the bit is exactly "still open").
+        // it, so the final string is unterminated. The last in-bound
+        // in-string bit of the previous block is exactly "still open"
+        // (opening quotes are in-string inclusive, closing exclusive);
+        // for block-aligned input that is the block's top bit, which
+        // equals the quote carry.
         std::size_t tail = size_ % simd::kBlockSize;
-        bool open_at_end = tail == 0
-                               ? quotes_.state().in_string_carry != 0
-                               : ((in_string_ >> (tail - 1)) & 1) != 0;
+        int last_bit = tail == 0 ? 63 : static_cast<int>(tail) - 1;
+        bool open_at_end = ((in_string_ >> last_bit) & 1) != 0;
         in_string_ = 0;
         if (open_at_end) {
             fail(StatusCode::kTruncatedString, size_);
@@ -141,19 +144,25 @@ StructuralIterator::Event StructuralIterator::peek()
 
 void StructuralIterator::set_commas(bool enabled, bool eager_disable)
 {
-    if (structural_.set_commas(enabled) && (enabled || eager_disable) &&
-        block_start_ < end_) {
-        struct_mask_ = structural_.classify(data_ + block_start_) & ~in_string_ &
-                       bits::mask_from(floor_) & block_valid_mask();
+    if (commas_on_ == enabled) {
+        return;
+    }
+    commas_on_ = enabled;
+    if ((enabled || eager_disable) && block_start_ < end_) {
+        struct_mask_ = compose_structural(blocks_.masks(block_start_)) &
+                       ~in_string_ & bits::mask_from(floor_) & block_valid_mask();
     }
 }
 
 void StructuralIterator::set_colons(bool enabled, bool eager_disable)
 {
-    if (structural_.set_colons(enabled) && (enabled || eager_disable) &&
-        block_start_ < end_) {
-        struct_mask_ = structural_.classify(data_ + block_start_) & ~in_string_ &
-                       bits::mask_from(floor_) & block_valid_mask();
+    if (colons_on_ == enabled) {
+        return;
+    }
+    colons_on_ = enabled;
+    if ((enabled || eager_disable) && block_start_ < end_) {
+        struct_mask_ = compose_structural(blocks_.masks(block_start_)) &
+                       ~in_string_ & bits::mask_from(floor_) & block_valid_mask();
     }
 }
 
@@ -209,12 +218,11 @@ std::optional<std::string_view> StructuralIterator::label_before(std::size_t pos
 void StructuralIterator::skip_until_depth_zero(classify::BracketKind kind,
                                                bool consume_closer)
 {
-    const simd::Kernels& kernels = quotes_.kernels();
     int relative_depth = 1;
     std::uint64_t live = bits::mask_from(floor_);
     while (block_start_ < end_) {
-        classify::DepthMasks masks =
-            classify::depth_masks(kernels, data_ + block_start_, kind);
+        const simd::BlockMasks& block_masks = blocks_.masks(block_start_);
+        classify::DepthMasks masks = classify::depth_masks(block_masks, kind);
         std::uint64_t in_bound = ~in_string_ & live & block_valid_mask();
         masks.openers &= in_bound;
         masks.closers &= in_bound;
@@ -247,7 +255,7 @@ void StructuralIterator::skip_until_depth_zero(classify::BracketKind kind,
         }
         if (index >= 0) {
             floor_ = consume_closer ? index + 1 : index;
-            struct_mask_ = structural_.classify(data_ + block_start_) & ~in_string_ &
+            struct_mask_ = compose_structural(block_masks) & ~in_string_ &
                            bits::mask_from(floor_) & block_valid_mask();
             return;
         }
@@ -290,27 +298,24 @@ void StructuralIterator::seek(std::size_t pos)
         }
     }
     floor_ = static_cast<int>(pos - block_start_);
-    struct_mask_ = structural_.classify(data_ + block_start_) & ~in_string_ &
+    struct_mask_ = compose_structural(blocks_.masks(block_start_)) & ~in_string_ &
                    bits::mask_from(floor_) & block_valid_mask();
 }
 
 StructuralIterator::WithinResult StructuralIterator::skip_to_label_within(
     std::string_view escaped_label, BitStack& opened, int& relative_depth)
 {
-    const simd::Kernels& kernels = quotes_.kernels();
+    const simd::Kernels& kernels = blocks_.kernels();
     WithinResult result;
     std::uint64_t live = bits::mask_from(floor_);
     while (block_start_ < end_) {
         const std::uint8_t* block = data_ + block_start_;
+        const simd::BlockMasks& block_masks = blocks_.masks(block_start_);
         std::uint64_t not_string = ~in_string_ & live & block_valid_mask();
         std::uint64_t openers =
-            (kernels.eq_mask(block, classify::kOpenBrace) |
-             kernels.eq_mask(block, classify::kOpenBracket)) &
-            not_string;
+            (block_masks.open_braces | block_masks.open_brackets) & not_string;
         std::uint64_t closers =
-            (kernels.eq_mask(block, classify::kCloseBrace) |
-             kernels.eq_mask(block, classify::kCloseBracket)) &
-            not_string;
+            (block_masks.close_braces | block_masks.close_brackets) & not_string;
         // Candidate labels: string-opening quotes, prefiltered by the
         // label's first byte (bit 63's successor lives in the next block,
         // so it is kept and left to bytewise verification).
@@ -390,7 +395,7 @@ void StructuralIterator::resume(const ResumePoint& point)
         in_string_ = 0;
         return;
     }
-    quotes_.set_state(point.quote_state);
+    blocks_.restart(point.quote_state);
     classify_block(/*with_structural=*/true);
     struct_mask_ &= bits::mask_from(floor_);
 }

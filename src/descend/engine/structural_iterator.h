@@ -2,15 +2,17 @@
  * @file
  * The structural iterator (paper Sections 3.4 and 4.3): the abstraction the
  * main algorithm uses for all access to the stream. It runs the
- * multi-classifier pipeline (Section 4.5):
+ * multi-classifier pipeline (Section 4.5) on top of the batched block
+ * stream: every block's masks (quotes, in-string, brackets, commas,
+ * colons) come pre-classified from a single load of the block's bytes,
+ * and the per-mode views are recompositions of those masks —
  *
- *  - the quote classifier always runs, block by block;
- *  - on top of it, either the structural classifier (normal iteration,
- *    with commas/colons toggled on demand) or the depth classifier
- *    (during skip fast-forwards) consumes the quote masks.
+ *  - normal iteration composes the structural mask (brackets always,
+ *    commas/colons toggled on demand);
+ *  - skip fast-forwards compose depth masks for one bracket kind.
  *
- * Switching between the two is the stop/resume protocol: the quote
- * classifier's boundary state plus the current block position form a
+ * Switching between iterator and label search is the stop/resume protocol:
+ * the quote-carry state at a block entry plus the block position form a
  * ResumePoint that both this iterator and the label search (head-skipping)
  * can save and restore, so classification is never repeated or lost.
  */
@@ -20,6 +22,7 @@
 #include <optional>
 #include <string_view>
 
+#include "descend/classify/block_batch.h"
 #include "descend/classify/depth_classifier.h"
 #include "descend/classify/quote_classifier.h"
 #include "descend/classify/structural_classifier.h"
@@ -88,19 +91,20 @@ public:
     Event peek();
 
     /**
-     * Enables/disables comma and colon events. Enabling reclassifies the
-     * remainder of the current block so the new events surface
-     * immediately. Disabling reclassifies only when @p eager_disable is
-     * set; otherwise, per Section 4.3 of the paper, already-classified
-     * occurrences in the current block are simply stepped over by the
-     * consumer (the engine's event handlers verify transitions explicitly,
-     * so stale events are harmless — except to the index-counting
-     * extension, which passes eager_disable).
+     * Enables/disables comma and colon events. Enabling recomposes the
+     * remainder of the current block's structural mask so the new events
+     * surface immediately (a free mask operation on the cached batch —
+     * no re-classification). Disabling recomposes only when
+     * @p eager_disable is set; otherwise, per Section 4.3 of the paper,
+     * already-surfaced occurrences in the current block are simply stepped
+     * over by the consumer (the engine's event handlers verify transitions
+     * explicitly, so stale events are harmless — except to the
+     * index-counting extension, which passes eager_disable).
      */
     void set_commas(bool enabled, bool eager_disable = false);
     void set_colons(bool enabled, bool eager_disable = false);
-    bool commas_enabled() const noexcept { return structural_.commas_enabled(); }
-    bool colons_enabled() const noexcept { return structural_.colons_enabled(); }
+    bool commas_enabled() const noexcept { return commas_on_; }
+    bool colons_enabled() const noexcept { return colons_on_; }
 
     /**
      * The label preceding the structural character at @p pos, obtained by
@@ -114,7 +118,7 @@ public:
     /**
      * Skipping children (Section 3.3): fast-forwards from just after an
      * opening character of the given kind to just after its matching
-     * closer, using the depth classifier.
+     * closer, using the depth-mask view of the batch stream.
      */
     void skip_element(std::uint8_t opening_byte);
 
@@ -183,8 +187,13 @@ private:
      *  block_start_ < end_. */
     std::uint64_t block_valid_mask() const noexcept;
 
-    /** Classifies the block at block_start_ (quotes always; structural
-     *  unless we are about to run the depth classifier instead). */
+    /** The structural mask of a pre-classified block under the current
+     *  comma/colon toggles — a pure recomposition of cached masks. */
+    std::uint64_t compose_structural(const simd::BlockMasks& masks) const noexcept;
+
+    /** Pulls the block at block_start_ from the batch stream (quotes
+     *  always; the structural mask unless we are about to run the depth
+     *  view instead). */
     void classify_block(bool with_structural);
 
     /** Advances to the next block; returns false at end of input. */
@@ -202,14 +211,15 @@ private:
     std::size_t size_;
     std::size_t end_;  ///< block-aligned end of classified input
 
-    classify::QuoteClassifier quotes_;
-    classify::StructuralClassifier structural_;
+    classify::BatchedBlockStream blocks_;
+    bool commas_on_ = false;
+    bool colons_on_ = false;
     StructuralValidator* validator_ = nullptr;
     std::size_t max_skip_depth_;
     EngineStatus status_;
 
-    /** Repositions to @p pos (>= current position), rolling the quote
-     *  pipeline forward and reclassifying the target block from there. */
+    /** Repositions to @p pos (>= current position), rolling the batch
+     *  stream forward and recomposing the target block from there. */
     void seek(std::size_t pos);
 
     std::size_t block_start_ = 0;

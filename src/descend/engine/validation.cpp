@@ -1,14 +1,10 @@
 #include "descend/engine/validation.h"
 
+#include "descend/util/chars.h"
+
 namespace descend {
-namespace {
 
-bool is_ws_byte(std::uint8_t byte)
-{
-    return byte == ' ' || byte == '\t' || byte == '\n' || byte == '\r';
-}
-
-}  // namespace
+using chars::is_ws_byte;
 
 EngineStatus preflight_document(PaddedView document, const EngineLimits& limits)
 {

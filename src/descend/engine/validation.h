@@ -30,7 +30,6 @@
 #include <cstddef>
 #include <cstdint>
 
-#include "descend/classify/structural_classifier.h"
 #include "descend/engine/padded_string.h"
 #include "descend/simd/dispatch.h"
 #include "descend/util/bits.h"
@@ -44,11 +43,11 @@ EngineStatus preflight_document(PaddedView document, const EngineLimits& limits)
 class StructuralValidator {
 public:
     /**
-     * Accounts one classified block. Call with the block's start offset,
-     * its in-string mask, and the kernels that classified it; blocks must
-     * arrive in order and are counted exactly once (re-classification of
-     * an already-counted block, as the resume protocol performs, is
-     * ignored via the monotone counter).
+     * Accounts one classified block from its pre-computed batch masks.
+     * Call with the block's start offset and its clipped in-string mask;
+     * blocks must arrive in order and are counted exactly once
+     * (re-classification of an already-counted block, as the resume
+     * protocol performs, is ignored via the monotone counter).
      *
      * @param valid mask of positions within the input's end bound. All
      *        ones for full blocks; a low-bits mask for the final partial
@@ -56,8 +55,8 @@ public:
      *        surrounding buffer and must not move any balance. The
      *        in-string mask must already be clipped to @p valid.
      */
-    void account(const simd::Kernels& kernels, const std::uint8_t* block,
-                 std::size_t block_start, std::uint64_t in_string,
+    void account(const simd::BlockMasks& masks, std::size_t block_start,
+                 std::uint64_t in_string,
                  std::uint64_t valid = ~std::uint64_t{0}) noexcept
     {
         if (block_start != counted_until_) {
@@ -65,14 +64,14 @@ public:
         }
         counted_until_ += simd::kBlockSize;
         std::uint64_t not_string = ~in_string & valid;
-        obj_balance_ += static_cast<std::int64_t>(bits::popcount(
-            kernels.eq_mask(block, classify::kOpenBrace) & not_string));
-        obj_balance_ -= static_cast<std::int64_t>(bits::popcount(
-            kernels.eq_mask(block, classify::kCloseBrace) & not_string));
-        arr_balance_ += static_cast<std::int64_t>(bits::popcount(
-            kernels.eq_mask(block, classify::kOpenBracket) & not_string));
-        arr_balance_ -= static_cast<std::int64_t>(bits::popcount(
-            kernels.eq_mask(block, classify::kCloseBracket) & not_string));
+        obj_balance_ +=
+            static_cast<std::int64_t>(bits::popcount(masks.open_braces & not_string));
+        obj_balance_ -=
+            static_cast<std::int64_t>(bits::popcount(masks.close_braces & not_string));
+        arr_balance_ +=
+            static_cast<std::int64_t>(bits::popcount(masks.open_brackets & not_string));
+        arr_balance_ -=
+            static_cast<std::int64_t>(bits::popcount(masks.close_brackets & not_string));
         // The string state at the end bound: the highest valid position's
         // in-string bit (valid is a contiguous low mask, so its popcount
         // is the index one past the top bit).

@@ -3,7 +3,7 @@
  * Runtime-dispatched SIMD kernel table.
  *
  * Every classifier in the pipeline (Section 4 of the paper) is expressed in
- * terms of a handful of 64-byte-block kernels. Two implementations exist:
+ * terms of a handful of 64-byte-block kernels. Three implementations exist:
  *
  *  - scalar: portable per-byte/SWAR code, always compiled. It doubles as
  *    the differential-testing reference and as the ablation baseline for
@@ -11,10 +11,14 @@
  *  - avx2: AVX2 + PCLMUL intrinsics, compiled in a separate translation
  *    unit with the matching ISA flags and selected only after a CPUID
  *    check, mirroring rsonpath's target-feature gating.
+ *  - avx512: AVX-512 (F/BW/VL/DQ) + VPCLMULQDQ intrinsics, one 64-byte
+ *    vector per block so comparisons produce bitmask words directly,
+ *    again CPUID-gated in its own translation unit.
  *
  * All block kernels operate on exactly 64 input bytes (one bitmask word).
+ * The batched kernel operates on kBatchBlocks consecutive blocks at once.
  * Blocks need not be aligned; engine input buffers come from PaddedString,
- * which guarantees at least 64 readable bytes past the logical end.
+ * which guarantees at least kBatchSize readable bytes past the logical end.
  */
 #pragma once
 
@@ -26,9 +30,52 @@ namespace descend::simd {
 /** Size in bytes of the unit block all kernels operate on. */
 inline constexpr std::size_t kBlockSize = 64;
 
+/** Number of consecutive blocks one classify_batch call processes. */
+inline constexpr std::size_t kBatchBlocks = 8;
+
+/** Size in bytes of one classification batch (the single-load unit). */
+inline constexpr std::size_t kBatchSize = kBatchBlocks * kBlockSize;
+
 enum class Level {
     scalar,
     avx2,
+    avx512,
+};
+
+/**
+ * Every mask the pipeline needs for one 64-byte block, computed from a
+ * single load of the block's bytes (Langdale & Lemire's design point: keep
+ * the bytes in registers across all derived masks instead of re-loading
+ * them per primitive).
+ *
+ * Commas and colons are emitted as separate masks rather than folded into
+ * one "structural" word so that consumers can toggle them on and off (the
+ * paper's depth-vs-structural pipeline switch) by recomposing masks —
+ * without ever re-classifying the block.
+ *
+ * entry_escaped / entry_in_string record the quote-carry state *at the
+ * start* of the block, which is exactly what the stop/resume protocol
+ * needs to reconstruct a QuoteState on a block boundary.
+ */
+struct BlockMasks {
+    std::uint64_t unescaped_quotes;
+    std::uint64_t in_string;
+    std::uint64_t open_braces;
+    std::uint64_t close_braces;
+    std::uint64_t open_brackets;
+    std::uint64_t close_brackets;
+    std::uint64_t commas;
+    std::uint64_t colons;
+    /** All-ones if the block *starts* inside a string, else zero. */
+    std::uint64_t entry_in_string;
+    /** True if the previous block ended with an active (odd-run) backslash. */
+    bool entry_escaped;
+};
+
+/** Quote/escape state threaded through consecutive classify_batch calls. */
+struct BatchCarry {
+    bool escape = false;
+    std::uint64_t in_string = 0;  // all-ones or zero
 };
 
 /**
@@ -69,8 +116,19 @@ struct Kernels {
                                         const std::uint8_t* ltab,
                                         const std::uint8_t* utab);
 
-    /** Prefix XOR over mask bits (CLMUL by all-ones on the AVX2 path). */
+    /** Prefix XOR over mask bits (CLMUL by all-ones on the SIMD paths). */
     std::uint64_t (*prefix_xor)(std::uint64_t mask);
+
+    /**
+     * Batched single-load classification: reads kBatchSize consecutive
+     * bytes starting at @p blocks (each byte exactly once) and fills
+     * @p out[0..kBatchBlocks) with every per-block mask. The quote and
+     * escape carries are threaded through the batch internally; @p carry
+     * is consumed for block 0 and left holding the state after the last
+     * block, so back-to-back calls classify a contiguous stream.
+     */
+    void (*classify_batch)(const std::uint8_t* blocks, BatchCarry& carry,
+                           BlockMasks* out);
 };
 
 /** The portable reference kernels. */
@@ -78,17 +136,46 @@ const Kernels& scalar_kernels() noexcept;
 
 /**
  * The AVX2 kernels if compiled in and supported by this CPU; otherwise the
- * scalar kernels.
+ * scalar kernels. Purely hardware-gated (ignores the env override) so
+ * differential tests always exercise the real tier.
  */
 const Kernels& avx2_kernels() noexcept;
+
+/** Same contract for the AVX-512 kernels (falls back to scalar). */
+const Kernels& avx512_kernels() noexcept;
 
 /** True when AVX2+PCLMUL kernels are compiled in and the CPU supports them. */
 bool avx2_available() noexcept;
 
-/** Kernels for the requested level (falls back to scalar if unavailable). */
+/**
+ * True when the AVX-512 kernels are compiled in and the CPU supports the
+ * full required set: AVX-512 F/BW/VL/DQ plus VPCLMULQDQ (Ice Lake+).
+ * Earlier AVX-512 hardware (Skylake-X) falls back to the AVX2 tier.
+ */
+bool avx512_available() noexcept;
+
+/**
+ * Kernels for the requested level. Falls back to the best available lower
+ * tier if the hardware lacks the requested one, and additionally honours
+ * the DESCEND_SIMD_LEVEL env var as a hard *cap* (e.g. =scalar forces the
+ * scalar tier everywhere this accessor is used).
+ */
 const Kernels& kernels_for(Level level) noexcept;
 
-/** The best kernels available on this machine. */
+/** The best kernels available on this machine (also capped by the env var). */
 const Kernels& best_kernels() noexcept;
+
+/** Stable lowercase name for a level ("scalar", "avx2", "avx512"). */
+const char* level_name(Level level) noexcept;
+
+/** Parses "scalar" / "avx2" / "avx512" into @p out. False on junk. */
+bool parse_level(const char* text, Level& out) noexcept;
+
+/**
+ * The level engines should use by default: the best hardware-supported
+ * tier, capped by DESCEND_SIMD_LEVEL when set (unparseable values are
+ * ignored). This is what EngineOptions defaults to.
+ */
+Level default_level() noexcept;
 
 }  // namespace descend::simd

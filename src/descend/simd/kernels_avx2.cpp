@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "descend/simd/dispatch.h"
+#include "descend/util/bits.h"
 
 namespace descend::simd {
 namespace {
@@ -128,6 +129,75 @@ std::uint64_t prefix_xor_clmul(std::uint64_t mask)
     return static_cast<std::uint64_t>(_mm_cvtsi128_si64(product));
 }
 
+/**
+ * Batched single-load classifier. Each block's two 32-byte lanes are loaded
+ * once and every character mask is derived while they sit in registers:
+ * four cmpeqs for quote/backslash/comma/colon, then the case-fold trick for
+ * the brackets — t = byte | 0x20 maps '{'/'[' to '{' and '}'/']' to '}',
+ * so two more cmpeqs find "any opener"/"any closer", and bit 5 of the
+ * original byte (moved to the movemask-visible bit 7 by a 16-bit left
+ * shift of 2; the cross-byte shift-ins only reach bits 0-1) discriminates
+ * brace from bracket. Quote/escape carries are threaded serially.
+ */
+void classify_batch_avx2(const std::uint8_t* blocks, BatchCarry& carry,
+                         BlockMasks* out)
+{
+    const __m256i quote = _mm256_set1_epi8('"');
+    const __m256i backslash = _mm256_set1_epi8('\\');
+    const __m256i comma = _mm256_set1_epi8(',');
+    const __m256i colon = _mm256_set1_epi8(':');
+    const __m256i fold_bit = _mm256_set1_epi8(0x20);
+    const __m256i open_folded = _mm256_set1_epi8('{');
+    const __m256i close_folded = _mm256_set1_epi8('}');
+
+    for (std::size_t b = 0; b < kBatchBlocks; ++b) {
+        const std::uint8_t* block = blocks + b * kBlockSize;
+        __m256i lo = load_half(block);
+        __m256i hi = load_half(block + 32);
+
+        std::uint64_t quotes = movemask_pair(_mm256_cmpeq_epi8(lo, quote),
+                                             _mm256_cmpeq_epi8(hi, quote));
+        std::uint64_t backslashes = movemask_pair(_mm256_cmpeq_epi8(lo, backslash),
+                                                  _mm256_cmpeq_epi8(hi, backslash));
+        std::uint64_t commas = movemask_pair(_mm256_cmpeq_epi8(lo, comma),
+                                             _mm256_cmpeq_epi8(hi, comma));
+        std::uint64_t colons = movemask_pair(_mm256_cmpeq_epi8(lo, colon),
+                                             _mm256_cmpeq_epi8(hi, colon));
+
+        __m256i lo_folded = _mm256_or_si256(lo, fold_bit);
+        __m256i hi_folded = _mm256_or_si256(hi, fold_bit);
+        std::uint64_t open_any =
+            movemask_pair(_mm256_cmpeq_epi8(lo_folded, open_folded),
+                          _mm256_cmpeq_epi8(hi_folded, open_folded));
+        std::uint64_t close_any =
+            movemask_pair(_mm256_cmpeq_epi8(lo_folded, close_folded),
+                          _mm256_cmpeq_epi8(hi_folded, close_folded));
+        std::uint64_t bit5 = movemask_pair(_mm256_slli_epi16(lo, 2),
+                                           _mm256_slli_epi16(hi, 2));
+
+        BlockMasks& masks = out[b];
+        masks.entry_escaped = carry.escape;
+        masks.entry_in_string = carry.in_string;
+
+        bool carry_out = false;
+        std::uint64_t escaped =
+            bits::find_escaped(backslashes, carry.escape, carry_out);
+        carry.escape = carry_out;
+
+        masks.unescaped_quotes = quotes & ~escaped;
+        masks.in_string = prefix_xor_clmul(masks.unescaped_quotes) ^ carry.in_string;
+        carry.in_string = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(masks.in_string) >> 63);
+
+        masks.open_braces = open_any & bit5;
+        masks.open_brackets = open_any & ~bit5;
+        masks.close_braces = close_any & bit5;
+        masks.close_brackets = close_any & ~bit5;
+        masks.commas = commas;
+        masks.colons = colons;
+    }
+}
+
 }  // namespace
 
 /** Defined here (not in dispatch.cpp) so only this ISA-flagged TU names the
@@ -143,6 +213,7 @@ const Kernels& avx2_kernel_table() noexcept
         classify_eq_masked_avx2,
         classify_or_masked_avx2,
         prefix_xor_clmul,
+        classify_batch_avx2,
     };
     return kernels;
 }

@@ -85,6 +85,60 @@ std::uint64_t prefix_xor_scalar(std::uint64_t mask)
     return bits::prefix_xor(mask);
 }
 
+/**
+ * Reference batched classifier: one pass over each byte computing every raw
+ * character mask, then the serial quote/escape carry threading. All SIMD
+ * tiers are pinned bit-for-bit against this implementation.
+ */
+void classify_batch_scalar(const std::uint8_t* blocks, BatchCarry& carry,
+                           BlockMasks* out)
+{
+    for (std::size_t b = 0; b < kBatchBlocks; ++b) {
+        const std::uint8_t* block = blocks + b * kBlockSize;
+        std::uint64_t backslashes = 0;
+        std::uint64_t quotes = 0;
+        std::uint64_t open_braces = 0;
+        std::uint64_t close_braces = 0;
+        std::uint64_t open_brackets = 0;
+        std::uint64_t close_brackets = 0;
+        std::uint64_t commas = 0;
+        std::uint64_t colons = 0;
+        for (std::size_t i = 0; i < kBlockSize; ++i) {
+            std::uint8_t byte = block[i];
+            std::uint64_t bit = 1ULL << i;
+            backslashes |= byte == '\\' ? bit : 0;
+            quotes |= byte == '"' ? bit : 0;
+            open_braces |= byte == '{' ? bit : 0;
+            close_braces |= byte == '}' ? bit : 0;
+            open_brackets |= byte == '[' ? bit : 0;
+            close_brackets |= byte == ']' ? bit : 0;
+            commas |= byte == ',' ? bit : 0;
+            colons |= byte == ':' ? bit : 0;
+        }
+
+        BlockMasks& masks = out[b];
+        masks.entry_escaped = carry.escape;
+        masks.entry_in_string = carry.in_string;
+
+        bool carry_out = false;
+        std::uint64_t escaped = bits::find_escaped(backslashes, carry.escape, carry_out);
+        carry.escape = carry_out;
+
+        masks.unescaped_quotes = quotes & ~escaped;
+        masks.in_string = bits::prefix_xor(masks.unescaped_quotes) ^ carry.in_string;
+        // Sign-extend the top bit: all-ones iff this block ends inside a string.
+        carry.in_string = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(masks.in_string) >> 63);
+
+        masks.open_braces = open_braces;
+        masks.close_braces = close_braces;
+        masks.open_brackets = open_brackets;
+        masks.close_brackets = close_brackets;
+        masks.commas = commas;
+        masks.colons = colons;
+    }
+}
+
 }  // namespace
 
 const Kernels& scalar_kernels() noexcept
@@ -98,6 +152,7 @@ const Kernels& scalar_kernels() noexcept
         classify_eq_masked_scalar,
         classify_or_masked_scalar,
         prefix_xor_scalar,
+        classify_batch_scalar,
     };
     return kernels;
 }

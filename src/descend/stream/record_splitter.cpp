@@ -2,14 +2,12 @@
 
 #include "descend/classify/quote_classifier.h"
 #include "descend/util/bits.h"
+#include "descend/util/chars.h"
 
 namespace descend::stream {
 namespace {
 
-bool is_ws_byte(std::uint8_t byte)
-{
-    return byte == ' ' || byte == '\t' || byte == '\n' || byte == '\r';
-}
+using chars::is_ws_byte;
 
 /** Trims [begin, end) and appends it when non-blank. */
 void append_record(const std::uint8_t* data, std::size_t begin, std::size_t end,

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Shared character predicates. JSON insignificant whitespace (RFC 8259 §2)
+ * is exactly these four bytes; every component that needs to step over
+ * whitespace uses this one definition.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace descend::chars {
+
+/** True for the four JSON whitespace bytes: space, tab, LF, CR. */
+inline constexpr bool is_ws_byte(std::uint8_t byte) noexcept
+{
+    return byte == ' ' || byte == '\t' || byte == '\n' || byte == '\r';
+}
+
+}  // namespace descend::chars

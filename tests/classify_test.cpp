@@ -244,7 +244,8 @@ QuoteMasks naive_quotes(const Block& block, NaiveQuoteState& state)
 TEST(QuoteClassifier, MatchesNaiveOnRandomStreams)
 {
     workloads::Rng rng(31);
-    for (simd::Level level : {simd::Level::scalar, simd::Level::avx2}) {
+    for (simd::Level level :
+         {simd::Level::scalar, simd::Level::avx2, simd::Level::avx512}) {
         QuoteClassifier classifier(simd::kernels_for(level));
         NaiveQuoteState naive_state;
         for (int blocks = 0; blocks < 800; ++blocks) {

@@ -200,10 +200,10 @@ TEST_P(IteratorTest, EmptyInput)
 }
 
 INSTANTIATE_TEST_SUITE_P(Levels, IteratorTest,
-                         ::testing::Values(simd::Level::avx2, simd::Level::scalar),
+                         ::testing::Values(simd::Level::avx512, simd::Level::avx2,
+                                           simd::Level::scalar),
                          [](const ::testing::TestParamInfo<simd::Level>& info) {
-                             return info.param == simd::Level::avx2 ? "avx2"
-                                                                    : "scalar";
+                             return simd::level_name(info.param);
                          });
 
 TEST(PaddedString, CopiesAndPads)

@@ -61,7 +61,8 @@ EngineStatus ski_status(const std::string& query, const std::string& document,
 std::vector<EngineOptions> descend_configurations()
 {
     std::vector<EngineOptions> configurations;
-    for (simd::Level level : {simd::Level::avx2, simd::Level::scalar}) {
+    for (simd::Level level :
+         {simd::Level::avx512, simd::Level::avx2, simd::Level::scalar}) {
         EngineOptions defaults;
         defaults.simd = level;
         configurations.push_back(defaults);

@@ -42,8 +42,31 @@ TEST(SimdDispatch, LevelsAreConsistent)
     } else {
         EXPECT_EQ(avx2_kernels().level, Level::scalar);
     }
+    if (avx512_available()) {
+        EXPECT_EQ(avx512_kernels().level, Level::avx512);
+        EXPECT_STREQ(avx512_kernels().name, "avx512");
+    } else {
+        EXPECT_EQ(avx512_kernels().level, Level::scalar);
+    }
     EXPECT_EQ(&kernels_for(Level::scalar), &scalar_kernels());
-    EXPECT_EQ(&best_kernels(), &avx2_kernels());
+    // best_kernels honours the DESCEND_SIMD_LEVEL cap, so only invariants
+    // that hold under any cap value are checked here; kernels_test pins the
+    // exact selection per forced tier.
+    EXPECT_EQ(best_kernels().level, default_level());
+    EXPECT_EQ(&kernels_for(default_level()), &best_kernels());
+}
+
+TEST(SimdDispatch, LevelNamesRoundTrip)
+{
+    for (Level level : {Level::scalar, Level::avx2, Level::avx512}) {
+        Level parsed = Level::scalar;
+        EXPECT_TRUE(parse_level(level_name(level), parsed));
+        EXPECT_EQ(parsed, level);
+    }
+    Level out = Level::scalar;
+    EXPECT_FALSE(parse_level("sse9", out));
+    EXPECT_FALSE(parse_level("", out));
+    EXPECT_FALSE(parse_level(nullptr, out));
 }
 
 TEST(SimdKernels, EqMaskAgainstScalar)

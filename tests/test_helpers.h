@@ -39,7 +39,8 @@ inline std::vector<std::size_t> engine_offsets(const std::string& query,
 inline std::vector<EngineOptions> engine_configurations()
 {
     std::vector<EngineOptions> configurations;
-    for (simd::Level level : {simd::Level::avx2, simd::Level::scalar}) {
+    for (simd::Level level :
+         {simd::Level::avx512, simd::Level::avx2, simd::Level::scalar}) {
         // Full paper configuration.
         EngineOptions all;
         all.simd = level;
@@ -77,7 +78,7 @@ inline std::vector<EngineOptions> engine_configurations()
 
 inline std::string describe(const EngineOptions& options)
 {
-    std::string description = options.simd == simd::Level::avx2 ? "avx2" : "scalar";
+    std::string description = simd::level_name(options.simd);
     description += options.leaf_skipping ? "+leaf" : "-leaf";
     description += options.child_skipping ? "+child" : "-child";
     description += options.sibling_skipping ? "+sibling" : "-sibling";

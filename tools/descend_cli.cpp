@@ -10,7 +10,11 @@
  *   --offsets          print byte offsets instead of values
  *   --limit N          print at most N results (default: all)
  *   --engine NAME      descend (default) | surfer | ski | dom
- *   --scalar           use the portable SWAR pipeline instead of AVX2
+ *   --simd LEVEL       kernel tier: scalar | avx2 | avx512 (default: best
+ *                      supported; unavailable tiers fall back). Also
+ *                      settable via the DESCEND_SIMD_LEVEL env var, which
+ *                      acts as a cap on whatever is requested here.
+ *   --scalar           shorthand for --simd scalar
  *   --no-head-skip     disable memmem head-skipping
  *   --within-skip      enable the within-element label skip extension
  *   --stats            print run statistics (events, skips, stack depth)
@@ -61,7 +65,7 @@ void usage()
     std::fputs(
         "usage: descend-cli [options] '<query>' [file...]\n"
         "  --count | --offsets | --limit N\n"
-        "  --engine descend|surfer|ski|dom   --scalar\n"
+        "  --engine descend|surfer|ski|dom   --simd scalar|avx2|avx512 | --scalar\n"
         "  --no-head-skip | --within-skip | --stats | --validate\n"
         "  --ndjson [--threads N] [--fail-fast]\n",
         stderr);
@@ -91,6 +95,21 @@ bool parse_args(int argc, char** argv, CliOptions& options)
             options.threads = static_cast<std::size_t>(std::strtoull(argv[i], nullptr, 10));
         } else if (arg == "--scalar") {
             options.engine_options.simd = simd::Level::scalar;
+        } else if (arg == "--simd" || arg.rfind("--simd=", 0) == 0) {
+            const char* value = nullptr;
+            if (arg == "--simd") {
+                if (++i >= argc) {
+                    return false;
+                }
+                value = argv[i];
+            } else {
+                value = arg.c_str() + std::strlen("--simd=");
+            }
+            if (!simd::parse_level(value, options.engine_options.simd)) {
+                std::fprintf(stderr, "descend-cli: unknown SIMD level '%s'\n",
+                             value);
+                return false;
+            }
         } else if (arg == "--no-head-skip") {
             options.engine_options.head_skipping = false;
         } else if (arg == "--within-skip") {

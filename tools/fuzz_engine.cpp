@@ -287,11 +287,25 @@ std::optional<Mutation> mutate(const std::string& seed, Rng& rng)
 // Engine harness.
 // ---------------------------------------------------------------------------
 
+/** Every kernel tier this host can run, best first (scalar is the oracle). */
+std::vector<simd::Level> available_levels()
+{
+    std::vector<simd::Level> levels;
+    if (simd::avx512_available()) {
+        levels.push_back(simd::Level::avx512);
+    }
+    if (simd::avx2_available()) {
+        levels.push_back(simd::Level::avx2);
+    }
+    levels.push_back(simd::Level::scalar);
+    return levels;
+}
+
 /** The main-engine configurations with distinct detection paths. */
 std::vector<EngineOptions> descend_configurations()
 {
     std::vector<EngineOptions> configs;
-    for (simd::Level level : {simd::Level::avx2, simd::Level::scalar}) {
+    for (simd::Level level : available_levels()) {
         EngineOptions defaults;
         defaults.simd = level;
         configs.push_back(defaults);
@@ -312,7 +326,7 @@ std::vector<EngineOptions> descend_configurations()
 
 std::string describe(const EngineOptions& o)
 {
-    std::string s = o.simd == simd::Level::avx2 ? "avx2" : "scalar";
+    std::string s = simd::level_name(o.simd);
     s += o.head_skipping ? "+head" : "-head";
     s += o.child_skipping ? "+skips" : "-skips";
     s += o.label_within_skipping ? "+within" : "";
@@ -624,13 +638,13 @@ int check_stream(const std::string& name, const Mutation& mutation,
     const std::string& text = mutation.document;
     PaddedString padded(text);
     std::vector<stream::RecordSpan> expected_spans = reference_split(text);
-    for (simd::Level level : {simd::Level::avx2, simd::Level::scalar}) {
+    for (simd::Level level : available_levels()) {
         std::vector<stream::RecordSpan> spans =
             stream::split_records(padded, simd::kernels_for(level));
         if (spans != expected_spans) {
             return report_stream(
                 name, mutation,
-                level == simd::Level::avx2 ? "split[avx2]" : "split[scalar]",
+                std::string("split[") + simd::level_name(level) + "]",
                 "record spans diverge from the scalar reference splitter "
                 "(counts " +
                     std::to_string(spans.size()) + " vs " +
