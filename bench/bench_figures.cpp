@@ -26,10 +26,40 @@ using namespace descend;
 /** Rows accumulated for BENCH_pipeline.json (section "figures"). */
 std::vector<bench::BenchRow> json_rows;
 
-void record(const std::string& id, const char* engine, double gbps)
+void record(const std::string& id, const char* engine, double gbps,
+            std::vector<std::pair<std::string, double>> extra = {})
 {
     json_rows.push_back({"figures", id + "/" + engine,
-                         simd::level_name(simd::default_level()), gbps});
+                         simd::level_name(simd::default_level()), gbps,
+                         std::move(extra)});
+}
+
+/**
+ * Counter context for a descend row: one untimed run with the registry on,
+ * reduced to the skip-attribution numbers that explain the row's speed
+ * (which fraction of blocks each technique removed from the structural
+ * path). Empty when the library was built with DESCEND_OBS=OFF.
+ */
+std::vector<std::pair<std::string, double>> obs_extra(
+    const DescendEngine& engine, const PaddedString& doc)
+{
+    std::vector<std::pair<std::string, double>> extra;
+    if constexpr (obs::kEnabled) {
+        CountSink sink;
+        RunStats stats = engine.run_with_stats(doc, sink);
+        const obs::Counters& c = stats.counters;
+        auto put = [&](const char* key, obs::Counter id) {
+            extra.emplace_back(key,
+                               static_cast<double>(c.get(id)));
+        };
+        put("blocks_structural", obs::Counter::kBlocksStructural);
+        put("blocks_child_skipped", obs::Counter::kBlocksChildSkipped);
+        put("blocks_sibling_skipped", obs::Counter::kBlocksSiblingSkipped);
+        put("blocks_head_skip", obs::Counter::kBlocksHeadSkip);
+        put("structural_events", obs::Counter::kStructuralEvents);
+        put("depth_stack_pushes", obs::Counter::kDepthStackPushes);
+    }
+    return extra;
 }
 
 double measure_gbps(const JsonPathEngine& engine, const PaddedString& doc,
@@ -74,7 +104,7 @@ void figure_row(const std::string& id)
     DescendEngine ours = DescendEngine::for_query(spec.query);
     double descend_gbps = measure_gbps(ours, doc, expected);
     bar("descend", descend_gbps, kScaleMax);
-    record(spec.id, "descend", descend_gbps);
+    record(spec.id, "descend", descend_gbps, obs_extra(ours, doc));
     if (spec.ski_supported) {
         SkiEngine ski = SkiEngine::for_query(spec.query);
         if (ski.count(doc) == expected) {

@@ -25,6 +25,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "descend/json/dom.h"
@@ -33,12 +34,22 @@
 
 namespace descend::bench {
 
-/** One measurement destined for BENCH_pipeline.json. */
+/**
+ * One measurement destined for BENCH_pipeline.json.
+ *
+ * `extra` carries optional numeric context beside the headline throughput
+ * — typically observability counters (blocks skipped per technique, label
+ * search hit rates; see obs/counters.h) captured from the measured run so
+ * a BENCH row explains *why* it is fast, not just how fast. Keys are
+ * emitted as a nested "extra" object and survive section merging; an
+ * empty map emits no "extra" key at all, keeping legacy rows byte-stable.
+ */
 struct BenchRow {
     std::string section;
     std::string name;
     std::string tier;
     double gbps = 0;
+    std::vector<std::pair<std::string, double>> extra;
 };
 
 /** Output path; override with DESCEND_BENCH_JSON. */
@@ -140,6 +151,14 @@ inline void merge_bench_json(const std::string& section,
                     row.gbps = gbps != nullptr && gbps->is_number()
                                    ? gbps->as_number()
                                    : 0.0;
+                    const json::Value* extra = entry->find("extra");
+                    if (extra != nullptr && extra->is_object()) {
+                        for (const auto& [key, value] : extra->members()) {
+                            if (value->is_number()) {
+                                row.extra.emplace_back(key, value->as_number());
+                            }
+                        }
+                    }
                     all.push_back(std::move(row));
                 }
             }
@@ -163,6 +182,19 @@ inline void merge_bench_json(const std::string& section,
         detail::append_json_string(out, all[i].tier);
         out += ", \"gbps\": ";
         out += gbps;
+        if (!all[i].extra.empty()) {
+            out += ", \"extra\": {";
+            for (std::size_t j = 0; j < all[i].extra.size(); ++j) {
+                char value[64];
+                std::snprintf(value, sizeof(value), "%.4f",
+                              all[i].extra[j].second);
+                out += j == 0 ? "" : ", ";
+                detail::append_json_string(out, all[i].extra[j].first);
+                out += ": ";
+                out += value;
+            }
+            out += "}";
+        }
         out += "}";
     }
     out += "\n  ]\n}\n";

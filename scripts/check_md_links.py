@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the repo's documentation.
+
+Verifies, without touching the network:
+
+  * relative links point at files or directories that exist;
+  * intra-document anchors (``#section-title``) resolve to a heading in
+    the target file (GitHub's slug rules, approximated: lowercase,
+    spaces to dashes, punctuation dropped);
+  * reference-style definitions are not dangling.
+
+External links (http/https/mailto) are only syntax-checked — CI must not
+fail on someone else's outage. Exit status is the number of broken links.
+
+Usage: scripts/check_md_links.py README.md DESIGN.md ...
+"""
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(?P<title>.+?)\s*$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(title: str) -> str:
+    """Approximate GitHub's heading-to-anchor slug."""
+    slug = title.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)              # inline formatting
+    slug = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", slug)  # links in headings
+    slug = re.sub(r"[^\w\- §.]", "", slug, flags=re.UNICODE)
+    slug = re.sub(r"[ §.]+", "-", slug).strip("-")
+    return slug
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as handle:
+        text = CODE_FENCE.sub("", handle.read())
+    return {github_slug(match.group("title")) for match in HEADING.finditer(text)}
+
+
+def check_file(path: str) -> list:
+    problems = []
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as handle:
+        raw = handle.read()
+    text = CODE_FENCE.sub("", raw)
+
+    for match in INLINE_LINK.finditer(text):
+        target = match.group("target")
+        line = raw[: raw.find(match.group(0))].count("\n") + 1
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in anchors_of(path):
+                problems.append((path, line, f"missing anchor {target}"))
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(resolved):
+            problems.append((path, line, f"missing file {file_part}"))
+            continue
+        if anchor and resolved.endswith(".md"):
+            if github_slug(anchor) not in anchors_of(resolved):
+                problems.append(
+                    (path, line, f"missing anchor #{anchor} in {file_part}"))
+    return problems
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    problems = []
+    for path in argv[1:]:
+        if not os.path.exists(path):
+            problems.append((path, 0, "file not found"))
+            continue
+        problems.extend(check_file(path))
+    for path, line, message in problems:
+        print(f"{path}:{line}: {message}")
+    if not problems:
+        print(f"checked {len(argv) - 1} files: all links resolve")
+    return min(len(problems), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

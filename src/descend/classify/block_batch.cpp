@@ -12,6 +12,8 @@ const simd::BlockMasks& BatchedBlockStream::refill(std::size_t block_start) noex
     assert(ring_start_ == kInvalid || block_start == ring_start_ + simd::kBatchSize);
     kernels_->classify_batch(data_ + block_start, carry_, ring_);
     ring_start_ = block_start;
+    obs::add(counters_, obs::Counter::kBatchRefills);
+    obs::add(counters_, obs::Counter::kBlocksClassified, simd::kBatchBlocks);
     return ring_[0];
 }
 

@@ -33,14 +33,20 @@
 #include <cstdint>
 
 #include "descend/classify/quote_classifier.h"
+#include "descend/obs/counters.h"
 #include "descend/simd/dispatch.h"
 
 namespace descend::classify {
 
 class BatchedBlockStream {
 public:
-    BatchedBlockStream(const std::uint8_t* data, const simd::Kernels& kernels) noexcept
-        : data_(data), kernels_(&kernels)
+    /** @param counters optional obs registry: refill() feeds the batch-
+     *  refill and blocks-classified counters, restart() the stop/resume
+     *  switch counter. Null (and any build with DESCEND_OBS=OFF) counts
+     *  nothing. */
+    BatchedBlockStream(const std::uint8_t* data, const simd::Kernels& kernels,
+                       obs::Counters* counters = nullptr) noexcept
+        : data_(data), kernels_(&kernels), counters_(counters)
     {
     }
 
@@ -68,6 +74,7 @@ public:
         carry_.escape = state.escape_carry;
         carry_.in_string = state.in_string_carry;
         ring_start_ = kInvalid;
+        obs::add(counters_, obs::Counter::kPipelineResumes);
     }
 
     /** The quote state at the entry of a block's cached masks. */
@@ -86,6 +93,7 @@ private:
 
     const std::uint8_t* data_;
     const simd::Kernels* kernels_;
+    obs::Counters* counters_;
     simd::BatchCarry carry_;
     std::size_t ring_start_ = kInvalid;
     simd::BlockMasks ring_[simd::kBatchBlocks];

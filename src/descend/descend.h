@@ -21,6 +21,11 @@
 #include "descend/engine/extract.h"
 #include "descend/engine/main_engine.h"
 #include "descend/engine/padded_string.h"
+#include "descend/obs/accounting.h"
+#include "descend/obs/counters.h"
+#include "descend/obs/report.h"
+#include "descend/obs/run_stats.h"
+#include "descend/obs/timing.h"
 #include "descend/query/query.h"
 #include "descend/stream/record_splitter.h"
 #include "descend/stream/stream_executor.h"

@@ -1,8 +1,10 @@
 /**
  * @file
- * The engine-facing public API: match sinks, engine options, run
- * statistics, and the common interface implemented by the main engine and
- * all three baselines, so that tests and benchmarks are engine-generic.
+ * The engine-facing public API: match sinks, engine options, and the
+ * common interface implemented by the main engine and all three baselines,
+ * so that tests and benchmarks are engine-generic. Run statistics
+ * (RunStats) live in obs/run_stats.h with the rest of the observability
+ * layer and are re-exported here.
  *
  * A match is reported as the byte offset of the first character of the
  * matched value (the opening brace/bracket for containers, the first
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "descend/engine/padded_string.h"
+#include "descend/obs/run_stats.h"
 #include "descend/simd/dispatch.h"
 #include "descend/util/status.h"
 
@@ -106,20 +109,9 @@ struct EngineOptions {
     EngineLimits limits;
 };
 
-/** Counters describing what one run did (for tests and ablation reports). */
-struct RunStats {
-    std::size_t events = 0;            ///< structural events processed
-    std::size_t child_skips = 0;       ///< skip-children fast-forwards
-    std::size_t sibling_skips = 0;     ///< skip-siblings fast-forwards
-    std::size_t head_skip_jumps = 0;   ///< memmem occurrences processed
-    std::size_t within_skips = 0;      ///< within-element label fast-forwards
-    /** High-water mark of the sparse depth-stack. The paper's Section 3.2
-     *  claim: bounded by the query's selector count for child-free
-     *  queries, by document depth only in adversarial nestings. */
-    std::size_t max_stack = 0;
-    /** Structured outcome of the run (also returned by run() itself). */
-    EngineStatus status;
-};
+// RunStats lives in obs/run_stats.h: it backs the engine's status paths in
+// every build and carries the full observability registry when DESCEND_OBS
+// is on.
 
 /** Status-carrying outcome of a counting convenience run. */
 struct CountResult {

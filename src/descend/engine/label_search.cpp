@@ -11,13 +11,16 @@ using chars::is_ws_byte;
 
 LabelSearch::LabelSearch(PaddedView input, const simd::Kernels& kernels,
                          std::string_view escaped_label,
-                         StructuralValidator* validator)
+                         StructuralValidator* validator,
+                         obs::BlockAccountant* accountant)
     : data_(input.data()),
       size_(input.size()),
       end_((input.size() + simd::kBlockSize - 1) / simd::kBlockSize * simd::kBlockSize),
-      blocks_(input.data(), kernels),
+      blocks_(input.data(), kernels,
+              accountant == nullptr ? nullptr : accountant->counters()),
       label_(escaped_label),
-      validator_(validator)
+      validator_(validator),
+      accountant_(accountant)
 {
     if (end_ > 0) {
         classify_block();
@@ -37,6 +40,9 @@ void LabelSearch::classify_block()
     std::uint64_t unescaped_quotes = masks.unescaped_quotes & valid;
     if (validator_ != nullptr) {
         validator_->account(masks, block_start_, in_string, valid);
+    }
+    if (accountant_ != nullptr) {
+        accountant_->account_as(block_start_, obs::BlockMode::kHeadSkip);
     }
     // String-opening quotes: unescaped quotes whose in-string bit is set
     // (the opening quote is inside its own string under our convention).
@@ -94,7 +100,11 @@ std::optional<LabelSearch::Occurrence> LabelSearch::next()
             candidates_ = bits::clear_lowest_bit(candidates_);
             std::size_t quote_pos = block_start_ + static_cast<std::size_t>(bit);
             std::size_t colon_pos = 0;
+            obs::Counters* counters =
+                accountant_ == nullptr ? nullptr : accountant_->counters();
+            obs::add(counters, obs::Counter::kLabelSearchCandidates);
             if (verify(quote_pos, colon_pos)) {
+                obs::add(counters, obs::Counter::kLabelSearchHits);
                 return Occurrence{quote_pos, colon_pos};
             }
         }

@@ -36,10 +36,14 @@ public:
      *  @param validator optional whole-document validator shared with the
      *  structural iterator; blocks this search classifies are accounted
      *  there (the resume protocol guarantees each block is accounted by
-     *  exactly one of the two pipelines). */
+     *  exactly one of the two pipelines).
+     *  @param accountant optional shared obs accountant: blocks this
+     *  search classifies first are attributed to head-skip, and the
+     *  candidate/hit counters of the bytewise verification are fed. */
     LabelSearch(PaddedView input, const simd::Kernels& kernels,
                 std::string_view escaped_label,
-                StructuralValidator* validator = nullptr);
+                StructuralValidator* validator = nullptr,
+                obs::BlockAccountant* accountant = nullptr);
 
     struct Occurrence {
         std::size_t quote_pos;  ///< the label's opening quote
@@ -70,6 +74,7 @@ private:
     classify::BatchedBlockStream blocks_;
     std::string label_;
     StructuralValidator* validator_ = nullptr;
+    obs::BlockAccountant* accountant_ = nullptr;
 
     std::size_t block_start_ = 0;
     std::uint64_t candidates_ = 0;

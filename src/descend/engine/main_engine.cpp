@@ -110,7 +110,7 @@ public:
             while (true) {
                 StructuralIterator::WithinResult found =
                     iter.skip_to_label_within(label, opened, relative_depth);
-                ++stats_.within_skips;
+                stats_.counters.add(obs::Counter::kWithinSkips);
                 if (found.outcome != StructuralIterator::WithinResult::Outcome::
                                          kFoundLabel) {
                     return;  // element closer pending (or malformed input)
@@ -191,9 +191,10 @@ public:
                 }
                 return;
             }
-            ++stats_.events;
+            stats_.counters.add(obs::Counter::kStructuralEvents);
             switch (event.kind) {
                 case Kind::kOpening: {
+                    stats_.counters.add(obs::Counter::kOpeningEvents);
                     bool is_object = event.byte == classify::kOpenBrace;
                     if (depth > 0 || !at_document_root) {
                         int symbol;
@@ -209,7 +210,7 @@ public:
                         int target = cq.transition(state, symbol);
                         if (cq.flags(target).rejecting && options_.child_skipping) {
                             // Skipping children: nothing below can match.
-                            ++stats_.child_skips;
+                            stats_.counters.add(obs::Counter::kChildSkips);
                             iter.skip_element(event.byte);
                             continue;
                         }
@@ -221,9 +222,9 @@ public:
                             // child-free queries (Section 3.2).
                             if (cq.row_class(target) != cq.row_class(state)) {
                                 stack.push_back({state, depth});
-                                if (stack.size() > stats_.max_stack) {
-                                    stats_.max_stack = stack.size();
-                                }
+                                stats_.counters.add(obs::Counter::kDepthStackPushes);
+                                stats_.counters.raise(obs::Counter::kDepthStackMax,
+                                                      stack.size());
                             }
                             state = target;
                         }
@@ -284,7 +285,7 @@ public:
                             options_.sibling_skipping) {
                             // Labels do not repeat among siblings: the
                             // parent holds no further matches.
-                            ++stats_.sibling_skips;
+                            stats_.counters.add(obs::Counter::kSiblingSkips);
                             iter.skip_to_parent_close(kinds.top());
                             continue;
                         }
@@ -314,7 +315,7 @@ public:
                         if (cq.flags(state).unitary && options_.sibling_skipping) {
                             // The unitary state's unique label just matched
                             // an atomic member: skip the remaining siblings.
-                            ++stats_.sibling_skips;
+                            stats_.counters.add(obs::Counter::kSiblingSkips);
                             iter.skip_to_parent_close(kinds.top());
                         }
                     }
@@ -351,7 +352,8 @@ public:
      *  stop/resume protocol hands blocks between the two pipelines
      *  monotonically, so each block is accounted exactly once. */
     void run_head_skip(PaddedView document, const simd::Kernels& kernels,
-                       StructuralValidator* validator)
+                       StructuralValidator* validator,
+                       obs::BlockAccountant* accountant)
     {
         const automaton::CompiledQuery& cq = cq_;
         const std::string& label = *cq.head_skip_label();
@@ -359,12 +361,14 @@ public:
         int target_of_label = cq.transition(cq.initial_state(), label_symbol);
         bool leaf_accepting = cq.flags(target_of_label).accepting;
 
-        LabelSearch search(document, kernels, label, validator);
+        // The search is constructed first: it owns block 0 until the first
+        // handoff, so the accountant attributes the lead-in to head-skip.
+        LabelSearch search(document, kernels, label, validator, accountant);
         StructuralIterator iter(document, kernels, validator,
-                                options_.limits.max_depth);
+                                options_.limits.max_depth, accountant);
 
         while (auto occurrence = search.next()) {
-            ++stats_.head_skip_jumps;
+            stats_.counters.add(obs::Counter::kHeadSkipJumps);
             std::size_t value = iter.first_non_ws(occurrence->colon_pos + 1);
             if (value >= document.size()) {
                 break;
@@ -438,8 +442,15 @@ template <typename Sink>
 RunStats DescendEngine::dispatch(PaddedView document, Sink& sink) const
 {
     RunStats stats;
+    // Shared by every pipeline over this document (exactly like the
+    // validator below): attributes each block, once, to the mode that
+    // first classified it. finish() closes the books on every return
+    // path, so the accounting invariant — the six block counters sum to
+    // ceil(size / kBlockSize) — holds for any status, any options.
+    obs::BlockAccountant accountant(&stats.counters);
     stats.status = preflight_document(document, options_.limits);
     if (!stats.status.ok()) {
+        accountant.finish(document.size());
         return stats;
     }
     if (query_.root_accepting()) {
@@ -447,11 +458,13 @@ RunStats DescendEngine::dispatch(PaddedView document, Sink& sink) const
         // path deliberately stays O(1) and unvalidated — the document is
         // never scanned, so no structural verdict is possible (see
         // DESIGN.md, "Error handling & limits").
-        StructuralIterator iter(document, *kernels_);
+        StructuralIterator iter(document, *kernels_, nullptr,
+                                EngineLimits::kUnlimited, &accountant);
         std::size_t start = iter.first_non_ws(0);
         if (start < document.size()) {
             sink.on_match(start);
         }
+        accountant.finish(document.size());
         return stats;
     }
     // Whole-document validation rides along with block classification:
@@ -463,16 +476,18 @@ RunStats DescendEngine::dispatch(PaddedView document, Sink& sink) const
     StructuralValidator* vptr = options_.validate_structure ? &validator : nullptr;
     Simulation<Sink> simulation(query_, options_, sink, stats);
     if (query_.head_skip_label().has_value() && options_.head_skipping) {
-        simulation.run_head_skip(document, *kernels_, vptr);
+        simulation.run_head_skip(document, *kernels_, vptr, &accountant);
         stats.status = simulation.status();
         // No trailing-content check here: head-skipping never tracks the
         // root element, so "after the root closed" is undefined for it.
         if (stats.status.ok() && vptr != nullptr) {
             stats.status = validator.verdict(document.size());
         }
+        accountant.finish(document.size());
         return stats;
     }
-    StructuralIterator iter(document, *kernels_, vptr, options_.limits.max_depth);
+    StructuralIterator iter(document, *kernels_, vptr, options_.limits.max_depth,
+                            &accountant);
     simulation.run_main_loop(iter, /*at_document_root=*/true);
     stats.status = simulation.status();
     if (stats.status.ok()) {
@@ -484,9 +499,11 @@ RunStats DescendEngine::dispatch(PaddedView document, Sink& sink) const
     if (stats.status.ok() && vptr != nullptr) {
         // Sound even though blocks past the root's closer were never
         // accounted: the trailing check above guarantees they hold only
-        // whitespace, which cannot move a balance.
+        // whitespace, which cannot move a balance (the accountant books
+        // them as the tail).
         stats.status = validator.verdict(document.size());
     }
+    accountant.finish(document.size());
     return stats;
 }
 
@@ -497,7 +514,13 @@ EngineStatus DescendEngine::run(PaddedView document, MatchSink& sink) const
 
 RunStats DescendEngine::run_with_stats(PaddedView document, MatchSink& sink) const
 {
-    return dispatch(document, sink);
+    // A stopwatch rather than a scoped timer: the timing must land in the
+    // returned object, and a destructor firing after the return-value copy
+    // would miss it.
+    obs::PhaseStopwatch watch;
+    RunStats stats = dispatch(document, sink);
+    stats.timings.add(obs::Phase::kAutomaton, watch.elapsed_ns());
+    return stats;
 }
 
 namespace {

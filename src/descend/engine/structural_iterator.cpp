@@ -13,12 +13,15 @@ using chars::is_ws_byte;
 StructuralIterator::StructuralIterator(PaddedView input,
                                        const simd::Kernels& kernels,
                                        StructuralValidator* validator,
-                                       std::size_t max_skip_depth)
+                                       std::size_t max_skip_depth,
+                                       obs::BlockAccountant* accountant)
     : data_(input.data()),
       size_(input.size()),
       end_((input.size() + simd::kBlockSize - 1) / simd::kBlockSize * simd::kBlockSize),
-      blocks_(input.data(), kernels),
+      blocks_(input.data(), kernels,
+              accountant == nullptr ? nullptr : accountant->counters()),
       validator_(validator),
+      accountant_(accountant),
       max_skip_depth_(max_skip_depth)
 {
     if (end_ > 0) {
@@ -72,6 +75,9 @@ void StructuralIterator::classify_block(bool with_structural)
     unescaped_quotes_ = masks.unescaped_quotes & valid;
     if (validator_ != nullptr) {
         validator_->account(masks, block_start_, in_string_, valid);
+    }
+    if (accountant_ != nullptr) {
+        accountant_->account(block_start_);
     }
     struct_mask_ =
         with_structural ? (compose_structural(masks) & ~in_string_ & valid) : 0;
@@ -276,6 +282,7 @@ void StructuralIterator::skip_until_depth_zero(classify::BracketKind kind,
 
 void StructuralIterator::skip_element(std::uint8_t opening_byte)
 {
+    obs::ModeScope mode(accountant_, obs::BlockMode::kChildSkip);
     skip_until_depth_zero(opening_byte == classify::kOpenBrace
                               ? classify::BracketKind::kObject
                               : classify::BracketKind::kArray,
@@ -284,6 +291,7 @@ void StructuralIterator::skip_element(std::uint8_t opening_byte)
 
 void StructuralIterator::skip_to_parent_close(bool parent_is_object)
 {
+    obs::ModeScope mode(accountant_, obs::BlockMode::kSiblingSkip);
     skip_until_depth_zero(parent_is_object ? classify::BracketKind::kObject
                                            : classify::BracketKind::kArray,
                           /*consume_closer=*/false);
@@ -306,6 +314,7 @@ StructuralIterator::WithinResult StructuralIterator::skip_to_label_within(
     std::string_view escaped_label, BitStack& opened, int& relative_depth)
 {
     const simd::Kernels& kernels = blocks_.kernels();
+    obs::ModeScope mode(accountant_, obs::BlockMode::kWithinSkip);
     WithinResult result;
     std::uint64_t live = bits::mask_from(floor_);
     while (block_start_ < end_) {
@@ -351,6 +360,7 @@ StructuralIterator::WithinResult StructuralIterator::skip_to_label_within(
                 continue;
             }
             // Candidate: verify "<label>" followed by a colon.
+            obs::add(obs_counters(), obs::Counter::kLabelSearchCandidates);
             std::size_t content = pos + 1;
             if (content + escaped_label.size() + 1 > size_ ||
                 std::memcmp(data_ + content, escaped_label.data(),
@@ -362,6 +372,7 @@ StructuralIterator::WithinResult StructuralIterator::skip_to_label_within(
             if (after >= size_ || data_[after] != classify::kColon) {
                 continue;
             }
+            obs::add(obs_counters(), obs::Counter::kLabelSearchHits);
             result.outcome = WithinResult::Outcome::kFoundLabel;
             result.colon_pos = after;
             result.value_pos = first_non_ws(after + 1);

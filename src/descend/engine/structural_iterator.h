@@ -28,6 +28,7 @@
 #include "descend/classify/structural_classifier.h"
 #include "descend/engine/padded_string.h"
 #include "descend/engine/validation.h"
+#include "descend/obs/accounting.h"
 #include "descend/simd/dispatch.h"
 #include "descend/util/bit_stack.h"
 #include "descend/util/status.h"
@@ -70,10 +71,16 @@ public:
      * @param max_skip_depth relative-nesting bound enforced inside the
      *        depth-classifier fast-forwards (the engine bounds the depth
      *        it tracks itself; this guards the depth the skips traverse).
+     * @param accountant optional shared obs block accountant: each block
+     *        this iterator classifies is attributed (exactly once, like
+     *        the validator's accounting) to the pipeline mode active at
+     *        its first classification — structural iteration or one of
+     *        the skip fast-forwards.
      */
     StructuralIterator(PaddedView input, const simd::Kernels& kernels,
                        StructuralValidator* validator = nullptr,
-                       std::size_t max_skip_depth = EngineLimits::kUnlimited);
+                       std::size_t max_skip_depth = EngineLimits::kUnlimited,
+                       obs::BlockAccountant* accountant = nullptr);
 
     /**
      * Malformed-input flag raised while iterating: truncated string at
@@ -215,8 +222,16 @@ private:
     bool commas_on_ = false;
     bool colons_on_ = false;
     StructuralValidator* validator_ = nullptr;
+    obs::BlockAccountant* accountant_ = nullptr;
     std::size_t max_skip_depth_;
     EngineStatus status_;
+
+    /** The shared obs registry, for counters beyond block attribution
+     *  (label-search candidates in the within-skip scan). */
+    obs::Counters* obs_counters() const noexcept
+    {
+        return accountant_ == nullptr ? nullptr : accountant_->counters();
+    }
 
     /** Repositions to @p pos (>= current position), rolling the batch
      *  stream forward and recomposing the target block from there. */

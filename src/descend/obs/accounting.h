@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Per-block attribution: which pipeline mode first consumed each block.
+ *
+ * The acceptance invariant of the observability layer is
+ *
+ *     blocks_structural + blocks_child_skipped + blocks_sibling_skipped
+ *       + blocks_within_skipped + blocks_head_skip + blocks_tail
+ *       == ceil(document_size / kBlockSize)
+ *
+ * and it holds by construction: the BlockAccountant uses the same
+ * monotone-cursor idiom as StructuralValidator::account (validation.h) —
+ * a block is attributed exactly when its start equals the cursor, so the
+ * stop/resume protocol's re-classification of a block the other pipeline
+ * already consumed is ignored, and every block is counted exactly once
+ * under the mode that was active at its *first* classification. finish()
+ * closes the books by attributing the never-classified tail (blocks after
+ * the root closer hold only whitespace — the engine's trailing-content
+ * check guarantees it — so no pipeline ever pulls them).
+ *
+ * Like everything in obs/, the class collapses to a no-op shell when
+ * DESCEND_OBS is off; the pipeline call sites stay unconditional.
+ */
+#pragma once
+
+#include "descend/obs/counters.h"
+#include "descend/simd/dispatch.h"
+
+namespace descend::obs {
+
+/** The pipeline mode a block is attributed to. */
+enum class BlockMode : std::uint8_t {
+    kStructural,    ///< normal structural iteration
+    kChildSkip,     ///< depth-classifier fast-forward over a rejected subtree
+    kSiblingSkip,   ///< depth-classifier fast-forward to the parent's closer
+    kWithinSkip,    ///< §4.5 within-element label scan
+    kHeadSkip,      ///< head-skip label search
+};
+
+constexpr Counter block_mode_counter(BlockMode mode) noexcept
+{
+    switch (mode) {
+        case BlockMode::kStructural: return Counter::kBlocksStructural;
+        case BlockMode::kChildSkip: return Counter::kBlocksChildSkipped;
+        case BlockMode::kSiblingSkip: return Counter::kBlocksSiblingSkipped;
+        case BlockMode::kWithinSkip: return Counter::kBlocksWithinSkipped;
+        case BlockMode::kHeadSkip: return Counter::kBlocksHeadSkip;
+    }
+    return Counter::kBlocksStructural;
+}
+
+#if DESCEND_OBS_ENABLED
+
+/** One accountant is shared by every pipeline over one document, exactly
+ *  like the shared StructuralValidator. */
+class BlockAccountant {
+public:
+    explicit BlockAccountant(Counters* counters) noexcept : counters_(counters) {}
+
+    /** The registry the pipelines should also feed (ring refills). */
+    Counters* counters() const noexcept { return counters_; }
+
+    /** Current attribution mode for account(); skips set and restore it. */
+    void set_mode(BlockMode mode) noexcept { mode_ = mode; }
+
+    /** Attributes the block at @p block_start to the current mode (first
+     *  classification wins; later re-classifications are ignored). */
+    void account(std::size_t block_start) noexcept
+    {
+        account_as(block_start, mode_);
+    }
+
+    /** Attributes to an explicit mode (the label search is always head-skip). */
+    void account_as(std::size_t block_start, BlockMode mode) noexcept
+    {
+        if (counters_ == nullptr || block_start != counted_until_) {
+            return;
+        }
+        counted_until_ += simd::kBlockSize;
+        counters_->add(block_mode_counter(mode));
+    }
+
+    /** Attributes every remaining (never-classified) block to the tail.
+     *  Idempotent; call once per dispatch return path. */
+    void finish(std::size_t document_size) noexcept
+    {
+        if (counters_ == nullptr) {
+            return;
+        }
+        std::size_t total =
+            (document_size + simd::kBlockSize - 1) / simd::kBlockSize;
+        std::size_t accounted = counted_until_ / simd::kBlockSize;
+        if (total > accounted) {
+            counters_->add(Counter::kBlocksTail, total - accounted);
+            counted_until_ = total * simd::kBlockSize;
+        }
+    }
+
+private:
+    Counters* counters_;
+    std::size_t counted_until_ = 0;
+    BlockMode mode_ = BlockMode::kStructural;
+};
+
+#else  // DESCEND_OBS_ENABLED
+
+class BlockAccountant {
+public:
+    explicit BlockAccountant(Counters*) noexcept {}
+    Counters* counters() const noexcept { return nullptr; }
+    void set_mode(BlockMode) noexcept {}
+    void account(std::size_t) noexcept {}
+    void account_as(std::size_t, BlockMode) noexcept {}
+    void finish(std::size_t) noexcept {}
+};
+
+#endif  // DESCEND_OBS_ENABLED
+
+/** RAII mode switch: restores kStructural when the skip scope exits. */
+class ModeScope {
+public:
+    ModeScope(BlockAccountant* accountant, BlockMode mode) noexcept
+        : accountant_(accountant)
+    {
+        if (accountant_ != nullptr) {
+            accountant_->set_mode(mode);
+        }
+    }
+    ~ModeScope()
+    {
+        if (accountant_ != nullptr) {
+            accountant_->set_mode(BlockMode::kStructural);
+        }
+    }
+    ModeScope(const ModeScope&) = delete;
+    ModeScope& operator=(const ModeScope&) = delete;
+
+private:
+    BlockAccountant* accountant_;
+};
+
+}  // namespace descend::obs

@@ -1,0 +1,147 @@
+#include "descend/obs/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "descend/simd/dispatch.h"
+
+namespace descend::obs {
+namespace {
+
+void append_u64(std::string& out, std::uint64_t value)
+{
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+    out += buffer;
+}
+
+/** `"key": value` with leading separator handling via @p first. */
+void append_field(std::string& out, bool& first, const char* key,
+                  std::uint64_t value)
+{
+    out += first ? "" : ", ";
+    first = false;
+    out += '"';
+    out += key;
+    out += "\": ";
+    append_u64(out, value);
+}
+
+void append_counters(std::string& out, const Counters& counters)
+{
+    out += "\"counters\": {";
+    bool first = true;
+    if (kEnabled) {
+        for (std::size_t i = 0; i < kCounterCount; ++i) {
+            Counter id = static_cast<Counter>(i);
+            append_field(out, first, counter_name(id), counters.get(id));
+        }
+    }
+    out += "}";
+}
+
+void append_blocks(std::string& out, const Counters& counters,
+                   std::size_t total)
+{
+    out += "\"blocks\": {";
+    bool first = true;
+    append_field(out, first, "accounted", accounted_blocks(counters));
+    append_field(out, first, "total", kEnabled ? total : 0);
+    out += "}";
+}
+
+void append_timings(std::string& out, const Timings& timings)
+{
+    out += "\"timings_ns\": {";
+    bool first = true;
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+        Phase phase = static_cast<Phase>(i);
+        std::uint64_t ns = timings.get(phase);
+        if (ns != 0) {
+            append_field(out, first, phase_name(phase), ns);
+        }
+    }
+    out += "}";
+}
+
+void append_header(std::string& out, const std::string& engine,
+                   std::size_t document_bytes)
+{
+    out += "{\"obs\": ";
+    out += kEnabled ? "true" : "false";
+    out += ", \"engine\": \"";
+    out += engine;  // engine names are identifier-like; no escaping needed
+    out += "\", \"document\": {\"bytes\": ";
+    append_u64(out, document_bytes);
+    out += ", \"blocks\": ";
+    append_u64(out, total_blocks(document_bytes));
+    out += "}";
+}
+
+}  // namespace
+
+std::size_t total_blocks(std::size_t document_bytes)
+{
+    return (document_bytes + simd::kBlockSize - 1) / simd::kBlockSize;
+}
+
+std::uint64_t accounted_blocks(const Counters& counters)
+{
+    return counters.get(Counter::kBlocksStructural) +
+           counters.get(Counter::kBlocksChildSkipped) +
+           counters.get(Counter::kBlocksSiblingSkipped) +
+           counters.get(Counter::kBlocksWithinSkipped) +
+           counters.get(Counter::kBlocksHeadSkip) +
+           counters.get(Counter::kBlocksTail);
+}
+
+std::string to_json(const RunReport& report)
+{
+    std::string out;
+    append_header(out, report.engine, report.document_bytes);
+    out += ", \"status\": {\"code\": \"";
+    out += status_name(report.stats.status.code);
+    out += "\", \"offset\": ";
+    append_u64(out, report.stats.status.offset);
+    out += "}, \"matches\": ";
+    append_u64(out, report.matches);
+    out += ", ";
+    append_counters(out, report.stats.counters);
+    out += ", ";
+    append_blocks(out, report.stats.counters,
+                  total_blocks(report.document_bytes));
+    out += ", ";
+    append_timings(out, report.stats.timings);
+    out += "}";
+    return out;
+}
+
+std::string to_json(const StreamReport& report)
+{
+    std::string out;
+    append_header(out, report.engine, report.document_bytes);
+    out += ", \"records\": ";
+    append_u64(out, report.records);
+    out += ", \"matches\": ";
+    append_u64(out, report.matches);
+    out += ", \"failed_records\": ";
+    append_u64(out, report.failed_records);
+    out += ", \"errors\": {";
+    bool first = true;
+    for (std::size_t i = 1; i < kStatusCodeCount; ++i) {
+        if (report.error_tally[i] != 0) {
+            append_field(out, first, status_name(static_cast<StatusCode>(i)),
+                         report.error_tally[i]);
+        }
+    }
+    out += "}, ";
+    append_counters(out, report.counters);
+    out += ", ";
+    append_blocks(out, report.counters, report.record_blocks);
+    out += ", ";
+    append_timings(out, report.timings);
+    out += "}";
+    return out;
+}
+
+}  // namespace descend::obs

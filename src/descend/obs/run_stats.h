@@ -1,0 +1,62 @@
+/**
+ * @file
+ * RunStats: the per-run record every DescendEngine dispatch produces.
+ *
+ * Historically a handful of ad-hoc size_t fields in engine/api.h; now the
+ * status plus the full obs counter registry and phase timings. The struct
+ * backs the engine's Result-style paths — run() returns stats.status — so
+ * it exists in every build; only the counters/timings payload is subject
+ * to the DESCEND_OBS gate (with the gate off both collapse to empty
+ * structs and the named accessors report zero).
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "descend/obs/counters.h"
+#include "descend/obs/timing.h"
+#include "descend/util/status.h"
+
+namespace descend {
+
+/** What one run did: outcome, counters, and coarse phase timings. */
+struct RunStats {
+    /** The full per-run counter registry (empty when DESCEND_OBS is off). */
+    obs::Counters counters;
+    /** Phase timings accumulated so far (the engine records kAutomaton;
+     *  callers add kCompile / kExtract around their own phases). */
+    obs::Timings timings;
+    /** Structured outcome of the run (also returned by run() itself). */
+    EngineStatus status;
+
+    // Named views of the registry, for callers that predate it.
+    std::size_t events() const noexcept
+    {
+        return counters.get(obs::Counter::kStructuralEvents);
+    }
+    std::size_t child_skips() const noexcept
+    {
+        return counters.get(obs::Counter::kChildSkips);
+    }
+    std::size_t sibling_skips() const noexcept
+    {
+        return counters.get(obs::Counter::kSiblingSkips);
+    }
+    std::size_t head_skip_jumps() const noexcept
+    {
+        return counters.get(obs::Counter::kHeadSkipJumps);
+    }
+    std::size_t within_skips() const noexcept
+    {
+        return counters.get(obs::Counter::kWithinSkips);
+    }
+    /** High-water mark of the sparse depth-stack. The paper's Section 3.2
+     *  claim: bounded by the query's selector count for child-free
+     *  queries, by document depth only in adversarial nestings. */
+    std::size_t max_stack() const noexcept
+    {
+        return counters.get(obs::Counter::kDepthStackMax);
+    }
+};
+
+}  // namespace descend

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Scoped phase timers behind the DESCEND_OBS gate.
+ *
+ * Timing is deliberately coarse: one monotonic-clock pair per *phase*
+ * (query compile, NDJSON split, the automaton run including all
+ * classification it drives, value extraction), never per block — a
+ * steady_clock read costs more than classifying a block, so fine-grained
+ * classify timing belongs to the benchmark harnesses (bench_classification
+ * measures kernel throughput in isolation), not to inline instrumentation.
+ * The kClassify phase exists for exactly those harnesses.
+ *
+ * With the gate off, Timings is empty, the stopwatch reads no clock, and
+ * every call site compiles to nothing.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "descend/obs/counters.h"
+
+#if DESCEND_OBS_ENABLED
+#include <chrono>
+#endif
+
+namespace descend::obs {
+
+/** The coarse phases of answering one query. */
+enum class Phase : std::uint8_t {
+    kCompile,    ///< query parse + automaton compile/minimize
+    kSplit,      ///< NDJSON record splitting
+    kClassify,   ///< standalone classification (benchmark harnesses)
+    kAutomaton,  ///< the engine run: simulation + the classification it pulls
+    kExtract,    ///< materializing matched values from offsets
+    kCount_,
+};
+
+inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount_);
+
+/** Stable JSON export name of a phase. */
+constexpr const char* phase_name(Phase phase) noexcept
+{
+    switch (phase) {
+        case Phase::kCompile: return "compile";
+        case Phase::kSplit: return "split";
+        case Phase::kClassify: return "classify";
+        case Phase::kAutomaton: return "automaton";
+        case Phase::kExtract: return "extract";
+        case Phase::kCount_: break;
+    }
+    return "unknown";
+}
+
+#if DESCEND_OBS_ENABLED
+
+/** Accumulated nanoseconds per phase. */
+struct Timings {
+    std::uint64_t nanos[kPhaseCount] = {};
+
+    void add(Phase phase, std::uint64_t ns) noexcept
+    {
+        nanos[static_cast<std::size_t>(phase)] += ns;
+    }
+    std::uint64_t get(Phase phase) const noexcept
+    {
+        return nanos[static_cast<std::size_t>(phase)];
+    }
+    void merge(const Timings& other) noexcept
+    {
+        for (std::size_t i = 0; i < kPhaseCount; ++i) {
+            nanos[i] += other.nanos[i];
+        }
+    }
+};
+
+/** A started monotonic clock; elapsed_ns() reads it. Use when the timed
+ *  value must land in an object that is returned by value (no reliance on
+ *  destructor-vs-copy ordering). */
+class PhaseStopwatch {
+public:
+    PhaseStopwatch() noexcept : start_(std::chrono::steady_clock::now()) {}
+
+    std::uint64_t elapsed_ns() const noexcept
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** RAII: adds the scope's duration to @p timings under @p phase. */
+class ScopedPhaseTimer {
+public:
+    ScopedPhaseTimer(Timings* timings, Phase phase) noexcept
+        : timings_(timings), phase_(phase)
+    {
+    }
+    ~ScopedPhaseTimer()
+    {
+        if (timings_ != nullptr) {
+            timings_->add(phase_, watch_.elapsed_ns());
+        }
+    }
+    ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+    ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+private:
+    Timings* timings_;
+    Phase phase_;
+    PhaseStopwatch watch_;
+};
+
+#else  // DESCEND_OBS_ENABLED
+
+struct Timings {
+    void add(Phase, std::uint64_t) noexcept {}
+    std::uint64_t get(Phase) const noexcept { return 0; }
+    void merge(const Timings&) noexcept {}
+};
+
+class PhaseStopwatch {
+public:
+    PhaseStopwatch() noexcept {}
+    std::uint64_t elapsed_ns() const noexcept { return 0; }
+};
+
+class ScopedPhaseTimer {
+public:
+    ScopedPhaseTimer(Timings*, Phase) noexcept {}
+    ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+    ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+};
+
+#endif  // DESCEND_OBS_ENABLED
+
+}  // namespace descend::obs

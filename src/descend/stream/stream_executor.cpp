@@ -39,8 +39,12 @@ void lower_floor(std::atomic<std::size_t>& floor, std::size_t candidate)
 StreamResult StreamExecutor::run(PaddedView input, StreamSink& sink) const
 {
     const simd::Kernels& kernels = simd::kernels_for(options_.engine.simd);
+    obs::PhaseStopwatch watch;
     std::vector<RecordSpan> records = split_records(input, kernels);
-    return run_records(input, records, sink);
+    std::uint64_t split_ns = watch.elapsed_ns();
+    StreamResult result = run_records(input, records, sink);
+    result.timings.add(obs::Phase::kSplit, split_ns);
+    return result;
 }
 
 StreamResult StreamExecutor::run_records(PaddedView input,
@@ -67,7 +71,19 @@ StreamResult StreamExecutor::run_records(PaddedView input,
     std::atomic<std::size_t> next_batch{0};
     std::atomic<std::size_t> error_floor{kNoError};
 
-    auto worker = [&]() {
+    // Per-shard obs aggregation: each worker owns one registry (no
+    // synchronization in the hot path) and the merge below folds them into
+    // the stream-level report after the join. All empty when the gate is
+    // off — run_with_stats then degenerates to run().
+    struct ShardObs {
+        obs::Counters counters;
+        obs::Timings timings;
+        std::size_t record_blocks = 0;
+    };
+    std::vector<ShardObs> shard_obs(workers);
+
+    auto worker = [&](std::size_t shard) {
+        ShardObs& local = shard_obs[shard];
         for (;;) {
             std::size_t batch = next_batch.fetch_add(1, std::memory_order_relaxed);
             if (batch >= num_batches) {
@@ -88,8 +104,15 @@ StreamResult StreamExecutor::run_records(PaddedView input,
                 OffsetSink collector;
                 RecordOutcome outcome;
                 outcome.record = r;
-                outcome.status =
-                    engine_.run(input.subview(span.begin, span.size()), collector);
+                RunStats run_stats = engine_.run_with_stats(
+                    input.subview(span.begin, span.size()), collector);
+                outcome.status = run_stats.status;
+                if constexpr (obs::kEnabled) {
+                    local.counters.merge(run_stats.counters);
+                    local.timings.merge(run_stats.timings);
+                    local.record_blocks +=
+                        (span.size() + simd::kBlockSize - 1) / simd::kBlockSize;
+                }
                 if (outcome.status.ok()) {
                     outcome.offsets = collector.take_offsets();
                 } else if (fail_fast) {
@@ -105,16 +128,21 @@ StreamResult StreamExecutor::run_records(PaddedView input,
     };
 
     if (workers <= 1) {
-        worker();
+        worker(0);
     } else {
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (std::size_t i = 0; i < workers; ++i) {
-            pool.emplace_back(worker);
+            pool.emplace_back(worker, i);
         }
         for (std::thread& thread : pool) {
             thread.join();
         }
+    }
+    for (const ShardObs& shard : shard_obs) {
+        result.counters.merge(shard.counters);
+        result.timings.merge(shard.timings);
+        result.record_blocks += shard.record_blocks;
     }
 
     // Ordered replay: batches ascend and records ascend within each batch,
@@ -137,6 +165,7 @@ StreamResult StreamExecutor::run_records(PaddedView input,
             } else {
                 sink.on_record_error(outcome.record, outcome.status);
                 ++result.failed_records;
+                ++result.error_tally[static_cast<std::size_t>(outcome.status.code)];
                 if (result.first_error_record == StreamResult::kNone) {
                     result.first_error_record = outcome.record;
                     result.first_error = outcome.status;

@@ -24,6 +24,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <limits>
 #include <vector>
@@ -31,6 +32,8 @@
 #include "descend/automaton/compiled.h"
 #include "descend/engine/main_engine.h"
 #include "descend/engine/padded_string.h"
+#include "descend/obs/counters.h"
+#include "descend/obs/timing.h"
 #include "descend/stream/record_splitter.h"
 #include "descend/stream/stream_sink.h"
 #include "descend/util/status.h"
@@ -76,6 +79,26 @@ struct StreamResult {
     std::size_t first_error_record = kNone;
     /** Status of that record (offset is intra-record). */
     EngineStatus first_error;
+
+    /** Failed records per status code, indexed by the StatusCode value.
+     *  Unlike the obs registries below this is not gated: it rides the
+     *  (rare) failure path only, and error triage should not require an
+     *  instrumented build. */
+    std::array<std::uint64_t, kStatusCodeCount> error_tally{};
+
+    /** Per-shard obs registries merged after the workers join (empty when
+     *  DESCEND_OBS is off). Counters reflect the work *performed*: under
+     *  kFailFast a worker may have run records past the final error floor
+     *  before the floor settled — their counters are included here even
+     *  though their matches were discarded by the ordered replay. */
+    obs::Counters counters;
+    /** Merged per-record engine timings plus the stream's split phase. */
+    obs::Timings timings;
+    /** Sum of ceil(record_size / kBlockSize) over the records the engine
+     *  actually ran (== all records except those beyond a fail-fast
+     *  floor): the accounting invariant's right-hand side for streams.
+     *  Zero when DESCEND_OBS is off. */
+    std::size_t record_blocks = 0;
 
     bool ok() const noexcept { return failed_records == 0; }
 };

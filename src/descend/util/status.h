@@ -50,6 +50,11 @@ enum class StatusCode : std::uint8_t {
     kMatchLimit,
 };
 
+/** Number of StatusCode values — sizes per-status tally arrays (the
+ *  stream executor's per-record error tallies; obs/report.h). */
+inline constexpr std::size_t kStatusCodeCount =
+    static_cast<std::size_t>(StatusCode::kMatchLimit) + 1;
+
 /** Human-readable name of a status code. */
 constexpr const char* status_name(StatusCode code) noexcept
 {

@@ -17,7 +17,10 @@
  *   --scalar           shorthand for --simd scalar
  *   --no-head-skip     disable memmem head-skipping
  *   --within-skip      enable the within-element label skip extension
- *   --stats            print run statistics (events, skips, stack depth)
+ *   --stats            print the JSON observability report to stderr
+ *                      (counters, block attribution, phase timings — see
+ *                      DESIGN.md §4.6; counters are live when the library
+ *                      was built with DESCEND_OBS=ON, the default)
  *   --validate         strictly validate the input first (DOM parse)
  *   --ndjson           treat input as newline-delimited JSON: SIMD record
  *                      splitting + parallel sharded execution (descend
@@ -27,6 +30,7 @@
  *                      instead of skipping it and continuing
  *   --help             this text
  */
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -170,7 +174,8 @@ PaddedString read_stdin()
 }
 
 int run_on(const CliOptions& options, const JsonPathEngine& engine,
-           const std::string& source_name, const PaddedString& document)
+           const std::string& source_name, const PaddedString& document,
+           std::uint64_t compile_ns)
 {
     if (options.validate) {
         json::ParseOptions parse_options;
@@ -206,6 +211,7 @@ int run_on(const CliOptions& options, const JsonPathEngine& engine,
     if (options.count_only) {
         std::printf("%s%s%zu\n", prefix, separator, sink.offsets().size());
     } else {
+        obs::ScopedPhaseTimer extract_timer(&stats.timings, obs::Phase::kExtract);
         std::size_t shown = 0;
         for (std::size_t offset : sink.offsets()) {
             if (options.limit != 0 && ++shown > options.limit) {
@@ -223,13 +229,13 @@ int run_on(const CliOptions& options, const JsonPathEngine& engine,
         }
     }
     if (options.stats) {
-        std::fprintf(stderr,
-                     "[stats] %zu matches, %zu events, %zu child skips, "
-                     "%zu sibling skips, %zu head jumps, %zu within skips, "
-                     "max stack %zu\n",
-                     sink.offsets().size(), stats.events, stats.child_skips,
-                     stats.sibling_skips, stats.head_skip_jumps,
-                     stats.within_skips, stats.max_stack);
+        obs::RunReport report;
+        report.engine = engine.name();
+        report.document_bytes = document.size();
+        report.matches = sink.offsets().size();
+        report.stats = stats;
+        report.stats.timings.add(obs::Phase::kCompile, compile_ns);
+        std::fprintf(stderr, "%s\n", obs::to_json(report).c_str());
     }
     return 0;
 }
@@ -246,13 +252,17 @@ int run_ndjson(const CliOptions& options, const PaddedString& input)
     stream_options.policy = options.fail_fast ? stream::ErrorPolicy::kFailFast
                                               : stream::ErrorPolicy::kSkipRecord;
     stream_options.engine = options.engine_options;
+    obs::PhaseStopwatch compile_watch;
     stream::StreamExecutor executor(
         automaton::CompiledQuery::compile(options.query), stream_options);
+    const std::uint64_t compile_ns = compile_watch.elapsed_ns();
 
     const simd::Kernels& kernels =
         simd::kernels_for(options.engine_options.simd);
+    obs::PhaseStopwatch split_watch;
     std::vector<stream::RecordSpan> records =
         stream::split_records(input, kernels);
+    const std::uint64_t split_ns = split_watch.elapsed_ns();
 
     /** Prints each match as it is replayed; record offsets are
      *  intra-record, so extraction adds the record's span begin. */
@@ -306,9 +316,19 @@ int run_ndjson(const CliOptions& options, const PaddedString& input)
         std::printf("%zu\n", result.matches);
     }
     if (options.stats) {
-        std::fprintf(stderr,
-                     "[stats] %zu records, %zu matches, %zu failed records\n",
-                     result.records, result.matches, result.failed_records);
+        obs::StreamReport report;
+        report.engine = "descend";
+        report.document_bytes = input.size();
+        report.records = result.records;
+        report.matches = result.matches;
+        report.failed_records = result.failed_records;
+        report.record_blocks = result.record_blocks;
+        report.counters = result.counters;
+        report.timings = result.timings;
+        report.timings.add(obs::Phase::kCompile, compile_ns);
+        report.timings.add(obs::Phase::kSplit, split_ns);
+        report.error_tally = result.error_tally;
+        std::fprintf(stderr, "%s\n", obs::to_json(report).c_str());
     }
     return result.ok() ? 0 : 1;
 }
@@ -328,11 +348,14 @@ int main(int argc, char** argv)
         return 2;
     }
     try {
+        obs::PhaseStopwatch compile_watch;
         std::unique_ptr<JsonPathEngine> engine =
             options.ndjson ? nullptr : make_engine(options);
+        const std::uint64_t compile_ns = compile_watch.elapsed_ns();
         auto dispatch = [&](const std::string& name, const PaddedString& doc) {
-            return options.ndjson ? run_ndjson(options, doc)
-                                  : run_on(options, *engine, name, doc);
+            return options.ndjson
+                       ? run_ndjson(options, doc)
+                       : run_on(options, *engine, name, doc, compile_ns);
         };
         if (options.files.empty()) {
             return dispatch("<stdin>", read_stdin());

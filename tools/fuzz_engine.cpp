@@ -481,8 +481,26 @@ int check_document(const Corpus& corpus, const Mutation& mutation, Stats& stats)
         for (const EngineOptions& options : descend_configurations()) {
             DescendEngine engine(compiled, options);
             OffsetSink sink;
-            EngineStatus status = engine.run(padded, sink);
+            RunStats run_stats = engine.run_with_stats(padded, sink);
+            EngineStatus status = run_stats.status;
             std::string name = "descend[" + describe(options) + "]";
+            // Block-attribution invariant (DESIGN.md §4.6): every run —
+            // including early-error and limit-hit runs over damaged input —
+            // must account each 64-byte block exactly once across the six
+            // attribution counters. Holds by construction; checked here so
+            // the fuzzer exercises it over millions of malformed documents.
+            if constexpr (obs::kEnabled) {
+                std::uint64_t accounted =
+                    obs::accounted_blocks(run_stats.counters);
+                std::uint64_t total = obs::total_blocks(padded.size());
+                if (accounted != total) {
+                    return report(corpus, mutation, oracle, name, query_text,
+                                  "obs block accounting broken: accounted " +
+                                      std::to_string(accounted) + " of " +
+                                      std::to_string(total) + " blocks",
+                                  document);
+                }
+            }
             if (compare_matches) {
                 if (!status.ok()) {
                     return report(corpus, mutation, oracle, name, query_text,
