@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Fused multi-query throughput: one classification pass serving N automata
+ * (src/descend/multi) against the sequential baseline of N independent
+ * DescendEngine runs over the same document.
+ *
+ *   bench_multiquery [--mb N] [--repeat N] [--simd=LEVEL]
+ *   bench_multiquery --smoke
+ *
+ * A hand-rolled harness (not google-benchmark): the quantity of interest
+ * is the wall time to answer a whole query SET, best-of-R over a
+ * multi-megabyte document, with the fused and the sequential run verified
+ * to produce identical per-query match sets before anything is timed.
+ *
+ * Results go to BENCH_multiquery.json (DESCEND_BENCH_JSON overrides) via
+ * the shared section-merging writer: per query set one "sequential" and
+ * one "fused" row, where gbps = document bytes / wall seconds for the
+ * whole set, and the fused row's extra carries the speedup (sequential
+ * seconds / fused seconds) plus the suppressed-skip counters that explain
+ * the consensus cost.
+ *
+ * --smoke: small documents, full verification — fused match sets (single
+ * document AND the NDJSON multi-stream executor at several thread counts)
+ * compared element-wise against N independent runs. Exits non-zero on any
+ * mismatch; wired into CI under asan.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "descend/descend.h"
+#include "descend/multi/multi_stream.h"
+#include "descend/workloads/datasets.h"
+
+namespace {
+
+using namespace descend;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** One benchmark scenario: a query set over one dataset. */
+struct SetSpec {
+    const char* name;
+    const char* dataset;
+    std::vector<std::string> queries;
+};
+
+/**
+ * Sets chosen so that the sequential baseline cannot hide behind the
+ * memmem head-skip (child-first queries classify every block, so N runs
+ * pay N classification passes — exactly the redundancy fusion removes).
+ * The mixed set adds descendant queries whose skip disagreement exercises
+ * the consensus fallback (fused_*_skip_suppressed > 0) while the set as a
+ * whole still amortizes classification.
+ */
+std::vector<SetSpec> scenarios()
+{
+    return {
+        // Catalog C2, C3, C4, C5 (Experiment C child forms).
+        {"crossref-child",
+         "crossref",
+         {"$.items.*.author.*.affiliation.*.name",
+          "$.items.*.editor.*.affiliation.*.name", "$.items.*.title",
+          "$.items.*.author.*.ORCID"}},
+        // Catalog B1, B2, B3 plus a fourth selective member.
+        {"bestbuy-child",
+         "bestbuy",
+         {"$.products.*.categoryPath.*.id",
+          "$.products.*.videoChapters.*.chapter", "$.products.*.videoChapters",
+          "$.products.*.sku"}},
+        // Catalog W1, W2 plus two selective members.
+        {"walmart-child",
+         "walmart",
+         {"$.items.*.bestMarketplacePrice.price", "$.items.*.name",
+          "$.items.*.salePrice", "$.items.*.categoryPath"}},
+        // Descendant (C1, C2r, C4r, C5r) + child (C4, C5) mix: the
+        // skippability-disagreeing case — child lanes want subtree skips
+        // the descendant lanes veto.
+        {"crossref-mixed",
+         "crossref",
+         {"$..DOI", "$..author..affiliation..name", "$..title",
+          "$..author..ORCID", "$.items.*.title",
+          "$.items.*.author.*.ORCID"}},
+    };
+}
+
+/** Per-query offsets from N independent engine runs (the baseline). */
+std::vector<std::vector<std::size_t>> sequential_offsets(
+    const std::vector<DescendEngine>& engines, const PaddedString& document)
+{
+    std::vector<std::vector<std::size_t>> all;
+    for (const DescendEngine& engine : engines) {
+        OffsetSink sink;
+        EngineStatus status = engine.run(document, sink);
+        if (!status.ok()) {
+            std::fprintf(stderr, "FAIL: sequential run: %s\n",
+                         to_string(status).c_str());
+            std::exit(1);
+        }
+        all.push_back(sink.offsets());
+    }
+    return all;
+}
+
+int run_throughput(std::size_t target_bytes, std::size_t repeats)
+{
+    std::vector<bench::BenchRow> rows;
+    const char* tier = simd::level_name(simd::default_level());
+    int failures = 0;
+    for (const SetSpec& spec : scenarios()) {
+        PaddedString document(workloads::generate(spec.dataset, target_bytes));
+        const std::vector<std::string>& texts = spec.queries;
+        const std::size_t n = texts.size();
+
+        std::vector<DescendEngine> engines;
+        for (const std::string& text : texts) {
+            engines.push_back(DescendEngine::for_query(text));
+        }
+        multi::MultiDescendEngine fused =
+            multi::MultiDescendEngine::for_queries(texts);
+
+        // Correctness first: the fused match sets must be bit-identical to
+        // the N independent runs before a single timing is trusted.
+        std::vector<std::vector<std::size_t>> expected =
+            sequential_offsets(engines, document);
+        multi::CollectingMultiSink collected(n);
+        EngineStatus fused_status = fused.run(document, collected);
+        if (!fused_status.ok() || collected.all() != expected) {
+            std::fprintf(stderr, "FAIL: %s: fused offsets != sequential\n",
+                         spec.name);
+            ++failures;
+            continue;
+        }
+
+        double seq_best = 0;
+        double fused_best = 0;
+        std::size_t matches = 0;
+        for (std::size_t r = 0; r < repeats; ++r) {
+            Clock::time_point start = Clock::now();
+            std::size_t seq_matches = 0;
+            for (const DescendEngine& engine : engines) {
+                CountSink sink;
+                engine.run(document, sink);
+                seq_matches += sink.count();
+            }
+            double seq_seconds = seconds_since(start);
+
+            multi::CountingMultiSink counting(n);
+            start = Clock::now();
+            fused.run(document, counting);
+            double fused_seconds = seconds_since(start);
+
+            matches = seq_matches;
+            if (r == 0 || seq_seconds < seq_best) {
+                seq_best = seq_seconds;
+            }
+            if (r == 0 || fused_seconds < fused_best) {
+                fused_best = fused_seconds;
+            }
+        }
+
+        double gib = static_cast<double>(document.size()) /
+                     (1024.0 * 1024.0 * 1024.0);
+        double speedup = seq_best / fused_best;
+        std::printf("%-20s %zu queries  %7zu matches  seq %8.2f MB/s  "
+                    "fused %8.2f MB/s  speedup %.2fx\n",
+                    spec.name, n, matches, gib * 1024.0 / seq_best,
+                    gib * 1024.0 / fused_best, speedup);
+
+        bench::BenchRow seq_row;
+        seq_row.section = "multiquery";
+        seq_row.name = std::string(spec.name) + "-sequential";
+        seq_row.tier = tier;
+        seq_row.gbps = gib / seq_best;
+        seq_row.extra.emplace_back("queries", static_cast<double>(n));
+        seq_row.extra.emplace_back("matches", static_cast<double>(matches));
+        rows.push_back(std::move(seq_row));
+
+        multi::CountingMultiSink counting(n);
+        RunStats stats = fused.run_with_stats(document, counting);
+        bench::BenchRow fused_row;
+        fused_row.section = "multiquery";
+        fused_row.name = std::string(spec.name) + "-fused";
+        fused_row.tier = tier;
+        fused_row.gbps = gib / fused_best;
+        fused_row.extra.emplace_back("queries", static_cast<double>(n));
+        fused_row.extra.emplace_back("speedup", speedup);
+        fused_row.extra.emplace_back("matches", static_cast<double>(matches));
+        if constexpr (obs::kEnabled) {
+            fused_row.extra.emplace_back(
+                "child_skip_suppressed",
+                static_cast<double>(stats.counters.get(
+                    obs::Counter::kFusedChildSkipSuppressed)));
+            fused_row.extra.emplace_back(
+                "sibling_skip_suppressed",
+                static_cast<double>(stats.counters.get(
+                    obs::Counter::kFusedSiblingSkipSuppressed)));
+            fused_row.extra.emplace_back(
+                "within_skip_suppressed",
+                static_cast<double>(stats.counters.get(
+                    obs::Counter::kFusedWithinSkipSuppressed)));
+        }
+        rows.push_back(std::move(fused_row));
+    }
+
+    const char* env = std::getenv("DESCEND_BENCH_JSON");
+    std::string path =
+        env != nullptr && *env != '\0' ? env : "BENCH_multiquery.json";
+    bench::merge_bench_json("multiquery", rows, path);
+    return failures == 0 ? 0 : 1;
+}
+
+/** Builds a small NDJSON stream out of compact dataset records. */
+PaddedString build_stream(const char* dataset, std::size_t records,
+                          std::size_t record_bytes)
+{
+    std::string stream;
+    for (std::size_t i = 0; i < 3; ++i) {
+        // A handful of generator variants cycled; generation dominates.
+        std::string doc =
+            workloads::generate(dataset, record_bytes / 2 * (i + 2));
+        for (std::size_t r = 0; r * 3 < records; ++r) {
+            stream += doc;
+            stream += '\n';
+        }
+    }
+    return PaddedString(std::move(stream));
+}
+
+int run_smoke()
+{
+    int failures = 0;
+    for (const SetSpec& spec : scenarios()) {
+        const std::vector<std::string>& texts = spec.queries;
+        const std::size_t n = texts.size();
+        std::vector<DescendEngine> engines;
+        for (const std::string& text : texts) {
+            engines.push_back(DescendEngine::for_query(text));
+        }
+
+        // Single document: fused == N independent runs, element-wise.
+        PaddedString document(
+            workloads::generate(spec.dataset, std::size_t{256} << 10));
+        std::vector<std::vector<std::size_t>> expected =
+            sequential_offsets(engines, document);
+        multi::MultiDescendEngine fused =
+            multi::MultiDescendEngine::for_queries(texts);
+        multi::CollectingMultiSink collected(n);
+        EngineStatus status = fused.run(document, collected);
+        bool ok = status.ok() && collected.all() == expected;
+        std::printf("smoke: %-20s single-doc ... %s\n", spec.name,
+                    ok ? "ok" : "MISMATCH");
+        if (!ok) {
+            ++failures;
+        }
+
+        // NDJSON: the multi-stream executor against a per-record oracle of
+        // independent runs over copied records, at several thread counts.
+        PaddedString stream_input =
+            build_stream(spec.dataset, 48, std::size_t{32} << 10);
+        const simd::Kernels& kernels = simd::best_kernels();
+        std::vector<stream::RecordSpan> records =
+            stream::split_records(stream_input, kernels);
+        std::vector<multi::CollectingMultiStreamSink::Match> oracle;
+        for (std::size_t r = 0; r < records.size(); ++r) {
+            const stream::RecordSpan& span = records[r];
+            PaddedString copy(std::string_view(
+                reinterpret_cast<const char*>(stream_input.data()) + span.begin,
+                span.size()));
+            for (std::size_t q = 0; q < n; ++q) {
+                OffsetSink sink;
+                if (!engines[q].run(copy, sink).ok()) {
+                    continue;
+                }
+                for (std::size_t offset : sink.offsets()) {
+                    oracle.push_back({q, r, offset});
+                }
+            }
+        }
+        // The oracle iterates queries-within-record but emits per (r, q);
+        // the executor replays records ascending, queries ascending — the
+        // same order, so element-wise comparison is exact.
+        for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+            stream::StreamOptions options;
+            options.threads = threads;
+            multi::MultiStreamExecutor executor(
+                multi::MultiQuery::compile(texts), options);
+            multi::CollectingMultiStreamSink sink;
+            stream::StreamResult result =
+                executor.run_records(stream_input, records, sink);
+            bool stream_ok = result.ok() && sink.matches() == oracle;
+            std::printf("smoke: %-20s ndjson threads=%zu: %zu records, "
+                        "%zu matches ... %s\n",
+                        spec.name, threads, result.records, result.matches,
+                        stream_ok ? "ok" : "MISMATCH");
+            if (!stream_ok) {
+                ++failures;
+            }
+        }
+    }
+    if (failures == 0) {
+        std::printf("smoke: fused execution matches independent runs for "
+                    "every scenario\n");
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    descend::bench::apply_simd_flag(argc, argv);
+    std::size_t target_mb = 8;
+    std::size_t repeats = 5;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--mb" && i + 1 < argc) {
+            target_mb = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            repeats = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_multiquery [--mb N] [--repeat N] "
+                         "[--simd=LEVEL] | --smoke\n");
+            return 2;
+        }
+    }
+    if (smoke) {
+        return run_smoke();
+    }
+    const char* env_mb = std::getenv("DESCEND_BENCH_MB");
+    if (env_mb != nullptr && *env_mb != '\0') {
+        target_mb = static_cast<std::size_t>(
+            std::strtoull(env_mb, nullptr, 10));
+    }
+    return run_throughput(target_mb << 20, repeats == 0 ? 1 : repeats);
+}

@@ -31,6 +31,35 @@ Alphabet Alphabet::from_query(const query::Query& query)
     return alphabet;
 }
 
+Alphabet Alphabet::from_queries(const std::vector<query::Query>& queries)
+{
+    Alphabet alphabet;
+    for (const query::Query& query : queries) {
+        for (const query::Selector& selector : query.selectors()) {
+            switch (selector.kind) {
+                case query::SelectorKind::kChild:
+                case query::SelectorKind::kDescendant:
+                    if (std::find(alphabet.labels_.begin(), alphabet.labels_.end(),
+                                  selector.label_escaped) ==
+                        alphabet.labels_.end()) {
+                        alphabet.labels_.push_back(selector.label_escaped);
+                    }
+                    break;
+                case query::SelectorKind::kChildIndex:
+                    if (std::find(alphabet.indices_.begin(),
+                                  alphabet.indices_.end(),
+                                  selector.index) == alphabet.indices_.end()) {
+                        alphabet.indices_.push_back(selector.index);
+                    }
+                    break;
+                default:
+                    break;
+            }
+        }
+    }
+    return alphabet;
+}
+
 int Alphabet::label_symbol(std::string_view escaped_label) const noexcept
 {
     for (std::size_t i = 0; i < labels_.size(); ++i) {

@@ -30,6 +30,14 @@ class Alphabet {
 public:
     static Alphabet from_query(const query::Query& query);
 
+    /**
+     * The union alphabet of a query set (fused multi-query execution):
+     * every label and index occurring in any of @p queries, interned once.
+     * Symbol order is first-occurrence across the set, so single-query
+     * alphabets embed as prefixes when the set is a singleton.
+     */
+    static Alphabet from_queries(const std::vector<query::Query>& queries);
+
     int num_labels() const noexcept { return static_cast<int>(labels_.size()); }
     int num_indices() const noexcept { return static_cast<int>(indices_.size()); }
 

@@ -66,7 +66,10 @@ EngineStatus SkiEngine::run(const PaddedString& document, MatchSink& sink) const
         return validator.verdict(document.size());
     }
     RunState run{sink, limits_, {}, 0};
-    match_container(iter, run, 0, root.byte);
+    if (!check_depth(run, 0, root.pos)) {
+        return run.status;
+    }
+    match_container(iter, run, 0, root.byte, 1);
     if (!run.status.ok()) {
         return run.status;
     }
@@ -83,24 +86,25 @@ EngineStatus SkiEngine::run(const PaddedString& document, MatchSink& sink) const
 }
 
 void SkiEngine::match_container(StructuralIterator& iter, RunState& run,
-                                std::size_t level, std::uint8_t opening_byte) const
+                                std::size_t level, std::uint8_t opening_byte,
+                                std::size_t depth) const
 {
     bool is_object = opening_byte == classify::kOpenBrace;
     // JSONSki's type assumption: a level acts on exactly one container
     // type; a mismatching container is fast-forwarded over entirely.
     if (level_wants_object(level) != is_object) {
-        iter.skip_element(opening_byte);
+        iter.skip_element(opening_byte, depth - 1);
         return;
     }
     if (is_object) {
-        match_object(iter, run, level);
+        match_object(iter, run, level, depth);
     } else {
-        match_array(iter, run, level);
+        match_array(iter, run, level, depth);
     }
 }
 
 void SkiEngine::match_object(StructuralIterator& iter, RunState& run,
-                             std::size_t level) const
+                             std::size_t level, std::size_t depth) const
 {
     const Level& spec = levels_[level];
     bool is_last = level + 1 == levels_.size();
@@ -121,7 +125,10 @@ void SkiEngine::match_object(StructuralIterator& iter, RunState& run,
         if (event.kind == Kind::kOpening) {
             // A member value container that was not consumed at its colon
             // (cannot happen: colons precede values). Defensive skip.
-            iter.skip_element(event.byte);
+            if (!check_depth(run, depth, event.pos)) {
+                return;
+            }
+            iter.skip_element(event.byte, depth);
             continue;
         }
         if (event.kind != Kind::kColon) {
@@ -137,10 +144,15 @@ void SkiEngine::match_object(StructuralIterator& iter, RunState& run,
         }
         bool matches = label.has_value() && *label == spec.label;
         StructuralIterator::Event value = iter.peek();
+        if (value.kind == Kind::kOpening && !check_depth(run, depth, value.pos)) {
+            // A descending engine fails at this opener whether or not the
+            // member is relevant; skipping must not escape the limit.
+            return;
+        }
         if (!matches) {
             if (value.kind == Kind::kOpening) {
                 iter.next();
-                iter.skip_element(value.byte);
+                iter.skip_element(value.byte, depth);
             }
             continue;
         }
@@ -149,35 +161,39 @@ void SkiEngine::match_object(StructuralIterator& iter, RunState& run,
             run.report(iter.first_non_ws(event.pos + 1));
             if (value.kind == Kind::kOpening) {
                 iter.next();
-                iter.skip_element(value.byte);
+                iter.skip_element(value.byte, depth);
             }
         } else if (value.kind == Kind::kOpening) {
             iter.next();
-            match_container(iter, run, level + 1, value.byte);
+            match_container(iter, run, level + 1, value.byte, depth + 1);
         }
         // Keys are unique among siblings: fast-forward to this object's end.
         iter.set_colons(false);
         iter.set_commas(false);
-        iter.skip_element(classify::kOpenBrace);
+        iter.skip_element(classify::kOpenBrace, depth - 1);
         return;
     }
 }
 
 void SkiEngine::handle_array_entry(StructuralIterator& iter, RunState& run,
                                    std::size_t level, bool entry_matches,
-                                   std::size_t value_scan_from) const
+                                   std::size_t value_scan_from,
+                                   std::size_t depth) const
 {
     bool is_last = level + 1 == levels_.size();
     StructuralIterator::Event value = iter.peek();
     if (value.kind == Kind::kOpening) {
+        if (!check_depth(run, depth, value.pos)) {
+            return;
+        }
         iter.next();
         if (entry_matches && is_last) {
             run.report(value.pos);
-            iter.skip_element(value.byte);
+            iter.skip_element(value.byte, depth);
         } else if (entry_matches) {
-            match_container(iter, run, level + 1, value.byte);
+            match_container(iter, run, level + 1, value.byte, depth + 1);
         } else {
-            iter.skip_element(value.byte);
+            iter.skip_element(value.byte, depth);
         }
         // Restore this array's toggles after the recursion/fast-forward.
         iter.set_commas(true);
@@ -194,7 +210,7 @@ void SkiEngine::handle_array_entry(StructuralIterator& iter, RunState& run,
 }
 
 void SkiEngine::match_array(StructuralIterator& iter, RunState& run,
-                            std::size_t level) const
+                            std::size_t level, std::size_t depth) const
 {
     const Level& spec = levels_[level];
     iter.set_commas(true);
@@ -215,7 +231,8 @@ void SkiEngine::match_array(StructuralIterator& iter, RunState& run,
         }
         return;  // empty array
     }
-    handle_array_entry(iter, run, level, entry_matches(0), first_entry_scan);
+    handle_array_entry(iter, run, level, entry_matches(0), first_entry_scan,
+                       depth);
 
     while (run.status.ok()) {
         StructuralIterator::Event event = iter.next();
@@ -235,10 +252,11 @@ void SkiEngine::match_array(StructuralIterator& iter, RunState& run,
         ++entry;
         if (spec.kind == LevelKind::kIndex && entry > spec.index) {
             // Past the target index: fast-forward to the array's end.
-            iter.skip_element(classify::kOpenBracket);
+            iter.skip_element(classify::kOpenBracket, depth - 1);
             return;
         }
-        handle_array_entry(iter, run, level, entry_matches(entry), event.pos + 1);
+        handle_array_entry(iter, run, level, entry_matches(entry), event.pos + 1,
+                           depth);
     }
 }
 

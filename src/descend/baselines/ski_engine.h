@@ -81,16 +81,38 @@ private:
         std::uint64_t index = 0;
     };
 
+    /**
+     * The match methods thread the absolute nesting depth (@p depth =
+     * containers open, including the one being matched) so both the
+     * explicit checks below and the iterator fast-forwards enforce
+     * EngineLimits::max_depth at the same offset the DOM baseline reports.
+     */
     void match_container(StructuralIterator& iter, RunState& run,
-                         std::size_t level, std::uint8_t opening_byte) const;
+                         std::size_t level, std::uint8_t opening_byte,
+                         std::size_t depth) const;
     void match_object(StructuralIterator& iter, RunState& run,
-                      std::size_t level) const;
+                      std::size_t level, std::size_t depth) const;
     void match_array(StructuralIterator& iter, RunState& run,
-                     std::size_t level) const;
-    /** Handles one array entry; consumes it if it is a container. */
+                     std::size_t level, std::size_t depth) const;
+    /** Handles one array entry; consumes it if it is a container.
+     *  @p depth is the array's own absolute depth. */
     void handle_array_entry(StructuralIterator& iter, RunState& run,
                             std::size_t level, bool entry_matches,
-                            std::size_t value_scan_from) const;
+                            std::size_t value_scan_from, std::size_t depth) const;
+
+    /** DOM-aligned depth-limit check before a container at @p pos is
+     *  entered or fast-forwarded over, with @p depth_before containers
+     *  already open around it. Returns false (and fails the run at the
+     *  opener's offset) when opening it would exceed the limit. */
+    bool check_depth(RunState& run, std::size_t depth_before,
+                     std::size_t pos) const
+    {
+        if (depth_before >= limits_.max_depth) {
+            run.fail(StatusCode::kDepthLimit, pos);
+            return false;
+        }
+        return true;
+    }
 
     /** True when a container opened by @p byte fits level expectations. */
     bool level_wants_object(std::size_t level) const

@@ -123,7 +123,20 @@ ResumePoint LabelSearch::resume_point_at(std::size_t pos)
     ResumePoint point;
     point.block_start = block_start_;
     point.quote_state = block_entry_quote_state_;
-    point.floor = static_cast<int>(pos - block_start_);
+    // Normalize the floor into [0, kBlockSize): when @p pos sits at or past
+    // the end of the classified range (a block boundary, or beyond the
+    // final partial block), advance_block() parked at end_ and the naive
+    // pos - block_start_ would be >= 64 — an out-of-range shift amount for
+    // the receiver's resume mask. Park such points at the aligned end with
+    // floor 0 instead; every receiver treats block_start >= end as spent.
+    if (pos <= block_start_) {
+        point.floor = 0;
+    } else if (pos - block_start_ >= simd::kBlockSize) {
+        point.block_start = end_;
+        point.floor = 0;
+    } else {
+        point.floor = static_cast<int>(pos - block_start_);
+    }
     return point;
 }
 
@@ -137,7 +150,14 @@ void LabelSearch::resume(const ResumePoint& point)
     }
     blocks_.restart(point.quote_state);
     classify_block();
-    candidates_ &= bits::mask_from(point.floor);
+    // An iterator that consumed bit 63 legitimately hands over floor == 64
+    // ("this block is spent"); clamp so the mask index stays in range.
+    int floor = point.floor < 0 ? 0 : point.floor;
+    if (floor >= static_cast<int>(simd::kBlockSize)) {
+        candidates_ = 0;
+        return;
+    }
+    candidates_ &= bits::mask_from(floor);
 }
 
 }  // namespace descend

@@ -108,8 +108,9 @@ public:
             BitStack opened;
             int relative_depth = 1;
             while (true) {
-                StructuralIterator::WithinResult found =
-                    iter.skip_to_label_within(label, opened, relative_depth);
+                StructuralIterator::WithinResult found = iter.skip_to_label_within(
+                    label, opened, relative_depth,
+                    static_cast<std::size_t>(current_depth) - 1);
                 stats_.counters.add(obs::Counter::kWithinSkips);
                 if (found.outcome != StructuralIterator::WithinResult::Outcome::
                                          kFoundLabel) {
@@ -196,6 +197,14 @@ public:
                 case Kind::kOpening: {
                     stats_.counters.add(obs::Counter::kOpeningEvents);
                     bool is_object = event.byte == classify::kOpenBrace;
+                    // Depth limit before the skip decision: an engine that
+                    // descends (the DOM baseline) flags this opener no
+                    // matter whether the subtree could match, so a skipped
+                    // subtree must not slip past the limit either.
+                    if (static_cast<std::size_t>(depth) >= options_.limits.max_depth) {
+                        fail(StatusCode::kDepthLimit, event.pos);
+                        return;
+                    }
                     if (depth > 0 || !at_document_root) {
                         int symbol;
                         if (auto label = label_symbol_before(event.pos)) {
@@ -211,7 +220,8 @@ public:
                         if (cq.flags(target).rejecting && options_.child_skipping) {
                             // Skipping children: nothing below can match.
                             stats_.counters.add(obs::Counter::kChildSkips);
-                            iter.skip_element(event.byte);
+                            iter.skip_element(event.byte,
+                                              static_cast<std::size_t>(depth));
                             continue;
                         }
                         if (target != state) {
@@ -228,10 +238,6 @@ public:
                             }
                             state = target;
                         }
-                    }
-                    if (static_cast<std::size_t>(depth) >= options_.limits.max_depth) {
-                        fail(StatusCode::kDepthLimit, event.pos);
-                        return;
                     }
                     ++depth;
                     kinds.push(is_object);
@@ -286,7 +292,8 @@ public:
                             // Labels do not repeat among siblings: the
                             // parent holds no further matches.
                             stats_.counters.add(obs::Counter::kSiblingSkips);
-                            iter.skip_to_parent_close(kinds.top());
+                            iter.skip_to_parent_close(
+                                kinds.top(), static_cast<std::size_t>(depth) - 1);
                             continue;
                         }
                     }
@@ -316,7 +323,8 @@ public:
                             // The unitary state's unique label just matched
                             // an atomic member: skip the remaining siblings.
                             stats_.counters.add(obs::Counter::kSiblingSkips);
-                            iter.skip_to_parent_close(kinds.top());
+                            iter.skip_to_parent_close(
+                                kinds.top(), static_cast<std::size_t>(depth) - 1);
                         }
                     }
                     break;

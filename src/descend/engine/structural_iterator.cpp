@@ -222,9 +222,25 @@ std::optional<std::string_view> StructuralIterator::label_before(std::size_t pos
 }
 
 void StructuralIterator::skip_until_depth_zero(classify::BracketKind kind,
-                                               bool consume_closer)
+                                               bool consume_closer,
+                                               std::size_t base_depth)
 {
+    // The limit is absolute: @p base_depth containers surround the element
+    // whose nesting the counters below track, so the relative bound is
+    // what remains of the budget. Callers guarantee the skipped element
+    // itself is within the limit (base_depth < max_skip_depth_).
+    //
+    // Two counters: relative_depth counts @p kind only — per §4.3 the
+    // matching closer is the same-kind closer at depth zero, so one kind
+    // suffices to *terminate*. The depth LIMIT is about total nesting, and
+    // a subtree can nest arbitrarily through the other bracket kind while
+    // the kind-counter stays flat — true_depth counts every bracket so the
+    // budget cannot be dodged that way.
+    const std::size_t max_relative =
+        max_skip_depth_ - (base_depth < max_skip_depth_ ? base_depth
+                                                        : max_skip_depth_);
     int relative_depth = 1;
+    int true_depth = 1;
     std::uint64_t live = bits::mask_from(floor_);
     while (block_start_ < end_) {
         const simd::BlockMasks& block_masks = blocks_.masks(block_start_);
@@ -232,32 +248,48 @@ void StructuralIterator::skip_until_depth_zero(classify::BracketKind kind,
         std::uint64_t in_bound = ~in_string_ & live & block_valid_mask();
         masks.openers &= in_bound;
         masks.closers &= in_bound;
+        std::uint64_t all_openers =
+            (block_masks.open_braces | block_masks.open_brackets) & in_bound;
+        std::uint64_t all_closers =
+            (block_masks.close_braces | block_masks.close_brackets) & in_bound;
         int index;
-        if (static_cast<std::size_t>(relative_depth) +
-                static_cast<std::size_t>(bits::popcount(masks.openers)) >
-            max_skip_depth_) {
+        if (static_cast<std::size_t>(true_depth) +
+                static_cast<std::size_t>(bits::popcount(all_openers)) >
+            max_relative) {
             // The bit-parallel step would hide an intra-block depth
             // excursion past the limit: enforce it with an exact scan of
             // this block (the guard almost never fires at sane limits).
             index = -1;
-            for (bits::BitIter it(masks.openers | masks.closers); !it.done();
+            for (bits::BitIter it(all_openers | all_closers); !it.done();
                  it.advance()) {
                 int bit = it.index();
-                if (masks.openers & (1ULL << bit)) {
-                    if (static_cast<std::size_t>(relative_depth) >=
-                        max_skip_depth_) {
+                std::uint64_t bit_mask = 1ULL << bit;
+                if (all_openers & bit_mask) {
+                    // true_depth can be negative on malformed input (stray
+                    // other-kind closers); that is unbalanced structure for
+                    // a later stage, not a depth-limit hit.
+                    if (true_depth >= 0 &&
+                        static_cast<std::size_t>(true_depth) >= max_relative) {
                         fail(StatusCode::kDepthLimit,
                              block_start_ + static_cast<std::size_t>(bit));
                         return;
                     }
-                    ++relative_depth;
-                } else if (--relative_depth == 0) {
-                    index = bit;
-                    break;
+                    ++true_depth;
+                    if (masks.openers & bit_mask) {
+                        ++relative_depth;
+                    }
+                } else {
+                    --true_depth;
+                    if ((masks.closers & bit_mask) && --relative_depth == 0) {
+                        index = bit;
+                        break;
+                    }
                 }
             }
         } else {
             index = classify::find_depth_zero(masks, relative_depth);
+            true_depth += bits::popcount(all_openers) -
+                          bits::popcount(all_closers);
         }
         if (index >= 0) {
             floor_ = consume_closer ? index + 1 : index;
@@ -265,7 +297,8 @@ void StructuralIterator::skip_until_depth_zero(classify::BracketKind kind,
                            bits::mask_from(floor_) & block_valid_mask();
             return;
         }
-        if (static_cast<std::size_t>(relative_depth) > max_skip_depth_) {
+        if (true_depth > 0 &&
+            static_cast<std::size_t>(true_depth) > max_relative) {
             fail(StatusCode::kDepthLimit, block_start_ + simd::kBlockSize);
             return;
         }
@@ -280,21 +313,23 @@ void StructuralIterator::skip_until_depth_zero(classify::BracketKind kind,
     }
 }
 
-void StructuralIterator::skip_element(std::uint8_t opening_byte)
+void StructuralIterator::skip_element(std::uint8_t opening_byte,
+                                      std::size_t base_depth)
 {
     obs::ModeScope mode(accountant_, obs::BlockMode::kChildSkip);
     skip_until_depth_zero(opening_byte == classify::kOpenBrace
                               ? classify::BracketKind::kObject
                               : classify::BracketKind::kArray,
-                          /*consume_closer=*/true);
+                          /*consume_closer=*/true, base_depth);
 }
 
-void StructuralIterator::skip_to_parent_close(bool parent_is_object)
+void StructuralIterator::skip_to_parent_close(bool parent_is_object,
+                                              std::size_t base_depth)
 {
     obs::ModeScope mode(accountant_, obs::BlockMode::kSiblingSkip);
     skip_until_depth_zero(parent_is_object ? classify::BracketKind::kObject
                                            : classify::BracketKind::kArray,
-                          /*consume_closer=*/false);
+                          /*consume_closer=*/false, base_depth);
 }
 
 void StructuralIterator::seek(std::size_t pos)
@@ -311,10 +346,15 @@ void StructuralIterator::seek(std::size_t pos)
 }
 
 StructuralIterator::WithinResult StructuralIterator::skip_to_label_within(
-    std::string_view escaped_label, BitStack& opened, int& relative_depth)
+    std::string_view escaped_label, BitStack& opened, int& relative_depth,
+    std::size_t base_depth)
 {
     const simd::Kernels& kernels = blocks_.kernels();
     obs::ModeScope mode(accountant_, obs::BlockMode::kWithinSkip);
+    // Absolute-depth budget, as in skip_until_depth_zero.
+    const std::size_t max_relative =
+        max_skip_depth_ - (base_depth < max_skip_depth_ ? base_depth
+                                                        : max_skip_depth_);
     WithinResult result;
     std::uint64_t live = bits::mask_from(floor_);
     while (block_start_ < end_) {
@@ -341,7 +381,7 @@ StructuralIterator::WithinResult StructuralIterator::skip_to_label_within(
             std::size_t pos = block_start_ + static_cast<std::size_t>(bit);
             if (openers & bit_mask) {
                 ++relative_depth;
-                if (static_cast<std::size_t>(relative_depth) > max_skip_depth_) {
+                if (static_cast<std::size_t>(relative_depth) > max_relative) {
                     fail(StatusCode::kDepthLimit, pos);
                     result.outcome = WithinResult::Outcome::kInputEnd;
                     return result;
@@ -399,7 +439,10 @@ ResumePoint StructuralIterator::resume_point() const
 void StructuralIterator::resume(const ResumePoint& point)
 {
     block_start_ = point.block_start;
-    floor_ = point.floor;
+    // floor == 64 is a legal "block spent" handoff (a producer that
+    // consumed bit 63); mask_from copes with it, but never let a negative
+    // floor reach the shift below.
+    floor_ = point.floor < 0 ? 0 : point.floor;
     if (block_start_ >= end_) {
         block_start_ = end_;
         struct_mask_ = 0;

@@ -126,15 +126,22 @@ public:
      * Skipping children (Section 3.3): fast-forwards from just after an
      * opening character of the given kind to just after its matching
      * closer, using the depth-mask view of the batch stream.
+     *
+     * @param base_depth containers already open *around* the element being
+     *        skipped. The fast-forward enforces the depth limit in
+     *        absolute terms (base + relative nesting), so a limit hit
+     *        inside a skipped region reports the same kDepthLimit offset
+     *        an engine that descends (e.g. the DOM baseline) would.
      */
-    void skip_element(std::uint8_t opening_byte);
+    void skip_element(std::uint8_t opening_byte, std::size_t base_depth = 0);
 
     /**
      * Skipping siblings (Section 3.3): fast-forwards to the closing
      * character of the element we are currently inside, leaving that
      * closer as the next event (it still drives the depth-stack).
+     * @param base_depth containers open around the *parent* element.
      */
-    void skip_to_parent_close(bool parent_is_object);
+    void skip_to_parent_close(bool parent_is_object, std::size_t base_depth = 0);
 
     /** Outcome of skip_to_label_within (the Section 4.5 extension). */
     struct WithinResult {
@@ -164,10 +171,12 @@ public:
      *
      * Only sound for *waiting*, non-accepting automaton states (nothing in
      * the skipped stream can change the state or produce a match); the
-     * engine checks that.
+     * engine checks that. @p base_depth: containers open around the element
+     * being scanned (absolute-depth limit enforcement, as skip_element).
      */
     WithinResult skip_to_label_within(std::string_view escaped_label,
-                                      BitStack& opened, int& relative_depth);
+                                      BitStack& opened, int& relative_depth,
+                                      std::size_t base_depth = 0);
 
     /** Absolute offset of the next unconsumed byte. */
     std::size_t position() const noexcept
@@ -207,7 +216,8 @@ private:
     bool advance_block(bool with_structural);
 
     /** Shared fast-forward core for both skip flavours. */
-    void skip_until_depth_zero(classify::BracketKind kind, bool consume_closer);
+    void skip_until_depth_zero(classify::BracketKind kind, bool consume_closer,
+                               std::size_t base_depth);
 
     Event event_at(int bit) const;
 

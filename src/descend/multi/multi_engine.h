@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Fused multi-query execution: N compiled automata over ONE classification
+ * pass of the batched block stream.
+ *
+ * A standalone engine run spends most of its time classifying blocks for
+ * fast, selective queries (paper §4, Experiments B/C) — so N queries run
+ * sequentially pay for N classification passes over identical bytes. The
+ * fused engine advances N independent depth-stack simulations off the same
+ * structural events: one block classification, one label resolution per
+ * event (against the shared union alphabet), N O(1) automaton transitions.
+ *
+ * Skipping degrades soundly to the set's consensus: a fast-forward
+ * (children / siblings / within-element label / head-skip) is taken only
+ * when *every* lane agrees the region is irrelevant to it — a lane parked
+ * in its trash state agrees to anything; a live lane vetoes. Vetoed skips
+ * fall back to structural iteration and are tallied in the obs counters
+ * (fused_*_skip_suppressed), so the cost of disagreement is visible.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "descend/engine/api.h"
+#include "descend/engine/padded_string.h"
+#include "descend/multi/multi_query.h"
+#include "descend/obs/run_stats.h"
+#include "descend/simd/dispatch.h"
+
+namespace descend::multi {
+
+/** Receiver of fused-run matches, tagged with the originating query. */
+class MultiSink {
+public:
+    virtual ~MultiSink() = default;
+
+    /** @param query_index position of the query in the compiled set. */
+    virtual void on_match(std::size_t query_index, std::size_t offset) = 0;
+};
+
+/** Collects per-query match offsets (document order within each query). */
+class CollectingMultiSink final : public MultiSink {
+public:
+    explicit CollectingMultiSink(std::size_t num_queries)
+        : offsets_(num_queries)
+    {
+    }
+
+    void on_match(std::size_t query_index, std::size_t offset) override
+    {
+        offsets_[query_index].push_back(offset);
+    }
+
+    const std::vector<std::size_t>& offsets(std::size_t query_index) const
+    {
+        return offsets_[query_index];
+    }
+
+    const std::vector<std::vector<std::size_t>>& all() const noexcept
+    {
+        return offsets_;
+    }
+
+private:
+    std::vector<std::vector<std::size_t>> offsets_;
+};
+
+/** Counts matches per query — the benchmark sink. */
+class CountingMultiSink final : public MultiSink {
+public:
+    explicit CountingMultiSink(std::size_t num_queries) : counts_(num_queries) {}
+
+    void on_match(std::size_t query_index, std::size_t) override
+    {
+        ++counts_[query_index];
+    }
+
+    std::size_t count(std::size_t query_index) const
+    {
+        return counts_[query_index];
+    }
+
+    std::size_t total() const noexcept
+    {
+        std::size_t sum = 0;
+        for (std::size_t c : counts_) {
+            sum += c;
+        }
+        return sum;
+    }
+
+private:
+    std::vector<std::size_t> counts_;
+};
+
+/**
+ * The fused engine. Const run paths touch no mutable engine state — one
+ * instance can serve concurrent runs (the stream executor shares one).
+ *
+ * Status semantics: the document is a single byte stream, so the run has a
+ * single EngineStatus — malformed input fails the set as a whole, and a
+ * per-query limit violation (EngineLimits::max_match_count is enforced per
+ * lane, mirroring N independent runs) fails the run at that offset.
+ */
+class MultiDescendEngine {
+public:
+    explicit MultiDescendEngine(MultiQuery queries, EngineOptions options = {});
+
+    /** Convenience: parse + compile + wrap. */
+    static MultiDescendEngine for_queries(
+        const std::vector<std::string>& query_texts, EngineOptions options = {})
+    {
+        return MultiDescendEngine(MultiQuery::compile(query_texts), options);
+    }
+
+    std::string name() const;
+
+    EngineStatus run(const PaddedString& document, MultiSink& sink) const
+    {
+        return run(PaddedView(document), sink);
+    }
+
+    /** Zero-copy slice run (record of an NDJSON stream); offsets are
+     *  relative to the slice start, as DescendEngine::run. */
+    EngineStatus run(PaddedView document, MultiSink& sink) const;
+
+    /** Like run(), additionally reporting what the fused pass did. */
+    RunStats run_with_stats(PaddedView document, MultiSink& sink) const;
+
+    const MultiQuery& query_set() const noexcept { return queries_; }
+    const EngineOptions& options() const noexcept { return options_; }
+
+private:
+    RunStats dispatch(PaddedView document, MultiSink& sink) const;
+
+    MultiQuery queries_;
+    EngineOptions options_;
+    const simd::Kernels* kernels_;
+};
+
+}  // namespace descend::multi

@@ -1,0 +1,70 @@
+#include "descend/multi/multi_query.h"
+
+#include "descend/util/errors.h"
+
+namespace descend::multi {
+
+MultiQuery MultiQuery::compile(const std::vector<query::Query>& queries)
+{
+    if (queries.empty()) {
+        throw LimitError("a multi-query set needs at least one query");
+    }
+    MultiQuery set;
+    set.shared_ = automaton::Alphabet::from_queries(queries);
+    set.queries_.reserve(queries.size());
+    set.remap_.reserve(queries.size());
+    set.all_root_accepting_ = true;
+    bool head_skip_possible = true;
+    for (const query::Query& query : queries) {
+        automaton::CompiledQuery compiled = automaton::CompiledQuery::compile(query);
+        const automaton::Alphabet& own = compiled.alphabet();
+
+        // Shared symbol -> private symbol. Labels and indices the query
+        // does not mention fall through to its OTHER symbol — the same
+        // classification its standalone run performs.
+        std::vector<int> remap(
+            static_cast<std::size_t>(set.shared_.total_symbols()), 0);
+        for (int s = 0; s < set.shared_.num_labels(); ++s) {
+            remap[static_cast<std::size_t>(s)] =
+                own.label_symbol(set.shared_.label(s));
+        }
+        for (int s = set.shared_.num_labels(); s < set.shared_.num_concrete();
+             ++s) {
+            remap[static_cast<std::size_t>(s)] =
+                own.index_symbol(set.shared_.index(s));
+        }
+        remap[static_cast<std::size_t>(set.shared_.other_symbol())] =
+            own.other_symbol();
+
+        set.any_counting_ = set.any_counting_ || compiled.has_indices();
+        set.all_root_accepting_ =
+            set.all_root_accepting_ && compiled.root_accepting();
+        if (head_skip_possible) {
+            const std::optional<std::string>& label = compiled.head_skip_label();
+            if (!label.has_value() ||
+                (set.common_head_skip_label_.has_value() &&
+                 *set.common_head_skip_label_ != *label)) {
+                head_skip_possible = false;
+                set.common_head_skip_label_.reset();
+            } else {
+                set.common_head_skip_label_ = *label;
+            }
+        }
+
+        set.queries_.push_back(std::move(compiled));
+        set.remap_.push_back(std::move(remap));
+    }
+    return set;
+}
+
+MultiQuery MultiQuery::compile(const std::vector<std::string>& query_texts)
+{
+    std::vector<query::Query> queries;
+    queries.reserve(query_texts.size());
+    for (const std::string& text : query_texts) {
+        queries.push_back(query::Query::parse(text));
+    }
+    return compile(queries);
+}
+
+}  // namespace descend::multi

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A compiled JSONPath query *set* for fused single-pass execution.
+ *
+ * The set shares one union Alphabet (Alphabet::from_queries) across every
+ * label and index the queries mention, while each query keeps its own
+ * minimal CompiledQuery automaton. At runtime a structural event's label
+ * is resolved against the shared alphabet exactly once; a per-query remap
+ * table then translates the shared symbol into each automaton's private
+ * symbol space in O(1) — labels absent from a query collapse to that
+ * query's OTHER symbol, exactly as its standalone run would classify them.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "descend/automaton/compiled.h"
+#include "descend/query/query.h"
+
+namespace descend::multi {
+
+class MultiQuery {
+public:
+    /** Compiles a parsed query set. @throws QueryError / LimitError as the
+     *  single-query compiler does; an empty set is a LimitError. */
+    static MultiQuery compile(const std::vector<query::Query>& queries);
+
+    /** Convenience: parse + compile each text. */
+    static MultiQuery compile(const std::vector<std::string>& query_texts);
+
+    std::size_t size() const noexcept { return queries_.size(); }
+
+    const automaton::Alphabet& alphabet() const noexcept { return shared_; }
+
+    const automaton::CompiledQuery& query(std::size_t i) const
+    {
+        return queries_[i];
+    }
+
+    /** Translates a shared-alphabet symbol into query @p i's private
+     *  alphabet (its OTHER symbol when the label/index is absent there). */
+    int remap(std::size_t i, int shared_symbol) const
+    {
+        return remap_[i][static_cast<std::size_t>(shared_symbol)];
+    }
+
+    /** True when any query uses index selectors (the fused run then
+     *  tracks array-entry counters for the set). */
+    bool any_counting() const noexcept { return any_counting_; }
+
+    /** True when every query is exactly `$`. */
+    bool all_root_accepting() const noexcept { return all_root_accepting_; }
+
+    /**
+     * The head-skip label shared by the *entire* set: present iff every
+     * query head-skips on the same label. Only then can the fused run use
+     * the label-search pipeline — a single disagreeing query would need
+     * the structural events head-skipping never produces.
+     */
+    const std::optional<std::string>& common_head_skip_label() const noexcept
+    {
+        return common_head_skip_label_;
+    }
+
+private:
+    MultiQuery() = default;
+
+    automaton::Alphabet shared_;
+    std::vector<automaton::CompiledQuery> queries_;
+    /** remap_[query][shared_symbol] -> that query's private symbol. */
+    std::vector<std::vector<int>> remap_;
+    bool any_counting_ = false;
+    bool all_root_accepting_ = false;
+    std::optional<std::string> common_head_skip_label_;
+};
+
+}  // namespace descend::multi

@@ -1,0 +1,178 @@
+#include "descend/multi/multi_stream.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+namespace descend::multi {
+namespace {
+
+constexpr std::size_t kNoError = stream::StreamResult::kNone;
+
+/** One record's buffered fused-run outcome, produced by a worker. */
+struct RecordOutcome {
+    std::size_t record = 0;
+    EngineStatus status;
+    /** Per-query intra-record match offsets; populated only when
+     *  status.ok(), so a failed record never leaks partial matches. */
+    std::vector<std::vector<std::size_t>> offsets;
+};
+
+/** Atomic fetch-min (see stream_executor.cpp for why this makes
+ *  fail-fast deterministic). */
+void lower_floor(std::atomic<std::size_t>& floor, std::size_t candidate)
+{
+    std::size_t current = floor.load(std::memory_order_relaxed);
+    while (candidate < current &&
+           !floor.compare_exchange_weak(current, candidate,
+                                        std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+stream::StreamResult MultiStreamExecutor::run(PaddedView input,
+                                              MultiStreamSink& sink) const
+{
+    const simd::Kernels& kernels = simd::kernels_for(options_.engine.simd);
+    obs::PhaseStopwatch watch;
+    std::vector<stream::RecordSpan> records = stream::split_records(input, kernels);
+    std::uint64_t split_ns = watch.elapsed_ns();
+    stream::StreamResult result = run_records(input, records, sink);
+    result.timings.add(obs::Phase::kSplit, split_ns);
+    return result;
+}
+
+stream::StreamResult MultiStreamExecutor::run_records(
+    PaddedView input, const std::vector<stream::RecordSpan>& records,
+    MultiStreamSink& sink) const
+{
+    stream::StreamResult result;
+    result.records = records.size();
+    if (records.empty()) {
+        return result;
+    }
+    const std::size_t num_queries = engine_.query_set().size();
+
+    const std::size_t batch_size =
+        options_.records_per_batch > 0 ? options_.records_per_batch : 1;
+    const std::size_t num_batches =
+        (records.size() + batch_size - 1) / batch_size;
+    std::size_t workers = options_.threads != 0
+                              ? options_.threads
+                              : std::thread::hardware_concurrency();
+    workers = std::min(std::max<std::size_t>(workers, 1), num_batches);
+
+    const bool fail_fast = options_.policy == stream::ErrorPolicy::kFailFast;
+    std::vector<std::vector<RecordOutcome>> outcomes(num_batches);
+    std::atomic<std::size_t> next_batch{0};
+    std::atomic<std::size_t> error_floor{kNoError};
+
+    struct ShardObs {
+        obs::Counters counters;
+        obs::Timings timings;
+        std::size_t record_blocks = 0;
+    };
+    std::vector<ShardObs> shard_obs(workers);
+
+    auto worker = [&](std::size_t shard) {
+        ShardObs& local = shard_obs[shard];
+        for (;;) {
+            std::size_t batch = next_batch.fetch_add(1, std::memory_order_relaxed);
+            if (batch >= num_batches) {
+                break;
+            }
+            std::size_t first = batch * batch_size;
+            std::size_t last = std::min(first + batch_size, records.size());
+            if (fail_fast && first > error_floor.load(std::memory_order_relaxed)) {
+                continue;
+            }
+            std::vector<RecordOutcome>& out = outcomes[batch];
+            out.reserve(last - first);
+            for (std::size_t r = first; r < last; ++r) {
+                if (fail_fast && r > error_floor.load(std::memory_order_relaxed)) {
+                    break;
+                }
+                const stream::RecordSpan& span = records[r];
+                CollectingMultiSink collector(num_queries);
+                RecordOutcome outcome;
+                outcome.record = r;
+                RunStats run_stats = engine_.run_with_stats(
+                    input.subview(span.begin, span.size()), collector);
+                outcome.status = run_stats.status;
+                if constexpr (obs::kEnabled) {
+                    local.counters.merge(run_stats.counters);
+                    local.timings.merge(run_stats.timings);
+                    local.record_blocks +=
+                        (span.size() + simd::kBlockSize - 1) / simd::kBlockSize;
+                }
+                if (outcome.status.ok()) {
+                    outcome.offsets = collector.all();
+                } else if (fail_fast) {
+                    lower_floor(error_floor, r);
+                }
+                bool failed = !outcome.status.ok();
+                out.push_back(std::move(outcome));
+                if (fail_fast && failed) {
+                    break;
+                }
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t i = 0; i < workers; ++i) {
+            pool.emplace_back(worker, i);
+        }
+        for (std::thread& thread : pool) {
+            thread.join();
+        }
+    }
+    for (const ShardObs& shard : shard_obs) {
+        result.counters.merge(shard.counters);
+        result.timings.merge(shard.timings);
+        result.record_blocks += shard.record_blocks;
+    }
+
+    // Ordered replay: records ascend across and within batches; per record
+    // the queries replay in set order. Under fail-fast everything past the
+    // floor is discarded, the floor record being the one reported error.
+    const std::size_t floor = error_floor.load(std::memory_order_relaxed);
+    bool stopped = false;
+    for (std::size_t batch = 0; batch < num_batches && !stopped; ++batch) {
+        for (const RecordOutcome& outcome : outcomes[batch]) {
+            if (fail_fast && outcome.record > floor) {
+                stopped = true;
+                break;
+            }
+            if (outcome.status.ok()) {
+                for (std::size_t q = 0; q < outcome.offsets.size(); ++q) {
+                    for (std::size_t offset : outcome.offsets[q]) {
+                        sink.on_match(q, outcome.record, offset);
+                        ++result.matches;
+                    }
+                }
+            } else {
+                sink.on_record_error(outcome.record, outcome.status);
+                ++result.failed_records;
+                ++result.error_tally[static_cast<std::size_t>(outcome.status.code)];
+                if (result.first_error_record == stream::StreamResult::kNone) {
+                    result.first_error_record = outcome.record;
+                    result.first_error = outcome.status;
+                }
+                if (fail_fast) {
+                    stopped = true;
+                    break;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace descend::multi

@@ -52,6 +52,11 @@ enum class Counter : std::uint8_t {
     kSiblingSkips,        ///< skip-siblings fast-forwards
     kWithinSkips,         ///< within-element label fast-forwards (§4.5)
     kHeadSkipJumps,       ///< head-skip label occurrences processed
+    // --- fused multi-query execution: skips one lane wanted but another
+    //     vetoed (the region was iterated structurally instead) ---
+    kFusedChildSkipSuppressed,    ///< child skips lost to disagreement
+    kFusedSiblingSkipSuppressed,  ///< sibling skips lost to disagreement
+    kFusedWithinSkipSuppressed,   ///< within-element skips lost to disagreement
     // --- label search ---
     kLabelSearchCandidates,  ///< prefiltered quote candidates verified bytewise
     kLabelSearchHits,        ///< candidates confirmed as `"label":` members
@@ -88,6 +93,12 @@ constexpr const char* counter_name(Counter id) noexcept
         case Counter::kSiblingSkips: return "sibling_skips";
         case Counter::kWithinSkips: return "within_skips";
         case Counter::kHeadSkipJumps: return "head_skip_jumps";
+        case Counter::kFusedChildSkipSuppressed:
+            return "fused_child_skip_suppressed";
+        case Counter::kFusedSiblingSkipSuppressed:
+            return "fused_sibling_skip_suppressed";
+        case Counter::kFusedWithinSkipSuppressed:
+            return "fused_within_skip_suppressed";
         case Counter::kLabelSearchCandidates: return "label_search_candidates";
         case Counter::kLabelSearchHits: return "label_search_hits";
         case Counter::kBatchRefills: return "batch_refills";

@@ -13,8 +13,11 @@
  *                   and any non-ASCII byte)
  *
  * Quoted labels support the escapes \' \" \\ \/ \b \f \n \r \t \uXXXX.
+ * UTF-16 surrogate pairs in \u escapes combine into one code point (encoded
+ * as UTF-8, matching the document's raw bytes); lone surrogates are errors.
  */
 #include <cctype>
+#include <cstdint>
 #include <string>
 
 #include "descend/json/dom.h"
@@ -169,17 +172,77 @@ private:
                 case 'r': label.push_back('\r'); break;
                 case 't': label.push_back('\t'); break;
                 case 'u': {
-                    if (pos_ + 4 > text_.size()) {
-                        fail("truncated \\u escape");
+                    std::uint32_t code = parse_hex4();
+                    if (code >= 0xDC00 && code <= 0xDFFF) {
+                        fail("lone low surrogate in \\u escape");
                     }
-                    // Reuse the JSON unescaper for the \uXXXX encoding.
-                    std::string raw = "\\u" + std::string(text_.substr(pos_, 4));
-                    label += json::unescape(raw);
-                    pos_ += 4;
+                    if (code >= 0xD800 && code <= 0xDBFF) {
+                        // UTF-16 surrogate pair: the high half must be
+                        // followed by \uXXXX with a low half; the pair
+                        // names one non-BMP code point.
+                        if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                            text_[pos_ + 1] != 'u') {
+                            fail("high surrogate not followed by \\u escape");
+                        }
+                        pos_ += 2;
+                        std::uint32_t low = parse_hex4();
+                        if (low < 0xDC00 || low > 0xDFFF) {
+                            fail("high surrogate not paired with a low "
+                                 "surrogate");
+                        }
+                        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                    }
+                    append_utf8(label, code);
                     break;
                 }
                 default: fail("invalid escape in label");
             }
+        }
+    }
+
+    /** Consumes exactly four hex digits of a \uXXXX escape. */
+    std::uint32_t parse_hex4()
+    {
+        if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+        }
+        std::uint32_t value = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_ + static_cast<std::size_t>(i)];
+            std::uint32_t digit;
+            if (c >= '0' && c <= '9') {
+                digit = static_cast<std::uint32_t>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                digit = static_cast<std::uint32_t>(c - 'a') + 10;
+            } else if (c >= 'A' && c <= 'F') {
+                digit = static_cast<std::uint32_t>(c - 'A') + 10;
+            } else {
+                fail("invalid hex digit in \\u escape");
+            }
+            value = (value << 4) | digit;
+        }
+        pos_ += 4;
+        return value;
+    }
+
+    /** Appends @p code as UTF-8; the label then matches the raw document
+     *  bytes of the same key (json::escape passes bytes >= 0x20 through). */
+    static void append_utf8(std::string& out, std::uint32_t code)
+    {
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
         }
     }
 

@@ -40,8 +40,14 @@ std::vector<RecordSpan> split_records(PaddedView input,
             size - block >= simd::kBlockSize
                 ? ~std::uint64_t{0}
                 : bits::mask_below(static_cast<int>(size - block));
-        std::uint64_t newlines =
-            kernels.eq_mask(data + block, '\n') & ~masks.in_string & valid;
+        // Separators: out-of-string LF and CR alike. A CRLF pair splits at
+        // both bytes, but the middle segment between them is empty and
+        // append_record drops blank segments, so the pair still yields a
+        // single record boundary; a lone CR (classic-Mac / curl -w streams)
+        // now separates records instead of fusing its neighbours.
+        std::uint64_t newlines = (kernels.eq_mask(data + block, '\n') |
+                                  kernels.eq_mask(data + block, '\r')) &
+                                 ~masks.in_string & valid;
         for (bits::BitIter it(newlines); !it.done(); it.advance()) {
             std::size_t pos = block + static_cast<std::size_t>(it.index());
             append_record(data, start, pos, records);

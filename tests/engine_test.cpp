@@ -357,6 +357,19 @@ TEST(EngineStrings, NonAsciiLabels)
     expect_count("$..日本", R"({"日": {"本": {"日本": 1}}})", 1);
 }
 
+TEST(EngineStrings, SurrogatePairQueryMatchesRawNonBmpKey)
+{
+    // The document stores the key as raw UTF-8 (U+1F600, four bytes); the
+    // query spells it as a UTF-16 surrogate pair escape. The parser decodes
+    // the pair into the same four bytes, so every engine — streaming in all
+    // configurations, surfer, and the DOM oracle — agrees on the match set.
+    std::string key = "\xF0\x9F\x98\x80";
+    std::string document =
+        R"({")" + key + R"(": 1, "other": {")" + key + R"(": [2, 3]}})";
+    expect_count("$['\\uD83D\\uDE00']", document, 1);
+    expect_count("$..['\\uD83D\\uDE00']", document, 2);
+}
+
 TEST(EngineIntegration, GeneratedDatasetsAcrossAllConfigurations)
 {
     // A medium-size realistic document: every engine configuration must

@@ -75,6 +75,82 @@ TEST(LabelSearch, EscapedLabelForms)
     EXPECT_TRUE(find_all(doc, "he said ").empty());
 }
 
+TEST(LabelSearch, ResumePointOnBlockBoundary)
+{
+    // First label in block 0, second label in block 1. Asking for a resume
+    // point exactly on the 64-byte boundary used to produce floor == 64 (an
+    // out-of-range shift for the receiver's resume mask); it must instead
+    // park at the boundary block with floor 0.
+    std::string doc = R"({"a": 1,)";
+    doc += std::string(64 - doc.size(), ' ');
+    doc += R"("a": 2, "a": 3})";
+    PaddedString padded(doc);
+
+    LabelSearch search(padded, simd::best_kernels(), "a");
+    ASSERT_TRUE(search.next().has_value());
+    ResumePoint point = search.resume_point_at(simd::kBlockSize);
+    EXPECT_EQ(point.block_start, simd::kBlockSize);
+    EXPECT_EQ(point.floor, 0);
+
+    LabelSearch resumed(padded, simd::best_kernels(), "a");
+    resumed.resume(point);
+    auto hit = resumed.next();
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->quote_pos, 64u);
+    ASSERT_TRUE(resumed.next().has_value());
+    EXPECT_FALSE(resumed.next().has_value());
+}
+
+TEST(LabelSearch, ResumePointPastFinalPartialBlock)
+{
+    // A position at or past the 64-aligned end of the classified range
+    // must yield a spent resume point, not a floor >= 64 over a stale
+    // block. (Positions inside the final partial block keep their real
+    // floor — candidates past the document end are already clipped.)
+    std::string doc = R"({"a": 1, "b": 2})";
+    PaddedString padded(doc);
+    LabelSearch search(padded, simd::best_kernels(), "a");
+    for (std::size_t pos :
+         {simd::kBlockSize, simd::kBlockSize + 7, std::size_t{640}}) {
+        LabelSearch probe(padded, simd::best_kernels(), "a");
+        LabelSearch receiver(padded, simd::best_kernels(), "a");
+        ResumePoint point = probe.resume_point_at(pos);
+        // The floor is always a legal shift amount, and the point parks at
+        // the aligned end — spent for every receiver.
+        EXPECT_LT(point.floor, static_cast<int>(simd::kBlockSize))
+            << "pos " << pos;
+        EXPECT_GE(point.block_start, doc.size()) << "pos " << pos;
+        receiver.resume(point);
+        EXPECT_FALSE(receiver.next().has_value()) << "pos " << pos;
+    }
+    // A position inside the final partial block but past the document end
+    // is inert: a legal floor, and nothing left to report.
+    LabelSearch receiver(padded, simd::best_kernels(), "a");
+    receiver.resume(search.resume_point_at(doc.size())); // floor == 16
+    EXPECT_FALSE(receiver.next().has_value());
+    // The original search still works after being used as a probe.
+    EXPECT_TRUE(search.next().has_value());
+}
+
+TEST(LabelSearch, ResumeAcceptsFloor64Handoff)
+{
+    // An iterator that consumed bit 63 legitimately hands over floor == 64
+    // ("block spent"); resume must clear the block's candidates and carry on
+    // with the next block instead of shifting by 64.
+    std::string doc = R"({"a": 1,)";
+    doc += std::string(64 - doc.size(), ' ');
+    doc += R"("a": 2})";
+    PaddedString padded(doc);
+    LabelSearch search(padded, simd::best_kernels(), "a");
+    ResumePoint spent_first{0, classify::QuoteState{},
+                            static_cast<int>(simd::kBlockSize)};
+    search.resume(spent_first);
+    auto hit = search.next();
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->quote_pos, 64u);
+    EXPECT_FALSE(search.next().has_value());
+}
+
 TEST(LabelSearch, StopAndResume)
 {
     std::string doc = R"({"a": {"x": 1}, "a": {"y": 2}, "a": 3})";

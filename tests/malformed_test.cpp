@@ -296,6 +296,94 @@ TEST(Limits, MatchCountLimit)
     EXPECT_TRUE(surfer_status("$.*", document, limits).ok());
 }
 
+TEST(Limits, StatusOffsetsAlignAcrossEngines)
+{
+    // The alignment contract: tightening one knob just below a valid
+    // document's needs yields the IDENTICAL {code, offset} from the main
+    // engine (every configuration), surfer, JSONSki and the DOM oracle.
+    //
+    // Depth: the first opener that reaches the forbidden depth. "a" keys
+    // the nesting so head-skip subruns traverse it too.
+    std::string deep = R"({"a": {"a": {"a": 1}}})";
+    EngineLimits limits;
+    limits.max_depth = 2;
+    EngineStatus expected{StatusCode::kDepthLimit, 12};  // third '{'
+    EXPECT_EQ(surfer_status("$..a", deep, limits), expected);
+    EXPECT_EQ(dom_status("$..a", deep, limits), expected);
+    EXPECT_EQ(ski_status("$.a.a.a", deep, limits), expected);
+    for (const EngineOptions& base : descend_configurations()) {
+        EngineOptions options = base;
+        options.limits = limits;
+        // Head-skip subruns measure depth relative to the matched label's
+        // element, so the absolute-depth expectation is exempt there.
+        if (options.head_skipping) {
+            continue;
+        }
+        EXPECT_EQ(descend_status("$..a", deep, options), expected);
+    }
+
+    // Match count: the offset of the first match past the budget.
+    std::string list = "[1, 22, 333]";
+    limits = {};
+    limits.max_match_count = 2;
+    EngineStatus third_match{StatusCode::kMatchLimit, 8};
+    EXPECT_EQ(surfer_status("$.*", list, limits), third_match);
+    EXPECT_EQ(dom_status("$.*", list, limits), third_match);
+    EXPECT_EQ(ski_status("$.*", list, limits), third_match);
+    for (const EngineOptions& base : descend_configurations()) {
+        EngineOptions options = base;
+        options.limits = limits;
+        EXPECT_EQ(descend_status("$.*", list, options), third_match);
+    }
+
+    // Size: the shared preflight reports the limit itself as the offset.
+    limits = {};
+    limits.max_document_size = list.size() - 1;
+    EngineStatus too_big{StatusCode::kSizeLimit, limits.max_document_size};
+    EXPECT_EQ(surfer_status("$.*", list, limits), too_big);
+    EXPECT_EQ(dom_status("$.*", list, limits), too_big);
+    EXPECT_EQ(ski_status("$.*", list, limits), too_big);
+    for (const EngineOptions& base : descend_configurations()) {
+        EngineOptions options = base;
+        options.limits = limits;
+        EXPECT_EQ(descend_status("$.*", list, options), too_big);
+    }
+}
+
+TEST(Limits, DepthLimitSeesThroughSkippedMixedBracketKinds)
+{
+    // Regression: skip_until_depth_zero used to count only the skipped
+    // element's own bracket kind, so nesting of the OTHER kind inside a
+    // skipped subtree was invisible to the depth limit — the same-kind
+    // trick (§4.3) is sound for finding the matching closer but not for
+    // absolute depth accounting. Here $.b child-skips the "a" object whose
+    // payload nests arrays five deep.
+    std::string document = R"({"a": {"x": [[[[1]]]]}, "b": 2})";
+    EngineLimits limits;
+    limits.max_depth = 4;
+    EngineOptions options;  // defaults: child skipping on
+    options.limits = limits;
+    EXPECT_EQ(descend_status("$.b", document, options).code,
+              StatusCode::kDepthLimit);
+    // And the aligned offset, against the engines that walk everything:
+    // the fourth-level opener (the '[' at byte 15 is depth 4... the first
+    // opener to EXCEED the limit is the '[' reaching depth 5).
+    EngineStatus expected = dom_status("$.b", document, limits);
+    EXPECT_EQ(expected.code, StatusCode::kDepthLimit);
+    EXPECT_EQ(surfer_status("$.b", document, limits), expected);
+    for (const EngineOptions& base : descend_configurations()) {
+        EngineOptions configured = base;
+        configured.limits = limits;
+        EXPECT_EQ(descend_status("$.b", document, configured), expected);
+    }
+    // A limit the document fits under stays clean — the skip still
+    // terminates correctly on the same-kind closer.
+    limits.max_depth = 8;
+    options.limits = limits;
+    EXPECT_TRUE(descend_status("$.b", document, options).ok());
+    EXPECT_EQ(descend_status("$.b", document, options), EngineStatus{});
+}
+
 TEST(Malformed, RaiseStatusBridgesToExceptions)
 {
     raise_status({});  // ok: no-op

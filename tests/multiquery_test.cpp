@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Fused multi-query execution: the fused engine's per-query match sets must
+ * be bit-identical to N independent single-query runs — for every engine
+ * configuration, including query mixes whose lanes disagree about the
+ * skippability of a subtree (one lane's irrelevant region is another's
+ * match territory). The suite is registered in DESCEND_TIERED_TESTS, so
+ * ctest re-runs it with every dispatch tier forced via DESCEND_SIMD_LEVEL.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "descend/multi/multi_engine.h"
+#include "descend/multi/multi_stream.h"
+#include "descend/workloads/datasets.h"
+#include "test_helpers.h"
+
+namespace descend {
+namespace {
+
+using multi::CollectingMultiSink;
+using multi::CollectingMultiStreamSink;
+using multi::CountingMultiSink;
+using multi::CountingMultiStreamSink;
+using multi::MultiDescendEngine;
+using multi::MultiQuery;
+using multi::MultiStreamExecutor;
+using testing::describe;
+using testing::engine_configurations;
+
+/** N independent single-query runs with the same options — the oracle. */
+std::vector<std::vector<std::size_t>> independent_offsets(
+    const std::vector<std::string>& queries, const PaddedString& document,
+    const EngineOptions& options)
+{
+    std::vector<std::vector<std::size_t>> all;
+    for (const std::string& text : queries) {
+        DescendEngine engine(automaton::CompiledQuery::compile(text), options);
+        OffsetSink sink;
+        EXPECT_EQ(engine.run(document, sink), EngineStatus{})
+            << "independent run failed: " << text;
+        all.push_back(sink.offsets());
+    }
+    return all;
+}
+
+/** Fused == N independent, for every engine configuration. */
+void expect_fused_matches_independent(const std::vector<std::string>& queries,
+                                      const std::string& document)
+{
+    PaddedString padded(document);
+    for (const EngineOptions& options : engine_configurations()) {
+        SCOPED_TRACE("configuration: " + describe(options));
+        MultiDescendEngine fused = MultiDescendEngine::for_queries(queries, options);
+        CollectingMultiSink sink(queries.size());
+        ASSERT_EQ(fused.run(padded, sink), EngineStatus{});
+        std::vector<std::vector<std::size_t>> expected =
+            independent_offsets(queries, padded, options);
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            EXPECT_EQ(sink.offsets(q), expected[q]) << "query: " << queries[q];
+        }
+    }
+}
+
+// ------------------------------------------------------------- compilation
+
+TEST(MultiQueryCompile, SharedAlphabetAndRemap)
+{
+    MultiQuery set = MultiQuery::compile(
+        std::vector<std::string>{"$.a.b", "$..b", "$.c.*"});
+    EXPECT_EQ(set.size(), 3u);
+    // The union alphabet knows every label; each lane's remap sends labels
+    // it never mentions to its private OTHER symbol (and symbol identity is
+    // preserved for labels it does mention — checked indirectly by the
+    // match-parity suites below).
+    EXPECT_FALSE(set.any_counting());
+    EXPECT_FALSE(set.all_root_accepting());
+}
+
+TEST(MultiQueryCompile, EmptySetIsAnError)
+{
+    EXPECT_ANY_THROW(MultiQuery::compile(std::vector<std::string>{}));
+}
+
+TEST(MultiQueryCompile, CommonHeadSkipLabelRequiresUnanimity)
+{
+    MultiQuery same = MultiQuery::compile(
+        std::vector<std::string>{"$..name", "$..name.first"});
+    ASSERT_TRUE(same.common_head_skip_label().has_value());
+    EXPECT_EQ(*same.common_head_skip_label(), "name");
+
+    // Differing head labels — or a lane that cannot head-skip at all —
+    // forfeit the label-search pipeline for the whole set.
+    MultiQuery differ = MultiQuery::compile(
+        std::vector<std::string>{"$..name", "$..title"});
+    EXPECT_FALSE(differ.common_head_skip_label().has_value());
+    MultiQuery mixed = MultiQuery::compile(
+        std::vector<std::string>{"$..name", "$.a.b"});
+    EXPECT_FALSE(mixed.common_head_skip_label().has_value());
+}
+
+// ----------------------------------------------------------- single-pass
+
+TEST(MultiEngine, FusedMatchesIndependentRuns)
+{
+    std::string document = R"({
+      "a": {"b": 1, "c": {"b": 2}},
+      "c": {"x": 3, "y": [4, 5]},
+      "b": {"deep": {"b": 6}}
+    })";
+    expect_fused_matches_independent({"$.a.b", "$..b", "$.c.*", "$..c..b"},
+                                     document);
+}
+
+TEST(MultiEngine, SingleQuerySetDegeneratesToTheEngine)
+{
+    std::string document = R"({"a": {"b": [1, {"b": 2}]}})";
+    expect_fused_matches_independent({"$..b"}, document);
+}
+
+TEST(MultiEngine, SkippabilityDisagreeingDescendantMixes)
+{
+    // The subtree under "payload" is skippable for the child-path lanes
+    // (their automata are in trash there) but descendant lanes must walk
+    // it; conversely "meta" matches the child lanes and is junk to the
+    // descendant ones. No consensus skip is unanimous — every fast-forward
+    // decision is exercised in both the taken and suppressed direction.
+    std::string document = R"({
+      "meta": {"id": 1, "name": "x"},
+      "payload": {
+        "rows": [
+          {"id": 2, "nested": {"id": 3, "name": "y"}},
+          {"name": "z", "list": [{"id": 4}]}
+        ]
+      },
+      "id": 5
+    })";
+    expect_fused_matches_independent(
+        {"$.meta.id", "$..id", "$.payload.rows.*.id", "$..nested..name",
+         "$.meta.*"},
+        document);
+}
+
+TEST(MultiEngine, TrashedLanesDoNotVetoSkips)
+{
+    // Lanes that can never match again ("$.absent.x") must agree to every
+    // skip; the live lane's results are unaffected and the dead lanes stay
+    // empty.
+    std::string document = R"({"a": {"big": [[[1, 2], 3], {"x": 4}]}, "b": 5})";
+    expect_fused_matches_independent({"$.absent.x", "$.b", "$..x", "$.zzz.*"},
+                                     document);
+}
+
+TEST(MultiEngine, IndexSelectorsAcrossLanes)
+{
+    // One counting lane forces array-entry tracking for the set; the
+    // non-counting lanes must be unaffected.
+    std::string document =
+        R"({"items": [{"v": 1}, {"v": 2}, {"v": 3}], "v": [10, 20]})";
+    expect_fused_matches_independent({"$.items[1].v", "$..v", "$.v[0]"},
+                                     document);
+    EXPECT_TRUE(MultiQuery::compile(std::vector<std::string>{"$.a[0]", "$.b"})
+                    .any_counting());
+}
+
+TEST(MultiEngine, GeneratedDatasetMixes)
+{
+    // Realistic multi-block documents: head-skip-able descendant queries
+    // fused with child-path queries over the same bytes.
+    std::string crossref = workloads::generate_crossref(200 * 1024);
+    expect_fused_matches_independent(
+        {"$..DOI", "$.items.*.title", "$..author..affiliation..name",
+         "$.items.*.author.*.ORCID"},
+        crossref);
+    std::string ast = workloads::generate_ast(150 * 1024);
+    expect_fused_matches_independent(
+        {"$..decl.name", "$..inner..inner..type.qualType", "$..range.end.col"},
+        ast);
+}
+
+TEST(MultiEngine, CountingSinkAgreesWithCollectingSink)
+{
+    std::vector<std::string> queries{"$..b", "$.a.*"};
+    std::string document = R"({"a": {"b": 1, "c": 2}, "b": 3})";
+    PaddedString padded(document);
+    MultiDescendEngine fused = MultiDescendEngine::for_queries(queries);
+    CollectingMultiSink collect(queries.size());
+    CountingMultiSink count(queries.size());
+    ASSERT_EQ(fused.run(padded, collect), EngineStatus{});
+    ASSERT_EQ(fused.run(padded, count), EngineStatus{});
+    std::size_t total = 0;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        EXPECT_EQ(count.count(q), collect.offsets(q).size());
+        total += collect.offsets(q).size();
+    }
+    EXPECT_EQ(count.total(), total);
+}
+
+TEST(MultiEngine, PerLaneMatchLimitFailsTheRun)
+{
+    // EngineLimits::max_match_count is enforced per lane, mirroring N
+    // independent runs: the lane with three matches trips a limit of two
+    // at its third match's offset even though the other lane is under it.
+    std::string document = R"({"a": 1, "b": {"a": 2}, "c": {"a": 3}})";
+    PaddedString padded(document);
+    EngineOptions options;
+    options.limits.max_match_count = 2;
+    MultiDescendEngine fused =
+        MultiDescendEngine::for_queries({"$..a", "$.a"}, options);
+    CollectingMultiSink sink(2);
+    EngineStatus status = fused.run(padded, sink);
+    EXPECT_EQ(status.code, StatusCode::kMatchLimit);
+
+    DescendEngine single(automaton::CompiledQuery::compile("$..a"), options);
+    OffsetSink single_sink;
+    EXPECT_EQ(single.run(padded, single_sink), status);
+}
+
+TEST(MultiEngine, MalformedDocumentFailsTheSet)
+{
+    PaddedString padded(R"({"a": {"b": 1})");  // truncated
+    MultiDescendEngine fused = MultiDescendEngine::for_queries({"$.a.b", "$..b"});
+    CollectingMultiSink sink(2);
+    EXPECT_FALSE(fused.run(padded, sink).ok());
+}
+
+// -------------------------------------------------------------- streaming
+
+/** NDJSON stream whose records exercise disagreement and failure. */
+std::string build_stream(std::size_t records)
+{
+    std::string text;
+    for (std::size_t i = 0; i < records; ++i) {
+        switch (i % 4) {
+        case 0:
+            text += R"({"meta": {"id": 1}, "payload": {"id": 2, "x": 3}})";
+            break;
+        case 1:
+            text += R"({"id": [4, {"id": 5}], "x": {"deep": {"id": 6}}})";
+            break;
+        case 2:
+            text += R"({"x": 7})";
+            break;
+        default:
+            text += R"({"payload": {"rows": [{"id": 8}, {"id": 9}]}})";
+            break;
+        }
+        text += i % 3 == 0 ? "\r\n" : "\n";
+    }
+    return text;
+}
+
+TEST(MultiStream, FusedStreamMatchesPerRecordIndependentRuns)
+{
+    std::vector<std::string> queries{"$..id", "$.meta.id", "$.payload.*",
+                                     "$.x"};
+    std::string text = build_stream(23);
+    PaddedString input(text);
+    std::vector<stream::RecordSpan> records =
+        stream::split_records(input, simd::best_kernels());
+
+    // Oracle: each record copied out and run through N single engines.
+    std::vector<CollectingMultiStreamSink::Match> expected;
+    for (std::size_t r = 0; r < records.size(); ++r) {
+        PaddedString copy(
+            input.view().substr(records[r].begin, records[r].size()));
+        std::vector<std::vector<std::size_t>> per_query =
+            independent_offsets(queries, copy, EngineOptions{});
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            for (std::size_t offset : per_query[q]) {
+                expected.push_back({q, r, offset});
+            }
+        }
+    }
+    // Replay order: records ascending, then queries ascending — exactly the
+    // oracle's nesting above once sorted by (record, query, offset).
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.record != b.record ? a.record < b.record
+                                                     : a.query < b.query;
+                     });
+
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        stream::StreamOptions options;
+        options.threads = threads;
+        options.records_per_batch = 3;  // force several batches
+        MultiStreamExecutor executor =
+            MultiStreamExecutor::for_queries(queries, options);
+        CollectingMultiStreamSink sink;
+        stream::StreamResult result = executor.run(input, sink);
+        EXPECT_EQ(result.records, records.size()) << threads << " threads";
+        EXPECT_TRUE(sink.errors().empty()) << threads << " threads";
+        EXPECT_EQ(sink.matches(), expected) << threads << " threads";
+        EXPECT_EQ(result.matches, expected.size()) << threads << " threads";
+    }
+}
+
+TEST(MultiStream, MalformedRecordFailsEveryLaneOfThatRecordOnly)
+{
+    std::string text = R"({"id": 1})" "\n" R"({"id": )" "\n" R"({"id": 3})" "\n";
+    PaddedString input(text);
+    MultiStreamExecutor executor = MultiStreamExecutor::for_queries(
+        std::vector<std::string>{"$.id", "$..id"});
+    CollectingMultiStreamSink sink;
+    stream::StreamResult result = executor.run(input, sink);
+    EXPECT_EQ(result.records, 3u);
+    EXPECT_EQ(result.failed_records, 1u);
+    ASSERT_EQ(sink.errors().size(), 1u);
+    EXPECT_EQ(sink.errors()[0].record, 1u);
+    // Records 0 and 2 contribute both lanes; record 1 contributes nothing.
+    ASSERT_EQ(sink.matches().size(), 4u);
+    for (const auto& match : sink.matches()) {
+        EXPECT_NE(match.record, 1u);
+    }
+
+    stream::StreamOptions fail_fast;
+    fail_fast.policy = stream::ErrorPolicy::kFailFast;
+    MultiStreamExecutor strict = MultiStreamExecutor::for_queries(
+        std::vector<std::string>{"$.id", "$..id"}, fail_fast);
+    CountingMultiStreamSink counting(2);
+    stream::StreamResult aborted = strict.run(input, counting);
+    EXPECT_FALSE(aborted.ok());
+    EXPECT_EQ(counting.failed_records(), 1u);
+}
+
+}  // namespace
+}  // namespace descend

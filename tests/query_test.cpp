@@ -94,6 +94,36 @@ TEST(QueryParser, EscapedLabels)
     EXPECT_EQ(control.selectors()[1].label_escaped, R"(tab\there)");
 }
 
+TEST(QueryParser, UnicodeEscapesDecodeToUtf8)
+{
+    // BMP code point: three UTF-8 bytes.
+    Query bmp = Query::parse(R"($['€'])");
+    EXPECT_EQ(bmp.selectors()[1].label, "\xE2\x82\xAC");
+
+    // UTF-16 surrogate pair for U+1F600: decoded as ONE code point into
+    // four UTF-8 bytes — the raw encoding a JSON document uses for the
+    // key, so label matching works byte-for-byte against unescaped
+    // documents.
+    Query pair = Query::parse("$['\\uD83D\\uDE00']");
+    EXPECT_EQ(pair.selectors()[1].label, "\xF0\x9F\x98\x80");
+}
+
+TEST(QueryParser, RejectsLoneSurrogates)
+{
+    for (const char* bad : {
+             R"($['\uD83D'])",        // lone high surrogate
+             R"($['\uDE00'])",        // lone low surrogate
+             "$['\\uD83D\\u0041']",   // high surrogate + non-surrogate \u
+             R"($['\uD83D\uD83D'])",  // high surrogate twice
+             R"($['\uD83Dx'])",       // high surrogate + raw char
+             R"($['\uD83D\n'])",      // high surrogate + other escape
+             R"($['\uD8'])",          // truncated hex
+             R"($['\uZZZZ'])",        // bad hex digits
+         }) {
+        EXPECT_THROW(Query::parse(bad), QueryError) << "query: " << bad;
+    }
+}
+
 TEST(QueryParser, RejectsMalformedQueries)
 {
     for (const char* bad :

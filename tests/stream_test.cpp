@@ -133,6 +133,27 @@ TEST(RecordSplitter, CrlfAndBlankLines)
               (std::vector<std::string>{"{\"a\":1}", "{\"b\":2}"}));
 }
 
+TEST(RecordSplitter, CarriageReturnSeparatesRecords)
+{
+    // Classic-Mac style CR-only separators split records exactly like LF.
+    PaddedString cr_only("{\"a\":1}\r{\"b\":2}\r{\"c\":3}");
+    EXPECT_EQ(record_texts(cr_only),
+              (std::vector<std::string>{"{\"a\":1}", "{\"b\":2}", "{\"c\":3}"}));
+    // CRLF is one separator, not two: the CR must not manufacture an
+    // extra (empty) record in front of the LF's split.
+    PaddedString crlf("{\"a\":1}\r\n{\"b\":2}");
+    EXPECT_EQ(record_texts(crlf),
+              (std::vector<std::string>{"{\"a\":1}", "{\"b\":2}"}));
+    // A raw 0x0D inside a string is content, not a separator.
+    PaddedString in_string("{\"a\":\"x\ry\"}\r{\"b\":2}");
+    std::vector<std::string> texts = record_texts(in_string);
+    ASSERT_EQ(texts.size(), 2u);
+    EXPECT_EQ(texts[0], "{\"a\":\"x\ry\"}");
+    // Trailing CR terminates the final record without adding an empty one.
+    EXPECT_EQ(record_texts(PaddedString("{\"a\":1}\r")),
+              (std::vector<std::string>{"{\"a\":1}"}));
+}
+
 TEST(RecordSplitter, EmptyAndWhitespaceOnlyInput)
 {
     EXPECT_TRUE(split(PaddedString("")).empty());

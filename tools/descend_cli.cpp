@@ -3,6 +3,7 @@
  * descend-cli: run JSONPath queries over JSON files from the command line.
  *
  *   descend-cli [options] '<query>' [file...]
+ *   descend-cli [options] --query Q1 --query Q2 ... [file...]
  *
  * Reads from stdin when no file is given. Options:
  *
@@ -10,6 +11,12 @@
  *   --offsets          print byte offsets instead of values
  *   --limit N          print at most N results (default: all)
  *   --engine NAME      descend (default) | surfer | ski | dom
+ *   --query Q          add a query to the set (repeatable). With more than
+ *                      one query the descend engine evaluates the whole set
+ *                      in one fused pass (one block classification, N
+ *                      automata); matches print as "query Q: value"
+ *   --queries FILE     add every query listed in FILE (one per line; blank
+ *                      lines and lines starting with '#' are skipped)
  *   --simd LEVEL       kernel tier: scalar | avx2 | avx512 (default: best
  *                      supported; unavailable tiers fall back). Also
  *                      settable via the DESCEND_SIMD_LEVEL env var, which
@@ -33,6 +40,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -44,13 +52,16 @@
 #include "descend/baselines/surfer_engine.h"
 #include "descend/descend.h"
 #include "descend/json/dom.h"
+#include "descend/multi/multi_stream.h"
 
 namespace {
 
 using namespace descend;
 
 struct CliOptions {
-    std::string query;
+    /** The query set: one entry = the classic single-query paths; more =
+     *  fused multi-query execution (descend engine only). */
+    std::vector<std::string> queries;
     std::vector<std::string> files;
     std::string engine = "descend";
     bool count_only = false;
@@ -68,8 +79,10 @@ void usage()
 {
     std::fputs(
         "usage: descend-cli [options] '<query>' [file...]\n"
+        "       descend-cli [options] --query Q1 --query Q2 ... [file...]\n"
         "  --count | --offsets | --limit N\n"
         "  --engine descend|surfer|ski|dom   --simd scalar|avx2|avx512 | --scalar\n"
+        "  --query Q (repeatable) | --queries FILE   fused multi-query set\n"
         "  --no-head-skip | --within-skip | --stats | --validate\n"
         "  --ndjson [--threads N] [--fail-fast]\n",
         stderr);
@@ -123,6 +136,31 @@ bool parse_args(int argc, char** argv, CliOptions& options)
                 return false;
             }
             options.limit = static_cast<std::size_t>(std::strtoull(argv[i], nullptr, 10));
+        } else if (arg == "--query") {
+            if (++i >= argc) {
+                return false;
+            }
+            options.queries.emplace_back(argv[i]);
+        } else if (arg == "--queries") {
+            if (++i >= argc) {
+                return false;
+            }
+            std::ifstream file(argv[i]);
+            if (!file) {
+                std::fprintf(stderr, "descend-cli: cannot open queries file '%s'\n",
+                             argv[i]);
+                return false;
+            }
+            std::string line;
+            while (std::getline(file, line)) {
+                if (!line.empty() && line.back() == '\r') {
+                    line.pop_back();
+                }
+                if (line.empty() || line[0] == '#') {
+                    continue;
+                }
+                options.queries.push_back(line);
+            }
         } else if (arg == "--engine") {
             if (++i >= argc) {
                 return false;
@@ -134,33 +172,39 @@ bool parse_args(int argc, char** argv, CliOptions& options)
             positional.push_back(std::move(arg));
         }
     }
-    if (positional.empty()) {
-        return false;
+    if (options.queries.empty()) {
+        // Classic form: the first positional is the query.
+        if (positional.empty()) {
+            return false;
+        }
+        options.queries.push_back(positional.front());
+        options.files.assign(positional.begin() + 1, positional.end());
+    } else {
+        // Explicit --query/--queries: every positional is a file.
+        options.files = std::move(positional);
     }
-    options.query = positional.front();
-    options.files.assign(positional.begin() + 1, positional.end());
     return true;
 }
 
 std::unique_ptr<JsonPathEngine> make_engine(const CliOptions& options)
 {
+    const std::string& query = options.queries.front();
     if (options.engine == "descend") {
         return std::make_unique<DescendEngine>(
-            automaton::CompiledQuery::compile(options.query),
-            options.engine_options);
+            automaton::CompiledQuery::compile(query), options.engine_options);
     }
     if (options.engine == "surfer") {
         return std::make_unique<SurferEngine>(
-            automaton::CompiledQuery::compile(options.query),
+            automaton::CompiledQuery::compile(query),
             options.engine_options.limits);
     }
     if (options.engine == "ski") {
-        return std::make_unique<SkiEngine>(query::Query::parse(options.query),
+        return std::make_unique<SkiEngine>(query::Query::parse(query),
                                            options.engine_options.simd,
                                            options.engine_options.limits);
     }
     if (options.engine == "dom") {
-        return std::make_unique<DomEngine>(query::Query::parse(options.query),
+        return std::make_unique<DomEngine>(query::Query::parse(query),
                                            options.engine_options.limits);
     }
     throw Error("unknown engine: " + options.engine);
@@ -241,6 +285,68 @@ int run_on(const CliOptions& options, const JsonPathEngine& engine,
 }
 
 /**
+ * Fused multi-query run over a single document: one classification pass,
+ * N automata (see src/descend/multi). Matches print per query in set
+ * order; --count prints one per-query count line.
+ */
+int run_multi(const CliOptions& options, const multi::MultiDescendEngine& engine,
+              const std::string& source_name, const PaddedString& document,
+              std::uint64_t compile_ns)
+{
+    if (options.validate) {
+        json::ParseOptions parse_options;
+        parse_options.max_depth = 1 << 16;
+        json::parse(document.view(), parse_options);  // throws on bad input
+    }
+    const char* prefix = options.files.size() > 1 ? source_name.c_str() : "";
+    const char* separator = options.files.size() > 1 ? ": " : "";
+
+    multi::CollectingMultiSink sink(engine.query_set().size());
+    RunStats stats = engine.run_with_stats(document, sink);
+    if (!stats.status.ok()) {
+        std::fprintf(stderr, "descend-cli: %s%s%s\n", prefix, separator,
+                     to_string(stats.status).c_str());
+        return 1;
+    }
+    std::size_t matches = 0;
+    for (std::size_t q = 0; q < engine.query_set().size(); ++q) {
+        const std::vector<std::size_t>& offsets = sink.offsets(q);
+        matches += offsets.size();
+        if (options.count_only) {
+            std::printf("%s%squery %zu: %zu\n", prefix, separator, q,
+                        offsets.size());
+            continue;
+        }
+        std::size_t shown = 0;
+        for (std::size_t offset : offsets) {
+            if (options.limit != 0 && ++shown > options.limit) {
+                std::printf("%s%squery %zu: ... (%zu more)\n", prefix,
+                            separator, q, offsets.size() - options.limit);
+                break;
+            }
+            if (options.offsets_only) {
+                std::printf("%s%squery %zu: %zu\n", prefix, separator, q,
+                            offset);
+            } else {
+                std::string_view value = extract_value(document, offset);
+                std::printf("%s%squery %zu: %.*s\n", prefix, separator, q,
+                            static_cast<int>(value.size()), value.data());
+            }
+        }
+    }
+    if (options.stats) {
+        obs::RunReport report;
+        report.engine = engine.name();
+        report.document_bytes = document.size();
+        report.matches = matches;
+        report.stats = stats;
+        report.stats.timings.add(obs::Phase::kCompile, compile_ns);
+        std::fprintf(stderr, "%s\n", obs::to_json(report).c_str());
+    }
+    return 0;
+}
+
+/**
  * NDJSON: SIMD record splitting + parallel sharded execution over the one
  * padded input buffer (see src/descend/stream). Matches arrive through the
  * stream sink in document order regardless of the thread count.
@@ -254,7 +360,8 @@ int run_ndjson(const CliOptions& options, const PaddedString& input)
     stream_options.engine = options.engine_options;
     obs::PhaseStopwatch compile_watch;
     stream::StreamExecutor executor(
-        automaton::CompiledQuery::compile(options.query), stream_options);
+        automaton::CompiledQuery::compile(options.queries.front()),
+        stream_options);
     const std::uint64_t compile_ns = compile_watch.elapsed_ns();
 
     const simd::Kernels& kernels =
@@ -333,6 +440,95 @@ int run_ndjson(const CliOptions& options, const PaddedString& input)
     return result.ok() ? 0 : 1;
 }
 
+/** NDJSON × fused query set: N queries × M records off one splitter pass. */
+int run_multi_ndjson(const CliOptions& options, const PaddedString& input)
+{
+    stream::StreamOptions stream_options;
+    stream_options.threads = options.threads;
+    stream_options.policy = options.fail_fast ? stream::ErrorPolicy::kFailFast
+                                              : stream::ErrorPolicy::kSkipRecord;
+    stream_options.engine = options.engine_options;
+    obs::PhaseStopwatch compile_watch;
+    multi::MultiStreamExecutor executor =
+        multi::MultiStreamExecutor::for_queries(options.queries, stream_options);
+    const std::uint64_t compile_ns = compile_watch.elapsed_ns();
+
+    const simd::Kernels& kernels =
+        simd::kernels_for(options.engine_options.simd);
+    obs::PhaseStopwatch split_watch;
+    std::vector<stream::RecordSpan> records =
+        stream::split_records(input, kernels);
+    const std::uint64_t split_ns = split_watch.elapsed_ns();
+
+    struct PrintingSink final : multi::MultiStreamSink {
+        const CliOptions& options;
+        const PaddedString& input;
+        const std::vector<stream::RecordSpan>& records;
+        std::size_t shown = 0;
+        std::size_t suppressed = 0;
+
+        PrintingSink(const CliOptions& options, const PaddedString& input,
+                     const std::vector<stream::RecordSpan>& records)
+            : options(options), input(input), records(records)
+        {
+        }
+
+        void on_match(std::size_t query, std::size_t record,
+                      std::size_t offset) override
+        {
+            if (options.count_only) {
+                return;
+            }
+            if (options.limit != 0 && shown >= options.limit) {
+                ++suppressed;
+                return;
+            }
+            ++shown;
+            if (options.offsets_only) {
+                std::printf("query %zu record %zu: %zu\n", query, record,
+                            offset);
+            } else {
+                std::string_view value =
+                    extract_value(input, records[record].begin + offset);
+                std::printf("query %zu record %zu: %.*s\n", query, record,
+                            static_cast<int>(value.size()), value.data());
+            }
+        }
+
+        void on_record_error(std::size_t record,
+                             const EngineStatus& status) override
+        {
+            std::fprintf(stderr, "descend-cli: record %zu: %s\n", record,
+                         to_string(status).c_str());
+        }
+    };
+
+    PrintingSink sink(options, input, records);
+    stream::StreamResult result = executor.run_records(input, records, sink);
+    if (sink.suppressed != 0) {
+        std::printf("... (%zu more)\n", sink.suppressed);
+    }
+    if (options.count_only) {
+        std::printf("%zu\n", result.matches);
+    }
+    if (options.stats) {
+        obs::StreamReport report;
+        report.engine = executor.engine().name();
+        report.document_bytes = input.size();
+        report.records = result.records;
+        report.matches = result.matches;
+        report.failed_records = result.failed_records;
+        report.record_blocks = result.record_blocks;
+        report.counters = result.counters;
+        report.timings = result.timings;
+        report.timings.add(obs::Phase::kCompile, compile_ns);
+        report.timings.add(obs::Phase::kSplit, split_ns);
+        report.error_tally = result.error_tally;
+        std::fprintf(stderr, "%s\n", obs::to_json(report).c_str());
+    }
+    return result.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -347,15 +543,32 @@ int main(int argc, char** argv)
                    stderr);
         return 2;
     }
+    const bool multi = options.queries.size() > 1;
+    if (multi && options.engine != "descend") {
+        std::fputs(
+            "descend-cli: multiple --query/--queries need the descend engine\n",
+            stderr);
+        return 2;
+    }
     try {
         obs::PhaseStopwatch compile_watch;
         std::unique_ptr<JsonPathEngine> engine =
-            options.ndjson ? nullptr : make_engine(options);
+            (options.ndjson || multi) ? nullptr : make_engine(options);
+        std::unique_ptr<multi::MultiDescendEngine> multi_engine;
+        if (multi && !options.ndjson) {
+            multi_engine = std::make_unique<multi::MultiDescendEngine>(
+                multi::MultiQuery::compile(options.queries),
+                options.engine_options);
+        }
         const std::uint64_t compile_ns = compile_watch.elapsed_ns();
         auto dispatch = [&](const std::string& name, const PaddedString& doc) {
-            return options.ndjson
-                       ? run_ndjson(options, doc)
-                       : run_on(options, *engine, name, doc, compile_ns);
+            if (options.ndjson) {
+                return multi ? run_multi_ndjson(options, doc)
+                             : run_ndjson(options, doc);
+            }
+            return multi ? run_multi(options, *multi_engine, name, doc,
+                                     compile_ns)
+                         : run_on(options, *engine, name, doc, compile_ns);
         };
         if (options.files.empty()) {
             return dispatch("<stdin>", read_stdin());

@@ -21,16 +21,27 @@
  * head-skip mode and the JSONSki baseline cannot flag trailing content
  * after an atomic root (see DESIGN.md, "Error handling & limits").
  *
+ * On accepted documents the harness additionally tightens each
+ * EngineLimits knob to just below the document's needs and demands the
+ * identical {status code, byte offset} from every engine (see the
+ * limit-status alignment section below).
+ *
  *   fuzz_engine [--iterations N] [--seed S] [--verbose]
  *   fuzz_engine --ndjson N [--seed S]
+ *   fuzz_engine --multi N [--seed S]
  *
  * --ndjson N: NDJSON mutation mode for the record-stream subsystem. Small
- * workload documents are concatenated into NDJSON streams, the *whole
- * stream* is mutated (including newline insertion/deletion, so record
- * boundaries themselves get attacked), and the sharded StreamExecutor — at
- * several thread counts, under both error policies — is checked against a
- * scalar reference splitter plus sequential per-record engine runs over
- * isolated PaddedString copies.
+ * workload documents are concatenated into NDJSON streams (LF, CRLF and
+ * bare-CR separators), the *whole stream* is mutated (including separator
+ * insertion/deletion, so record boundaries themselves get attacked), and
+ * the sharded StreamExecutor — at several thread counts, under both error
+ * policies — is checked against a scalar reference splitter plus
+ * sequential per-record engine runs over isolated PaddedString copies.
+ *
+ * --multi N: fused multi-query mode. Random query subsets run fused
+ * (src/descend/multi) against N independent single-query runs on mutated
+ * documents, at every kernel tier: identical per-query match sets when
+ * every independent run passes, identical statuses when all fail alike.
  *
  * Exits non-zero on the first disagreement, printing a self-contained
  * reproducer (seed dataset, mutation, document, statuses).
@@ -49,6 +60,7 @@
 #include "descend/baselines/surfer_engine.h"
 #include "descend/descend.h"
 #include "descend/json/dom.h"
+#include "descend/multi/multi_engine.h"
 #include "descend/workloads/datasets.h"
 
 namespace {
@@ -420,6 +432,153 @@ std::string offsets_text(const std::vector<std::size_t>& offsets)
     return text + "] (" + std::to_string(offsets.size()) + ")";
 }
 
+// ---------------------------------------------------------------------------
+// Limit-status alignment.
+//
+// On a document every engine accepts, tightening ONE EngineLimits knob to
+// just below what the document needs must produce the same EngineStatus —
+// code AND byte offset — from every engine:
+//
+//   max_match_count = N-1   -> {kMatchLimit,  offset of the N-th match}
+//   max_depth       = D-1   -> {kDepthLimit,  first opener reaching depth D}
+//   max_document_size = S-1 -> {kSizeLimit,   S-1}
+//
+// One documented exemption: head-skip subruns track depth relative to the
+// matched label's element, not the absolute document depth, so head-skip-
+// active configurations skip the depth-limit comparison (DESIGN.md).
+// ---------------------------------------------------------------------------
+
+/** Scalar scan: deepest nesting and the first opener that reaches it. */
+struct DepthProbe {
+    std::size_t max_depth = 0;
+    std::size_t opener = 0;  ///< offset of the first opener at max_depth
+};
+
+DepthProbe probe_depth(const std::string& doc)
+{
+    DepthProbe probe;
+    bool in_string = false;
+    bool escaped = false;
+    std::size_t depth = 0;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+        char c = doc[i];
+        if (in_string) {
+            if (escaped) {
+                escaped = false;
+            } else if (c == '\\') {
+                escaped = true;
+            } else if (c == '"') {
+                in_string = false;
+            }
+            continue;
+        }
+        if (c == '"') {
+            in_string = true;
+        } else if (c == '{' || c == '[') {
+            if (++depth > probe.max_depth) {
+                probe.max_depth = depth;
+                probe.opener = i;
+            }
+        } else if ((c == '}' || c == ']') && depth > 0) {
+            --depth;
+        }
+    }
+    return probe;
+}
+
+struct LimitCase {
+    const char* what;
+    EngineLimits limits;
+    EngineStatus expected;
+    bool exempt_head_skip = false;
+};
+
+/** The tight-limit cases this document supports (see block comment). */
+std::vector<LimitCase> limit_cases(const std::string& document,
+                                   const std::vector<std::size_t>& offsets)
+{
+    std::vector<LimitCase> cases;
+    if (!offsets.empty()) {
+        LimitCase c;
+        c.what = "match limit";
+        c.limits.max_match_count = offsets.size() - 1;
+        c.expected = {StatusCode::kMatchLimit, offsets.back()};
+        cases.push_back(c);
+    }
+    DepthProbe probe = probe_depth(document);
+    if (probe.max_depth >= 2) {
+        LimitCase c;
+        c.what = "depth limit";
+        c.limits.max_depth = probe.max_depth - 1;
+        c.expected = {StatusCode::kDepthLimit, probe.opener};
+        c.exempt_head_skip = true;
+        cases.push_back(c);
+    }
+    if (!document.empty()) {
+        LimitCase c;
+        c.what = "size limit";
+        c.limits.max_document_size = document.size() - 1;
+        c.expected = {StatusCode::kSizeLimit, document.size() - 1};
+        cases.push_back(c);
+    }
+    return cases;
+}
+
+std::string limit_problem(const LimitCase& c, const EngineStatus& got)
+{
+    return std::string(c.what) + " status diverges: expected " +
+           to_string(c.expected) + ", got " + to_string(got);
+}
+
+/**
+ * Re-runs dom / surfer / every descend configuration with each tightened
+ * limit and demands the exact expected status. Only called on documents
+ * the full-limit run accepted with identical match sets everywhere.
+ */
+int check_limit_statuses(const Corpus& corpus, const Mutation& mutation,
+                         const std::string& query_text,
+                         const automaton::CompiledQuery& compiled,
+                         const std::vector<std::size_t>& dom_offsets,
+                         const PaddedString& padded)
+{
+    for (const LimitCase& c : limit_cases(mutation.document, dom_offsets)) {
+        DomEngine dom(query::Query::parse(query_text), c.limits);
+        CountSink dom_sink;
+        EngineStatus dom_status = dom.run(padded, dom_sink);
+        if (dom_status != c.expected) {
+            return report(corpus, mutation, OracleClass::kOk, "dom", query_text,
+                          limit_problem(c, dom_status), mutation.document);
+        }
+
+        SurferEngine surfer(compiled, c.limits);
+        CountSink surfer_sink;
+        EngineStatus surfer_status = surfer.run(padded, surfer_sink);
+        if (surfer_status != c.expected) {
+            return report(corpus, mutation, OracleClass::kOk, "surfer",
+                          query_text, limit_problem(c, surfer_status),
+                          mutation.document);
+        }
+
+        for (EngineOptions options : descend_configurations()) {
+            bool head_skip_active = options.head_skipping &&
+                                    compiled.head_skip_label().has_value();
+            if (c.exempt_head_skip && head_skip_active) {
+                continue;
+            }
+            options.limits = c.limits;
+            DescendEngine engine(compiled, options);
+            CountSink sink;
+            EngineStatus status = engine.run(padded, sink);
+            if (status != c.expected) {
+                return report(corpus, mutation, OracleClass::kOk,
+                              "descend[" + describe(options) + "]", query_text,
+                              limit_problem(c, status), mutation.document);
+            }
+        }
+    }
+    return 0;
+}
+
 /**
  * Runs every engine over one (possibly mutated) document and checks the
  * cross-engine contract. Returns 0 when consistent.
@@ -537,19 +696,46 @@ int check_document(const Corpus& corpus, const Mutation& mutation, Stats& stats)
                               document);
             }
         }
+
+        // Tight-limit alignment: each knob set just below the document's
+        // needs must yield the identical status everywhere.
+        if (compare_matches) {
+            if (int rc = check_limit_statuses(corpus, mutation, query_text,
+                                              compiled, dom_sink.offsets(),
+                                              padded)) {
+                return rc;
+            }
+        }
     }
 
     // The JSONSki baseline: child-only query, status classification only
     // (its wildcard semantics differ by design, and it cannot see trailing
     // content after an atomic root).
     SkiEngine ski(query::Query::parse(corpus.ski_query));
-    CountSink ski_sink;
+    OffsetSink ski_sink;
     EngineStatus ski_status = ski.run(padded, ski_sink);
     if ((oracle == OracleClass::kMalformed || oracle == OracleClass::kEmpty ||
          oracle == OracleClass::kDepth) &&
         ski_status.ok()) {
         return report(corpus, mutation, oracle, "jsonski", corpus.ski_query,
                       "accepted a damaged document", document);
+    }
+    if (oracle == OracleClass::kOk && ski_status.ok()) {
+        // Limit alignment for JSONSki, with expectations derived from its
+        // own unlimited match list (its wildcard semantics differ by
+        // design, so the DOM run cannot provide them).
+        for (const LimitCase& c :
+             limit_cases(document, ski_sink.offsets())) {
+            SkiEngine limited(query::Query::parse(corpus.ski_query),
+                              simd::default_level(), c.limits);
+            CountSink limited_sink;
+            EngineStatus limited_status = limited.run(padded, limited_sink);
+            if (limited_status != c.expected) {
+                return report(corpus, mutation, oracle, "jsonski",
+                              corpus.ski_query,
+                              limit_problem(c, limited_status), document);
+            }
+        }
     }
     if (oracle != OracleClass::kOk) {
         stats.rejected += 1;
@@ -569,7 +755,9 @@ int check_document(const Corpus& corpus, const Mutation& mutation, Stats& stats)
  * preceded by an odd run of backslashes is never a string delimiter,
  * regardless of whether the run sits inside a string — on damaged streams
  * the two conventions genuinely differ and the classifier's is the
- * subsystem's contract.
+ * subsystem's contract. Out-of-string '\r' is a separator exactly like
+ * '\n' (a CRLF pair yields an empty middle segment the trim drops, so it
+ * splits once).
  */
 std::vector<stream::RecordSpan> reference_split(const std::string& text)
 {
@@ -596,7 +784,7 @@ std::vector<stream::RecordSpan> reference_split(const std::string& text)
         }
         if (c == '"' && !escaped) {
             in_string = !in_string;
-        } else if (c == '\n' && !in_string) {
+        } else if ((c == '\n' || c == '\r') && !in_string) {
             emit(start, i);
             start = i + 1;
         }
@@ -606,11 +794,13 @@ std::vector<stream::RecordSpan> reference_split(const std::string& text)
     return spans;
 }
 
-/** Mutates a stream: the single-document mutations plus newline attacks. */
+/** Mutates a stream: the single-document mutations plus separator attacks
+ *  ('\n' and '\r' insertion/deletion — CR is a separator too, and an
+ *  inserted CR next to an LF must still split only once). */
 template <typename Rng>
 std::optional<Mutation> mutate_stream(const std::string& seed, Rng& rng)
 {
-    switch (rng() % 4) {
+    switch (rng() % 5) {
         case 0: {  // insert a newline anywhere (splits a record, or lands
                    // inside a string where it must NOT split)
             std::string doc = seed;
@@ -618,13 +808,19 @@ std::optional<Mutation> mutate_stream(const std::string& seed, Rng& rng)
             doc.insert(at, 1, '\n');
             return Mutation{"insert '\\n' at " + std::to_string(at), doc};
         }
-        case 1: {  // delete a newline (fuses two records into one)
-            std::vector<std::size_t> sites = positions_of(seed, "\n");
+        case 1: {  // delete a separator (fuses two records into one)
+            std::vector<std::size_t> sites = positions_of(seed, "\n\r");
             if (sites.empty()) return std::nullopt;
             std::string doc = seed;
             std::size_t at = sites[pick(rng, sites.size())];
             doc.erase(at, 1);
-            return Mutation{"delete '\\n' at " + std::to_string(at), doc};
+            return Mutation{"delete separator at " + std::to_string(at), doc};
+        }
+        case 2: {  // insert a carriage return anywhere
+            std::string doc = seed;
+            std::size_t at = pick(rng, doc.size() + 1);
+            doc.insert(at, 1, '\r');
+            return Mutation{"insert '\\r' at " + std::to_string(at), doc};
         }
         default:
             return mutate(seed, rng);
@@ -767,7 +963,9 @@ int run_ndjson_mode(long iterations, std::uint64_t seed0, bool verbose)
         std::string text;
         for (std::size_t i = 0; i < 5; ++i) {
             text += workloads::generate(name, 400 + i * 230);
-            text += '\n';
+            // Cycle the separator style so pristine streams already cover
+            // LF, CRLF and bare-CR record boundaries.
+            text += i % 3 == 1 ? "\r\n" : (i % 3 == 2 ? "\r" : "\n");
         }
         corpora.push_back({name, text});
     }
@@ -810,12 +1008,204 @@ int run_ndjson_mode(long iterations, std::uint64_t seed0, bool verbose)
     return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Multi-query mutation mode: fused execution vs N independent runs.
+// ---------------------------------------------------------------------------
+
+int report_multi(const std::string& name, const Mutation& mutation,
+                 const std::vector<std::string>& queries,
+                 const std::string& configuration, const std::string& detail,
+                 const std::string& document)
+{
+    std::string query_list;
+    for (const std::string& q : queries) {
+        query_list += (query_list.empty() ? "" : " | ") + q;
+    }
+    std::printf(
+        "MULTI DISAGREEMENT\nseed: %s\nmutation: %s\nqueries: %s\n"
+        "configuration: %s\nproblem: %s\ndocument (%zu bytes):\n%.*s\n",
+        name.c_str(), mutation.description.c_str(), query_list.c_str(),
+        configuration.c_str(), detail.c_str(), document.size(),
+        static_cast<int>(document.size() > 2000 ? 2000 : document.size()),
+        document.c_str());
+    return 1;
+}
+
+/**
+ * Checks one (possibly mutated) document under one fused query subset:
+ * per kernel tier, the fused run must agree with N independent runs —
+ * identical per-query match sets when every independent run is ok,
+ * identical status when every independent run fails the same way.
+ *
+ * Detection asymmetry: an independent run in head-skip mode never observes
+ * the root element, while the fused pass head-skips only on a label common
+ * to EVERY lane — so the fused run may flag trailing content that the
+ * independent head-skip runs are documented to miss. That one outcome is
+ * tolerated; anything else the lanes did not report is a finding.
+ */
+int check_multi(const std::string& name, const Mutation& mutation,
+                const std::vector<std::string>& queries, bool within_skip,
+                Stats& stats)
+{
+    PaddedString padded(mutation.document);
+    bool any_head_skip = false;
+    for (const std::string& text : queries) {
+        auto compiled = automaton::CompiledQuery::compile(text);
+        any_head_skip =
+            any_head_skip || compiled.head_skip_label().has_value();
+    }
+    for (simd::Level level : available_levels()) {
+        EngineOptions options;
+        options.simd = level;
+        options.label_within_skipping = within_skip;
+        std::string configuration =
+            std::string("multi[") + simd::level_name(level) +
+            (within_skip ? "+within]" : "]");
+
+        std::vector<EngineStatus> statuses;
+        std::vector<std::vector<std::size_t>> expected;
+        for (const std::string& text : queries) {
+            DescendEngine engine(automaton::CompiledQuery::compile(text),
+                                 options);
+            OffsetSink sink;
+            statuses.push_back(engine.run(padded, sink));
+            expected.push_back(sink.offsets());
+        }
+        bool all_ok = true;
+        bool all_same = true;
+        for (const EngineStatus& status : statuses) {
+            all_ok = all_ok && status.ok();
+            all_same = all_same && status == statuses.front();
+        }
+
+        multi::MultiDescendEngine fused(multi::MultiQuery::compile(queries),
+                                        options);
+        multi::CollectingMultiSink sink(queries.size());
+        EngineStatus fused_status = fused.run(padded, sink);
+
+        if (all_ok) {
+            if (!fused_status.ok()) {
+                if (options.head_skipping && any_head_skip &&
+                    fused_status.code == StatusCode::kTrailingContent) {
+                    continue;  // fused structural pass outsees head-skips
+                }
+                return report_multi(name, mutation, queries, configuration,
+                                    "fused run failed where every "
+                                    "independent run passed: " +
+                                        to_string(fused_status),
+                                    mutation.document);
+            }
+            if (sink.all() != expected) {
+                for (std::size_t q = 0; q < queries.size(); ++q) {
+                    if (sink.all()[q] != expected[q]) {
+                        return report_multi(
+                            name, mutation, queries, configuration,
+                            "query " + std::to_string(q) +
+                                " matches diverge: independent " +
+                                offsets_text(expected[q]) + " vs fused " +
+                                offsets_text(sink.all()[q]),
+                            mutation.document);
+                    }
+                }
+            }
+            stats.still_valid += 1;
+        } else if (all_same) {
+            // Every lane rejects the document. The fused pass must reject
+            // too — but the *offset* (and with it the code picked among
+            // several defects) legitimately depends on the skip pattern,
+            // and consensus suppression walks regions the single runs
+            // fast-forward over, so detection can land earlier. Only the
+            // classification contract is shared: non-ok, and never a
+            // resource limit unless the lanes reported one.
+            if (fused_status.ok()) {
+                return report_multi(name, mutation, queries, configuration,
+                                    "fused run accepted a document every "
+                                    "independent run rejects (" +
+                                        to_string(statuses.front()) + ")",
+                                    mutation.document);
+            }
+            if (fused_status.is_limit() && !statuses.front().is_limit()) {
+                return report_multi(name, mutation, queries, configuration,
+                                    "fused run misclassified damage as a "
+                                    "resource limit: " +
+                                        to_string(fused_status),
+                                    mutation.document);
+            }
+            stats.rejected += 1;
+        }
+        // Mixed independent statuses (head-skip detection asymmetry):
+        // no cross-engine expectation holds; skip.
+    }
+    return 0;
+}
+
+int run_multi_mode(long iterations, std::uint64_t seed0, bool verbose)
+{
+    std::vector<Corpus> corpora;
+    std::size_t target = 1500;
+    for (const std::string& name : workloads::dataset_names()) {
+        corpora.push_back(build_corpus(name, target));
+        target = target >= 6000 ? 1500 : target + 600;
+    }
+
+    Stats stats;
+    // Pristine documents first: the full query set must already agree.
+    for (const Corpus& corpus : corpora) {
+        Mutation pristine{"none (pristine seed)", corpus.document};
+        for (bool within : {false, true}) {
+            if (int rc = check_multi(corpus.name, pristine, corpus.queries,
+                                     within, stats)) {
+                return rc;
+            }
+        }
+    }
+    for (long i = 0; i < iterations; ++i) {
+        const Corpus& corpus =
+            corpora[static_cast<std::size_t>(i) % corpora.size()];
+        std::mt19937_64 rng(seed0 * 0x9E3779B97F4A7C15ull +
+                            static_cast<std::uint64_t>(i) + 0xA5A5A5A5ull);
+        std::optional<Mutation> mutation = mutate(corpus.document, rng);
+        if (!mutation.has_value()) {
+            continue;
+        }
+        stats.mutants += 1;
+        // A random subset of >= 2 queries (the full set when the coin
+        // flips leave fewer), mixing child-wildcard and descendant lanes
+        // so skip consensus genuinely disagrees.
+        std::vector<std::string> subset;
+        for (const std::string& query : corpus.queries) {
+            if (rng() % 2 == 0) {
+                subset.push_back(query);
+            }
+        }
+        if (subset.size() < 2) {
+            subset = corpus.queries;
+        }
+        bool within = rng() % 2 == 1;
+        if (int rc = check_multi(corpus.name, *mutation, subset, within,
+                                 stats)) {
+            std::printf("iteration: %ld (reproduce with --seed %llu)\n", i,
+                        static_cast<unsigned long long>(seed0));
+            return rc;
+        }
+        if (verbose && (i + 1) % 500 == 0) {
+            std::printf("... %ld/%ld\n", i + 1, iterations);
+        }
+    }
+    std::printf("fuzz_engine --multi: %ld mutants over %zu seeds OK\n"
+                "  parity-checked tier-runs: ok %ld, uniformly rejected %ld\n",
+                stats.mutants, corpora.size(), stats.still_valid,
+                stats.rejected);
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
 {
     long iterations = 10000;
     long ndjson_iterations = -1;
+    long multi_iterations = -1;
     std::uint64_t seed0 = 1;
     bool verbose = false;
     for (int i = 1; i < argc; ++i) {
@@ -824,6 +1214,14 @@ int main(int argc, char** argv)
             ndjson_iterations = std::strtol(argv[++i], &end, 10);
             if (end == argv[i] || *end != '\0' || ndjson_iterations < 0) {
                 std::fprintf(stderr, "fuzz_engine: bad --ndjson '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--multi") == 0 && i + 1 < argc) {
+            char* end = nullptr;
+            multi_iterations = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || multi_iterations < 0) {
+                std::fprintf(stderr, "fuzz_engine: bad --multi '%s'\n",
                              argv[i]);
                 return 2;
             }
@@ -847,12 +1245,16 @@ int main(int argc, char** argv)
         } else {
             std::fprintf(stderr,
                          "usage: fuzz_engine [--iterations N] [--seed S] "
-                         "[--verbose] | --ndjson N [--seed S]\n");
+                         "[--verbose] | --ndjson N [--seed S] "
+                         "| --multi N [--seed S]\n");
             return 2;
         }
     }
     if (ndjson_iterations >= 0) {
         return run_ndjson_mode(ndjson_iterations, seed0, verbose);
+    }
+    if (multi_iterations >= 0) {
+        return run_multi_mode(multi_iterations, seed0, verbose);
     }
 
     std::vector<Corpus> corpora;
