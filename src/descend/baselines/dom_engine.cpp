@@ -64,13 +64,30 @@ bool selector_admits(const Selector& s, const std::string* key, std::uint64_t in
 /** Node-semantics evaluator: a bitset of query positions per node. */
 class NodeEval {
 public:
-    NodeEval(const std::vector<Selector>& selectors, MatchSink& sink)
-        : selectors_(selectors), final_(selectors.size() - 1), sink_(sink)
+    /** @param gate / @p status optional governance: polled once per node
+     *  visit; a violation latches into *status and stops the walk. */
+    NodeEval(const std::vector<Selector>& selectors, MatchSink& sink,
+             BudgetGate* gate = nullptr, EngineStatus* status = nullptr)
+        : selectors_(selectors),
+          final_(selectors.size() - 1),
+          sink_(sink),
+          gate_(gate),
+          status_(status)
     {
     }
 
     void visit(const json::Value& node, std::uint64_t states)
     {
+        if (gate_ != nullptr) {
+            if (!status_->ok()) {
+                return;
+            }
+            StatusCode over = gate_->poll();
+            if (over != StatusCode::kOk) {
+                *status_ = {over, node.source_offset()};
+                return;
+            }
+        }
         if (states == 0) {
             return;
         }
@@ -112,6 +129,8 @@ private:
     const std::vector<Selector>& selectors_;
     std::size_t final_;
     MatchSink& sink_;
+    BudgetGate* gate_;
+    EngineStatus* status_;
 };
 
 /** Path-semantics evaluator: multiplicities instead of a bitset. */
@@ -184,12 +203,35 @@ EngineStatus DomEngine::run(const PaddedString& document, MatchSink& sink) const
     if (!status.ok()) {
         return status;
     }
+    if (budget_.active()) {
+        // An already-violated budget fails before any work, at offset 0 —
+        // matching the batched engines' deterministic anchor.
+        StatusCode over = budget_.exceeded();
+        if (over != StatusCode::kOk) {
+            return {over, 0};
+        }
+    }
     json::ParseOptions parse_options;
     parse_options.max_depth = limits_.max_depth;
     try {
         json::Document dom = json::parse(document.view(), parse_options);
+        if (budget_.active()) {
+            // The parse is not internally polled; re-check before the walk
+            // so a deadline that expired mid-parse is still honoured.
+            StatusCode over = budget_.exceeded();
+            if (over != StatusCode::kOk) {
+                return {over, 0};
+            }
+        }
         LimitingSink limited(sink, limits_.max_match_count);
-        evaluate(dom.root(), limited);
+        BudgetGate gate(budget_);
+        EngineStatus governance;
+        NodeEval eval(query_.selectors(), limited,
+                      budget_.active() ? &gate : nullptr, &governance);
+        eval.visit(dom.root(), 1);
+        if (!governance.ok()) {
+            return governance;
+        }
         return limited.status();
     } catch (const ParseError& error) {
         return {error.code(), error.position()};

@@ -24,8 +24,11 @@ namespace descend {
 
 class DomEngine final : public JsonPathEngine {
 public:
-    explicit DomEngine(query::Query query, EngineLimits limits = {})
-        : query_(std::move(query)), limits_(limits)
+    /** @param budget run governance; polled per DOM node during evaluation
+     *  and around the parse (see util/budget.h). */
+    explicit DomEngine(query::Query query, EngineLimits limits = {},
+                       RunBudget budget = {})
+        : query_(std::move(query)), limits_(limits), budget_(budget)
     {
     }
 
@@ -52,6 +55,7 @@ public:
 private:
     query::Query query_;
     EngineLimits limits_;
+    RunBudget budget_;
 };
 
 }  // namespace descend

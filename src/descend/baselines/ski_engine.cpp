@@ -9,8 +9,8 @@ namespace descend {
 using Kind = StructuralIterator::Kind;
 
 SkiEngine::SkiEngine(const query::Query& query, simd::Level level,
-                     EngineLimits limits)
-    : kernels_(&simd::kernels_for(level)), limits_(limits)
+                     EngineLimits limits, RunBudget budget)
+    : kernels_(&simd::kernels_for(level)), limits_(limits), budget_(budget)
 {
     for (const query::Selector& selector : query.selectors()) {
         switch (selector.kind) {
@@ -39,6 +39,14 @@ EngineStatus SkiEngine::run(const PaddedString& document, MatchSink& sink) const
     if (!status.ok()) {
         return status;
     }
+    if (budget_.active()) {
+        // Pre-expired budget: fail before any work, at offset 0 — before
+        // the `$` fast path, matching the main engine's order.
+        StatusCode over = budget_.exceeded();
+        if (over != StatusCode::kOk) {
+            return {over, 0};
+        }
+    }
     if (levels_.empty()) {
         // `$`: the whole document, without scanning it (see DESIGN.md).
         StructuralIterator iter(document, *kernels_);
@@ -52,7 +60,8 @@ EngineStatus SkiEngine::run(const PaddedString& document, MatchSink& sink) const
     // locally invisible to them; the shared validator's whole-document
     // balances catch it at the end-of-run verdict.
     StructuralValidator validator;
-    StructuralIterator iter(document, *kernels_, &validator, limits_.max_depth);
+    StructuralIterator iter(document, *kernels_, &validator, limits_.max_depth,
+                            nullptr, budget_.active() ? &budget_ : nullptr);
     StructuralIterator::Event root = iter.next();
     if (root.kind == Kind::kClosing) {
         return {StatusCode::kUnbalancedStructure, root.pos};

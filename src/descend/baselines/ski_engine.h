@@ -30,10 +30,12 @@ namespace descend {
 
 class SkiEngine final : public JsonPathEngine {
 public:
-    /** @throws QueryError if the query uses descendant selectors. */
+    /** @throws QueryError if the query uses descendant selectors.
+     *  @param budget run governance, checked at batch-refill granularity
+     *  by the underlying structural iterator (see util/budget.h). */
     explicit SkiEngine(const query::Query& query,
                        simd::Level level = simd::default_level(),
-                       EngineLimits limits = {});
+                       EngineLimits limits = {}, RunBudget budget = {});
 
     static SkiEngine for_query(std::string_view query_text)
     {
@@ -123,6 +125,7 @@ private:
     std::vector<Level> levels_;
     const simd::Kernels* kernels_;
     EngineLimits limits_;
+    RunBudget budget_;
 };
 
 }  // namespace descend

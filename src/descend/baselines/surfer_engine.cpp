@@ -13,11 +13,12 @@ namespace {
 class SurferHandler final : public json::SaxHandler {
 public:
     SurferHandler(const automaton::CompiledQuery& query, const EngineLimits& limits,
-                  MatchSink& sink)
+                  const RunBudget& budget, MatchSink& sink)
         : query_(query),
           alphabet_(query.alphabet()),
           counting_(query.has_indices()),
           limits_(limits),
+          gate_(budget),
           sink_(sink)
     {
         state_ = query_.initial_state();
@@ -40,6 +41,9 @@ public:
         if (!status_.ok()) {
             return;
         }
+        if (!within_budget(offset)) {
+            return;
+        }
         if (!util::is_valid_utf8(raw_key)) {
             // offset is the key's opening quote; its bytes start after it.
             fail(StatusCode::kInvalidUtf8InLabel, offset + 1);
@@ -51,6 +55,9 @@ public:
     void on_atom(std::string_view, std::size_t offset) override
     {
         if (!status_.ok()) {
+            return;
+        }
+        if (!within_budget(offset)) {
             return;
         }
         if (stack_.empty()) {
@@ -82,6 +89,18 @@ private:
         }
     }
 
+    /** Governance poll, once per SAX event (stride-amortized clock reads).
+     *  Returns false when the run should stop, with the status latched. */
+    bool within_budget(std::size_t offset)
+    {
+        StatusCode over = gate_.poll();
+        if (over != StatusCode::kOk) {
+            fail(over, offset);
+            return false;
+        }
+        return true;
+    }
+
     void report(std::size_t offset)
     {
         if (++matches_ > limits_.max_match_count) {
@@ -111,6 +130,9 @@ private:
         if (!status_.ok()) {
             return;
         }
+        if (!within_budget(offset)) {
+            return;
+        }
         if (stack_.empty() && root_done_) {
             fail(StatusCode::kTrailingContent, offset);
             return;
@@ -130,6 +152,9 @@ private:
     void leave(std::size_t offset, bool is_array)
     {
         if (!status_.ok()) {
+            return;
+        }
+        if (!within_budget(offset)) {
             return;
         }
         if (stack_.empty()) {
@@ -153,6 +178,7 @@ private:
     const automaton::Alphabet& alphabet_;
     bool counting_;
     const EngineLimits& limits_;
+    BudgetGate gate_;
     MatchSink& sink_;
     int state_ = 0;
     std::optional<std::string_view> pending_key_;
@@ -170,6 +196,14 @@ EngineStatus SurferEngine::run(const PaddedString& document, MatchSink& sink) co
     if (!status.ok()) {
         return status;
     }
+    if (budget_.active()) {
+        StatusCode over = budget_.exceeded();
+        if (over != StatusCode::kOk) {
+            // Pre-expired budget: fail before any work, at offset 0 —
+            // before the `$` fast path, matching the main engine's order.
+            return {over, 0};
+        }
+    }
     if (query_.root_accepting()) {
         // `$` selects the whole document without scanning it (matching the
         // main engine's O(1) path; see DESIGN.md).
@@ -180,7 +214,7 @@ EngineStatus SurferEngine::run(const PaddedString& document, MatchSink& sink) co
         }
         return {};
     }
-    SurferHandler handler(query_, limits_, sink);
+    SurferHandler handler(query_, limits_, budget_, sink);
     EngineStatus sax_status = json::sax_parse(document.view(), handler);
     if (!handler.status().ok()) {
         return handler.status();

@@ -16,15 +16,20 @@ namespace descend {
 
 class SurferEngine final : public JsonPathEngine {
 public:
-    explicit SurferEngine(automaton::CompiledQuery query, EngineLimits limits = {})
-        : query_(std::move(query)), limits_(limits)
+    /** @param budget run governance; polled at a fixed stride of SAX
+     *  events (see util/budget.h). */
+    explicit SurferEngine(automaton::CompiledQuery query, EngineLimits limits = {},
+                          RunBudget budget = {})
+        : query_(std::move(query)), limits_(limits), budget_(budget)
     {
     }
 
     static SurferEngine for_query(std::string_view query_text,
-                                  EngineLimits limits = {})
+                                  EngineLimits limits = {},
+                                  RunBudget budget = {})
     {
-        return SurferEngine(automaton::CompiledQuery::compile(query_text), limits);
+        return SurferEngine(automaton::CompiledQuery::compile(query_text), limits,
+                            budget);
     }
 
     std::string name() const override { return "jsurfer"; }
@@ -34,6 +39,7 @@ public:
 private:
     automaton::CompiledQuery query_;
     EngineLimits limits_;
+    RunBudget budget_;
 };
 
 }  // namespace descend

@@ -1,5 +1,7 @@
 #include "descend/classify/block_batch.h"
 
+#include "descend/fault/failpoints.h"
+
 namespace descend::classify {
 
 const simd::BlockMasks& BatchedBlockStream::refill(std::size_t block_start) noexcept
@@ -14,6 +16,28 @@ const simd::BlockMasks& BatchedBlockStream::refill(std::size_t block_start) noex
     ring_start_ = block_start;
     obs::add(counters_, obs::Counter::kBatchRefills);
     obs::add(counters_, obs::Counter::kBlocksClassified, simd::kBatchBlocks);
+    // Governance rides the refill boundary: one poll per kBatchSize bytes.
+    // The violation latches with this refill's offset — the masks just
+    // produced stay valid, consumers park when they see the latch.
+    if (budget_ != nullptr && interrupt_.ok()) {
+        StatusCode over = budget_->exceeded();
+        if (over != StatusCode::kOk) {
+            interrupt_ = {over, block_start};
+        }
+    }
+    if constexpr (fault::kEnabled) {
+        if (interrupt_.ok() && fault::should_fire(fault::Site::kBatchRefill)) {
+            // Payload: the StatusCode to force; anything out of range (or
+            // kOk) defaults to a deadline hit.
+            auto code = static_cast<StatusCode>(
+                fault::payload(fault::Site::kBatchRefill));
+            if (static_cast<std::size_t>(code) >= kStatusCodeCount ||
+                code == StatusCode::kOk) {
+                code = StatusCode::kDeadlineExceeded;
+            }
+            interrupt_ = {code, block_start};
+        }
+    }
     return ring_[0];
 }
 

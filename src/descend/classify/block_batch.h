@@ -35,6 +35,8 @@
 #include "descend/classify/quote_classifier.h"
 #include "descend/obs/counters.h"
 #include "descend/simd/dispatch.h"
+#include "descend/util/budget.h"
+#include "descend/util/status.h"
 
 namespace descend::classify {
 
@@ -43,10 +45,16 @@ public:
     /** @param counters optional obs registry: refill() feeds the batch-
      *  refill and blocks-classified counters, restart() the stop/resume
      *  switch counter. Null (and any build with DESCEND_OBS=OFF) counts
-     *  nothing. */
+     *  nothing.
+     *  @param budget optional run budget, polled once per refill (one
+     *  check per kBatchSize input bytes). A violation latches interrupt()
+     *  with the refill's block offset; consumers observe the latch after
+     *  pulling masks and park their pipelines. Null (the default, and
+     *  what engines pass for an inactive budget) costs one null test. */
     BatchedBlockStream(const std::uint8_t* data, const simd::Kernels& kernels,
-                       obs::Counters* counters = nullptr) noexcept
-        : data_(data), kernels_(&kernels), counters_(counters)
+                       obs::Counters* counters = nullptr,
+                       const RunBudget* budget = nullptr) noexcept
+        : data_(data), kernels_(&kernels), counters_(counters), budget_(budget)
     {
     }
 
@@ -85,6 +93,15 @@ public:
 
     const simd::Kernels& kernels() const noexcept { return *kernels_; }
 
+    /**
+     * The budget/failpoint interrupt latch: ok() until a refill observes
+     * an exceeded budget (or an armed batch_refill failpoint), then the
+     * violation's status with the refill's first block offset, held for
+     * the stream's lifetime. The masks of the interrupting refill are
+     * still valid — consumers check the latch after masks() and stop.
+     */
+    const EngineStatus& interrupt() const noexcept { return interrupt_; }
+
 private:
     static constexpr std::size_t kInvalid = ~std::size_t{0};
 
@@ -94,6 +111,8 @@ private:
     const std::uint8_t* data_;
     const simd::Kernels* kernels_;
     obs::Counters* counters_;
+    const RunBudget* budget_ = nullptr;
+    EngineStatus interrupt_;
     simd::BatchCarry carry_;
     std::size_t ring_start_ = kInvalid;
     simd::BlockMasks ring_[simd::kBatchBlocks];

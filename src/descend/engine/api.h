@@ -22,6 +22,7 @@
 #include "descend/engine/padded_string.h"
 #include "descend/obs/run_stats.h"
 #include "descend/simd/dispatch.h"
+#include "descend/util/budget.h"
 #include "descend/util/status.h"
 
 namespace descend {
@@ -107,6 +108,17 @@ struct EngineOptions {
     bool validate_structure = true;
     /** Resource limits enforced during the run (see util/status.h). */
     EngineLimits limits;
+    /**
+     * Run governance (see util/budget.h): a steady-clock deadline plus an
+     * optional CancelToken, polled at batch-refill granularity (once per
+     * simd::kBatchSize bytes) in the batched engines and at an equivalent
+     * stride in the scalar baselines. The default is inactive — no clock
+     * reads, no overhead beyond one null test per refill. A violation
+     * surfaces as kDeadlineExceeded/kCancelled with the offset of the
+     * first unprocessed block. The referenced CancelToken (if any) must
+     * outlive every run using these options.
+     */
+    RunBudget budget;
 };
 
 // RunStats lives in obs/run_stats.h: it backs the engine's status paths in

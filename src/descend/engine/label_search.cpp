@@ -12,12 +12,13 @@ using chars::is_ws_byte;
 LabelSearch::LabelSearch(PaddedView input, const simd::Kernels& kernels,
                          std::string_view escaped_label,
                          StructuralValidator* validator,
-                         obs::BlockAccountant* accountant)
+                         obs::BlockAccountant* accountant,
+                         const RunBudget* budget)
     : data_(input.data()),
       size_(input.size()),
       end_((input.size() + simd::kBlockSize - 1) / simd::kBlockSize * simd::kBlockSize),
       blocks_(input.data(), kernels,
-              accountant == nullptr ? nullptr : accountant->counters()),
+              accountant == nullptr ? nullptr : accountant->counters(), budget),
       label_(escaped_label),
       validator_(validator),
       accountant_(accountant)
@@ -30,6 +31,16 @@ LabelSearch::LabelSearch(PaddedView input, const simd::Kernels& kernels,
 void LabelSearch::classify_block()
 {
     const simd::BlockMasks& masks = blocks_.masks(block_start_);
+    if (!blocks_.interrupt().ok()) {
+        // Budget violation latched by the refill: park the search; the
+        // engine reads status() once next() runs dry.
+        if (status_.ok()) {
+            status_ = blocks_.interrupt();
+        }
+        block_start_ = end_;
+        candidates_ = 0;
+        return;
+    }
     block_entry_quote_state_ = classify::BatchedBlockStream::entry_state(masks);
     // Slice end bound: clip the final partial block so candidates (and the
     // validator's balances) never come from past-the-end bytes.
@@ -66,7 +77,8 @@ bool LabelSearch::advance_block()
         return false;
     }
     classify_block();
-    return true;
+    // classify_block may have parked the search on a budget interrupt.
+    return block_start_ < end_;
 }
 
 bool LabelSearch::verify(std::size_t quote_pos, std::size_t& colon_pos) const

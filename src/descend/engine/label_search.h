@@ -39,11 +39,22 @@ public:
      *  exactly one of the two pipelines).
      *  @param accountant optional shared obs accountant: blocks this
      *  search classifies first are attributed to head-skip, and the
-     *  candidate/hit counters of the bytewise verification are fed. */
+     *  candidate/hit counters of the bytewise verification are fed.
+     *  @param budget optional run budget, polled at batch-refill
+     *  granularity; a violation parks the search (next() reports end) and
+     *  latches status(). Must outlive the search when non-null. */
     LabelSearch(PaddedView input, const simd::Kernels& kernels,
                 std::string_view escaped_label,
                 StructuralValidator* validator = nullptr,
-                obs::BlockAccountant* accountant = nullptr);
+                obs::BlockAccountant* accountant = nullptr,
+                const RunBudget* budget = nullptr);
+
+    /**
+     * Governance flag raised while searching: a budget violation parks the
+     * search at end of input, so the engine observes the status when
+     * next() runs dry (mirroring StructuralIterator::status()).
+     */
+    const EngineStatus& status() const noexcept { return status_; }
 
     struct Occurrence {
         std::size_t quote_pos;  ///< the label's opening quote
@@ -75,6 +86,7 @@ private:
     std::string label_;
     StructuralValidator* validator_ = nullptr;
     obs::BlockAccountant* accountant_ = nullptr;
+    EngineStatus status_;
 
     std::size_t block_start_ = 0;
     std::uint64_t candidates_ = 0;

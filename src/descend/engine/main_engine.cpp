@@ -27,12 +27,15 @@ using DepthStack = InlineVector<Frame, 128>;
 template <typename Sink>
 class Simulation {
 public:
+    /** @param budget the run's governance (null when inactive); threaded
+     *  into the pipelines run_head_skip constructs itself. */
     Simulation(const automaton::CompiledQuery& query, const EngineOptions& options,
-               Sink& sink, RunStats& stats)
+               Sink& sink, RunStats& stats, const RunBudget* budget = nullptr)
         : cq_(query),
           options_(options),
           sink_(sink),
           stats_(stats),
+          budget_(budget),
           other_(query.alphabet().other_symbol()),
           counting_(query.has_indices())
     {
@@ -349,6 +352,13 @@ public:
                     break;
                 }
                 case Kind::kNone:
+                    // A parked iterator (budget interrupt latched at a
+                    // refill) runs dry exactly like end-of-input; surface
+                    // its status so the interrupt is not mistaken for a
+                    // clean finish.
+                    if (!iter.status().ok()) {
+                        fail(iter.status().code, iter.status().offset);
+                    }
                     return;
             }
         }
@@ -371,9 +381,10 @@ public:
 
         // The search is constructed first: it owns block 0 until the first
         // handoff, so the accountant attributes the lead-in to head-skip.
-        LabelSearch search(document, kernels, label, validator, accountant);
+        LabelSearch search(document, kernels, label, validator, accountant,
+                           budget_);
         StructuralIterator iter(document, kernels, validator,
-                                options_.limits.max_depth, accountant);
+                                options_.limits.max_depth, accountant, budget_);
 
         while (auto occurrence = search.next()) {
             stats_.counters.add(obs::Counter::kHeadSkipJumps);
@@ -401,6 +412,17 @@ public:
                 }
             }
         }
+        // A budget violation inside either pipeline parks it silently
+        // (next() runs dry); surface it here, before the caller consults
+        // the validator verdict on a stream that was never fully accounted.
+        // The search and the iterator are separate block streams, so each
+        // latch must be consulted on its own.
+        if (status_.ok() && !search.status().ok()) {
+            fail(search.status().code, search.status().offset);
+        }
+        if (status_.ok() && !iter.status().ok()) {
+            fail(iter.status().code, iter.status().offset);
+        }
     }
 
 private:
@@ -426,6 +448,7 @@ private:
     const EngineOptions& options_;
     Sink& sink_;
     RunStats& stats_;
+    const RunBudget* budget_ = nullptr;
     const int other_;
     const bool counting_;
     EngineStatus status_;
@@ -446,8 +469,24 @@ std::string DescendEngine::name() const
     return std::string("descend-") + kernels_->name;
 }
 
+namespace {
+
+/** Books a governance outcome in the obs counters (deadline/cancel hits
+ *  are rare; the tally rides the failure path only). */
+void count_governance(RunStats& stats)
+{
+    if (stats.status.code == StatusCode::kDeadlineExceeded) {
+        stats.counters.add(obs::Counter::kDeadlineHits);
+    } else if (stats.status.code == StatusCode::kCancelled) {
+        stats.counters.add(obs::Counter::kCancelHits);
+    }
+}
+
+}  // namespace
+
 template <typename Sink>
-RunStats DescendEngine::dispatch(PaddedView document, Sink& sink) const
+RunStats DescendEngine::dispatch(PaddedView document, Sink& sink,
+                                 const RunBudget& budget) const
 {
     RunStats stats;
     // Shared by every pipeline over this document (exactly like the
@@ -456,8 +495,20 @@ RunStats DescendEngine::dispatch(PaddedView document, Sink& sink) const
     // path, so the accounting invariant — the six block counters sum to
     // ceil(size / kBlockSize) — holds for any status, any options.
     obs::BlockAccountant accountant(&stats.counters);
+    // Null when inactive: the block stream then skips governance
+    // entirely, keeping the default path at one pointer test per refill.
+    const RunBudget* budget_ptr = budget.active() ? &budget : nullptr;
     stats.status = preflight_document(document, options_.limits);
+    if (stats.status.ok() && budget_ptr != nullptr) {
+        // An already-violated budget fails before any work, at offset 0 —
+        // the deterministic floor the stream executor's semantics pin on.
+        StatusCode over = budget.exceeded();
+        if (over != StatusCode::kOk) {
+            stats.status = {over, 0};
+        }
+    }
     if (!stats.status.ok()) {
+        count_governance(stats);
         accountant.finish(document.size());
         return stats;
     }
@@ -482,7 +533,7 @@ RunStats DescendEngine::dispatch(PaddedView document, Sink& sink) const
     // fast-forwards can step across.
     StructuralValidator validator;
     StructuralValidator* vptr = options_.validate_structure ? &validator : nullptr;
-    Simulation<Sink> simulation(query_, options_, sink, stats);
+    Simulation<Sink> simulation(query_, options_, sink, stats, budget_ptr);
     if (query_.head_skip_label().has_value() && options_.head_skipping) {
         simulation.run_head_skip(document, *kernels_, vptr, &accountant);
         stats.status = simulation.status();
@@ -491,11 +542,12 @@ RunStats DescendEngine::dispatch(PaddedView document, Sink& sink) const
         if (stats.status.ok() && vptr != nullptr) {
             stats.status = validator.verdict(document.size());
         }
+        count_governance(stats);
         accountant.finish(document.size());
         return stats;
     }
     StructuralIterator iter(document, *kernels_, vptr, options_.limits.max_depth,
-                            &accountant);
+                            &accountant, budget_ptr);
     simulation.run_main_loop(iter, /*at_document_root=*/true);
     stats.status = simulation.status();
     if (stats.status.ok()) {
@@ -511,22 +563,29 @@ RunStats DescendEngine::dispatch(PaddedView document, Sink& sink) const
         // them as the tail).
         stats.status = validator.verdict(document.size());
     }
+    count_governance(stats);
     accountant.finish(document.size());
     return stats;
 }
 
 EngineStatus DescendEngine::run(PaddedView document, MatchSink& sink) const
 {
-    return dispatch(document, sink).status;
+    return dispatch(document, sink, options_.budget).status;
 }
 
 RunStats DescendEngine::run_with_stats(PaddedView document, MatchSink& sink) const
+{
+    return run_with_stats(document, sink, options_.budget);
+}
+
+RunStats DescendEngine::run_with_stats(PaddedView document, MatchSink& sink,
+                                       const RunBudget& budget) const
 {
     // A stopwatch rather than a scoped timer: the timing must land in the
     // returned object, and a destructor firing after the return-value copy
     // would miss it.
     obs::PhaseStopwatch watch;
-    RunStats stats = dispatch(document, sink);
+    RunStats stats = dispatch(document, sink, budget);
     stats.timings.add(obs::Phase::kAutomaton, watch.elapsed_ns());
     return stats;
 }
@@ -545,7 +604,7 @@ CountResult DescendEngine::count_checked(PaddedView document) const
 {
     DirectCounter counter;
     CountResult result;
-    result.status = dispatch(document, counter).status;
+    result.status = dispatch(document, counter, options_.budget).status;
     result.count = counter.count;
     return result;
 }

@@ -64,6 +64,14 @@ public:
     /** Like run(), additionally reporting what the engine did. */
     RunStats run_with_stats(PaddedView document, MatchSink& sink) const;
 
+    /**
+     * Budget-override run: governs this one run by @p budget instead of
+     * options().budget — how the stream executor gives each record its
+     * own slice of a stream-level budget without rebuilding engines.
+     */
+    RunStats run_with_stats(PaddedView document, MatchSink& sink,
+                            const RunBudget& budget) const;
+
     const automaton::CompiledQuery& compiled_query() const noexcept { return query_; }
     const EngineOptions& options() const noexcept { return options_; }
 
@@ -72,9 +80,12 @@ private:
      * The simulation itself lives in main_engine.cpp as a template over
      * the sink type: the generic entry points instantiate it with the
      * abstract MatchSink, the counting path with a concrete counter.
+     * @p budget governs the run (the plain entry points pass
+     * options().budget; the stream executor passes per-record budgets).
      */
     template <typename Sink>
-    RunStats dispatch(PaddedView document, Sink& sink) const;
+    RunStats dispatch(PaddedView document, Sink& sink,
+                      const RunBudget& budget) const;
 
     automaton::CompiledQuery query_;
     EngineOptions options_;

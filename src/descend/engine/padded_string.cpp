@@ -5,6 +5,7 @@
 #include <fstream>
 #include <new>
 
+#include "descend/fault/failpoints.h"
 #include "descend/simd/dispatch.h"
 #include "descend/util/errors.h"
 
@@ -65,6 +66,13 @@ PaddedString::PaddedString(std::string_view contents) : size_(contents.size())
 
 PaddedString PaddedString::from_file(const std::string& path)
 {
+    // Failpoints (no-ops unless built with DESCEND_FAULT=ON): force the
+    // open failure and the mmap-degraded portable path deterministically.
+    if constexpr (fault::kEnabled) {
+        if (fault::should_fire(fault::Site::kFromFileOpen)) {
+            throw Error("cannot open file: " + path);
+        }
+    }
 #ifdef DESCEND_HAVE_MMAP
     // mmap fast path for large regular files: map the file copy-on-write
     // inside an anonymous reservation that supplies readable padding pages,
@@ -72,6 +80,13 @@ PaddedString PaddedString::from_file(const std::string& path)
     // final partial page (copy-on-write) plus the first anonymous page, so
     // resident memory stays one file's worth instead of two.
     int fd = ::open(path.c_str(), O_RDONLY);
+    if constexpr (fault::kEnabled) {
+        // Simulated mmap failure: exercise the portable fall-through.
+        if (fd >= 0 && fault::should_fire(fault::Site::kFromFileMmap)) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
     if (fd >= 0) {
         struct stat st{};
         bool fits = ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) &&
@@ -123,7 +138,16 @@ PaddedString PaddedString::from_file(const std::string& path)
     PaddedString result;
     result.size_ = static_cast<std::size_t>(size);
     result.data_ = allocate_padded(result.size_);
-    if (!file.read(reinterpret_cast<char*>(result.data_), size)) {
+    bool read_ok = static_cast<bool>(
+        file.read(reinterpret_cast<char*>(result.data_), size));
+    if constexpr (fault::kEnabled) {
+        // Simulated short read: the stream succeeded but the failpoint
+        // forces the error path a truncated device read would take.
+        if (read_ok && fault::should_fire(fault::Site::kFromFileRead)) {
+            read_ok = false;
+        }
+    }
+    if (!read_ok) {
         throw Error("cannot read file: " + path);
     }
     assert_padding(result.data_, result.size_);

@@ -14,12 +14,13 @@ StructuralIterator::StructuralIterator(PaddedView input,
                                        const simd::Kernels& kernels,
                                        StructuralValidator* validator,
                                        std::size_t max_skip_depth,
-                                       obs::BlockAccountant* accountant)
+                                       obs::BlockAccountant* accountant,
+                                       const RunBudget* budget)
     : data_(input.data()),
       size_(input.size()),
       end_((input.size() + simd::kBlockSize - 1) / simd::kBlockSize * simd::kBlockSize),
       blocks_(input.data(), kernels,
-              accountant == nullptr ? nullptr : accountant->counters()),
+              accountant == nullptr ? nullptr : accountant->counters(), budget),
       validator_(validator),
       accountant_(accountant),
       max_skip_depth_(max_skip_depth)
@@ -69,6 +70,14 @@ std::uint64_t StructuralIterator::compose_structural(
 void StructuralIterator::classify_block(bool with_structural)
 {
     const simd::BlockMasks& masks = blocks_.masks(block_start_);
+    if (!blocks_.interrupt().ok()) {
+        // A refill latched a budget violation (or an armed failpoint):
+        // park exactly like malformed input — validator accounting stops
+        // here too, which is fine because a non-ok status means the
+        // structural verdict is never consulted.
+        fail(blocks_.interrupt().code, blocks_.interrupt().offset);
+        return;
+    }
     block_entry_quote_state_ = classify::BatchedBlockStream::entry_state(masks);
     std::uint64_t valid = block_valid_mask();
     in_string_ = masks.in_string & valid;
@@ -106,7 +115,10 @@ bool StructuralIterator::advance_block(bool with_structural)
         return false;
     }
     classify_block(with_structural);
-    return true;
+    // classify_block may have parked the iterator (budget interrupt): the
+    // parked position is end_, which callers must observe as exhaustion —
+    // a seek() or skip continuing past a park would underflow its floor.
+    return block_start_ < end_;
 }
 
 StructuralIterator::Event StructuralIterator::event_at(int bit) const
@@ -339,6 +351,11 @@ void StructuralIterator::seek(std::size_t pos)
         if (!advance_block(/*with_structural=*/false)) {
             return;
         }
+    }
+    if (block_start_ >= end_) {
+        // Parked (failed/interrupted) before reaching @p pos: stay parked
+        // instead of computing a negative floor against end_.
+        return;
     }
     floor_ = static_cast<int>(pos - block_start_);
     struct_mask_ = compose_structural(blocks_.masks(block_start_)) & ~in_string_ &

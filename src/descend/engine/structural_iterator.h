@@ -31,6 +31,7 @@
 #include "descend/obs/accounting.h"
 #include "descend/simd/dispatch.h"
 #include "descend/util/bit_stack.h"
+#include "descend/util/budget.h"
 #include "descend/util/status.h"
 
 namespace descend {
@@ -76,11 +77,17 @@ public:
      *        the validator's accounting) to the pipeline mode active at
      *        its first classification — structural iteration or one of
      *        the skip fast-forwards.
+     * @param budget optional run budget, polled at batch-refill
+     *        granularity by the underlying block stream. A violation
+     *        parks the iterator (like malformed input) with status()
+     *        kDeadlineExceeded/kCancelled at the first unprocessed block.
+     *        Must outlive the iterator when non-null.
      */
     StructuralIterator(PaddedView input, const simd::Kernels& kernels,
                        StructuralValidator* validator = nullptr,
                        std::size_t max_skip_depth = EngineLimits::kUnlimited,
-                       obs::BlockAccountant* accountant = nullptr);
+                       obs::BlockAccountant* accountant = nullptr,
+                       const RunBudget* budget = nullptr);
 
     /**
      * Malformed-input flag raised while iterating: truncated string at

@@ -1,0 +1,169 @@
+#include "descend/fault/failpoints.h"
+
+#if DESCEND_FAULT_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace descend::fault {
+namespace {
+
+/** Per-site arming state. remaining < 0 means disarmed; arm(skip) stores
+ *  skip + 1, and the hit that decrements it to exactly 0 is the shot. */
+struct SiteState {
+    std::atomic<std::int64_t> remaining{-1};
+    std::atomic<std::uint64_t> payload{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> fired{0};
+};
+
+SiteState g_sites[kSiteCount];
+
+SiteState& state_of(Site site)
+{
+    return g_sites[static_cast<std::size_t>(site)];
+}
+
+/** Applies DESCEND_FAULT_SPEC exactly once, before the first registry
+ *  access (arm() or should_fire()), so explicit test arming done first is
+ *  never clobbered by the environment. A plain exchange rather than
+ *  call_once: arm_from_spec re-enters arm() below, and the flag being set
+ *  before parsing makes that re-entry a no-op instead of a deadlock. */
+std::atomic<bool> g_env_applied{false};
+
+void ensure_env_applied()
+{
+    if (g_env_applied.load(std::memory_order_acquire) ||
+        g_env_applied.exchange(true, std::memory_order_acq_rel)) {
+        return;
+    }
+    const char* spec = std::getenv("DESCEND_FAULT_SPEC");
+    if (spec != nullptr && *spec != '\0') {
+        arm_from_spec(spec);
+    }
+}
+
+}  // namespace
+
+void arm(Site site, std::uint64_t skip, std::uint64_t payload)
+{
+    ensure_env_applied();
+    SiteState& s = state_of(site);
+    s.payload.store(payload, std::memory_order_relaxed);
+    s.remaining.store(static_cast<std::int64_t>(skip) + 1,
+                      std::memory_order_release);
+}
+
+void disarm(Site site)
+{
+    state_of(site).remaining.store(-1, std::memory_order_relaxed);
+}
+
+void disarm_all()
+{
+    for (SiteState& s : g_sites) {
+        s.remaining.store(-1, std::memory_order_relaxed);
+        s.payload.store(0, std::memory_order_relaxed);
+        s.hits.store(0, std::memory_order_relaxed);
+        s.fired.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::uint64_t hits(Site site)
+{
+    return state_of(site).hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t fired_count(Site site)
+{
+    return state_of(site).fired.load(std::memory_order_relaxed);
+}
+
+bool should_fire(Site site) noexcept
+{
+    ensure_env_applied();
+    SiteState& s = state_of(site);
+    s.hits.fetch_add(1, std::memory_order_relaxed);
+    if (s.remaining.load(std::memory_order_acquire) < 0) {
+        return false;
+    }
+    // fetch_sub keeps decrementing into negatives after the shot, which is
+    // exactly "stays disarmed"; exactly one concurrent caller sees 1.
+    if (s.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        s.fired.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t payload(Site site) noexcept
+{
+    return state_of(site).payload.load(std::memory_order_relaxed);
+}
+
+bool arm_from_spec(const char* spec)
+{
+    // "<site>=<skip>[:<payload>]" entries separated by commas; whitespace
+    // is not tolerated (the spec travels through environment variables).
+    std::string text(spec);
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t comma = text.find(',', start);
+        std::string entry = text.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        start = comma == std::string::npos ? text.size() : comma + 1;
+        if (entry.empty()) {
+            continue;
+        }
+        std::size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            return false;
+        }
+        std::string name = entry.substr(0, eq);
+        Site site = Site::kCount_;
+        for (std::size_t i = 0; i < kSiteCount; ++i) {
+            if (name == site_name(static_cast<Site>(i))) {
+                site = static_cast<Site>(i);
+                break;
+            }
+        }
+        if (site == Site::kCount_) {
+            return false;
+        }
+        const char* numbers = entry.c_str() + eq + 1;
+        char* after = nullptr;
+        std::uint64_t skip = std::strtoull(numbers, &after, 10);
+        if (after == numbers) {
+            return false;
+        }
+        std::uint64_t payload_value = 0;
+        if (*after == ':') {
+            const char* payload_text = after + 1;
+            payload_value = std::strtoull(payload_text, &after, 10);
+            if (after == payload_text) {
+                return false;
+            }
+        }
+        if (*after != '\0') {
+            return false;
+        }
+        arm(site, skip, payload_value);
+    }
+    return true;
+}
+
+void maybe_stall(Site site)
+{
+    if (should_fire(site)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(payload(site)));
+    }
+}
+
+}  // namespace descend::fault
+
+#endif  // DESCEND_FAULT_ENABLED

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Compile-time-gated failpoint registry: deterministic fault injection for
+ * error paths that crafted inputs cannot reach (I/O failures, mid-run
+ * budget expiry at an exact block, worker stalls).
+ *
+ * Gating contract mirrors the obs layer (obs/counters.h): the whole
+ * subsystem sits behind the DESCEND_FAULT CMake option (exported as the
+ * DESCEND_FAULT_ENABLED compile definition, PUBLIC on the descend
+ * target). With the gate OFF — the default — every hook below is a
+ * constexpr-false no-op: `if constexpr (fault::kEnabled)` guards at the
+ * call sites remove the checks entirely, no registry storage exists, and
+ * release binaries are bit-for-bit free of fault plumbing. With the gate
+ * ON, sites consult a global atomic registry that tests (or the
+ * DESCEND_FAULT_SPEC environment variable) arm per site.
+ *
+ * Arming semantics: arm(site, skip, payload) makes the site fire exactly
+ * once, after `skip` additional hits pass through unharmed (skip = 0
+ * fires on the next hit). One-shot firing is atomic — under concurrent
+ * hits exactly one thread observes the trigger. The payload's meaning is
+ * per-site (a StatusCode value for kBatchRefill, a millisecond stall for
+ * kWorkerStartup; ignored elsewhere).
+ *
+ * Environment spec: DESCEND_FAULT_SPEC="<site>=<skip>[:<payload>],..."
+ * with site names from site_name() (e.g. "batch_refill=3:10" forces a
+ * deadline status at the fourth refill). Parsed once, lazily, before the
+ * first registry access; explicit arm() calls are never overridden by it.
+ */
+#pragma once
+
+#include <cstdint>
+
+#if !defined(DESCEND_FAULT_ENABLED)
+#define DESCEND_FAULT_ENABLED 0
+#endif
+
+namespace descend::fault {
+
+/** True when the library was built with DESCEND_FAULT=ON. */
+inline constexpr bool kEnabled = DESCEND_FAULT_ENABLED != 0;
+
+/** Every named failpoint. Site order is the spec/report order. */
+enum class Site : std::uint8_t {
+    /** PaddedString::from_file: simulated open failure (throws the same
+     *  Error the real open path does). */
+    kFromFileOpen,
+    /** from_file portable path: simulated short read (throws). */
+    kFromFileRead,
+    /** from_file mmap fast path: simulated map failure — exercises the
+     *  fall-through to the portable read path. */
+    kFromFileMmap,
+    /** BatchedBlockStream::refill: forces the refill's interrupt latch to
+     *  the StatusCode in the payload (defaults to kDeadlineExceeded when
+     *  the payload is not a valid non-ok code). */
+    kBatchRefill,
+    /** Stream-executor worker startup: stalls the worker for payload
+     *  milliseconds before it claims its first batch. */
+    kWorkerStartup,
+    kCount_,
+};
+
+inline constexpr std::size_t kSiteCount = static_cast<std::size_t>(Site::kCount_);
+
+/** Stable spec/report name of a site. */
+constexpr const char* site_name(Site site) noexcept
+{
+    switch (site) {
+        case Site::kFromFileOpen: return "from_file_open";
+        case Site::kFromFileRead: return "from_file_read";
+        case Site::kFromFileMmap: return "from_file_mmap";
+        case Site::kBatchRefill: return "batch_refill";
+        case Site::kWorkerStartup: return "worker_startup";
+        case Site::kCount_: break;
+    }
+    return "unknown";
+}
+
+#if DESCEND_FAULT_ENABLED
+
+/** Arms @p site to fire once after @p skip unharmed hits. */
+void arm(Site site, std::uint64_t skip = 0, std::uint64_t payload = 0);
+
+/** Disarms @p site (a pending shot is discarded). */
+void disarm(Site site);
+
+/** Disarms every site and zeroes the hit/fired statistics. */
+void disarm_all();
+
+/** Hits observed at @p site since the last disarm_all(). */
+std::uint64_t hits(Site site);
+
+/** Times @p site actually fired since the last disarm_all(). */
+std::uint64_t fired_count(Site site);
+
+/**
+ * The hot-path hook: records a hit and reports whether the armed one-shot
+ * fires here. Thread-safe; exactly one concurrent caller observes true.
+ */
+bool should_fire(Site site) noexcept;
+
+/** The payload of the most recent arm() of @p site. */
+std::uint64_t payload(Site site) noexcept;
+
+/**
+ * Applies a spec string ("site=skip[:payload],...") on top of the current
+ * arming. Returns false (arming nothing further) on the first malformed
+ * entry. Used by tests and the DESCEND_FAULT_SPEC env parsing.
+ */
+bool arm_from_spec(const char* spec);
+
+/** Convenience for stall sites: sleeps payload milliseconds when the
+ *  one-shot fires; otherwise does nothing. */
+void maybe_stall(Site site);
+
+#else  // DESCEND_FAULT_ENABLED
+
+inline void arm(Site, std::uint64_t = 0, std::uint64_t = 0) {}
+inline void disarm(Site) {}
+inline void disarm_all() {}
+inline std::uint64_t hits(Site) { return 0; }
+inline std::uint64_t fired_count(Site) { return 0; }
+inline bool should_fire(Site) noexcept { return false; }
+inline std::uint64_t payload(Site) noexcept { return 0; }
+inline bool arm_from_spec(const char*) { return true; }
+inline void maybe_stall(Site) {}
+
+#endif  // DESCEND_FAULT_ENABLED
+
+}  // namespace descend::fault
+

@@ -41,9 +41,16 @@ struct Lane {
  */
 class FusedSimulation {
 public:
+    /** @param budget the run's governance (null when inactive); threaded
+     *  into every block stream the simulation constructs. */
     FusedSimulation(const MultiQuery& queries, const EngineOptions& options,
-                    MultiSink& sink, RunStats& stats)
-        : queries_(queries), options_(options), sink_(sink), stats_(stats)
+                    MultiSink& sink, RunStats& stats,
+                    const RunBudget* budget = nullptr)
+        : queries_(queries),
+          options_(options),
+          sink_(sink),
+          stats_(stats),
+          budget_(budget)
     {
         lanes_.reserve(queries.size());
         for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -518,9 +525,10 @@ public:
                     : 0;
         }
 
-        LabelSearch search(document, kernels, label, validator, accountant);
+        LabelSearch search(document, kernels, label, validator, accountant,
+                           budget_);
         StructuralIterator iter(document, kernels, validator,
-                                options_.limits.max_depth, accountant);
+                                options_.limits.max_depth, accountant, budget_);
 
         while (auto occurrence = search.next()) {
             stats_.counters.add(obs::Counter::kHeadSkipJumps);
@@ -559,6 +567,16 @@ public:
                 }
             }
         }
+        // A budget violation inside either pipeline parks it silently
+        // (next() runs dry); surface its status so the caller does not
+        // mistake the park for a clean end of input. The search and the
+        // iterator are separate block streams with independent latches.
+        if (status_.ok() && !search.status().ok()) {
+            fail(search.status().code, search.status().offset);
+        }
+        if (status_.ok() && !iter.status().ok()) {
+            fail(iter.status().code, iter.status().offset);
+        }
     }
 
 private:
@@ -587,8 +605,19 @@ private:
     std::vector<Lane> lanes_;
     /** Per-lane scratch reused across events (targets / accept bits). */
     std::vector<int> targets_;
+    const RunBudget* budget_ = nullptr;
     EngineStatus status_;
 };
+
+/** Tallies a governance outcome into the run's counters. */
+void count_governance(RunStats& stats)
+{
+    if (stats.status.code == StatusCode::kDeadlineExceeded) {
+        stats.counters.add(obs::Counter::kDeadlineHits);
+    } else if (stats.status.code == StatusCode::kCancelled) {
+        stats.counters.add(obs::Counter::kCancelHits);
+    }
+}
 
 }  // namespace
 
@@ -604,12 +633,24 @@ std::string MultiDescendEngine::name() const
     return std::string("descend-multi-") + kernels_->name;
 }
 
-RunStats MultiDescendEngine::dispatch(PaddedView document, MultiSink& sink) const
+RunStats MultiDescendEngine::dispatch(PaddedView document, MultiSink& sink,
+                                      const RunBudget& budget) const
 {
     RunStats stats;
     obs::BlockAccountant accountant(&stats.counters);
+    // Inactive budgets (the default) cost one null test per batch refill.
+    const RunBudget* budget_ptr = budget.active() ? &budget : nullptr;
     stats.status = preflight_document(document, options_.limits);
+    if (stats.status.ok() && budget_ptr != nullptr) {
+        // An already-violated budget fails before any work, at offset 0 —
+        // the deterministic anchor the stream executor's floor relies on.
+        StatusCode over = budget.exceeded();
+        if (over != StatusCode::kOk) {
+            stats.status = {over, 0};
+        }
+    }
     if (!stats.status.ok()) {
+        count_governance(stats);
         accountant.finish(document.size());
         return stats;
     }
@@ -629,18 +670,19 @@ RunStats MultiDescendEngine::dispatch(PaddedView document, MultiSink& sink) cons
     }
     StructuralValidator validator;
     StructuralValidator* vptr = options_.validate_structure ? &validator : nullptr;
-    FusedSimulation simulation(queries_, options_, sink, stats);
+    FusedSimulation simulation(queries_, options_, sink, stats, budget_ptr);
     if (queries_.common_head_skip_label().has_value() && options_.head_skipping) {
         simulation.run_head_skip(document, *kernels_, vptr, &accountant);
         stats.status = simulation.status();
         if (stats.status.ok() && vptr != nullptr) {
             stats.status = validator.verdict(document.size());
         }
+        count_governance(stats);
         accountant.finish(document.size());
         return stats;
     }
     StructuralIterator iter(document, *kernels_, vptr, options_.limits.max_depth,
-                            &accountant);
+                            &accountant, budget_ptr);
     simulation.run_main_loop(iter, /*at_document_root=*/true);
     stats.status = simulation.status();
     if (stats.status.ok()) {
@@ -652,20 +694,27 @@ RunStats MultiDescendEngine::dispatch(PaddedView document, MultiSink& sink) cons
     if (stats.status.ok() && vptr != nullptr) {
         stats.status = validator.verdict(document.size());
     }
+    count_governance(stats);
     accountant.finish(document.size());
     return stats;
 }
 
 EngineStatus MultiDescendEngine::run(PaddedView document, MultiSink& sink) const
 {
-    return dispatch(document, sink).status;
+    return dispatch(document, sink, options_.budget).status;
 }
 
 RunStats MultiDescendEngine::run_with_stats(PaddedView document,
                                             MultiSink& sink) const
 {
+    return run_with_stats(document, sink, options_.budget);
+}
+
+RunStats MultiDescendEngine::run_with_stats(PaddedView document, MultiSink& sink,
+                                            const RunBudget& budget) const
+{
     obs::PhaseStopwatch watch;
-    RunStats stats = dispatch(document, sink);
+    RunStats stats = dispatch(document, sink, budget);
     stats.timings.add(obs::Phase::kAutomaton, watch.elapsed_ns());
     return stats;
 }

@@ -129,11 +129,20 @@ public:
     /** Like run(), additionally reporting what the fused pass did. */
     RunStats run_with_stats(PaddedView document, MultiSink& sink) const;
 
+    /**
+     * Budget-override run: governs this one run by @p budget instead of
+     * options().budget — how the multi-stream executor gives each record
+     * its own slice of a stream-level budget without rebuilding engines.
+     */
+    RunStats run_with_stats(PaddedView document, MultiSink& sink,
+                            const RunBudget& budget) const;
+
     const MultiQuery& query_set() const noexcept { return queries_; }
     const EngineOptions& options() const noexcept { return options_; }
 
 private:
-    RunStats dispatch(PaddedView document, MultiSink& sink) const;
+    RunStats dispatch(PaddedView document, MultiSink& sink,
+                      const RunBudget& budget) const;
 
     MultiQuery queries_;
     EngineOptions options_;

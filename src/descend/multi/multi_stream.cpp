@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <thread>
 #include <utility>
+
+#include "descend/fault/failpoints.h"
 
 namespace descend::multi {
 namespace {
@@ -65,19 +69,34 @@ stream::StreamResult MultiStreamExecutor::run_records(
     workers = std::min(std::max<std::size_t>(workers, 1), num_batches);
 
     const bool fail_fast = options_.policy == stream::ErrorPolicy::kFailFast;
+    const bool retry_scalar =
+        options_.policy == stream::ErrorPolicy::kRetryScalar;
+    const RunBudget& stream_budget = options_.stream_budget;
+    const bool stream_governed = stream_budget.active();
+    const bool record_governed = options_.record_budget_ms > 0;
     std::vector<std::vector<RecordOutcome>> outcomes(num_batches);
     std::atomic<std::size_t> next_batch{0};
     std::atomic<std::size_t> error_floor{kNoError};
+    // First record that did not finish because the stream budget tripped
+    // (see stream_executor.cpp for the determinism argument).
+    std::atomic<std::size_t> budget_floor{kNoError};
 
     struct ShardObs {
         obs::Counters counters;
         obs::Timings timings;
         std::size_t record_blocks = 0;
+        std::size_t retried = 0;
+        std::size_t diverged = 0;
     };
     std::vector<ShardObs> shard_obs(workers);
 
     auto worker = [&](std::size_t shard) {
+        if constexpr (fault::kEnabled) {
+            fault::maybe_stall(fault::Site::kWorkerStartup);
+        }
         ShardObs& local = shard_obs[shard];
+        // Scalar-tier fused engine for kRetryScalar, built on first use.
+        std::unique_ptr<MultiDescendEngine> scalar_engine;
         for (;;) {
             std::size_t batch = next_batch.fetch_add(1, std::memory_order_relaxed);
             if (batch >= num_batches) {
@@ -85,21 +104,45 @@ stream::StreamResult MultiStreamExecutor::run_records(
             }
             std::size_t first = batch * batch_size;
             std::size_t last = std::min(first + batch_size, records.size());
+            if (stream_governed &&
+                stream_budget.exceeded() != StatusCode::kOk) {
+                lower_floor(budget_floor, first);
+                break;
+            }
             if (fail_fast && first > error_floor.load(std::memory_order_relaxed)) {
                 continue;
             }
             std::vector<RecordOutcome>& out = outcomes[batch];
             out.reserve(last - first);
+            bool budget_tripped = false;
             for (std::size_t r = first; r < last; ++r) {
                 if (fail_fast && r > error_floor.load(std::memory_order_relaxed)) {
+                    break;
+                }
+                if (stream_governed &&
+                    stream_budget.exceeded() != StatusCode::kOk) {
+                    lower_floor(budget_floor, r);
+                    budget_tripped = true;
                     break;
                 }
                 const stream::RecordSpan& span = records[r];
                 CollectingMultiSink collector(num_queries);
                 RecordOutcome outcome;
                 outcome.record = r;
-                RunStats run_stats = engine_.run_with_stats(
-                    input.subview(span.begin, span.size()), collector);
+                RunBudget record_budget = stream_budget;
+                if (record_governed) {
+                    record_budget = stream_budget.tightened(
+                        RunBudget::Clock::now() +
+                        std::chrono::milliseconds(options_.record_budget_ms));
+                }
+                RunStats run_stats =
+                    stream_governed || record_governed
+                        ? engine_.run_with_stats(
+                              input.subview(span.begin, span.size()),
+                              collector, record_budget)
+                        : engine_.run_with_stats(
+                              input.subview(span.begin, span.size()),
+                              collector);
                 outcome.status = run_stats.status;
                 if constexpr (obs::kEnabled) {
                     local.counters.merge(run_stats.counters);
@@ -107,9 +150,54 @@ stream::StreamResult MultiStreamExecutor::run_records(
                     local.record_blocks +=
                         (span.size() + simd::kBlockSize - 1) / simd::kBlockSize;
                 }
-                if (outcome.status.ok()) {
+                if (!outcome.status.ok() && outcome.status.is_governance() &&
+                    stream_governed &&
+                    stream_budget.exceeded() != StatusCode::kOk) {
+                    // The stream budget cut this record short: unfinished,
+                    // not failed.
+                    lower_floor(budget_floor, r);
+                    budget_tripped = true;
+                    break;
+                }
+                if (!outcome.status.ok() && retry_scalar &&
+                    !outcome.status.is_governance()) {
+                    if (scalar_engine == nullptr) {
+                        EngineOptions scalar_options = options_.engine;
+                        scalar_options.simd = simd::Level::scalar;
+                        std::vector<query::Query> sources;
+                        sources.reserve(engine_.query_set().size());
+                        for (std::size_t q = 0; q < engine_.query_set().size();
+                             ++q) {
+                            sources.push_back(
+                                engine_.query_set().query(q).source());
+                        }
+                        scalar_engine = std::make_unique<MultiDescendEngine>(
+                            MultiQuery::compile(sources), scalar_options);
+                    }
+                    CollectingMultiSink scalar_collector(num_queries);
+                    RunStats scalar_stats =
+                        stream_governed || record_governed
+                            ? scalar_engine->run_with_stats(
+                                  input.subview(span.begin, span.size()),
+                                  scalar_collector, record_budget)
+                            : scalar_engine->run_with_stats(
+                                  input.subview(span.begin, span.size()),
+                                  scalar_collector);
+                    ++local.retried;
+                    local.counters.add(obs::Counter::kScalarRetries);
+                    if (scalar_stats.status.code != outcome.status.code ||
+                        scalar_stats.status.offset != outcome.status.offset) {
+                        ++local.diverged;
+                        local.counters.add(obs::Counter::kTierDivergences);
+                    }
+                    outcome.status = scalar_stats.status;
+                    if (outcome.status.ok()) {
+                        outcome.offsets = scalar_collector.all();
+                    }
+                } else if (outcome.status.ok()) {
                     outcome.offsets = collector.all();
-                } else if (fail_fast) {
+                }
+                if (!outcome.status.ok() && fail_fast) {
                     lower_floor(error_floor, r);
                 }
                 bool failed = !outcome.status.ok();
@@ -117,6 +205,9 @@ stream::StreamResult MultiStreamExecutor::run_records(
                 if (fail_fast && failed) {
                     break;
                 }
+            }
+            if (budget_tripped) {
+                break;
             }
         }
     };
@@ -137,17 +228,28 @@ stream::StreamResult MultiStreamExecutor::run_records(
         result.counters.merge(shard.counters);
         result.timings.merge(shard.timings);
         result.record_blocks += shard.record_blocks;
+        result.retried_records += shard.retried;
+        result.tier_divergences += shard.diverged;
     }
 
     // Ordered replay: records ascend across and within batches; per record
     // the queries replay in set order. Under fail-fast everything past the
     // floor is discarded, the floor record being the one reported error.
     const std::size_t floor = error_floor.load(std::memory_order_relaxed);
+    const std::size_t bfloor = budget_floor.load(std::memory_order_relaxed);
     bool stopped = false;
+    bool error_stopped = false;
     for (std::size_t batch = 0; batch < num_batches && !stopped; ++batch) {
         for (const RecordOutcome& outcome : outcomes[batch]) {
+            if (outcome.record >= bfloor) {
+                // Finished after the budget floor: discarded, like a
+                // fail-fast record past the error floor.
+                stopped = true;
+                break;
+            }
             if (fail_fast && outcome.record > floor) {
                 stopped = true;
+                error_stopped = true;
                 break;
             }
             if (outcome.status.ok()) {
@@ -164,12 +266,33 @@ stream::StreamResult MultiStreamExecutor::run_records(
                 if (result.first_error_record == stream::StreamResult::kNone) {
                     result.first_error_record = outcome.record;
                     result.first_error = outcome.status;
+                    result.first_error_span_begin =
+                        records[outcome.record].begin;
                 }
                 if (fail_fast) {
                     stopped = true;
+                    error_stopped = true;
                     break;
                 }
             }
+        }
+    }
+    if (bfloor != kNoError && !error_stopped) {
+        // Stream-budget stop: synthesize the floor record's governance
+        // error (see stream_executor.cpp).
+        StatusCode code = stream_budget.exceeded();
+        if (code == StatusCode::kOk) {
+            code = StatusCode::kDeadlineExceeded;
+        }
+        EngineStatus synthesized{code, 0};
+        result.budget_stopped = true;
+        sink.on_record_error(bfloor, synthesized);
+        ++result.failed_records;
+        ++result.error_tally[static_cast<std::size_t>(code)];
+        if (result.first_error_record == stream::StreamResult::kNone) {
+            result.first_error_record = bfloor;
+            result.first_error = synthesized;
+            result.first_error_span_begin = records[bfloor].begin;
         }
     }
     return result;

@@ -75,6 +75,11 @@ enum class Counter : std::uint8_t {
     kBlocksTail,           ///< never pulled through any pipeline (trailing
                            ///< whitespace after the root closer; everything,
                            ///< for runs that end before classification)
+    // --- run governance (util/budget.h; stream executors) ---
+    kDeadlineHits,         ///< runs stopped by a RunBudget deadline
+    kCancelHits,           ///< runs stopped by a CancelToken
+    kScalarRetries,        ///< records re-run on the scalar tier (kRetryScalar)
+    kTierDivergences,      ///< scalar retries that changed the outcome
     kCount_,
 };
 
@@ -110,6 +115,10 @@ constexpr const char* counter_name(Counter id) noexcept
         case Counter::kBlocksWithinSkipped: return "blocks_within_skipped";
         case Counter::kBlocksHeadSkip: return "blocks_head_skip";
         case Counter::kBlocksTail: return "blocks_tail";
+        case Counter::kDeadlineHits: return "deadline_hits";
+        case Counter::kCancelHits: return "cancel_hits";
+        case Counter::kScalarRetries: return "scalar_retries";
+        case Counter::kTierDivergences: return "tier_divergences";
         case Counter::kCount_: break;
     }
     return "unknown";

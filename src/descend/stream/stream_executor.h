@@ -46,6 +46,17 @@ enum class ErrorPolicy : std::uint8_t {
     kSkipRecord,
     /** Stop at the first failing record in document order. */
     kFailFast,
+    /**
+     * Degradation policy: re-run a failed record on the scalar SIMD tier
+     * before reporting it, then behave like kSkipRecord with the scalar
+     * outcome. A divergence between the tiers (a scalar re-run that
+     * changes the status or succeeds) is tallied in
+     * StreamResult::tier_divergences — it indicates a kernel-tier bug, and
+     * the scalar verdict is the one reported. Governance failures
+     * (deadline/cancel) are never retried: the scalar tier is slower, so
+     * the re-run could only fail the same way later.
+     */
+    kRetryScalar,
 };
 
 /** Knobs of the stream executor. */
@@ -59,6 +70,30 @@ struct StreamOptions {
     ErrorPolicy policy = ErrorPolicy::kSkipRecord;
     /** Per-record engine configuration (SIMD level, skipping, limits). */
     EngineOptions engine;
+    /**
+     * Whole-stream governance (see util/budget.h). When the budget expires
+     * or its CancelToken fires, the stream stops like a fail-fast floor at
+     * the first record that did not finish in document order: every record
+     * before it is reported normally, that record gets exactly one
+     * synthesized on_record_error() with {kDeadlineExceeded|kCancelled, 0},
+     * and everything after it is discarded — even records a worker had
+     * already finished when the budget tripped. The result is a function
+     * of *which records finished*, not of thread interleaving: a budget
+     * that was already expired at run start yields the identical
+     * StreamResult (floor 0) for every thread count. Active budgets are
+     * threaded into each record's engine run, so in-flight records are
+     * cut short cooperatively at batch-refill granularity.
+     */
+    RunBudget stream_budget;
+    /**
+     * Per-record deadline in milliseconds; 0 = none. Each record runs
+     * under stream_budget tightened to now + record_budget_ms, so a slow
+     * record fails itself (a regular record error, subject to `policy`)
+     * without sinking the whole stream. When either this or stream_budget
+     * is set, the stream governance replaces `engine.budget` for record
+     * runs.
+     */
+    std::uint64_t record_budget_ms = 0;
 };
 
 /** Aggregate outcome of one stream run. */
@@ -79,6 +114,21 @@ struct StreamResult {
     std::size_t first_error_record = kNone;
     /** Status of that record (offset is intra-record). */
     EngineStatus first_error;
+    /** Absolute byte offset of first_error_record's span start in the
+     *  stream buffer, kNone when there was no error. The error's absolute
+     *  stream position is first_error_span_begin + first_error.offset —
+     *  what the CLI prints so a byte position in a multi-gigabyte stream
+     *  can be seeked to directly. */
+    std::size_t first_error_span_begin = kNone;
+    /** Records re-run on the scalar tier (ErrorPolicy::kRetryScalar). */
+    std::size_t retried_records = 0;
+    /** Scalar re-runs whose outcome differed from the original tier's. */
+    std::size_t tier_divergences = 0;
+    /** True when the stream budget stopped the run before every record
+     *  finished; the floor record's synthesized governance error is then
+     *  counted in failed_records (and is first_error if nothing failed
+     *  earlier). */
+    bool budget_stopped = false;
 
     /** Failed records per status code, indexed by the StatusCode value.
      *  Unlike the obs registries below this is not gated: it rides the

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Run governance: deadlines and cooperative cancellation.
+ *
+ * A RunBudget pairs a steady-clock deadline with an externally settable
+ * CancelToken and travels through EngineOptions into every engine. The
+ * batched engines check it exactly once per BatchedBlockStream refill —
+ * one branch (plus, for an *active* budget, one clock read) per
+ * simd::kBatchSize = 512 input bytes — so the detection latency is
+ * bounded by one batch of classification work and the hot loop pays
+ * nothing when no budget is set (the default RunBudget is inactive and
+ * the stream never dereferences it). The scalar baselines poll through a
+ * BudgetGate at an equivalent stride of their own event loops.
+ *
+ * A violated budget surfaces as a regular EngineStatus — kDeadlineExceeded
+ * or kCancelled with the byte offset of the first unprocessed block — so
+ * every caller's error handling (stream executors, CLI, tests) treats
+ * governance like any other structured run outcome. See DESIGN.md
+ * ("Run governance") for the taxonomy and determinism rules.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "descend/util/status.h"
+
+namespace descend {
+
+/**
+ * An externally settable cancellation flag. The owner keeps the token
+ * alive for the duration of every run that references it; cancel() may be
+ * called from any thread at any time (relaxed atomics — cancellation is a
+ * latency hint, not a synchronization point).
+ */
+class CancelToken {
+public:
+    void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+    void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+    bool cancelled() const noexcept
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/**
+ * The budget of one run: an absolute steady-clock deadline plus an
+ * optional CancelToken. Default-constructed means "no governance" —
+ * active() is false and exceeded() never trips, which is how every
+ * pre-existing call site behaves unchanged.
+ */
+struct RunBudget {
+    using Clock = std::chrono::steady_clock;
+
+    /** Sentinel for "no deadline". */
+    static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+    Clock::time_point deadline = kNoDeadline;
+    /** Not owned; must outlive every run using this budget. */
+    const CancelToken* cancel = nullptr;
+
+    /** A budget expiring @p ms milliseconds from now. */
+    static RunBudget within_ms(std::uint64_t ms,
+                               const CancelToken* token = nullptr)
+    {
+        return {Clock::now() + std::chrono::milliseconds(ms), token};
+    }
+
+    /** A budget with no deadline, governed by @p token alone. */
+    static RunBudget with_cancel(const CancelToken* token)
+    {
+        return {kNoDeadline, token};
+    }
+
+    /** True when any governance is configured at all. */
+    bool active() const noexcept
+    {
+        return cancel != nullptr || deadline != kNoDeadline;
+    }
+
+    /**
+     * Polls the budget: kOk while within it, otherwise the violated
+     * dimension. Cancellation is checked first (it is cheaper and the
+     * stronger, explicit signal).
+     */
+    StatusCode exceeded() const noexcept
+    {
+        if (cancel != nullptr && cancel->cancelled()) {
+            return StatusCode::kCancelled;
+        }
+        if (deadline != kNoDeadline && Clock::now() > deadline) {
+            return StatusCode::kDeadlineExceeded;
+        }
+        return StatusCode::kOk;
+    }
+
+    /** This budget with its deadline capped at @p other_deadline (keeps
+     *  the cancel token) — how a per-record budget nests inside a stream
+     *  budget. */
+    RunBudget tightened(Clock::time_point other_deadline) const noexcept
+    {
+        return {other_deadline < deadline ? other_deadline : deadline, cancel};
+    }
+};
+
+/**
+ * Stride-amortized polling for scalar, event-at-a-time engines (the
+ * DOM/surfer baselines): poll() costs one decrement per call and samples
+ * the clock once every @p stride calls. An inactive budget reduces to the
+ * single branch.
+ */
+class BudgetGate {
+public:
+    explicit BudgetGate(const RunBudget& budget,
+                        std::uint32_t stride = 256) noexcept
+        : budget_(budget),
+          stride_(budget.active() ? stride : 0),
+          left_(stride)
+    {
+    }
+
+    /** kOk, or the violated dimension (sampled at stride granularity). */
+    StatusCode poll() noexcept
+    {
+        if (stride_ == 0 || --left_ != 0) {
+            return StatusCode::kOk;
+        }
+        left_ = stride_;
+        return budget_.exceeded();
+    }
+
+private:
+    RunBudget budget_;
+    std::uint32_t stride_;
+    std::uint32_t left_;
+};
+
+}  // namespace descend

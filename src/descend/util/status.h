@@ -48,12 +48,17 @@ enum class StatusCode : std::uint8_t {
     kSizeLimit,
     /** EngineLimits::max_match_count exceeded. */
     kMatchLimit,
+    /** RunBudget::deadline passed before the run completed (offset: the
+     *  first byte not fully processed). */
+    kDeadlineExceeded,
+    /** The run's CancelToken was cancelled (offset as above). */
+    kCancelled,
 };
 
 /** Number of StatusCode values — sizes per-status tally arrays (the
  *  stream executor's per-record error tallies; obs/report.h). */
 inline constexpr std::size_t kStatusCodeCount =
-    static_cast<std::size_t>(StatusCode::kMatchLimit) + 1;
+    static_cast<std::size_t>(StatusCode::kCancelled) + 1;
 
 /** Human-readable name of a status code. */
 constexpr const char* status_name(StatusCode code) noexcept
@@ -69,8 +74,18 @@ constexpr const char* status_name(StatusCode code) noexcept
         case StatusCode::kDepthLimit: return "depth limit exceeded";
         case StatusCode::kSizeLimit: return "document size limit exceeded";
         case StatusCode::kMatchLimit: return "match count limit exceeded";
+        case StatusCode::kDeadlineExceeded: return "deadline exceeded";
+        case StatusCode::kCancelled: return "cancelled";
     }
     return "unknown";
+}
+
+/** True for run-governance outcomes (deadline/cancellation): the input may
+ *  be perfectly fine — the run was stopped from outside, not by content. */
+constexpr bool is_governance(StatusCode code) noexcept
+{
+    return code == StatusCode::kDeadlineExceeded ||
+           code == StatusCode::kCancelled;
 }
 
 /**
@@ -89,6 +104,12 @@ struct EngineStatus {
     {
         return code == StatusCode::kDepthLimit || code == StatusCode::kSizeLimit ||
                code == StatusCode::kMatchLimit;
+    }
+
+    /** True for deadline/cancellation outcomes (see is_governance above). */
+    constexpr bool is_governance() const noexcept
+    {
+        return descend::is_governance(code);
     }
 
     friend constexpr bool operator==(const EngineStatus& a,

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Asserts descend-cli's documented exit-code taxonomy:
+#   0 ok, 1 internal error, 2 usage, 3 malformed input,
+#   4 limit/deadline, 5 file I/O.
+# Usage: cli_exit_codes.sh <path-to-descend-cli>
+set -u
+
+CLI="${1:?usage: cli_exit_codes.sh <path-to-descend-cli>}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail=0
+check() {
+    local want="$1"; shift
+    local label="$1"; shift
+    "$@" >/dev/null 2>&1
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $label: expected exit $want, got $got ($*)" >&2
+        fail=1
+    else
+        echo "ok: $label -> $got"
+    fi
+}
+
+printf '{"a": {"b": 1}}' > "$WORK/ok.json"
+printf '{"a": {"b": 1}' > "$WORK/truncated.json"
+python3 -c "print('['*2000 + ']'*2000)" > "$WORK/deep.json" 2>/dev/null \
+    || { printf '%0.s[' $(seq 2000); printf '%0.s]' $(seq 2000); } > "$WORK/deep.json"
+printf '{"id":1}\n{"id":2}\n' > "$WORK/stream.ndjson"
+printf '{"id":1}\n{"id": \n{"id":3}\n' > "$WORK/broken.ndjson"
+
+# 0: success, single-document and NDJSON.
+check 0 "well-formed document"        "$CLI" '$..b' "$WORK/ok.json"
+check 0 "clean ndjson stream"         "$CLI" --ndjson '$..id' "$WORK/stream.ndjson"
+check 0 "retry-scalar clean stream"   "$CLI" --ndjson --retry-scalar '$..id' "$WORK/stream.ndjson"
+check 0 "generous deadline"           "$CLI" --deadline-ms 60000 '$..b' "$WORK/ok.json"
+
+# 2: usage errors (bad flags, bad query, conflicting policies).
+check 2 "unknown flag"                "$CLI" --no-such-flag '$..b' "$WORK/ok.json"
+check 2 "missing query"               "$CLI"
+check 2 "malformed query"             "$CLI" '$.[' "$WORK/ok.json"
+check 2 "conflicting error policies"  "$CLI" --ndjson --fail-fast --retry-scalar '$..id' "$WORK/stream.ndjson"
+
+# 3: malformed input.
+check 3 "truncated document"          "$CLI" '$..b' "$WORK/truncated.json"
+check 3 "broken ndjson record"        "$CLI" --ndjson '$..id' "$WORK/broken.ndjson"
+
+# 4: resource limits and governance stops. ($.* has no head-skip label, so
+# the depth limit is enforced on the full-document pipeline.)
+check 4 "depth limit"                 "$CLI" '$.*' "$WORK/deep.json"
+check 4 "depth limit (dom engine)"    "$CLI" --engine dom '$.*' "$WORK/deep.json"
+
+# 5: file I/O.
+check 5 "missing file"                "$CLI" '$..b' "$WORK/does-not-exist.json"
+
+# Error messages for stream records carry absolute byte offsets.
+msg="$("$CLI" --ndjson '$..id' "$WORK/broken.ndjson" 2>&1 >/dev/null)"
+case "$msg" in
+    *"record 1 at byte"*) echo "ok: absolute stream error position" ;;
+    *) echo "FAIL: stream error lacks absolute position: $msg" >&2; fail=1 ;;
+esac
+
+exit $fail

@@ -35,10 +35,31 @@
  *   --threads N        worker threads for --ndjson (default: all cores)
  *   --fail-fast        with --ndjson, stop at the first malformed record
  *                      instead of skipping it and continuing
+ *   --retry-scalar     with --ndjson, re-run each failed record on the
+ *                      scalar kernel tier before reporting it (tier
+ *                      divergences indicate a kernel bug and are counted
+ *                      in the --stats report)
+ *   --deadline-ms N    per-document/per-record run deadline; an expired
+ *                      run stops at batch granularity with a "deadline
+ *                      exceeded" status
+ *   --stream-budget-ms N
+ *                      with --ndjson, whole-stream budget: when it
+ *                      expires the stream stops like a fail-fast floor at
+ *                      the first unfinished record (deterministic for
+ *                      every --threads value)
  *   --help             this text
+ *
+ * Exit codes:
+ *   0  success
+ *   1  internal or unclassified error
+ *   2  usage error (bad flags or malformed query)
+ *   3  malformed input document
+ *   4  resource limit or governance stop (deadline / cancellation)
+ *   5  file I/O error
  */
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -70,6 +91,9 @@ struct CliOptions {
     bool validate = false;
     bool ndjson = false;
     bool fail_fast = false;
+    bool retry_scalar = false;
+    std::uint64_t deadline_ms = 0;       // 0 = none
+    std::uint64_t stream_budget_ms = 0;  // 0 = none
     std::size_t threads = 0;  // 0 = hardware concurrency
     std::size_t limit = 0;    // 0 = unlimited
     EngineOptions engine_options;
@@ -84,7 +108,10 @@ void usage()
         "  --engine descend|surfer|ski|dom   --simd scalar|avx2|avx512 | --scalar\n"
         "  --query Q (repeatable) | --queries FILE   fused multi-query set\n"
         "  --no-head-skip | --within-skip | --stats | --validate\n"
-        "  --ndjson [--threads N] [--fail-fast]\n",
+        "  --ndjson [--threads N] [--fail-fast | --retry-scalar]\n"
+        "  --deadline-ms N | --stream-budget-ms N   run governance\n"
+        "exit codes: 0 ok, 1 error, 2 usage, 3 malformed input,\n"
+        "            4 limit/deadline, 5 I/O\n",
         stderr);
 }
 
@@ -105,6 +132,18 @@ bool parse_args(int argc, char** argv, CliOptions& options)
             options.ndjson = true;
         } else if (arg == "--fail-fast") {
             options.fail_fast = true;
+        } else if (arg == "--retry-scalar") {
+            options.retry_scalar = true;
+        } else if (arg == "--deadline-ms") {
+            if (++i >= argc) {
+                return false;
+            }
+            options.deadline_ms = std::strtoull(argv[i], nullptr, 10);
+        } else if (arg == "--stream-budget-ms") {
+            if (++i >= argc) {
+                return false;
+            }
+            options.stream_budget_ms = std::strtoull(argv[i], nullptr, 10);
         } else if (arg == "--threads") {
             if (++i >= argc) {
                 return false;
@@ -186,6 +225,19 @@ bool parse_args(int argc, char** argv, CliOptions& options)
     return true;
 }
 
+/** Exit-code taxonomy (documented in usage()): malformed input is 3,
+ *  resource limits and governance stops are 4. */
+int exit_code_for(const EngineStatus& status)
+{
+    if (status.ok()) {
+        return 0;
+    }
+    if (status.is_limit() || status.is_governance()) {
+        return 4;
+    }
+    return 3;
+}
+
 std::unique_ptr<JsonPathEngine> make_engine(const CliOptions& options)
 {
     const std::string& query = options.queries.front();
@@ -196,16 +248,18 @@ std::unique_ptr<JsonPathEngine> make_engine(const CliOptions& options)
     if (options.engine == "surfer") {
         return std::make_unique<SurferEngine>(
             automaton::CompiledQuery::compile(query),
-            options.engine_options.limits);
+            options.engine_options.limits, options.engine_options.budget);
     }
     if (options.engine == "ski") {
         return std::make_unique<SkiEngine>(query::Query::parse(query),
                                            options.engine_options.simd,
-                                           options.engine_options.limits);
+                                           options.engine_options.limits,
+                                           options.engine_options.budget);
     }
     if (options.engine == "dom") {
         return std::make_unique<DomEngine>(query::Query::parse(query),
-                                           options.engine_options.limits);
+                                           options.engine_options.limits,
+                                           options.engine_options.budget);
     }
     throw Error("unknown engine: " + options.engine);
 }
@@ -235,7 +289,7 @@ int run_on(const CliOptions& options, const JsonPathEngine& engine,
         if (!count_status.ok()) {
             std::fprintf(stderr, "descend-cli: %s%s%s\n", prefix, separator,
                          to_string(count_status).c_str());
-            return 1;
+            return exit_code_for(count_status);
         }
         std::printf("%s%s%zu\n", prefix, separator, count_sink.count());
         return 0;
@@ -250,7 +304,7 @@ int run_on(const CliOptions& options, const JsonPathEngine& engine,
     if (!stats.status.ok()) {
         std::fprintf(stderr, "descend-cli: %s%s%s\n", prefix, separator,
                      to_string(stats.status).c_str());
-        return 1;
+        return exit_code_for(stats.status);
     }
     if (options.count_only) {
         std::printf("%s%s%zu\n", prefix, separator, sink.offsets().size());
@@ -306,7 +360,7 @@ int run_multi(const CliOptions& options, const multi::MultiDescendEngine& engine
     if (!stats.status.ok()) {
         std::fprintf(stderr, "descend-cli: %s%s%s\n", prefix, separator,
                      to_string(stats.status).c_str());
-        return 1;
+        return exit_code_for(stats.status);
     }
     std::size_t matches = 0;
     for (std::size_t q = 0; q < engine.query_set().size(); ++q) {
@@ -346,6 +400,25 @@ int run_multi(const CliOptions& options, const multi::MultiDescendEngine& engine
     return 0;
 }
 
+/** Builds the stream options shared by both NDJSON paths: error policy,
+ *  stream budget, and the per-record deadline (--deadline-ms). */
+stream::StreamOptions make_stream_options(const CliOptions& options)
+{
+    stream::StreamOptions stream_options;
+    stream_options.threads = options.threads;
+    stream_options.policy = options.fail_fast ? stream::ErrorPolicy::kFailFast
+                            : options.retry_scalar
+                                ? stream::ErrorPolicy::kRetryScalar
+                                : stream::ErrorPolicy::kSkipRecord;
+    stream_options.engine = options.engine_options;
+    if (options.stream_budget_ms != 0) {
+        stream_options.stream_budget =
+            RunBudget::within_ms(options.stream_budget_ms);
+    }
+    stream_options.record_budget_ms = options.deadline_ms;
+    return stream_options;
+}
+
 /**
  * NDJSON: SIMD record splitting + parallel sharded execution over the one
  * padded input buffer (see src/descend/stream). Matches arrive through the
@@ -353,11 +426,7 @@ int run_multi(const CliOptions& options, const multi::MultiDescendEngine& engine
  */
 int run_ndjson(const CliOptions& options, const PaddedString& input)
 {
-    stream::StreamOptions stream_options;
-    stream_options.threads = options.threads;
-    stream_options.policy = options.fail_fast ? stream::ErrorPolicy::kFailFast
-                                              : stream::ErrorPolicy::kSkipRecord;
-    stream_options.engine = options.engine_options;
+    stream::StreamOptions stream_options = make_stream_options(options);
     obs::PhaseStopwatch compile_watch;
     stream::StreamExecutor executor(
         automaton::CompiledQuery::compile(options.queries.front()),
@@ -409,7 +478,10 @@ int run_ndjson(const CliOptions& options, const PaddedString& input)
         void on_record_error(std::size_t record,
                              const EngineStatus& status) override
         {
-            std::fprintf(stderr, "descend-cli: record %zu: %s\n", record,
+            // Absolute stream position: span begin + intra-record offset,
+            // so the byte can be seeked to directly in the input file.
+            std::fprintf(stderr, "descend-cli: record %zu at byte %zu: %s\n",
+                         record, records[record].begin + status.offset,
                          to_string(status).c_str());
         }
     };
@@ -437,17 +509,13 @@ int run_ndjson(const CliOptions& options, const PaddedString& input)
         report.error_tally = result.error_tally;
         std::fprintf(stderr, "%s\n", obs::to_json(report).c_str());
     }
-    return result.ok() ? 0 : 1;
+    return result.ok() ? 0 : exit_code_for(result.first_error);
 }
 
 /** NDJSON × fused query set: N queries × M records off one splitter pass. */
 int run_multi_ndjson(const CliOptions& options, const PaddedString& input)
 {
-    stream::StreamOptions stream_options;
-    stream_options.threads = options.threads;
-    stream_options.policy = options.fail_fast ? stream::ErrorPolicy::kFailFast
-                                              : stream::ErrorPolicy::kSkipRecord;
-    stream_options.engine = options.engine_options;
+    stream::StreamOptions stream_options = make_stream_options(options);
     obs::PhaseStopwatch compile_watch;
     multi::MultiStreamExecutor executor =
         multi::MultiStreamExecutor::for_queries(options.queries, stream_options);
@@ -498,7 +566,8 @@ int run_multi_ndjson(const CliOptions& options, const PaddedString& input)
         void on_record_error(std::size_t record,
                              const EngineStatus& status) override
         {
-            std::fprintf(stderr, "descend-cli: record %zu: %s\n", record,
+            std::fprintf(stderr, "descend-cli: record %zu at byte %zu: %s\n",
+                         record, records[record].begin + status.offset,
                          to_string(status).c_str());
         }
     };
@@ -526,7 +595,7 @@ int run_multi_ndjson(const CliOptions& options, const PaddedString& input)
         report.error_tally = result.error_tally;
         std::fprintf(stderr, "%s\n", obs::to_json(report).c_str());
     }
-    return result.ok() ? 0 : 1;
+    return result.ok() ? 0 : exit_code_for(result.first_error);
 }
 
 }  // namespace
@@ -542,6 +611,17 @@ int main(int argc, char** argv)
         std::fputs("descend-cli: --ndjson supports only the descend engine\n",
                    stderr);
         return 2;
+    }
+    if (options.fail_fast && options.retry_scalar) {
+        std::fputs("descend-cli: --fail-fast and --retry-scalar conflict\n",
+                   stderr);
+        return 2;
+    }
+    if (options.deadline_ms != 0 && !options.ndjson) {
+        // Whole-run deadline, measured from here (per record under
+        // --ndjson, where make_stream_options() picks it up instead).
+        options.engine_options.budget =
+            RunBudget::within_ms(options.deadline_ms);
     }
     const bool multi = options.queries.size() > 1;
     if (multi && options.engine != "descend") {
@@ -574,12 +654,29 @@ int main(int argc, char** argv)
             return dispatch("<stdin>", read_stdin());
         }
         for (const std::string& file : options.files) {
-            int status = dispatch(file, PaddedString::from_file(file));
+            PaddedString document = [&] {
+                try {
+                    return PaddedString::from_file(file);
+                } catch (const Error& error) {
+                    std::fprintf(stderr, "descend-cli: %s\n", error.what());
+                    std::exit(5);  // file I/O
+                }
+            }();
+            int status = dispatch(file, document);
             if (status != 0) {
                 return status;
             }
         }
         return 0;
+    } catch (const QueryError& error) {
+        std::fprintf(stderr, "descend-cli: %s\n", error.what());
+        return 2;  // a malformed query is a usage error
+    } catch (const LimitError& error) {
+        std::fprintf(stderr, "descend-cli: %s\n", error.what());
+        return 4;  // resource limit (e.g. --validate depth)
+    } catch (const ParseError& error) {
+        std::fprintf(stderr, "descend-cli: %s\n", error.what());
+        return 3;  // malformed input document (--validate)
     } catch (const Error& error) {
         std::fprintf(stderr, "descend-cli: %s\n", error.what());
         return 1;

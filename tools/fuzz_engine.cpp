@@ -29,6 +29,15 @@
  *   fuzz_engine [--iterations N] [--seed S] [--verbose]
  *   fuzz_engine --ndjson N [--seed S]
  *   fuzz_engine --multi N [--seed S]
+ *   fuzz_engine --faults N [--seed S]
+ *
+ * --faults N: randomized failpoint injection (see src/descend/fault).
+ * Requires a DESCEND_FAULT=ON build — exits 0 with a notice otherwise.
+ * Arms the batch-refill one-shot at random refill indices with random
+ * forced status codes against pristine documents and checks that a fired
+ * failpoint surfaces as exactly the forced status (and an unfired one is
+ * invisible) across the single-engine, fused-multi and sharded-stream
+ * paths.
  *
  * --ndjson N: NDJSON mutation mode for the record-stream subsystem. Small
  * workload documents are concatenated into NDJSON streams (LF, CRLF and
@@ -59,6 +68,7 @@
 #include "descend/baselines/ski_engine.h"
 #include "descend/baselines/surfer_engine.h"
 #include "descend/descend.h"
+#include "descend/fault/failpoints.h"
 #include "descend/json/dom.h"
 #include "descend/multi/multi_engine.h"
 #include "descend/workloads/datasets.h"
@@ -1199,6 +1209,219 @@ int run_multi_mode(long iterations, std::uint64_t seed0, bool verbose)
     return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Fault-injection mode: randomized failpoint arming against well-formed
+// documents (requires a DESCEND_FAULT=ON build; a no-op exit otherwise).
+//
+// Each iteration arms the batch-refill failpoint one-shot at a random refill
+// index with a random forced StatusCode, then runs one of the three
+// execution paths (single engine, fused multi-query, sharded stream) on a
+// pristine document and checks the failure contract:
+//
+//  - if the one-shot fired, the run's status is exactly the forced code,
+//    with an in-bounds offset — never a success with a silently truncated
+//    match set, never a different code (the first-status-wins latch must
+//    protect the interrupt from downstream misclassification);
+//  - if the run finished before the armed refill, the status is ok — an
+//    armed-but-unfired failpoint must be entirely invisible.
+//
+// Stream iterations additionally arm a random worker-startup stall, and use
+// the one-shot guarantee as an invariant: at most one record can fail, and
+// failed_records must equal the fired count exactly.
+// ---------------------------------------------------------------------------
+
+int report_fault(const std::string& name, const std::string& configuration,
+                 const std::string& detail)
+{
+    std::printf("FAULT DISAGREEMENT\nseed: %s\nconfiguration: %s\nproblem: %s\n",
+                name.c_str(), configuration.c_str(), detail.c_str());
+    fault::disarm_all();
+    return 1;
+}
+
+int run_faults_mode(long iterations, std::uint64_t seed0, bool verbose)
+{
+    if (!fault::kEnabled) {
+        std::printf(
+            "fuzz_engine --faults: built with DESCEND_FAULT=OFF; failpoints "
+            "are compiled out, nothing to inject\n");
+        return 0;
+    }
+
+    std::vector<Corpus> corpora;
+    std::size_t target = 1800;
+    for (const std::string& name : workloads::dataset_names()) {
+        corpora.push_back(build_corpus(name, target));
+        target = target >= 6000 ? 1800 : target + 800;
+    }
+    // NDJSON stream per dataset for the executor iterations.
+    std::vector<std::string> streams;
+    for (const Corpus& corpus : corpora) {
+        std::string text;
+        for (std::size_t i = 0; i < 6; ++i) {
+            text += workloads::generate(corpus.name, 300 + i * 170);
+            text += '\n';
+        }
+        streams.push_back(text);
+    }
+    const StatusCode forced_codes[] = {StatusCode::kDeadlineExceeded,
+                                       StatusCode::kCancelled,
+                                       StatusCode::kUnbalancedStructure};
+    std::vector<EngineOptions> configurations = descend_configurations();
+
+    long fired_total = 0;
+    long clean_total = 0;
+    for (long i = 0; i < iterations; ++i) {
+        std::size_t which = static_cast<std::size_t>(i) % corpora.size();
+        const Corpus& corpus = corpora[which];
+        std::mt19937_64 rng(seed0 * 0x9E3779B97F4A7C15ull +
+                            static_cast<std::uint64_t>(i) + 0xFA177ull);
+        StatusCode forced = forced_codes[rng() % 3];
+        EngineOptions options = configurations[pick(rng, configurations.size())];
+
+        fault::disarm_all();
+        switch (rng() % 3) {
+            case 0: {  // single engine
+                PaddedString padded(corpus.document);
+                std::size_t refills =
+                    corpus.document.size() / simd::kBatchSize + 2;
+                fault::arm(fault::Site::kBatchRefill, pick(rng, refills + 4),
+                           static_cast<std::uint64_t>(forced));
+                const std::string& query =
+                    corpus.queries[pick(rng, corpus.queries.size())];
+                DescendEngine engine(automaton::CompiledQuery::compile(query),
+                                     options);
+                OffsetSink sink;
+                EngineStatus status = engine.run(padded, sink);
+                bool fired = fault::fired_count(fault::Site::kBatchRefill) > 0;
+                std::string configuration =
+                    "descend[" + describe(options) + "] query " + query;
+                if (fired) {
+                    ++fired_total;
+                    if (status.code != forced) {
+                        return report_fault(
+                            corpus.name, configuration,
+                            "fired failpoint (forced " +
+                                std::string(status_name(forced)) +
+                                ") surfaced as " + to_string(status));
+                    }
+                    if (status.offset > padded.size()) {
+                        return report_fault(corpus.name, configuration,
+                                            "fired failpoint offset out of "
+                                            "bounds: " +
+                                                to_string(status));
+                    }
+                } else {
+                    ++clean_total;
+                    if (!status.ok()) {
+                        return report_fault(
+                            corpus.name, configuration,
+                            "armed-but-unfired failpoint changed the "
+                            "verdict: " +
+                                to_string(status));
+                    }
+                }
+                break;
+            }
+            case 1: {  // fused multi-query
+                PaddedString padded(corpus.document);
+                std::size_t refills =
+                    corpus.document.size() / simd::kBatchSize + 2;
+                fault::arm(fault::Site::kBatchRefill, pick(rng, refills + 4),
+                           static_cast<std::uint64_t>(forced));
+                multi::MultiDescendEngine fused(
+                    multi::MultiQuery::compile(corpus.queries), options);
+                multi::CollectingMultiSink sink(corpus.queries.size());
+                EngineStatus status = fused.run(padded, sink);
+                bool fired = fault::fired_count(fault::Site::kBatchRefill) > 0;
+                std::string configuration = "multi[" + describe(options) + "]";
+                if (fired) {
+                    ++fired_total;
+                    if (status.code != forced) {
+                        return report_fault(
+                            corpus.name, configuration,
+                            "fired failpoint (forced " +
+                                std::string(status_name(forced)) +
+                                ") surfaced as " + to_string(status));
+                    }
+                } else {
+                    ++clean_total;
+                    if (!status.ok()) {
+                        return report_fault(
+                            corpus.name, configuration,
+                            "armed-but-unfired failpoint changed the "
+                            "verdict: " +
+                                to_string(status));
+                    }
+                }
+                break;
+            }
+            default: {  // sharded stream executor
+                const std::string& text = streams[which];
+                PaddedString padded(text);
+                std::size_t spans = reference_split(text).size();
+                // Enough skip range that the shot often lands mid-stream
+                // and sometimes not at all.
+                std::size_t refills = text.size() / simd::kBatchSize + 8;
+                fault::arm(fault::Site::kBatchRefill, pick(rng, refills),
+                           static_cast<std::uint64_t>(forced));
+                if (rng() % 2 == 0) {
+                    fault::arm(fault::Site::kWorkerStartup, 0, rng() % 3);
+                }
+                stream::StreamOptions stream_options;
+                stream_options.threads = 1 + pick(rng, 3);
+                stream_options.records_per_batch = 1 + pick(rng, 3);
+                stream_options.engine = options;
+                stream::StreamExecutor executor(
+                    automaton::CompiledQuery::compile("$..id"), stream_options);
+                stream::CollectingStreamSink sink;
+                stream::StreamResult result = executor.run(padded, sink);
+                std::uint64_t fired =
+                    fault::fired_count(fault::Site::kBatchRefill);
+                std::string configuration =
+                    "stream[threads=" + std::to_string(stream_options.threads) +
+                    "," + describe(options) + "]";
+                if (result.records != spans) {
+                    return report_fault(corpus.name, configuration,
+                                        "record count diverges from the "
+                                        "reference splitter under faults");
+                }
+                if (result.failed_records != fired) {
+                    return report_fault(
+                        corpus.name, configuration,
+                        "one-shot failpoint fired " + std::to_string(fired) +
+                            " time(s) but " +
+                            std::to_string(result.failed_records) +
+                            " record(s) failed");
+                }
+                if (fired > 0) {
+                    ++fired_total;
+                    if (sink.errors().size() != 1 ||
+                        sink.errors().front().status.code != forced) {
+                        return report_fault(
+                            corpus.name, configuration,
+                            "fired failpoint (forced " +
+                                std::string(status_name(forced)) +
+                                ") did not surface as the failing record's "
+                                "error");
+                    }
+                } else {
+                    ++clean_total;
+                }
+                break;
+            }
+        }
+        if (verbose && (i + 1) % 500 == 0) {
+            std::printf("... %ld/%ld\n", i + 1, iterations);
+        }
+    }
+    fault::disarm_all();
+    std::printf("fuzz_engine --faults: %ld injected runs over %zu seeds OK\n"
+                "  failpoint fired: %ld, armed but unfired: %ld\n",
+                iterations, corpora.size(), fired_total, clean_total);
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -1206,6 +1429,7 @@ int main(int argc, char** argv)
     long iterations = 10000;
     long ndjson_iterations = -1;
     long multi_iterations = -1;
+    long fault_iterations = -1;
     std::uint64_t seed0 = 1;
     bool verbose = false;
     for (int i = 1; i < argc; ++i) {
@@ -1222,6 +1446,14 @@ int main(int argc, char** argv)
             multi_iterations = std::strtol(argv[++i], &end, 10);
             if (end == argv[i] || *end != '\0' || multi_iterations < 0) {
                 std::fprintf(stderr, "fuzz_engine: bad --multi '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+            char* end = nullptr;
+            fault_iterations = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || fault_iterations < 0) {
+                std::fprintf(stderr, "fuzz_engine: bad --faults '%s'\n",
                              argv[i]);
                 return 2;
             }
@@ -1246,7 +1478,7 @@ int main(int argc, char** argv)
             std::fprintf(stderr,
                          "usage: fuzz_engine [--iterations N] [--seed S] "
                          "[--verbose] | --ndjson N [--seed S] "
-                         "| --multi N [--seed S]\n");
+                         "| --multi N [--seed S] | --faults N [--seed S]\n");
             return 2;
         }
     }
@@ -1255,6 +1487,9 @@ int main(int argc, char** argv)
     }
     if (multi_iterations >= 0) {
         return run_multi_mode(multi_iterations, seed0, verbose);
+    }
+    if (fault_iterations >= 0) {
+        return run_faults_mode(fault_iterations, seed0, verbose);
     }
 
     std::vector<Corpus> corpora;
