@@ -1,0 +1,595 @@
+/**
+ * @file
+ * descend-serve load generator: end-to-end daemon latency and throughput.
+ *
+ *   bench_serve [--connections N] [--requests N] [--mb N] [--simd=LEVEL]
+ *   bench_serve --smoke
+ *
+ * Starts an in-process serve::Server on an ephemeral loopback TCP port and
+ * drives it with N concurrent client connections issuing framed requests
+ * (the exact wire protocol external clients speak — the loopback stack is
+ * part of the measurement). A hand-rolled harness: the quantities of
+ * interest are request latency percentiles (p50/p99) and aggregate body
+ * throughput, not steady-state iteration time.
+ *
+ * Scenarios cover the daemon's dispatch matrix and the automaton cache:
+ *
+ *   single-small / single-large   one query, 4 KiB / multi-MiB documents
+ *   multi                         fused 4-query set per request
+ *   ndjson                        multi-record stream body per request
+ *   cache-cold vs cache-warm      unique query text per request (every
+ *                                 request compiles) vs one hot query (every
+ *                                 request hits the cache) over tiny bodies,
+ *                                 so the row pair isolates compile cost;
+ *                                 the warm row's "speedup" extra is
+ *                                 cold p50 / warm p50
+ *
+ * Results go to BENCH_serve.json (DESCEND_BENCH_JSON overrides) via the
+ * shared section-merging writer: gbps = total body bytes / wall seconds
+ * across all connections, extras carry p50_us / p99_us / requests.
+ *
+ * --smoke: small documents, correctness only — every mode's response is
+ * compared against direct in-process engine runs, malformed frames must
+ * come back as structured statuses on a then-closed connection, a 1 ms
+ * deadline over a 32 MiB body must be cut off by governance, and a cache
+ * hit must flag kCacheHit while returning bit-identical results. Exits
+ * non-zero on any failure; wired into CI.
+ */
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "descend/descend.h"
+#include "descend/serve/server.h"
+#include "descend/stream/stream_executor.h"
+#include "descend/workloads/datasets.h"
+
+namespace {
+
+using namespace descend;
+using Clock = std::chrono::steady_clock;
+
+/** Blocking loopback client speaking one request/response at a time. */
+class Client {
+public:
+    explicit Client(std::uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        if (fd_ < 0 || ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                 sizeof(addr)) != 0) {
+            std::fprintf(stderr, "FAIL: cannot connect to bench server\n");
+            std::exit(1);
+        }
+        int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, 1 /* TCP_NODELAY */, &one, sizeof(one));
+    }
+
+    ~Client()
+    {
+        if (fd_ >= 0) {
+            ::close(fd_);
+        }
+    }
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    void send_bytes(const std::vector<std::uint8_t>& bytes)
+    {
+        std::size_t sent = 0;
+        while (sent < bytes.size()) {
+            ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+            if (n <= 0) {
+                std::fprintf(stderr, "FAIL: bench client send\n");
+                std::exit(1);
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+
+    /** Reads until one full response decodes. False on connection close
+     *  with no (further) decodable response. */
+    bool read_response(serve::Response& response)
+    {
+        std::uint8_t chunk[64 << 10];
+        for (;;) {
+            std::size_t consumed = 0;
+            if (!buffer_.empty() &&
+                serve::decode_response(buffer_.data(), buffer_.size(),
+                                       response, consumed)) {
+                buffer_.erase(buffer_.begin(),
+                              buffer_.begin() +
+                                  static_cast<std::ptrdiff_t>(consumed));
+                return true;
+            }
+            ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0) {
+                return false;
+            }
+            buffer_.insert(buffer_.end(), chunk, chunk + n);
+        }
+    }
+
+    serve::Response roundtrip(const serve::Request& request)
+    {
+        send_bytes(serve::encode_request(request));
+        serve::Response response;
+        if (!read_response(response)) {
+            std::fprintf(stderr, "FAIL: bench server closed mid-request\n");
+            std::exit(1);
+        }
+        return response;
+    }
+
+    int fd() const noexcept { return fd_; }
+
+private:
+    int fd_ = -1;
+    std::vector<std::uint8_t> buffer_;
+};
+
+double percentile(std::vector<double>& sorted_us, double p)
+{
+    if (sorted_us.empty()) {
+        return 0;
+    }
+    std::sort(sorted_us.begin(), sorted_us.end());
+    std::size_t index = static_cast<std::size_t>(
+        p * static_cast<double>(sorted_us.size() - 1) + 0.5);
+    return sorted_us[index];
+}
+
+struct LoadResult {
+    std::vector<double> latencies_us;
+    double wall_seconds = 0;
+    std::uint64_t body_bytes = 0;
+    std::uint64_t matches = 0;
+    std::uint64_t failures = 0;
+};
+
+/**
+ * Drives @p requests_per_conn requests down each of @p connections
+ * concurrent clients; make_request(connection, sequence) builds each
+ * frame's request.
+ */
+template <typename MakeRequest>
+LoadResult drive(std::uint16_t port, std::size_t connections,
+                 std::size_t requests_per_conn, MakeRequest make_request)
+{
+    std::vector<LoadResult> per_conn(connections);
+    Clock::time_point start = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+        threads.emplace_back([&, c] {
+            Client client(port);
+            LoadResult& local = per_conn[c];
+            local.latencies_us.reserve(requests_per_conn);
+            for (std::size_t r = 0; r < requests_per_conn; ++r) {
+                serve::Request request = make_request(c, r);
+                local.body_bytes += request.body.size();
+                Clock::time_point sent = Clock::now();
+                serve::Response response = client.roundtrip(request);
+                local.latencies_us.push_back(
+                    std::chrono::duration<double, std::micro>(Clock::now() -
+                                                              sent)
+                        .count());
+                local.matches += response.match_count;
+                if (!response.ok()) {
+                    ++local.failures;
+                }
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    LoadResult total;
+    total.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    for (LoadResult& conn : per_conn) {
+        total.latencies_us.insert(total.latencies_us.end(),
+                                  conn.latencies_us.begin(),
+                                  conn.latencies_us.end());
+        total.body_bytes += conn.body_bytes;
+        total.matches += conn.matches;
+        total.failures += conn.failures;
+    }
+    return total;
+}
+
+bench::BenchRow make_row(const char* name, const LoadResult& result)
+{
+    bench::BenchRow row;
+    row.section = "serve";
+    row.name = name;
+    row.tier = simd::level_name(simd::default_level());
+    row.gbps = static_cast<double>(result.body_bytes) /
+               (1e9 * result.wall_seconds);
+    std::vector<double> latencies = result.latencies_us;
+    row.extra.emplace_back("p50_us", percentile(latencies, 0.50));
+    row.extra.emplace_back("p99_us", percentile(latencies, 0.99));
+    row.extra.emplace_back("requests",
+                           static_cast<double>(result.latencies_us.size()));
+    return row;
+}
+
+void print_row(const bench::BenchRow& row, const LoadResult& result)
+{
+    std::printf("%-14s %6zu req  %8.0f us p50  %8.0f us p99  %7.3f GB/s"
+                "  (%llu matches, %llu failures)\n",
+                row.name.c_str(), result.latencies_us.size(),
+                row.extra[0].second, row.extra[1].second, row.gbps,
+                static_cast<unsigned long long>(result.matches),
+                static_cast<unsigned long long>(result.failures));
+}
+
+serve::Request single_request(std::string query, std::string body)
+{
+    serve::Request request;
+    request.mode = serve::RequestMode::kSingle;
+    request.query = std::move(query);
+    request.body = std::move(body);
+    return request;
+}
+
+int run_throughput(std::size_t connections, std::size_t requests,
+                   std::size_t target_mb)
+{
+    serve::ServerConfig config;
+    serve::Server server(config);
+    std::string error;
+    if (!server.start(error)) {
+        std::fprintf(stderr, "FAIL: %s\n", error.c_str());
+        return 1;
+    }
+    const std::uint16_t port = server.tcp_port();
+
+    const std::string small_doc =
+        workloads::generate("bestbuy", std::size_t{4} << 10);
+    const std::string large_doc =
+        workloads::generate("bestbuy", target_mb << 20);
+    std::string ndjson_body;
+    {
+        std::string record =
+            workloads::generate("walmart", std::size_t{16} << 10);
+        for (std::size_t i = 0; i < 64; ++i) {
+            ndjson_body += record;
+            ndjson_body += '\n';
+        }
+    }
+    const std::string query = "$.products.*.sku";
+    const std::string multi_query =
+        "$.products.*.categoryPath.*.id\n$.products.*.sku\n"
+        "$.products.*.videoChapters\n$..name";
+
+    std::vector<bench::BenchRow> rows;
+
+    LoadResult result = drive(port, connections, requests, [&](auto, auto) {
+        return single_request(query, small_doc);
+    });
+    rows.push_back(make_row("single-small", result));
+    print_row(rows.back(), result);
+
+    result = drive(port, connections, std::max<std::size_t>(requests / 8, 2),
+                   [&](auto, auto) {
+                       return single_request(query, large_doc);
+                   });
+    rows.push_back(make_row("single-large", result));
+    print_row(rows.back(), result);
+
+    result = drive(port, connections, requests, [&](auto, auto) {
+        serve::Request request = single_request(multi_query, small_doc);
+        request.mode = serve::RequestMode::kMulti;
+        return request;
+    });
+    rows.push_back(make_row("multi", result));
+    print_row(rows.back(), result);
+
+    result = drive(port, connections, std::max<std::size_t>(requests / 4, 2),
+                   [&](auto, auto) {
+                       serve::Request request =
+                           single_request("$.items.*.name", ndjson_body);
+                       request.mode = serve::RequestMode::kNdjson;
+                       return request;
+                   });
+    rows.push_back(make_row("ndjson", result));
+    print_row(rows.back(), result);
+
+    // The cache pair: every cold request carries a previously unseen query
+    // text (a per-connection/sequence head label — compiles, misses, and
+    // evicts harmlessly), every warm request the same hot query. The two
+    // query shapes are identical (a long child chain under a descendant
+    // head that never matches, so head-skipping makes the run itself
+    // negligible); the only difference between the rows is the compile.
+    const std::string chain =
+        ".alpha.beta.gamma.delta.epsilon.zeta.eta.theta.iota.kappa";
+    LoadResult cold =
+        drive(port, connections, requests, [&](std::size_t c, std::size_t r) {
+            return single_request("$..cold_" + std::to_string(c) + "_" +
+                                      std::to_string(r) + chain,
+                                  small_doc);
+        });
+    rows.push_back(make_row("cache-cold", cold));
+    print_row(rows.back(), cold);
+
+    LoadResult warm = drive(port, connections, requests, [&](auto, auto) {
+        return single_request("$..warm_anchor" + chain, small_doc);
+    });
+    bench::BenchRow warm_row = make_row("cache-warm", warm);
+    {
+        std::vector<double> cold_lat = cold.latencies_us;
+        std::vector<double> warm_lat = warm.latencies_us;
+        double cold_p50 = percentile(cold_lat, 0.50);
+        double warm_p50 = percentile(warm_lat, 0.50);
+        warm_row.extra.emplace_back(
+            "speedup", warm_p50 > 0 ? cold_p50 / warm_p50 : 0.0);
+    }
+    rows.push_back(warm_row);
+    print_row(rows.back(), warm);
+
+    server.shutdown();
+    server.wait();
+
+    const serve::CacheStats cache = server.cache_stats();
+    std::printf("cache: %llu hits, %llu misses, %llu evictions\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.evictions));
+
+    const char* env = std::getenv("DESCEND_BENCH_JSON");
+    std::string path =
+        env != nullptr && *env != '\0' ? env : "BENCH_serve.json";
+    bench::merge_bench_json("serve", rows, path);
+    return 0;
+}
+
+// --- smoke ---------------------------------------------------------------
+
+int g_failures = 0;
+
+void check(bool ok, const char* what)
+{
+    std::printf("smoke: %-44s ... %s\n", what, ok ? "ok" : "FAIL");
+    if (!ok) {
+        ++g_failures;
+    }
+}
+
+void run_smoke_checks(std::uint16_t port)
+{
+    const std::string doc =
+        workloads::generate("bestbuy", std::size_t{256} << 10);
+    const std::string query = "$.products.*.sku";
+    PaddedString padded(doc);
+
+    // Single mode: counts and offsets must equal a direct engine run.
+    {
+        DescendEngine engine = DescendEngine::for_query(query);
+        OffsetsResult expected = engine.offsets_checked(padded);
+        Client client(port);
+        serve::Request request = single_request(query, doc);
+        request.flags = serve::kWantOffsets | serve::kWantStats;
+        serve::Response response = client.roundtrip(request);
+        check(response.serve_status == serve::ServeStatus::kOk &&
+                  response.engine_status.ok() &&
+                  response.match_count == expected.offsets.size() &&
+                  std::equal(response.offsets.begin(), response.offsets.end(),
+                             expected.offsets.begin(), expected.offsets.end()),
+              "single mode matches direct engine run");
+        check(!response.stats_json.empty() &&
+                  response.stats_json.front() == '{',
+              "single mode returns a stats report");
+
+        // Same request again: a cache hit with bit-identical results.
+        serve::Response again = client.roundtrip(request);
+        check(again.cache_hit() && !response.cache_hit(),
+              "second request is a cache hit, first was not");
+        check(again.match_count == response.match_count &&
+                  again.offsets == response.offsets,
+              "cache hit returns identical results to cold compile");
+    }
+
+    // Multi mode: per-query counts against independent runs.
+    {
+        std::vector<std::string> queries = {"$.products.*.sku",
+                                            "$.products.*.categoryPath.*.id"};
+        std::size_t expected_total = 0;
+        std::vector<std::uint64_t> expected_pairs;
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            DescendEngine engine = DescendEngine::for_query(queries[q]);
+            OffsetsResult result = engine.offsets_checked(padded);
+            expected_total += result.offsets.size();
+            for (std::size_t offset : result.offsets) {
+                expected_pairs.push_back(q);
+                expected_pairs.push_back(offset);
+            }
+        }
+        Client client(port);
+        serve::Request request =
+            single_request(queries[0] + "\n" + queries[1], doc);
+        request.mode = serve::RequestMode::kMulti;
+        request.flags = serve::kWantOffsets;
+        serve::Response response = client.roundtrip(request);
+        check(response.ok() && response.match_count == expected_total &&
+                  response.offsets == expected_pairs,
+              "multi mode interleaves (query, offset) pairs");
+    }
+
+    // NDJSON mode: absolute offsets against a direct stream run.
+    {
+        std::string stream_body;
+        std::string record = workloads::generate("walmart", std::size_t{8} << 10);
+        for (int i = 0; i < 8; ++i) {
+            stream_body += record;
+            stream_body += '\n';
+        }
+        PaddedString stream_padded(stream_body);
+        stream::StreamExecutor executor =
+            stream::StreamExecutor::for_query("$.items.*.name");
+        const std::vector<stream::RecordSpan> spans = stream::split_records(
+            stream_padded, simd::best_kernels());
+        stream::CollectingStreamSink expected;
+        stream::StreamResult direct =
+            executor.run_records(stream_padded, spans, expected);
+        std::vector<std::uint64_t> expected_offsets;
+        for (const auto& match : expected.matches()) {
+            expected_offsets.push_back(spans[match.record].begin +
+                                       match.offset);
+        }
+        Client client(port);
+        serve::Request request = single_request("$.items.*.name", stream_body);
+        request.mode = serve::RequestMode::kNdjson;
+        request.flags = serve::kWantOffsets;
+        serve::Response response = client.roundtrip(request);
+        check(response.ok() && response.match_count == direct.matches &&
+                  response.offsets == expected_offsets,
+              "ndjson mode reports absolute stream offsets");
+    }
+
+    // Garbage: a structured status, then a closed connection — never a
+    // crashed server (the next check proves it still answers).
+    {
+        Client client(port);
+        std::vector<std::uint8_t> garbage(64, 0xA5);
+        client.send_bytes(garbage);
+        serve::Response response;
+        bool got = client.read_response(response);
+        check(got && response.serve_status == serve::ServeStatus::kBadMagic,
+              "garbage frame yields a structured bad-magic status");
+        check(!client.read_response(response),
+              "poisoned connection is closed after the error");
+    }
+
+    // Bad query: structured kBadQuery, connection stays usable.
+    {
+        Client client(port);
+        serve::Response response =
+            client.roundtrip(single_request("$.[unclosed", doc));
+        check(response.serve_status == serve::ServeStatus::kBadQuery,
+              "malformed query yields kBadQuery");
+        response = client.roundtrip(single_request(query, doc));
+        check(response.ok(), "connection survives a bad query");
+    }
+
+    // Oversized body: rejected from the header alone.
+    {
+        Client client(port);
+        serve::Request request = single_request(query, doc);
+        std::vector<std::uint8_t> frame = serve::encode_request(request);
+        // Rewrite body_len (offset 36) to 1 TiB; send only the header — the
+        // server must reject without waiting for a payload.
+        const std::uint64_t huge = std::uint64_t{1} << 40;
+        for (int b = 0; b < 8; ++b) {
+            frame[36 + b] = static_cast<std::uint8_t>(huge >> (8 * b));
+        }
+        frame.resize(serve::kRequestHeaderSize);
+        client.send_bytes(frame);
+        serve::Response response;
+        bool got = client.read_response(response);
+        check(got &&
+                  response.serve_status == serve::ServeStatus::kBodyTooLarge,
+              "oversized body_len rejected from the header");
+    }
+
+    // Tenant limit: a request-tightened max_matches trips kMatchLimit.
+    {
+        Client client(port);
+        serve::Request request = single_request(query, doc);
+        request.max_matches = 1;
+        serve::Response response = client.roundtrip(request);
+        check(response.serve_status == serve::ServeStatus::kOk &&
+                  response.engine_status.code == StatusCode::kMatchLimit,
+              "per-request max_matches enforces kMatchLimit");
+    }
+
+    // Deadline: 1 ms over a 32 MiB body must be stopped by governance (the
+    // engine polls per 512-byte batch, so even several GB/s of engine
+    // cannot finish 32 MiB inside the deadline).
+    {
+        std::string big = workloads::generate("bestbuy", std::size_t{32} << 20);
+        Client client(port);
+        serve::Request request = single_request(query, std::move(big));
+        request.deadline_ms = 1;
+        serve::Response response = client.roundtrip(request);
+        check(response.serve_status == serve::ServeStatus::kOk &&
+                  response.engine_status.code == StatusCode::kDeadlineExceeded,
+              "1 ms deadline over 32 MiB trips kDeadlineExceeded");
+    }
+}
+
+int run_smoke()
+{
+    serve::ServerConfig config;
+    config.workers = 2;
+    serve::Server server(config);
+    std::string error;
+    if (!server.start(error)) {
+        std::fprintf(stderr, "FAIL: %s\n", error.c_str());
+        return 1;
+    }
+    run_smoke_checks(server.tcp_port());
+    server.shutdown();
+    server.wait();
+    check(!server.running(), "server drains to a stop on shutdown");
+    if (g_failures == 0) {
+        std::printf("smoke: serve daemon end-to-end checks all passed\n");
+    }
+    return g_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    descend::bench::apply_simd_flag(argc, argv);
+    std::size_t connections = 4;
+    std::size_t requests = 64;
+    std::size_t target_mb = 8;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--connections" && i + 1 < argc) {
+            connections = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--requests" && i + 1 < argc) {
+            requests = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--mb" && i + 1 < argc) {
+            target_mb = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_serve [--connections N] [--requests N] "
+                         "[--mb N] [--simd=LEVEL] | --smoke\n");
+            return 2;
+        }
+    }
+    if (smoke) {
+        return run_smoke();
+    }
+    const char* env_mb = std::getenv("DESCEND_BENCH_MB");
+    if (env_mb != nullptr && *env_mb != '\0') {
+        target_mb = static_cast<std::size_t>(
+            std::strtoull(env_mb, nullptr, 10));
+    }
+    return run_throughput(std::max<std::size_t>(connections, 1),
+                          std::max<std::size_t>(requests, 1), target_mb);
+}

@@ -1,6 +1,7 @@
 #include "descend/engine/padded_string.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <new>
@@ -57,6 +58,23 @@ std::uint8_t* allocate_padded(std::size_t logical_size)
 
 }  // namespace
 
+std::size_t PaddedString::mmap_threshold()
+{
+    // Re-read per call (from_file is never hot): a test harness sets
+    // DESCEND_MMAP_THRESHOLD to steer small fixtures onto the mmap path,
+    // and per-call reads keep such tests order-independent.
+    const char* override_text = std::getenv("DESCEND_MMAP_THRESHOLD");
+    if (override_text == nullptr || *override_text == '\0') {
+        return kMmapThreshold;
+    }
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(override_text, &end, 10);
+    if (end == override_text || *end != '\0') {
+        return kMmapThreshold;
+    }
+    return static_cast<std::size_t>(value);
+}
+
 PaddedString::PaddedString(std::string_view contents) : size_(contents.size())
 {
     data_ = allocate_padded(size_);
@@ -89,9 +107,12 @@ PaddedString PaddedString::from_file(const std::string& path)
     }
     if (fd >= 0) {
         struct stat st{};
+        // st_size > 0: a zero-length file must take the portable path —
+        // mmap with length 0 fails with EINVAL, and mapping the one
+        // anonymous padding page for an empty document buys nothing.
         bool fits = ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) &&
-                    st.st_size >= 0 &&
-                    static_cast<std::size_t>(st.st_size) >= kMmapThreshold;
+                    st.st_size > 0 &&
+                    static_cast<std::size_t>(st.st_size) >= mmap_threshold();
         if (fits) {
             auto size = static_cast<std::size_t>(st.st_size);
             auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));

@@ -54,8 +54,18 @@ public:
      */
     static PaddedString from_file(const std::string& path);
 
-    /** Files at or above this size are mmapped by from_file (POSIX only). */
+    /**
+     * Files at or above this size are mmapped by from_file (POSIX only).
+     * The DESCEND_MMAP_THRESHOLD env var overrides it — tests lower it to
+     * exercise the mmap path with small fixture files. Zero-length files
+     * always take the portable path: mmap of an empty region is an EINVAL,
+     * not a buffer.
+     */
     static constexpr std::size_t kMmapThreshold = std::size_t{1} << 22;
+
+    /** The effective threshold: kMmapThreshold, or the
+     *  DESCEND_MMAP_THRESHOLD env override (re-read per call). */
+    static std::size_t mmap_threshold();
 
     PaddedString(PaddedString&& other) noexcept;
     PaddedString& operator=(PaddedString&& other) noexcept;

@@ -80,6 +80,10 @@ enum class Counter : std::uint8_t {
     kCancelHits,           ///< runs stopped by a CancelToken
     kScalarRetries,        ///< records re-run on the scalar tier (kRetryScalar)
     kTierDivergences,      ///< scalar retries that changed the outcome
+    // --- serve daemon (src/descend/serve): per-request tallies folded
+    //     into each response's stats report ---
+    kServeCacheHits,       ///< requests served from the compiled-query cache
+    kServeCacheMisses,     ///< requests that compiled their query fresh
     kCount_,
 };
 
@@ -119,6 +123,8 @@ constexpr const char* counter_name(Counter id) noexcept
         case Counter::kCancelHits: return "cancel_hits";
         case Counter::kScalarRetries: return "scalar_retries";
         case Counter::kTierDivergences: return "tier_divergences";
+        case Counter::kServeCacheHits: return "serve_cache_hits";
+        case Counter::kServeCacheMisses: return "serve_cache_misses";
         case Counter::kCount_: break;
     }
     return "unknown";

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "descend/engine/scratch.h"
 #include "descend/fault/failpoints.h"
 
 namespace descend::stream {
@@ -105,6 +106,11 @@ StreamResult StreamExecutor::run_records(PaddedView input,
             fault::maybe_stall(fault::Site::kWorkerStartup);
         }
         ShardObs& local = shard_obs[shard];
+        // Worker-lifetime scratch: the match collectors keep their buffer
+        // capacity across every record this worker runs, so the steady
+        // state allocates only for records that actually match (the copy
+        // into the outcome below).
+        RunScratch scratch;
         // Scalar-tier engine for kRetryScalar, built on first use (the
         // failure path): same query and options, scalar kernels.
         std::unique_ptr<DescendEngine> scalar_engine;
@@ -141,7 +147,7 @@ StreamResult StreamExecutor::run_records(PaddedView input,
                     break;
                 }
                 const RecordSpan& span = records[r];
-                OffsetSink collector;
+                scratch.matches.reset();
                 RecordOutcome outcome;
                 outcome.record = r;
                 // Active stream governance replaces the engine's own
@@ -157,10 +163,10 @@ StreamResult StreamExecutor::run_records(PaddedView input,
                     stream_governed || record_governed
                         ? engine_.run_with_stats(
                               input.subview(span.begin, span.size()),
-                              collector, record_budget)
+                              scratch.matches, record_budget)
                         : engine_.run_with_stats(
                               input.subview(span.begin, span.size()),
-                              collector);
+                              scratch.matches);
                 outcome.status = run_stats.status;
                 if constexpr (obs::kEnabled) {
                     local.counters.merge(run_stats.counters);
@@ -190,15 +196,15 @@ StreamResult StreamExecutor::run_records(PaddedView input,
                                 engine_.compiled_query().source()),
                             scalar_options);
                     }
-                    OffsetSink scalar_collector;
+                    scratch.retry_matches.reset();
                     RunStats scalar_stats =
                         stream_governed || record_governed
                             ? scalar_engine->run_with_stats(
                                   input.subview(span.begin, span.size()),
-                                  scalar_collector, record_budget)
+                                  scratch.retry_matches, record_budget)
                             : scalar_engine->run_with_stats(
                                   input.subview(span.begin, span.size()),
-                                  scalar_collector);
+                                  scratch.retry_matches);
                     ++local.retried;
                     local.counters.add(obs::Counter::kScalarRetries);
                     if (scalar_stats.status.code != outcome.status.code ||
@@ -208,10 +214,13 @@ StreamResult StreamExecutor::run_records(PaddedView input,
                     }
                     outcome.status = scalar_stats.status;
                     if (outcome.status.ok()) {
-                        outcome.offsets = scalar_collector.take_offsets();
+                        outcome.offsets.assign(
+                            scratch.retry_matches.offsets().begin(),
+                            scratch.retry_matches.offsets().end());
                     }
                 } else if (outcome.status.ok()) {
-                    outcome.offsets = collector.take_offsets();
+                    outcome.offsets.assign(scratch.matches.offsets().begin(),
+                                           scratch.matches.offsets().end());
                 }
                 if (!outcome.status.ok() && fail_fast) {
                     lower_floor(error_floor, r);

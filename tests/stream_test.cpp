@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -493,6 +494,72 @@ TEST(PaddedStringFromFile, LargeFileRunsThroughEngine)
     CountResult heap = engine.count_checked(PaddedString(content));
     EXPECT_EQ(mapped.status, heap.status);
     EXPECT_EQ(mapped.count, heap.count);
+}
+
+/** Scoped DESCEND_MMAP_THRESHOLD override (restored on destruction). */
+class MmapThresholdOverride {
+public:
+    explicit MmapThresholdOverride(const char* value)
+    {
+        ::setenv("DESCEND_MMAP_THRESHOLD", value, 1);
+    }
+    ~MmapThresholdOverride() { ::unsetenv("DESCEND_MMAP_THRESHOLD"); }
+};
+
+TEST(PaddedStringFromFile, ThresholdEnvOverrideParsesStrictly)
+{
+    EXPECT_EQ(PaddedString::mmap_threshold(), PaddedString::kMmapThreshold);
+    {
+        MmapThresholdOverride override_guard("12345");
+        EXPECT_EQ(PaddedString::mmap_threshold(), 12345u);
+    }
+    {
+        // Trailing junk and non-numbers fall back to the default.
+        MmapThresholdOverride override_guard("12x");
+        EXPECT_EQ(PaddedString::mmap_threshold(),
+                  PaddedString::kMmapThreshold);
+    }
+    EXPECT_EQ(PaddedString::mmap_threshold(), PaddedString::kMmapThreshold);
+}
+
+TEST(PaddedStringFromFile, ZeroLengthFileLoadsEvenWhenMmapIsForced)
+{
+    // Regression: with the threshold forced to 0 every file qualifies for
+    // the mmap fast path, but mmap of length 0 is EINVAL — a zero-length
+    // file must be routed down the portable path up front, not rescued by
+    // the mmap-failure fallback.
+    MmapThresholdOverride override_guard("0");
+    PaddedString loaded = roundtrip_through_file("");
+    EXPECT_EQ(loaded.size(), 0u);
+    EXPECT_TRUE(loaded.empty());
+    ASSERT_NE(loaded.data(), nullptr);
+    for (std::size_t i = 0; i < PaddedString::kPadding; ++i) {
+        EXPECT_EQ(loaded.data()[i], ' ');
+    }
+    // An engine run over the empty document reports kEmptyDocument, the
+    // same as an empty heap-backed PaddedString.
+    DescendEngine engine = DescendEngine::for_query("$..a");
+    CountResult from_disk = engine.count_checked(loaded);
+    CountResult from_heap = engine.count_checked(PaddedString(""));
+    EXPECT_EQ(from_disk.status, from_heap.status);
+    EXPECT_EQ(from_disk.count, from_heap.count);
+}
+
+TEST(PaddedStringFromFile, SmallFileTakesMmapPathUnderLoweredThreshold)
+{
+    // The override steers a tiny fixture down the mmap path: contents,
+    // padding, and engine results must be indistinguishable from the
+    // portable read.
+    std::string content = "{\"a\": [1, 2, 3], \"b\": {\"a\": 4}}";
+    MmapThresholdOverride override_guard("1");
+    ASSERT_EQ(PaddedString::mmap_threshold(), 1u);
+    PaddedString loaded = roundtrip_through_file(content);
+    EXPECT_EQ(loaded.view(), content);
+    for (std::size_t i = 0; i < PaddedString::kPadding; ++i) {
+        EXPECT_EQ(loaded.data()[loaded.size() + i], ' ');
+    }
+    DescendEngine engine = DescendEngine::for_query("$..a");
+    EXPECT_EQ(engine.count_checked(loaded).count, 2u);
 }
 
 }  // namespace

@@ -30,6 +30,16 @@
  *   fuzz_engine --ndjson N [--seed S]
  *   fuzz_engine --multi N [--seed S]
  *   fuzz_engine --faults N [--seed S]
+ *   fuzz_engine --serve-frames N [--seed S]
+ *
+ * --serve-frames N: wire-protocol mode for the descend-serve daemon. Valid
+ * request frames (random mode/flags/limits/query/document) are mutated —
+ * byte flips, truncations, length-field corruption, frame splices, pure
+ * garbage — and driven through the exact server-side path a connection
+ * uses (FrameReader with random chunking, then Dispatcher on decoded
+ * requests): the server loop must never crash (run under the asan preset),
+ * every outcome must be a valid in-range ServeStatus, reader errors must
+ * be sticky, and every response must survive an encode/decode round trip.
  *
  * --faults N: randomized failpoint injection (see src/descend/fault).
  * Requires a DESCEND_FAULT=ON build — exits 0 with a notice otherwise.
@@ -69,8 +79,12 @@
 #include "descend/baselines/surfer_engine.h"
 #include "descend/descend.h"
 #include "descend/fault/failpoints.h"
+#include "descend/engine/scratch.h"
 #include "descend/json/dom.h"
 #include "descend/multi/multi_engine.h"
+#include "descend/serve/dispatch.h"
+#include "descend/serve/protocol.h"
+#include "descend/serve/query_cache.h"
 #include "descend/workloads/datasets.h"
 
 namespace {
@@ -1422,6 +1436,223 @@ int run_faults_mode(long iterations, std::uint64_t seed0, bool verbose)
     return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Serve-frame mutation mode: the daemon's wire path under hostile bytes.
+//
+// Mirrors exactly what the server does per connection: an incremental
+// FrameReader fed in arbitrary chunks, take_request() on kReady, then
+// Dispatcher::handle() — with a shared QueryCache and a reused RunScratch,
+// like one worker thread. The contract under ANY byte sequence:
+//
+//  - no crash, no exception escaping the dispatch path;
+//  - a reader error is a valid in-range ServeStatus (never kOk) and is
+//    sticky across further feeds (the poisoned-connection invariant);
+//  - every decoded request produces a response whose serve_status is
+//    in-range, and whose encoding survives a decode_response round trip
+//    (what a real client would receive and parse);
+//  - an unmutated frame must decode and dispatch with ServeStatus::kOk or
+//    kBadQuery (some generated queries are deliberately invalid).
+// ---------------------------------------------------------------------------
+
+int report_frames(long iteration, const std::string& detail)
+{
+    std::printf("SERVE-FRAME DISAGREEMENT\niteration: %ld\nproblem: %s\n",
+                iteration, detail.c_str());
+    return 1;
+}
+
+/** One worker's view of a connection: chunked feed, dispatch on ready.
+ *  Returns empty on contract violations, else a problem description. */
+template <typename Rng>
+std::string drive_connection(const std::vector<std::uint8_t>& wire,
+                             serve::Dispatcher& dispatcher,
+                             RunScratch& scratch, Rng& rng, bool& dispatched)
+{
+    serve::FrameReader reader;
+    std::size_t fed = 0;
+    dispatched = false;
+    while (fed < wire.size()) {
+        std::size_t chunk = 1 + pick(rng, 997);
+        chunk = std::min(chunk, wire.size() - fed);
+        serve::FrameReader::State state = reader.feed(wire.data() + fed, chunk);
+        fed += chunk;
+        if (state == serve::FrameReader::State::kError) {
+            serve::ServeStatus error = reader.error();
+            if (static_cast<std::size_t>(error) >= serve::kServeStatusCount ||
+                error == serve::ServeStatus::kOk) {
+                return "reader error is not a valid non-ok ServeStatus";
+            }
+            // Sticky: more bytes (even a pristine frame) must not revive it.
+            std::vector<std::uint8_t> valid = serve::encode_request({});
+            if (reader.feed(valid.data(), valid.size()) !=
+                    serve::FrameReader::State::kError ||
+                reader.error() != error) {
+                return "reader error is not sticky across further feeds";
+            }
+            return {};
+        }
+        while (reader.state() == serve::FrameReader::State::kReady) {
+            serve::Request request = reader.take_request();
+            serve::Response response;
+            try {
+                response = dispatcher.handle(request, scratch);
+            } catch (const std::exception& e) {
+                return std::string("dispatcher threw: ") + e.what();
+            }
+            dispatched = true;
+            if (static_cast<std::size_t>(response.serve_status) >=
+                serve::kServeStatusCount) {
+                return "response serve_status out of range";
+            }
+            // What a client receives must decode back to the same verdict.
+            std::vector<std::uint8_t> encoded =
+                serve::encode_response(response);
+            serve::Response decoded;
+            std::size_t consumed = 0;
+            if (!serve::decode_response(encoded.data(), encoded.size(),
+                                        decoded, consumed) ||
+                consumed != encoded.size() ||
+                decoded.serve_status != response.serve_status ||
+                decoded.engine_status.code != response.engine_status.code ||
+                decoded.match_count != response.match_count ||
+                decoded.offsets != response.offsets) {
+                return "response does not survive an encode/decode round trip";
+            }
+        }
+    }
+    // End-of-input: an incomplete buffered frame must surface as exactly
+    // kTruncatedFrame, never anything else.
+    serve::FrameReader::State state = reader.finish();
+    if (state == serve::FrameReader::State::kError &&
+        reader.error() != serve::ServeStatus::kTruncatedFrame) {
+        return "finish() on a partial frame is not kTruncatedFrame";
+    }
+    return {};
+}
+
+int run_serve_frames_mode(long iterations, std::uint64_t seed0, bool verbose)
+{
+    // Seed material: documents of several sizes, valid and invalid queries,
+    // all three modes, governance fields included.
+    std::vector<std::string> documents;
+    for (const std::string& name :
+         {std::string("bestbuy"), std::string("twitter_small")}) {
+        documents.push_back(workloads::generate(name, 600));
+        documents.push_back(workloads::generate(name, 4000));
+    }
+    documents.push_back("");
+    documents.push_back("{\"a\": 1}\n{\"a\": 2}\n{\"a\": [3]}\n");
+    const char* queries[] = {"$..a",       "$.products.*.sku",
+                             "$.*",        "$..a\n$..b",
+                             "$.[broken",  "",
+                             "not a query"};
+
+    serve::QueryCache cache(32, 4);
+    serve::Dispatcher dispatcher(serve::ServePolicy{}, cache);
+    RunScratch scratch;
+
+    long mutants = 0;
+    long dispatched_total = 0;
+    long rejected_total = 0;
+    for (long i = 0; i < iterations; ++i) {
+        std::mt19937_64 rng(seed0 * 0x9E3779B97F4A7C15ull +
+                            static_cast<std::uint64_t>(i) + 0x5EF7Eull);
+        serve::Request request;
+        request.mode = static_cast<serve::RequestMode>(rng() % 4);  // 3 = bad
+        request.flags = static_cast<std::uint32_t>(rng() % 4);
+        request.deadline_ms = rng() % 3 == 0 ? 1 + pick(rng, 100000) : 0;
+        request.max_depth = rng() % 3 == 0 ? 1 + pick(rng, 64) : 0;
+        request.max_matches = rng() % 3 == 0 ? 1 + pick(rng, 1000) : 0;
+        request.query = queries[pick(rng, std::size(queries))];
+        request.body = documents[pick(rng, documents.size())];
+        std::vector<std::uint8_t> wire = serve::encode_request(request);
+
+        bool pristine = false;
+        switch (rng() % 8) {
+            case 0:  // unmutated: must decode and dispatch
+                pristine = static_cast<std::uint16_t>(request.mode) < 3;
+                break;
+            case 1: {  // flip one random byte
+                std::size_t at = pick(rng, wire.size());
+                wire[at] ^= static_cast<std::uint8_t>(1 + pick(rng, 255));
+                break;
+            }
+            case 2:  // truncate at a random point
+                wire.resize(pick(rng, wire.size()));
+                break;
+            case 3: {  // corrupt 4 bytes at a random offset (length fields)
+                std::size_t at = pick(rng, wire.size() > 4 ? wire.size() - 4 : 1);
+                for (int b = 0; b < 4 && at + static_cast<std::size_t>(b) <
+                                             wire.size(); ++b) {
+                    wire[at + static_cast<std::size_t>(b)] =
+                        static_cast<std::uint8_t>(rng());
+                }
+                break;
+            }
+            case 4: {  // splice: a second frame appended (pipelining), the
+                       // pair optionally cut mid-second-frame
+                serve::Request second;
+                second.query = "$..b";
+                second.body = "{\"b\": 1}";
+                std::vector<std::uint8_t> tail = serve::encode_request(second);
+                wire.insert(wire.end(), tail.begin(), tail.end());
+                if (rng() % 2 == 0) {
+                    wire.resize(wire.size() - 1 - pick(rng, tail.size()));
+                }
+                break;
+            }
+            case 5: {  // pure garbage
+                wire.assign(1 + pick(rng, 4096), 0);
+                for (std::uint8_t& byte : wire) {
+                    byte = static_cast<std::uint8_t>(rng());
+                }
+                break;
+            }
+            case 6: {  // giant lengths in an otherwise valid header
+                std::uint64_t huge =
+                    (std::uint64_t{1} << (20 + pick(rng, 44)));
+                std::size_t field = rng() % 2 == 0 ? 28 : 36;  // query/body len
+                for (int b = 0; b < (field == 28 ? 4 : 8); ++b) {
+                    wire[field + static_cast<std::size_t>(b)] =
+                        static_cast<std::uint8_t>(huge >> (8 * b));
+                }
+                wire.resize(serve::kRequestHeaderSize);
+                break;
+            }
+            default:  // nonzero reserved field
+                wire[32 + pick(rng, 4)] = static_cast<std::uint8_t>(1 + rng() % 255);
+                break;
+        }
+
+        mutants += 1;
+        bool dispatched = false;
+        std::string problem =
+            drive_connection(wire, dispatcher, scratch, rng, dispatched);
+        if (!problem.empty()) {
+            std::printf("(reproduce with --serve-frames and --seed %llu)\n",
+                        static_cast<unsigned long long>(seed0));
+            return report_frames(i, problem);
+        }
+        if (pristine && !dispatched) {
+            return report_frames(i, "pristine frame failed to dispatch");
+        }
+        dispatched_total += dispatched ? 1 : 0;
+        rejected_total += dispatched ? 0 : 1;
+        if (verbose && (i + 1) % 1000 == 0) {
+            std::printf("... %ld/%ld\n", i + 1, iterations);
+        }
+    }
+    serve::CacheStats cache_stats = cache.stats();
+    std::printf(
+        "fuzz_engine --serve-frames: %ld frame mutants OK\n"
+        "  dispatched: %ld, rejected pre-dispatch: %ld; cache %llu hits / "
+        "%llu misses\n",
+        mutants, dispatched_total, rejected_total,
+        static_cast<unsigned long long>(cache_stats.hits),
+        static_cast<unsigned long long>(cache_stats.misses));
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -1430,6 +1661,7 @@ int main(int argc, char** argv)
     long ndjson_iterations = -1;
     long multi_iterations = -1;
     long fault_iterations = -1;
+    long serve_frame_iterations = -1;
     std::uint64_t seed0 = 1;
     bool verbose = false;
     for (int i = 1; i < argc; ++i) {
@@ -1457,6 +1689,14 @@ int main(int argc, char** argv)
                              argv[i]);
                 return 2;
             }
+        } else if (std::strcmp(argv[i], "--serve-frames") == 0 && i + 1 < argc) {
+            char* end = nullptr;
+            serve_frame_iterations = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || serve_frame_iterations < 0) {
+                std::fprintf(stderr, "fuzz_engine: bad --serve-frames '%s'\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
             char* end = nullptr;
             iterations = std::strtol(argv[++i], &end, 10);
@@ -1478,7 +1718,8 @@ int main(int argc, char** argv)
             std::fprintf(stderr,
                          "usage: fuzz_engine [--iterations N] [--seed S] "
                          "[--verbose] | --ndjson N [--seed S] "
-                         "| --multi N [--seed S] | --faults N [--seed S]\n");
+                         "| --multi N [--seed S] | --faults N [--seed S] "
+                         "| --serve-frames N [--seed S]\n");
             return 2;
         }
     }
@@ -1490,6 +1731,9 @@ int main(int argc, char** argv)
     }
     if (fault_iterations >= 0) {
         return run_faults_mode(fault_iterations, seed0, verbose);
+    }
+    if (serve_frame_iterations >= 0) {
+        return run_serve_frames_mode(serve_frame_iterations, seed0, verbose);
     }
 
     std::vector<Corpus> corpora;

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Minimal descend-serve client (stdlib only).
+
+Speaks the binary frame protocol documented in src/descend/serve/protocol.h:
+a 44-byte little-endian request header, then query bytes, then body bytes;
+a 40-byte response header, then u64 match offsets, then obs stats JSON.
+
+Usage:
+  serve_client.py (--socket PATH | --port N [--host H]) [options] QUERY [FILE]
+
+  FILE is the JSON document (or NDJSON stream); '-' or absent reads stdin.
+
+Options:
+  --mode {single,multi,ndjson}   execution route (default: single);
+                                 multi takes newline-separated queries
+  --offsets                      request match offsets, print them
+  --stats                        request + print the obs stats JSON
+  --deadline-ms N                per-request deadline (0 = server default)
+  --max-depth N                  tenant depth limit (0 = server default)
+  --max-matches N                tenant match cap (0 = server default)
+  --raw-hex HEX                  send raw bytes instead of a framed request
+                                 (malformed-frame testing); QUERY is unused
+  --expect STATUS                exit 0 iff the response's serve status (or
+                                 engine code) name equals STATUS
+
+Exit codes: 0 response received and statuses ok (or --expect matched);
+2 usage; 3 response carried a non-ok status; 5 connection/protocol failure.
+"""
+
+import argparse
+import socket
+import struct
+import sys
+
+REQUEST_MAGIC = 0x76727344   # "Dsrv"
+RESPONSE_MAGIC = 0x73727344  # "Dsrs"
+VERSION = 1
+
+REQUEST_HEADER = struct.Struct("<IHHIIIQIIQ")   # 44 bytes
+RESPONSE_HEADER = struct.Struct("<IHHHHIQQQ")   # 40 bytes
+
+MODES = {"single": 0, "multi": 1, "ndjson": 2}
+FLAG_WANT_OFFSETS = 1 << 0
+FLAG_WANT_STATS = 1 << 1
+FLAG_CACHE_HIT = 1 << 0
+
+SERVE_STATUS = [
+    "ok", "bad-magic", "bad-version", "bad-mode", "bad-reserved",
+    "query-too-large", "body-too-large", "truncated-frame", "bad-query",
+    "shutting-down", "internal",
+]
+# Mirrors StatusCode in src/descend/util/status.h.
+ENGINE_CODE = [
+    "ok", "empty-document", "invalid-document", "unbalanced-structure",
+    "truncated-string", "trailing-content", "invalid-utf8-in-label",
+    "depth-limit", "size-limit", "match-limit", "deadline-exceeded",
+    "cancelled",
+]
+
+
+def name_of(names, value):
+    return names[value] if value < len(names) else "unknown-%d" % value
+
+
+def pack_request(mode, flags, deadline_ms, max_depth, max_matches, query,
+                 body):
+    header = REQUEST_HEADER.pack(REQUEST_MAGIC, VERSION, mode, flags,
+                                 deadline_ms, max_depth, max_matches,
+                                 len(query), 0, len(body))
+    return header + query + body
+
+
+def read_exactly(sock, count):
+    chunks = []
+    while count > 0:
+        chunk = sock.recv(min(count, 1 << 16))
+        if not chunk:
+            raise ConnectionError("server closed the connection mid-response")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_response(sock):
+    header = read_exactly(sock, RESPONSE_HEADER.size)
+    (magic, version, serve_status, engine_code, flags, stats_len,
+     engine_offset, match_count, offsets_count) = RESPONSE_HEADER.unpack(
+         header)
+    if magic != RESPONSE_MAGIC or version != VERSION:
+        raise ConnectionError("response header is not a Dsrs v%d frame"
+                              % VERSION)
+    offsets = struct.unpack("<%dQ" % offsets_count,
+                            read_exactly(sock, 8 * offsets_count))
+    stats = read_exactly(sock, stats_len).decode("utf-8", "replace")
+    return {
+        "serve_status": serve_status,
+        "engine_code": engine_code,
+        "engine_offset": engine_offset,
+        "cache_hit": bool(flags & FLAG_CACHE_HIT),
+        "match_count": match_count,
+        "offsets": offsets,
+        "stats": stats,
+    }
+
+
+def connect(args):
+    if args.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(args.socket)
+    else:
+        sock = socket.create_connection((args.host, args.port))
+    return sock
+
+
+def main():
+    parser = argparse.ArgumentParser(add_help=True)
+    parser.add_argument("--socket")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int)
+    parser.add_argument("--mode", choices=sorted(MODES), default="single")
+    parser.add_argument("--offsets", action="store_true")
+    parser.add_argument("--stats", action="store_true")
+    parser.add_argument("--deadline-ms", type=int, default=0)
+    parser.add_argument("--max-depth", type=int, default=0)
+    parser.add_argument("--max-matches", type=int, default=0)
+    parser.add_argument("--raw-hex")
+    parser.add_argument("--expect")
+    parser.add_argument("query", nargs="?", default="")
+    parser.add_argument("file", nargs="?")
+    args = parser.parse_args()
+
+    if (args.socket is None) == (args.port is None):
+        print("serve_client: exactly one of --socket / --port is required",
+              file=sys.stderr)
+        return 2
+    if not args.raw_hex and not args.query:
+        print("serve_client: QUERY is required (unless --raw-hex)",
+              file=sys.stderr)
+        return 2
+
+    if args.raw_hex:
+        wire = bytes.fromhex(args.raw_hex)
+    else:
+        if args.file and args.file != "-":
+            with open(args.file, "rb") as handle:
+                body = handle.read()
+        else:
+            body = sys.stdin.buffer.read()
+        flags = (FLAG_WANT_OFFSETS if args.offsets else 0) | \
+                (FLAG_WANT_STATS if args.stats else 0)
+        wire = pack_request(MODES[args.mode], flags, args.deadline_ms,
+                            args.max_depth, args.max_matches,
+                            args.query.encode("utf-8"), body)
+
+    try:
+        with connect(args) as sock:
+            sock.sendall(wire)
+            response = read_response(sock)
+    except (OSError, ConnectionError) as error:
+        print("serve_client: %s" % error, file=sys.stderr)
+        return 5
+
+    serve_name = name_of(SERVE_STATUS, response["serve_status"])
+    engine_name = name_of(ENGINE_CODE, response["engine_code"])
+    print("serve_status=%s engine=%s engine_offset=%d matches=%d cache=%s"
+          % (serve_name, engine_name, response["engine_offset"],
+             response["match_count"],
+             "hit" if response["cache_hit"] else "miss"))
+    if args.offsets:
+        print("offsets=%s" % ",".join(str(o) for o in response["offsets"]))
+    if args.stats and response["stats"]:
+        print(response["stats"])
+
+    if args.expect:
+        return 0 if args.expect in (serve_name, engine_name) else 3
+    return 0 if serve_name == "ok" and engine_name == "ok" else 3
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the descend-serve daemon, driven over a real Unix
+# socket by the stdlib-only Python client (tools/serve_client.py):
+#   * startup readiness ("listening on" line), happy paths for all three
+#     request modes, cache warm-up across requests,
+#   * malformed frames get structured statuses and never kill the daemon,
+#   * per-request deadlines and tenant match caps are enforced,
+#   * SIGTERM drains gracefully: daemon exits 0 and prints its summary.
+# Usage: serve_smoke.sh <path-to-descend-serve> [path-to-serve_client.py]
+set -u
+
+SERVE="${1:?usage: serve_smoke.sh <path-to-descend-serve> [client.py]}"
+CLIENT="${2:-"$(dirname "$0")/serve_client.py"}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -KILL "$SERVER_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/serve.sock"
+
+fail=0
+check() {
+    local want="$1"; shift
+    local label="$1"; shift
+    "$@" >"$WORK/last.out" 2>&1
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $label: expected exit $want, got $got ($*)" >&2
+        sed 's/^/  | /' "$WORK/last.out" >&2
+        fail=1
+    else
+        echo "ok: $label -> $got"
+    fi
+}
+expect_output() {
+    local label="$1" needle="$2"
+    if grep -q "$needle" "$WORK/last.out"; then
+        echo "ok: $label"
+    else
+        echo "FAIL: $label: output lacks '$needle'" >&2
+        sed 's/^/  | /' "$WORK/last.out" >&2
+        fail=1
+    fi
+}
+client() {
+    python3 "$CLIENT" --socket "$SOCK" "$@"
+}
+
+# Fixtures: a small document, an NDJSON stream, and a large document that a
+# 1 ms deadline cannot finish (the engine polls the deadline per batch).
+printf '{"a": {"b": 1}, "c": {"b": 2}}' > "$WORK/ok.json"
+printf '{"id": 1}\n{"id": 2}\n{"id": 3}\n' > "$WORK/stream.ndjson"
+python3 -c 'import sys; sys.stdout.write("[" + ",".join(["{\"a\":1}"] * 4000000) + "]")' \
+    > "$WORK/big.json"
+
+# Usage errors before any socket work.
+check 2 "usage: no endpoint"       "$SERVE"
+check 2 "usage: unknown flag"      "$SERVE" --socket "$SOCK" --no-such-flag
+check 5 "socket failure: bad path" "$SERVE" --socket "$WORK/missing-dir/sock"
+
+# Start the daemon and wait for its single readiness line on stdout.
+"$SERVE" --socket "$SOCK" --drain-ms 2000 \
+    > "$WORK/serve.out" 2> "$WORK/serve.err" &
+SERVER_PID=$!
+for _ in $(seq 100); do
+    grep -q "listening on unix:$SOCK" "$WORK/serve.out" 2>/dev/null && break
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if ! grep -q "listening on unix:$SOCK" "$WORK/serve.out" 2>/dev/null; then
+    echo "FAIL: daemon never printed its readiness line" >&2
+    cat "$WORK/serve.err" >&2
+    exit 1
+fi
+
+# Happy paths: one request per mode, offsets on.
+check 0 "single-mode happy path" \
+    client --offsets '$..b' "$WORK/ok.json"
+expect_output "single-mode match count" "matches=2"
+check 0 "multi-mode happy path" \
+    client --mode multi --offsets "$(printf '$..b\n$.c.b')" "$WORK/ok.json"
+expect_output "multi-mode match count" "matches=3"
+check 0 "ndjson-mode happy path" \
+    client --mode ndjson --offsets '$..id' "$WORK/stream.ndjson"
+expect_output "ndjson-mode match count" "matches=3"
+
+# The second identical query must be answered from the automaton cache.
+check 0 "cache hit on repeat query" client '$..b' "$WORK/ok.json"
+expect_output "cache hit flagged" "cache=hit"
+
+# Malformed frames: structured status, and the daemon survives to serve
+# the next request on a fresh connection.
+check 0 "garbage frame -> bad-magic" \
+    client --raw-hex "deadbeefdeadbeefdeadbeef" --expect bad-magic
+check 0 "broken query -> bad-query" \
+    client --expect bad-query '$.[broken' "$WORK/ok.json"
+check 0 "daemon survives malformed frames" client '$..b' "$WORK/ok.json"
+
+# Governance: a 1 ms deadline over a 32 MiB document must trip, and a
+# tenant match cap of 1 must stop the run with a match-limit status.
+check 0 "deadline exceeded" \
+    client --deadline-ms 1 --expect deadline-exceeded '$..a' "$WORK/big.json"
+check 0 "tenant match cap" \
+    client --max-matches 1 --expect match-limit '$..b' "$WORK/ok.json"
+
+# Graceful drain: SIGTERM, daemon exits 0 and prints its summary line.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVE_EXIT=$?
+SERVER_PID=""
+if [ "$SERVE_EXIT" -ne 0 ]; then
+    echo "FAIL: SIGTERM drain: expected exit 0, got $SERVE_EXIT" >&2
+    cat "$WORK/serve.err" >&2
+    fail=1
+else
+    echo "ok: SIGTERM drain -> 0"
+fi
+if grep -q "descend-serve: served" "$WORK/serve.err"; then
+    echo "ok: shutdown summary printed"
+else
+    echo "FAIL: shutdown summary missing from stderr" >&2
+    fail=1
+fi
+
+exit $fail
