@@ -1,38 +1,53 @@
 /**
  * @file
- * Fused multi-query throughput: one classification pass serving N automata
+ * Fused multi-query throughput: one classification pass serving N queries
  * (src/descend/multi) against the sequential baseline of N independent
  * DescendEngine runs over the same document.
  *
  *   bench_multiquery [--mb N] [--repeat N] [--simd=LEVEL]
- *   bench_multiquery --smoke
+ *   bench_multiquery --scale [--mb N] [--repeat N] [--simd=LEVEL]
+ *   bench_multiquery --smoke [--fused=MODE]
  *
  * A hand-rolled harness (not google-benchmark): the quantity of interest
  * is the wall time to answer a whole query SET, best-of-R over a
- * multi-megabyte document, with the fused and the sequential run verified
- * to produce identical per-query match sets before anything is timed.
+ * multi-megabyte document, with every timed engine verified to produce
+ * identical per-query match sets before anything is trusted.
  *
- * Results go to BENCH_multiquery.json (DESCEND_BENCH_JSON overrides) via
- * the shared section-merging writer: per query set one "sequential" and
- * one "fused" row, where gbps = document bytes / wall seconds for the
- * whole set, and the fused row's extra carries the speedup (sequential
- * seconds / fused seconds) plus the suppressed-skip counters that explain
- * the consensus cost.
+ * Default mode compares sequential / lanes / product on the paper's
+ * dataset scenarios (4-6 queries each); results go to
+ * BENCH_multiquery.json (DESCEND_BENCH_JSON overrides) via the shared
+ * section-merging writer, the fused rows carrying speedup = sequential
+ * seconds / backend seconds.
  *
- * --smoke: small documents, full verification — fused match sets (single
- * document AND the NDJSON multi-stream executor at several thread counts)
- * compared element-wise against N independent runs. Exits non-zero on any
- * mismatch; wired into CI under asan.
+ * --scale: the subscription-count sweep behind the product automaton —
+ * N in {4, 64, 256, 1024} queries, one shared-prefix-heavy mix (every
+ * query descends the same object spine, so the product trie collapses
+ * the common prefix to one state path) and one disjoint mix (unrelated
+ * descendant labels), over an NDJSON firehose. Rows go to
+ * BENCH_multiquery_scale.json: per (mix, N) one "lanes", one "product"
+ * and one "sequential" row, gbps = stream bytes / wall seconds for the
+ * whole set, the product rows carrying product_states and the
+ * speedup_vs_lanes ratio.
+ *
+ * --smoke: small documents, full verification — for BOTH backends
+ * (restrictable with --fused=lanes|product), single-document match sets
+ * AND the NDJSON multi-stream executor at several thread counts compared
+ * element-wise against N independent runs. Exits non-zero on any
+ * mismatch; wired into CI under asan and on the scalar tier.
  */
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_json.h"
 #include "descend/descend.h"
+#include "descend/multi/fused.h"
+#include "descend/multi/multi_engine.h"
 #include "descend/multi/multi_stream.h"
+#include "descend/multi/product_engine.h"
 #include "descend/workloads/datasets.h"
 
 namespace {
@@ -57,8 +72,8 @@ struct SetSpec {
  * memmem head-skip (child-first queries classify every block, so N runs
  * pay N classification passes — exactly the redundancy fusion removes).
  * The mixed set adds descendant queries whose skip disagreement exercises
- * the consensus fallback (fused_*_skip_suppressed > 0) while the set as a
- * whole still amortizes classification.
+ * the lanes backend's consensus fallback while the set as a whole still
+ * amortizes classification.
  */
 std::vector<SetSpec> scenarios()
 {
@@ -109,6 +124,23 @@ std::vector<std::vector<std::size_t>> sequential_offsets(
     return all;
 }
 
+/** Best-of-R wall seconds for one fused engine over one document. */
+double time_fused(const multi::FusedEngine& engine,
+                  const PaddedString& document, std::size_t repeats)
+{
+    double best = 0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        multi::CountingMultiSink counting(engine.query_set().size());
+        Clock::time_point start = Clock::now();
+        engine.run(document, counting);
+        double seconds = seconds_since(start);
+        if (r == 0 || seconds < best) {
+            best = seconds;
+        }
+    }
+    return best;
+}
+
 int run_throughput(std::size_t target_bytes, std::size_t repeats)
 {
     std::vector<bench::BenchRow> rows;
@@ -123,24 +155,32 @@ int run_throughput(std::size_t target_bytes, std::size_t repeats)
         for (const std::string& text : texts) {
             engines.push_back(DescendEngine::for_query(text));
         }
-        multi::MultiDescendEngine fused =
-            multi::MultiDescendEngine::for_queries(texts);
+        std::unique_ptr<multi::FusedEngine> lanes = multi::make_fused_engine(
+            texts, {}, multi::FusedBackend::kLanes);
+        std::unique_ptr<multi::FusedEngine> product = multi::make_fused_engine(
+            texts, {}, multi::FusedBackend::kProduct);
 
-        // Correctness first: the fused match sets must be bit-identical to
-        // the N independent runs before a single timing is trusted.
+        // Correctness first: both fused match sets must be bit-identical
+        // to the N independent runs before a single timing is trusted.
         std::vector<std::vector<std::size_t>> expected =
             sequential_offsets(engines, document);
-        multi::CollectingMultiSink collected(n);
-        EngineStatus fused_status = fused.run(document, collected);
-        if (!fused_status.ok() || collected.all() != expected) {
-            std::fprintf(stderr, "FAIL: %s: fused offsets != sequential\n",
-                         spec.name);
+        bool ok = true;
+        for (const multi::FusedEngine* fused :
+             {lanes.get(), product.get()}) {
+            multi::CollectingMultiSink collected(n);
+            EngineStatus status = fused->run(document, collected);
+            if (!status.ok() || collected.all() != expected) {
+                std::fprintf(stderr, "FAIL: %s: %s offsets != sequential\n",
+                             spec.name, fused->name().c_str());
+                ok = false;
+            }
+        }
+        if (!ok) {
             ++failures;
             continue;
         }
 
         double seq_best = 0;
-        double fused_best = 0;
         std::size_t matches = 0;
         for (std::size_t r = 0; r < repeats; ++r) {
             Clock::time_point start = Clock::now();
@@ -151,28 +191,20 @@ int run_throughput(std::size_t target_bytes, std::size_t repeats)
                 seq_matches += sink.count();
             }
             double seq_seconds = seconds_since(start);
-
-            multi::CountingMultiSink counting(n);
-            start = Clock::now();
-            fused.run(document, counting);
-            double fused_seconds = seconds_since(start);
-
             matches = seq_matches;
             if (r == 0 || seq_seconds < seq_best) {
                 seq_best = seq_seconds;
             }
-            if (r == 0 || fused_seconds < fused_best) {
-                fused_best = fused_seconds;
-            }
         }
+        double lanes_best = time_fused(*lanes, document, repeats);
+        double product_best = time_fused(*product, document, repeats);
 
         double gib = static_cast<double>(document.size()) /
                      (1024.0 * 1024.0 * 1024.0);
-        double speedup = seq_best / fused_best;
         std::printf("%-20s %zu queries  %7zu matches  seq %8.2f MB/s  "
-                    "fused %8.2f MB/s  speedup %.2fx\n",
+                    "lanes %8.2f MB/s  product %8.2f MB/s\n",
                     spec.name, n, matches, gib * 1024.0 / seq_best,
-                    gib * 1024.0 / fused_best, speedup);
+                    gib * 1024.0 / lanes_best, gib * 1024.0 / product_best);
 
         bench::BenchRow seq_row;
         seq_row.section = "multiquery";
@@ -183,31 +215,49 @@ int run_throughput(std::size_t target_bytes, std::size_t repeats)
         seq_row.extra.emplace_back("matches", static_cast<double>(matches));
         rows.push_back(std::move(seq_row));
 
-        multi::CountingMultiSink counting(n);
-        RunStats stats = fused.run_with_stats(document, counting);
-        bench::BenchRow fused_row;
-        fused_row.section = "multiquery";
-        fused_row.name = std::string(spec.name) + "-fused";
-        fused_row.tier = tier;
-        fused_row.gbps = gib / fused_best;
-        fused_row.extra.emplace_back("queries", static_cast<double>(n));
-        fused_row.extra.emplace_back("speedup", speedup);
-        fused_row.extra.emplace_back("matches", static_cast<double>(matches));
-        if constexpr (obs::kEnabled) {
-            fused_row.extra.emplace_back(
-                "child_skip_suppressed",
-                static_cast<double>(stats.counters.get(
-                    obs::Counter::kFusedChildSkipSuppressed)));
-            fused_row.extra.emplace_back(
-                "sibling_skip_suppressed",
-                static_cast<double>(stats.counters.get(
-                    obs::Counter::kFusedSiblingSkipSuppressed)));
-            fused_row.extra.emplace_back(
-                "within_skip_suppressed",
-                static_cast<double>(stats.counters.get(
-                    obs::Counter::kFusedWithinSkipSuppressed)));
+        struct Backend {
+            const char* suffix;
+            const multi::FusedEngine* engine;
+            double best;
+        };
+        for (const Backend& backend :
+             {Backend{"-lanes", lanes.get(), lanes_best},
+              Backend{"-product", product.get(), product_best}}) {
+            multi::CountingMultiSink counting(n);
+            RunStats stats =
+                backend.engine->run_with_stats(document, counting);
+            bench::BenchRow row;
+            row.section = "multiquery";
+            row.name = std::string(spec.name) + backend.suffix;
+            row.tier = tier;
+            row.gbps = gib / backend.best;
+            row.extra.emplace_back("queries", static_cast<double>(n));
+            row.extra.emplace_back("speedup", seq_best / backend.best);
+            row.extra.emplace_back("matches", static_cast<double>(matches));
+            if constexpr (obs::kEnabled) {
+                row.extra.emplace_back(
+                    "product_states",
+                    static_cast<double>(
+                        stats.counters.get(obs::Counter::kProductStates)));
+                row.extra.emplace_back(
+                    "product_skips",
+                    static_cast<double>(
+                        stats.counters.get(obs::Counter::kProductSkips)));
+                row.extra.emplace_back(
+                    "child_skip_suppressed",
+                    static_cast<double>(stats.counters.get(
+                        obs::Counter::kFusedChildSkipSuppressed)));
+                row.extra.emplace_back(
+                    "sibling_skip_suppressed",
+                    static_cast<double>(stats.counters.get(
+                        obs::Counter::kFusedSiblingSkipSuppressed)));
+                row.extra.emplace_back(
+                    "within_skip_suppressed",
+                    static_cast<double>(stats.counters.get(
+                        obs::Counter::kFusedWithinSkipSuppressed)));
+            }
+            rows.push_back(std::move(row));
         }
-        rows.push_back(std::move(fused_row));
     }
 
     const char* env = std::getenv("DESCEND_BENCH_JSON");
@@ -234,9 +284,200 @@ PaddedString build_stream(const char* dataset, std::size_t records,
     return PaddedString(std::move(stream));
 }
 
-int run_smoke()
+/** One subscription mix of the --scale sweep. */
+struct ScaleMix {
+    const char* name;
+    const char* dataset;
+    /** Produces the i-th of N subscriptions. */
+    std::string (*query)(std::size_t i);
+};
+
+/**
+ * The two ends of the sharing spectrum. Shared-prefix: every
+ * subscription walks the same `$.products.*` spine to a distinct leaf
+ * field (a handful of real catalog fields cycled, the rest synthetic
+ * tenant fields) — the product trie collapses the spine to one state
+ * path, while the lanes backend steps N automata through every event.
+ * Disjoint: unrelated `$..fieldN` descendant labels with no sharing at
+ * all — the stress case for subset construction, still one transition
+ * per event at run time.
+ */
+std::vector<ScaleMix> scale_mixes()
+{
+    return {
+        {"shared-prefix", "bestbuy",
+         [](std::size_t i) {
+             static const char* kReal[] = {"sku", "name", "salePrice",
+                                           "categoryPath"};
+             if (i < 4) {
+                 return std::string("$.products.*.") + kReal[i];
+             }
+             return "$.products.*.tenantField" + std::to_string(i);
+         }},
+        {"disjoint", "bestbuy",
+         [](std::size_t i) {
+             static const char* kReal[] = {"sku", "id", "chapter", "price"};
+             if (i < 4) {
+                 return std::string("$..") + kReal[i];
+             }
+             return "$..tenantField" + std::to_string(i);
+         }},
+    };
+}
+
+int run_scale(std::size_t target_bytes, std::size_t repeats)
+{
+    std::vector<bench::BenchRow> rows;
+    const char* tier = simd::level_name(simd::default_level());
+    int failures = 0;
+
+    for (const ScaleMix& mix : scale_mixes()) {
+        PaddedString stream_input =
+            build_stream(mix.dataset, 64, target_bytes / 64);
+        const simd::Kernels& kernels = simd::best_kernels();
+        std::vector<stream::RecordSpan> records =
+            stream::split_records(stream_input, kernels);
+        double gib = static_cast<double>(stream_input.size()) /
+                     (1024.0 * 1024.0 * 1024.0);
+
+        for (std::size_t n : {std::size_t{4}, std::size_t{64},
+                              std::size_t{256}, std::size_t{1024}}) {
+            std::vector<std::string> texts;
+            texts.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                texts.push_back(mix.query(i));
+            }
+
+            // One worker everywhere: the sweep compares per-event engine
+            // work, not thread scaling.
+            stream::StreamOptions stream_options;
+            stream_options.threads = 1;
+
+            // Oracle once per (mix, N): product must agree with lanes on
+            // the full per-query count vector before timings are trusted.
+            multi::MultiStreamExecutor lanes_exec(
+                multi::MultiQuery::compile(texts), stream_options,
+                multi::FusedBackend::kLanes);
+            multi::MultiStreamExecutor product_exec(
+                multi::MultiQuery::compile(texts), stream_options,
+                multi::FusedBackend::kProduct);
+            multi::CountingMultiStreamSink lanes_counts(n);
+            multi::CountingMultiStreamSink product_counts(n);
+            lanes_exec.run_records(stream_input, records, lanes_counts);
+            product_exec.run_records(stream_input, records, product_counts);
+            std::size_t matches = 0;
+            bool ok = true;
+            for (std::size_t q = 0; q < n; ++q) {
+                matches += lanes_counts.count(q);
+                if (lanes_counts.count(q) != product_counts.count(q)) {
+                    ok = false;
+                }
+            }
+            if (!ok) {
+                std::fprintf(stderr,
+                             "FAIL: %s N=%zu: product counts != lanes\n",
+                             mix.name, n);
+                ++failures;
+                continue;
+            }
+
+            auto time_stream = [&](const multi::MultiStreamExecutor& exec) {
+                double best = 0;
+                for (std::size_t r = 0; r < repeats; ++r) {
+                    multi::CountingMultiStreamSink sink(n);
+                    Clock::time_point start = Clock::now();
+                    exec.run_records(stream_input, records, sink);
+                    double seconds = seconds_since(start);
+                    if (r == 0 || seconds < best) {
+                        best = seconds;
+                    }
+                }
+                return best;
+            };
+            double lanes_best = time_stream(lanes_exec);
+            double product_best = time_stream(product_exec);
+
+            // Sequential baseline: N single-query stream passes (N
+            // classification passes — the redundancy any fusion removes).
+            std::vector<stream::StreamExecutor> sequential;
+            sequential.reserve(n);
+            for (const std::string& text : texts) {
+                sequential.emplace_back(
+                    automaton::CompiledQuery::compile(text), stream_options);
+            }
+            double seq_best = 0;
+            for (std::size_t r = 0; r < repeats; ++r) {
+                Clock::time_point start = Clock::now();
+                for (const stream::StreamExecutor& executor : sequential) {
+                    stream::CountingStreamSink sink;
+                    executor.run_records(stream_input, records, sink);
+                }
+                double seconds = seconds_since(start);
+                if (r == 0 || seconds < seq_best) {
+                    seq_best = seconds;
+                }
+            }
+
+            std::size_t product_states = 0;
+            if (const auto* engine =
+                    dynamic_cast<const multi::ProductDescendEngine*>(
+                        &product_exec.engine())) {
+                product_states = engine->automaton().num_states();
+            }
+            std::printf(
+                "%-14s N=%-5zu %7zu matches  seq %8.2f MB/s  lanes %8.2f "
+                "MB/s  product %8.2f MB/s (%zu states, %.2fx vs lanes)\n",
+                mix.name, n, matches, gib * 1024.0 / seq_best,
+                gib * 1024.0 / lanes_best, gib * 1024.0 / product_best,
+                product_states, lanes_best / product_best);
+
+            struct Row {
+                const char* backend;
+                double best;
+            };
+            for (const Row& r : {Row{"sequential", seq_best},
+                                 Row{"lanes", lanes_best},
+                                 Row{"product", product_best}}) {
+                bench::BenchRow row;
+                row.section = "multiquery_scale";
+                row.name = std::string(mix.name) + "-N" + std::to_string(n) +
+                           "-" + r.backend;
+                row.tier = tier;
+                row.gbps = gib / r.best;
+                row.extra.emplace_back("queries", static_cast<double>(n));
+                row.extra.emplace_back("matches",
+                                       static_cast<double>(matches));
+                if (std::strcmp(r.backend, "product") == 0) {
+                    row.extra.emplace_back(
+                        "product_states",
+                        static_cast<double>(product_states));
+                    row.extra.emplace_back("speedup_vs_lanes",
+                                           lanes_best / r.best);
+                    row.extra.emplace_back("speedup_vs_sequential",
+                                           seq_best / r.best);
+                }
+                rows.push_back(std::move(row));
+            }
+        }
+    }
+
+    const char* env = std::getenv("DESCEND_BENCH_JSON");
+    std::string path =
+        env != nullptr && *env != '\0' ? env : "BENCH_multiquery_scale.json";
+    bench::merge_bench_json("multiquery_scale", rows, path);
+    return failures == 0 ? 0 : 1;
+}
+
+int run_smoke(multi::FusedBackend only, bool restricted)
 {
     int failures = 0;
+    std::vector<multi::FusedBackend> backends;
+    if (restricted) {
+        backends.push_back(only);
+    } else {
+        backends.push_back(multi::FusedBackend::kLanes);
+        backends.push_back(multi::FusedBackend::kProduct);
+    }
     for (const SetSpec& spec : scenarios()) {
         const std::vector<std::string>& texts = spec.queries;
         const std::size_t n = texts.size();
@@ -250,15 +491,18 @@ int run_smoke()
             workloads::generate(spec.dataset, std::size_t{256} << 10));
         std::vector<std::vector<std::size_t>> expected =
             sequential_offsets(engines, document);
-        multi::MultiDescendEngine fused =
-            multi::MultiDescendEngine::for_queries(texts);
-        multi::CollectingMultiSink collected(n);
-        EngineStatus status = fused.run(document, collected);
-        bool ok = status.ok() && collected.all() == expected;
-        std::printf("smoke: %-20s single-doc ... %s\n", spec.name,
-                    ok ? "ok" : "MISMATCH");
-        if (!ok) {
-            ++failures;
+        for (multi::FusedBackend backend : backends) {
+            std::unique_ptr<multi::FusedEngine> fused =
+                multi::make_fused_engine(texts, {}, backend);
+            multi::CollectingMultiSink collected(n);
+            EngineStatus status = fused->run(document, collected);
+            bool ok = status.ok() && collected.all() == expected;
+            std::printf("smoke: %-20s single-doc %-7s ... %s\n", spec.name,
+                        multi::fused_backend_name(backend).data(),
+                        ok ? "ok" : "MISMATCH");
+            if (!ok) {
+                ++failures;
+            }
         }
 
         // NDJSON: the multi-stream executor against a per-record oracle of
@@ -287,28 +531,32 @@ int run_smoke()
         // The oracle iterates queries-within-record but emits per (r, q);
         // the executor replays records ascending, queries ascending — the
         // same order, so element-wise comparison is exact.
-        for (std::size_t threads : {std::size_t{1}, std::size_t{2},
-                                    std::size_t{4}}) {
-            stream::StreamOptions options;
-            options.threads = threads;
-            multi::MultiStreamExecutor executor(
-                multi::MultiQuery::compile(texts), options);
-            multi::CollectingMultiStreamSink sink;
-            stream::StreamResult result =
-                executor.run_records(stream_input, records, sink);
-            bool stream_ok = result.ok() && sink.matches() == oracle;
-            std::printf("smoke: %-20s ndjson threads=%zu: %zu records, "
-                        "%zu matches ... %s\n",
-                        spec.name, threads, result.records, result.matches,
-                        stream_ok ? "ok" : "MISMATCH");
-            if (!stream_ok) {
-                ++failures;
+        for (multi::FusedBackend backend : backends) {
+            for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{4}}) {
+                stream::StreamOptions options;
+                options.threads = threads;
+                multi::MultiStreamExecutor executor(
+                    multi::MultiQuery::compile(texts), options, backend);
+                multi::CollectingMultiStreamSink sink;
+                stream::StreamResult result =
+                    executor.run_records(stream_input, records, sink);
+                bool stream_ok = result.ok() && sink.matches() == oracle;
+                std::printf(
+                    "smoke: %-20s ndjson %-7s threads=%zu: %zu records, "
+                    "%zu matches ... %s\n",
+                    spec.name, multi::fused_backend_name(backend).data(),
+                    threads, result.records, result.matches,
+                    stream_ok ? "ok" : "MISMATCH");
+                if (!stream_ok) {
+                    ++failures;
+                }
             }
         }
     }
     if (failures == 0) {
         std::printf("smoke: fused execution matches independent runs for "
-                    "every scenario\n");
+                    "every scenario and backend\n");
     }
     return failures == 0 ? 0 : 1;
 }
@@ -321,10 +569,25 @@ int main(int argc, char** argv)
     std::size_t target_mb = 8;
     std::size_t repeats = 5;
     bool smoke = false;
+    bool scale = false;
+    bool restricted = false;
+    multi::FusedBackend backend = multi::FusedBackend::kAuto;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--smoke") {
             smoke = true;
+        } else if (arg == "--scale") {
+            scale = true;
+        } else if (arg.rfind("--fused=", 0) == 0) {
+            auto parsed = multi::parse_fused_backend(
+                arg.c_str() + std::strlen("--fused="));
+            if (!parsed) {
+                std::fprintf(stderr, "unknown fused backend '%s'\n",
+                             arg.c_str());
+                return 2;
+            }
+            backend = *parsed;
+            restricted = backend != multi::FusedBackend::kAuto;
         } else if (arg == "--mb" && i + 1 < argc) {
             target_mb = static_cast<std::size_t>(
                 std::strtoull(argv[++i], nullptr, 10));
@@ -334,17 +597,21 @@ int main(int argc, char** argv)
         } else {
             std::fprintf(stderr,
                          "usage: bench_multiquery [--mb N] [--repeat N] "
-                         "[--simd=LEVEL] | --smoke\n");
+                         "[--simd=LEVEL] [--scale] | --smoke "
+                         "[--fused=MODE]\n");
             return 2;
         }
     }
     if (smoke) {
-        return run_smoke();
+        return run_smoke(backend, restricted);
     }
     const char* env_mb = std::getenv("DESCEND_BENCH_MB");
     if (env_mb != nullptr && *env_mb != '\0') {
         target_mb = static_cast<std::size_t>(
             std::strtoull(env_mb, nullptr, 10));
+    }
+    if (scale) {
+        return run_scale(target_mb << 20, repeats == 0 ? 1 : repeats);
     }
     return run_throughput(target_mb << 20, repeats == 0 ? 1 : repeats);
 }

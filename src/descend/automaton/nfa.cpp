@@ -1,10 +1,35 @@
 #include "descend/automaton/nfa.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "descend/util/errors.h"
 
 namespace descend::automaton {
+namespace {
+
+/** Below this many symbols a linear scan beats a hash probe; the interned
+ *  lists stay in one or two cache lines for typical single queries. */
+constexpr std::size_t kHashedLookupThreshold = 8;
+
+}  // namespace
+
+void Alphabet::build_lookup_tables()
+{
+    if (labels_.size() >= kHashedLookupThreshold) {
+        label_ids_.reserve(labels_.size());
+        for (std::size_t i = 0; i < labels_.size(); ++i) {
+            label_ids_.emplace(labels_[i], static_cast<int>(i));
+        }
+    }
+    if (indices_.size() >= kHashedLookupThreshold) {
+        index_ids_.reserve(indices_.size());
+        for (std::size_t i = 0; i < indices_.size(); ++i) {
+            index_ids_.emplace(indices_[i],
+                               num_labels() + static_cast<int>(i));
+        }
+    }
+}
 
 Alphabet Alphabet::from_query(const query::Query& query)
 {
@@ -28,27 +53,29 @@ Alphabet Alphabet::from_query(const query::Query& query)
                 break;
         }
     }
+    alphabet.build_lookup_tables();
     return alphabet;
 }
 
 Alphabet Alphabet::from_queries(const std::vector<query::Query>& queries)
 {
     Alphabet alphabet;
+    // Set-sized dedup: a 1k-query set can mention thousands of distinct
+    // labels, so interning scans would go quadratic. Symbol order remains
+    // first-occurrence across the set.
+    std::unordered_set<std::string_view> seen_labels;
+    std::unordered_set<std::uint64_t> seen_indices;
     for (const query::Query& query : queries) {
         for (const query::Selector& selector : query.selectors()) {
             switch (selector.kind) {
                 case query::SelectorKind::kChild:
                 case query::SelectorKind::kDescendant:
-                    if (std::find(alphabet.labels_.begin(), alphabet.labels_.end(),
-                                  selector.label_escaped) ==
-                        alphabet.labels_.end()) {
+                    if (seen_labels.insert(selector.label_escaped).second) {
                         alphabet.labels_.push_back(selector.label_escaped);
                     }
                     break;
                 case query::SelectorKind::kChildIndex:
-                    if (std::find(alphabet.indices_.begin(),
-                                  alphabet.indices_.end(),
-                                  selector.index) == alphabet.indices_.end()) {
+                    if (seen_indices.insert(selector.index).second) {
                         alphabet.indices_.push_back(selector.index);
                     }
                     break;
@@ -57,11 +84,16 @@ Alphabet Alphabet::from_queries(const std::vector<query::Query>& queries)
             }
         }
     }
+    alphabet.build_lookup_tables();
     return alphabet;
 }
 
 int Alphabet::label_symbol(std::string_view escaped_label) const noexcept
 {
+    if (!label_ids_.empty()) {
+        auto found = label_ids_.find(escaped_label);
+        return found != label_ids_.end() ? found->second : other_symbol();
+    }
     for (std::size_t i = 0; i < labels_.size(); ++i) {
         if (labels_[i] == escaped_label) {
             return static_cast<int>(i);
@@ -72,6 +104,10 @@ int Alphabet::label_symbol(std::string_view escaped_label) const noexcept
 
 int Alphabet::index_symbol(std::uint64_t index) const noexcept
 {
+    if (!index_ids_.empty()) {
+        auto found = index_ids_.find(index);
+        return found != index_ids_.end() ? found->second : other_symbol();
+    }
     for (std::size_t i = 0; i < indices_.size(); ++i) {
         if (indices_[i] == index) {
             return num_labels() + static_cast<int>(i);

@@ -17,13 +17,25 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "descend/query/query.h"
 
 namespace descend::automaton {
+
+/** Transparent string hash so label lookups take string_view without
+ *  materializing a std::string per structural event. */
+struct LabelHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view text) const noexcept
+    {
+        return std::hash<std::string_view>{}(text);
+    }
+};
 
 /** Interned input symbols of a query automaton. */
 class Alphabet {
@@ -72,8 +84,19 @@ public:
     const std::vector<std::uint64_t>& indices() const noexcept { return indices_; }
 
 private:
+    /** Builds the hashed lookup side tables once interning is complete.
+     *  Linear scans are faster below a handful of symbols (single-query
+     *  alphabets), so small alphabets skip the tables entirely; union
+     *  alphabets of large query sets (fused multi-query execution) resolve
+     *  every structural event's label in O(1) instead of O(|labels|). */
+    void build_lookup_tables();
+
     std::vector<std::string> labels_;        ///< escaped comparison forms
     std::vector<std::uint64_t> indices_;
+    /** label -> symbol; empty when the linear scan wins (few labels). */
+    std::unordered_map<std::string, int, LabelHash, std::equal_to<>> label_ids_;
+    /** index -> symbol; empty when the linear scan wins (few indices). */
+    std::unordered_map<std::uint64_t, int> index_ids_;
 };
 
 /** One NFA state and its outgoing arcs. */

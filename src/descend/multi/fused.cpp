@@ -1,0 +1,65 @@
+#include "descend/multi/fused.h"
+
+#include <utility>
+
+#include "descend/multi/multi_engine.h"
+#include "descend/multi/product_engine.h"
+#include "descend/util/errors.h"
+
+namespace descend::multi {
+
+std::optional<FusedBackend> parse_fused_backend(std::string_view text)
+{
+    if (text == "auto") {
+        return FusedBackend::kAuto;
+    }
+    if (text == "lanes") {
+        return FusedBackend::kLanes;
+    }
+    if (text == "product") {
+        return FusedBackend::kProduct;
+    }
+    return std::nullopt;
+}
+
+std::string_view fused_backend_name(FusedBackend backend) noexcept
+{
+    switch (backend) {
+        case FusedBackend::kAuto: return "auto";
+        case FusedBackend::kLanes: return "lanes";
+        case FusedBackend::kProduct: return "product";
+    }
+    return "auto";
+}
+
+std::unique_ptr<FusedEngine> make_fused_engine(MultiQuery queries,
+                                               EngineOptions options,
+                                               FusedBackend backend)
+{
+    switch (backend) {
+        case FusedBackend::kLanes:
+            return std::make_unique<MultiDescendEngine>(std::move(queries),
+                                                        options);
+        case FusedBackend::kProduct:
+            return std::make_unique<ProductDescendEngine>(std::move(queries),
+                                                          options);
+        case FusedBackend::kAuto:
+            break;
+    }
+    // auto: prefer the product automaton; a set whose subset construction
+    // trips the state cap falls back to lanes, which always compile.
+    try {
+        return std::make_unique<ProductDescendEngine>(queries, options);
+    } catch (const LimitError&) {
+        return std::make_unique<MultiDescendEngine>(std::move(queries), options);
+    }
+}
+
+std::unique_ptr<FusedEngine> make_fused_engine(
+    const std::vector<std::string>& query_texts, EngineOptions options,
+    FusedBackend backend)
+{
+    return make_fused_engine(MultiQuery::compile(query_texts), options, backend);
+}
+
+}  // namespace descend::multi

@@ -52,9 +52,11 @@ public:
           stats_(stats),
           budget_(budget)
     {
-        lanes_.reserve(queries.size());
-        for (std::size_t i = 0; i < queries.size(); ++i) {
-            const automaton::CompiledQuery& cq = queries.query(i);
+        // One lane per DISTINCT query: duplicates share the simulation and
+        // fan out to their owners at report time.
+        lanes_.reserve(queries.num_distinct());
+        for (std::size_t d = 0; d < queries.num_distinct(); ++d) {
+            const automaton::CompiledQuery& cq = queries.distinct(d);
             Lane lane;
             lane.cq = &cq;
             lane.other = cq.alphabet().other_symbol();
@@ -288,7 +290,7 @@ public:
                         for (std::size_t i = 0; i < n; ++i) {
                             Lane& lane = lanes_[i];
                             int symbol = shared_symbol.has_value()
-                                             ? queries_.remap(i, *shared_symbol)
+                                             ? queries_.remap_distinct(i, *shared_symbol)
                                              : entry_symbol(lane, entry_index);
                             int target = lane.cq->transition(lane.state, symbol);
                             targets_[i] = target;
@@ -429,7 +431,7 @@ public:
                     for (std::size_t i = 0; i < n; ++i) {
                         const Lane& lane = lanes_[i];
                         int symbol = shared_symbol.has_value()
-                                         ? queries_.remap(i, *shared_symbol)
+                                         ? queries_.remap_distinct(i, *shared_symbol)
                                          : lane.other;
                         bool accepting =
                             lane.cq
@@ -587,15 +589,20 @@ private:
         }
     }
 
-    /** Reports a match for lane @p i; max_match_count applies per lane,
-     *  mirroring what N independent runs would each enforce. */
-    void report(std::size_t i, std::size_t offset)
+    /** Reports a match for distinct lane @p d, fanning out to every input
+     *  query that owns it (ascending). max_match_count applies per lane —
+     *  duplicates share the counter, so each trips exactly where its own
+     *  independent run would. */
+    void report(std::size_t d, std::size_t offset)
     {
-        if (++lanes_[i].matches > options_.limits.max_match_count) {
+        if (++lanes_[d].matches > options_.limits.max_match_count) {
             fail(StatusCode::kMatchLimit, offset);
             return;
         }
-        sink_.on_match(i, offset);
+        for (std::size_t owner : queries_.owners(d)) {
+            stats_.counters.add(obs::Counter::kSubscriberFanout);
+            sink_.on_match(owner, offset);
+        }
     }
 
     const MultiQuery& queries_;

@@ -1,110 +1,38 @@
 /**
  * @file
- * Fused multi-query execution: N compiled automata over ONE classification
+ * The `lanes` fused backend: N compiled automata over ONE classification
  * pass of the batched block stream.
  *
  * A standalone engine run spends most of its time classifying blocks for
  * fast, selective queries (paper §4, Experiments B/C) — so N queries run
  * sequentially pay for N classification passes over identical bytes. The
- * fused engine advances N independent depth-stack simulations off the same
- * structural events: one block classification, one label resolution per
- * event (against the shared union alphabet), N O(1) automaton transitions.
+ * fused engine advances one depth-stack simulation per DISTINCT query off
+ * the same structural events: one block classification, one label
+ * resolution per event (against the shared union alphabet), then an O(1)
+ * automaton transition per lane; duplicate queries share a lane and fan
+ * out to their owners at report time.
  *
  * Skipping degrades soundly to the set's consensus: a fast-forward
  * (children / siblings / within-element label / head-skip) is taken only
  * when *every* lane agrees the region is irrelevant to it — a lane parked
  * in its trash state agrees to anything; a live lane vetoes. Vetoed skips
  * fall back to structural iteration and are tallied in the obs counters
- * (fused_*_skip_suppressed), so the cost of disagreement is visible.
+ * (fused_*_skip_suppressed), so the cost of disagreement is visible. The
+ * `product` backend (product_engine.h) removes the per-lane loop and the
+ * consensus entirely; this backend remains the uncapped fallback.
  */
 #pragma once
 
-#include <cstddef>
 #include <string>
 #include <vector>
 
-#include "descend/engine/api.h"
-#include "descend/engine/padded_string.h"
-#include "descend/multi/multi_query.h"
-#include "descend/obs/run_stats.h"
+#include "descend/multi/fused.h"
 #include "descend/simd/dispatch.h"
 
 namespace descend::multi {
 
-/** Receiver of fused-run matches, tagged with the originating query. */
-class MultiSink {
-public:
-    virtual ~MultiSink() = default;
-
-    /** @param query_index position of the query in the compiled set. */
-    virtual void on_match(std::size_t query_index, std::size_t offset) = 0;
-};
-
-/** Collects per-query match offsets (document order within each query). */
-class CollectingMultiSink final : public MultiSink {
-public:
-    explicit CollectingMultiSink(std::size_t num_queries)
-        : offsets_(num_queries)
-    {
-    }
-
-    void on_match(std::size_t query_index, std::size_t offset) override
-    {
-        offsets_[query_index].push_back(offset);
-    }
-
-    const std::vector<std::size_t>& offsets(std::size_t query_index) const
-    {
-        return offsets_[query_index];
-    }
-
-    const std::vector<std::vector<std::size_t>>& all() const noexcept
-    {
-        return offsets_;
-    }
-
-private:
-    std::vector<std::vector<std::size_t>> offsets_;
-};
-
-/** Counts matches per query — the benchmark sink. */
-class CountingMultiSink final : public MultiSink {
-public:
-    explicit CountingMultiSink(std::size_t num_queries) : counts_(num_queries) {}
-
-    void on_match(std::size_t query_index, std::size_t) override
-    {
-        ++counts_[query_index];
-    }
-
-    std::size_t count(std::size_t query_index) const
-    {
-        return counts_[query_index];
-    }
-
-    std::size_t total() const noexcept
-    {
-        std::size_t sum = 0;
-        for (std::size_t c : counts_) {
-            sum += c;
-        }
-        return sum;
-    }
-
-private:
-    std::vector<std::size_t> counts_;
-};
-
-/**
- * The fused engine. Const run paths touch no mutable engine state — one
- * instance can serve concurrent runs (the stream executor shares one).
- *
- * Status semantics: the document is a single byte stream, so the run has a
- * single EngineStatus — malformed input fails the set as a whole, and a
- * per-query limit violation (EngineLimits::max_match_count is enforced per
- * lane, mirroring N independent runs) fails the run at that offset.
- */
-class MultiDescendEngine {
+/** The lanes engine. See FusedEngine for the run/status contract. */
+class MultiDescendEngine final : public FusedEngine {
 public:
     explicit MultiDescendEngine(MultiQuery queries, EngineOptions options = {});
 
@@ -115,30 +43,17 @@ public:
         return MultiDescendEngine(MultiQuery::compile(query_texts), options);
     }
 
-    std::string name() const;
+    using FusedEngine::run;
 
-    EngineStatus run(const PaddedString& document, MultiSink& sink) const
-    {
-        return run(PaddedView(document), sink);
-    }
+    std::string name() const override;
 
-    /** Zero-copy slice run (record of an NDJSON stream); offsets are
-     *  relative to the slice start, as DescendEngine::run. */
-    EngineStatus run(PaddedView document, MultiSink& sink) const;
-
-    /** Like run(), additionally reporting what the fused pass did. */
-    RunStats run_with_stats(PaddedView document, MultiSink& sink) const;
-
-    /**
-     * Budget-override run: governs this one run by @p budget instead of
-     * options().budget — how the multi-stream executor gives each record
-     * its own slice of a stream-level budget without rebuilding engines.
-     */
+    EngineStatus run(PaddedView document, MultiSink& sink) const override;
+    RunStats run_with_stats(PaddedView document, MultiSink& sink) const override;
     RunStats run_with_stats(PaddedView document, MultiSink& sink,
-                            const RunBudget& budget) const;
+                            const RunBudget& budget) const override;
 
-    const MultiQuery& query_set() const noexcept { return queries_; }
-    const EngineOptions& options() const noexcept { return options_; }
+    const MultiQuery& query_set() const noexcept override { return queries_; }
+    const EngineOptions& options() const noexcept override { return options_; }
 
 private:
     RunStats dispatch(PaddedView document, MultiSink& sink,

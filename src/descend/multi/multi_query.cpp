@@ -1,5 +1,7 @@
 #include "descend/multi/multi_query.h"
 
+#include <unordered_map>
+
 #include "descend/util/errors.h"
 
 namespace descend::multi {
@@ -11,11 +13,22 @@ MultiQuery MultiQuery::compile(const std::vector<query::Query>& queries)
     }
     MultiQuery set;
     set.shared_ = automaton::Alphabet::from_queries(queries);
-    set.queries_.reserve(queries.size());
-    set.remap_.reserve(queries.size());
+    set.sources_ = queries;
+    set.input_to_distinct_.reserve(queries.size());
     set.all_root_accepting_ = true;
     bool head_skip_possible = true;
-    for (const query::Query& query : queries) {
+    // Canonical rendering -> distinct slot: `$.a` and `$['a']` parse to the
+    // same selectors and must share one lane/subscriber slot.
+    std::unordered_map<std::string, std::size_t> canonical_ids;
+    for (std::size_t input = 0; input < queries.size(); ++input) {
+        const query::Query& query = queries[input];
+        auto [found, inserted] =
+            canonical_ids.emplace(query.to_string(), set.distinct_.size());
+        if (!inserted) {
+            set.input_to_distinct_.push_back(found->second);
+            set.owners_[found->second].push_back(input);
+            continue;
+        }
         automaton::CompiledQuery compiled = automaton::CompiledQuery::compile(query);
         const automaton::Alphabet& own = compiled.alphabet();
 
@@ -51,7 +64,9 @@ MultiQuery MultiQuery::compile(const std::vector<query::Query>& queries)
             }
         }
 
-        set.queries_.push_back(std::move(compiled));
+        set.input_to_distinct_.push_back(set.distinct_.size());
+        set.owners_.push_back({input});
+        set.distinct_.push_back(std::move(compiled));
         set.remap_.push_back(std::move(remap));
     }
     return set;

@@ -9,6 +9,14 @@
  * table then translates the shared symbol into each automaton's private
  * symbol space in O(1) — labels absent from a query collapse to that
  * query's OTHER symbol, exactly as its standalone run would classify them.
+ *
+ * Duplicate queries are deduplicated at compile time: every input query is
+ * canonicalized (parse → Query::to_string, so `$.a` and `$['a']` coincide)
+ * and identical queries share one *distinct* compiled automaton. Execution
+ * backends simulate distinct queries only and fan results out to the
+ * owning input indices on report, so a 100×-duplicated subscription costs
+ * one lane, not a hundred. The input indexing (size(), query(i), remap(i))
+ * is preserved — duplicates resolve to their shared distinct artifact.
  */
 #pragma once
 
@@ -32,20 +40,55 @@ public:
     /** Convenience: parse + compile each text. */
     static MultiQuery compile(const std::vector<std::string>& query_texts);
 
-    std::size_t size() const noexcept { return queries_.size(); }
+    /** Number of *input* queries (duplicates included). */
+    std::size_t size() const noexcept { return input_to_distinct_.size(); }
+
+    /** Number of distinct canonical queries actually compiled. */
+    std::size_t num_distinct() const noexcept { return distinct_.size(); }
 
     const automaton::Alphabet& alphabet() const noexcept { return shared_; }
 
+    /** The compiled automaton serving input query @p i (shared with every
+     *  duplicate of it). */
     const automaton::CompiledQuery& query(std::size_t i) const
     {
-        return queries_[i];
+        return distinct_[input_to_distinct_[i]];
     }
 
-    /** Translates a shared-alphabet symbol into query @p i's private
+    /** The compiled automaton of distinct query @p d. */
+    const automaton::CompiledQuery& distinct(std::size_t d) const
+    {
+        return distinct_[d];
+    }
+
+    /** Input indices owning distinct query @p d, ascending. */
+    const std::vector<std::size_t>& owners(std::size_t d) const
+    {
+        return owners_[d];
+    }
+
+    /** Distinct index of input query @p i. */
+    std::size_t distinct_index(std::size_t i) const
+    {
+        return input_to_distinct_[i];
+    }
+
+    /** The parsed source of input query @p i (for tier-degraded rebuilds
+     *  and diagnostics; duplicates keep their own entry). */
+    const query::Query& source(std::size_t i) const { return sources_[i]; }
+
+    /** Translates a shared-alphabet symbol into input query @p i's private
      *  alphabet (its OTHER symbol when the label/index is absent there). */
     int remap(std::size_t i, int shared_symbol) const
     {
-        return remap_[i][static_cast<std::size_t>(shared_symbol)];
+        return remap_distinct(input_to_distinct_[i], shared_symbol);
+    }
+
+    /** Translates a shared-alphabet symbol into distinct query @p d's
+     *  private alphabet. */
+    int remap_distinct(std::size_t d, int shared_symbol) const
+    {
+        return remap_[d][static_cast<std::size_t>(shared_symbol)];
     }
 
     /** True when any query uses index selectors (the fused run then
@@ -70,9 +113,16 @@ private:
     MultiQuery() = default;
 
     automaton::Alphabet shared_;
-    std::vector<automaton::CompiledQuery> queries_;
-    /** remap_[query][shared_symbol] -> that query's private symbol. */
+    /** Parsed inputs, one per input index. */
+    std::vector<query::Query> sources_;
+    /** Distinct compiled automata, in first-occurrence order. */
+    std::vector<automaton::CompiledQuery> distinct_;
+    /** remap_[distinct][shared_symbol] -> that query's private symbol. */
     std::vector<std::vector<int>> remap_;
+    /** distinct -> owning input indices (ascending). */
+    std::vector<std::vector<std::size_t>> owners_;
+    /** input -> distinct. */
+    std::vector<std::size_t> input_to_distinct_;
     bool any_counting_ = false;
     bool all_root_accepting_ = false;
     std::optional<std::string> common_head_skip_label_;

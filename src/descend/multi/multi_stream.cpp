@@ -57,7 +57,7 @@ stream::StreamResult MultiStreamExecutor::run_records(
     if (records.empty()) {
         return result;
     }
-    const std::size_t num_queries = engine_.query_set().size();
+    const std::size_t num_queries = engine_->query_set().size();
 
     const std::size_t batch_size =
         options_.records_per_batch > 0 ? options_.records_per_batch : 1;
@@ -95,8 +95,9 @@ stream::StreamResult MultiStreamExecutor::run_records(
             fault::maybe_stall(fault::Site::kWorkerStartup);
         }
         ShardObs& local = shard_obs[shard];
-        // Scalar-tier fused engine for kRetryScalar, built on first use.
-        std::unique_ptr<MultiDescendEngine> scalar_engine;
+        // Scalar-tier fused engine for kRetryScalar, built on first use
+        // (same backend selection as the primary engine).
+        std::unique_ptr<FusedEngine> scalar_engine;
         for (;;) {
             std::size_t batch = next_batch.fetch_add(1, std::memory_order_relaxed);
             if (batch >= num_batches) {
@@ -137,10 +138,10 @@ stream::StreamResult MultiStreamExecutor::run_records(
                 }
                 RunStats run_stats =
                     stream_governed || record_governed
-                        ? engine_.run_with_stats(
+                        ? engine_->run_with_stats(
                               input.subview(span.begin, span.size()),
                               collector, record_budget)
-                        : engine_.run_with_stats(
+                        : engine_->run_with_stats(
                               input.subview(span.begin, span.size()),
                               collector);
                 outcome.status = run_stats.status;
@@ -165,14 +166,14 @@ stream::StreamResult MultiStreamExecutor::run_records(
                         EngineOptions scalar_options = options_.engine;
                         scalar_options.simd = simd::Level::scalar;
                         std::vector<query::Query> sources;
-                        sources.reserve(engine_.query_set().size());
-                        for (std::size_t q = 0; q < engine_.query_set().size();
+                        sources.reserve(engine_->query_set().size());
+                        for (std::size_t q = 0; q < engine_->query_set().size();
                              ++q) {
-                            sources.push_back(
-                                engine_.query_set().query(q).source());
+                            sources.push_back(engine_->query_set().source(q));
                         }
-                        scalar_engine = std::make_unique<MultiDescendEngine>(
-                            MultiQuery::compile(sources), scalar_options);
+                        scalar_engine = make_fused_engine(
+                            MultiQuery::compile(sources), scalar_options,
+                            backend_);
                     }
                     CollectingMultiSink scalar_collector(num_queries);
                     RunStats scalar_stats =

@@ -21,9 +21,10 @@
  */
 #pragma once
 
+#include <memory>
 #include <vector>
 
-#include "descend/multi/multi_engine.h"
+#include "descend/multi/fused.h"
 #include "descend/stream/record_splitter.h"
 #include "descend/stream/stream_executor.h"
 
@@ -117,21 +118,29 @@ private:
     std::vector<stream::CollectingStreamSink::RecordError> errors_;
 };
 
-/** Runs a fused query set over NDJSON streams; reusable across streams. */
+/** Runs a fused query set over NDJSON streams; reusable across streams.
+ *  The compiled backend (lanes or product) is built ONCE here and shared
+ *  read-only by every worker thread — the whole point of set compilation:
+ *  a 1k-query product automaton amortizes across all records and shards. */
 class MultiStreamExecutor {
 public:
     explicit MultiStreamExecutor(MultiQuery queries,
-                                 stream::StreamOptions options = {})
-        : engine_(std::move(queries), options.engine), options_(options)
+                                 stream::StreamOptions options = {},
+                                 FusedBackend backend = FusedBackend::kAuto)
+        : engine_(make_fused_engine(std::move(queries), options.engine, backend)),
+          options_(options),
+          backend_(backend)
     {
     }
 
     /** Convenience: parse, compile and wrap a query set. */
     static MultiStreamExecutor for_queries(
         const std::vector<std::string>& query_texts,
-        stream::StreamOptions options = {})
+        stream::StreamOptions options = {},
+        FusedBackend backend = FusedBackend::kAuto)
     {
-        return MultiStreamExecutor(MultiQuery::compile(query_texts), options);
+        return MultiStreamExecutor(MultiQuery::compile(query_texts), options,
+                                   backend);
     }
 
     /** Splits @p input into records and runs the set over each. The
@@ -143,12 +152,14 @@ public:
                                      const std::vector<stream::RecordSpan>& records,
                                      MultiStreamSink& sink) const;
 
-    const MultiDescendEngine& engine() const noexcept { return engine_; }
+    const FusedEngine& engine() const noexcept { return *engine_; }
+    FusedBackend backend() const noexcept { return backend_; }
     const stream::StreamOptions& options() const noexcept { return options_; }
 
 private:
-    MultiDescendEngine engine_;
+    std::unique_ptr<FusedEngine> engine_;
     stream::StreamOptions options_;
+    FusedBackend backend_ = FusedBackend::kAuto;
 };
 
 }  // namespace descend::multi

@@ -57,6 +57,11 @@ enum class Counter : std::uint8_t {
     kFusedChildSkipSuppressed,    ///< child skips lost to disagreement
     kFusedSiblingSkipSuppressed,  ///< sibling skips lost to disagreement
     kFusedWithinSkipSuppressed,   ///< within-element skips lost to disagreement
+    // --- set-compiled execution (src/descend/multi/product_engine.h; the
+    //     fanout tally also covers the lanes backend's owner expansion) ---
+    kProductStates,        ///< states of the compiled product automaton (gauge)
+    kProductSkips,         ///< fast-forwards certified by a product state
+    kSubscriberFanout,     ///< per-subscriber match emissions (incl. duplicates)
     // --- label search ---
     kLabelSearchCandidates,  ///< prefiltered quote candidates verified bytewise
     kLabelSearchHits,        ///< candidates confirmed as `"label":` members
@@ -108,6 +113,9 @@ constexpr const char* counter_name(Counter id) noexcept
             return "fused_sibling_skip_suppressed";
         case Counter::kFusedWithinSkipSuppressed:
             return "fused_within_skip_suppressed";
+        case Counter::kProductStates: return "product_states";
+        case Counter::kProductSkips: return "product_skips";
+        case Counter::kSubscriberFanout: return "subscriber_fanout";
         case Counter::kLabelSearchCandidates: return "label_search_candidates";
         case Counter::kLabelSearchHits: return "label_search_hits";
         case Counter::kBatchRefills: return "batch_refills";
@@ -133,7 +141,7 @@ constexpr const char* counter_name(Counter id) noexcept
 /** Gauges are high-water marks: merging takes the max, not the sum. */
 constexpr bool counter_is_gauge(Counter id) noexcept
 {
-    return id == Counter::kDepthStackMax;
+    return id == Counter::kDepthStackMax || id == Counter::kProductStates;
 }
 
 #if DESCEND_OBS_ENABLED

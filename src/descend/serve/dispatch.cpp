@@ -4,7 +4,7 @@
 #include <exception>
 #include <vector>
 
-#include "descend/multi/multi_engine.h"
+#include "descend/multi/fused.h"
 #include "descend/obs/report.h"
 #include "descend/simd/dispatch.h"
 #include "descend/stream/record_splitter.h"
@@ -99,7 +99,8 @@ Response Dispatcher::dispatch(const Request& request, RunScratch& scratch,
 
     bool hit = false;
     CachedQueryPtr entry = cache_->lookup(request.mode, request.query,
-                                          options, hit);
+                                          options, hit,
+                                          policy_.fused_backend);
 
     Response response;
     if (hit) {

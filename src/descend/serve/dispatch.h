@@ -52,6 +52,10 @@ struct ServePolicy {
     std::uint32_t default_deadline_ms = 0;
     /** Ceiling on any request's deadline; 0 = uncapped. */
     std::uint32_t max_deadline_ms = 0;
+    /** Fused backend for kMulti requests: kAuto compiles the query set
+     *  into one product automaton and falls back to per-query lanes only
+     *  when the set trips the product state cap. */
+    multi::FusedBackend fused_backend = multi::FusedBackend::kAuto;
 };
 
 /** Routes decoded requests to engines. Stateless apart from the shared

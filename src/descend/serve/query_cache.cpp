@@ -3,9 +3,36 @@
 #include <functional>
 #include <utility>
 
+#include "descend/query/query.h"
 #include "descend/util/errors.h"
 
 namespace descend::serve {
+namespace {
+
+/**
+ * Canonical text of a kMulti query field: per line parse → re-serialize,
+ * joined back with '\n' in request order. Unparseable lines keep their
+ * raw text — canonicalization must never turn a kBadQuery response into
+ * a cache-key exception; build() reports the QueryError on the miss path.
+ */
+std::string canonical_query_set(const std::string& queries)
+{
+    std::string canonical;
+    canonical.reserve(queries.size());
+    for (const std::string& line : split_query_set(queries)) {
+        if (!canonical.empty()) {
+            canonical += '\n';
+        }
+        try {
+            canonical += query::Query::parse(line).to_string();
+        } catch (const QueryError&) {
+            canonical += line;
+        }
+    }
+    return canonical;
+}
+
+}  // namespace
 
 QueryCache::QueryCache(std::size_t capacity, std::size_t shards)
 {
@@ -29,14 +56,21 @@ QueryCache::QueryCache(std::size_t capacity, std::size_t shards)
 }
 
 std::string QueryCache::make_key(RequestMode mode, const std::string& query,
-                                 const EngineLimits& limits)
+                                 const EngineLimits& limits,
+                                 multi::FusedBackend backend)
 {
     // Mode classes that share compiled artifacts share keys: single and
-    // NDJSON both use the single-query artifact; multi is its own class.
-    const char mode_class = mode == RequestMode::kMulti ? 'm' : 's';
+    // NDJSON both use the single-query artifact; multi is its own class,
+    // further split by the fused backend and canonicalized so spelling
+    // variants of one set share an entry.
+    const bool is_multi = mode == RequestMode::kMulti;
+    const char mode_class = is_multi ? 'm' : 's';
     std::string key;
     key.reserve(query.size() + 64);
     key += mode_class;
+    if (is_multi) {
+        key += fused_backend_name(backend).front();
+    }
     key += '\x1f';
     key += std::to_string(limits.max_depth);
     key += '\x1f';
@@ -44,17 +78,23 @@ std::string QueryCache::make_key(RequestMode mode, const std::string& query,
     key += '\x1f';
     key += std::to_string(limits.max_match_count);
     key += '\x1f';
-    key += query;
+    if (is_multi) {
+        key += canonical_query_set(query);
+    } else {
+        key += query;
+    }
     return key;
 }
 
 CachedQueryPtr QueryCache::build(RequestMode mode, const std::string& query,
-                                 const EngineOptions& options)
+                                 const EngineOptions& options,
+                                 multi::FusedBackend backend)
 {
     auto entry = std::make_shared<CachedQuery>();
     if (mode == RequestMode::kMulti) {
-        entry->multi_engine = std::make_unique<multi::MultiDescendEngine>(
-            multi::MultiQuery::compile(split_query_set(query)), options);
+        entry->multi_engine = multi::make_fused_engine(
+            multi::MultiQuery::compile(split_query_set(query)), options,
+            backend);
     } else {
         entry->engine = std::make_unique<DescendEngine>(
             automaton::CompiledQuery::compile(query), options);
@@ -63,9 +103,10 @@ CachedQueryPtr QueryCache::build(RequestMode mode, const std::string& query,
 }
 
 CachedQueryPtr QueryCache::lookup(RequestMode mode, const std::string& query,
-                                  const EngineOptions& options, bool& hit)
+                                  const EngineOptions& options, bool& hit,
+                                  multi::FusedBackend backend)
 {
-    const std::string key = make_key(mode, query, options.limits);
+    const std::string key = make_key(mode, query, options.limits, backend);
     Shard& shard =
         *shards_[std::hash<std::string>{}(key) % shards_.size()];
     {
@@ -86,7 +127,7 @@ CachedQueryPtr QueryCache::lookup(RequestMode mode, const std::string& query,
     // last and both callers run on a valid entry.
     hit = false;
     misses_.fetch_add(1, std::memory_order_relaxed);
-    CachedQueryPtr entry = build(mode, query, options);
+    CachedQueryPtr entry = build(mode, query, options, backend);
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
         auto found = shard.index.find(key);

@@ -10,6 +10,16 @@
  * baked into engine construction, so two tenants with different limits
  * get distinct entries rather than shared, wrongly-limited ones).
  *
+ * Multi-query keys are canonical: each line of the set is parsed and
+ * re-serialized (query::Query::to_string), so subscriptions that differ
+ * only in whitespace or selector spelling share one compiled product
+ * automaton. Line order is preserved — response offsets are per input
+ * index, so reordered sets are different request shapes — and a line
+ * that does not parse keeps its raw text (the build step then reports
+ * the QueryError; failed compilations are never cached). The fused
+ * backend participates in the key too: an explicit lanes request must
+ * not be served a product entry or vice versa.
+ *
  * Entries are immutable once built and handed out as
  * shared_ptr<const CachedQuery>: an entry evicted while requests still
  * run on it stays alive until the last request drops its reference —
@@ -42,7 +52,7 @@
 #include <vector>
 
 #include "descend/engine/main_engine.h"
-#include "descend/multi/multi_engine.h"
+#include "descend/multi/fused.h"
 #include "descend/serve/protocol.h"
 
 namespace descend::serve {
@@ -57,8 +67,10 @@ namespace descend::serve {
 struct CachedQuery {
     /** Ready-to-run single-document engine (single-query shapes only). */
     std::unique_ptr<DescendEngine> engine;
-    /** Ready-to-run fused engine (multi-query shapes only). */
-    std::unique_ptr<multi::MultiDescendEngine> multi_engine;
+    /** Ready-to-run fused engine (multi-query shapes only): the product
+     *  backend unless the policy pinned lanes or the set tripped the
+     *  product state cap. */
+    std::unique_ptr<multi::FusedEngine> multi_engine;
 };
 
 using CachedQueryPtr = std::shared_ptr<const CachedQuery>;
@@ -90,10 +102,13 @@ public:
      *
      * `options.limits` participates in the key; the rest of
      * EngineOptions is the server-wide configuration and is assumed
-     * uniform across requests.
+     * uniform across requests. @p backend selects the fused backend for
+     * kMulti shapes (ignored otherwise).
      */
     CachedQueryPtr lookup(RequestMode mode, const std::string& query,
-                          const EngineOptions& options, bool& hit);
+                          const EngineOptions& options, bool& hit,
+                          multi::FusedBackend backend =
+                              multi::FusedBackend::kAuto);
 
     CacheStats stats() const;
 
@@ -112,10 +127,12 @@ private:
     };
 
     static std::string make_key(RequestMode mode, const std::string& query,
-                                const EngineLimits& limits);
+                                const EngineLimits& limits,
+                                multi::FusedBackend backend);
 
     static CachedQueryPtr build(RequestMode mode, const std::string& query,
-                                const EngineOptions& options);
+                                const EngineOptions& options,
+                                multi::FusedBackend backend);
 
     std::size_t shard_capacity_;
     std::vector<std::unique_ptr<Shard>> shards_;

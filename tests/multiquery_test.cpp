@@ -1,20 +1,27 @@
 /**
  * @file
- * Fused multi-query execution: the fused engine's per-query match sets must
- * be bit-identical to N independent single-query runs — for every engine
- * configuration, including query mixes whose lanes disagree about the
- * skippability of a subtree (one lane's irrelevant region is another's
- * match territory). The suite is registered in DESCEND_TIERED_TESTS, so
- * ctest re-runs it with every dispatch tier forced via DESCEND_SIMD_LEVEL.
+ * Fused multi-query execution: every fused backend's per-query match sets
+ * must be bit-identical to N independent single-query runs — for every
+ * engine configuration, including query mixes whose lanes disagree about
+ * the skippability of a subtree (one lane's irrelevant region is another's
+ * match territory). Both backends are exercised: the per-query lanes
+ * fallback and the set-compiled product automaton (one state per distinct
+ * active-set, subscriber bitsets on accepting states). The suite is
+ * registered in DESCEND_TIERED_TESTS, so ctest re-runs it with every
+ * dispatch tier forced via DESCEND_SIMD_LEVEL.
  */
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "descend/multi/fused.h"
 #include "descend/multi/multi_engine.h"
 #include "descend/multi/multi_stream.h"
+#include "descend/multi/product_engine.h"
+#include "descend/util/errors.h"
 #include "descend/workloads/datasets.h"
 #include "test_helpers.h"
 
@@ -25,11 +32,24 @@ using multi::CollectingMultiSink;
 using multi::CollectingMultiStreamSink;
 using multi::CountingMultiSink;
 using multi::CountingMultiStreamSink;
+using multi::FusedBackend;
 using multi::MultiDescendEngine;
 using multi::MultiQuery;
 using multi::MultiStreamExecutor;
+using multi::ProductDescendEngine;
 using testing::describe;
 using testing::engine_configurations;
+
+/** Both fused backends; every parity suite runs under each. */
+std::vector<FusedBackend> fused_backends()
+{
+    return {FusedBackend::kLanes, FusedBackend::kProduct};
+}
+
+std::string backend_label(FusedBackend backend)
+{
+    return std::string(multi::fused_backend_name(backend));
+}
 
 /** N independent single-query runs with the same options — the oracle. */
 std::vector<std::vector<std::size_t>> independent_offsets(
@@ -47,20 +67,25 @@ std::vector<std::vector<std::size_t>> independent_offsets(
     return all;
 }
 
-/** Fused == N independent, for every engine configuration. */
+/** Fused == N independent, for every engine configuration and backend. */
 void expect_fused_matches_independent(const std::vector<std::string>& queries,
                                       const std::string& document)
 {
     PaddedString padded(document);
     for (const EngineOptions& options : engine_configurations()) {
         SCOPED_TRACE("configuration: " + describe(options));
-        MultiDescendEngine fused = MultiDescendEngine::for_queries(queries, options);
-        CollectingMultiSink sink(queries.size());
-        ASSERT_EQ(fused.run(padded, sink), EngineStatus{});
         std::vector<std::vector<std::size_t>> expected =
             independent_offsets(queries, padded, options);
-        for (std::size_t q = 0; q < queries.size(); ++q) {
-            EXPECT_EQ(sink.offsets(q), expected[q]) << "query: " << queries[q];
+        for (FusedBackend backend : fused_backends()) {
+            SCOPED_TRACE("backend: " + backend_label(backend));
+            std::unique_ptr<multi::FusedEngine> fused =
+                multi::make_fused_engine(queries, options, backend);
+            CollectingMultiSink sink(queries.size());
+            ASSERT_EQ(fused->run(padded, sink), EngineStatus{});
+            for (std::size_t q = 0; q < queries.size(); ++q) {
+                EXPECT_EQ(sink.offsets(q), expected[q])
+                    << "query: " << queries[q];
+            }
         }
     }
 }
@@ -100,6 +125,116 @@ TEST(MultiQueryCompile, CommonHeadSkipLabelRequiresUnanimity)
     MultiQuery mixed = MultiQuery::compile(
         std::vector<std::string>{"$..name", "$.a.b"});
     EXPECT_FALSE(mixed.common_head_skip_label().has_value());
+}
+
+// ------------------------------------------------------------------ dedup
+
+TEST(MultiQueryCompile, DuplicateQueriesShareOneDistinctSlot)
+{
+    // A 100x-duplicated two-query set: compilation and execution cost are
+    // per DISTINCT query; every duplicate subscription keeps its input
+    // index as an owner of the shared slot.
+    std::vector<std::string> queries;
+    for (int i = 0; i < 100; ++i) {
+        queries.push_back("$..id");
+        queries.push_back("$.meta.id");
+    }
+    MultiQuery set = MultiQuery::compile(queries);
+    EXPECT_EQ(set.size(), 200u);
+    ASSERT_EQ(set.num_distinct(), 2u);
+    EXPECT_EQ(set.owners(0).size(), 100u);
+    EXPECT_EQ(set.owners(1).size(), 100u);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        EXPECT_EQ(set.distinct_index(i), i % 2);
+    }
+    // Spelling variants canonicalize to the same distinct query.
+    MultiQuery spelled = MultiQuery::compile(
+        std::vector<std::string>{"$.a.b", "$['a']['b']", "$..c"});
+    EXPECT_EQ(spelled.num_distinct(), 2u);
+    EXPECT_EQ(spelled.distinct_index(0), spelled.distinct_index(1));
+}
+
+TEST(MultiEngine, HundredFoldDuplicatedSetReplicatesResults)
+{
+    std::string document =
+        R"({"meta": {"id": 1}, "rows": [{"id": 2}, {"nested": {"id": 3}}]})";
+    std::vector<std::string> queries;
+    for (int i = 0; i < 100; ++i) {
+        queries.push_back("$..id");
+        queries.push_back("$.meta.id");
+    }
+    PaddedString padded(document);
+    std::vector<std::vector<std::size_t>> expected = independent_offsets(
+        {"$..id", "$.meta.id"}, padded, EngineOptions{});
+    for (FusedBackend backend : fused_backends()) {
+        SCOPED_TRACE("backend: " + backend_label(backend));
+        std::unique_ptr<multi::FusedEngine> fused =
+            multi::make_fused_engine(queries, {}, backend);
+        CollectingMultiSink sink(queries.size());
+        ASSERT_EQ(fused->run(padded, sink), EngineStatus{});
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            EXPECT_EQ(sink.offsets(q), expected[q % 2]) << "query " << q;
+        }
+    }
+}
+
+TEST(MultiEngine, DuplicatesTripTheMatchLimitLikeTheOriginal)
+{
+    // The per-query limit counts matches of the DISTINCT query once, so a
+    // duplicated subscription trips at the same offset as a lone one.
+    std::string document = R"({"a": 1, "b": {"a": 2}, "c": {"a": 3}})";
+    PaddedString padded(document);
+    EngineOptions options;
+    options.limits.max_match_count = 2;
+    DescendEngine single(automaton::CompiledQuery::compile("$..a"), options);
+    OffsetSink single_sink;
+    EngineStatus expected = single.run(padded, single_sink);
+    ASSERT_EQ(expected.code, StatusCode::kMatchLimit);
+    for (FusedBackend backend : fused_backends()) {
+        SCOPED_TRACE("backend: " + backend_label(backend));
+        std::unique_ptr<multi::FusedEngine> fused = multi::make_fused_engine(
+            std::vector<std::string>{"$..a", "$..a", "$..a"}, options,
+            backend);
+        CollectingMultiSink sink(3);
+        EXPECT_EQ(fused->run(padded, sink), expected);
+    }
+}
+
+// -------------------------------------------------------- product automaton
+
+TEST(ProductAutomaton, SharedPrefixCollapsesToOneStatePath)
+{
+    // 32 subscriptions down the same object spine: the product trie shares
+    // the spine, so states grow as prefix + one leaf per subscription —
+    // nowhere near 32 independent four-state automata.
+    std::vector<std::string> queries;
+    for (int i = 0; i < 32; ++i) {
+        queries.push_back("$.a.b.c.f" + std::to_string(i));
+    }
+    ProductDescendEngine engine(MultiQuery::compile(queries));
+    EXPECT_GE(engine.automaton().num_states(), 32u);
+    EXPECT_LE(engine.automaton().num_states(), 40u);
+}
+
+TEST(ProductAutomaton, StateCapTripsLimitErrorAndAutoFallsBack)
+{
+    MultiQuery set = MultiQuery::compile(
+        std::vector<std::string>{"$..a..b", "$.c.*.d"});
+    EXPECT_THROW(ProductDescendEngine(set, EngineOptions{}, 2), LimitError);
+    // kAuto prefers the product backend whenever the set compiles under
+    // the default cap (the fallback path is the same make_fused_engine
+    // catch that this explicit cap exercises).
+    std::unique_ptr<multi::FusedEngine> engine = multi::make_fused_engine(
+        std::vector<std::string>{"$..a..b", "$.c.*.d"});
+    EXPECT_NE(engine->name().find("product"), std::string::npos);
+}
+
+TEST(ProductAutomaton, SubscriberSetsFanOutToEveryOwner)
+{
+    // Two subscriptions accepting at the same node must both be reported,
+    // interleaved with a third that accepts elsewhere.
+    std::string document = R"({"a": {"b": 1, "c": 2}})";
+    expect_fused_matches_independent({"$.a.b", "$..b", "$.a.c"}, document);
 }
 
 // ----------------------------------------------------------- single-pass
@@ -186,17 +321,21 @@ TEST(MultiEngine, CountingSinkAgreesWithCollectingSink)
     std::vector<std::string> queries{"$..b", "$.a.*"};
     std::string document = R"({"a": {"b": 1, "c": 2}, "b": 3})";
     PaddedString padded(document);
-    MultiDescendEngine fused = MultiDescendEngine::for_queries(queries);
-    CollectingMultiSink collect(queries.size());
-    CountingMultiSink count(queries.size());
-    ASSERT_EQ(fused.run(padded, collect), EngineStatus{});
-    ASSERT_EQ(fused.run(padded, count), EngineStatus{});
-    std::size_t total = 0;
-    for (std::size_t q = 0; q < queries.size(); ++q) {
-        EXPECT_EQ(count.count(q), collect.offsets(q).size());
-        total += collect.offsets(q).size();
+    for (FusedBackend backend : fused_backends()) {
+        SCOPED_TRACE("backend: " + backend_label(backend));
+        std::unique_ptr<multi::FusedEngine> fused =
+            multi::make_fused_engine(queries, {}, backend);
+        CollectingMultiSink collect(queries.size());
+        CountingMultiSink count(queries.size());
+        ASSERT_EQ(fused->run(padded, collect), EngineStatus{});
+        ASSERT_EQ(fused->run(padded, count), EngineStatus{});
+        std::size_t total = 0;
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            EXPECT_EQ(count.count(q), collect.offsets(q).size());
+            total += collect.offsets(q).size();
+        }
+        EXPECT_EQ(count.total(), total);
     }
-    EXPECT_EQ(count.total(), total);
 }
 
 TEST(MultiEngine, PerLaneMatchLimitFailsTheRun)
@@ -208,23 +347,29 @@ TEST(MultiEngine, PerLaneMatchLimitFailsTheRun)
     PaddedString padded(document);
     EngineOptions options;
     options.limits.max_match_count = 2;
-    MultiDescendEngine fused =
-        MultiDescendEngine::for_queries({"$..a", "$.a"}, options);
-    CollectingMultiSink sink(2);
-    EngineStatus status = fused.run(padded, sink);
-    EXPECT_EQ(status.code, StatusCode::kMatchLimit);
-
     DescendEngine single(automaton::CompiledQuery::compile("$..a"), options);
     OffsetSink single_sink;
-    EXPECT_EQ(single.run(padded, single_sink), status);
+    EngineStatus expected = single.run(padded, single_sink);
+    ASSERT_EQ(expected.code, StatusCode::kMatchLimit);
+    for (FusedBackend backend : fused_backends()) {
+        SCOPED_TRACE("backend: " + backend_label(backend));
+        std::unique_ptr<multi::FusedEngine> fused = multi::make_fused_engine(
+            std::vector<std::string>{"$..a", "$.a"}, options, backend);
+        CollectingMultiSink sink(2);
+        EXPECT_EQ(fused->run(padded, sink), expected);
+    }
 }
 
 TEST(MultiEngine, MalformedDocumentFailsTheSet)
 {
     PaddedString padded(R"({"a": {"b": 1})");  // truncated
-    MultiDescendEngine fused = MultiDescendEngine::for_queries({"$.a.b", "$..b"});
-    CollectingMultiSink sink(2);
-    EXPECT_FALSE(fused.run(padded, sink).ok());
+    for (FusedBackend backend : fused_backends()) {
+        SCOPED_TRACE("backend: " + backend_label(backend));
+        std::unique_ptr<multi::FusedEngine> fused = multi::make_fused_engine(
+            std::vector<std::string>{"$.a.b", "$..b"}, {}, backend);
+        CollectingMultiSink sink(2);
+        EXPECT_FALSE(fused->run(padded, sink).ok());
+    }
 }
 
 // -------------------------------------------------------------- streaming
@@ -283,18 +428,22 @@ TEST(MultiStream, FusedStreamMatchesPerRecordIndependentRuns)
                                                      : a.query < b.query;
                      });
 
-    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
-        stream::StreamOptions options;
-        options.threads = threads;
-        options.records_per_batch = 3;  // force several batches
-        MultiStreamExecutor executor =
-            MultiStreamExecutor::for_queries(queries, options);
-        CollectingMultiStreamSink sink;
-        stream::StreamResult result = executor.run(input, sink);
-        EXPECT_EQ(result.records, records.size()) << threads << " threads";
-        EXPECT_TRUE(sink.errors().empty()) << threads << " threads";
-        EXPECT_EQ(sink.matches(), expected) << threads << " threads";
-        EXPECT_EQ(result.matches, expected.size()) << threads << " threads";
+    for (FusedBackend backend : fused_backends()) {
+        SCOPED_TRACE("backend: " + backend_label(backend));
+        for (std::size_t threads :
+             {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+            stream::StreamOptions options;
+            options.threads = threads;
+            options.records_per_batch = 3;  // force several batches
+            MultiStreamExecutor executor =
+                MultiStreamExecutor::for_queries(queries, options, backend);
+            CollectingMultiStreamSink sink;
+            stream::StreamResult result = executor.run(input, sink);
+            EXPECT_EQ(result.records, records.size()) << threads << " threads";
+            EXPECT_TRUE(sink.errors().empty()) << threads << " threads";
+            EXPECT_EQ(sink.matches(), expected) << threads << " threads";
+            EXPECT_EQ(result.matches, expected.size()) << threads << " threads";
+        }
     }
 }
 
@@ -302,28 +451,32 @@ TEST(MultiStream, MalformedRecordFailsEveryLaneOfThatRecordOnly)
 {
     std::string text = R"({"id": 1})" "\n" R"({"id": )" "\n" R"({"id": 3})" "\n";
     PaddedString input(text);
-    MultiStreamExecutor executor = MultiStreamExecutor::for_queries(
-        std::vector<std::string>{"$.id", "$..id"});
-    CollectingMultiStreamSink sink;
-    stream::StreamResult result = executor.run(input, sink);
-    EXPECT_EQ(result.records, 3u);
-    EXPECT_EQ(result.failed_records, 1u);
-    ASSERT_EQ(sink.errors().size(), 1u);
-    EXPECT_EQ(sink.errors()[0].record, 1u);
-    // Records 0 and 2 contribute both lanes; record 1 contributes nothing.
-    ASSERT_EQ(sink.matches().size(), 4u);
-    for (const auto& match : sink.matches()) {
-        EXPECT_NE(match.record, 1u);
-    }
+    for (FusedBackend backend : fused_backends()) {
+        SCOPED_TRACE("backend: " + backend_label(backend));
+        MultiStreamExecutor executor = MultiStreamExecutor::for_queries(
+            std::vector<std::string>{"$.id", "$..id"}, {}, backend);
+        CollectingMultiStreamSink sink;
+        stream::StreamResult result = executor.run(input, sink);
+        EXPECT_EQ(result.records, 3u);
+        EXPECT_EQ(result.failed_records, 1u);
+        ASSERT_EQ(sink.errors().size(), 1u);
+        EXPECT_EQ(sink.errors()[0].record, 1u);
+        // Records 0 and 2 contribute both lanes; record 1 contributes
+        // nothing.
+        ASSERT_EQ(sink.matches().size(), 4u);
+        for (const auto& match : sink.matches()) {
+            EXPECT_NE(match.record, 1u);
+        }
 
-    stream::StreamOptions fail_fast;
-    fail_fast.policy = stream::ErrorPolicy::kFailFast;
-    MultiStreamExecutor strict = MultiStreamExecutor::for_queries(
-        std::vector<std::string>{"$.id", "$..id"}, fail_fast);
-    CountingMultiStreamSink counting(2);
-    stream::StreamResult aborted = strict.run(input, counting);
-    EXPECT_FALSE(aborted.ok());
-    EXPECT_EQ(counting.failed_records(), 1u);
+        stream::StreamOptions fail_fast;
+        fail_fast.policy = stream::ErrorPolicy::kFailFast;
+        MultiStreamExecutor strict = MultiStreamExecutor::for_queries(
+            std::vector<std::string>{"$.id", "$..id"}, fail_fast, backend);
+        CountingMultiStreamSink counting(2);
+        stream::StreamResult aborted = strict.run(input, counting);
+        EXPECT_FALSE(aborted.ok());
+        EXPECT_EQ(counting.failed_records(), 1u);
+    }
 }
 
 }  // namespace

@@ -17,6 +17,12 @@
  *                      automata); matches print as "query Q: value"
  *   --queries FILE     add every query listed in FILE (one per line; blank
  *                      lines and lines starting with '#' are skipped)
+ *   --fused MODE       multi-query backend: auto (default) | lanes |
+ *                      product. `product` compiles the whole set into ONE
+ *                      product automaton (O(1) automaton work per event;
+ *                      scales to 1k+ queries) and fails when the set
+ *                      exceeds the state cap; `lanes` simulates per-query
+ *                      lanes; `auto` prefers product and falls back
  *   --simd LEVEL       kernel tier: scalar | avx2 | avx512 (default: best
  *                      supported; unavailable tiers fall back). Also
  *                      settable via the DESCEND_SIMD_LEVEL env var, which
@@ -96,6 +102,7 @@ struct CliOptions {
     std::uint64_t stream_budget_ms = 0;  // 0 = none
     std::size_t threads = 0;  // 0 = hardware concurrency
     std::size_t limit = 0;    // 0 = unlimited
+    multi::FusedBackend fused = multi::FusedBackend::kAuto;
     EngineOptions engine_options;
 };
 
@@ -107,6 +114,7 @@ void usage()
         "  --count | --offsets | --limit N\n"
         "  --engine descend|surfer|ski|dom   --simd scalar|avx2|avx512 | --scalar\n"
         "  --query Q (repeatable) | --queries FILE   fused multi-query set\n"
+        "  --fused auto|lanes|product   multi-query execution backend\n"
         "  --no-head-skip | --within-skip | --stats | --validate\n"
         "  --ndjson [--threads N] [--fail-fast | --retry-scalar]\n"
         "  --deadline-ms N | --stream-budget-ms N   run governance\n"
@@ -166,6 +174,23 @@ bool parse_args(int argc, char** argv, CliOptions& options)
                              value);
                 return false;
             }
+        } else if (arg == "--fused" || arg.rfind("--fused=", 0) == 0) {
+            const char* value = nullptr;
+            if (arg == "--fused") {
+                if (++i >= argc) {
+                    return false;
+                }
+                value = argv[i];
+            } else {
+                value = arg.c_str() + std::strlen("--fused=");
+            }
+            auto backend = multi::parse_fused_backend(value);
+            if (!backend.has_value()) {
+                std::fprintf(stderr,
+                             "descend-cli: unknown fused backend '%s'\n", value);
+                return false;
+            }
+            options.fused = *backend;
         } else if (arg == "--no-head-skip") {
             options.engine_options.head_skipping = false;
         } else if (arg == "--within-skip") {
@@ -343,7 +368,7 @@ int run_on(const CliOptions& options, const JsonPathEngine& engine,
  * N automata (see src/descend/multi). Matches print per query in set
  * order; --count prints one per-query count line.
  */
-int run_multi(const CliOptions& options, const multi::MultiDescendEngine& engine,
+int run_multi(const CliOptions& options, const multi::FusedEngine& engine,
               const std::string& source_name, const PaddedString& document,
               std::uint64_t compile_ns)
 {
@@ -517,8 +542,8 @@ int run_multi_ndjson(const CliOptions& options, const PaddedString& input)
 {
     stream::StreamOptions stream_options = make_stream_options(options);
     obs::PhaseStopwatch compile_watch;
-    multi::MultiStreamExecutor executor =
-        multi::MultiStreamExecutor::for_queries(options.queries, stream_options);
+    multi::MultiStreamExecutor executor = multi::MultiStreamExecutor::for_queries(
+        options.queries, stream_options, options.fused);
     const std::uint64_t compile_ns = compile_watch.elapsed_ns();
 
     const simd::Kernels& kernels =
@@ -634,11 +659,11 @@ int main(int argc, char** argv)
         obs::PhaseStopwatch compile_watch;
         std::unique_ptr<JsonPathEngine> engine =
             (options.ndjson || multi) ? nullptr : make_engine(options);
-        std::unique_ptr<multi::MultiDescendEngine> multi_engine;
+        std::unique_ptr<multi::FusedEngine> multi_engine;
         if (multi && !options.ndjson) {
-            multi_engine = std::make_unique<multi::MultiDescendEngine>(
+            multi_engine = multi::make_fused_engine(
                 multi::MultiQuery::compile(options.queries),
-                options.engine_options);
+                options.engine_options, options.fused);
         }
         const std::uint64_t compile_ns = compile_watch.elapsed_ns();
         auto dispatch = [&](const std::string& name, const PaddedString& doc) {

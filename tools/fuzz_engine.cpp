@@ -57,10 +57,15 @@
  * policies — is checked against a scalar reference splitter plus
  * sequential per-record engine runs over isolated PaddedString copies.
  *
- * --multi N: fused multi-query mode. Random query subsets run fused
- * (src/descend/multi) against N independent single-query runs on mutated
+ * --multi N: fused multi-query mode. Random query sets of up to 64
+ * subscriptions — corpus-derived bases extended with mutated shared
+ * prefixes, verbatim duplicates included — run through BOTH fused
+ * backends (the per-query lanes and the set-compiled product automaton,
+ * src/descend/multi) against N independent single-query runs on mutated
  * documents, at every kernel tier: identical per-query match sets when
- * every independent run passes, identical statuses when all fail alike.
+ * every independent run passes, uniformly-rejecting statuses when all
+ * fail alike. A set that trips the product state cap skips the product
+ * leg, mirroring the kAuto fallback.
  *
  * Exits non-zero on the first disagreement, printing a self-contained
  * reproducer (seed dataset, mutation, document, statuses).
@@ -69,6 +74,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <random>
 #include <string>
@@ -81,7 +87,9 @@
 #include "descend/fault/failpoints.h"
 #include "descend/engine/scratch.h"
 #include "descend/json/dom.h"
+#include "descend/multi/fused.h"
 #include "descend/multi/multi_engine.h"
+#include "descend/util/errors.h"
 #include "descend/serve/dispatch.h"
 #include "descend/serve/protocol.h"
 #include "descend/serve/query_cache.h"
@@ -1056,10 +1064,12 @@ int report_multi(const std::string& name, const Mutation& mutation,
 }
 
 /**
- * Checks one (possibly mutated) document under one fused query subset:
- * per kernel tier, the fused run must agree with N independent runs —
- * identical per-query match sets when every independent run is ok,
- * identical status when every independent run fails the same way.
+ * Checks one (possibly mutated) document under one fused query set: per
+ * kernel tier and per fused backend (lanes AND product), the fused run
+ * must agree with N independent runs — identical per-query match sets
+ * when every independent run is ok, identical status class when every
+ * independent run fails the same way. Product and lanes are thereby also
+ * differentially checked against each other through the shared oracle.
  *
  * Detection asymmetry: an independent run in head-skip mode never observes
  * the root element, while the fused pass head-skips only on a label common
@@ -1082,9 +1092,6 @@ int check_multi(const std::string& name, const Mutation& mutation,
         EngineOptions options;
         options.simd = level;
         options.label_within_skipping = within_skip;
-        std::string configuration =
-            std::string("multi[") + simd::level_name(level) +
-            (within_skip ? "+within]" : "]");
 
         std::vector<EngineStatus> statuses;
         std::vector<std::vector<std::size_t>> expected;
@@ -1102,65 +1109,115 @@ int check_multi(const std::string& name, const Mutation& mutation,
             all_same = all_same && status == statuses.front();
         }
 
-        multi::MultiDescendEngine fused(multi::MultiQuery::compile(queries),
-                                        options);
-        multi::CollectingMultiSink sink(queries.size());
-        EngineStatus fused_status = fused.run(padded, sink);
-
-        if (all_ok) {
-            if (!fused_status.ok()) {
-                if (options.head_skipping && any_head_skip &&
-                    fused_status.code == StatusCode::kTrailingContent) {
-                    continue;  // fused structural pass outsees head-skips
-                }
-                return report_multi(name, mutation, queries, configuration,
-                                    "fused run failed where every "
-                                    "independent run passed: " +
-                                        to_string(fused_status),
-                                    mutation.document);
+        for (multi::FusedBackend backend : {multi::FusedBackend::kLanes,
+                                            multi::FusedBackend::kProduct}) {
+            std::string configuration =
+                std::string("multi[") + simd::level_name(level) +
+                (within_skip ? "+within" : "") + "," +
+                std::string(multi::fused_backend_name(backend)) + "]";
+            std::unique_ptr<multi::FusedEngine> fused;
+            try {
+                fused = multi::make_fused_engine(
+                    multi::MultiQuery::compile(queries), options, backend);
+            } catch (const LimitError&) {
+                // The product state cap — exactly what kAuto falls back
+                // on; the lanes leg still covers this set.
+                continue;
             }
-            if (sink.all() != expected) {
-                for (std::size_t q = 0; q < queries.size(); ++q) {
-                    if (sink.all()[q] != expected[q]) {
-                        return report_multi(
-                            name, mutation, queries, configuration,
-                            "query " + std::to_string(q) +
-                                " matches diverge: independent " +
-                                offsets_text(expected[q]) + " vs fused " +
-                                offsets_text(sink.all()[q]),
-                            mutation.document);
+            multi::CollectingMultiSink sink(queries.size());
+            EngineStatus fused_status = fused->run(padded, sink);
+
+            if (all_ok) {
+                if (!fused_status.ok()) {
+                    if (options.head_skipping && any_head_skip &&
+                        fused_status.code == StatusCode::kTrailingContent) {
+                        continue;  // fused structural pass outsees head-skips
+                    }
+                    return report_multi(name, mutation, queries, configuration,
+                                        "fused run failed where every "
+                                        "independent run passed: " +
+                                            to_string(fused_status),
+                                        mutation.document);
+                }
+                if (sink.all() != expected) {
+                    for (std::size_t q = 0; q < queries.size(); ++q) {
+                        if (sink.all()[q] != expected[q]) {
+                            return report_multi(
+                                name, mutation, queries, configuration,
+                                "query " + std::to_string(q) +
+                                    " matches diverge: independent " +
+                                    offsets_text(expected[q]) + " vs fused " +
+                                    offsets_text(sink.all()[q]),
+                                mutation.document);
+                        }
                     }
                 }
+                stats.still_valid += 1;
+            } else if (all_same) {
+                // Every lane rejects the document. The fused pass must
+                // reject too — but the *offset* (and with it the code
+                // picked among several defects) legitimately depends on
+                // the skip pattern, and both backends walk regions the
+                // single runs fast-forward over, so detection can land
+                // earlier. Only the classification contract is shared:
+                // non-ok, and never a resource limit unless the lanes
+                // reported one.
+                if (fused_status.ok()) {
+                    return report_multi(name, mutation, queries,
+                                        configuration,
+                                        "fused run accepted a document every "
+                                        "independent run rejects (" +
+                                            to_string(statuses.front()) + ")",
+                                        mutation.document);
+                }
+                if (fused_status.is_limit() && !statuses.front().is_limit()) {
+                    return report_multi(name, mutation, queries,
+                                        configuration,
+                                        "fused run misclassified damage as "
+                                        "a resource limit: " +
+                                            to_string(fused_status),
+                                        mutation.document);
+                }
+                stats.rejected += 1;
             }
-            stats.still_valid += 1;
-        } else if (all_same) {
-            // Every lane rejects the document. The fused pass must reject
-            // too — but the *offset* (and with it the code picked among
-            // several defects) legitimately depends on the skip pattern,
-            // and consensus suppression walks regions the single runs
-            // fast-forward over, so detection can land earlier. Only the
-            // classification contract is shared: non-ok, and never a
-            // resource limit unless the lanes reported one.
-            if (fused_status.ok()) {
-                return report_multi(name, mutation, queries, configuration,
-                                    "fused run accepted a document every "
-                                    "independent run rejects (" +
-                                        to_string(statuses.front()) + ")",
-                                    mutation.document);
-            }
-            if (fused_status.is_limit() && !statuses.front().is_limit()) {
-                return report_multi(name, mutation, queries, configuration,
-                                    "fused run misclassified damage as a "
-                                    "resource limit: " +
-                                        to_string(fused_status),
-                                    mutation.document);
-            }
-            stats.rejected += 1;
+            // Mixed independent statuses (head-skip detection asymmetry):
+            // no cross-engine expectation holds; skip.
         }
-        // Mixed independent statuses (head-skip detection asymmetry):
-        // no cross-engine expectation holds; skip.
     }
     return 0;
+}
+
+/**
+ * A random subscription set of 2..64 queries: corpus-derived bases
+ * extended with mutated shared prefixes and suffixes, so many queries
+ * share a spine and fork near the leaf (the shape the product trie
+ * factors), with verbatim duplicates mixed in (the dedup path).
+ */
+std::vector<std::string> random_query_set(const Corpus& corpus,
+                                          std::mt19937_64& rng)
+{
+    std::vector<std::string> set;
+    const std::size_t n = 2 + rng() % 63;
+    while (set.size() < n) {
+        const std::string& base =
+            corpus.queries[rng() % corpus.queries.size()];
+        switch (rng() % 4) {
+        case 0:
+            set.push_back(base);
+            break;
+        case 1:
+            set.push_back(base + ".f" + std::to_string(rng() % 8));
+            break;
+        case 2:
+            set.push_back(base + "..g" + std::to_string(rng() % 4));
+            break;
+        default:
+            set.push_back("$.h" + std::to_string(rng() % 8) +
+                          base.substr(1));
+            break;
+        }
+    }
+    return set;
 }
 
 int run_multi_mode(long iterations, std::uint64_t seed0, bool verbose)
@@ -1193,18 +1250,11 @@ int run_multi_mode(long iterations, std::uint64_t seed0, bool verbose)
             continue;
         }
         stats.mutants += 1;
-        // A random subset of >= 2 queries (the full set when the coin
-        // flips leave fewer), mixing child-wildcard and descendant lanes
-        // so skip consensus genuinely disagrees.
-        std::vector<std::string> subset;
-        for (const std::string& query : corpus.queries) {
-            if (rng() % 2 == 0) {
-                subset.push_back(query);
-            }
-        }
-        if (subset.size() < 2) {
-            subset = corpus.queries;
-        }
+        // A random 2..64-subscription set built from the corpus queries
+        // by shared-prefix/suffix mutation — child-wildcard and
+        // descendant lanes mix so skip decisions genuinely disagree, and
+        // duplicates exercise the dedup path.
+        std::vector<std::string> subset = random_query_set(corpus, rng);
         bool within = rng() % 2 == 1;
         if (int rc = check_multi(corpus.name, *mutation, subset, within,
                                  stats)) {
@@ -1217,7 +1267,8 @@ int run_multi_mode(long iterations, std::uint64_t seed0, bool verbose)
         }
     }
     std::printf("fuzz_engine --multi: %ld mutants over %zu seeds OK\n"
-                "  parity-checked tier-runs: ok %ld, uniformly rejected %ld\n",
+                "  parity-checked backend-runs: ok %ld, uniformly rejected "
+                "%ld\n",
                 stats.mutants, corpora.size(), stats.still_valid,
                 stats.rejected);
     return 0;
