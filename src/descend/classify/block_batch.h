@@ -73,6 +73,24 @@ public:
     }
 
     /**
+     * The block's cached masks if it is in the ring, else null — a peek
+     * that never refills. Lets out-of-band consumers (span extension, which
+     * re-enters the stream once per match) detect that the block they want
+     * was already classified and skip the restart()+refill pair: the
+     * caller compares entry_state() against its independently recovered
+     * carry before trusting the hit.
+     */
+    const simd::BlockMasks* cached(std::size_t block_start) const noexcept
+    {
+        assert(block_start % simd::kBlockSize == 0);
+        if (ring_start_ != kInvalid &&
+            block_start - ring_start_ < simd::kBatchSize) {
+            return &ring_[(block_start - ring_start_) / simd::kBlockSize];
+        }
+        return nullptr;
+    }
+
+    /**
      * Re-seeds the quote/escape carry at an arbitrary block boundary and
      * invalidates the ring; the next masks() call classifies from exactly
      * that boundary. This is the resume() half of the stop/resume protocol.

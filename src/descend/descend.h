@@ -12,6 +12,10 @@
  *     auto offsets = engine.offsets(doc);                      // byte offsets
  *     auto values = descend::extract_values(doc, offsets);     // "42"
  *
+ * To materialize matched subtrees instead of offsets, see the projection
+ * subsystem (project/): SpanExtender + the ProjectionSink family, and
+ * LazyValue for on-demand navigation.
+ *
  * See README.md for the full tour and DESIGN.md for the architecture.
  */
 #pragma once
@@ -26,6 +30,10 @@
 #include "descend/obs/report.h"
 #include "descend/obs/run_stats.h"
 #include "descend/obs/timing.h"
+#include "descend/project/lazy_value.h"
+#include "descend/project/projector.h"
+#include "descend/project/sink.h"
+#include "descend/project/span.h"
 #include "descend/query/query.h"
 #include "descend/stream/record_splitter.h"
 #include "descend/stream/stream_executor.h"

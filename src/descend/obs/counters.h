@@ -89,6 +89,11 @@ enum class Counter : std::uint8_t {
     //     into each response's stats report ---
     kServeCacheHits,       ///< requests served from the compiled-query cache
     kServeCacheMisses,     ///< requests that compiled their query fresh
+    // --- projection (src/descend/project): on-demand materialization of
+    //     matched subtrees into value spans, slices, and lazy views ---
+    kProjectedValues,      ///< match offsets extended to full value spans
+    kProjectedBytes,       ///< total bytes covered by those spans
+    kLazyFieldsParsed,     ///< LazyValue member/element navigations resolved
     kCount_,
 };
 
@@ -133,6 +138,9 @@ constexpr const char* counter_name(Counter id) noexcept
         case Counter::kTierDivergences: return "tier_divergences";
         case Counter::kServeCacheHits: return "serve_cache_hits";
         case Counter::kServeCacheMisses: return "serve_cache_misses";
+        case Counter::kProjectedValues: return "projected_values";
+        case Counter::kProjectedBytes: return "projected_bytes";
+        case Counter::kLazyFieldsParsed: return "lazy_fields_parsed";
         case Counter::kCount_: break;
     }
     return "unknown";

@@ -1,0 +1,164 @@
+#include "descend/project/lazy_value.h"
+
+#include "descend/util/chars.h"
+
+namespace descend::project {
+namespace {
+
+/** Parses the span's bytes as one strict JSON document. */
+json::Document parse_span(std::string_view bytes)
+{
+    return json::parse(bytes);
+}
+
+}  // namespace
+
+json::Type LazyValue::type() const noexcept
+{
+    if (!exists()) {
+        return json::Type::kNull;
+    }
+    switch (document_.data()[span_.begin]) {
+        case '{': return json::Type::kObject;
+        case '[': return json::Type::kArray;
+        case '"': return json::Type::kString;
+        case 't':
+        case 'f': return json::Type::kBool;
+        case 'n': return json::Type::kNull;
+        default: return json::Type::kNumber;
+    }
+}
+
+std::size_t LazyValue::skip_ws(std::size_t pos) const noexcept
+{
+    const std::uint8_t* data = document_.data();
+    while (pos < span_.end && chars::is_ws_byte(data[pos])) {
+        ++pos;
+    }
+    return pos;
+}
+
+LazyValue LazyValue::child(std::size_t begin, std::size_t end) const noexcept
+{
+    obs::add(counters_, obs::Counter::kLazyFieldsParsed);
+    return LazyValue(document_, {begin, end}, *kernels_, counters_);
+}
+
+LazyValue LazyValue::field(std::string_view raw_key) const
+{
+    if (!exists() || document_.data()[span_.begin] != '{') {
+        return {};
+    }
+    SpanExtender extender(document_, *kernels_);
+    const std::string_view text = document_.view();
+    std::size_t pos = skip_ws(span_.begin + 1);
+    while (pos < span_.end && text[pos] != '}') {
+        if (text[pos] != '"') {
+            return {};  // malformed member: bail rather than misattribute
+        }
+        const ValueSpan key = extender.extend(pos);
+        const std::string_view key_raw =
+            text.substr(key.begin + 1, key.size() - 2);
+        pos = skip_ws(key.end);
+        if (pos >= span_.end || text[pos] != ':') {
+            return {};
+        }
+        pos = skip_ws(pos + 1);
+        if (pos >= span_.end) {
+            return {};
+        }
+        const ValueSpan value = extender.extend(pos);
+        if (key_raw == raw_key) {
+            return child(value.begin, value.end);
+        }
+        pos = skip_ws(value.end);
+        if (pos < span_.end && text[pos] == ',') {
+            pos = skip_ws(pos + 1);
+        }
+    }
+    return {};
+}
+
+LazyValue LazyValue::element(std::size_t index) const
+{
+    if (!exists() || document_.data()[span_.begin] != '[') {
+        return {};
+    }
+    SpanExtender extender(document_, *kernels_);
+    const std::string_view text = document_.view();
+    std::size_t pos = skip_ws(span_.begin + 1);
+    std::size_t seen = 0;
+    while (pos < span_.end && text[pos] != ']') {
+        const ValueSpan value = extender.extend(pos);
+        if (seen == index) {
+            return child(value.begin, value.end);
+        }
+        ++seen;
+        pos = skip_ws(value.end);
+        if (pos < span_.end && text[pos] == ',') {
+            pos = skip_ws(pos + 1);
+        }
+    }
+    return {};
+}
+
+std::size_t LazyValue::size() const
+{
+    if (!exists()) {
+        return 0;
+    }
+    const std::uint8_t open = document_.data()[span_.begin];
+    if (open != '{' && open != '[') {
+        return 0;
+    }
+    SpanExtender extender(document_, *kernels_);
+    const std::string_view text = document_.view();
+    const char close = open == '{' ? '}' : ']';
+    std::size_t pos = skip_ws(span_.begin + 1);
+    std::size_t count = 0;
+    while (pos < span_.end && text[pos] != close) {
+        if (open == '{') {
+            if (text[pos] != '"') {
+                return count;
+            }
+            const ValueSpan key = extender.extend(pos);
+            pos = skip_ws(key.end);
+            if (pos >= span_.end || text[pos] != ':') {
+                return count;
+            }
+            pos = skip_ws(pos + 1);
+            if (pos >= span_.end) {
+                return count;
+            }
+        }
+        const ValueSpan value = extender.extend(pos);
+        ++count;
+        pos = skip_ws(value.end);
+        if (pos < span_.end && text[pos] == ',') {
+            pos = skip_ws(pos + 1);
+        }
+    }
+    return count;
+}
+
+double LazyValue::as_number() const
+{
+    return parse_span(raw()).root().as_number();
+}
+
+bool LazyValue::as_bool() const
+{
+    return parse_span(raw()).root().as_bool();
+}
+
+bool LazyValue::is_null() const
+{
+    return exists() && parse_span(raw()).root().is_null();
+}
+
+std::string LazyValue::as_string() const
+{
+    return parse_span(raw()).root().as_string();
+}
+
+}  // namespace descend::project

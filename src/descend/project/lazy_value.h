@@ -1,0 +1,117 @@
+/**
+ * @file
+ * LazyValue: an on-demand navigable view over one matched span.
+ *
+ * Navigation (field/element) never parses the subtree. Finding a member
+ * walks the object's top level only: each key is delimited with the
+ * string fast path and each sibling *value* is stepped over with the
+ * same mask-walk span extension the projection layer uses (span.h) —
+ * sibling subtrees are skipped at classifier speed, never tokenized, in
+ * the spirit of "On-Demand JSON" (PAPERS.md). Only when a *leaf* is
+ * converted (as_number / as_string / as_bool) does the DOM parser run,
+ * and then only over that leaf's span.
+ *
+ * Invariants (tested in projection_test, documented in DESIGN.md §4.11):
+ *  1. raw() is byte-identical to the input slice — a LazyValue is a
+ *     window, not a copy.
+ *  2. field()/element() touch no bytes outside this value's span.
+ *  3. Conversion parses exactly the converted value's span; navigation
+ *     alone parses nothing.
+ *  4. Each resolved navigation increments the lazy_fields_parsed obs
+ *     counter (the metric for "how much did laziness save").
+ *
+ * A LazyValue that points nowhere (key/index not found, navigation on a
+ * non-container, malformed bytes) is !exists(); navigating it further
+ * stays !exists(), so chained paths need a single check at the end.
+ * Lifetime: aliases the document buffer — valid only while it is.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "descend/engine/padded_string.h"
+#include "descend/json/dom.h"
+#include "descend/obs/counters.h"
+#include "descend/project/span.h"
+#include "descend/simd/dispatch.h"
+
+namespace descend::project {
+
+class LazyValue {
+public:
+    /** An absent value: !exists(). */
+    LazyValue() = default;
+
+    /**
+     * A view of the value occupying @p span of @p document. The span
+     * must cover exactly one JSON value (a projection span qualifies).
+     */
+    LazyValue(PaddedView document, ValueSpan span,
+              const simd::Kernels& kernels,
+              obs::Counters* counters = nullptr) noexcept
+        : document_(document),
+          span_(span),
+          kernels_(&kernels),
+          counters_(counters)
+    {
+    }
+
+    /** False for the not-found / navigation-failed sentinel. */
+    bool exists() const noexcept { return kernels_ != nullptr && !span_.empty(); }
+
+    /** The value's raw bytes, escapes and formatting untouched. */
+    std::string_view raw() const noexcept
+    {
+        return document_.view().substr(span_.begin, span_.size());
+    }
+
+    ValueSpan span() const noexcept { return span_; }
+
+    /** The value's type, read off the first byte — no parsing. */
+    json::Type type() const noexcept;
+
+    bool is_object() const noexcept { return type() == json::Type::kObject; }
+    bool is_array() const noexcept { return type() == json::Type::kArray; }
+
+    /**
+     * The member value under @p raw_key (raw bytes between the key's
+     * quotes, the engine's label convention). Scans this object's top
+     * level only; sibling values are mask-skipped, not parsed. First
+     * match wins on duplicate keys. !exists() when absent or when this
+     * value is not an object.
+     */
+    LazyValue field(std::string_view raw_key) const;
+
+    /** The @p index-th array element, same contract as field(). */
+    LazyValue element(std::size_t index) const;
+
+    /** Members of an object / elements of an array, by top-level scan.
+     *  0 for non-containers. */
+    std::size_t size() const;
+
+    // Leaf conversions: parse exactly this value's span via the DOM
+    // parser. Wrong-type or malformed conversions throw json::ParseError
+    // (the strict parser's diagnostic, offset relative to the span).
+
+    double as_number() const;
+    bool as_bool() const;
+    bool is_null() const;
+    /** Unescaped string contents. */
+    std::string as_string() const;
+
+private:
+    /** Skips JSON whitespace from @p pos, staying inside the span. */
+    std::size_t skip_ws(std::size_t pos) const noexcept;
+
+    /** Wraps [begin,end) as a child view sharing this value's context. */
+    LazyValue child(std::size_t begin, std::size_t end) const noexcept;
+
+    PaddedView document_;
+    ValueSpan span_;
+    const simd::Kernels* kernels_ = nullptr;
+    obs::Counters* counters_ = nullptr;
+};
+
+}  // namespace descend::project

@@ -6,6 +6,7 @@
 
 #include "descend/multi/fused.h"
 #include "descend/obs/report.h"
+#include "descend/project/span.h"
 #include "descend/simd/dispatch.h"
 #include "descend/stream/record_splitter.h"
 #include "descend/stream/stream_executor.h"
@@ -22,6 +23,35 @@ void tally_cache(obs::Counters& counters, bool hit)
     counters.add(hit ? obs::Counter::kServeCacheHits
                      : obs::Counter::kServeCacheMisses);
 }
+
+/**
+ * Accumulates projected value slices into a response under the policy
+ * cap. Once the cap trips, remaining matches are not even extended — the
+ * truncation exists precisely so a small request cannot command
+ * quadratic span-extension work plus an unbounded reply.
+ */
+struct ResponseValues {
+    Response& response;
+    std::size_t cap;  // 0 = uncapped
+    std::size_t total = 0;
+    bool truncated = false;
+
+    void add(project::SpanExtender& extender, std::size_t offset)
+    {
+        if (truncated) {
+            return;
+        }
+        const project::ValueSpan span = extender.extend(offset);
+        const std::string_view slice = extender.slice(span);
+        if (cap != 0 && slice.size() > cap - total) {
+            truncated = true;
+            response.flags |= kValuesTruncated;
+            return;
+        }
+        total += slice.size();
+        response.values.emplace_back(slice);
+    }
+};
 
 }  // namespace
 
@@ -121,6 +151,16 @@ Response Dispatcher::dispatch(const Request& request, RunScratch& scratch,
                 response.offsets.assign(scratch.matches.offsets().begin(),
                                         scratch.matches.offsets().end());
             }
+            if (request.want_values()) {
+                response.flags |= kHasValues;
+                project::SpanExtender extender(
+                    document, simd::kernels_for(options.simd),
+                    &stats.counters);
+                ResponseValues values{response, policy_.max_projected_bytes};
+                for (std::size_t offset : scratch.matches.offsets()) {
+                    values.add(extender, offset);
+                }
+            }
             if (request.want_stats()) {
                 obs::RunReport report;
                 report.engine = entry->engine->name();
@@ -134,18 +174,36 @@ Response Dispatcher::dispatch(const Request& request, RunScratch& scratch,
         case RequestMode::kMulti: {
             const std::size_t num_queries =
                 entry->multi_engine->query_set().size();
-            if (request.want_offsets()) {
+            if (request.want_offsets() || request.want_values()) {
                 multi::CollectingMultiSink sink(num_queries);
                 RunStats stats = entry->multi_engine->run_with_stats(
                     document, sink, budget);
                 tally_cache(stats.counters, hit);
                 response.engine_status = stats.status;
                 for (std::size_t q = 0; q < num_queries; ++q) {
-                    for (std::size_t offset : sink.offsets(q)) {
-                        response.offsets.push_back(q);
-                        response.offsets.push_back(offset);
+                    if (request.want_offsets()) {
+                        for (std::size_t offset : sink.offsets(q)) {
+                            response.offsets.push_back(q);
+                            response.offsets.push_back(offset);
+                        }
                     }
                     response.match_count += sink.offsets(q).size();
+                }
+                if (request.want_values()) {
+                    // Per-owner fanout: values grouped per query in set
+                    // order, document order within — the same convention
+                    // as the (query, offset) pairs above.
+                    response.flags |= kHasValues;
+                    project::SpanExtender extender(
+                        document, simd::kernels_for(options.simd),
+                        &stats.counters);
+                    ResponseValues values{response,
+                                          policy_.max_projected_bytes};
+                    for (std::size_t q = 0; q < num_queries; ++q) {
+                        for (std::size_t offset : sink.offsets(q)) {
+                            values.add(extender, offset);
+                        }
+                    }
                 }
                 if (request.want_stats()) {
                     obs::RunReport report;
@@ -207,6 +265,23 @@ Response Dispatcher::dispatch(const Request& request, RunScratch& scratch,
                                                match.offset);
                 }
             }
+            obs::Counters projection_counters;
+            if (request.want_values()) {
+                // Extension runs over each record's SUBVIEW (the record-
+                // boundary contract, project/span.h): a match at a
+                // record's last byte cannot scan into the next record.
+                response.flags |= kHasValues;
+                ResponseValues values{response, policy_.max_projected_bytes};
+                const simd::Kernels& kernels =
+                    simd::kernels_for(options.simd);
+                for (const auto& match : sink.matches()) {
+                    const stream::RecordSpan& span = records[match.record];
+                    project::SpanExtender extender(
+                        document.subview(span.begin, span.end - span.begin),
+                        kernels, &projection_counters);
+                    values.add(extender, match.offset);
+                }
+            }
             if (request.want_stats()) {
                 obs::StreamReport report;
                 report.engine = executor.engine().name();
@@ -216,6 +291,7 @@ Response Dispatcher::dispatch(const Request& request, RunScratch& scratch,
                 report.failed_records = result.failed_records;
                 report.record_blocks = result.record_blocks;
                 report.counters = result.counters;
+                report.counters.merge(projection_counters);
                 tally_cache(report.counters, hit);
                 report.timings = result.timings;
                 report.error_tally = result.error_tally;

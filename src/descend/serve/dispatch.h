@@ -56,6 +56,16 @@ struct ServePolicy {
      *  into one product automaton and falls back to per-query lanes only
      *  when the set trips the product state cap. */
     multi::FusedBackend fused_backend = multi::FusedBackend::kAuto;
+    /**
+     * Cap on the total projected payload of one kWantValues response.
+     * Overlapping descendant matches can make the value set quadratic in
+     * the document ($..a over deep nesting re-ships every enclosing
+     * subtree), so an uncapped response would let a small request frame
+     * command an arbitrarily large reply. At the cap the values body is
+     * cut (document-order prefix) and kValuesTruncated is set;
+     * match_count and offsets are unaffected. 0 = uncapped.
+     */
+    std::size_t max_projected_bytes = std::size_t{64} << 20;
 };
 
 /** Routes decoded requests to engines. Stateless apart from the shared

@@ -75,9 +75,14 @@ std::vector<std::uint8_t> encode_request(const Request& request)
 
 std::vector<std::uint8_t> encode_response(const Response& response)
 {
+    std::uint64_t values_len = 0;
+    for (const std::string& value : response.values) {
+        values_len += 4 + value.size();
+    }
     std::vector<std::uint8_t> out;
-    out.reserve(kResponseHeaderSize + response.offsets.size() * 8 +
-                response.stats_json.size());
+    out.reserve(kResponseHeaderSize +
+                (response.has_values() ? 8 + values_len : 0) +
+                response.offsets.size() * 8 + response.stats_json.size());
     put_u32(out, kResponseMagic);
     put_u16(out, kVersion);
     put_u16(out, static_cast<std::uint16_t>(response.serve_status));
@@ -87,6 +92,13 @@ std::vector<std::uint8_t> encode_response(const Response& response)
     put_u64(out, response.engine_status.offset);
     put_u64(out, response.match_count);
     put_u64(out, response.offsets.size());
+    if (response.has_values()) {
+        put_u64(out, values_len);
+        for (const std::string& value : response.values) {
+            put_u32(out, static_cast<std::uint32_t>(value.size()));
+            out.insert(out.end(), value.begin(), value.end());
+        }
+    }
     for (std::uint64_t offset : response.offsets) {
         put_u64(out, offset);
     }
@@ -200,7 +212,8 @@ void FrameReader::parse()
 }
 
 bool decode_response(const std::uint8_t* data, std::size_t size,
-                     Response& response, std::size_t& consumed)
+                     Response& response, std::size_t& consumed,
+                     const FrameLimits* limits)
 {
     consumed = 0;
     if (size < kResponseHeaderSize) {
@@ -217,14 +230,33 @@ bool decode_response(const std::uint8_t* data, std::size_t size,
     if (engine_code >= kStatusCodeCount) {
         return false;
     }
+    const std::uint16_t flags = get_u16(data + 10);
     const std::uint32_t stats_len = get_u32(data + 12);
     const std::uint64_t offsets_count = get_u64(data + 32);
+
+    // The values body sits between the header and the offsets; its length
+    // prefix is admission-checked before a single value is buffered.
+    std::size_t values_part = 0;
+    std::uint64_t values_len = 0;
+    if ((flags & kHasValues) != 0) {
+        if (size - kResponseHeaderSize < 8) {
+            return false;
+        }
+        values_len = get_u64(data + kResponseHeaderSize);
+        if (limits != nullptr && values_len > limits->max_body_bytes) {
+            return false;
+        }
+        if (values_len > size - kResponseHeaderSize - 8) {
+            return false;
+        }
+        values_part = 8 + static_cast<std::size_t>(values_len);
+    }
     // Overflow-safe total: the per-part bounds keep every product and sum
     // well under SIZE_MAX before they are combined.
-    if (offsets_count > (size - kResponseHeaderSize) / 8) {
+    if (offsets_count > (size - kResponseHeaderSize - values_part) / 8) {
         return false;
     }
-    const std::size_t total = kResponseHeaderSize +
+    const std::size_t total = kResponseHeaderSize + values_part +
                               static_cast<std::size_t>(offsets_count) * 8 +
                               stats_len;
     if (size < total) {
@@ -233,11 +265,30 @@ bool decode_response(const std::uint8_t* data, std::size_t size,
     response.serve_status = static_cast<ServeStatus>(serve_status);
     response.engine_status.code = static_cast<StatusCode>(engine_code);
     response.engine_status.offset = get_u64(data + 16);
-    response.flags = get_u16(data + 10);
+    response.flags = flags;
     response.match_count = get_u64(data + 24);
+    response.values.clear();
+    const std::uint8_t* cursor = data + kResponseHeaderSize;
+    if ((flags & kHasValues) != 0) {
+        cursor += 8;
+        const std::uint8_t* values_end =
+            cursor + static_cast<std::size_t>(values_len);
+        while (cursor < values_end) {
+            if (values_end - cursor < 4) {
+                return false;  // dangling length prefix
+            }
+            const std::uint32_t len = get_u32(cursor);
+            cursor += 4;
+            if (static_cast<std::size_t>(values_end - cursor) < len) {
+                return false;  // value overruns the declared body
+            }
+            response.values.emplace_back(
+                reinterpret_cast<const char*>(cursor), len);
+            cursor += len;
+        }
+    }
     response.offsets.clear();
     response.offsets.reserve(static_cast<std::size_t>(offsets_count));
-    const std::uint8_t* cursor = data + kResponseHeaderSize;
     for (std::uint64_t i = 0; i < offsets_count; ++i, cursor += 8) {
         response.offsets.push_back(get_u64(cursor));
     }

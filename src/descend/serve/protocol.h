@@ -40,17 +40,38 @@
  *     4  u16 version      kVersion
  *     6  u16 serve_status ServeStatus
  *     8  u16 engine_code  StatusCode of the engine run (0 when not run)
- *    10  u16 flags        ResponseFlags bits (kCacheHit)
+ *    10  u16 flags        ResponseFlags bits (kCacheHit, kHasValues, ...)
  *    12  u32 stats_len    bytes of obs JSON after the offsets
  *    16  u64 engine_offset
  *    24  u64 match_count  total matches (across queries/records)
- *    32  u64 offsets_count  u64 offsets following the header
- *    40  offsets (8 bytes each), then stats JSON bytes
+ *    32  u64 offsets_count  u64 offsets following the values body
+ *    40  [values body — only when flags has kHasValues],
+ *        then offsets (8 bytes each), then stats JSON bytes
+ *
+ * The values body (requested with kWantValues, announced with kHasValues)
+ * carries the projected payloads — each match's complete subtree slice,
+ * byte-verbatim (src/descend/project) — as one length-prefixed block
+ * immediately after the 40-byte header:
+ *
+ *        ┌ 40 B header ─┐┌──────── values body ────────┐┌ offsets ┐┌ stats ┐
+ *        │ ... flags ...││ u64 body_len                ││ u64 × n ││ JSON  │
+ *        └──────────────┘│ ┌ u32 len ┐┌ value bytes  ┐ │└─────────┘└───────┘
+ *                        │ └─────────┘└──────────────┘…│
+ *                        └─────────────────────────────┘
+ *
+ * body_len counts only the (u32 len + bytes) entries, not itself. The
+ * decoder admission-checks body_len against FrameLimits before buffering
+ * a single value, mirroring the request side. A server whose per-response
+ * projection cap (ServePolicy::max_projected_bytes) was hit sets
+ * kValuesTruncated: the body holds a document-order prefix of the match
+ * set's values, and match_count still reports the true total.
  *
  * Multi-query requests pack the set as newline-separated query texts in
  * the query field. NDJSON responses report offsets as *absolute* stream
  * positions (record span begin + intra-record offset), so one convention
- * serves all three modes.
+ * serves all three modes. Multi-query values order matches the offsets
+ * convention: grouped per query in set order (the per-owner fanout),
+ * document order within a query.
  */
 #pragma once
 
@@ -86,12 +107,19 @@ enum RequestFlags : std::uint32_t {
     kWantOffsets = 1u << 0,
     /** Return the obs JSON report as the response's stats payload. */
     kWantStats = 1u << 1,
+    /** Return each match's projected value slice in the values body. */
+    kWantValues = 1u << 2,
 };
 
 /** Response flag bits. */
 enum ResponseFlags : std::uint16_t {
     /** The compiled automaton came from the cache (no compile ran). */
     kCacheHit = 1u << 0,
+    /** A values body follows the header (the request set kWantValues). */
+    kHasValues = 1u << 1,
+    /** The values body was cut at the server's projection cap; it holds a
+     *  document-order prefix of the match set's values. */
+    kValuesTruncated = 1u << 2,
 };
 
 /**
@@ -164,6 +192,7 @@ struct Request {
 
     bool want_offsets() const noexcept { return (flags & kWantOffsets) != 0; }
     bool want_stats() const noexcept { return (flags & kWantStats) != 0; }
+    bool want_values() const noexcept { return (flags & kWantValues) != 0; }
 };
 
 /** One decoded (or to-be-encoded) response. */
@@ -175,10 +204,19 @@ struct Response {
     std::uint64_t match_count = 0;
     /** Present only when the request set kWantOffsets. */
     std::vector<std::uint64_t> offsets;
+    /** Projected value slices (byte-verbatim subtrees), present only when
+     *  the request set kWantValues; a document-order prefix when
+     *  kValuesTruncated is set. */
+    std::vector<std::string> values;
     /** Obs JSON; present only when the request set kWantStats. */
     std::string stats_json;
 
     bool cache_hit() const noexcept { return (flags & kCacheHit) != 0; }
+    bool has_values() const noexcept { return (flags & kHasValues) != 0; }
+    bool values_truncated() const noexcept
+    {
+        return (flags & kValuesTruncated) != 0;
+    }
     bool ok() const noexcept
     {
         return serve_status == ServeStatus::kOk && engine_status.ok();
@@ -270,8 +308,14 @@ private:
  * tests). Returns false when @p data does not hold a complete, valid
  * response frame at @p consumed == 0; on success sets @p consumed to the
  * frame's size so pipelined responses can be decoded back-to-back.
+ *
+ * When @p limits is non-null, the values body is admission-checked from
+ * its length prefix before any value is buffered: a body_len above
+ * limits->max_body_bytes rejects the frame, mirroring the request-side
+ * header checks.
  */
 bool decode_response(const std::uint8_t* data, std::size_t size,
-                     Response& response, std::size_t& consumed);
+                     Response& response, std::size_t& consumed,
+                     const FrameLimits* limits = nullptr);
 
 }  // namespace descend::serve

@@ -35,12 +35,16 @@ check 0 "well-formed document"        "$CLI" '$..b' "$WORK/ok.json"
 check 0 "clean ndjson stream"         "$CLI" --ndjson '$..id' "$WORK/stream.ndjson"
 check 0 "retry-scalar clean stream"   "$CLI" --ndjson --retry-scalar '$..id' "$WORK/stream.ndjson"
 check 0 "generous deadline"           "$CLI" --deadline-ms 60000 '$..b' "$WORK/ok.json"
+check 0 "projected slices"            "$CLI" --project slices '$..b' "$WORK/ok.json"
+check 0 "projected ndjson stream"     "$CLI" --ndjson --project ndjson '$..id' "$WORK/stream.ndjson"
 
 # 2: usage errors (bad flags, bad query, conflicting policies).
 check 2 "unknown flag"                "$CLI" --no-such-flag '$..b' "$WORK/ok.json"
 check 2 "missing query"               "$CLI"
 check 2 "malformed query"             "$CLI" '$.[' "$WORK/ok.json"
 check 2 "conflicting error policies"  "$CLI" --ndjson --fail-fast --retry-scalar '$..id' "$WORK/stream.ndjson"
+check 2 "projection vs count"         "$CLI" --project slices --count '$..b' "$WORK/ok.json"
+check 2 "unknown projection mode"     "$CLI" --project verbose '$..b' "$WORK/ok.json"
 
 # 3: malformed input.
 check 3 "truncated document"          "$CLI" '$..b' "$WORK/truncated.json"

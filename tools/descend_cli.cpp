@@ -9,6 +9,19 @@
  *
  *   --count            print only the number of matches
  *   --offsets          print byte offsets instead of values
+ *   --project MODE     materialize matched values through the projection
+ *                      subsystem (src/descend/project) instead of the
+ *                      scalar extractor:
+ *                        slices  raw input slices, byte-verbatim (the
+ *                                default printing, but spans are extended
+ *                                with the SIMD mask walk)
+ *                        ndjson  compact re-serialization, one value per
+ *                                output line, no prefixes — pure NDJSON
+ *                                on stdout (string escapes untouched)
+ *                        count   extend every span but print only totals
+ *                                ("values=N bytes=B"; the overhead
+ *                                baseline used by bench_projection)
+ *                      conflicts with --count and --offsets
  *   --limit N          print at most N results (default: all)
  *   --engine NAME      descend (default) | surfer | ski | dom
  *   --query Q          add a query to the set (repeatable). With more than
@@ -103,6 +116,7 @@ struct CliOptions {
     std::size_t threads = 0;  // 0 = hardware concurrency
     std::size_t limit = 0;    // 0 = unlimited
     multi::FusedBackend fused = multi::FusedBackend::kAuto;
+    project::ProjectionMode project = project::ProjectionMode::kNone;
     EngineOptions engine_options;
 };
 
@@ -111,7 +125,7 @@ void usage()
     std::fputs(
         "usage: descend-cli [options] '<query>' [file...]\n"
         "       descend-cli [options] --query Q1 --query Q2 ... [file...]\n"
-        "  --count | --offsets | --limit N\n"
+        "  --count | --offsets | --limit N | --project slices|ndjson|count\n"
         "  --engine descend|surfer|ski|dom   --simd scalar|avx2|avx512 | --scalar\n"
         "  --query Q (repeatable) | --queries FILE   fused multi-query set\n"
         "  --fused auto|lanes|product   multi-query execution backend\n"
@@ -191,6 +205,22 @@ bool parse_args(int argc, char** argv, CliOptions& options)
                 return false;
             }
             options.fused = *backend;
+        } else if (arg == "--project" || arg.rfind("--project=", 0) == 0) {
+            const char* value = nullptr;
+            if (arg == "--project") {
+                if (++i >= argc) {
+                    return false;
+                }
+                value = argv[i];
+            } else {
+                value = arg.c_str() + std::strlen("--project=");
+            }
+            if (!project::parse_projection_mode(value, options.project)) {
+                std::fprintf(stderr,
+                             "descend-cli: unknown projection mode '%s'\n",
+                             value);
+                return false;
+            }
         } else if (arg == "--no-head-skip") {
             options.engine_options.head_skipping = false;
         } else if (arg == "--within-skip") {
@@ -263,6 +293,66 @@ int exit_code_for(const EngineStatus& status)
     return 3;
 }
 
+/**
+ * Prints projected values for one document view per --project mode:
+ * slices verbatim (with the caller's line label), ndjson as bare compact
+ * lines, count as a trailing totals line. Tallies feed the caller's obs
+ * registry through the extender.
+ */
+struct ProjectionPrinter {
+    const CliOptions& options;
+    project::SpanExtender extender;
+    std::size_t shown = 0;
+    std::size_t suppressed = 0;
+    std::size_t values = 0;
+    std::size_t bytes = 0;
+    std::string scratch;
+
+    ProjectionPrinter(const CliOptions& options, PaddedView view,
+                      const simd::Kernels& kernels, obs::Counters* counters)
+        : options(options), extender(view, kernels, counters)
+    {
+    }
+
+    /** One match at @p offset (relative to the view); @p label prefixes
+     *  slice lines ("query 0: " etc.), never ndjson lines. */
+    void print(std::size_t offset, const char* label)
+    {
+        const project::ValueSpan span = extender.extend(offset);
+        ++values;
+        bytes += span.size();
+        if (options.project == project::ProjectionMode::kCount) {
+            return;
+        }
+        if (options.limit != 0 && shown >= options.limit) {
+            ++suppressed;
+            return;
+        }
+        ++shown;
+        const std::string_view slice = extender.slice(span);
+        if (options.project == project::ProjectionMode::kNdjson) {
+            scratch.clear();
+            project::append_compact_value(slice, scratch);
+            scratch.push_back('\n');
+            std::fwrite(scratch.data(), 1, scratch.size(), stdout);
+        } else {
+            std::printf("%s%.*s\n", label, static_cast<int>(slice.size()),
+                        slice.data());
+        }
+    }
+
+    /** Trailing lines: the elision marker and the count-mode totals. */
+    void finish(const char* label)
+    {
+        if (suppressed != 0) {
+            std::printf("%s... (%zu more)\n", label, suppressed);
+        }
+        if (options.project == project::ProjectionMode::kCount) {
+            std::printf("%svalues=%zu bytes=%zu\n", label, values, bytes);
+        }
+    }
+};
+
 std::unique_ptr<JsonPathEngine> make_engine(const CliOptions& options)
 {
     const std::string& query = options.queries.front();
@@ -333,6 +423,16 @@ int run_on(const CliOptions& options, const JsonPathEngine& engine,
     }
     if (options.count_only) {
         std::printf("%s%s%zu\n", prefix, separator, sink.offsets().size());
+    } else if (options.project != project::ProjectionMode::kNone) {
+        obs::ScopedPhaseTimer extract_timer(&stats.timings, obs::Phase::kExtract);
+        const simd::Kernels& kernels =
+            simd::kernels_for(options.engine_options.simd);
+        ProjectionPrinter printer(options, document, kernels, &stats.counters);
+        const std::string label = std::string(prefix) + separator;
+        for (std::size_t offset : sink.offsets()) {
+            printer.print(offset, label.c_str());
+        }
+        printer.finish(label.c_str());
     } else {
         obs::ScopedPhaseTimer extract_timer(&stats.timings, obs::Phase::kExtract);
         std::size_t shown = 0;
@@ -394,6 +494,21 @@ int run_multi(const CliOptions& options, const multi::FusedEngine& engine,
         if (options.count_only) {
             std::printf("%s%squery %zu: %zu\n", prefix, separator, q,
                         offsets.size());
+            continue;
+        }
+        if (options.project != project::ProjectionMode::kNone) {
+            // Per-owner fanout: each query's matches project independently,
+            // in set order (document order within a query).
+            const simd::Kernels& kernels =
+                simd::kernels_for(options.engine_options.simd);
+            ProjectionPrinter printer(options, document, kernels,
+                                      &stats.counters);
+            const std::string label = std::string(prefix) + separator +
+                                      "query " + std::to_string(q) + ": ";
+            for (std::size_t offset : offsets) {
+                printer.print(offset, label.c_str());
+            }
+            printer.finish(label.c_str());
             continue;
         }
         std::size_t shown = 0;
@@ -465,24 +580,64 @@ int run_ndjson(const CliOptions& options, const PaddedString& input)
         stream::split_records(input, kernels);
     const std::uint64_t split_ns = split_watch.elapsed_ns();
 
-    /** Prints each match as it is replayed; record offsets are
-     *  intra-record, so extraction adds the record's span begin. */
+    /** Prints each match as it is replayed. Record offsets are
+     *  intra-record; extraction and span extension run over the record's
+     *  SUBVIEW, so a scan can never cross into the following record's
+     *  slice (the record-boundary contract, span.h). */
     struct PrintingSink final : stream::StreamSink {
         const CliOptions& options;
         const PaddedString& input;
         const std::vector<stream::RecordSpan>& records;
+        const simd::Kernels& kernels;
+        obs::Counters projection_counters;
+        std::size_t projected_values = 0;
+        std::size_t projected_bytes = 0;
         std::size_t shown = 0;
         std::size_t suppressed = 0;
+        std::string scratch;
 
         PrintingSink(const CliOptions& options, const PaddedString& input,
-                     const std::vector<stream::RecordSpan>& records)
-            : options(options), input(input), records(records)
+                     const std::vector<stream::RecordSpan>& records,
+                     const simd::Kernels& kernels)
+            : options(options), input(input), records(records), kernels(kernels)
         {
+        }
+
+        PaddedView record_view(std::size_t record) const
+        {
+            const stream::RecordSpan& span = records[record];
+            return PaddedView(input).subview(span.begin, span.end - span.begin);
         }
 
         void on_match(std::size_t record, std::size_t offset) override
         {
             if (options.count_only) {
+                return;
+            }
+            if (options.project != project::ProjectionMode::kNone) {
+                project::SpanExtender extender(record_view(record), kernels,
+                                               &projection_counters);
+                const project::ValueSpan span = extender.extend(offset);
+                ++projected_values;
+                projected_bytes += span.size();
+                if (options.project == project::ProjectionMode::kCount) {
+                    return;
+                }
+                if (options.limit != 0 && shown >= options.limit) {
+                    ++suppressed;
+                    return;
+                }
+                ++shown;
+                const std::string_view slice = extender.slice(span);
+                if (options.project == project::ProjectionMode::kNdjson) {
+                    scratch.clear();
+                    project::append_compact_value(slice, scratch);
+                    scratch.push_back('\n');
+                    std::fwrite(scratch.data(), 1, scratch.size(), stdout);
+                } else {
+                    std::printf("record %zu: %.*s\n", record,
+                                static_cast<int>(slice.size()), slice.data());
+                }
                 return;
             }
             if (options.limit != 0 && shown >= options.limit) {
@@ -493,8 +648,7 @@ int run_ndjson(const CliOptions& options, const PaddedString& input)
             if (options.offsets_only) {
                 std::printf("record %zu: %zu\n", record, offset);
             } else {
-                std::string_view value =
-                    extract_value(input, records[record].begin + offset);
+                std::string_view value = extract_value(record_view(record), offset);
                 std::printf("record %zu: %.*s\n", record,
                             static_cast<int>(value.size()), value.data());
             }
@@ -511,7 +665,7 @@ int run_ndjson(const CliOptions& options, const PaddedString& input)
         }
     };
 
-    PrintingSink sink(options, input, records);
+    PrintingSink sink(options, input, records, kernels);
     stream::StreamResult result = executor.run_records(input, records, sink);
     if (sink.suppressed != 0) {
         std::printf("... (%zu more)\n", sink.suppressed);
@@ -519,6 +673,11 @@ int run_ndjson(const CliOptions& options, const PaddedString& input)
     if (options.count_only) {
         std::printf("%zu\n", result.matches);
     }
+    if (options.project == project::ProjectionMode::kCount) {
+        std::printf("values=%zu bytes=%zu\n", sink.projected_values,
+                    sink.projected_bytes);
+    }
+    result.counters.merge(sink.projection_counters);
     if (options.stats) {
         obs::StreamReport report;
         report.engine = "descend";
@@ -557,19 +716,57 @@ int run_multi_ndjson(const CliOptions& options, const PaddedString& input)
         const CliOptions& options;
         const PaddedString& input;
         const std::vector<stream::RecordSpan>& records;
+        const simd::Kernels& kernels;
+        obs::Counters projection_counters;
+        std::size_t projected_values = 0;
+        std::size_t projected_bytes = 0;
         std::size_t shown = 0;
         std::size_t suppressed = 0;
+        std::string scratch;
 
         PrintingSink(const CliOptions& options, const PaddedString& input,
-                     const std::vector<stream::RecordSpan>& records)
-            : options(options), input(input), records(records)
+                     const std::vector<stream::RecordSpan>& records,
+                     const simd::Kernels& kernels)
+            : options(options), input(input), records(records), kernels(kernels)
         {
+        }
+
+        PaddedView record_view(std::size_t record) const
+        {
+            const stream::RecordSpan& span = records[record];
+            return PaddedView(input).subview(span.begin, span.end - span.begin);
         }
 
         void on_match(std::size_t query, std::size_t record,
                       std::size_t offset) override
         {
             if (options.count_only) {
+                return;
+            }
+            if (options.project != project::ProjectionMode::kNone) {
+                project::SpanExtender extender(record_view(record), kernels,
+                                               &projection_counters);
+                const project::ValueSpan span = extender.extend(offset);
+                ++projected_values;
+                projected_bytes += span.size();
+                if (options.project == project::ProjectionMode::kCount) {
+                    return;
+                }
+                if (options.limit != 0 && shown >= options.limit) {
+                    ++suppressed;
+                    return;
+                }
+                ++shown;
+                const std::string_view slice = extender.slice(span);
+                if (options.project == project::ProjectionMode::kNdjson) {
+                    scratch.clear();
+                    project::append_compact_value(slice, scratch);
+                    scratch.push_back('\n');
+                    std::fwrite(scratch.data(), 1, scratch.size(), stdout);
+                } else {
+                    std::printf("query %zu record %zu: %.*s\n", query, record,
+                                static_cast<int>(slice.size()), slice.data());
+                }
                 return;
             }
             if (options.limit != 0 && shown >= options.limit) {
@@ -582,7 +779,7 @@ int run_multi_ndjson(const CliOptions& options, const PaddedString& input)
                             offset);
             } else {
                 std::string_view value =
-                    extract_value(input, records[record].begin + offset);
+                    extract_value(record_view(record), offset);
                 std::printf("query %zu record %zu: %.*s\n", query, record,
                             static_cast<int>(value.size()), value.data());
             }
@@ -597,7 +794,7 @@ int run_multi_ndjson(const CliOptions& options, const PaddedString& input)
         }
     };
 
-    PrintingSink sink(options, input, records);
+    PrintingSink sink(options, input, records, kernels);
     stream::StreamResult result = executor.run_records(input, records, sink);
     if (sink.suppressed != 0) {
         std::printf("... (%zu more)\n", sink.suppressed);
@@ -605,6 +802,11 @@ int run_multi_ndjson(const CliOptions& options, const PaddedString& input)
     if (options.count_only) {
         std::printf("%zu\n", result.matches);
     }
+    if (options.project == project::ProjectionMode::kCount) {
+        std::printf("values=%zu bytes=%zu\n", sink.projected_values,
+                    sink.projected_bytes);
+    }
+    result.counters.merge(sink.projection_counters);
     if (options.stats) {
         obs::StreamReport report;
         report.engine = executor.engine().name();
@@ -634,6 +836,12 @@ int main(int argc, char** argv)
     }
     if (options.ndjson && options.engine != "descend") {
         std::fputs("descend-cli: --ndjson supports only the descend engine\n",
+                   stderr);
+        return 2;
+    }
+    if (options.project != project::ProjectionMode::kNone &&
+        (options.count_only || options.offsets_only)) {
+        std::fputs("descend-cli: --project conflicts with --count/--offsets\n",
                    stderr);
         return 2;
     }

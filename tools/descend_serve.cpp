@@ -29,6 +29,9 @@
  *   --max-matches N      server-wide EngineLimits::max_match_count ceiling
  *   --max-query-bytes N  frame admission cap on query text (default 64K)
  *   --max-body-bytes N   frame admission cap on document size (default 64M)
+ *   --max-projected-bytes N  per-response projected-values cap: oversized
+ *                        result sets truncate at a value boundary and set
+ *                        the values-truncated flag (default 64M, 0 = off)
  *   --simd LEVEL         kernel tier: scalar | avx2 | avx512
  *   --fused MODE         multi-query backend: auto | lanes | product
  *                        (default auto: one product automaton per set,
@@ -73,7 +76,7 @@ void usage()
         "  --workers N | --cache-capacity N | --cache-shards N\n"
         "  --drain-ms N | --default-deadline-ms N | --max-deadline-ms N\n"
         "  --max-depth N | --max-matches N\n"
-        "  --max-query-bytes N | --max-body-bytes N\n"
+        "  --max-query-bytes N | --max-body-bytes N | --max-projected-bytes N\n"
         "  --simd scalar|avx2|avx512 | --fused auto|lanes|product\n"
         "  --within-skip\n"
         "exit codes: 0 clean shutdown, 2 usage, 5 socket failure\n",
@@ -183,6 +186,13 @@ int main(int argc, char** argv)
                 return 2;
             }
             config.frame_limits.max_body_bytes =
+                static_cast<std::size_t>(value);
+        } else if (arg == "--max-projected-bytes") {
+            if (!next_u64(value)) {
+                usage();
+                return 2;
+            }
+            config.policy.max_projected_bytes =
                 static_cast<std::size_t>(value);
         } else if (arg == "--simd" || arg.rfind("--simd=", 0) == 0) {
             const char* level = nullptr;

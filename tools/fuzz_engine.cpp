@@ -31,6 +31,15 @@
  *   fuzz_engine --multi N [--seed S]
  *   fuzz_engine --faults N [--seed S]
  *   fuzz_engine --serve-frames N [--seed S]
+ *   fuzz_engine --project N [--seed S]
+ *
+ * --project N: projection mutation mode (src/descend/project). On mutants
+ * the DOM still accepts, SpanExtender must equal the scalar extraction
+ * oracle at every kernel tier for every match, engine-driven SliceSink
+ * output must be byte-identical to DOM extraction, and the NDJSON sink
+ * must emit one line per value. On rejected mutants, span extension from
+ * every plausible value-start byte must stay within the view (memory
+ * safety under the asan preset).
  *
  * --serve-frames N: wire-protocol mode for the descend-serve daemon. Valid
  * request frames (random mode/flags/limits/query/document) are mutated —
@@ -77,6 +86,7 @@
 #include <memory>
 #include <optional>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -1704,6 +1714,189 @@ int run_serve_frames_mode(long iterations, std::uint64_t seed0, bool verbose)
     return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Projection mutation mode: span extension and the sink family under
+// mutated documents.
+//
+// On mutants the DOM parser still accepts, the contract is exact: every
+// match offset's SpanExtender::extend() must equal the scalar oracle
+// (extend_value_span / extract_value) at every kernel tier, engine-driven
+// SliceSink output must be byte-identical to DOM extraction, and the
+// NDJSON sink must emit exactly one line per value. On mutants the DOM
+// rejects there is no value contract, but there IS a safety one: span
+// extension from arbitrary plausible offsets (every opener/quote byte in
+// the damaged document) must stay within the view — never scan past the
+// logical end, never crash (run under the asan preset for full effect) —
+// because the CLI and daemon extend offsets reported *before* an engine
+// detected the damage.
+// ---------------------------------------------------------------------------
+
+int report_project(const std::string& name, const Mutation& mutation,
+                   const std::string& query, const std::string& configuration,
+                   const std::string& detail, const std::string& document)
+{
+    std::printf(
+        "PROJECTION DISAGREEMENT\nseed: %s\nmutation: %s\nquery: %s\n"
+        "configuration: %s\nproblem: %s\ndocument (%zu bytes):\n%.*s\n",
+        name.c_str(), mutation.description.c_str(), query.c_str(),
+        configuration.c_str(), detail.c_str(), document.size(),
+        static_cast<int>(document.size() > 2000 ? 2000 : document.size()),
+        document.c_str());
+    return 1;
+}
+
+int check_projection(const Corpus& corpus, const Mutation& mutation,
+                     const std::string& query_text, Stats& stats)
+{
+    const std::string& document = mutation.document;
+    PaddedString padded(document);
+    DomEngine dom(query::Query::parse(query_text));
+    OffsetSink dom_sink;
+    const bool accepted = dom.run(padded, dom_sink).ok();
+
+    for (simd::Level level : available_levels()) {
+        std::string configuration =
+            std::string("project[") + simd::level_name(level) + "]";
+        project::SpanExtender extender(padded, simd::kernels_for(level));
+
+        if (!accepted) {
+            // Safety sweep: extend from every byte that could plausibly be
+            // handed to the extender by a pre-damage match report. Spans
+            // must stay inside the view; under asan this also proves no
+            // read strays past it.
+            for (std::size_t at :
+                 positions_of(document, "{[\"0123456789tfn-")) {
+                project::ValueSpan span = extender.extend(at);
+                if (span.end > padded.size() || span.begin > span.end) {
+                    return report_project(
+                        corpus.name, mutation, query_text, configuration,
+                        "span [" + std::to_string(span.begin) + "," +
+                            std::to_string(span.end) +
+                            ") leaves the view (size " +
+                            std::to_string(padded.size()) + ") from offset " +
+                            std::to_string(at),
+                        document);
+                }
+            }
+            continue;
+        }
+
+        // Exact differential: batched extension == the scalar oracle, for
+        // every match the DOM reports.
+        for (std::size_t offset : dom_sink.offsets()) {
+            project::ValueSpan expected =
+                project::extend_value_span(padded, offset);
+            project::ValueSpan got = extender.extend(offset);
+            if (got != expected) {
+                return report_project(
+                    corpus.name, mutation, query_text, configuration,
+                    "span diverges from the scalar oracle at offset " +
+                        std::to_string(offset) + ": expected [" +
+                        std::to_string(expected.begin) + "," +
+                        std::to_string(expected.end) + "), got [" +
+                        std::to_string(got.begin) + "," +
+                        std::to_string(got.end) + ")",
+                    document);
+            }
+        }
+
+        // Engine-driven sinks: slices byte-identical to DOM extraction,
+        // NDJSON one line per value.
+        EngineOptions options;
+        options.simd = level;
+        DescendEngine engine(automaton::CompiledQuery::compile(query_text),
+                             options);
+        project::SliceSink slices;
+        project::ProjectingMatchSink slice_sink(extender, slices);
+        if (!engine.run(padded, slice_sink).ok()) {
+            continue;  // grammar-level damage the DOM tolerates; no contract
+        }
+        std::vector<std::string_view> expected_values =
+            extract_values(padded, dom_sink.offsets());
+        if (slices.slices().size() != expected_values.size()) {
+            return report_project(
+                corpus.name, mutation, query_text, configuration,
+                "slice count diverges: dom " +
+                    std::to_string(expected_values.size()) + " vs " +
+                    std::to_string(slices.slices().size()),
+                document);
+        }
+        for (std::size_t v = 0; v < expected_values.size(); ++v) {
+            if (slices.slices()[v] != expected_values[v]) {
+                return report_project(
+                    corpus.name, mutation, query_text, configuration,
+                    "slice " + std::to_string(v) +
+                        " is not byte-identical to DOM extraction",
+                    document);
+            }
+        }
+        std::ostringstream ndjson_out;
+        project::NdjsonSink ndjson(ndjson_out);
+        project::project_all(extender, dom_sink.offsets(), ndjson);
+        if (ndjson.lines() != expected_values.size()) {
+            return report_project(
+                corpus.name, mutation, query_text, configuration,
+                "ndjson line count diverges: " +
+                    std::to_string(ndjson.lines()) + " lines for " +
+                    std::to_string(expected_values.size()) + " values",
+                document);
+        }
+    }
+    if (accepted) {
+        stats.still_valid += 1;
+    } else {
+        stats.rejected += 1;
+    }
+    return 0;
+}
+
+int run_project_mode(long iterations, std::uint64_t seed0, bool verbose)
+{
+    std::vector<Corpus> corpora;
+    std::size_t target = 1800;
+    for (const std::string& name : workloads::dataset_names()) {
+        corpora.push_back(build_corpus(name, target));
+        target = target >= 6000 ? 1800 : target + 700;
+    }
+
+    Stats stats;
+    // Pristine seeds first: every query's projection must already agree.
+    for (const Corpus& corpus : corpora) {
+        Mutation pristine{"none (pristine seed)", corpus.document};
+        for (const std::string& query : corpus.queries) {
+            if (int rc = check_projection(corpus, pristine, query, stats)) {
+                return rc;
+            }
+        }
+    }
+    for (long i = 0; i < iterations; ++i) {
+        const Corpus& corpus =
+            corpora[static_cast<std::size_t>(i) % corpora.size()];
+        std::mt19937_64 rng(seed0 * 0x9E3779B97F4A7C15ull +
+                            static_cast<std::uint64_t>(i) + 0x9407EC7ull);
+        std::optional<Mutation> mutation = mutate(corpus.document, rng);
+        if (!mutation.has_value()) {
+            continue;
+        }
+        stats.mutants += 1;
+        const std::string& query =
+            corpus.queries[pick(rng, corpus.queries.size())];
+        if (int rc = check_projection(corpus, *mutation, query, stats)) {
+            std::printf("iteration: %ld (reproduce with --seed %llu)\n", i,
+                        static_cast<unsigned long long>(seed0));
+            return rc;
+        }
+        if (verbose && (i + 1) % 500 == 0) {
+            std::printf("... %ld/%ld\n", i + 1, iterations);
+        }
+    }
+    std::printf(
+        "fuzz_engine --project: %ld mutants over %zu seeds OK\n"
+        "  differentially projected: %ld, safety-swept (rejected): %ld\n",
+        stats.mutants, corpora.size(), stats.still_valid, stats.rejected);
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -1713,6 +1906,7 @@ int main(int argc, char** argv)
     long multi_iterations = -1;
     long fault_iterations = -1;
     long serve_frame_iterations = -1;
+    long project_iterations = -1;
     std::uint64_t seed0 = 1;
     bool verbose = false;
     for (int i = 1; i < argc; ++i) {
@@ -1748,6 +1942,14 @@ int main(int argc, char** argv)
                              argv[i]);
                 return 2;
             }
+        } else if (std::strcmp(argv[i], "--project") == 0 && i + 1 < argc) {
+            char* end = nullptr;
+            project_iterations = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || project_iterations < 0) {
+                std::fprintf(stderr, "fuzz_engine: bad --project '%s'\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
             char* end = nullptr;
             iterations = std::strtol(argv[++i], &end, 10);
@@ -1770,7 +1972,8 @@ int main(int argc, char** argv)
                          "usage: fuzz_engine [--iterations N] [--seed S] "
                          "[--verbose] | --ndjson N [--seed S] "
                          "| --multi N [--seed S] | --faults N [--seed S] "
-                         "| --serve-frames N [--seed S]\n");
+                         "| --serve-frames N [--seed S] "
+                         "| --project N [--seed S]\n");
             return 2;
         }
     }
@@ -1785,6 +1988,9 @@ int main(int argc, char** argv)
     }
     if (serve_frame_iterations >= 0) {
         return run_serve_frames_mode(serve_frame_iterations, seed0, verbose);
+    }
+    if (project_iterations >= 0) {
+        return run_project_mode(project_iterations, seed0, verbose);
     }
 
     std::vector<Corpus> corpora;

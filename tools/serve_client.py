@@ -3,7 +3,9 @@
 
 Speaks the binary frame protocol documented in src/descend/serve/protocol.h:
 a 44-byte little-endian request header, then query bytes, then body bytes;
-a 40-byte response header, then u64 match offsets, then obs stats JSON.
+a 40-byte response header, then (when requested with --values) the
+length-prefixed projected-values body, then u64 match offsets, then obs
+stats JSON.
 
 Usage:
   serve_client.py (--socket PATH | --port N [--host H]) [options] QUERY [FILE]
@@ -14,6 +16,9 @@ Options:
   --mode {single,multi,ndjson}   execution route (default: single);
                                  multi takes newline-separated queries
   --offsets                      request match offsets, print them
+  --values                       request the projected value slices and
+                                 print each on its own line (a truncated
+                                 body prints a trailing marker)
   --stats                        request + print the obs stats JSON
   --deadline-ms N                per-request deadline (0 = server default)
   --max-depth N                  tenant depth limit (0 = server default)
@@ -42,7 +47,10 @@ RESPONSE_HEADER = struct.Struct("<IHHHHIQQQ")   # 40 bytes
 MODES = {"single": 0, "multi": 1, "ndjson": 2}
 FLAG_WANT_OFFSETS = 1 << 0
 FLAG_WANT_STATS = 1 << 1
+FLAG_WANT_VALUES = 1 << 2
 FLAG_CACHE_HIT = 1 << 0
+FLAG_HAS_VALUES = 1 << 1
+FLAG_VALUES_TRUNCATED = 1 << 2
 
 SERVE_STATUS = [
     "ok", "bad-magic", "bad-version", "bad-mode", "bad-reserved",
@@ -89,6 +97,18 @@ def read_response(sock):
     if magic != RESPONSE_MAGIC or version != VERSION:
         raise ConnectionError("response header is not a Dsrs v%d frame"
                               % VERSION)
+    values = []
+    if flags & FLAG_HAS_VALUES:
+        (values_len,) = struct.unpack("<Q", read_exactly(sock, 8))
+        body = read_exactly(sock, values_len)
+        cursor = 0
+        while cursor < len(body):
+            (length,) = struct.unpack_from("<I", body, cursor)
+            cursor += 4
+            if cursor + length > len(body):
+                raise ConnectionError("value overruns the declared body")
+            values.append(body[cursor:cursor + length])
+            cursor += length
     offsets = struct.unpack("<%dQ" % offsets_count,
                             read_exactly(sock, 8 * offsets_count))
     stats = read_exactly(sock, stats_len).decode("utf-8", "replace")
@@ -97,8 +117,10 @@ def read_response(sock):
         "engine_code": engine_code,
         "engine_offset": engine_offset,
         "cache_hit": bool(flags & FLAG_CACHE_HIT),
+        "values_truncated": bool(flags & FLAG_VALUES_TRUNCATED),
         "match_count": match_count,
         "offsets": offsets,
+        "values": values,
         "stats": stats,
     }
 
@@ -119,6 +141,7 @@ def main():
     parser.add_argument("--port", type=int)
     parser.add_argument("--mode", choices=sorted(MODES), default="single")
     parser.add_argument("--offsets", action="store_true")
+    parser.add_argument("--values", action="store_true")
     parser.add_argument("--stats", action="store_true")
     parser.add_argument("--deadline-ms", type=int, default=0)
     parser.add_argument("--max-depth", type=int, default=0)
@@ -147,7 +170,8 @@ def main():
         else:
             body = sys.stdin.buffer.read()
         flags = (FLAG_WANT_OFFSETS if args.offsets else 0) | \
-                (FLAG_WANT_STATS if args.stats else 0)
+                (FLAG_WANT_STATS if args.stats else 0) | \
+                (FLAG_WANT_VALUES if args.values else 0)
         wire = pack_request(MODES[args.mode], flags, args.deadline_ms,
                             args.max_depth, args.max_matches,
                             args.query.encode("utf-8"), body)
@@ -168,6 +192,11 @@ def main():
              "hit" if response["cache_hit"] else "miss"))
     if args.offsets:
         print("offsets=%s" % ",".join(str(o) for o in response["offsets"]))
+    if args.values:
+        for value in response["values"]:
+            sys.stdout.buffer.write(value + b"\n")
+        if response["values_truncated"]:
+            print("... (values truncated at the server's projection cap)")
     if args.stats and response["stats"]:
         print(response["stats"])
 

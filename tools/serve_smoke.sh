@@ -91,6 +91,19 @@ expect_output "ndjson-mode match count" "matches=3"
 check 0 "cache hit on repeat query" client '$..b' "$WORK/ok.json"
 expect_output "cache hit flagged" "cache=hit"
 
+# Projected-response round-trip: the values body must carry the matched
+# subtrees byte-verbatim, in document order, in every mode.
+check 0 "single-mode projected values" \
+    client --values '$.a' "$WORK/ok.json"
+expect_output "projected subtree bytes" '^{"b": 1}$'
+check 0 "multi-mode projected values" \
+    client --mode multi --values "$(printf '$.a.b\n$.c.b')" "$WORK/ok.json"
+expect_output "multi projected first owner" "^1$"
+expect_output "multi projected second owner" "^2$"
+check 0 "ndjson-mode projected values" \
+    client --mode ndjson --values '$.id' "$WORK/stream.ndjson"
+expect_output "ndjson projected record value" "^3$"
+
 # Malformed frames: structured status, and the daemon survives to serve
 # the next request on a fresh connection.
 check 0 "garbage frame -> bad-magic" \
