@@ -92,9 +92,17 @@ public:
         return waiting_symbol_[static_cast<std::size_t>(state)];
     }
 
-    /** True when the query uses index selectors (extension); the engine
-     *  then tracks array-entry counters. */
+    /** True when the query guards children by array position (index or
+     *  slice selectors); the engine then tracks array-entry counters. */
     bool has_indices() const noexcept { return has_indices_; }
+
+    /**
+     * The query's trailing filter predicate, or nullptr. The automaton
+     * treats the filter selector as a wildcard arc; every report from a
+     * state accepting through it must first evaluate the predicate over
+     * the candidate span (engines do this in their report paths).
+     */
+    const query::FilterExpr* filter() const noexcept { return query_.filter(); }
 
     /** Whole-document match: the query is exactly `$`. */
     bool root_accepting() const noexcept { return flags(initial_state()).accepting; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "descend/util/errors.h"
 
@@ -11,6 +12,47 @@ namespace {
 /** Below this many symbols a linear scan beats a hash probe; the interned
  *  lists stay in one or two cache lines for typical single queries. */
 constexpr std::size_t kHashedLookupThreshold = 8;
+
+using IndexRange = std::pair<std::uint64_t, std::uint64_t>;
+
+/** Interns one query's labels and collects its index/slice ranges. */
+void collect_symbols(const query::Query& query, std::vector<std::string>& labels,
+                     std::unordered_set<std::string_view>& seen_labels,
+                     std::vector<IndexRange>& ranges)
+{
+    auto add_label = [&](const std::string& escaped) {
+        if (seen_labels.insert(escaped).second) {
+            labels.push_back(escaped);
+        }
+    };
+    for (const query::Selector& selector : query.selectors()) {
+        switch (selector.kind) {
+            case query::SelectorKind::kChild:
+            case query::SelectorKind::kDescendant:
+                add_label(selector.label_escaped);
+                break;
+            case query::SelectorKind::kChildUnion:
+                for (const query::LabelRef& member : selector.union_members) {
+                    add_label(member.escaped);
+                }
+                break;
+            case query::SelectorKind::kChildIndex:
+                ranges.emplace_back(selector.index, selector.index + 1);
+                break;
+            case query::SelectorKind::kChildSlice:
+                ranges.emplace_back(selector.slice_lo, selector.slice_hi);
+                break;
+            case query::SelectorKind::kRoot:
+            case query::SelectorKind::kChildWildcard:
+            case query::SelectorKind::kChildFilter:
+            case query::SelectorKind::kDescendantWildcard:
+                // No path symbols: wildcards (and filters, which advance
+                // like wildcards and test the candidate at report time)
+                // ride the fallback arc.
+                break;
+        }
+    }
+}
 
 }  // namespace
 
@@ -22,11 +64,36 @@ void Alphabet::build_lookup_tables()
             label_ids_.emplace(labels_[i], static_cast<int>(i));
         }
     }
-    if (indices_.size() >= kHashedLookupThreshold) {
-        index_ids_.reserve(indices_.size());
-        for (std::size_t i = 0; i < indices_.size(); ++i) {
-            index_ids_.emplace(indices_[i],
-                               num_labels() + static_cast<int>(i));
+}
+
+void Alphabet::build_intervals(std::vector<IndexRange> ranges)
+{
+    // Boundary set: every selector bound. A cell between two consecutive
+    // boundaries is either wholly inside a selector's range or wholly
+    // outside every one — so selector guards are unions of whole cells.
+    std::vector<std::uint64_t> bounds;
+    for (const IndexRange& range : ranges) {
+        if (range.first >= range.second) {
+            continue;  // empty slice: no coverage, no symbols
+        }
+        bounds.push_back(range.first);
+        if (range.second != query::kSliceUnbounded) {
+            bounds.push_back(range.second);
+        }
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+        std::uint64_t lo = bounds[i];
+        std::uint64_t hi =
+            i + 1 < bounds.size() ? bounds[i + 1] : query::kSliceUnbounded;
+        bool covered = std::any_of(ranges.begin(), ranges.end(),
+                                   [&](const IndexRange& range) {
+                                       return range.first <= lo &&
+                                              lo < range.second;
+                                   });
+        if (covered) {
+            intervals_.push_back({lo, hi});
         }
     }
 }
@@ -34,25 +101,10 @@ void Alphabet::build_lookup_tables()
 Alphabet Alphabet::from_query(const query::Query& query)
 {
     Alphabet alphabet;
-    for (const query::Selector& selector : query.selectors()) {
-        switch (selector.kind) {
-            case query::SelectorKind::kChild:
-            case query::SelectorKind::kDescendant:
-                if (std::find(alphabet.labels_.begin(), alphabet.labels_.end(),
-                              selector.label_escaped) == alphabet.labels_.end()) {
-                    alphabet.labels_.push_back(selector.label_escaped);
-                }
-                break;
-            case query::SelectorKind::kChildIndex:
-                if (std::find(alphabet.indices_.begin(), alphabet.indices_.end(),
-                              selector.index) == alphabet.indices_.end()) {
-                    alphabet.indices_.push_back(selector.index);
-                }
-                break;
-            default:
-                break;
-        }
-    }
+    std::unordered_set<std::string_view> seen_labels;
+    std::vector<IndexRange> ranges;
+    collect_symbols(query, alphabet.labels_, seen_labels, ranges);
+    alphabet.build_intervals(std::move(ranges));
     alphabet.build_lookup_tables();
     return alphabet;
 }
@@ -60,30 +112,12 @@ Alphabet Alphabet::from_query(const query::Query& query)
 Alphabet Alphabet::from_queries(const std::vector<query::Query>& queries)
 {
     Alphabet alphabet;
-    // Set-sized dedup: a 1k-query set can mention thousands of distinct
-    // labels, so interning scans would go quadratic. Symbol order remains
-    // first-occurrence across the set.
     std::unordered_set<std::string_view> seen_labels;
-    std::unordered_set<std::uint64_t> seen_indices;
+    std::vector<IndexRange> ranges;
     for (const query::Query& query : queries) {
-        for (const query::Selector& selector : query.selectors()) {
-            switch (selector.kind) {
-                case query::SelectorKind::kChild:
-                case query::SelectorKind::kDescendant:
-                    if (seen_labels.insert(selector.label_escaped).second) {
-                        alphabet.labels_.push_back(selector.label_escaped);
-                    }
-                    break;
-                case query::SelectorKind::kChildIndex:
-                    if (seen_indices.insert(selector.index).second) {
-                        alphabet.indices_.push_back(selector.index);
-                    }
-                    break;
-                default:
-                    break;
-            }
-        }
+        collect_symbols(query, alphabet.labels_, seen_labels, ranges);
     }
+    alphabet.build_intervals(std::move(ranges));
     alphabet.build_lookup_tables();
     return alphabet;
 }
@@ -104,16 +138,33 @@ int Alphabet::label_symbol(std::string_view escaped_label) const noexcept
 
 int Alphabet::index_symbol(std::uint64_t index) const noexcept
 {
-    if (!index_ids_.empty()) {
-        auto found = index_ids_.find(index);
-        return found != index_ids_.end() ? found->second : other_symbol();
+    // First interval with lo > index; the candidate is its predecessor.
+    auto after = std::upper_bound(intervals_.begin(), intervals_.end(), index,
+                                  [](std::uint64_t value, const IndexInterval& iv) {
+                                      return value < iv.lo;
+                                  });
+    if (after == intervals_.begin()) {
+        return other_symbol();
     }
-    for (std::size_t i = 0; i < indices_.size(); ++i) {
-        if (indices_[i] == index) {
-            return num_labels() + static_cast<int>(i);
+    const IndexInterval& candidate = *std::prev(after);
+    if (!candidate.contains(index)) {
+        return other_symbol();
+    }
+    return num_labels() +
+           static_cast<int>(std::prev(after) - intervals_.begin());
+}
+
+std::vector<int> Alphabet::symbols_in_range(std::uint64_t lo,
+                                            std::uint64_t hi) const
+{
+    std::vector<int> symbols;
+    for (std::size_t i = 0; i < intervals_.size(); ++i) {
+        const IndexInterval& iv = intervals_[i];
+        if (iv.lo >= lo && iv.lo < hi) {
+            symbols.push_back(num_labels() + static_cast<int>(i));
         }
     }
-    return other_symbol();
+    return symbols;
 }
 
 Nfa Nfa::from_query(const query::Query& query)
@@ -132,19 +183,37 @@ Nfa Nfa::from_query(const query::Query& query)
         NfaState& state = nfa.states_[k - 1];
         switch (selector.kind) {
             case query::SelectorKind::kChild:
-                state.advance_symbol =
-                    nfa.alphabet_.label_symbol(selector.label_escaped);
+                state.advance_symbols.push_back(
+                    nfa.alphabet_.label_symbol(selector.label_escaped));
                 break;
             case query::SelectorKind::kChildWildcard:
                 state.wildcard_advance = true;
                 break;
             case query::SelectorKind::kChildIndex:
-                state.advance_symbol = nfa.alphabet_.index_symbol(selector.index);
+                state.advance_symbols.push_back(
+                    nfa.alphabet_.index_symbol(selector.index));
+                break;
+            case query::SelectorKind::kChildSlice:
+                // An empty slice contributes no symbols: the guard is
+                // unsatisfiable and the state can never advance.
+                state.advance_symbols = nfa.alphabet_.symbols_in_range(
+                    selector.slice_lo, selector.slice_hi);
+                break;
+            case query::SelectorKind::kChildUnion:
+                for (const query::LabelRef& member : selector.union_members) {
+                    state.advance_symbols.push_back(
+                        nfa.alphabet_.label_symbol(member.escaped));
+                }
+                break;
+            case query::SelectorKind::kChildFilter:
+                // The path guard of a filter is a wildcard; the predicate
+                // runs over the candidate span at report time.
+                state.wildcard_advance = true;
                 break;
             case query::SelectorKind::kDescendant:
                 state.recursive = true;
-                state.advance_symbol =
-                    nfa.alphabet_.label_symbol(selector.label_escaped);
+                state.advance_symbols.push_back(
+                    nfa.alphabet_.label_symbol(selector.label_escaped));
                 break;
             case query::SelectorKind::kDescendantWildcard:
                 state.recursive = true;
@@ -153,6 +222,7 @@ Nfa Nfa::from_query(const query::Query& query)
             case query::SelectorKind::kRoot:
                 break;
         }
+        std::sort(state.advance_symbols.begin(), state.advance_symbols.end());
     }
     return nfa;
 }
@@ -166,7 +236,8 @@ bool Nfa::advances_on(int i, int symbol) const
     if (state.wildcard_advance) {
         return true;
     }
-    return state.advance_symbol == symbol;
+    return std::binary_search(state.advance_symbols.begin(),
+                              state.advance_symbols.end(), symbol);
 }
 
 }  // namespace descend::automaton

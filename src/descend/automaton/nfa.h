@@ -7,12 +7,21 @@
  * selectors make their source state *recursive* (a self-loop over every
  * label). The automaton runs over the sequence of labels on a root-to-node
  * path; array entries carry an artificial label that matches only wildcard
- * and recursive arcs (and, with the index-selector extension, index arcs).
+ * and recursive arcs (and, with the counter extension, index arcs).
  *
  * Input symbols are interned per query by Alphabet: the concrete labels
- * (in their escaped comparison form), then the concrete array indices,
- * plus one implicit OTHER symbol standing for every remaining label and
- * for unmatched array positions.
+ * (in their escaped comparison form), then *index intervals*, plus one
+ * implicit OTHER symbol standing for every remaining label and for
+ * uncovered array positions.
+ *
+ * Index intervals are the key to counter-carrying transitions surviving
+ * the classical automaton pipeline unchanged: the index/slice bounds of
+ * the whole query (set) partition the covered index space into half-open
+ * intervals, each interned as one symbol. Every index or slice selector
+ * guard is then a union of WHOLE interval symbols — an ordinary set of
+ * arcs — so subset construction and Moore minimization need no knowledge
+ * of counters at all; the engines map a runtime entry counter to its
+ * interval symbol with one binary search (index_symbol).
  */
 #pragma once
 
@@ -37,6 +46,23 @@ struct LabelHash {
     }
 };
 
+/** A half-open run [lo, hi) of array indices interned as one symbol;
+ *  hi == query::kSliceUnbounded for the open tail of an `[a:]` slice. */
+struct IndexInterval {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    bool contains(std::uint64_t index) const noexcept
+    {
+        return index >= lo && index < hi;
+    }
+
+    friend bool operator==(const IndexInterval& a, const IndexInterval& b) noexcept
+    {
+        return a.lo == b.lo && a.hi == b.hi;
+    }
+};
+
 /** Interned input symbols of a query automaton. */
 class Alphabet {
 public:
@@ -44,16 +70,18 @@ public:
 
     /**
      * The union alphabet of a query set (fused multi-query execution):
-     * every label and index occurring in any of @p queries, interned once.
-     * Symbol order is first-occurrence across the set, so single-query
-     * alphabets embed as prefixes when the set is a singleton.
+     * every label and every index-interval boundary occurring in any of
+     * @p queries, interned once. Label order is first-occurrence across
+     * the set; the union's intervals REFINE each member query's own
+     * intervals (the boundary set is a superset), so a per-query remap by
+     * representative index is exact.
      */
     static Alphabet from_queries(const std::vector<query::Query>& queries);
 
     int num_labels() const noexcept { return static_cast<int>(labels_.size()); }
-    int num_indices() const noexcept { return static_cast<int>(indices_.size()); }
+    int num_indices() const noexcept { return static_cast<int>(intervals_.size()); }
 
-    /** Concrete symbols (labels then indices), excluding OTHER. */
+    /** Concrete symbols (labels then index intervals), excluding OTHER. */
     int num_concrete() const noexcept { return num_labels() + num_indices(); }
 
     /** The OTHER symbol: any label/index not occurring in the query. */
@@ -71,42 +99,68 @@ public:
     /** Symbol for an escaped label, or other_symbol() when absent. */
     int label_symbol(std::string_view escaped_label) const noexcept;
 
-    /** Symbol for an array index, or other_symbol() when absent. */
+    /** Symbol of the interval containing @p index, or other_symbol() when
+     *  no selector covers that position. Binary search over the disjoint
+     *  sorted intervals. */
     int index_symbol(std::uint64_t index) const noexcept;
 
+    /**
+     * The interval symbols covering [lo, hi). By construction every
+     * selector's bounds are interval boundaries, so the guard of an index
+     * or slice selector is exactly a run of whole symbols.
+     */
+    std::vector<int> symbols_in_range(std::uint64_t lo, std::uint64_t hi) const;
+
     const std::string& label(int symbol) const { return labels_[symbol]; }
-    std::uint64_t index(int symbol) const
+
+    /** The interval behind an index symbol. */
+    const IndexInterval& interval(int symbol) const
     {
-        return indices_[static_cast<std::size_t>(symbol - num_labels())];
+        return intervals_[static_cast<std::size_t>(symbol - num_labels())];
     }
 
+    /** A representative index of an index symbol (the interval's lo):
+     *  mapping it through another alphabet whose intervals this alphabet
+     *  refines lands on the unique covering symbol — how the multi-query
+     *  remap translates shared symbols into per-query ones. */
+    std::uint64_t index(int symbol) const { return interval(symbol).lo; }
+
     const std::vector<std::string>& labels() const noexcept { return labels_; }
-    const std::vector<std::uint64_t>& indices() const noexcept { return indices_; }
+    const std::vector<IndexInterval>& intervals() const noexcept
+    {
+        return intervals_;
+    }
 
 private:
-    /** Builds the hashed lookup side tables once interning is complete.
+    /** Builds the hashed label lookup once interning is complete.
      *  Linear scans are faster below a handful of symbols (single-query
-     *  alphabets), so small alphabets skip the tables entirely; union
+     *  alphabets), so small alphabets skip the table entirely; union
      *  alphabets of large query sets (fused multi-query execution) resolve
      *  every structural event's label in O(1) instead of O(|labels|). */
     void build_lookup_tables();
 
+    /** Partitions the covered index space: the sorted selector bounds cut
+     *  it into candidate cells, and cells inside at least one selector
+     *  range become symbols. */
+    void build_intervals(std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges);
+
     std::vector<std::string> labels_;        ///< escaped comparison forms
-    std::vector<std::uint64_t> indices_;
+    std::vector<IndexInterval> intervals_;   ///< sorted, disjoint
     /** label -> symbol; empty when the linear scan wins (few labels). */
     std::unordered_map<std::string, int, LabelHash, std::equal_to<>> label_ids_;
-    /** index -> symbol; empty when the linear scan wins (few indices). */
-    std::unordered_map<std::uint64_t, int> index_ids_;
 };
 
 /** One NFA state and its outgoing arcs. */
 struct NfaState {
     /** Self-loop over every symbol (descendant selectors). */
     bool recursive = false;
-    /** Advance arc fires on every symbol (wildcard selectors). */
+    /** Advance arc fires on every symbol (wildcard and filter selectors —
+     *  a filter constrains acceptance at report time, not the path). */
     bool wildcard_advance = false;
-    /** Advance arc symbol (label or index), or -1 when wildcard_advance. */
-    int advance_symbol = -1;
+    /** Advance arc symbols (labels and/or index intervals), sorted; empty
+     *  when wildcard_advance, and also for an unsatisfiable guard (an
+     *  empty slice), which then can never advance. */
+    std::vector<int> advance_symbols;
 };
 
 /**

@@ -42,9 +42,12 @@ using query::SelectorKind;
 
 /**
  * Whether selector @p s lets a child reached by @p key / @p index advance
- * the match. Object members pass a key; array entries pass an index.
+ * the match. Object members pass a key; array entries pass an index. The
+ * child value itself is consulted only by filter selectors, whose
+ * predicate runs over the candidate node.
  */
-bool selector_admits(const Selector& s, const std::string* key, std::uint64_t index)
+bool selector_admits(const Selector& s, const std::string* key,
+                     std::uint64_t index, const json::Value& child)
 {
     switch (s.kind) {
         case SelectorKind::kChild:
@@ -55,6 +58,23 @@ bool selector_admits(const Selector& s, const std::string* key, std::uint64_t in
             return true;
         case SelectorKind::kChildIndex:
             return key == nullptr && index == s.index;
+        case SelectorKind::kChildSlice:
+            return key == nullptr && index >= s.slice_lo && index < s.slice_hi;
+        case SelectorKind::kChildUnion:
+            if (key == nullptr) {
+                return false;
+            }
+            for (const query::LabelRef& member : s.union_members) {
+                if (member.escaped == *key) {
+                    return true;
+                }
+            }
+            return false;
+        case SelectorKind::kChildFilter:
+            // The path guard is a wildcard; the predicate decides. This is
+            // the oracle the streaming engines' lazy evaluation (project/
+            // filter_eval) is differentially tested against.
+            return s.filter.matches(child);
         case SelectorKind::kRoot:
             return false;
     }
@@ -96,16 +116,17 @@ public:
         }
         for (std::size_t m = 0; m < node.members().size(); ++m) {
             const json::Member& member = node.members()[m];
-            visit(*member.value, successors(states, &member.key, 0));
+            visit(*member.value, successors(states, &member.key, 0, *member.value));
         }
         for (std::size_t e = 0; e < node.elements().size(); ++e) {
-            visit(*node.elements()[e], successors(states, nullptr, e));
+            visit(*node.elements()[e],
+                  successors(states, nullptr, e, *node.elements()[e]));
         }
     }
 
 private:
     std::uint64_t successors(std::uint64_t states, const std::string* key,
-                             std::uint64_t index) const
+                             std::uint64_t index, const json::Value& child) const
     {
         std::uint64_t next = 0;
         for (std::size_t i = 0; i < final_; ++i) {
@@ -119,7 +140,7 @@ private:
             if (s.is_descendant()) {
                 next |= 1ULL << i;
             }
-            if (selector_admits(s, key, index)) {
+            if (selector_admits(s, key, index, child)) {
                 next |= 1ULL << (i + 1);
             }
         }
@@ -155,10 +176,12 @@ public:
         }
         for (std::size_t m = 0; m < node.members().size(); ++m) {
             const json::Member& member = node.members()[m];
-            visit(*member.value, successors(counts, &member.key, 0));
+            visit(*member.value,
+                  successors(counts, &member.key, 0, *member.value));
         }
         for (std::size_t e = 0; e < node.elements().size(); ++e) {
-            visit(*node.elements()[e], successors(counts, nullptr, e));
+            visit(*node.elements()[e],
+                  successors(counts, nullptr, e, *node.elements()[e]));
         }
     }
 
@@ -172,7 +195,8 @@ public:
 private:
     std::vector<std::uint64_t> successors(const std::vector<std::uint64_t>& counts,
                                           const std::string* key,
-                                          std::uint64_t index) const
+                                          std::uint64_t index,
+                                          const json::Value& child) const
     {
         std::vector<std::uint64_t> next(counts.size(), 0);
         for (std::size_t i = 0; i < final_; ++i) {
@@ -183,7 +207,7 @@ private:
             if (s.is_descendant()) {
                 next[i] += counts[i];
             }
-            if (selector_admits(s, key, index)) {
+            if (selector_admits(s, key, index, child)) {
                 next[i + 1] += counts[i];
             }
         }

@@ -25,6 +25,13 @@ SkiEngine::SkiEngine(const query::Query& query, simd::Level level,
             case query::SelectorKind::kChildIndex:
                 levels_.push_back({LevelKind::kIndex, "", selector.index});
                 break;
+            case query::SelectorKind::kChildSlice:
+            case query::SelectorKind::kChildUnion:
+            case query::SelectorKind::kChildFilter:
+                throw QueryError(
+                    "the JSONSki baseline does not support slice, union or "
+                    "filter selectors",
+                    0);
             case query::SelectorKind::kDescendant:
             case query::SelectorKind::kDescendantWildcard:
                 throw QueryError(

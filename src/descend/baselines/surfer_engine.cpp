@@ -5,6 +5,7 @@
 
 #include "descend/engine/validation.h"
 #include "descend/json/sax.h"
+#include "descend/project/filter_eval.h"
 #include "descend/util/utf8.h"
 
 namespace descend {
@@ -13,13 +14,15 @@ namespace {
 class SurferHandler final : public json::SaxHandler {
 public:
     SurferHandler(const automaton::CompiledQuery& query, const EngineLimits& limits,
-                  const RunBudget& budget, MatchSink& sink)
+                  const RunBudget& budget, MatchSink& sink,
+                  project::FilterGate* filter_gate)
         : query_(query),
           alphabet_(query.alphabet()),
           counting_(query.has_indices()),
           limits_(limits),
           gate_(budget),
-          sink_(sink)
+          sink_(sink),
+          filter_gate_(filter_gate)
     {
         state_ = query_.initial_state();
     }
@@ -103,6 +106,11 @@ private:
 
     void report(std::size_t offset)
     {
+        // Same contract as the main engine: a filter-rejected candidate is
+        // not a match and does not count toward the limit.
+        if (filter_gate_ != nullptr && !filter_gate_->admits(offset)) {
+            return;
+        }
         if (++matches_ > limits_.max_match_count) {
             fail(StatusCode::kMatchLimit, offset);
             return;
@@ -180,6 +188,7 @@ private:
     const EngineLimits& limits_;
     BudgetGate gate_;
     MatchSink& sink_;
+    project::FilterGate* filter_gate_;
     int state_ = 0;
     std::optional<std::string_view> pending_key_;
     std::vector<Frame> stack_;
@@ -214,7 +223,13 @@ EngineStatus SurferEngine::run(const PaddedString& document, MatchSink& sink) co
         }
         return {};
     }
-    SurferHandler handler(query_, limits_, budget_, sink);
+    std::optional<project::FilterGate> filter_gate;
+    if (const query::FilterExpr* filter = query_.filter()) {
+        filter_gate.emplace(*filter, PaddedView(document),
+                            simd::kernels_for(simd::default_level()));
+    }
+    SurferHandler handler(query_, limits_, budget_, sink,
+                          filter_gate.has_value() ? &*filter_gate : nullptr);
     EngineStatus sax_status = json::sax_parse(document.view(), handler);
     if (!handler.status().ok()) {
         return handler.status();

@@ -2,6 +2,7 @@
 
 #include "descend/engine/label_search.h"
 #include "descend/engine/validation.h"
+#include "descend/project/filter_eval.h"
 #include "descend/util/bit_stack.h"
 #include "descend/util/inline_vector.h"
 #include "descend/util/utf8.h"
@@ -28,9 +29,13 @@ template <typename Sink>
 class Simulation {
 public:
     /** @param budget the run's governance (null when inactive); threaded
-     *  into the pipelines run_head_skip constructs itself. */
+     *  into the pipelines run_head_skip constructs itself.
+     *  @param document / @p kernels the run's view and kernel tier — the
+     *  filter gate extends candidate spans over them when the query
+     *  carries a trailing predicate. */
     Simulation(const automaton::CompiledQuery& query, const EngineOptions& options,
-               Sink& sink, RunStats& stats, const RunBudget* budget = nullptr)
+               Sink& sink, RunStats& stats, PaddedView document,
+               const simd::Kernels& kernels, const RunBudget* budget = nullptr)
         : cq_(query),
           options_(options),
           sink_(sink),
@@ -39,6 +44,9 @@ public:
           other_(query.alphabet().other_symbol()),
           counting_(query.has_indices())
     {
+        if (const query::FilterExpr* filter = query.filter()) {
+            filter_gate_.emplace(*filter, document, kernels, &stats.counters);
+        }
     }
 
     /** First problem encountered during the run (ok when none was). */
@@ -434,9 +442,16 @@ private:
         }
     }
 
-    /** Reports a match, enforcing EngineLimits::max_match_count. */
+    /** Reports a match, enforcing EngineLimits::max_match_count. With a
+     *  filter query this is the candidate-accepting choke point: the
+     *  predicate runs over the candidate span first, and a rejected
+     *  candidate is not a match (it does not count toward the limit —
+     *  mirroring the DOM oracle, which never reports it at all). */
     void report(std::size_t offset)
     {
+        if (filter_gate_.has_value() && !filter_gate_->admits(offset)) {
+            return;
+        }
         if (++matches_ > options_.limits.max_match_count) {
             fail(StatusCode::kMatchLimit, offset);
             return;
@@ -451,6 +466,8 @@ private:
     const RunBudget* budget_ = nullptr;
     const int other_;
     const bool counting_;
+    /** Present iff the query carries a trailing filter predicate. */
+    std::optional<project::FilterGate> filter_gate_;
     EngineStatus status_;
     std::size_t matches_ = 0;
 };
@@ -533,7 +550,8 @@ RunStats DescendEngine::dispatch(PaddedView document, Sink& sink,
     // fast-forwards can step across.
     StructuralValidator validator;
     StructuralValidator* vptr = options_.validate_structure ? &validator : nullptr;
-    Simulation<Sink> simulation(query_, options_, sink, stats, budget_ptr);
+    Simulation<Sink> simulation(query_, options_, sink, stats, document,
+                                *kernels_, budget_ptr);
     if (query_.head_skip_label().has_value() && options_.head_skipping) {
         simulation.run_head_skip(document, *kernels_, vptr, &accountant);
         stats.status = simulation.status();

@@ -1,8 +1,11 @@
 #include "descend/multi/multi_engine.h"
 
+#include <memory>
+
 #include "descend/engine/label_search.h"
 #include "descend/engine/structural_iterator.h"
 #include "descend/engine/validation.h"
+#include "descend/project/filter_eval.h"
 #include "descend/util/bit_stack.h"
 #include "descend/util/inline_vector.h"
 #include "descend/util/utf8.h"
@@ -44,7 +47,8 @@ public:
     /** @param budget the run's governance (null when inactive); threaded
      *  into every block stream the simulation constructs. */
     FusedSimulation(const MultiQuery& queries, const EngineOptions& options,
-                    MultiSink& sink, RunStats& stats,
+                    MultiSink& sink, RunStats& stats, PaddedView document,
+                    const simd::Kernels& kernels,
                     const RunBudget* budget = nullptr)
         : queries_(queries),
           options_(options),
@@ -53,8 +57,11 @@ public:
           budget_(budget)
     {
         // One lane per DISTINCT query: duplicates share the simulation and
-        // fan out to their owners at report time.
+        // fan out to their owners at report time. A lane with a trailing
+        // filter gets a private predicate gate — candidates the automaton
+        // surfaces for THAT lane are gated without disturbing the others.
         lanes_.reserve(queries.num_distinct());
+        gates_.resize(queries.num_distinct());
         for (std::size_t d = 0; d < queries.num_distinct(); ++d) {
             const automaton::CompiledQuery& cq = queries.distinct(d);
             Lane lane;
@@ -62,6 +69,10 @@ public:
             lane.other = cq.alphabet().other_symbol();
             lane.counting = cq.has_indices();
             lanes_.push_back(std::move(lane));
+            if (const query::FilterExpr* filter = cq.filter()) {
+                gates_[d] = std::make_unique<project::FilterGate>(
+                    *filter, document, kernels, &stats.counters);
+            }
         }
         targets_.resize(lanes_.size());
     }
@@ -595,6 +606,12 @@ private:
      *  independent run would. */
     void report(std::size_t d, std::size_t offset)
     {
+        // A filter-rejected candidate is not a match: it neither reaches
+        // the owners nor counts toward the lane's limit (the DOM oracle
+        // never sees it either).
+        if (gates_[d] != nullptr && !gates_[d]->admits(offset)) {
+            return;
+        }
         if (++lanes_[d].matches > options_.limits.max_match_count) {
             fail(StatusCode::kMatchLimit, offset);
             return;
@@ -610,6 +627,8 @@ private:
     MultiSink& sink_;
     RunStats& stats_;
     std::vector<Lane> lanes_;
+    /** Per-distinct-lane filter gates; null for filter-free lanes. */
+    std::vector<std::unique_ptr<project::FilterGate>> gates_;
     /** Per-lane scratch reused across events (targets / accept bits). */
     std::vector<int> targets_;
     const RunBudget* budget_ = nullptr;
@@ -677,7 +696,8 @@ RunStats MultiDescendEngine::dispatch(PaddedView document, MultiSink& sink,
     }
     StructuralValidator validator;
     StructuralValidator* vptr = options_.validate_structure ? &validator : nullptr;
-    FusedSimulation simulation(queries_, options_, sink, stats, budget_ptr);
+    FusedSimulation simulation(queries_, options_, sink, stats, document,
+                               *kernels_, budget_ptr);
     if (queries_.common_head_skip_label().has_value() && options_.head_skipping) {
         simulation.run_head_skip(document, *kernels_, vptr, &accountant);
         stats.status = simulation.status();

@@ -12,14 +12,17 @@ namespace {
 
 /**
  * Trie over the distinct queries' selector sequences. Edges are keyed by
- * (selector kind, shared-alphabet symbol); wildcards carry symbol -1. Two
- * queries share a node exactly when their selector prefixes coincide
- * after canonicalization.
+ * (selector kind, shared-alphabet symbol set); wildcards carry an empty
+ * set. A slice or union selector owns ONE edge guarded by several symbols
+ * (the interval symbols its range covers / its member labels), all leading
+ * to the same target — the whole-symbol-guard invariant of the alphabet
+ * (nfa.h) makes this exact. Two queries share a node exactly when their
+ * selector prefixes coincide after canonicalization.
  */
 struct TrieEdge {
     query::SelectorKind kind;
-    int symbol;  // shared label/index symbol; -1 for wildcards
-    int target;  // trie node id
+    std::vector<int> symbols;  // shared symbols; empty for wildcards
+    int target;                // trie node id
 };
 
 struct TrieNode {
@@ -58,21 +61,44 @@ std::vector<TrieNode> build_trie(const MultiQuery& set)
             if (selector.kind == query::SelectorKind::kRoot) {
                 continue;
             }
-            int symbol = -1;
+            std::vector<int> symbols;
             switch (selector.kind) {
                 case query::SelectorKind::kChild:
                 case query::SelectorKind::kDescendant:
-                    symbol = set.alphabet().label_symbol(selector.label_escaped);
+                    symbols.push_back(
+                        set.alphabet().label_symbol(selector.label_escaped));
                     break;
                 case query::SelectorKind::kChildIndex:
-                    symbol = set.alphabet().index_symbol(selector.index);
+                    symbols.push_back(
+                        set.alphabet().index_symbol(selector.index));
                     break;
+                case query::SelectorKind::kChildSlice:
+                    // An empty range yields no symbols: the edge then fires
+                    // on nothing and the suffix below it is unreachable —
+                    // exactly the unsatisfiable-slice semantics.
+                    symbols = set.alphabet().symbols_in_range(
+                        selector.slice_lo, selector.slice_hi);
+                    break;
+                case query::SelectorKind::kChildUnion:
+                    for (const query::LabelRef& member : selector.union_members) {
+                        symbols.push_back(
+                            set.alphabet().label_symbol(member.escaped));
+                    }
+                    break;
+                case query::SelectorKind::kChildFilter:
+                    // Predicates are evaluated per lane over the candidate
+                    // value; the shared product automaton has no lane to
+                    // hang that on. Refuse compilation — FusedBackend::kAuto
+                    // catches this and falls back to per-query lanes.
+                    throw LimitError(
+                        "the product backend does not support filter "
+                        "selectors; use per-query lanes");
                 default:
                     break;
             }
             int next = -1;
             for (const TrieEdge& edge : trie[static_cast<std::size_t>(node)].edges) {
-                if (edge.kind == selector.kind && edge.symbol == symbol) {
+                if (edge.kind == selector.kind && edge.symbols == symbols) {
                     next = edge.target;
                     break;
                 }
@@ -80,7 +106,7 @@ std::vector<TrieNode> build_trie(const MultiQuery& set)
             if (next < 0) {
                 next = static_cast<int>(trie.size());
                 trie[static_cast<std::size_t>(node)].edges.push_back(
-                    {selector.kind, symbol, next});
+                    {selector.kind, symbols, next});
                 trie.emplace_back();
             }
             node = next;
@@ -123,7 +149,13 @@ std::vector<NfaRow> build_rows(std::vector<TrieNode>& trie)
                 case query::SelectorKind::kChild:
                 case query::SelectorKind::kDescendant:
                 case query::SelectorKind::kChildIndex:
-                    row.by_symbol.emplace_back(edge.symbol, edge.target);
+                case query::SelectorKind::kChildSlice:
+                case query::SelectorKind::kChildUnion:
+                    // One arc per guarding symbol, all into the same
+                    // target: subset construction dissolves the fan-out.
+                    for (int symbol : edge.symbols) {
+                        row.by_symbol.emplace_back(symbol, edge.target);
+                    }
                     break;
                 default:
                     break;
@@ -136,7 +168,9 @@ std::vector<NfaRow> build_rows(std::vector<TrieNode>& trie)
                 if (edge.kind == query::SelectorKind::kDescendantWildcard) {
                     hub_row.always.push_back(edge.target);
                 } else if (edge.kind == query::SelectorKind::kDescendant) {
-                    hub_row.by_symbol.emplace_back(edge.symbol, edge.target);
+                    for (int symbol : edge.symbols) {
+                        hub_row.by_symbol.emplace_back(symbol, edge.target);
+                    }
                 }
             }
         }

@@ -1,0 +1,96 @@
+#include "descend/project/filter_eval.h"
+
+#include "descend/util/errors.h"
+
+namespace descend::project {
+namespace {
+
+using query::FilterLiteral;
+using query::FilterOp;
+
+/** Same-type equality between a lazy leaf and the compiled literal —
+ *  the lazy mirror of query.cpp's literal_equals. Conversions parse only
+ *  the leaf's span; malformed content compares unequal. */
+bool literal_equals(const LazyValue& node, const FilterLiteral& literal)
+{
+    try {
+        switch (literal.kind) {
+            case FilterLiteral::Kind::kNumber:
+                return node.type() == json::Type::kNumber &&
+                       node.as_number() == literal.number;
+            case FilterLiteral::Kind::kString:
+                return node.type() == json::Type::kString &&
+                       node.as_string() == literal.string;
+            case FilterLiteral::Kind::kBool:
+                return node.type() == json::Type::kBool &&
+                       node.as_bool() == literal.boolean;
+            case FilterLiteral::Kind::kNull: return node.is_null();
+            case FilterLiteral::Kind::kNone: return false;
+        }
+    } catch (const ParseError&) {
+        // Structurally-valid but grammatically-broken leaf (e.g. `01`):
+        // the predicate is false, never a throw on document content.
+    }
+    return false;
+}
+
+/** Three-way ordering when defined (number/number, string/string);
+ *  nullopt otherwise — the comparison is then false for every operator. */
+std::optional<int> literal_order(const LazyValue& node,
+                                 const FilterLiteral& literal)
+{
+    try {
+        if (literal.kind == FilterLiteral::Kind::kNumber &&
+            node.type() == json::Type::kNumber) {
+            double a = node.as_number();
+            double b = literal.number;
+            return a < b ? -1 : (a > b ? 1 : 0);
+        }
+        if (literal.kind == FilterLiteral::Kind::kString &&
+            node.type() == json::Type::kString) {
+            int c = node.as_string().compare(literal.string);
+            return c < 0 ? -1 : (c > 0 ? 1 : 0);
+        }
+    } catch (const ParseError&) {
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+bool filter_admits(const query::FilterExpr& filter, const LazyValue& candidate)
+{
+    LazyValue node = candidate;
+    for (const query::LabelRef& step : filter.steps) {
+        // field() on a non-object or absent key yields !exists(), and
+        // further navigation stays absent — one check suffices.
+        node = node.field(step.escaped);
+    }
+    if (!node.exists()) {
+        return false;
+    }
+    switch (filter.op) {
+        case FilterOp::kExists: return true;
+        case FilterOp::kEq: return literal_equals(node, filter.literal);
+        case FilterOp::kNe: return !literal_equals(node, filter.literal);
+        case FilterOp::kLt: {
+            auto order = literal_order(node, filter.literal);
+            return order.has_value() && *order < 0;
+        }
+        case FilterOp::kLe: {
+            auto order = literal_order(node, filter.literal);
+            return order.has_value() && *order <= 0;
+        }
+        case FilterOp::kGt: {
+            auto order = literal_order(node, filter.literal);
+            return order.has_value() && *order > 0;
+        }
+        case FilterOp::kGe: {
+            auto order = literal_order(node, filter.literal);
+            return order.has_value() && *order >= 0;
+        }
+    }
+    return false;
+}
+
+}  // namespace descend::project

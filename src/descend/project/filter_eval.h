@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Lazy filter evaluation: the streaming engines' side of the filter
+ * selector contract (DESIGN.md §4.12).
+ *
+ * When a query carries a trailing `[?(...)]` predicate, the automaton
+ * reaches candidate-accepting states through a wildcard arc; before a
+ * candidate offset is reported, its span is extended (span.h) and the
+ * predicate is evaluated over a LazyValue view of exactly that span —
+ * sibling subtrees inside the candidate are mask-skipped, and only the
+ * compared leaf is ever parsed. The DOM-side mirror of this evaluation is
+ * query::FilterExpr::matches; semantics_test pins the two against each
+ * other, and the contract is:
+ *
+ *  - a field chain that fails to resolve makes the predicate false for
+ *    every operator (including !=),
+ *  - ordering is defined for number/number (numeric) and string/string
+ *    (bytewise on unescaped contents); every cross-type comparison is
+ *    false, and != is the exact negation of ==,
+ *  - malformed leaf content (possible on structurally-valid but
+ *    grammatically-broken documents the DOM oracle would reject) makes
+ *    the predicate false instead of throwing — engine runs never throw
+ *    on document content.
+ */
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "descend/engine/padded_string.h"
+#include "descend/obs/counters.h"
+#include "descend/project/lazy_value.h"
+#include "descend/project/span.h"
+#include "descend/query/query.h"
+#include "descend/simd/dispatch.h"
+
+namespace descend::project {
+
+/** Evaluates @p filter over one candidate value (the lazy mirror of
+ *  query::FilterExpr::matches). */
+bool filter_admits(const query::FilterExpr& filter, const LazyValue& candidate);
+
+/**
+ * The engines' report-path gate: turns a match offset into a candidate
+ * LazyValue (span extension) and evaluates the predicate. One gate serves
+ * all matches of a run — the extender's block ring warms across nearby
+ * candidates.
+ */
+class FilterGate {
+public:
+    FilterGate(const query::FilterExpr& filter, PaddedView document,
+               const simd::Kernels& kernels, obs::Counters* counters = nullptr)
+        : filter_(&filter),
+          document_(document),
+          kernels_(&kernels),
+          counters_(counters),
+          extender_(document, kernels, counters)
+    {
+    }
+
+    /** True when the candidate starting at @p offset passes the filter. */
+    bool admits(std::size_t offset)
+    {
+        ValueSpan span = extender_.extend(offset);
+        LazyValue candidate(document_, span, *kernels_, counters_);
+        return filter_admits(*filter_, candidate);
+    }
+
+private:
+    const query::FilterExpr* filter_;
+    PaddedView document_;
+    const simd::Kernels* kernels_;
+    obs::Counters* counters_;
+    SpanExtender extender_;
+};
+
+}  // namespace descend::project

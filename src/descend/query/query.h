@@ -4,10 +4,21 @@
  *
  *     e ::= $ | e.label | e.* | e..label
  *
- * plus two flagged extensions: descendant wildcard `..*` (supported by
- * rsonpath) and array index selectors `[n]` (the paper's Section 6
- * "near future" feature). Bracket notation ['label'], ["label"], [*] and
- * [n] parses to the same selectors as the dot forms.
+ * plus the counter/filter extensions (the paper's Section 6 "near future"
+ * features, grounded in the JSON query-languages survey):
+ *
+ *  - descendant wildcard `..*` (supported by rsonpath),
+ *  - array index selectors `[n]`,
+ *  - array slice selectors `[a:b]` / `[a:]` (step 1 only),
+ *  - name unions `['a','b']` (multi-label edges, node semantics),
+ *  - comparison filters `[?(@.path <op> literal)]` and existence filters
+ *    `[?(@.path)]`, restricted to the final selector position.
+ *
+ * Bracket notation ['label'], ["label"], [*] and [n] parses to the same
+ * selectors as the dot forms; `Query::to_string()` renders the canonical
+ * spelling (dot form for bare labels, single-quoted brackets otherwise),
+ * so equal queries in different spellings share one canonical string —
+ * the key used by multi-query dedup and the serve compiled-query cache.
  *
  * Labels are stored in two forms: the unescaped text, and the *comparison
  * form* — the minimally-JSON-escaped bytes, which is what appears between
@@ -23,6 +34,10 @@
 #include <string_view>
 #include <vector>
 
+namespace descend::json {
+class Value;
+}
+
 namespace descend::query {
 
 enum class SelectorKind : std::uint8_t {
@@ -30,9 +45,64 @@ enum class SelectorKind : std::uint8_t {
     kChild,               ///< .label
     kChildWildcard,       ///< .*
     kChildIndex,          ///< [n]           (extension)
+    kChildSlice,          ///< [a:b]         (extension; step 1 only)
+    kChildUnion,          ///< ['a','b']     (extension)
+    kChildFilter,         ///< [?(...)]      (extension; final selector only)
     kDescendant,          ///< ..label
     kDescendantWildcard,  ///< ..*           (extension)
 };
+
+/** A label in both stored forms (see file comment). */
+struct LabelRef {
+    std::string text;     ///< unescaped label text
+    std::string escaped;  ///< minimally-escaped comparison form
+};
+
+/** Comparison operator of a filter selector. */
+enum class FilterOp : std::uint8_t {
+    kExists,  ///< bare `@.path` — the field chain resolves
+    kEq,      ///< ==
+    kNe,      ///< !=
+    kLt,      ///< <
+    kLe,      ///< <=
+    kGt,      ///< >
+    kGe,      ///< >=
+};
+
+/**
+ * The right-hand-side literal of a filter comparison. Numbers are parsed
+ * ONCE at query-compile time through the strict JSON number grammar, so
+ * `1`, `1.0` and `1e0` are the same literal — comparisons are numeric,
+ * never textual. Strings are stored unescaped (both evaluators compare
+ * unescaped contents).
+ */
+struct FilterLiteral {
+    enum class Kind : std::uint8_t { kNone, kNumber, kString, kBool, kNull };
+    Kind kind = Kind::kNone;
+    double number = 0;
+    std::string string;
+    bool boolean = false;
+};
+
+/**
+ * A filter predicate `@.step1.step2 <op> literal`. The field chain is
+ * navigated from the candidate node; a chain that fails to resolve makes
+ * the predicate false for every operator (including !=). Ordering
+ * operators are defined for number/number (numeric) and string/string
+ * (bytewise on unescaped contents) pairs; every cross-type comparison is
+ * false, and != is the exact negation of ==.
+ */
+struct FilterExpr {
+    std::vector<LabelRef> steps;  ///< field chain after `@`
+    FilterOp op = FilterOp::kExists;
+    FilterLiteral literal;
+
+    /** DOM-side evaluation — the oracle the lazy path is tested against. */
+    bool matches(const json::Value& candidate) const;
+};
+
+/** Sentinel upper bound of an open-ended slice `[a:]`. */
+inline constexpr std::uint64_t kSliceUnbounded = ~std::uint64_t{0};
 
 struct Selector {
     SelectorKind kind;
@@ -42,11 +112,29 @@ struct Selector {
     std::string label_escaped;
     /** Array index (kChildIndex only). */
     std::uint64_t index = 0;
+    /** Slice bounds: admits entries in [slice_lo, slice_hi)
+     *  (kChildSlice only; slice_hi == kSliceUnbounded when open). */
+    std::uint64_t slice_lo = 0;
+    std::uint64_t slice_hi = 0;
+    /** Union members, sorted + deduplicated by escaped form
+     *  (kChildUnion only; always >= 2 members — a singleton collapses
+     *  to kChild during parsing). */
+    std::vector<LabelRef> union_members;
+    /** Filter predicate (kChildFilter only). */
+    FilterExpr filter;
 
     bool is_descendant() const noexcept
     {
         return kind == SelectorKind::kDescendant ||
                kind == SelectorKind::kDescendantWildcard;
+    }
+
+    /** True for selectors that admit children by array position, which the
+     *  engine realizes with per-depth entry counters. */
+    bool needs_entry_counter() const noexcept
+    {
+        return kind == SelectorKind::kChildIndex ||
+               kind == SelectorKind::kChildSlice;
     }
 };
 
@@ -65,13 +153,20 @@ public:
     /** True if any selector is a descendant selector. */
     bool has_descendants() const noexcept;
 
-    /** True if any selector is an index selector (extension). */
+    /** True if any selector guards children by array position (index or
+     *  slice) — the engine then tracks array-entry counters. */
     bool has_indices() const noexcept;
+
+    /** The trailing filter predicate, or nullptr when the query has none
+     *  (the parser admits filters only in final position). */
+    const FilterExpr* filter() const noexcept;
 
     /** The original query text. */
     const std::string& text() const noexcept { return text_; }
 
-    /** Canonical dot/bracket rendering of the parsed query. */
+    /** Canonical dot/bracket rendering of the parsed query: a fixpoint of
+     *  parse ∘ to_string, so equal queries in different spellings render
+     *  identically (multi-query dedup and serve cache keys rely on it). */
     std::string to_string() const;
 
 private:

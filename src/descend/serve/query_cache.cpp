@@ -81,7 +81,13 @@ std::string QueryCache::make_key(RequestMode mode, const std::string& query,
     if (is_multi) {
         key += canonical_query_set(query);
     } else {
-        key += query;
+        // Same canonicalization (and same unparseable-text fallback) for
+        // the single-query classes: $.a, $['a'] and $["a"] are one entry.
+        try {
+            key += query::Query::parse(query).to_string();
+        } catch (const QueryError&) {
+            key += query;
+        }
     }
     return key;
 }

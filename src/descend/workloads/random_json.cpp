@@ -62,7 +62,12 @@ private:
     void atom()
     {
         switch (rng_.below(5)) {
-            case 0: out_.append(std::to_string(rng_.below(100000))); break;
+            // Small integers are drawn often enough that filter equality
+            // predicates over the 0..3 literal range actually fire.
+            case 0:
+                out_.append(std::to_string(
+                    rng_.below(rng_.chance(40) ? 5 : 100000)));
+                break;
             case 1: out_.append("-").append(std::to_string(rng_.below(1000)));
                     out_.append(".5"); break;
             case 2: out_.append(rng_.chance(50) ? "true" : "false"); break;
@@ -144,33 +149,74 @@ std::string random_json(const RandomJsonOptions& options)
 }
 
 std::string random_query(std::uint64_t seed, int label_pool, int max_selectors,
-                         bool allow_indices)
+                         bool allow_indices, bool extended_selectors)
 {
     Rng rng(seed);
+    auto label = [&] {
+        return std::string(1,
+                           static_cast<char>('a' + rng.below(label_pool)));
+    };
     std::string query = "$";
     std::uint64_t selectors = rng.between(1, static_cast<std::uint64_t>(max_selectors));
     for (std::uint64_t s = 0; s < selectors; ++s) {
-        switch (rng.below(allow_indices ? 6 : 5)) {
+        std::uint64_t arms = allow_indices ? (extended_selectors ? 9 : 6) : 5;
+        switch (rng.below(arms)) {
             case 0:
-            case 1:
-                query += "." + std::string(1, static_cast<char>(
-                                                  'a' + rng.below(label_pool)));
-                break;
-            case 2:
-                query += ".." + std::string(1, static_cast<char>(
-                                                   'a' + rng.below(label_pool)));
-                break;
+            case 1: query += "." + label(); break;
+            case 2: query += ".." + label(); break;
             case 3: query += ".*"; break;
             case 4:
                 if (rng.chance(35)) {
                     query += "..*";
                 } else {
-                    query += ".." + std::string(1, static_cast<char>(
-                                                       'a' + rng.below(label_pool)));
+                    query += ".." + label();
                 }
                 break;
-            default: query += "[" + std::to_string(rng.below(4)) + "]"; break;
+            case 5: query += "[" + std::to_string(rng.below(4)) + "]"; break;
+            case 6: {
+                // Slice; sometimes open-ended, sometimes empty (hi <= lo).
+                std::uint64_t lo = rng.below(4);
+                query += "[" + std::to_string(lo) + ":";
+                if (!rng.chance(30)) {
+                    query += std::to_string(rng.below(6));
+                }
+                query += "]";
+                break;
+            }
+            case 7: {
+                // Union of 2..3 quoted labels; duplicates allowed (the
+                // parser dedups, exercising canonicalization).
+                query += "['" + label() + "'";
+                std::uint64_t extra = rng.between(1, 2);
+                for (std::uint64_t m = 0; m < extra; ++m) {
+                    query += ",'" + label() + "'";
+                }
+                query += "]";
+                break;
+            }
+            default:
+                // Bracket-quoted spelling of a plain child: same
+                // semantics as the dot form, distinct surface syntax.
+                query += "['" + label() + "']";
+                break;
         }
+    }
+    if (extended_selectors && rng.chance(30)) {
+        // Trailing filter (the grammar allows filters only in final
+        // position): existence, numeric and string comparisons.
+        query += "[?(@." + label();
+        if (rng.chance(20)) {
+            query += "." + label();
+        }
+        switch (rng.below(6)) {
+            case 0: break;
+            case 1: query += "==" + std::to_string(rng.below(4)); break;
+            case 2: query += "!='s" + std::to_string(rng.below(3)) + "'"; break;
+            case 3: query += "<" + std::to_string(rng.below(4)) + ".5"; break;
+            case 4: query += "<=" + std::to_string(rng.below(4)) + "e0"; break;
+            default: query += ">=" + std::to_string(rng.below(4)); break;
+        }
+        query += ")]";
     }
     return query;
 }

@@ -39,8 +39,12 @@ struct RandomJsonOptions {
 std::string random_json(const RandomJsonOptions& options);
 
 /** Generates a random query over the same label vocabulary, mixing child,
- *  descendant, wildcard and (when @p allow_indices) index selectors. */
+ *  descendant, wildcard and (when @p allow_indices) index selectors. With
+ *  @p extended_selectors the mix additionally draws slices, quoted-label
+ *  unions, bracket-quoted spellings of plain children, and (with some
+ *  probability) a trailing filter predicate — always within the supported
+ *  grammar, so every generated query parses. */
 std::string random_query(std::uint64_t seed, int label_pool, int max_selectors,
-                         bool allow_indices);
+                         bool allow_indices, bool extended_selectors = false);
 
 }  // namespace descend::workloads

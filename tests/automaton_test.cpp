@@ -320,6 +320,86 @@ TEST(StateFlags, IndexTransitions)
     EXPECT_TRUE(cq.flags(s0).comma_toggle);
 }
 
+TEST(Alphabet, IntervalPartitionOfIndexSpace)
+{
+    // $[2][1:4].a[6:]: selector bounds {1, 2, 3, 4, 6} partition the
+    // covered index space into four cells — [1,2), [2,3), [3,4), [6,inf).
+    // [4,6) is covered by no selector and gets NO symbol.
+    auto cq = compile("$[2][1:4].a[6:]");
+    const Alphabet& alphabet = cq.alphabet();
+    EXPECT_EQ(alphabet.num_labels(), 1);
+    EXPECT_EQ(alphabet.num_indices(), 4);
+    EXPECT_EQ(alphabet.index_symbol(4), alphabet.other_symbol());
+    EXPECT_EQ(alphabet.index_symbol(5), alphabet.other_symbol());
+    // The open tail is one cell: 6 and 100 share a symbol.
+    EXPECT_EQ(alphabet.index_symbol(6), alphabet.index_symbol(100));
+    EXPECT_NE(alphabet.index_symbol(6), alphabet.other_symbol());
+    // A slice guard is exactly a run of whole cells.
+    EXPECT_EQ(alphabet.symbols_in_range(1, 4).size(), 3u);
+    EXPECT_EQ(alphabet.symbols_in_range(1, 4),
+              (std::vector<int>{alphabet.index_symbol(1),
+                                alphabet.index_symbol(2),
+                                alphabet.index_symbol(3)}));
+    // Representative index round-trips through the cell.
+    EXPECT_EQ(alphabet.index(alphabet.index_symbol(2)), 2u);
+    EXPECT_TRUE(alphabet.interval(alphabet.index_symbol(6)).contains(1u << 20));
+}
+
+TEST(StateFlags, SliceTransitions)
+{
+    // $[1:3]: a single slice interns ONE cell [1,3); entries 1 and 2 map
+    // to the same symbol and the same accepting successor.
+    auto cq = compile("$[1:3]");
+    EXPECT_TRUE(cq.has_indices());
+    const Alphabet& alphabet = cq.alphabet();
+    EXPECT_EQ(alphabet.num_indices(), 1);
+    EXPECT_EQ(alphabet.index_symbol(1), alphabet.index_symbol(2));
+    int s0 = cq.initial_state();
+    EXPECT_TRUE(cq.flags(cq.transition(s0, alphabet.index_symbol(1))).accepting);
+    EXPECT_TRUE(cq.flags(cq.fallback(s0)).rejecting);
+    EXPECT_TRUE(cq.flags(s0).comma_toggle);
+}
+
+TEST(Dfa, EmptySliceIsUnsatisfiable)
+{
+    // $[5:2] parses but covers nothing: no index cells, and the automaton's
+    // language is empty (the initial state is already rejecting after
+    // minimization folds the dead chain).
+    auto cq = compile("$[5:2]");
+    EXPECT_EQ(cq.alphabet().num_indices(), 0);
+    EXPECT_TRUE(cq.flags(cq.initial_state()).rejecting);
+}
+
+TEST(Dfa, UnionMembersShareTheSuccessorState)
+{
+    // $['a','b'].c: both member labels are multi-label edges into ONE
+    // successor — the union does not duplicate the suffix automaton.
+    auto cq = compile("$['a','b'].c");
+    const Alphabet& alphabet = cq.alphabet();
+    int s0 = cq.initial_state();
+    int via_a = cq.transition(s0, alphabet.label_symbol("a"));
+    int via_b = cq.transition(s0, alphabet.label_symbol("b"));
+    EXPECT_EQ(via_a, via_b);
+    EXPECT_FALSE(cq.flags(via_a).rejecting);
+    EXPECT_TRUE(
+        cq.flags(cq.transition(via_a, alphabet.label_symbol("c"))).accepting);
+    EXPECT_TRUE(cq.flags(cq.fallback(s0)).rejecting);
+}
+
+TEST(Dfa, FilterArcIsWildcardAtTheAutomatonLevel)
+{
+    // $.a[?(@.x>1)]: the filter guard is report-time; the automaton sees a
+    // wildcard arc, and the predicate survives compilation for the engine.
+    auto cq = compile("$.a[?(@.x>1)]");
+    ASSERT_NE(cq.filter(), nullptr);
+    const Alphabet& alphabet = cq.alphabet();
+    int s1 = cq.transition(cq.initial_state(), alphabet.label_symbol("a"));
+    EXPECT_TRUE(cq.flags(cq.transition(s1, alphabet.other_symbol())).accepting);
+    EXPECT_TRUE(cq.flags(s1).comma_toggle);
+    // Filter-free queries expose no predicate.
+    EXPECT_EQ(compile("$.a.b").filter(), nullptr);
+}
+
 /** Language equivalence of raw and minimized DFAs on random label paths,
  *  and agreement with a direct NFA subset simulation — for random queries. */
 TEST(Dfa, MinimizationPreservesLanguageOnRandomQueries)
@@ -327,7 +407,8 @@ TEST(Dfa, MinimizationPreservesLanguageOnRandomQueries)
     workloads::Rng rng(0x5eed);
     for (int trial = 0; trial < 120; ++trial) {
         std::string text = workloads::random_query(
-            static_cast<std::uint64_t>(trial) + 1, 4, 6, /*allow_indices=*/true);
+            static_cast<std::uint64_t>(trial) + 1, 4, 6, /*allow_indices=*/true,
+            /*extended_selectors=*/trial % 2 == 1);
         auto parsed = query::Query::parse(text);
         Nfa nfa = Nfa::from_query(parsed);
         Dfa raw = Dfa::determinize(nfa);

@@ -164,6 +164,60 @@ TEST(EngineIndices, IndexChains)
     expect_count("$[2]", R"([{"x": 1}, [2], "three", 4])", 1);
 }
 
+TEST(EngineIndices, SkippedSiblingsDoNotDesyncCounters)
+{
+    // Regression battery for the skip/counter interaction: a child-skipped
+    // `[...]` or `{...}` sibling hides its internal commas from the event
+    // stream, and the entry counter must still account the ONE comma that
+    // separates it from the next entry — a desynced counter silently
+    // shifts every later index. expect_count cross-checks all skip
+    // configurations at every SIMD tier against the DOM oracle.
+    expect_count("$[2]", R"([[9, 9, 9], {"a": [1, 2]}, 42])", 1);
+    expect_count("$[2]", R"([{"deep": [[1, 2], [3, 4]]}, [5, 6], 7, 8])", 1);
+    expect_count("$[1].b", R"([{"b": 1, "z": [9, 9]}, {"b": 2}, {"b": 3}])", 1);
+    expect_count("$[3]", R"([[", [fake"], {"s": "], fake]"}, [], 13])", 1);
+    expect_count("$.a[1][1]", R"({"a": [[1, 2], [3, 4]]})", 1);
+    expect_count("$[0]", R"([{"x": [1, 2, 3]}, [4, 5], 6])", 1);
+}
+
+TEST(EngineSlices, SliceSelectorsAcrossSkips)
+{
+    expect_count("$[2:4]", R"([[1, 2], [3, 4], [5, 6], [7, 8], [9, 10]])", 2);
+    expect_count("$[1:]..b", R"([{"b": 0}, {"x": {"b": 1}}, {"b": 2}])", 2);
+    expect_count("$.a[0:2].b",
+                 R"({"a": [{"b": 1}, {"c": [9, 9], "b": 2}, {"b": 3}]})", 2);
+    // Counter state is per depth: a nested array restarts at entry 0.
+    expect_count("$[1:][1:]", R"([[1, 2, 3], [4, 5], [6, 7, 8]])", 3);
+    expect_count("$[0:]", R"([])", 0);
+    expect_count("$[0:]", R"([[]])", 1);
+}
+
+TEST(EngineUnions, UnionSelectors)
+{
+    expect_count("$['a','c']", R"({"a": 1, "b": 2, "c": 3})", 2);
+    expect_count("$['a','c'].x", R"({"a": {"x": 1}, "c": {"y": 2}})", 1);
+    expect_count("$.*['p','q']",
+                 R"({"l": {"p": 1}, "m": {"q": 2}, "n": {"r": 3}})", 2);
+    expect_count(R"($['he said \"hi\"','plain'])",
+                 R"({"he said \"hi\"": 1, "plain": 2, "other": 3})", 2);
+    expect_count("$['a','b']['a','b']",
+                 R"({"a": {"b": 1}, "b": {"c": 2}})", 1);
+}
+
+TEST(EngineFilters, FilterSelectors)
+{
+    expect_count("$.a[?(@.x>2)]",
+                 R"({"a": [{"x": 1}, {"x": 3}, {"x": 10}]})", 2);
+    // Filter candidates can be large containers; the predicate's span
+    // extension and lazy field walk must cope with nested noise.
+    expect_count("$[?(@.k==1)]",
+                 R"([{"pad": [[1, 2], {"k": 9}], "k": 1}, {"k": 2}])", 1);
+    expect_count("$..l[?(@.x)]",
+                 R"({"l": [{"x": 1}], "d": {"l": [{"y": 2}, {"x": 3}]}})", 2);
+    // Wildcard-guarded candidates: atoms fail the field walk gracefully.
+    expect_count("$[?(@.x)]", R"([1, "x", null, {"x": 0}, [5]])", 1);
+}
+
 TEST(EngineStrings, StructuralCharactersInsideStrings)
 {
     expect_count("$.a", R"({"x": "}{][,:", "a": 1})", 1);

@@ -301,6 +301,73 @@ TEST(MultiEngine, IndexSelectorsAcrossLanes)
                     .any_counting());
 }
 
+TEST(MultiQueryCompile, SpellingVariantsDedupToOneLane)
+{
+    // Canonicalization keys dedup: dot form, single- and double-quoted
+    // bracket forms of the same path share one distinct slot.
+    MultiQuery set = MultiQuery::compile(
+        std::vector<std::string>{"$.a", "$['a']", "$[\"a\"]"});
+    EXPECT_EQ(set.size(), 3u);
+    EXPECT_EQ(set.num_distinct(), 1u);
+    EXPECT_EQ(set.owners(0).size(), 3u);
+}
+
+TEST(MultiQueryCompile, SlicesMarkTheSetCounting)
+{
+    EXPECT_TRUE(MultiQuery::compile(std::vector<std::string>{"$.a[1:3]", "$.b"})
+                    .any_counting());
+    EXPECT_TRUE(MultiQuery::compile(std::vector<std::string>{"$['x','y']",
+                                                             "$.a[2:]"})
+                    .any_counting());
+    EXPECT_FALSE(
+        MultiQuery::compile(std::vector<std::string>{"$['x','y']", "$..b"})
+            .any_counting());
+}
+
+TEST(MultiEngine, ExtendedSelectorsAcrossBackends)
+{
+    // Slices, unions, spelling variants and plain indices fused together;
+    // both backends must reproduce N independent runs exactly.
+    std::string document = R"({
+        "a": [{"x": 1}, {"x": 2}, {"x": 3}, {"x": 4}],
+        "c": {"a": [10, 20, 30]},
+        "x": 5
+    })";
+    expect_fused_matches_independent(
+        {"$.a[1:3]", "$['a','c']", "$.a[0]", "$..x", "$['a'][2].x"}, document);
+    // Overlapping slice/index guards over one shared alphabet: the union
+    // boundary set refines each lane's own cells.
+    expect_fused_matches_independent(
+        {"$.a[0:2]", "$.a[1:4]", "$.a[2]", "$.a[1:]"}, document);
+}
+
+TEST(MultiEngine, FilterSetsFallBackToLanes)
+{
+    // The product backend refuses filter selectors (report-time predicates
+    // are per-lane state); kAuto must degrade to lanes, and lanes must
+    // agree with independent runs.
+    std::vector<std::string> queries{"$.a[?(@.x>2)]", "$..x"};
+    std::string document =
+        R"({"a": [{"x": 1}, {"x": 3}, {"x": 9}], "b": {"x": 7}})";
+    PaddedString padded(document);
+    EngineOptions options;
+    EXPECT_THROW(
+        multi::make_fused_engine(queries, options, FusedBackend::kProduct),
+        LimitError);
+    std::vector<std::vector<std::size_t>> expected =
+        independent_offsets(queries, padded, options);
+    for (FusedBackend backend : {FusedBackend::kLanes, FusedBackend::kAuto}) {
+        SCOPED_TRACE("backend: " + backend_label(backend));
+        std::unique_ptr<multi::FusedEngine> fused =
+            multi::make_fused_engine(queries, options, backend);
+        CollectingMultiSink sink(queries.size());
+        ASSERT_EQ(fused->run(padded, sink), EngineStatus{});
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            EXPECT_EQ(sink.offsets(q), expected[q]) << "query: " << queries[q];
+        }
+    }
+}
+
 TEST(MultiEngine, GeneratedDatasetMixes)
 {
     // Realistic multi-block documents: head-skip-able descendant queries

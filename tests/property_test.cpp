@@ -63,7 +63,8 @@ TEST_P(PropertyTest, AllEnginesAgreeOnRandomInputs)
         for (int q = 0; q < 6; ++q) {
             std::string query = workloads::random_query(
                 options.seed * 131 + static_cast<std::uint64_t>(q),
-                options.label_pool, 5, /*allow_indices=*/true);
+                options.label_pool, 5, /*allow_indices=*/true,
+                /*extended_selectors=*/q % 2 == 1);
             testing::expect_all_engines_agree(query, document);
         }
     }

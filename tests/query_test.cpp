@@ -139,6 +139,133 @@ TEST(QueryParser, DescendantIndexUnsupported)
     EXPECT_THROW(Query::parse("$..[3]"), QueryError);
 }
 
+TEST(QueryParser, QuotedBracketIsCanonicalChildSugar)
+{
+    // $['a'] and $["a"] are surface spellings of $.a: same selector, one
+    // canonical rendering — so multi-query dedup and serve cache keys
+    // treat them as the same query.
+    Query bracket = Query::parse("$['a']");
+    ASSERT_EQ(bracket.size(), 1u);
+    EXPECT_EQ(bracket.selectors()[1].kind, SelectorKind::kChild);
+    EXPECT_EQ(bracket.to_string(), "$.a");
+    EXPECT_EQ(Query::parse(R"($["a"])").to_string(), "$.a");
+    EXPECT_EQ(Query::parse("$.a").to_string(), bracket.to_string());
+}
+
+TEST(QueryParser, CanonicalStringsDoNotCollide)
+{
+    // Regression: to_string used to render every child selector in dot
+    // form, so $['a.b'] printed as "$.a.b" — which re-parses as TWO
+    // selectors. Canonical strings key multi-query dedup and the serve
+    // cache; a collision silently merges distinct queries.
+    Query dotted = Query::parse("$['a.b']");
+    ASSERT_EQ(dotted.size(), 1u);
+    EXPECT_EQ(dotted.to_string(), "$['a.b']");
+    EXPECT_EQ(Query::parse(dotted.to_string()).size(), 1u);
+    EXPECT_NE(dotted.to_string(), Query::parse("$.a.b").to_string());
+}
+
+TEST(QueryParser, ToStringIsAFixpointOfParse)
+{
+    for (const char* text :
+         {"$", "$.a..b.*..*", "$['a.b']", "$['a b']",
+          R"($['he said \"hi\"'])", "$['*']", R"($['a\\b'])",
+          "$['tab\\there']", "$[0]", "$[3][7]", "$[1:4]", "$[2:]", "$[:]",
+          "$['a','b']", "$['b','a','c']..x", "$.a[?(@.b.c<10)]",
+          "$.a[?(@.x=='s')]", "$..y[?(@.z)]", "$[?(@.a!=true)]",
+          "$[?(@.a==null)]", "$[?(@.a>=2.5)]"}) {
+        Query q = Query::parse(text);
+        std::string canonical = q.to_string();
+        EXPECT_EQ(Query::parse(canonical).to_string(), canonical)
+            << "source: " << text;
+    }
+}
+
+TEST(QueryParser, SliceSelectors)
+{
+    Query q = Query::parse("$[1:4]");
+    ASSERT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.selectors()[1].kind, SelectorKind::kChildSlice);
+    EXPECT_EQ(q.selectors()[1].slice_lo, 1u);
+    EXPECT_EQ(q.selectors()[1].slice_hi, 4u);
+    EXPECT_TRUE(q.has_indices());
+    EXPECT_EQ(q.to_string(), "$[1:4]");
+
+    Query open = Query::parse("$[2:]");
+    EXPECT_EQ(open.selectors()[1].slice_lo, 2u);
+    EXPECT_EQ(open.selectors()[1].slice_hi, kSliceUnbounded);
+    EXPECT_EQ(open.to_string(), "$[2:]");
+
+    // Lo defaults to 0; an explicit unit step is accepted and canonically
+    // dropped; an empty slice parses (it just selects nothing).
+    EXPECT_EQ(Query::parse("$[:3]").to_string(), "$[0:3]");
+    EXPECT_EQ(Query::parse("$[:]").to_string(), "$[0:]");
+    EXPECT_EQ(Query::parse("$[1:4:1]").to_string(), "$[1:4]");
+    EXPECT_EQ(Query::parse("$[ 1 : 4 ]").to_string(), "$[1:4]");
+    EXPECT_EQ(Query::parse("$[5:2]").to_string(), "$[5:2]");
+}
+
+TEST(QueryParser, UnionSelectors)
+{
+    Query q = Query::parse("$['b','a','b']");
+    ASSERT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.selectors()[1].kind, SelectorKind::kChildUnion);
+    // Members are a set: sorted and deduplicated.
+    ASSERT_EQ(q.selectors()[1].union_members.size(), 2u);
+    EXPECT_EQ(q.selectors()[1].union_members[0].text, "a");
+    EXPECT_EQ(q.selectors()[1].union_members[1].text, "b");
+    EXPECT_EQ(q.to_string(), "$['a','b']");
+    EXPECT_EQ(Query::parse("$['a','b']").to_string(),
+              Query::parse("$['b','a']").to_string());
+
+    // A union that collapses to one member is a plain child selector.
+    Query collapsed = Query::parse("$['a','a']");
+    EXPECT_EQ(collapsed.selectors()[1].kind, SelectorKind::kChild);
+    EXPECT_EQ(collapsed.to_string(), "$.a");
+}
+
+TEST(QueryParser, FilterSelectors)
+{
+    Query q = Query::parse("$.a[?(@.b.c>=1.5)]");
+    ASSERT_NE(q.filter(), nullptr);
+    EXPECT_EQ(q.filter()->op, FilterOp::kGe);
+    ASSERT_EQ(q.filter()->steps.size(), 2u);
+    EXPECT_EQ(q.filter()->steps[0].text, "b");
+    EXPECT_EQ(q.filter()->steps[1].text, "c");
+    EXPECT_EQ(q.filter()->literal.kind, FilterLiteral::Kind::kNumber);
+    EXPECT_EQ(q.to_string(), "$.a[?(@.b.c>=1.5)]");
+
+    EXPECT_EQ(Query::parse("$[?(@.x)]").filter()->op, FilterOp::kExists);
+    EXPECT_EQ(Query::parse("$[?(@['k 1']=='v')]").to_string(),
+              "$[?(@['k 1']=='v')]");
+    EXPECT_EQ(Query::parse("$[?( @.x == 2 )]").to_string(), "$[?(@.x==2)]");
+}
+
+TEST(QueryParser, FilterNumericLiteralsCompareNumerically)
+{
+    // Regression: 1, 1.0 and 1e0 are one number. Literals are parsed once
+    // at compile time through the strict JSON grammar, so every spelling
+    // lands on the same canonical rendering (and the same predicate).
+    std::string canonical = Query::parse("$.a[?(@.x==1)]").to_string();
+    EXPECT_EQ(Query::parse("$.a[?(@.x==1.0)]").to_string(), canonical);
+    EXPECT_EQ(Query::parse("$.a[?(@.x==1e0)]").to_string(), canonical);
+    EXPECT_EQ(Query::parse("$.a[?(@.x==10e-1)]").to_string(), canonical);
+    EXPECT_EQ(Query::parse("$.a[?(@.x==0.25e1)]").to_string(),
+              Query::parse("$.a[?(@.x==2.5)]").to_string());
+}
+
+TEST(QueryParser, RejectsUnsupportedSelectorForms)
+{
+    for (const char* bad :
+         {"$[-1]", "$[1.5]", "$[1:-1]", "$[-2:]", "$[1:4:2]", "$[1:4:0]",
+          "$..[1:2]", "$..['a','b']", "$..[?(@.x)]", "$.a[?(@.x)].y",
+          "$[?(@..x)]", "$[?(@.x==01)]", "$[?(@.x==+1)]", "$[?(@.x==1.)]",
+          "$['a',]", "$['a',3]", "$[1:4", "$[?(@.x>)]", "$[?(@.x=1)]",
+          "$[?(@)]==1", "$[?(@.x==tru)]", "$[?(@.x==nulll)]"}) {
+        EXPECT_THROW(Query::parse(bad), QueryError) << "query: " << bad;
+    }
+}
+
 TEST(QueryParser, ErrorsCarryPositions)
 {
     try {

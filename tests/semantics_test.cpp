@@ -13,6 +13,7 @@
 #include "descend/baselines/dom_engine.h"
 #include "descend/descend.h"
 #include "descend/json/dom.h"
+#include "test_helpers.h"
 
 namespace descend {
 namespace {
@@ -84,6 +85,115 @@ TEST(Semantics, ExponentialPathMultiplicity)
     json::Document dom = json::parse(document);
     DomEngine oracle(query::Query::parse("$..a..b"));
     EXPECT_EQ(oracle.evaluate_path_semantics(dom.root()).size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Extended-selector semantics rows (DESIGN.md §4.12): each row states the
+// expected match count explicitly; expect_count asserts the DOM oracle
+// agrees with the stated count AND that every streaming configuration at
+// every SIMD tier (plus the surfer baseline) reproduces the oracle's
+// offsets exactly. The filter rows pin the lazy-evaluation contract to
+// the DOM-side mirror.
+// ---------------------------------------------------------------------
+
+using testing::expect_count;
+
+TEST(SelectorSemantics, SliceRows)
+{
+    const char* array = R"([10, [11], {"x": 12}, 13, 14])";
+    expect_count("$[1:3]", array, 2);
+    expect_count("$[0:1]", array, 1);
+    expect_count("$[2:]", array, 3);
+    expect_count("$[:]", array, 5);
+    expect_count("$[0:100]", array, 5);   // hi past the end: clipped
+    expect_count("$[5:9]", array, 0);     // out of bounds entirely
+    expect_count("$[3:3]", array, 0);     // empty slice
+    expect_count("$[5:2]", array, 0);     // empty slice, hi < lo
+    expect_count("$[9]", array, 0);       // out-of-bounds index
+    expect_count("$[1:3]", R"({"0": 1, "1": 2, "2": 3})", 0);  // objects don't count
+    expect_count("$.a[1:].b", R"({"a": [{"b": 1}, {"b": 2}, {"c": 3}, {"b": 4}]})", 2);
+    expect_count("$[0:2][1:]", R"([[1, 2, 3], [4], [5, 6]])", 2);
+}
+
+TEST(SelectorSemantics, UnionRows)
+{
+    const char* doc = R"({"a": 1, "b": {"a": 2}, "c": [3], "d": 4})";
+    expect_count("$['a','c']", doc, 2);
+    expect_count("$['a','z']", doc, 1);
+    expect_count("$['x','y']", doc, 0);
+    expect_count("$['b','c'].a", doc, 1);
+    expect_count("$.*['a','d']", doc, 1);  // nested a under b
+    expect_count("$['a','b','c','d']", doc, 4);
+}
+
+TEST(SelectorSemantics, FilterExistenceAndComparisons)
+{
+    const char* doc =
+        R"([{"x": 1}, {"x": 2, "y": 5}, {"y": 7}, {"x": "2"}, 3, [4]])";
+    expect_count("$[?(@.x)]", doc, 3);          // existence, any type
+    expect_count("$[?(@.x==2)]", doc, 1);       // "2" (string) is not 2
+    expect_count("$[?(@.x!=2)]", doc, 2);       // != only among resolvable
+    expect_count("$[?(@.x<2)]", doc, 1);
+    expect_count("$[?(@.x<=2)]", doc, 2);
+    expect_count("$[?(@.x>1)]", doc, 1);
+    expect_count("$[?(@.x>='1')]", doc, 1);     // string/string ordering
+    expect_count("$[?(@.z==1)]", doc, 0);       // unresolved chain: false
+    expect_count("$[?(@.z!=1)]", doc, 0);       // ... including for !=
+}
+
+TEST(SelectorSemantics, FilterNumericLiteralSpellings)
+{
+    // 1, 1.0 and 1e0 are the same number; document spellings too.
+    const char* doc = R"([{"x": 1}, {"x": 1.0}, {"x": 1e0}, {"x": 10e-1}, {"x": 10}])";
+    expect_count("$[?(@.x==1)]", doc, 4);
+    expect_count("$[?(@.x==1.0)]", doc, 4);
+    expect_count("$[?(@.x==1e0)]", doc, 4);
+    expect_count("$[?(@.x!=1)]", doc, 1);
+    expect_count("$[?(@.x>=1)]", doc, 5);
+}
+
+TEST(SelectorSemantics, FilterTypedLiteralsAndChains)
+{
+    const char* doc = R"({"a": [
+        {"k": true, "v": 1}, {"k": false}, {"k": null},
+        {"k": {"n": 3}}, {"k": {"n": "s"}}, {"k": [3]}
+    ]})";
+    expect_count("$.a[?(@.k==true)]", doc, 1);
+    expect_count("$.a[?(@.k!=true)]", doc, 5);
+    expect_count("$.a[?(@.k==null)]", doc, 1);
+    expect_count("$.a[?(@.k.n==3)]", doc, 1);    // chained steps
+    expect_count("$.a[?(@.k.n)]", doc, 2);       // existence through chain
+    expect_count("$.a[?(@.k.n=='s')]", doc, 1);
+    // Cross-type comparisons are uniformly false.
+    expect_count("$.a[?(@.k<1)]", doc, 0);
+    expect_count("$.a[?(@.v=='1')]", doc, 0);
+    expect_count("$.a[?(@.v==true)]", doc, 0);
+}
+
+TEST(SelectorSemantics, FilterAfterDescendant)
+{
+    // The filter itself is child-only and final, but the path to the
+    // candidate array may use any supported selector.
+    const char* doc =
+        R"({"l": [{"x": 1}, {"x": 9}], "d": {"l": [{"x": 9}]}})";
+    expect_count("$..l[?(@.x>5)]", doc, 2);
+    expect_count("$.d.l[?(@.x>5)]", doc, 1);
+    expect_count("$..*[?(@.x)]", doc, 3);
+}
+
+TEST(SelectorSemantics, PathAndNodeAgreeOnExtendedSelectors)
+{
+    const char* document =
+        R"({"a": [{"x": 1}, {"x": 2}, {"y": 3}], "b": [4, 5]})";
+    json::Document dom = json::parse(document);
+    for (const char* query :
+         {"$.a[1:3]", "$['a','b'][0]", "$.a[?(@.x>=2)]", "$.b[1:]"}) {
+        DomEngine oracle(query::Query::parse(query));
+        PaddedString padded(document);
+        EXPECT_EQ(oracle.evaluate_path_semantics(dom.root()).size(),
+                  oracle.offsets(padded).size())
+            << query;
+    }
 }
 
 TEST(Semantics, PathAndNodeAgreeWithoutDescendants)

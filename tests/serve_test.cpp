@@ -325,6 +325,24 @@ TEST(QueryCacheTest, NdjsonSharesTheSingleQueryArtifact)
     EXPECT_TRUE(hit);
 }
 
+TEST(QueryCacheTest, SpellingVariantsShareOneEntry)
+{
+    QueryCache cache(8, 1);
+    EngineOptions options;
+    bool hit = false;
+    cache.lookup(RequestMode::kSingle, "$.a[1:3].b", options, hit);
+    cache.lookup(RequestMode::kSingle, "$['a'][1:3]['b']", options, hit);
+    EXPECT_TRUE(hit);
+    cache.lookup(RequestMode::kSingle, "$[\"a\"][1:3].b", options, hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(cache.stats().entries, 1u);
+    // Unparseable text falls back to the raw string: distinct garbage is
+    // distinct keys, and the lookup still reports the QueryError.
+    EXPECT_THROW(
+        cache.lookup(RequestMode::kSingle, "$.[broken", options, hit),
+        QueryError);
+}
+
 TEST(QueryCacheTest, LruEvictionKeepsOutstandingReferencesAlive)
 {
     QueryCache cache(2, 1);

@@ -46,6 +46,24 @@ check 2 "conflicting error policies"  "$CLI" --ndjson --fail-fast --retry-scalar
 check 2 "projection vs count"         "$CLI" --project slices --count '$..b' "$WORK/ok.json"
 check 2 "unknown projection mode"     "$CLI" --project verbose '$..b' "$WORK/ok.json"
 
+# 2: selector forms the grammar deliberately rejects (negative indices,
+# stepped slices, descendant slices/unions/filters, non-final filters).
+check 2 "negative index"              "$CLI" '$[-1]' "$WORK/ok.json"
+check 2 "fractional index"            "$CLI" '$[1.5]' "$WORK/ok.json"
+check 2 "negative slice bound"        "$CLI" '$[1:-1]' "$WORK/ok.json"
+check 2 "stepped slice"               "$CLI" '$[1:4:2]' "$WORK/ok.json"
+check 2 "descendant slice"            "$CLI" '$..[1:2]' "$WORK/ok.json"
+check 2 "descendant union"            "$CLI" "\$..['a','b']" "$WORK/ok.json"
+check 2 "descendant filter"           "$CLI" '$..[?(@.x)]' "$WORK/ok.json"
+check 2 "non-final filter"            "$CLI" '$.a[?(@.x)].y' "$WORK/ok.json"
+check 2 "malformed filter literal"    "$CLI" '$[?(@.x==01)]' "$WORK/ok.json"
+check 2 "single-equals filter"        "$CLI" '$[?(@.x=1)]' "$WORK/ok.json"
+
+# 4: the product backend refuses filter selectors; a pinned --fused=product
+# multi-query run must fail as a limit, while auto falls back to lanes.
+check 4 "filter pinned to product"    "$CLI" --fused=product --count --query '$.a[?(@.b)]' --query '$..b' "$WORK/ok.json"
+check 0 "filter under fused auto"     "$CLI" --count --query '$.a[?(@.b)]' --query '$..b' "$WORK/ok.json"
+
 # 3: malformed input.
 check 3 "truncated document"          "$CLI" '$..b' "$WORK/truncated.json"
 check 3 "broken ndjson record"        "$CLI" --ndjson '$..id' "$WORK/broken.ndjson"

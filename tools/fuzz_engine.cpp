@@ -29,6 +29,7 @@
  *   fuzz_engine [--iterations N] [--seed S] [--verbose]
  *   fuzz_engine --ndjson N [--seed S]
  *   fuzz_engine --multi N [--seed S]
+ *   fuzz_engine --selectors N [--seed S]
  *   fuzz_engine --faults N [--seed S]
  *   fuzz_engine --serve-frames N [--seed S]
  *   fuzz_engine --project N [--seed S]
@@ -65,6 +66,15 @@
  * the sharded StreamExecutor — at several thread counts, under both error
  * policies — is checked against a scalar reference splitter plus
  * sequential per-record engine runs over isolated PaddedString copies.
+ *
+ * --selectors N: extended-selector differential mode. Random well-formed
+ * documents crossed with random queries drawn from the full supported
+ * grammar — array indices, slices, quoted-label unions, bracket-quoted
+ * children and trailing filter predicates. Every streaming configuration
+ * at every kernel tier plus the surfer baseline must reproduce the DOM
+ * oracle's match set exactly, and the same query sets run through BOTH
+ * fused backends against independent per-query runs (filter-carrying sets
+ * exercise the product backend's refusal and the lanes fallback).
  *
  * --multi N: fused multi-query mode. Random query sets of up to 64
  * subscriptions — corpus-derived bases extended with mutated shared
@@ -104,6 +114,7 @@
 #include "descend/serve/protocol.h"
 #include "descend/serve/query_cache.h"
 #include "descend/workloads/datasets.h"
+#include "descend/workloads/random_json.h"
 
 namespace {
 
@@ -1285,6 +1296,127 @@ int run_multi_mode(long iterations, std::uint64_t seed0, bool verbose)
 }
 
 // ---------------------------------------------------------------------------
+// Selector mode: extended-grammar queries (indices, slices, unions,
+// filters) drawn by the random query generator against random well-formed
+// documents. Every streaming configuration at every kernel tier, plus the
+// surfer baseline, must reproduce the DOM oracle's match set exactly; the
+// same query sets also go through check_multi, so both fused backends are
+// covered (a set whose product compilation is refused — filters, state
+// cap — exercises exactly the kAuto lanes fallback).
+// ---------------------------------------------------------------------------
+
+int report_selectors(std::uint64_t seed, const std::string& query,
+                     const std::string& configuration,
+                     const std::string& detail, const std::string& document)
+{
+    std::printf(
+        "SELECTOR DISAGREEMENT\nseed: %llu\nquery: %s\nconfiguration: %s\n"
+        "problem: %s\ndocument (%zu bytes):\n%.*s\n",
+        static_cast<unsigned long long>(seed), query.c_str(),
+        configuration.c_str(), detail.c_str(), document.size(),
+        static_cast<int>(document.size() > 2000 ? 2000 : document.size()),
+        document.c_str());
+    return 1;
+}
+
+int run_selectors_mode(long iterations, std::uint64_t seed0, bool verbose)
+{
+    long checked_queries = 0;
+    long filter_queries = 0;
+    long counter_queries = 0;
+    long checked_sets = 0;
+    Stats set_stats;
+    for (long i = 0; i < iterations; ++i) {
+        std::uint64_t seed = seed0 * 0x9E3779B97F4A7C15ull +
+                             static_cast<std::uint64_t>(i) * 2654435761ull + 17;
+        workloads::RandomJsonOptions options;
+        options.seed = seed;
+        options.max_depth = 4 + static_cast<int>(seed % 5);
+        options.max_width = 4 + static_cast<int>(seed / 7 % 4);
+        std::string document = workloads::random_json(options);
+        PaddedString padded(document);
+
+        std::vector<std::string> queries;
+        for (std::uint64_t q = 0; q < 3; ++q) {
+            queries.push_back(workloads::random_query(
+                seed * 131 + q * 7919 + 1, options.label_pool, 4,
+                /*allow_indices=*/true, /*extended_selectors=*/true));
+        }
+        for (const std::string& text : queries) {
+            query::Query parsed = query::Query::parse(text);
+            filter_queries += parsed.filter() != nullptr ? 1 : 0;
+            counter_queries += parsed.has_indices() ? 1 : 0;
+            DomEngine oracle(parsed);
+            std::vector<std::size_t> expected = oracle.offsets(padded);
+
+            {
+                SurferEngine surfer(automaton::CompiledQuery::compile(text));
+                OffsetSink sink;
+                EngineStatus status = surfer.run(padded, sink);
+                if (!status.ok() || sink.offsets() != expected) {
+                    return report_selectors(
+                        seed, text, "surfer",
+                        "expected " + offsets_text(expected) + " got " +
+                            offsets_text(sink.offsets()) + " (" +
+                            to_string(status) + ")",
+                        document);
+                }
+            }
+            for (simd::Level level : available_levels()) {
+                for (int cfg = 0; cfg < 3; ++cfg) {
+                    EngineOptions eopts;
+                    eopts.simd = level;
+                    if (cfg == 1) {
+                        eopts.leaf_skipping = false;
+                        eopts.child_skipping = false;
+                        eopts.sibling_skipping = false;
+                        eopts.head_skipping = false;
+                    } else if (cfg == 2) {
+                        eopts.label_within_skipping = true;
+                    }
+                    DescendEngine engine(
+                        automaton::CompiledQuery::compile(text), eopts);
+                    OffsetSink sink;
+                    EngineStatus status = engine.run(padded, sink);
+                    if (!status.ok() || sink.offsets() != expected) {
+                        std::string configuration =
+                            std::string(simd::level_name(level)) +
+                            (cfg == 1 ? "-skips" : cfg == 2 ? "+within" : "");
+                        return report_selectors(
+                            seed, text, configuration,
+                            "expected " + offsets_text(expected) + " got " +
+                                offsets_text(sink.offsets()) + " (" +
+                                to_string(status) + ")",
+                            document);
+                    }
+                }
+            }
+            checked_queries += 1;
+        }
+
+        // Both fused backends against independent runs on the same set.
+        Mutation pristine{"none (random selector document)", document};
+        if (int rc = check_multi("selectors-" + std::to_string(seed),
+                                 pristine, queries, i % 2 == 1, set_stats)) {
+            std::printf("iteration: %ld (reproduce with --seed %llu)\n", i,
+                        static_cast<unsigned long long>(seed0));
+            return rc;
+        }
+        checked_sets += 1;
+        if (verbose && (i + 1) % 500 == 0) {
+            std::printf("... %ld/%ld\n", i + 1, iterations);
+        }
+    }
+    std::printf(
+        "fuzz_engine --selectors: %ld iterations OK\n"
+        "  single-query runs: %ld (with filters %ld, with counters %ld); "
+        "fused sets: %ld\n",
+        iterations, checked_queries, filter_queries, counter_queries,
+        checked_sets);
+    return 0;
+}
+
+// ---------------------------------------------------------------------------
 // Fault-injection mode: randomized failpoint arming against well-formed
 // documents (requires a DESCEND_FAULT=ON build; a no-op exit otherwise).
 //
@@ -1904,6 +2036,7 @@ int main(int argc, char** argv)
     long iterations = 10000;
     long ndjson_iterations = -1;
     long multi_iterations = -1;
+    long selector_iterations = -1;
     long fault_iterations = -1;
     long serve_frame_iterations = -1;
     long project_iterations = -1;
@@ -1923,6 +2056,14 @@ int main(int argc, char** argv)
             multi_iterations = std::strtol(argv[++i], &end, 10);
             if (end == argv[i] || *end != '\0' || multi_iterations < 0) {
                 std::fprintf(stderr, "fuzz_engine: bad --multi '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--selectors") == 0 && i + 1 < argc) {
+            char* end = nullptr;
+            selector_iterations = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || selector_iterations < 0) {
+                std::fprintf(stderr, "fuzz_engine: bad --selectors '%s'\n",
                              argv[i]);
                 return 2;
             }
@@ -1971,7 +2112,8 @@ int main(int argc, char** argv)
             std::fprintf(stderr,
                          "usage: fuzz_engine [--iterations N] [--seed S] "
                          "[--verbose] | --ndjson N [--seed S] "
-                         "| --multi N [--seed S] | --faults N [--seed S] "
+                         "| --multi N [--seed S] | --selectors N [--seed S] "
+                         "| --faults N [--seed S] "
                          "| --serve-frames N [--seed S] "
                          "| --project N [--seed S]\n");
             return 2;
@@ -1982,6 +2124,9 @@ int main(int argc, char** argv)
     }
     if (multi_iterations >= 0) {
         return run_multi_mode(multi_iterations, seed0, verbose);
+    }
+    if (selector_iterations >= 0) {
+        return run_selectors_mode(selector_iterations, seed0, verbose);
     }
     if (fault_iterations >= 0) {
         return run_faults_mode(fault_iterations, seed0, verbose);
